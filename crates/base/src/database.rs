@@ -1,0 +1,348 @@
+//! A mutable, predicate-indexed collection of ground facts.
+//!
+//! [`Database`] is the extensional store handed to the engines and the
+//! representation of computed models: facts are grouped per predicate so
+//! that matching a rule premise only scans candidates with the right
+//! predicate symbol.
+
+use crate::atom::{Atom, GroundAtom};
+use crate::hasher::{FxHashMap, FxHashSet};
+use crate::subst::Bindings;
+use crate::symbol::Symbol;
+use crate::term::Var;
+
+/// All facts for one predicate symbol.
+#[derive(Default, Clone, Debug)]
+struct Relation {
+    /// Tuples in insertion order (for deterministic iteration).
+    tuples: Vec<Box<[Symbol]>>,
+    /// Membership index over the same tuples.
+    index: FxHashSet<Box<[Symbol]>>,
+}
+
+impl Relation {
+    fn insert(&mut self, args: Box<[Symbol]>) -> bool {
+        if self.index.insert(args.clone()) {
+            self.tuples.push(args);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn contains(&self, args: &[Symbol]) -> bool {
+        self.index.contains(args)
+    }
+}
+
+/// A set of ground facts with per-predicate indexing.
+///
+/// Iteration order is deterministic (per-predicate insertion order), which
+/// keeps engine runs and printed models reproducible.
+///
+/// ```
+/// use hdl_base::{Database, GroundAtom, SymbolTable};
+/// let mut syms = SymbolTable::new();
+/// let edge = syms.intern("edge");
+/// let (a, b) = (syms.intern("a"), syms.intern("b"));
+/// let mut db = Database::new();
+/// db.insert(GroundAtom::new(edge, vec![a, b]));
+/// assert!(db.contains(&GroundAtom::new(edge, vec![a, b])));
+/// assert_eq!(db.count(edge), 1);
+/// ```
+#[derive(Default, Clone, Debug)]
+pub struct Database {
+    rels: FxHashMap<Symbol, Relation>,
+    len: usize,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `fact`; returns `true` if it was not already present.
+    pub fn insert(&mut self, fact: GroundAtom) -> bool {
+        let rel = self.rels.entry(fact.pred).or_default();
+        let fresh = rel.insert(fact.args.into_boxed_slice());
+        if fresh {
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Inserts a fact given as predicate + argument slice.
+    pub fn insert_tuple(&mut self, pred: Symbol, args: &[Symbol]) -> bool {
+        let rel = self.rels.entry(pred).or_default();
+        let fresh = rel.insert(args.into());
+        if fresh {
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Whether `fact` is present.
+    pub fn contains(&self, fact: &GroundAtom) -> bool {
+        self.rels
+            .get(&fact.pred)
+            .is_some_and(|r| r.contains(&fact.args))
+    }
+
+    /// Whether the tuple `args` is present for `pred`.
+    pub fn contains_tuple(&self, pred: Symbol, args: &[Symbol]) -> bool {
+        self.rels.get(&pred).is_some_and(|r| r.contains(args))
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the database holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of tuples stored for `pred`.
+    pub fn count(&self, pred: Symbol) -> usize {
+        self.rels.get(&pred).map_or(0, |r| r.tuples.len())
+    }
+
+    /// Iterates over the tuples of `pred` in insertion order.
+    pub fn tuples(&self, pred: Symbol) -> impl Iterator<Item = &[Symbol]> {
+        self.rels
+            .get(&pred)
+            .into_iter()
+            .flat_map(|r| r.tuples.iter().map(|t| &t[..]))
+    }
+
+    /// Iterates over all facts as `(pred, tuple)` pairs.
+    ///
+    /// Predicates are visited in unspecified (but run-deterministic) order;
+    /// tuples within a predicate in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &[Symbol])> {
+        self.rels
+            .iter()
+            .flat_map(|(&p, r)| r.tuples.iter().map(move |t| (p, &t[..])))
+    }
+
+    /// Iterates over all facts as owned [`GroundAtom`]s.
+    pub fn iter_facts(&self) -> impl Iterator<Item = GroundAtom> + '_ {
+        self.iter()
+            .map(|(p, args)| GroundAtom::new(p, args.to_vec()))
+    }
+
+    /// The predicates that have at least one tuple.
+    pub fn predicates(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.rels
+            .iter()
+            .filter(|(_, r)| !r.tuples.is_empty())
+            .map(|(&p, _)| p)
+    }
+
+    /// Inserts every fact of `other` into `self`.
+    pub fn absorb(&mut self, other: &Database) {
+        for (p, args) in other.iter() {
+            self.insert_tuple(p, args);
+        }
+    }
+
+    /// Collects every constant symbol occurring in any fact.
+    pub fn constants(&self) -> FxHashSet<Symbol> {
+        let mut out = FxHashSet::default();
+        for (_, args) in self.iter() {
+            out.extend(args.iter().copied());
+        }
+        out
+    }
+
+    /// Calls `f` with the undo trail for every fact of `pattern.pred` that
+    /// matches `pattern` under `bindings`; `f` returning `true` stops the
+    /// scan early (existential check). Bindings are restored between
+    /// candidates and after the call.
+    ///
+    /// Returns `true` if `f` stopped the scan.
+    pub fn for_each_match(
+        &self,
+        pattern: &Atom,
+        bindings: &mut Bindings,
+        mut f: impl FnMut(&mut Bindings) -> bool,
+    ) -> bool {
+        let Some(rel) = self.rels.get(&pattern.pred) else {
+            return false;
+        };
+        // Iterate by index: `f` only receives `bindings`, never the tuple
+        // storage, so the borrow of `self` stays shared.
+        for tuple in &rel.tuples {
+            if tuple.len() != pattern.args.len() {
+                continue;
+            }
+            let fact = GroundAtom::new(pattern.pred, tuple.to_vec());
+            if let Some(trail) = bindings.match_atom(pattern, &fact) {
+                let stop = f(bindings);
+                bindings.undo(&trail);
+                if stop {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Collects all extensions of `bindings` under which `pattern` matches a
+    /// stored fact, as vectors of `(var, value)` pairs for the variables the
+    /// match bound.
+    pub fn all_matches(&self, pattern: &Atom, bindings: &mut Bindings) -> Vec<Vec<(Var, Symbol)>> {
+        let mut out = Vec::new();
+        self.for_each_match(pattern, bindings, |b| {
+            let row = pattern
+                .vars()
+                .filter_map(|v| b.get(v).map(|c| (v, c)))
+                .collect();
+            out.push(row);
+            false
+        });
+        out
+    }
+}
+
+impl FromIterator<GroundAtom> for Database {
+    fn from_iter<I: IntoIterator<Item = GroundAtom>>(iter: I) -> Self {
+        let mut db = Database::new();
+        for fact in iter {
+            db.insert(fact);
+        }
+        db
+    }
+}
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        self.iter().all(|(p, args)| other.contains_tuple(p, args))
+    }
+}
+
+impl Eq for Database {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn s(i: u32) -> Symbol {
+        Symbol(i)
+    }
+
+    fn fact(p: u32, args: &[u32]) -> GroundAtom {
+        GroundAtom::new(s(p), args.iter().map(|&a| s(a)).collect())
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut db = Database::new();
+        assert!(db.insert(fact(0, &[1, 2])));
+        assert!(!db.insert(fact(0, &[1, 2])), "duplicate insert");
+        assert!(db.contains(&fact(0, &[1, 2])));
+        assert!(!db.contains(&fact(0, &[2, 1])));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn tuples_iterate_in_insertion_order() {
+        let mut db = Database::new();
+        db.insert(fact(0, &[3]));
+        db.insert(fact(0, &[1]));
+        db.insert(fact(0, &[2]));
+        let order: Vec<u32> = db.tuples(s(0)).map(|t| t[0].0).collect();
+        assert_eq!(order, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let mut a = Database::new();
+        a.insert(fact(0, &[1]));
+        a.insert(fact(1, &[2, 3]));
+        let mut b = Database::new();
+        b.insert(fact(1, &[2, 3]));
+        b.insert(fact(0, &[1]));
+        assert_eq!(a, b);
+        b.insert(fact(0, &[9]));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn constants_collects_all_symbols() {
+        let mut db = Database::new();
+        db.insert(fact(0, &[1, 2]));
+        db.insert(fact(5, &[2, 7]));
+        let cs = db.constants();
+        assert_eq!(cs.len(), 3);
+        for c in [1, 2, 7] {
+            assert!(cs.contains(&s(c)));
+        }
+    }
+
+    #[test]
+    fn for_each_match_enumerates_and_restores() {
+        let mut db = Database::new();
+        db.insert(fact(0, &[1, 10]));
+        db.insert(fact(0, &[2, 20]));
+        db.insert(fact(0, &[1, 30]));
+        let pattern = Atom::new(s(0), vec![Term::Const(s(1)), Term::Var(Var(0))]);
+        let mut b = Bindings::new(1);
+        let mut seen = Vec::new();
+        db.for_each_match(&pattern, &mut b, |bb| {
+            seen.push(bb.get(Var(0)).unwrap().0);
+            false
+        });
+        assert_eq!(seen, vec![10, 30]);
+        assert_eq!(b.get(Var(0)), None, "bindings restored after scan");
+    }
+
+    #[test]
+    fn for_each_match_early_stop() {
+        let mut db = Database::new();
+        for i in 0..10 {
+            db.insert(fact(0, &[i]));
+        }
+        let pattern = Atom::new(s(0), vec![Term::Var(Var(0))]);
+        let mut b = Bindings::new(1);
+        let mut count = 0;
+        let stopped = db.for_each_match(&pattern, &mut b, |_| {
+            count += 1;
+            count == 3
+        });
+        assert!(stopped);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn arity_mismatch_does_not_match() {
+        let mut db = Database::new();
+        db.insert(fact(0, &[1]));
+        db.insert(fact(0, &[1, 2]));
+        let pattern = Atom::new(s(0), vec![Term::Var(Var(0))]);
+        let mut b = Bindings::new(1);
+        let mut n = 0;
+        db.for_each_match(&pattern, &mut b, |_| {
+            n += 1;
+            false
+        });
+        assert_eq!(n, 1, "only the unary tuple matches a unary pattern");
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = Database::new();
+        a.insert(fact(0, &[1]));
+        let mut b = Database::new();
+        b.insert(fact(0, &[1]));
+        b.insert(fact(1, &[2]));
+        a.absorb(&b);
+        assert_eq!(a.len(), 2);
+    }
+}

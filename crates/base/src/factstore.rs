@@ -1,0 +1,298 @@
+//! Interners for ground facts and for whole databases.
+//!
+//! Hypothetical inference explores a *lattice of databases*: every premise
+//! `A[add: C̄]` moves the proof to a strictly larger database. The engines
+//! therefore intern each ground fact to a dense [`FactId`] and each database
+//! (a sorted set of fact ids) to a dense [`DbId`], so that memo tables can
+//! be keyed by plain `(FactId, DbId)` pairs instead of hashing whole fact
+//! sets at every lookup.
+
+use crate::atom::GroundAtom;
+use crate::database::Database;
+use crate::hasher::FxHashMap;
+use crate::symbol::Symbol;
+use std::sync::Arc;
+
+/// Dense id of an interned ground fact.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FactId(pub u32);
+
+impl FactId {
+    /// Dense index of this fact.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only intern table for ground facts.
+#[derive(Default, Clone)]
+pub struct FactStore {
+    facts: Vec<GroundAtom>,
+    ids: FxHashMap<GroundAtom, FactId>,
+}
+
+impl FactStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `fact`, returning its id.
+    pub fn intern(&mut self, fact: GroundAtom) -> FactId {
+        if let Some(&id) = self.ids.get(&fact) {
+            return id;
+        }
+        let id = FactId(u32::try_from(self.facts.len()).expect("fact store overflow"));
+        self.facts.push(fact.clone());
+        self.ids.insert(fact, id);
+        id
+    }
+
+    /// Looks up an already-interned fact.
+    pub fn lookup(&self, fact: &GroundAtom) -> Option<FactId> {
+        self.ids.get(fact).copied()
+    }
+
+    /// The fact with id `id`.
+    pub fn fact(&self, id: FactId) -> &GroundAtom {
+        &self.facts[id.index()]
+    }
+
+    /// Number of interned facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether no facts have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+}
+
+/// Dense id of an interned database (a set of facts).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DbId(pub u32);
+
+impl DbId {
+    /// Dense index of this database.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interned database: its sorted fact ids plus a per-predicate index.
+#[derive(Debug)]
+pub struct DbEntry {
+    /// Sorted, deduplicated fact ids — the canonical identity of this DB.
+    pub facts: Arc<Vec<FactId>>,
+    /// Fact ids grouped by predicate, for premise matching.
+    pub by_pred: Arc<FxHashMap<Symbol, Vec<FactId>>>,
+}
+
+impl DbEntry {
+    /// Whether this database contains `id`.
+    #[inline]
+    pub fn contains(&self, id: FactId) -> bool {
+        self.facts.binary_search(&id).is_ok()
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// The fact ids stored for `pred`.
+    pub fn facts_of(&self, pred: Symbol) -> &[FactId] {
+        self.by_pred.get(&pred).map_or(&[], |v| v.as_slice())
+    }
+}
+
+/// An intern table over databases, supporting cheap extension.
+///
+/// Databases form a join-semilattice under union; [`DbStore::extend`] is the
+/// only constructor besides [`DbStore::intern_facts`], so equal fact sets
+/// always share one [`DbId`] — giving the engines O(1) database equality and
+/// compact memo keys.
+#[derive(Default)]
+pub struct DbStore {
+    store: FactStore,
+    entries: Vec<DbEntry>,
+    ids: FxHashMap<Arc<Vec<FactId>>, DbId>,
+}
+
+impl DbStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access to the underlying fact interner.
+    pub fn facts(&self) -> &FactStore {
+        &self.store
+    }
+
+    /// Interns a ground fact.
+    pub fn intern_fact(&mut self, fact: GroundAtom) -> FactId {
+        self.store.intern(fact)
+    }
+
+    /// The entry for database `id`.
+    pub fn entry(&self, id: DbId) -> &DbEntry {
+        &self.entries[id.index()]
+    }
+
+    /// Number of distinct databases interned so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no databases have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Interns the database consisting of exactly `facts` (deduplicated).
+    pub fn intern_facts(&mut self, facts: impl IntoIterator<Item = GroundAtom>) -> DbId {
+        let mut ids: Vec<FactId> = facts.into_iter().map(|f| self.store.intern(f)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        self.intern_sorted(ids)
+    }
+
+    /// Interns a [`Database`] value.
+    pub fn intern_database(&mut self, db: &Database) -> DbId {
+        self.intern_facts(db.iter_facts())
+    }
+
+    /// Returns the database `base ∪ additions`.
+    ///
+    /// If every addition is already present, returns `base` itself — the
+    /// engines rely on this to detect the "degenerate hypothetical" case
+    /// where `A[add: C̄]` collapses to a plain premise.
+    pub fn extend(&mut self, base: DbId, additions: &[FactId]) -> DbId {
+        let entry = &self.entries[base.index()];
+        let fresh: Vec<FactId> = additions
+            .iter()
+            .copied()
+            .filter(|&id| !entry.contains(id))
+            .collect();
+        if fresh.is_empty() {
+            return base;
+        }
+        let mut ids = entry.facts.as_ref().clone();
+        ids.extend(fresh);
+        ids.sort_unstable();
+        ids.dedup();
+        self.intern_sorted(ids)
+    }
+
+    /// Materializes database `id` as a [`Database`] value.
+    pub fn to_database(&self, id: DbId) -> Database {
+        self.entry(id)
+            .facts
+            .iter()
+            .map(|&f| self.store.fact(f).clone())
+            .collect()
+    }
+
+    fn intern_sorted(&mut self, ids: Vec<FactId>) -> DbId {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be sorted+dedup"
+        );
+        let key = Arc::new(ids);
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let mut by_pred: FxHashMap<Symbol, Vec<FactId>> = FxHashMap::default();
+        for &f in key.iter() {
+            by_pred.entry(self.store.fact(f).pred).or_default().push(f);
+        }
+        let db_id = DbId(u32::try_from(self.entries.len()).expect("db store overflow"));
+        self.entries.push(DbEntry {
+            facts: Arc::clone(&key),
+            by_pred: Arc::new(by_pred),
+        });
+        self.ids.insert(key, db_id);
+        db_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(p: u32, args: &[u32]) -> GroundAtom {
+        GroundAtom::new(Symbol(p), args.iter().map(|&a| Symbol(a)).collect())
+    }
+
+    #[test]
+    fn fact_interning_is_idempotent() {
+        let mut fs = FactStore::new();
+        let a = fs.intern(fact(0, &[1]));
+        let b = fs.intern(fact(0, &[1]));
+        assert_eq!(a, b);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs.fact(a), &fact(0, &[1]));
+    }
+
+    #[test]
+    fn equal_fact_sets_share_db_id() {
+        let mut dbs = DbStore::new();
+        let a = dbs.intern_facts([fact(0, &[1]), fact(0, &[2])]);
+        let b = dbs.intern_facts([fact(0, &[2]), fact(0, &[1])]);
+        assert_eq!(a, b);
+        assert_eq!(dbs.len(), 1);
+    }
+
+    #[test]
+    fn extend_with_present_facts_is_identity() {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts([fact(0, &[1])]);
+        let f = dbs.intern_fact(fact(0, &[1]));
+        assert_eq!(dbs.extend(base, &[f]), base);
+    }
+
+    #[test]
+    fn extend_with_new_fact_grows() {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts([fact(0, &[1])]);
+        let f = dbs.intern_fact(fact(0, &[2]));
+        let bigger = dbs.extend(base, &[f]);
+        assert_ne!(bigger, base);
+        assert_eq!(dbs.entry(bigger).len(), 2);
+        assert!(dbs.entry(bigger).contains(f));
+        // Extending two different ways to the same set yields the same id.
+        let g = dbs.intern_fact(fact(0, &[1]));
+        let other = dbs.intern_facts([fact(0, &[2])]);
+        let merged = dbs.extend(other, &[g]);
+        assert_eq!(merged, bigger);
+    }
+
+    #[test]
+    fn by_pred_groups_facts() {
+        let mut dbs = DbStore::new();
+        let id = dbs.intern_facts([fact(0, &[1]), fact(1, &[2]), fact(0, &[3])]);
+        let entry = dbs.entry(id);
+        assert_eq!(entry.facts_of(Symbol(0)).len(), 2);
+        assert_eq!(entry.facts_of(Symbol(1)).len(), 1);
+        assert_eq!(entry.facts_of(Symbol(9)).len(), 0);
+    }
+
+    #[test]
+    fn roundtrip_database() {
+        let mut db = Database::new();
+        db.insert(fact(0, &[1, 2]));
+        db.insert(fact(3, &[4]));
+        let mut dbs = DbStore::new();
+        let id = dbs.intern_database(&db);
+        assert_eq!(dbs.to_database(id), db);
+    }
+}

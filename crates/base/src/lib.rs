@@ -1,0 +1,37 @@
+//! # hdl-base
+//!
+//! Base substrate for the hypothetical-Datalog workspace (a reproduction of
+//! Bonner, *Hypothetical Datalog: Negation and Linear Recursion*, PODS 1989).
+//!
+//! This crate provides the vocabulary every other crate builds on:
+//!
+//! - [`SymbolTable`] / [`Symbol`] — interned constant and predicate names;
+//! - [`Term`], [`Var`], [`Atom`], [`GroundAtom`] — the function-free term
+//!   language of the paper;
+//! - [`Bindings`] — flat substitutions with trail-based undo, and matching
+//!   of pattern atoms against ground facts;
+//! - [`Database`] — a mutable, predicate-indexed fact store;
+//! - [`FactStore`] / [`DbStore`] — interners that give each ground fact and
+//!   each database a dense id, so that engines exploring the lattice of
+//!   hypothetically-augmented databases can memoize on `(FactId, DbId)`;
+//! - [`FxHashMap`] / [`FxHashSet`] — fast hashing for interned keys.
+
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod database;
+pub mod error;
+pub mod factstore;
+pub mod hasher;
+pub mod subst;
+pub mod symbol;
+pub mod term;
+
+pub use atom::{Atom, GroundAtom};
+pub use database::Database;
+pub use error::{Error, Result};
+pub use factstore::{DbEntry, DbId, DbStore, FactId, FactStore};
+pub use hasher::{FxHashMap, FxHashSet, FxHasher};
+pub use subst::Bindings;
+pub use symbol::{Symbol, SymbolTable};
+pub use term::{Term, Var};

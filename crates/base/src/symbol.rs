@@ -1,0 +1,147 @@
+//! String interning for constants and predicate names.
+//!
+//! The paper's language is function-free: every term is either a variable or
+//! a constant symbol, and every atom is a predicate symbol applied to terms.
+//! Both kinds of names are interned into dense `u32` ids so that the engines
+//! can compare, hash, and index them without touching string data.
+
+use crate::hasher::FxHashMap;
+use std::fmt;
+
+/// An interned name (constant symbol or predicate symbol).
+///
+/// Symbols are only meaningful relative to the [`SymbolTable`] that created
+/// them; the table hands out dense ids starting at 0, which the database
+/// layer exploits for `Vec`-backed per-predicate indices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The dense index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+/// An append-only intern table mapping names to [`Symbol`]s and back.
+///
+/// ```
+/// use hdl_base::SymbolTable;
+/// let mut t = SymbolTable::new();
+/// let a = t.intern("edge");
+/// assert_eq!(t.intern("edge"), a);
+/// assert_eq!(t.name(a), "edge");
+/// ```
+#[derive(Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    by_name: FxHashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol (existing or freshly allocated).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.names.len()).expect("symbol table overflow"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up a previously interned name without allocating.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not created by this table.
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_str()))
+    }
+}
+
+impl fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.names.iter().enumerate())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a1 = t.intern("alpha");
+        let a2 = t.intern("alpha");
+        assert_eq!(a1, a2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "a");
+        assert_eq!(t.name(b), "b");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert!(t.lookup("ghost").is_none());
+        let g = t.intern("ghost");
+        assert_eq!(t.lookup("ghost"), Some(g));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut t = SymbolTable::new();
+        let syms: Vec<Symbol> = (0..10).map(|i| t.intern(&format!("s{i}"))).collect();
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        let collected: Vec<_> = t.iter().map(|(s, _)| s).collect();
+        assert_eq!(collected, syms);
+    }
+}

@@ -1,0 +1,96 @@
+//! Terms: variables and constants (the language is function-free).
+
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A variable identifier, scoped to a single rule.
+///
+/// Variables are numbered densely from 0 within each rule, so substitutions
+/// can be flat `Vec<Option<Symbol>>` buffers indexed by `Var`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Dense index of this variable within its rule.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+/// A function-free term: either a rule-scoped variable or an interned
+/// constant symbol.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Term {
+    /// A variable, universally quantified at rule scope.
+    Var(Var),
+    /// A constant from the data domain.
+    Const(Symbol),
+}
+
+impl Term {
+    /// Returns the variable if this term is one.
+    #[inline]
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant if this term is one.
+    #[inline]
+    pub fn as_const(self) -> Option<Symbol> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Whether this term is a variable.
+    #[inline]
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Symbol> for Term {
+    fn from(s: Symbol) -> Self {
+        Term::Const(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Term::Var(Var(3));
+        let c = Term::Const(Symbol(7));
+        assert_eq!(v.as_var(), Some(Var(3)));
+        assert_eq!(v.as_const(), None);
+        assert_eq!(c.as_const(), Some(Symbol(7)));
+        assert_eq!(c.as_var(), None);
+        assert!(v.is_var());
+        assert!(!c.is_var());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Term::from(Var(1)), Term::Var(Var(1)));
+        assert_eq!(Term::from(Symbol(2)), Term::Const(Symbol(2)));
+    }
+}

@@ -1,0 +1,39 @@
+//! E2 (Examples 4–5): chains of hypothetical insertions of length n.
+//! Expected shape: near-linear in n (one augmented database per link,
+//! each conjunct checked by membership).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdl_bench::workloads::chain_program;
+use hdl_core::engine::TopDownEngine;
+use hdl_core::parser::parse_query;
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain");
+    configure(&mut group);
+    for n in [4usize, 16, 64, 128] {
+        let (rules, db, mut syms) = chain_program(n);
+        let query = parse_query("?- a1.", &mut syms).unwrap();
+        group.bench_with_input(BenchmarkId::new("topdown", n), &n, |b, _| {
+            b.iter(|| {
+                let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+                assert!(eng.holds(&query).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);
+
+/// Conservative Criterion settings: the harness favours total suite time
+/// over tight confidence intervals — the experiments compare shapes, not
+/// single-digit-percent deltas.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+}

@@ -1,0 +1,93 @@
+//! E10: the plain-Datalog baseline vs the hypothetical engines on queries
+//! both express (transitive closure over chains), plus the naive vs
+//! semi-naive ablation. Expected shape: semi-naive beats naive as chains
+//! grow; the hypothetical engines pay interpretation overhead but stay
+//! polynomial (hypothetical machinery is never triggered by Horn rules).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdl_base::SymbolTable;
+use hdl_bench::workloads::{tc_edb, tc_rules};
+use hdl_core::engine::{BottomUpEngine, TopDownEngine};
+use hdl_core::parser::parse_program;
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog_baseline");
+    configure(&mut group);
+    for n in [8usize, 16, 32] {
+        let mut syms = SymbolTable::new();
+        let rules = tc_rules(&mut syms);
+        let db = tc_edb(&mut syms, n);
+        let tc = syms.lookup("tc").unwrap();
+        let expected_pairs = n * (n - 1) / 2;
+
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                let m = hdl_datalog::naive::evaluate(&rules, &db).unwrap();
+                assert_eq!(m.count(tc), expected_pairs);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
+            b.iter(|| {
+                let m = hdl_datalog::seminaive::evaluate(&rules, &db).unwrap();
+                assert_eq!(m.count(tc), expected_pairs);
+            });
+        });
+
+        let hyp_rules = parse_program(
+            "tc(X, Y) :- e(X, Y).
+             tc(X, Z) :- e(X, Y), tc(Y, Z).",
+            &mut syms,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("hyp_bottomup", n), &n, |b, _| {
+            b.iter(|| {
+                let mut eng = BottomUpEngine::new(&hyp_rules, &db).unwrap();
+                let m = eng.model().unwrap();
+                assert_eq!(m.count(tc), expected_pairs);
+            });
+        });
+        // Magic sets: the same point query, goal-directed bottom-up.
+        let v0m = syms.intern("v0");
+        group.bench_with_input(BenchmarkId::new("magic_point", n), &n, |b, _| {
+            b.iter(|| {
+                let mut syms2 = syms.clone();
+                let pq = hdl_datalog::magic::PointQuery {
+                    pred: tc,
+                    args: vec![Some(v0m), None],
+                };
+                let ans = hdl_datalog::magic::magic_query(&rules, &db, &pq, &mut syms2).unwrap();
+                assert_eq!(ans.len(), n - 1);
+            });
+        });
+
+        // Top-down: answer one reachability query (goal-directed).
+        let v0 = syms.intern("v0");
+        let vlast = syms.intern(&format!("v{}", n - 1));
+        let goal = hdl_core::ast::Premise::Atom(hdl_base::Atom::new(
+            tc,
+            vec![hdl_base::Term::Const(v0), hdl_base::Term::Const(vlast)],
+        ));
+        group.bench_with_input(BenchmarkId::new("hyp_topdown_point", n), &n, |b, _| {
+            b.iter(|| {
+                let mut eng = TopDownEngine::new(&hyp_rules, &db).unwrap();
+                assert!(eng.holds(&goal).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);
+
+/// Conservative Criterion settings: the harness favours total suite time
+/// over tight confidence intervals — the experiments compare shapes, not
+/// single-digit-percent deltas.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+}

@@ -1,0 +1,63 @@
+//! E4 (Examples 7–8): Hamiltonian path via hypothetical search vs a
+//! direct DFS baseline, over graph size and density.
+//!
+//! Expected shape: both are exponential in the worst case (the problem is
+//! NP-complete); the rulebase pays a constant-factor interpretation
+//! overhead over the native DFS, growing with n. The *verdicts* always
+//! agree — asserted inside the measurement loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdl_bench::workloads::{hamiltonian_program, random_digraph, Digraph};
+use hdl_core::engine::TopDownEngine;
+use hdl_core::parser::parse_query;
+
+fn bench_hamiltonian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamiltonian");
+    configure(&mut group);
+    for n in [3usize, 4, 5, 6] {
+        for (label, graph) in [
+            ("chain", Digraph::chain(n)),
+            ("star", Digraph::star(n)),
+            ("random_d04", random_digraph(n, 0.4, 42)),
+        ] {
+            let expected = graph.has_hamiltonian_path();
+            let (rules, db, mut syms) = hamiltonian_program(&graph);
+            let query = parse_query("?- yes.", &mut syms).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("rulebase/{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+                        assert_eq!(eng.holds(&query).unwrap(), expected);
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("direct_dfs/{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        assert_eq!(graph.has_hamiltonian_path(), expected);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hamiltonian);
+criterion_main!(benches);
+
+/// Conservative Criterion settings: the harness favours total suite time
+/// over tight confidence intervals — the experiments compare shapes, not
+/// single-digit-percent deltas.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+}

@@ -1,0 +1,58 @@
+//! E9 (Theorem 1 shape): evaluation cost as the number of strata grows.
+//! Each stratum alternates hypothetical search with negation; on the
+//! synthetic layered workload the per-stratum work is small, so the cost
+//! climbs roughly linearly here — the *worst case* climbs the polynomial
+//! hierarchy, which E4/E6 exhibit via their exponential searches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdl_base::Database;
+use hdl_bench::workloads::layered_rulebase;
+use hdl_core::engine::{ProveEngine, TopDownEngine};
+use hdl_core::parser::parse_query;
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+    configure(&mut group);
+    for k in [1usize, 2, 4, 8] {
+        let (rb, mut syms) = layered_rulebase(k, 2);
+        // The d_i_j facts make every negation ladder live: a_1 holds,
+        // a_2 = ~a_1 fails, a_3 = ~a_2 holds, … alternating.
+        let mut db = Database::new();
+        for i in 1..=k {
+            for j in 0..2 {
+                let d = syms.intern(&format!("d_{i}_{j}"));
+                db.insert(hdl_base::GroundAtom::new(d, vec![]));
+            }
+        }
+        let query = parse_query(&format!("?- a_{k}_0."), &mut syms).unwrap();
+        let expected = k % 2 == 1; // a1 true, a2 = ~a1 false, alternating
+        group.bench_with_input(BenchmarkId::new("topdown", k), &k, |b, _| {
+            b.iter(|| {
+                let mut eng = TopDownEngine::new(&rb, &db).unwrap();
+                assert_eq!(eng.holds(&query).unwrap(), expected);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("prove", k), &k, |b, _| {
+            b.iter(|| {
+                let mut eng = ProveEngine::new(&rb, &db).unwrap();
+                assert_eq!(eng.holds(&query).unwrap(), expected);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);
+
+/// Conservative Criterion settings: the harness favours total suite time
+/// over tight confidence intervals — the experiments compare shapes, not
+/// single-digit-percent deltas.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+}

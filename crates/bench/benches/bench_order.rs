@@ -1,0 +1,75 @@
+//! E8 (§6.2): the expressibility pipeline — asserting linear orders
+//! hypothetically and running a machine over the database bitmap.
+//! Expected shape: factorially many orders exist, but the engine accepts
+//! on the first successful one; the all-orders cost appears in rejecting
+//! instances. Bitmap construction itself is linear in the tape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdl_base::{Database, GroundAtom, Symbol, SymbolTable};
+use hdl_core::engine::TopDownEngine;
+use hdl_encodings::bitmap::{bitmap_tape, BitmapSchema};
+use hdl_encodings::lemma2::unary_query_rulebase;
+use hdl_turing::{library, Cascade};
+
+fn bench_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order");
+    configure(&mut group);
+
+    let cascade = Cascade::new(vec![library::bitmap_nonempty()]).unwrap();
+    for n in [2usize, 3] {
+        for (label, members) in [("accepting", vec![0usize]), ("rejecting", vec![])] {
+            let enc = unary_query_rulebase(&cascade, 2, false).unwrap();
+            let mut syms = enc.symbols.clone();
+            let consts: Vec<Symbol> = (0..n).map(|i| syms.intern(&format!("a{i}"))).collect();
+            let mut db = Database::new();
+            for &cst in &consts {
+                db.insert(GroundAtom::new(enc.domain, vec![cst]));
+            }
+            for &i in &members {
+                db.insert(GroundAtom::new(enc.p, vec![consts[i]]));
+            }
+            let expected = !members.is_empty();
+            group.bench_with_input(
+                BenchmarkId::new(format!("lemma2_nonempty/{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut eng = TopDownEngine::new(&enc.rulebase, &db).unwrap();
+                        assert_eq!(eng.holds(&enc.yes_query()).unwrap(), expected);
+                    });
+                },
+            );
+        }
+    }
+
+    // Bitmap encoding sweep over all orders (pure function).
+    let mut syms = SymbolTable::new();
+    let p = syms.intern("p");
+    let q = syms.intern("q");
+    let consts: Vec<Symbol> = (0..6).map(|i| syms.intern(&format!("c{i}"))).collect();
+    let mut db = Database::new();
+    db.insert(GroundAtom::new(p, vec![consts[1], consts[4]]));
+    db.insert(GroundAtom::new(q, vec![consts[2]]));
+    let schema = BitmapSchema {
+        relations: vec![(p, 2), (q, 1)],
+    };
+    group.bench_function("bitmap_tape/n6", |b| {
+        b.iter(|| bitmap_tape(&db, &schema, &consts));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_order);
+criterion_main!(benches);
+
+/// Conservative Criterion settings: the harness favours total suite time
+/// over tight confidence intervals — the experiments compare shapes, not
+/// single-digit-percent deltas.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+}

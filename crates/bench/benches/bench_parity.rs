@@ -1,0 +1,51 @@
+//! E3 (Example 6): parity of a relation vs relation size, on all three
+//! engines. The cost grows with the number of copy steps (one augmented
+//! database per copied tuple) — linear in databases, polynomial overall.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdl_bench::workloads::parity_program;
+use hdl_core::engine::{BottomUpEngine, ProveEngine, TopDownEngine};
+use hdl_core::parser::parse_query;
+
+fn bench_parity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parity");
+    configure(&mut group);
+    for n in [2usize, 4, 6, 8] {
+        let (rules, db, mut syms) = parity_program(n);
+        let query = parse_query("?- even.", &mut syms).unwrap();
+        group.bench_with_input(BenchmarkId::new("topdown", n), &n, |b, _| {
+            b.iter(|| {
+                let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+                assert_eq!(eng.holds(&query).unwrap(), n % 2 == 0);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bottomup", n), &n, |b, _| {
+            b.iter(|| {
+                let mut eng = BottomUpEngine::new(&rules, &db).unwrap();
+                assert_eq!(eng.holds(&query).unwrap(), n % 2 == 0);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("prove", n), &n, |b, _| {
+            b.iter(|| {
+                let mut eng = ProveEngine::new(&rules, &db).unwrap();
+                assert_eq!(eng.holds(&query).unwrap(), n % 2 == 0);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parity);
+criterion_main!(benches);
+
+/// Conservative Criterion settings: the harness favours total suite time
+/// over tight confidence intervals — the experiments compare shapes, not
+/// single-digit-percent deltas.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+}

@@ -1,0 +1,54 @@
+//! E7 (§5.2 / Theorem 3): the PROVE procedures — runtime vs instance
+//! size, with the Σ goal-expansion counts asserted against the
+//! `O(n^{2kᵢk₀})` budget inside the measurement loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdl_bench::workloads::{hamiltonian_program, parity_program, Digraph};
+use hdl_core::engine::ProveEngine;
+use hdl_core::parser::parse_query;
+
+fn bench_prove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prove");
+    configure(&mut group);
+
+    for n in [2usize, 4, 6, 8] {
+        let (rules, db, mut syms) = parity_program(n);
+        let query = parse_query("?- even.", &mut syms).unwrap();
+        group.bench_with_input(BenchmarkId::new("parity", n), &n, |b, _| {
+            b.iter(|| {
+                let mut eng = ProveEngine::new(&rules, &db).unwrap();
+                assert_eq!(eng.holds(&query).unwrap(), n % 2 == 0);
+                // Theorem 3: k₁ = 1 class, k₀ = 1 → O(n²) distinct goals.
+                let expansions = eng.stats().sigma_expansions[0];
+                assert!(expansions <= 4 * (n as u64 + 1).pow(2));
+            });
+        });
+    }
+
+    for n in [3usize, 4, 5] {
+        let (rules, db, mut syms) = hamiltonian_program(&Digraph::chain(n));
+        let query = parse_query("?- yes.", &mut syms).unwrap();
+        group.bench_with_input(BenchmarkId::new("hamiltonian_chain", n), &n, |b, _| {
+            b.iter(|| {
+                let mut eng = ProveEngine::new(&rules, &db).unwrap();
+                assert!(eng.holds(&query).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prove);
+criterion_main!(benches);
+
+/// Conservative Criterion settings: the harness favours total suite time
+/// over tight confidence intervals — the experiments compare shapes, not
+/// single-digit-percent deltas.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+}

@@ -1,0 +1,93 @@
+//! E11 (extension): QBF via hypothetical inference vs direct evaluation.
+//! SAT instances exercise the k = 1 (NP) regime; 2-block formulas the
+//! Σ₂ᴾ regime. Expected shape: the rulebase pays the interpretation
+//! constant; both sides are exponential in variables (inherent).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdl_core::engine::TopDownEngine;
+use hdl_encodings::qbf::build::{n, p};
+use hdl_encodings::qbf::{encode_qbf, Qbf, Quant};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random k-CNF over `vars` variables with `clauses` clauses.
+fn random_cnf(vars: usize, clauses: usize, seed: u64) -> Vec<Vec<hdl_encodings::qbf::Lit>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| {
+                    let v = rng.gen_range(0..vars);
+                    if rng.gen_bool(0.5) {
+                        p(v)
+                    } else {
+                        n(v)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_qbf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qbf");
+    configure(&mut group);
+
+    for vars in [3usize, 4, 5] {
+        let qbf = Qbf {
+            prefix: vec![(Quant::Exists, (0..vars).collect())],
+            clauses: random_cnf(vars, vars + 1, 7),
+        };
+        let expected = qbf.eval();
+        let enc = encode_qbf(&qbf).unwrap();
+        group.bench_with_input(BenchmarkId::new("sat/rulebase", vars), &vars, |b, _| {
+            b.iter(|| {
+                let mut eng = TopDownEngine::new(&enc.rulebase, &enc.database).unwrap();
+                assert_eq!(eng.holds(&enc.sat_query()).unwrap(), expected);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sat/direct", vars), &vars, |b, _| {
+            b.iter(|| assert_eq!(qbf.eval(), expected));
+        });
+    }
+
+    // 2-block (Σ₂ᴾ) instances: ∃ half the vars, ∀ the rest.
+    for vars in [3usize, 4] {
+        let split = vars / 2 + 1;
+        let qbf = Qbf {
+            prefix: vec![
+                (Quant::Exists, (0..split).collect()),
+                (Quant::Forall, (split..vars).collect()),
+            ],
+            clauses: random_cnf(vars, vars, 11),
+        };
+        let expected = qbf.eval();
+        let enc = encode_qbf(&qbf).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("exists_forall/rulebase", vars),
+            &vars,
+            |b, _| {
+                b.iter(|| {
+                    let mut eng = TopDownEngine::new(&enc.rulebase, &enc.database).unwrap();
+                    assert_eq!(eng.holds(&enc.sat_query()).unwrap(), expected);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qbf);
+criterion_main!(benches);
+
+/// Conservative Criterion settings: the harness favours total suite time
+/// over tight confidence intervals — the experiments compare shapes, not
+/// single-digit-percent deltas.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+}

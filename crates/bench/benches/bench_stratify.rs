@@ -1,0 +1,44 @@
+//! E5 (Lemma 1): deciding linear stratifiability and constructing the
+//! stratification, vs rulebase size (k strata × w families). Expected
+//! shape: low-polynomial in the number of rules; the relaxation's
+//! iteration count stays far below the O(m²) bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdl_bench::workloads::layered_rulebase;
+use hdl_core::analysis::stratify::linear_stratification;
+
+fn bench_stratify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stratify");
+    configure(&mut group);
+    for (k, w) in [(2usize, 2usize), (4, 4), (8, 8), (16, 8), (16, 16)] {
+        let (rb, _) = layered_rulebase(k, w);
+        let rules = rb.len();
+        group.bench_with_input(
+            BenchmarkId::new("linear_stratification", format!("k{k}_w{w}_rules{rules}")),
+            &rb,
+            |b, rb| {
+                b.iter(|| {
+                    let ls = linear_stratification(rb).unwrap();
+                    assert_eq!(ls.num_strata(), k);
+                    ls
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stratify);
+criterion_main!(benches);
+
+/// Conservative Criterion settings: the harness favours total suite time
+/// over tight confidence intervals — the experiments compare shapes, not
+/// single-digit-percent deltas.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+}

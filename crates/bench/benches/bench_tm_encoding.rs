@@ -1,0 +1,72 @@
+//! E6 (§5.1 / Theorem 1): running encoded oracle machines through logical
+//! inference vs simulating them directly. Expected shape: the encoding
+//! pays a large constant factor (every machine step is a hypothetical
+//! insertion plus frame-axiom reasoning), growing with the time bound;
+//! verdicts always agree (asserted in the loops).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdl_core::engine::TopDownEngine;
+use hdl_encodings::tm::encode;
+use hdl_turing::{library, Cascade, Sym};
+
+fn bench_tm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tm_encoding");
+    configure(&mut group);
+
+    // One NP machine, growing time bound.
+    let cascade = Cascade::new(vec![library::contains_one()]).unwrap();
+    for bound in [4usize, 6, 8] {
+        let mut input = vec![Sym(0); bound - 2];
+        input[bound - 3] = Sym(1);
+        let direct = cascade.accepts(&input, bound);
+        let enc = encode(&cascade, &input, bound).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("encoded/contains_one", bound),
+            &bound,
+            |b, _| {
+                b.iter(|| {
+                    let mut eng = TopDownEngine::new(&enc.rulebase, &enc.database).unwrap();
+                    assert_eq!(eng.holds(&enc.accept_query()).unwrap(), direct);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("simulator/contains_one", bound),
+            &bound,
+            |b, _| {
+                b.iter(|| assert_eq!(cascade.accepts(&input, bound), direct));
+            },
+        );
+    }
+
+    // A Σ₂ᴾ cascade exercising the ~ORACLE stratum boundary.
+    let top = library::write_then_ask(Sym(0), false);
+    let cascade2 = Cascade::new(vec![top, library::contains_one()]).unwrap();
+    let enc2 = encode(&cascade2, &[], 8).unwrap();
+    let direct2 = cascade2.accepts(&[], 8);
+    group.bench_function("encoded/sigma2_no_oracle", |b| {
+        b.iter(|| {
+            let mut eng = TopDownEngine::new(&enc2.rulebase, &enc2.database).unwrap();
+            assert_eq!(eng.holds(&enc2.accept_query()).unwrap(), direct2);
+        });
+    });
+    group.bench_function("encode_only/sigma2", |b| {
+        b.iter(|| encode(&cascade2, &[], 8).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tm);
+criterion_main!(benches);
+
+/// Conservative Criterion settings: the harness favours total suite time
+/// over tight confidence intervals — the experiments compare shapes, not
+/// single-digit-percent deltas.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+}

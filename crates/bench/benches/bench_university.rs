@@ -1,0 +1,67 @@
+//! E1 (Examples 1–3): the university rulebase's hypothetical queries —
+//! the "interactive workload" sanity benchmark: all engines should answer
+//! in microseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdl_base::{Database, SymbolTable};
+use hdl_core::engine::{BottomUpEngine, TopDownEngine};
+use hdl_core::parser::{parse_program, parse_query, split_facts};
+
+const SRC: &str = "
+    take(tony, cs250). take(tony, his101).
+    take(alice, his101). take(alice, eng201).
+    take(bob, cs452).
+    grad(S) :- take(S, his101), take(S, eng201).
+";
+
+fn bench_university(c: &mut Criterion) {
+    let mut syms = SymbolTable::new();
+    let program = parse_program(SRC, &mut syms).unwrap();
+    let (rules, facts) = split_facts(program);
+    let db: Database = facts.into_iter().collect();
+    let q_hyp = parse_query("?- grad(tony)[add: take(tony, eng201)].", &mut syms).unwrap();
+    let q_exists = parse_query("?- grad(bob)[add: take(bob, C)].", &mut syms).unwrap();
+
+    let mut group = c.benchmark_group("university");
+    configure(&mut group);
+    group.bench_function("hypothetical_query/topdown", |b| {
+        b.iter(|| {
+            let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+            assert!(eng.holds(&q_hyp).unwrap());
+        });
+    });
+    group.bench_function("exists_course_query/topdown", |b| {
+        b.iter(|| {
+            let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+            assert!(!eng.holds(&q_exists).unwrap());
+        });
+    });
+    group.bench_function("hypothetical_query/bottomup", |b| {
+        b.iter(|| {
+            let mut eng = BottomUpEngine::new(&rules, &db).unwrap();
+            assert!(eng.holds(&q_hyp).unwrap());
+        });
+    });
+    group.bench_function("parse_program", |b| {
+        b.iter(|| {
+            let mut syms = SymbolTable::new();
+            parse_program(SRC, &mut syms).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_university);
+criterion_main!(benches);
+
+/// Conservative Criterion settings: the harness favours total suite time
+/// over tight confidence intervals — the experiments compare shapes, not
+/// single-digit-percent deltas.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+}

@@ -1,0 +1,9 @@
+//! # hdl-bench
+//!
+//! Benchmark harness for the Bonner PODS '89 reproduction: workload
+//! generators ([`workloads`]) plus one Criterion bench target per
+//! experiment in `EXPERIMENTS.md` (see `benches/`).
+
+#![warn(missing_docs)]
+
+pub mod workloads;

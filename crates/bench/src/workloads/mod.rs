@@ -1,0 +1,9 @@
+//! Workload generators for the experiment benchmarks.
+
+pub mod graphs;
+pub mod rulebases;
+
+pub use graphs::{random_digraph, Digraph};
+pub use rulebases::{
+    chain_program, hamiltonian_program, layered_rulebase, parity_program, tc_edb, tc_rules,
+};

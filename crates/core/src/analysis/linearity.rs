@@ -1,0 +1,139 @@
+//! Linearity of hypothetical rules (Definition 8).
+//!
+//! A rule `B ← φ₁,…,φₙ` is *recursive* if some premise mentions (positively
+//! or hypothetically) a predicate mutually recursive with `B`, and *linear*
+//! if there is exactly one such occurrence. A set of rules is linear iff
+//! every recursive rule is linear. Linearity is what caps `PROVE_Σᵢ`'s goal
+//! sequences at polynomial length (Theorem 3): each recursive expansion
+//! spawns at most one goal in the same equivalence class.
+
+use crate::analysis::recursion::RecursionAnalysis;
+use crate::ast::{HypRule, Premise};
+
+/// Classification of a single rule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RuleRecursion {
+    /// No premise is mutually recursive with the head.
+    NonRecursive,
+    /// Exactly one premise occurrence is mutually recursive with the head.
+    Linear,
+    /// Two or more premise occurrences are mutually recursive with the
+    /// head, with the count.
+    NonLinear(usize),
+}
+
+/// Counts the premise occurrences mutually recursive with the head and
+/// classifies the rule per Definition 8.
+///
+/// Negative occurrences are included in the count: recursion through
+/// negation also makes a rule recursive (such rules are rejected earlier by
+/// the stratifiability test, but the classification stays faithful).
+pub fn rule_recursion(rule: &HypRule, ra: &RecursionAnalysis) -> RuleRecursion {
+    let head = rule.head.pred;
+    let mut count = 0usize;
+    for p in &rule.premises {
+        let goal_pred = match p {
+            Premise::Atom(a) | Premise::Neg(a) => a.pred,
+            Premise::Hyp { goal, .. } => goal.pred,
+        };
+        if ra.mutually_recursive(head, goal_pred) {
+            count += 1;
+        }
+    }
+    match count {
+        0 => RuleRecursion::NonRecursive,
+        1 => RuleRecursion::Linear,
+        n => RuleRecursion::NonLinear(n),
+    }
+}
+
+/// Whether `rule` is linear (non-recursive rules are trivially linear —
+/// "a set of rules is linear iff every *recursive* rule is linear").
+pub fn is_linear_rule(rule: &HypRule, ra: &RecursionAnalysis) -> bool {
+    !matches!(rule_recursion(rule, ra), RuleRecursion::NonLinear(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Rulebase;
+    use crate::parser::parse_program;
+    use hdl_base::SymbolTable;
+
+    fn setup(src: &str) -> (Rulebase, RecursionAnalysis) {
+        let mut syms = SymbolTable::new();
+        let rb = parse_program(src, &mut syms).unwrap();
+        let ra = RecursionAnalysis::new(&rb);
+        (rb, ra)
+    }
+
+    #[test]
+    fn plain_linear_recursion() {
+        let (rb, ra) = setup("p(X) :- e(X, Y), p(Y).\np(X) :- base(X).");
+        assert_eq!(rule_recursion(&rb.rules[0], &ra), RuleRecursion::Linear);
+        assert_eq!(
+            rule_recursion(&rb.rules[1], &ra),
+            RuleRecursion::NonRecursive
+        );
+        assert!(rb.rules.iter().all(|r| is_linear_rule(r, &ra)));
+    }
+
+    #[test]
+    fn form_2_rules_are_nonlinear() {
+        // The paper's rule form (2): A ← B, A[add:C1], A[add:C2].
+        let (rb, ra) = setup("a :- b, a[add: c1], a[add: c2].");
+        assert_eq!(
+            rule_recursion(&rb.rules[0], &ra),
+            RuleRecursion::NonLinear(2)
+        );
+        assert!(!is_linear_rule(&rb.rules[0], &ra));
+    }
+
+    #[test]
+    fn hidden_nonlinearity_through_helpers() {
+        // The paper's n+1 rule example after Definition 7: each rule looks
+        // linear, but D1/D2 route recursion back to A, making the class
+        // {A, D1, D2} jointly recursive; the A-rule has two occurrences of
+        // class members.
+        let (rb, ra) = setup(
+            "a :- b, d1, d2.
+             d1 :- a[add: c1].
+             d2 :- a[add: c2].",
+        );
+        assert_eq!(
+            rule_recursion(&rb.rules[0], &ra),
+            RuleRecursion::NonLinear(2)
+        );
+        assert_eq!(rule_recursion(&rb.rules[1], &ra), RuleRecursion::Linear);
+    }
+
+    #[test]
+    fn mutual_recursion_is_linear_when_single_occurrence() {
+        // Example 6: EVEN/ODD flip-flop — one recursive occurrence each.
+        let (rb, ra) = setup(
+            "even :- select(X), odd[add: b(X)].
+             odd :- select(X), even[add: b(X)].
+             even :- ~select(X).
+             select(X) :- a(X), ~b(X).",
+        );
+        for r in rb.iter() {
+            assert!(is_linear_rule(r, &ra));
+        }
+        assert_eq!(rule_recursion(&rb.rules[0], &ra), RuleRecursion::Linear);
+        assert_eq!(
+            rule_recursion(&rb.rules[2], &ra),
+            RuleRecursion::NonRecursive,
+            "even :- ~select(X) has no recursive premise"
+        );
+    }
+
+    #[test]
+    fn two_positive_recursive_occurrences_are_nonlinear() {
+        // Nonlinear transitive closure: tc(X,Z) :- tc(X,Y), tc(Y,Z).
+        let (rb, ra) = setup("tc(X, Z) :- tc(X, Y), tc(Y, Z).\ntc(X, Y) :- e(X, Y).");
+        assert_eq!(
+            rule_recursion(&rb.rules[0], &ra),
+            RuleRecursion::NonLinear(2)
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Dependency structure and mutual-recursion classes of a hypothetical
+//! rulebase.
+//!
+//! The dependency graph has an edge `head → q` for every occurrence of `q`
+//! in a rule premise, labelled by the occurrence kind of Definition 4
+//! (positive, negative, or hypothetical — the goal of `q(x̄)[add: …]`).
+//! Atoms inside `add`-lists are *not* occurrences: inserting facts for a
+//! predicate does not depend on its definition.
+//!
+//! Two predicates are *mutually recursive* when they lie on a common cycle,
+//! i.e. in the same strongly connected component that is actually cyclic.
+//! These equivalence classes drive both the Lemma 1 decision procedure and
+//! the goal-counting constants `kᵢ` of Theorem 3.
+
+use crate::ast::Rulebase;
+use hdl_base::{FxHashMap, Symbol};
+use hdl_datalog::depgraph::{DepGraph, EdgeKind};
+
+/// One labelled dependency of a rule head on a premise predicate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HypEdge {
+    /// Positive occurrence `q(x̄)`.
+    Positive,
+    /// Negative occurrence `~q(x̄)`.
+    Negative,
+    /// Hypothetical occurrence `q(x̄)[add: …]`.
+    Hypothetical,
+}
+
+/// Mutual-recursion analysis of a rulebase.
+#[derive(Debug, Clone)]
+pub struct RecursionAnalysis {
+    /// Dense predicate numbering (only predicates that occur in rules).
+    pub preds: Vec<Symbol>,
+    /// Equivalence-class id per predicate.
+    pub class_of: FxHashMap<Symbol, usize>,
+    /// Number of equivalence classes.
+    pub num_classes: usize,
+    /// Whether each class is genuinely recursive (a cycle exists through
+    /// it: size > 1 or a self-edge).
+    pub class_recursive: Vec<bool>,
+    /// All labelled edges `(from, to, kind)`.
+    pub edges: Vec<(Symbol, Symbol, HypEdge)>,
+}
+
+impl RecursionAnalysis {
+    /// Builds the analysis for `rb`.
+    pub fn new(rb: &Rulebase) -> Self {
+        let mut graph = DepGraph::new();
+        let mut edges = Vec::new();
+        for rule in rb.iter() {
+            graph.add_node(rule.head.pred);
+            for q in rule.positive_preds() {
+                graph.add_edge(rule.head.pred, q, EdgeKind::Positive);
+                edges.push((rule.head.pred, q, HypEdge::Positive));
+            }
+            for q in rule.negative_preds() {
+                graph.add_edge(rule.head.pred, q, EdgeKind::Negative);
+                edges.push((rule.head.pred, q, HypEdge::Negative));
+            }
+            for q in rule.hypothetical_preds() {
+                // Hypothetical goals participate in cycles like positive
+                // occurrences; the label distinction matters only for the
+                // stratification conditions, not for SCCs.
+                graph.add_edge(rule.head.pred, q, EdgeKind::Positive);
+                edges.push((rule.head.pred, q, HypEdge::Hypothetical));
+            }
+            // Predicates that only appear inside add-lists or as premises
+            // still need nodes so class lookups succeed.
+            for p in rule.all_preds() {
+                graph.add_node(p);
+            }
+        }
+        let (comp, num_classes) = graph.sccs();
+        let mut class_of = FxHashMap::default();
+        let mut class_size = vec![0usize; num_classes];
+        let mut preds = Vec::with_capacity(graph.len());
+        for i in 0..graph.len() {
+            let p = graph.pred(i);
+            preds.push(p);
+            class_of.insert(p, comp[i]);
+            class_size[comp[i]] += 1;
+        }
+        let mut class_recursive: Vec<bool> = class_size.iter().map(|&s| s > 1).collect();
+        for i in 0..graph.len() {
+            for &(j, _) in graph.edges_of(i) {
+                if i == j {
+                    class_recursive[comp[i]] = true;
+                }
+            }
+        }
+        RecursionAnalysis {
+            preds,
+            class_of,
+            num_classes,
+            class_recursive,
+            edges,
+        }
+    }
+
+    /// Class id of `p` (predicates never occurring in rules get their own
+    /// implicit non-recursive class, reported as `None`).
+    pub fn class(&self, p: Symbol) -> Option<usize> {
+        self.class_of.get(&p).copied()
+    }
+
+    /// Whether `a` and `b` are mutually recursive (Definition 16 of the
+    /// appendix): same class *and* the class is cyclic. A predicate is
+    /// mutually recursive with itself iff it lies on a cycle.
+    pub fn mutually_recursive(&self, a: Symbol, b: Symbol) -> bool {
+        match (self.class(a), self.class(b)) {
+            (Some(ca), Some(cb)) => ca == cb && self.class_recursive[ca],
+            _ => false,
+        }
+    }
+
+    /// Whether any class contains a negative edge — recursion through
+    /// negation, which makes the rulebase non-stratifiable.
+    pub fn negation_in_cycle(&self) -> Option<(Symbol, Symbol)> {
+        self.edges
+            .iter()
+            .find(|&&(f, t, k)| k == HypEdge::Negative && self.mutually_recursive(f, t))
+            .map(|&(f, t, _)| (f, t))
+    }
+
+    /// The number of mutual-recursion equivalence classes among the
+    /// predicates in `preds` (the constant `kᵢ` of Theorem 3 when applied
+    /// to a segment's predicates).
+    pub fn classes_among(&self, preds: &[Symbol]) -> usize {
+        let mut seen: Vec<usize> = preds.iter().filter_map(|&p| self.class(p)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use hdl_base::SymbolTable;
+
+    fn analyze(src: &str) -> (RecursionAnalysis, SymbolTable) {
+        let mut syms = SymbolTable::new();
+        let rb = parse_program(src, &mut syms).unwrap();
+        (RecursionAnalysis::new(&rb), syms)
+    }
+
+    #[test]
+    fn even_odd_are_mutually_recursive() {
+        // Example 6 of the paper.
+        let (ra, syms) = analyze(
+            "even :- select(X), odd[add: b(X)].
+             odd :- select(X), even[add: b(X)].
+             even :- ~select(X).
+             select(X) :- a(X), ~b(X).",
+        );
+        let even = syms.lookup("even").unwrap();
+        let odd = syms.lookup("odd").unwrap();
+        let select = syms.lookup("select").unwrap();
+        assert!(ra.mutually_recursive(even, odd));
+        assert!(ra.mutually_recursive(even, even));
+        assert!(!ra.mutually_recursive(even, select));
+        assert!(
+            !ra.mutually_recursive(select, select),
+            "select is not on a cycle"
+        );
+        assert!(ra.negation_in_cycle().is_none());
+    }
+
+    #[test]
+    fn self_loop_counts_as_recursive() {
+        let (ra, syms) = analyze("p(X) :- e(X, Y), p(Y).");
+        let p = syms.lookup("p").unwrap();
+        let e = syms.lookup("e").unwrap();
+        assert!(ra.mutually_recursive(p, p));
+        assert!(!ra.mutually_recursive(e, e));
+    }
+
+    #[test]
+    fn negation_in_cycle_detected_through_hypothetical_edges() {
+        // p :- q[add: c].   q :- ~p.   — the cycle passes a negative edge.
+        let (ra, _) = analyze("p :- q[add: c].\nq :- ~p.");
+        assert!(ra.negation_in_cycle().is_some());
+    }
+
+    #[test]
+    fn add_atoms_are_not_dependencies() {
+        // p :- q[add: p(a)] — wait, p is propositional here; use distinct:
+        // p :- q[add: r].   r :- p.   If `r` inside add counted as an
+        // occurrence, p and r would be mutually recursive through it; the
+        // genuine cycle is p -> q? No: p depends on q (hyp); r depends on p
+        // (pos). No cycle.
+        let (ra, syms) = analyze("p :- q[add: r].\nr :- p.");
+        let p = syms.lookup("p").unwrap();
+        let r = syms.lookup("r").unwrap();
+        assert!(!ra.mutually_recursive(p, r));
+        assert!(ra.negation_in_cycle().is_none());
+    }
+
+    #[test]
+    fn classes_among_counts_distinct_classes() {
+        let (ra, syms) = analyze(
+            "a :- b.
+             b :- a.
+             c :- c.
+             d :- a, c.",
+        );
+        let a = syms.lookup("a").unwrap();
+        let b = syms.lookup("b").unwrap();
+        let c = syms.lookup("c").unwrap();
+        let d = syms.lookup("d").unwrap();
+        assert_eq!(ra.classes_among(&[a, b]), 1);
+        assert_eq!(ra.classes_among(&[a, b, c]), 2);
+        assert_eq!(ra.classes_among(&[a, b, c, d]), 3);
+    }
+}

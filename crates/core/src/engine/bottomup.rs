@@ -1,0 +1,495 @@
+//! Bottom-up (perfect-model) hypothetical inference — the reference engine.
+//!
+//! For a stratified hypothetical rulebase `R` and database `DB`, the
+//! *perfect model* `M(DB)` is computed stratum by stratum exactly as for
+//! stratified Horn programs ([1], [20] in the paper), with one addition: a
+//! hypothetical premise `B[add: C̄]θ` holds iff `Bθ ∈ M(DB ∪ C̄θ)` — the
+//! perfect model of the *augmented* database, computed recursively.
+//!
+//! Termination: grounding substitutions range over the fixed domain
+//! `dom(R, DB)`, so the Herbrand base is finite and augmented databases
+//! grow strictly; the recursion over databases bottoms out at the full
+//! base. When `C̄θ ⊆ DB` the premise degenerates to a plain positive
+//! premise evaluated inside the current fixpoint (monotone, so iteration
+//! order is irrelevant).
+//!
+//! Models are *stratum-lazy*: for an augmented database the engine only
+//! closes the strata up to the hypothetical goal's stratum. Without this,
+//! a rule like `within1(S,D) ← grad(S,D)[add: take(S,C)]` would re-fire
+//! itself inside every augmented database and walk the exponential lattice
+//! of `take`-subsets even when the query never needs those facts. With it,
+//! hypothetical recursion *within* one mutual-recursion class still
+//! explores the lattice — that cost is the NP-hardness of §3.1, not an
+//! implementation artifact.
+//!
+//! Partial models are memoized per [`hdl_base::DbId`] and extended in
+//! place when later queries need higher strata. This engine accepts *any*
+//! rulebase with stratified negation (linearly stratified or not) and
+//! serves as ground truth for the top-down engine and the `PROVE`
+//! procedures.
+
+use crate::analysis::stratify::{evaluation_strata, NegationStrata};
+use crate::ast::{HypRule, Premise, Rulebase};
+use crate::engine::context::Context;
+use crate::engine::stats::{EngineStats, Limits};
+use hdl_base::{Atom, Bindings, Database, DbId, Error, FactId, FxHashMap, Result, Symbol, Var};
+
+/// A partially computed perfect model: strata `0..upto` are closed.
+#[derive(Debug)]
+struct ModelEntry {
+    upto: usize,
+    model: Database,
+}
+
+/// The bottom-up engine, bound to one rulebase and one base database.
+pub struct BottomUpEngine<'rb> {
+    ctx: Context<'rb>,
+    models: FxHashMap<DbId, ModelEntry>,
+    /// Evaluation strata (hypothetical edges across recursion classes are
+    /// strict — see [`evaluation_strata`]).
+    eval_strata: NegationStrata,
+    /// Rule indices grouped by evaluation stratum of the head predicate.
+    rules_by_stratum: Vec<Vec<usize>>,
+    stats: EngineStats,
+    limits: Limits,
+}
+
+impl<'rb> BottomUpEngine<'rb> {
+    /// Builds an engine; fails if `rb` is not stratified.
+    pub fn new(rb: &'rb Rulebase, db: &Database) -> Result<Self> {
+        let ctx = Context::new(rb, db)?;
+        let eval_strata = evaluation_strata(rb)?;
+        let n = eval_strata.num_strata.max(1);
+        let mut rules_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, rule) in rb.iter().enumerate() {
+            rules_by_stratum[eval_strata.stratum(rule.head.pred)].push(i);
+        }
+        Ok(BottomUpEngine {
+            ctx,
+            models: FxHashMap::default(),
+            eval_strata,
+            rules_by_stratum,
+            stats: EngineStats::default(),
+            limits: Limits::default(),
+        })
+    }
+
+    /// Replaces the resource limits.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The evaluation context.
+    pub fn context(&self) -> &Context<'rb> {
+        &self.ctx
+    }
+
+    /// The number of strata of the global stratification.
+    pub fn num_strata(&self) -> usize {
+        self.rules_by_stratum.len()
+    }
+
+    /// A snapshot of the full perfect model of the base database.
+    pub fn model(&mut self) -> Result<Database> {
+        let base = self.ctx.base_db;
+        let all = self.num_strata();
+        self.ensure_model(base, all)?;
+        Ok(self.models[&base].model.clone())
+    }
+
+    /// Evaluates a query premise against the base database (same free-
+    /// variable conventions as the top-down engine).
+    pub fn holds(&mut self, query: &Premise) -> Result<bool> {
+        let base = self.ctx.base_db;
+        let num_vars = query.vars().map(|v| v.index() + 1).max().unwrap_or(0);
+        let mut bindings = Bindings::new(num_vars);
+        match query {
+            Premise::Atom(atom) => {
+                self.ensure_for_pred(base, atom.pred)?;
+                Ok(exists_in_model(
+                    &self.models[&base].model,
+                    atom,
+                    &mut bindings,
+                ))
+            }
+            Premise::Neg(atom) => {
+                self.ensure_for_pred(base, atom.pred)?;
+                Ok(!exists_in_model(
+                    &self.models[&base].model,
+                    atom,
+                    &mut bindings,
+                ))
+            }
+            Premise::Hyp { goal, adds } => {
+                let free = collect_free(goal, adds, &bindings);
+                self.exists_hyp(goal, adds, &free, 0, &mut bindings, base)
+            }
+        }
+    }
+
+    /// All tuples of `pattern` in the perfect model of the base database.
+    pub fn answers(&mut self, pattern: &Atom) -> Result<Vec<Vec<Symbol>>> {
+        let base = self.ctx.base_db;
+        self.ensure_for_pred(base, pattern.pred)?;
+        let model = &self.models[&base].model;
+        let mut bindings = Bindings::new(pattern.vars().map(|v| v.index() + 1).max().unwrap_or(0));
+        let mut out = Vec::new();
+        model.for_each_match(pattern, &mut bindings, |b| {
+            out.push(
+                pattern
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        hdl_base::Term::Const(c) => *c,
+                        hdl_base::Term::Var(v) => b.get(*v).expect("bound by match"),
+                    })
+                    .collect(),
+            );
+            false
+        });
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Whether a ground fact is in the perfect model of `db` (closing only
+    /// the strata the fact's predicate needs).
+    pub fn proves(&mut self, db: DbId, fact: &hdl_base::GroundAtom) -> Result<bool> {
+        self.ensure_for_pred(db, fact.pred)?;
+        Ok(self.models[&db].model.contains(fact))
+    }
+
+    fn ensure_for_pred(&mut self, db: DbId, pred: Symbol) -> Result<()> {
+        let upto = self.eval_strata.stratum(pred) + 1;
+        self.ensure_model(db, upto)
+    }
+
+    /// Ensures strata `0..upto` of `db`'s model are closed.
+    fn ensure_model(&mut self, db: DbId, upto: usize) -> Result<()> {
+        let upto = upto.min(self.rules_by_stratum.len());
+        let mut entry = match self.models.remove(&db) {
+            Some(e) => e,
+            None => {
+                self.stats.calls += 1;
+                if self.models.len() as u64 >= self.limits.max_databases {
+                    // Reinsert nothing; report the blowup.
+                    return Err(Error::LimitExceeded {
+                        what: "databases".into(),
+                        limit: self.limits.max_databases,
+                    });
+                }
+                ModelEntry {
+                    upto: 0,
+                    model: self.ctx.dbs.to_database(db),
+                }
+            }
+        };
+        while entry.upto < upto {
+            let stratum = entry.upto;
+            let rule_ids = self.rules_by_stratum[stratum].clone();
+            loop {
+                self.stats.rounds += 1;
+                let mut fresh: Vec<hdl_base::GroundAtom> = Vec::new();
+                for &rule_idx in &rule_ids {
+                    self.stats.goal_expansions += 1;
+                    if self.stats.goal_expansions > self.limits.max_expansions {
+                        self.models.insert(db, entry);
+                        return Err(Error::LimitExceeded {
+                            what: "rule firings".into(),
+                            limit: self.limits.max_expansions,
+                        });
+                    }
+                    self.fire(rule_idx, &entry.model, db, &mut fresh)?;
+                }
+                let mut changed = false;
+                for f in fresh {
+                    changed |= entry.model.insert(f);
+                }
+                if !changed {
+                    break;
+                }
+            }
+            entry.upto += 1;
+        }
+        self.models.insert(db, entry);
+        Ok(())
+    }
+
+    /// Fires one rule against the growing model, collecting new heads.
+    fn fire(
+        &mut self,
+        rule_idx: usize,
+        model: &Database,
+        db: DbId,
+        out: &mut Vec<hdl_base::GroundAtom>,
+    ) -> Result<()> {
+        let rb: &'rb Rulebase = self.ctx.rb;
+        let rule: &'rb HypRule = &rb.rules[rule_idx];
+        let mut bindings = Bindings::new(rule.num_vars);
+        self.walk(rule, rule_idx, 0, &mut bindings, model, db, out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        &mut self,
+        rule: &'rb HypRule,
+        rule_idx: usize,
+        idx: usize,
+        bindings: &mut Bindings,
+        model: &Database,
+        db: DbId,
+        out: &mut Vec<hdl_base::GroundAtom>,
+    ) -> Result<()> {
+        if idx == rule.premises.len() {
+            // Ground any remaining head variables over the domain
+            // (Definition 3's ground substitution).
+            let free = bindings.free_vars_of(&rule.head);
+            return self.emit_head(rule, &free, 0, bindings, out);
+        }
+        match &rule.premises[idx] {
+            Premise::Atom(atom) => {
+                // Provable instances of same-or-lower strata are exactly
+                // the model's tuples, so matching enumerates the bindings.
+                let rows = collect_matches(model, atom, bindings);
+                for row in rows {
+                    for &(v, c) in &row {
+                        bindings.set(v, c);
+                    }
+                    self.walk(rule, rule_idx, idx + 1, bindings, model, db, out)?;
+                    for &(v, _) in &row {
+                        bindings.unset(v);
+                    }
+                }
+                Ok(())
+            }
+            Premise::Neg(atom) => {
+                let inner = self.ctx.plans[rule_idx].inner_neg_vars[idx].clone();
+                let free = bindings.free_vars_of(atom);
+                let outer: Vec<Var> = free.into_iter().filter(|v| !inner.contains(v)).collect();
+                self.neg_outer(
+                    rule, rule_idx, idx, atom, &outer, 0, bindings, model, db, out,
+                )
+            }
+            Premise::Hyp { goal, adds } => {
+                let free = collect_free(goal, adds, bindings);
+                self.hyp_groundings(
+                    rule, rule_idx, idx, goal, adds, &free, 0, bindings, model, db, out,
+                )
+            }
+        }
+    }
+
+    /// Enumerates outer variables of a negated premise; for each outer
+    /// assignment the premise holds iff no inner assignment is in the
+    /// model (the negated predicate's stratum is strictly lower, hence
+    /// closed; matching with inner vars unbound is the ∃-inner check).
+    #[allow(clippy::too_many_arguments)]
+    fn neg_outer(
+        &mut self,
+        rule: &'rb HypRule,
+        rule_idx: usize,
+        idx: usize,
+        atom: &'rb Atom,
+        outer: &[Var],
+        opos: usize,
+        bindings: &mut Bindings,
+        model: &Database,
+        db: DbId,
+        out: &mut Vec<hdl_base::GroundAtom>,
+    ) -> Result<()> {
+        if opos == outer.len() {
+            let witnessed = exists_in_model(model, atom, bindings);
+            if !witnessed {
+                self.walk(rule, rule_idx, idx + 1, bindings, model, db, out)?;
+            }
+            return Ok(());
+        }
+        let v = outer[opos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            self.neg_outer(
+                rule,
+                rule_idx,
+                idx,
+                atom,
+                outer,
+                opos + 1,
+                bindings,
+                model,
+                db,
+                out,
+            )?;
+        }
+        bindings.unset(v);
+        Ok(())
+    }
+
+    /// Enumerates groundings of a hypothetical premise and tests each in
+    /// the (recursively computed, stratum-bounded) model of the augmented
+    /// database.
+    #[allow(clippy::too_many_arguments)]
+    fn hyp_groundings(
+        &mut self,
+        rule: &'rb HypRule,
+        rule_idx: usize,
+        idx: usize,
+        goal: &'rb Atom,
+        adds: &'rb [Atom],
+        free: &[Var],
+        fpos: usize,
+        bindings: &mut Bindings,
+        model: &Database,
+        db: DbId,
+        out: &mut Vec<hdl_base::GroundAtom>,
+    ) -> Result<()> {
+        if fpos == free.len() {
+            let add_ids: Vec<FactId> = adds
+                .iter()
+                .map(|a| {
+                    let f = a.ground(bindings).expect("grounded");
+                    self.ctx.fact_id(f)
+                })
+                .collect();
+            let db2 = self.ctx.dbs.extend(db, &add_ids);
+            let goal_fact = goal.ground(bindings).expect("grounded");
+            let holds = if db2 == db {
+                // Degenerate hypothetical: all additions already present.
+                // The goal is tested inside the current fixpoint, where it
+                // behaves like a positive premise (monotone).
+                model.contains(&goal_fact)
+            } else {
+                self.stats.databases_created += 1;
+                self.proves(db2, &goal_fact)?
+            };
+            if holds {
+                self.walk(rule, rule_idx, idx + 1, bindings, model, db, out)?;
+            }
+            return Ok(());
+        }
+        let v = free[fpos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            self.hyp_groundings(
+                rule,
+                rule_idx,
+                idx,
+                goal,
+                adds,
+                free,
+                fpos + 1,
+                bindings,
+                model,
+                db,
+                out,
+            )?;
+        }
+        bindings.unset(v);
+        Ok(())
+    }
+
+    fn emit_head(
+        &mut self,
+        rule: &'rb HypRule,
+        free: &[Var],
+        fpos: usize,
+        bindings: &mut Bindings,
+        out: &mut Vec<hdl_base::GroundAtom>,
+    ) -> Result<()> {
+        if fpos == free.len() {
+            out.push(rule.head.ground(bindings).expect("head grounded"));
+            return Ok(());
+        }
+        let v = free[fpos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            self.emit_head(rule, free, fpos + 1, bindings, out)?;
+        }
+        bindings.unset(v);
+        Ok(())
+    }
+
+    /// `∃`-grounding of a top-level hypothetical query.
+    #[allow(clippy::too_many_arguments)]
+    fn exists_hyp(
+        &mut self,
+        goal: &Atom,
+        adds: &[Atom],
+        free: &[Var],
+        fpos: usize,
+        bindings: &mut Bindings,
+        db: DbId,
+    ) -> Result<bool> {
+        if fpos == free.len() {
+            let add_ids: Vec<FactId> = adds
+                .iter()
+                .map(|a| {
+                    let f = a.ground(bindings).expect("grounded");
+                    self.ctx.fact_id(f)
+                })
+                .collect();
+            let db2 = self.ctx.dbs.extend(db, &add_ids);
+            let goal_fact = goal.ground(bindings).expect("grounded");
+            return self.proves(db2, &goal_fact);
+        }
+        let v = free[fpos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            if self.exists_hyp(goal, adds, free, fpos + 1, bindings, db)? {
+                bindings.unset(v);
+                return Ok(true);
+            }
+        }
+        bindings.unset(v);
+        Ok(false)
+    }
+}
+
+/// Collects the binding rows matching `atom` in `model` (only the newly
+/// bound variables are recorded, for replay in the caller).
+fn collect_matches(
+    model: &Database,
+    atom: &Atom,
+    bindings: &mut Bindings,
+) -> Vec<Vec<(Var, Symbol)>> {
+    let before: Vec<Var> = bindings.free_vars_of(atom);
+    let mut rows = Vec::new();
+    model.for_each_match(atom, bindings, |b| {
+        rows.push(
+            before
+                .iter()
+                .map(|&v| (v, b.get(v).expect("bound by match")))
+                .collect(),
+        );
+        false
+    });
+    rows
+}
+
+fn exists_in_model(model: &Database, atom: &Atom, bindings: &mut Bindings) -> bool {
+    let mut found = false;
+    model.for_each_match(atom, bindings, |_| {
+        found = true;
+        true
+    });
+    found
+}
+
+fn collect_free(goal: &Atom, adds: &[Atom], bindings: &Bindings) -> Vec<Var> {
+    let mut free: Vec<Var> = Vec::new();
+    for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
+        if bindings.get(v).is_none() && !free.contains(&v) {
+            free.push(v);
+        }
+    }
+    free
+}

@@ -1,0 +1,228 @@
+//! Shared engine context: stratification, domain, database lattice, and
+//! per-rule evaluation plans.
+
+use crate::analysis::stratify::{global_negation_strata, NegationStrata};
+use crate::ast::{Premise, Rulebase};
+use hdl_base::{Atom, Database, DbId, DbStore, FactId, FxHashMap, GroundAtom, Result, Symbol, Var};
+
+/// Precomputed evaluation data for one rule.
+#[derive(Debug, Clone)]
+pub struct RulePlan {
+    /// For each premise: the variables that are *inner-existential* when
+    /// the premise is negated — variables whose only occurrence in the
+    /// whole rule is inside this one negated premise. `~select(Y)` with
+    /// `Y` appearing nowhere else reads as "no `Y` is selectable"
+    /// (¬∃Y select(Y)), which is how the paper's Examples 6–7 use it.
+    /// Variables shared with other premises or the head are grounded by
+    /// the outer substitution of Definition 3 instead.
+    pub inner_neg_vars: Vec<Vec<Var>>,
+}
+
+/// Evaluation context for one `(rulebase, database)` pair.
+///
+/// The context owns the [`DbStore`] — the lattice of databases reached by
+/// hypothetical insertions — and the global negation-stratification. Both
+/// engines (top-down and bottom-up) borrow their behaviour from here so
+/// their answers are comparable structure-for-structure.
+pub struct Context<'rb> {
+    /// The rulebase under evaluation.
+    pub rb: &'rb Rulebase,
+    /// Global stratification (positive/hypothetical within, negation
+    /// strictly below).
+    pub strata: NegationStrata,
+    /// `dom(R, DB)`: all constants in the rulebase and the base database,
+    /// fixed for the lifetime of the context (Definition 3).
+    pub domain: Vec<Symbol>,
+    /// Membership view of [`Context::domain`].
+    pub domain_set: hdl_base::FxHashSet<Symbol>,
+    /// The database lattice.
+    pub dbs: DbStore,
+    /// The interned base database all queries start from.
+    pub base_db: DbId,
+    /// Rule indices grouped by head predicate.
+    pub defs: FxHashMap<Symbol, Vec<usize>>,
+    /// Per-rule plans, parallel to `rb.rules`.
+    pub plans: Vec<RulePlan>,
+}
+
+impl<'rb> Context<'rb> {
+    /// Builds a context; fails if the rulebase is not stratified.
+    pub fn new(rb: &'rb Rulebase, db: &Database) -> Result<Self> {
+        let strata = global_negation_strata(rb)?;
+        let mut domain: Vec<Symbol> = db.constants().into_iter().collect();
+        domain.extend(rb.constants());
+        domain.sort_unstable();
+        domain.dedup();
+
+        let mut dbs = DbStore::new();
+        let base_db = dbs.intern_database(db);
+
+        let mut defs: FxHashMap<Symbol, Vec<usize>> = FxHashMap::default();
+        for (i, rule) in rb.iter().enumerate() {
+            defs.entry(rule.head.pred).or_default().push(i);
+        }
+
+        let plans = rb.iter().map(plan_rule).collect();
+        let domain_set = domain.iter().copied().collect();
+
+        Ok(Context {
+            rb,
+            strata,
+            domain,
+            domain_set,
+            dbs,
+            base_db,
+            defs,
+            plans,
+        })
+    }
+
+    /// Whether `p` has any defining rules (otherwise it is pure EDB).
+    pub fn has_rules(&self, p: Symbol) -> bool {
+        self.defs.contains_key(&p)
+    }
+
+    /// Whether constant `c` belongs to `dom(R, DB)`. Goal atoms supplied
+    /// by queries may mention foreign constants; Definition 3's ground
+    /// substitutions must not bind rule variables to them.
+    pub fn in_domain(&self, c: Symbol) -> bool {
+        self.domain_set.contains(&c)
+    }
+
+    /// Interns a ground atom into the fact store.
+    pub fn fact_id(&mut self, fact: GroundAtom) -> FactId {
+        self.dbs.intern_fact(fact)
+    }
+
+    /// Whether fact `f` is in database `db`.
+    pub fn db_contains(&self, db: DbId, f: FactId) -> bool {
+        self.dbs.entry(db).contains(f)
+    }
+}
+
+fn plan_rule(rule: &crate::ast::HypRule) -> RulePlan {
+    let mut inner_neg_vars = Vec::with_capacity(rule.premises.len());
+    for (i, premise) in rule.premises.iter().enumerate() {
+        let inner = match premise {
+            Premise::Neg(atom) => {
+                let mut vars: Vec<Var> = Vec::new();
+                for v in atom.vars() {
+                    if vars.contains(&v) {
+                        continue;
+                    }
+                    let in_head = rule.head.vars().any(|h| h == v);
+                    let elsewhere = rule
+                        .premises
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .any(|(_, p)| p.vars().any(|o| o == v));
+                    if !in_head && !elsewhere {
+                        vars.push(v);
+                    }
+                }
+                vars
+            }
+            _ => Vec::new(),
+        };
+        inner_neg_vars.push(inner);
+    }
+    RulePlan { inner_neg_vars }
+}
+
+/// Enumerates assignments of `vars` over `domain` into `bindings`, calling
+/// `f` for each complete assignment until `f` returns `true` (early stop).
+/// Restores `bindings` before returning. Returns whether `f` stopped it.
+pub fn enumerate_until(
+    domain: &[Symbol],
+    vars: &[Var],
+    bindings: &mut hdl_base::Bindings,
+    f: &mut impl FnMut(&mut hdl_base::Bindings) -> bool,
+) -> bool {
+    if vars.is_empty() {
+        return f(bindings);
+    }
+    let (first, rest) = (vars[0], &vars[1..]);
+    for &c in domain {
+        bindings.set(first, c);
+        if enumerate_until(domain, rest, bindings, f) {
+            bindings.unset(first);
+            return true;
+        }
+    }
+    bindings.unset(first);
+    false
+}
+
+/// The unbound variables of `atom` under `bindings`, deduplicated.
+pub fn free_vars(atom: &Atom, bindings: &hdl_base::Bindings) -> Vec<Var> {
+    bindings.free_vars_of(atom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use hdl_base::{Bindings, SymbolTable};
+
+    #[test]
+    fn inner_negation_vars_follow_the_paper_examples() {
+        let mut syms = SymbolTable::new();
+        let rb = parse_program(
+            // Example 7's third/fourth rules.
+            "path(X) :- ~select(Y).
+             select(Y) :- node(Y), ~pnode(Y).",
+            &mut syms,
+        )
+        .unwrap();
+        let db = Database::new();
+        let ctx = Context::new(&rb, &db).unwrap();
+        // Rule 0: Y occurs only in ~select(Y) → inner.
+        assert_eq!(ctx.plans[0].inner_neg_vars[0].len(), 1);
+        // Rule 1: ~pnode(Y)'s Y also occurs in node(Y) and the head → outer.
+        assert!(ctx.plans[1].inner_neg_vars[1].is_empty());
+    }
+
+    #[test]
+    fn domain_merges_rule_and_db_constants() {
+        let mut syms = SymbolTable::new();
+        let rb = parse_program("p(X) :- q(X, someconst).", &mut syms).unwrap();
+        let mut db = Database::new();
+        let c = syms.intern("dbconst");
+        let q = syms.lookup("q").unwrap();
+        db.insert(GroundAtom::new(q, vec![c, c]));
+        let ctx = Context::new(&rb, &db).unwrap();
+        assert_eq!(ctx.domain.len(), 2);
+        assert!(ctx.domain.contains(&c));
+        assert!(ctx.domain.contains(&syms.lookup("someconst").unwrap()));
+    }
+
+    #[test]
+    fn enumerate_until_early_stops_and_restores() {
+        let domain: Vec<Symbol> = (0..4).map(Symbol).collect();
+        let mut b = Bindings::new(2);
+        let vars = [Var(0), Var(1)];
+        let mut count = 0;
+        let stopped = enumerate_until(&domain, &vars, &mut b, &mut |bb| {
+            count += 1;
+            bb.get(Var(0)) == Some(Symbol(1)) && bb.get(Var(1)) == Some(Symbol(2))
+        });
+        assert!(stopped);
+        assert_eq!(count, 4 + 3); // rows 0* (4) then 1,0 1,1 1,2
+        assert_eq!(b.get(Var(0)), None);
+        assert_eq!(b.get(Var(1)), None);
+    }
+
+    #[test]
+    fn enumerate_until_exhausts_without_match() {
+        let domain: Vec<Symbol> = (0..3).map(Symbol).collect();
+        let mut b = Bindings::new(1);
+        let mut count = 0;
+        let stopped = enumerate_until(&domain, &[Var(0)], &mut b, &mut |_| {
+            count += 1;
+            false
+        });
+        assert!(!stopped);
+        assert_eq!(count, 3);
+    }
+}

@@ -1,0 +1,28 @@
+//! Evaluation engines for hypothetical Datalog.
+//!
+//! Three engines implement the same semantics and are cross-checked
+//! against each other in the test suite:
+//!
+//! - [`bottomup::BottomUpEngine`] — the reference engine: perfect models
+//!   per database, memoized over the database lattice. Handles any
+//!   stratified rulebase.
+//! - [`topdown::TopDownEngine`] — goal-directed search with taint-aware
+//!   tabling; the practical engine for search-heavy programs (Hamiltonian
+//!   path, Turing-machine encodings).
+//! - [`prove::ProveEngine`] — the paper's own `PROVE_Σᵢ`/`PROVE_Δᵢ`
+//!   procedures (§5.2), instrumented for the Theorem 3 goal-sequence
+//!   bound. Requires a linearly stratified rulebase.
+
+pub mod bottomup;
+pub mod context;
+pub mod proof;
+pub mod prove;
+pub mod stats;
+pub mod topdown;
+
+pub use bottomup::BottomUpEngine;
+pub use context::Context;
+pub use proof::{render as render_proof, ProofChild, ProofNode};
+pub use prove::ProveEngine;
+pub use stats::{EngineStats, Limits};
+pub use topdown::TopDownEngine;

@@ -1,0 +1,1064 @@
+//! The paper's `PROVE_Σᵢ` / `PROVE_Δᵢ` proof procedures (§5.2).
+//!
+//! The engine mirrors the paper's mutual recursion exactly:
+//!
+//! - **`PROVE_Σᵢ`** (§5.2.1) is the NP component: goals whose predicate is
+//!   defined in an even partition `Σᵢ` are expanded top-down. Line 1 tests
+//!   database membership, line 2 rewrites `B[add: C̄]` into `(B, DB ∪ C̄)`,
+//!   line 3 nondeterministically picks a defining rule and grounding, and
+//!   line 4 hands every remaining goal to `PROVE_Δᵢ`. The paper's
+//!   nondeterminism becomes deterministic backtracking over (rule,
+//!   grounding) choices. Because ground goals in the goal set are mutually
+//!   independent, the goal set is evaluated as a conjunction of
+//!   independent recursive calls; the goal-sequence statistics of
+//!   Theorem 3 are still recorded per expansion.
+//! - **`PROVE_Δᵢ`** (§5.2.2) is the P component: the perfect model of the
+//!   Horn-with-negation segment `Δᵢ` over a given database, computed
+//!   bottom-up through its internal negation sub-strata (`LFPᵢ`/`Tᵢ`).
+//!   `TESTᵢ⁰` resolves premises over predicates defined below the segment
+//!   by invoking the next `PROVE_Σᵢ₋₁` as an oracle — including whole
+//!   hypothetical premises, exactly as in the paper.
+//!
+//! Requires a *linearly stratified* rulebase (Definition 9); construction
+//! fails otherwise. Provability dispatch is by partition number: even →
+//! `Σ` top-down, odd → `Δ` model lookup, zero (no rules) → database
+//! membership.
+
+use crate::analysis::stratify::{linear_stratification, LinearStratification};
+use crate::ast::{HypRule, Premise, Rulebase};
+use crate::engine::context::Context;
+use crate::engine::stats::Limits;
+use hdl_base::{Atom, Bindings, Database, DbId, Error, FactId, FxHashMap, Result, Symbol, Var};
+use std::sync::Arc;
+
+const NO_CUT: u64 = u64::MAX;
+
+/// Work counters specific to the PROVE procedures.
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct ProveStats {
+    /// `Σ` goal expansions per stratum (index `i-1` for stratum `i`) — the
+    /// quantity Theorem 3 bounds by `O(n^{2kᵢk₀})` per proof sequence.
+    pub sigma_expansions: Vec<u64>,
+    /// Oracle invocations (`TEST⁰` falling through to `PROVE_Σᵢ₋₁`).
+    pub oracle_calls: u64,
+    /// Δ perfect models computed (distinct `(stratum, db)` pairs).
+    pub delta_models: u64,
+    /// Maximum Σ recursion depth.
+    pub max_depth: u64,
+    /// Memo hits on atomic goals.
+    pub memo_hits: u64,
+}
+
+/// The §5.2 proof-procedure engine.
+pub struct ProveEngine<'rb> {
+    ctx: Context<'rb>,
+    ls: LinearStratification,
+    /// Δ rule indices per stratum (1-based stratum → index-1), grouped by
+    /// internal negation sub-strata `Δᵢ₁,…,Δᵢₘ` (evaluation order).
+    delta_rules: Vec<Vec<Vec<usize>>>,
+    /// Σ rule indices per stratum.
+    sigma_rules: Vec<Vec<usize>>,
+    memo: FxHashMap<(FactId, DbId), bool>,
+    in_progress: FxHashMap<(FactId, DbId), u64>,
+    delta_models: FxHashMap<(usize, DbId), Arc<Database>>,
+    stats: ProveStats,
+    limits: Limits,
+    expansions_total: u64,
+}
+
+impl<'rb> ProveEngine<'rb> {
+    /// Builds the engine; fails unless `rb` is linearly stratified.
+    pub fn new(rb: &'rb Rulebase, db: &Database) -> Result<Self> {
+        let ctx = Context::new(rb, db)?;
+        let ls = linear_stratification(rb)?;
+        let k = ls.num_strata();
+        let mut delta_rules: Vec<Vec<Vec<usize>>> = vec![Vec::new(); k];
+        let mut sigma_rules: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, stratum) in ls.strata.iter().enumerate() {
+            delta_rules[i] = substrata(rb, &ls, &stratum.delta);
+            sigma_rules[i] = stratum.sigma.clone();
+        }
+        Ok(ProveEngine {
+            ctx,
+            ls,
+            delta_rules,
+            sigma_rules,
+            memo: FxHashMap::default(),
+            in_progress: FxHashMap::default(),
+            delta_models: FxHashMap::default(),
+            stats: ProveStats {
+                sigma_expansions: vec![0; k],
+                ..Default::default()
+            },
+            limits: Limits::default(),
+            expansions_total: 0,
+        })
+    }
+
+    /// Replaces the resource limits.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> &ProveStats {
+        &self.stats
+    }
+
+    /// The linear stratification in use.
+    pub fn stratification(&self) -> &LinearStratification {
+        &self.ls
+    }
+
+    /// The evaluation context.
+    pub fn context(&self) -> &Context<'rb> {
+        &self.ctx
+    }
+
+    /// Evaluates a query premise against the base database.
+    pub fn holds(&mut self, query: &Premise) -> Result<bool> {
+        let base = self.ctx.base_db;
+        let num_vars = query.vars().map(|v| v.index() + 1).max().unwrap_or(0);
+        let mut bindings = Bindings::new(num_vars);
+        match query {
+            Premise::Atom(atom) => {
+                let free = bindings.free_vars_of(atom);
+                self.exists_atomic(atom, &free, 0, &mut bindings, base)
+            }
+            Premise::Neg(atom) => {
+                let free = bindings.free_vars_of(atom);
+                Ok(!self.exists_atomic(atom, &free, 0, &mut bindings, base)?)
+            }
+            Premise::Hyp { goal, adds } => {
+                let mut free: Vec<Var> = Vec::new();
+                for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
+                    if bindings.get(v).is_none() && !free.contains(&v) {
+                        free.push(v);
+                    }
+                }
+                self.exists_hyp(goal, adds, &free, 0, &mut bindings, base)
+            }
+        }
+    }
+
+    /// All domain tuples `x̄` such that `pattern(x̄)` is provable from the
+    /// base database, sorted (mirrors the other engines' `answers`).
+    pub fn answers(&mut self, pattern: &Atom) -> Result<Vec<Vec<Symbol>>> {
+        let base = self.ctx.base_db;
+        let num_vars = pattern.vars().map(|v| v.index() + 1).max().unwrap_or(0);
+        let mut bindings = Bindings::new(num_vars);
+        let free = bindings.free_vars_of(pattern);
+        let mut out = Vec::new();
+        self.collect_answers(pattern, &free, 0, &mut bindings, base, &mut out)?;
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn collect_answers(
+        &mut self,
+        pattern: &Atom,
+        free: &[Var],
+        pos: usize,
+        bindings: &mut Bindings,
+        db: DbId,
+        out: &mut Vec<Vec<Symbol>>,
+    ) -> Result<()> {
+        if pos == free.len() {
+            let fact = pattern.ground(bindings).expect("grounded");
+            let fid = self.ctx.fact_id(fact);
+            let mut cut = NO_CUT;
+            if self.prove_atomic(fid, db, 0, &mut cut)? {
+                out.push(
+                    pattern
+                        .args
+                        .iter()
+                        .map(|t| match t {
+                            hdl_base::Term::Const(c) => *c,
+                            hdl_base::Term::Var(v) => bindings.get(*v).expect("bound"),
+                        })
+                        .collect(),
+                );
+            }
+            return Ok(());
+        }
+        let v = free[pos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            self.collect_answers(pattern, free, pos + 1, bindings, db, out)?;
+        }
+        bindings.unset(v);
+        Ok(())
+    }
+
+    /// Dispatches a ground atomic goal by its predicate's partition:
+    /// even → `PROVE_Σ`, odd → `PROVE_Δ` model, 0 → database membership.
+    fn prove_atomic(&mut self, fact: FactId, db: DbId, depth: u64, cut: &mut u64) -> Result<bool> {
+        if self.ctx.db_contains(db, fact) {
+            return Ok(true); // line 1 of PROVE_Σ / first case of TEST⁰
+        }
+        let pred = self.ctx.dbs.facts().fact(fact).pred;
+        let part = self.ls.part(pred);
+        if part == 0 {
+            return Ok(false); // EDB predicate, not stored
+        }
+        if part % 2 == 1 {
+            // Δ-defined: consult the segment's perfect model.
+            let stratum = part.div_ceil(2);
+            let model = self.delta_model(stratum, db)?;
+            let fact_atom = self.ctx.dbs.facts().fact(fact).clone();
+            return Ok(model.contains(&fact_atom));
+        }
+        // Σ-defined: top-down with tabling.
+        self.sigma_prove(part / 2, fact, db, depth, cut)
+    }
+
+    /// `PROVE_Σᵢ` for one atomic goal (lines 1 and 3 plus memoization).
+    fn sigma_prove(
+        &mut self,
+        stratum: usize,
+        goal: FactId,
+        db: DbId,
+        depth: u64,
+        cut: &mut u64,
+    ) -> Result<bool> {
+        let key = (goal, db);
+        if let Some(&r) = self.memo.get(&key) {
+            self.stats.memo_hits += 1;
+            return Ok(r);
+        }
+        if let Some(&d0) = self.in_progress.get(&key) {
+            *cut = (*cut).min(d0);
+            return Ok(false);
+        }
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        self.stats.sigma_expansions[stratum - 1] += 1;
+        self.expansions_total += 1;
+        if self.expansions_total > self.limits.max_expansions {
+            return Err(Error::LimitExceeded {
+                what: "sigma goal expansions".into(),
+                limit: self.limits.max_expansions,
+            });
+        }
+
+        self.in_progress.insert(key, depth);
+        let result = self.sigma_expand(stratum, goal, db, depth);
+        self.in_progress.remove(&key);
+        match result {
+            Ok((true, _)) => {
+                self.memo.insert(key, true);
+                Ok(true)
+            }
+            Ok((false, my_cut)) => {
+                if my_cut >= depth {
+                    self.memo.insert(key, false);
+                } else {
+                    *cut = (*cut).min(my_cut);
+                }
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Line 3: choose a defining rule in `Σᵢ` and a grounding.
+    fn sigma_expand(
+        &mut self,
+        stratum: usize,
+        goal: FactId,
+        db: DbId,
+        depth: u64,
+    ) -> Result<(bool, u64)> {
+        let rb: &'rb Rulebase = self.ctx.rb;
+        let pred = self.ctx.dbs.facts().fact(goal).pred;
+        let mut my_cut = NO_CUT;
+        let rule_ids = self.sigma_rules[stratum - 1].clone();
+        for rule_idx in rule_ids {
+            let rule: &'rb HypRule = &rb.rules[rule_idx];
+            if rule.head.pred != pred {
+                continue;
+            }
+            let mut bindings = Bindings::new(rule.num_vars);
+            let trail = {
+                let fact = self.ctx.dbs.facts().fact(goal).clone();
+                bindings.match_atom(&rule.head, &fact)
+            };
+            let Some(trail) = trail else { continue };
+            // Definition 3: substitutions range over dom(R, DB).
+            if trail
+                .iter()
+                .any(|&v| !self.ctx.in_domain(bindings.get(v).expect("bound")))
+            {
+                continue;
+            }
+            if self.sigma_goals(
+                stratum,
+                rule,
+                rule_idx,
+                0,
+                &mut bindings,
+                db,
+                depth,
+                &mut my_cut,
+            )? {
+                return Ok((true, NO_CUT));
+            }
+        }
+        Ok((false, my_cut))
+    }
+
+    /// Processes the goal set produced by a rule expansion: premises are
+    /// ground and independent, so they are proved left to right with
+    /// backtracking over grounding choices.
+    #[allow(clippy::too_many_arguments)]
+    fn sigma_goals(
+        &mut self,
+        stratum: usize,
+        rule: &'rb HypRule,
+        rule_idx: usize,
+        idx: usize,
+        bindings: &mut Bindings,
+        db: DbId,
+        depth: u64,
+        cut: &mut u64,
+    ) -> Result<bool> {
+        if idx == rule.premises.len() {
+            return Ok(true);
+        }
+        match &rule.premises[idx] {
+            Premise::Atom(atom) => {
+                if !self.ctx.has_rules(atom.pred) {
+                    // Membership-only goals: drive bindings from the DB.
+                    let candidates: Vec<FactId> =
+                        self.ctx.dbs.entry(db).facts_of(atom.pred).to_vec();
+                    for fid in candidates {
+                        let trail = {
+                            let fact = self.ctx.dbs.facts().fact(fid);
+                            bindings.match_atom(atom, fact)
+                        };
+                        if let Some(trail) = trail {
+                            let ok = self.sigma_goals(
+                                stratum,
+                                rule,
+                                rule_idx,
+                                idx + 1,
+                                bindings,
+                                db,
+                                depth,
+                                cut,
+                            )?;
+                            bindings.undo(&trail);
+                            if ok {
+                                return Ok(true);
+                            }
+                        }
+                    }
+                    return Ok(false);
+                }
+                let free = bindings.free_vars_of(atom);
+                self.sigma_atom_groundings(
+                    stratum, rule, rule_idx, idx, atom, &free, 0, bindings, db, depth, cut,
+                )
+            }
+            Premise::Neg(atom) => {
+                // Line 4: negated goals go to PROVE_Δᵢ / the oracle chain.
+                let inner = self.ctx.plans[rule_idx].inner_neg_vars[idx].clone();
+                let free = bindings.free_vars_of(atom);
+                let outer: Vec<Var> = free.into_iter().filter(|v| !inner.contains(v)).collect();
+                self.sigma_neg_outer(
+                    stratum, rule, rule_idx, idx, atom, &inner, &outer, 0, bindings, db, depth, cut,
+                )
+            }
+            Premise::Hyp { goal, adds } => {
+                // Line 2: (B[add:C̄], DB) → (B, DB ∪ C̄).
+                let mut free: Vec<Var> = Vec::new();
+                for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
+                    if bindings.get(v).is_none() && !free.contains(&v) {
+                        free.push(v);
+                    }
+                }
+                self.sigma_hyp_groundings(
+                    stratum, rule, rule_idx, idx, goal, adds, &free, 0, bindings, db, depth, cut,
+                )
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sigma_atom_groundings(
+        &mut self,
+        stratum: usize,
+        rule: &'rb HypRule,
+        rule_idx: usize,
+        idx: usize,
+        atom: &'rb Atom,
+        free: &[Var],
+        fpos: usize,
+        bindings: &mut Bindings,
+        db: DbId,
+        depth: u64,
+        cut: &mut u64,
+    ) -> Result<bool> {
+        if fpos == free.len() {
+            let fact = atom.ground(bindings).expect("grounded");
+            let fid = self.ctx.fact_id(fact);
+            if self.prove_atomic(fid, db, depth + 1, cut)? {
+                return self.sigma_goals(
+                    stratum,
+                    rule,
+                    rule_idx,
+                    idx + 1,
+                    bindings,
+                    db,
+                    depth,
+                    cut,
+                );
+            }
+            return Ok(false);
+        }
+        let v = free[fpos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            if self.sigma_atom_groundings(
+                stratum,
+                rule,
+                rule_idx,
+                idx,
+                atom,
+                free,
+                fpos + 1,
+                bindings,
+                db,
+                depth,
+                cut,
+            )? {
+                bindings.unset(v);
+                return Ok(true);
+            }
+        }
+        bindings.unset(v);
+        Ok(false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sigma_neg_outer(
+        &mut self,
+        stratum: usize,
+        rule: &'rb HypRule,
+        rule_idx: usize,
+        idx: usize,
+        atom: &'rb Atom,
+        inner: &[Var],
+        outer: &[Var],
+        opos: usize,
+        bindings: &mut Bindings,
+        db: DbId,
+        depth: u64,
+        cut: &mut u64,
+    ) -> Result<bool> {
+        if opos == outer.len() {
+            let witnessed = self.exists_atomic(atom, inner, 0, bindings, db)?;
+            if !witnessed {
+                return self.sigma_goals(
+                    stratum,
+                    rule,
+                    rule_idx,
+                    idx + 1,
+                    bindings,
+                    db,
+                    depth,
+                    cut,
+                );
+            }
+            return Ok(false);
+        }
+        let v = outer[opos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            if self.sigma_neg_outer(
+                stratum,
+                rule,
+                rule_idx,
+                idx,
+                atom,
+                inner,
+                outer,
+                opos + 1,
+                bindings,
+                db,
+                depth,
+                cut,
+            )? {
+                bindings.unset(v);
+                return Ok(true);
+            }
+        }
+        bindings.unset(v);
+        Ok(false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sigma_hyp_groundings(
+        &mut self,
+        stratum: usize,
+        rule: &'rb HypRule,
+        rule_idx: usize,
+        idx: usize,
+        goal: &'rb Atom,
+        adds: &'rb [Atom],
+        free: &[Var],
+        fpos: usize,
+        bindings: &mut Bindings,
+        db: DbId,
+        depth: u64,
+        cut: &mut u64,
+    ) -> Result<bool> {
+        if fpos == free.len() {
+            let add_ids: Vec<FactId> = adds
+                .iter()
+                .map(|a| {
+                    let f = a.ground(bindings).expect("grounded");
+                    self.ctx.fact_id(f)
+                })
+                .collect();
+            let db2 = self.ctx.dbs.extend(db, &add_ids);
+            let gfact = goal.ground(bindings).expect("grounded");
+            let gid = self.ctx.fact_id(gfact);
+            if self.prove_atomic(gid, db2, depth + 1, cut)? {
+                return self.sigma_goals(
+                    stratum,
+                    rule,
+                    rule_idx,
+                    idx + 1,
+                    bindings,
+                    db,
+                    depth,
+                    cut,
+                );
+            }
+            return Ok(false);
+        }
+        let v = free[fpos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            if self.sigma_hyp_groundings(
+                stratum,
+                rule,
+                rule_idx,
+                idx,
+                goal,
+                adds,
+                free,
+                fpos + 1,
+                bindings,
+                db,
+                depth,
+                cut,
+            )? {
+                bindings.unset(v);
+                return Ok(true);
+            }
+        }
+        bindings.unset(v);
+        Ok(false)
+    }
+
+    /// `∃`-grounding of `vars` making `atom` provable (used for negation
+    /// and top-level queries; stratification keeps these untainted).
+    fn exists_atomic(
+        &mut self,
+        atom: &Atom,
+        vars: &[Var],
+        pos: usize,
+        bindings: &mut Bindings,
+        db: DbId,
+    ) -> Result<bool> {
+        if pos == vars.len() {
+            let fact = atom.ground(bindings).expect("grounded");
+            let fid = self.ctx.fact_id(fact);
+            let mut cut = NO_CUT;
+            let r = self.prove_atomic(fid, db, 0, &mut cut)?;
+            debug_assert_eq!(cut, NO_CUT, "negation sub-search must be untainted");
+            return Ok(r);
+        }
+        let v = vars[pos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            if self.exists_atomic(atom, vars, pos + 1, bindings, db)? {
+                bindings.unset(v);
+                return Ok(true);
+            }
+        }
+        bindings.unset(v);
+        Ok(false)
+    }
+
+    fn exists_hyp(
+        &mut self,
+        goal: &Atom,
+        adds: &[Atom],
+        free: &[Var],
+        fpos: usize,
+        bindings: &mut Bindings,
+        db: DbId,
+    ) -> Result<bool> {
+        if fpos == free.len() {
+            let add_ids: Vec<FactId> = adds
+                .iter()
+                .map(|a| {
+                    let f = a.ground(bindings).expect("grounded");
+                    self.ctx.fact_id(f)
+                })
+                .collect();
+            let db2 = self.ctx.dbs.extend(db, &add_ids);
+            let gfact = goal.ground(bindings).expect("grounded");
+            let gid = self.ctx.fact_id(gfact);
+            let mut cut = NO_CUT;
+            return self.prove_atomic(gid, db2, 0, &mut cut);
+        }
+        let v = free[fpos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            if self.exists_hyp(goal, adds, free, fpos + 1, bindings, db)? {
+                bindings.unset(v);
+                return Ok(true);
+            }
+        }
+        bindings.unset(v);
+        Ok(false)
+    }
+
+    /// `PROVE_Δᵢ`: the perfect model of segment `Δᵢ` over `db`, memoized.
+    ///
+    /// Implements `LFPᵢ`/`Tᵢ` (§5.2.2): the segment's rules are applied to
+    /// a growing model in sub-stratum order until fixpoint; `TESTᵢ⁰`
+    /// resolves premises over lower-defined predicates through
+    /// [`Self::prove_atomic`] (the `PROVE_Σᵢ₋₁` oracle).
+    fn delta_model(&mut self, stratum: usize, db: DbId) -> Result<Arc<Database>> {
+        let key = (stratum, db);
+        if let Some(m) = self.delta_models.get(&key) {
+            return Ok(Arc::clone(m));
+        }
+        self.stats.delta_models += 1;
+        let mut model = self.ctx.dbs.to_database(db);
+        let groups = self.delta_rules[stratum - 1].clone();
+        let delta_part = 2 * stratum - 1;
+        // LFPᵢ per sub-stratum, applied in order: negation within the
+        // segment only ever consults sub-strata that are already closed.
+        for group in groups {
+            loop {
+                let mut fresh: Vec<hdl_base::GroundAtom> = Vec::new();
+                for &rule_idx in &group {
+                    self.expansions_total += 1;
+                    if self.expansions_total > self.limits.max_expansions {
+                        return Err(Error::LimitExceeded {
+                            what: "delta rule firings".into(),
+                            limit: self.limits.max_expansions,
+                        });
+                    }
+                    self.fire_delta(rule_idx, delta_part, &model, db, &mut fresh)?;
+                }
+                let mut changed = false;
+                for f in fresh {
+                    changed |= model.insert(f);
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        let arc = Arc::new(model);
+        self.delta_models.insert(key, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// One application of `Tᵢ` for a single Δ rule.
+    fn fire_delta(
+        &mut self,
+        rule_idx: usize,
+        delta_part: usize,
+        model: &Database,
+        db: DbId,
+        out: &mut Vec<hdl_base::GroundAtom>,
+    ) -> Result<()> {
+        let rb: &'rb Rulebase = self.ctx.rb;
+        let rule: &'rb HypRule = &rb.rules[rule_idx];
+        let mut bindings = Bindings::new(rule.num_vars);
+        self.delta_walk(rule, rule_idx, delta_part, 0, &mut bindings, model, db, out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn delta_walk(
+        &mut self,
+        rule: &'rb HypRule,
+        rule_idx: usize,
+        delta_part: usize,
+        idx: usize,
+        bindings: &mut Bindings,
+        model: &Database,
+        db: DbId,
+        out: &mut Vec<hdl_base::GroundAtom>,
+    ) -> Result<()> {
+        if idx == rule.premises.len() {
+            let free = bindings.free_vars_of(&rule.head);
+            return self.delta_emit(rule, &free, 0, bindings, out);
+        }
+        match &rule.premises[idx] {
+            Premise::Atom(atom) => {
+                let part = self.ls.part(atom.pred);
+                if part == delta_part || part == 0 {
+                    // Same segment (growing model) or EDB (seeded into the
+                    // model): match directly.
+                    let rows = collect_matches(model, atom, bindings);
+                    for row in rows {
+                        for &(v, c) in &row {
+                            bindings.set(v, c);
+                        }
+                        self.delta_walk(
+                            rule,
+                            rule_idx,
+                            delta_part,
+                            idx + 1,
+                            bindings,
+                            model,
+                            db,
+                            out,
+                        )?;
+                        for &(v, _) in &row {
+                            bindings.unset(v);
+                        }
+                    }
+                    Ok(())
+                } else {
+                    // Defined below this segment: oracle per grounding.
+                    self.stats.oracle_calls += 1;
+                    let free = bindings.free_vars_of(atom);
+                    self.delta_oracle_groundings(
+                        rule, rule_idx, delta_part, idx, atom, &free, 0, bindings, model, db, out,
+                    )
+                }
+            }
+            Premise::Neg(atom) => {
+                let inner = self.ctx.plans[rule_idx].inner_neg_vars[idx].clone();
+                let free = bindings.free_vars_of(atom);
+                let outer: Vec<Var> = free.into_iter().filter(|v| !inner.contains(v)).collect();
+                self.delta_neg_outer(
+                    rule, rule_idx, delta_part, idx, atom, &inner, &outer, 0, bindings, model, db,
+                    out,
+                )
+            }
+            Premise::Hyp { goal, adds } => {
+                // TEST⁰'s final case: a hypothetical premise resolved by
+                // the oracle — expand the insertion and prove below.
+                self.stats.oracle_calls += 1;
+                let mut free: Vec<Var> = Vec::new();
+                for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
+                    if bindings.get(v).is_none() && !free.contains(&v) {
+                        free.push(v);
+                    }
+                }
+                self.delta_hyp_groundings(
+                    rule, rule_idx, delta_part, idx, goal, adds, &free, 0, bindings, model, db, out,
+                )
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn delta_oracle_groundings(
+        &mut self,
+        rule: &'rb HypRule,
+        rule_idx: usize,
+        delta_part: usize,
+        idx: usize,
+        atom: &'rb Atom,
+        free: &[Var],
+        fpos: usize,
+        bindings: &mut Bindings,
+        model: &Database,
+        db: DbId,
+        out: &mut Vec<hdl_base::GroundAtom>,
+    ) -> Result<()> {
+        if fpos == free.len() {
+            let fact = atom.ground(bindings).expect("grounded");
+            let fid = self.ctx.fact_id(fact);
+            let mut cut = NO_CUT;
+            if self.prove_atomic(fid, db, 0, &mut cut)? {
+                self.delta_walk(
+                    rule,
+                    rule_idx,
+                    delta_part,
+                    idx + 1,
+                    bindings,
+                    model,
+                    db,
+                    out,
+                )?;
+            }
+            return Ok(());
+        }
+        let v = free[fpos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            self.delta_oracle_groundings(
+                rule,
+                rule_idx,
+                delta_part,
+                idx,
+                atom,
+                free,
+                fpos + 1,
+                bindings,
+                model,
+                db,
+                out,
+            )?;
+        }
+        bindings.unset(v);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn delta_neg_outer(
+        &mut self,
+        rule: &'rb HypRule,
+        rule_idx: usize,
+        delta_part: usize,
+        idx: usize,
+        atom: &'rb Atom,
+        inner: &[Var],
+        outer: &[Var],
+        opos: usize,
+        bindings: &mut Bindings,
+        model: &Database,
+        db: DbId,
+        out: &mut Vec<hdl_base::GroundAtom>,
+    ) -> Result<()> {
+        if opos == outer.len() {
+            let part = self.ls.part(atom.pred);
+            let witnessed = if part == delta_part || part == 0 {
+                // Sub-strata ordering guarantees the negated predicate's
+                // tuples are complete in the growing model.
+                exists_in_model(model, atom, bindings)
+            } else {
+                self.stats.oracle_calls += 1;
+                self.exists_atomic(atom, inner, 0, bindings, db)?
+            };
+            if !witnessed {
+                self.delta_walk(
+                    rule,
+                    rule_idx,
+                    delta_part,
+                    idx + 1,
+                    bindings,
+                    model,
+                    db,
+                    out,
+                )?;
+            }
+            return Ok(());
+        }
+        let v = outer[opos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            self.delta_neg_outer(
+                rule,
+                rule_idx,
+                delta_part,
+                idx,
+                atom,
+                inner,
+                outer,
+                opos + 1,
+                bindings,
+                model,
+                db,
+                out,
+            )?;
+        }
+        bindings.unset(v);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn delta_hyp_groundings(
+        &mut self,
+        rule: &'rb HypRule,
+        rule_idx: usize,
+        delta_part: usize,
+        idx: usize,
+        goal: &'rb Atom,
+        adds: &'rb [Atom],
+        free: &[Var],
+        fpos: usize,
+        bindings: &mut Bindings,
+        model: &Database,
+        db: DbId,
+        out: &mut Vec<hdl_base::GroundAtom>,
+    ) -> Result<()> {
+        if fpos == free.len() {
+            let add_ids: Vec<FactId> = adds
+                .iter()
+                .map(|a| {
+                    let f = a.ground(bindings).expect("grounded");
+                    self.ctx.fact_id(f)
+                })
+                .collect();
+            let db2 = self.ctx.dbs.extend(db, &add_ids);
+            let gfact = goal.ground(bindings).expect("grounded");
+            let gid = self.ctx.fact_id(gfact);
+            let mut cut = NO_CUT;
+            if self.prove_atomic(gid, db2, 0, &mut cut)? {
+                self.delta_walk(
+                    rule,
+                    rule_idx,
+                    delta_part,
+                    idx + 1,
+                    bindings,
+                    model,
+                    db,
+                    out,
+                )?;
+            }
+            return Ok(());
+        }
+        let v = free[fpos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            self.delta_hyp_groundings(
+                rule,
+                rule_idx,
+                delta_part,
+                idx,
+                goal,
+                adds,
+                free,
+                fpos + 1,
+                bindings,
+                model,
+                db,
+                out,
+            )?;
+        }
+        bindings.unset(v);
+        Ok(())
+    }
+
+    fn delta_emit(
+        &mut self,
+        rule: &'rb HypRule,
+        free: &[Var],
+        fpos: usize,
+        bindings: &mut Bindings,
+        out: &mut Vec<hdl_base::GroundAtom>,
+    ) -> Result<()> {
+        if fpos == free.len() {
+            out.push(rule.head.ground(bindings).expect("head grounded"));
+            return Ok(());
+        }
+        let v = free[fpos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            self.delta_emit(rule, free, fpos + 1, bindings, out)?;
+        }
+        bindings.unset(v);
+        Ok(())
+    }
+}
+
+/// Groups Δ-segment rules by internal negation sub-strata (§5.2.2's
+/// `Δᵢ₁,…,Δᵢₘ`): a rule whose body negates a predicate defined in the same
+/// segment must belong to a strictly later sub-stratum, so that the
+/// negated predicate is saturated before the negation is tested.
+fn substrata(rb: &Rulebase, ls: &LinearStratification, delta: &[usize]) -> Vec<Vec<usize>> {
+    // Assign each Δ-defined predicate a sub-stratum: lfp of
+    //   sub(p) ≥ sub(q)       for positive edges within the segment,
+    //   sub(p) ≥ sub(q) + 1   for negative edges within the segment.
+    let mut sub: FxHashMap<Symbol, usize> = FxHashMap::default();
+    for &i in delta {
+        sub.insert(rb.rules[i].head.pred, 0);
+    }
+    let mut changed = true;
+    let mut guard = 0usize;
+    while changed && guard <= 2 * delta.len() + 2 {
+        changed = false;
+        guard += 1;
+        for &i in delta {
+            let rule = &rb.rules[i];
+            let head = rule.head.pred;
+            let mut need = sub[&head];
+            for premise in &rule.premises {
+                match premise {
+                    Premise::Atom(a) => {
+                        if let Some(&s) = sub.get(&a.pred) {
+                            need = need.max(s);
+                        }
+                    }
+                    Premise::Neg(a) => {
+                        if let Some(&s) = sub.get(&a.pred) {
+                            if ls.part(a.pred) == ls.part(head) {
+                                need = need.max(s + 1);
+                            }
+                        }
+                    }
+                    Premise::Hyp { .. } => {}
+                }
+            }
+            if need > sub[&head] {
+                sub.insert(head, need);
+                changed = true;
+            }
+        }
+    }
+    let max_sub = delta
+        .iter()
+        .map(|&i| sub[&rb.rules[i].head.pred])
+        .max()
+        .unwrap_or(0);
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); max_sub + 1];
+    for &i in delta {
+        groups[sub[&rb.rules[i].head.pred]].push(i);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+fn collect_matches(
+    model: &Database,
+    atom: &Atom,
+    bindings: &mut Bindings,
+) -> Vec<Vec<(Var, Symbol)>> {
+    let before: Vec<Var> = bindings.free_vars_of(atom);
+    let mut rows = Vec::new();
+    model.for_each_match(atom, bindings, |b| {
+        rows.push(
+            before
+                .iter()
+                .map(|&v| (v, b.get(v).expect("bound by match")))
+                .collect(),
+        );
+        false
+    });
+    rows
+}
+
+fn exists_in_model(model: &Database, atom: &Atom, bindings: &mut Bindings) -> bool {
+    let mut found = false;
+    model.for_each_match(atom, bindings, |_| {
+        found = true;
+        true
+    });
+    found
+}

@@ -1,0 +1,73 @@
+//! Instrumentation counters shared by the evaluation engines.
+//!
+//! The counters make the paper's complexity claims *measurable*: experiment
+//! E7 checks goal-sequence lengths against the Theorem 3 bound
+//! `O(n^{2kᵢk₀})`, and E9 plots how work grows with the number of strata.
+
+/// Work counters for one engine run.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Goals expanded (top-down) or rule firings (bottom-up).
+    pub goal_expansions: u64,
+    /// Distinct databases materialized in the database lattice.
+    pub databases_created: u64,
+    /// Memo-table hits.
+    pub memo_hits: u64,
+    /// Recursive model computations (bottom-up) / proof calls (top-down).
+    pub calls: u64,
+    /// Maximum recursion depth observed.
+    pub max_depth: u64,
+    /// Fixpoint rounds (bottom-up only).
+    pub rounds: u64,
+}
+
+impl EngineStats {
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = EngineStats::default();
+    }
+}
+
+/// Resource limits guarding against runaway searches.
+///
+/// The paper's language is `Σₖᴾ`-complete, so worst-case blowups are
+/// inherent; limits turn them into [`hdl_base::Error::LimitExceeded`]
+/// instead of hangs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum goal expansions / rule firings per query.
+    pub max_expansions: u64,
+    /// Maximum distinct databases in the lattice per query.
+    pub max_databases: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_expansions: 50_000_000,
+            max_databases: 1_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let mut s = EngineStats {
+            goal_expansions: 5,
+            ..Default::default()
+        };
+        s.reset();
+        assert_eq!(s, EngineStats::default());
+    }
+
+    #[test]
+    fn default_limits_are_positive() {
+        let l = Limits::default();
+        assert!(l.max_expansions > 0);
+        assert!(l.max_databases > 0);
+    }
+}

@@ -1,0 +1,648 @@
+//! Goal-directed (top-down) hypothetical inference.
+//!
+//! This engine implements Definition 3 plus negation-as-failure directly:
+//!
+//! 1. `R, DB ⊢ A` if `A ∈ DB`;
+//! 2. `R, DB ⊢ A[add: C̄]` if `R, DB ∪ C̄ ⊢ A`;
+//! 3. `R, DB ⊢ A` if some rule instance `A ← φ₁,…,φₖ` (ground substitution
+//!    over `dom(R, DB)`) has all premises provable;
+//! 4. `R, DB ⊢ ~A` if `R, DB ⊬ A` (requires stratified negation).
+//!
+//! Ground goals are pairs `(fact, database)`; the database component moves
+//! through the lattice as rule 2 fires. Because function-free proofs never
+//! need to repeat a `(goal, db)` pair along a branch, the search fails any
+//! branch that revisits an in-progress pair. Results are memoized with the
+//! standard tabling refinement: successes always, failures only when the
+//! failed search never touched an in-progress ancestor *above* the goal
+//! (untainted failures), which keeps the memo sound in cyclic programs.
+//!
+//! The search recurses on the host stack, so the required stack is
+//! proportional to proof depth. Programs with proofs thousands of steps
+//! deep (e.g. very long hypothetical chains) should run the engine on a
+//! thread with an enlarged stack (`std::thread::Builder::stack_size`).
+
+use crate::ast::{HypRule, Premise, Rulebase};
+use crate::engine::context::Context;
+use crate::engine::proof::{ProofChild, ProofNode};
+use crate::engine::stats::{EngineStats, Limits};
+use hdl_base::{Atom, Bindings, Database, DbId, Error, FactId, FxHashMap, Result, Symbol, Var};
+
+/// Sentinel: no in-progress ancestor was hit.
+const NO_CUT: u64 = u64::MAX;
+
+/// How a proven goal was established (for proof reconstruction).
+#[derive(Clone, Debug)]
+enum ProofStep {
+    /// Inference rule 1: present in the database.
+    Membership,
+    /// Inference rule 3: a rule instance, with the leaf-time bindings.
+    Rule {
+        rule_idx: usize,
+        bindings: Vec<Option<Symbol>>,
+    },
+}
+
+/// The top-down engine, bound to one rulebase and one base database.
+pub struct TopDownEngine<'rb> {
+    ctx: Context<'rb>,
+    memo: FxHashMap<(FactId, DbId), bool>,
+    in_progress: FxHashMap<(FactId, DbId), u64>,
+    proof_steps: FxHashMap<(FactId, DbId), ProofStep>,
+    /// Set by `walk` when a rule body closes; consumed by `prove`.
+    last_success: Option<(usize, Vec<Option<Symbol>>)>,
+    stats: EngineStats,
+    limits: Limits,
+}
+
+impl<'rb> TopDownEngine<'rb> {
+    /// Builds an engine; fails if `rb` is not stratified.
+    pub fn new(rb: &'rb Rulebase, db: &Database) -> Result<Self> {
+        Ok(TopDownEngine {
+            ctx: Context::new(rb, db)?,
+            memo: FxHashMap::default(),
+            in_progress: FxHashMap::default(),
+            proof_steps: FxHashMap::default(),
+            last_success: None,
+            stats: EngineStats::default(),
+            limits: Limits::default(),
+        })
+    }
+
+    /// Replaces the resource limits.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The evaluation context (domain, lattice, stratification).
+    pub fn context(&self) -> &Context<'rb> {
+        &self.ctx
+    }
+
+    /// Evaluates a query premise against the base database.
+    ///
+    /// Free variables are quantified existentially over the domain
+    /// (`∃c grad(s)[add: take(s,c)]`, Example 2) — except in a negated
+    /// query, where they are quantified inside the negation (`~select(Y)`
+    /// reads "no `Y` is selectable").
+    pub fn holds(&mut self, query: &Premise) -> Result<bool> {
+        let base = self.ctx.base_db;
+        self.holds_in(query, base)
+    }
+
+    /// Like [`holds`](Self::holds) against an explicit database of the
+    /// lattice.
+    pub fn holds_in(&mut self, query: &Premise, db: DbId) -> Result<bool> {
+        let num_vars = query.vars().map(|v| v.index() + 1).max().unwrap_or(0);
+        let mut bindings = Bindings::new(num_vars);
+        match query {
+            Premise::Atom(atom) => {
+                let free = bindings.free_vars_of(atom);
+                self.exists_proof(atom, &free, &mut bindings, db, 0)
+            }
+            Premise::Neg(atom) => {
+                let free = bindings.free_vars_of(atom);
+                Ok(!self.exists_proof(atom, &free, &mut bindings, db, 0)?)
+            }
+            Premise::Hyp { goal, adds } => {
+                let mut free: Vec<Var> = Vec::new();
+                for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
+                    if bindings.get(v).is_none() && !free.contains(&v) {
+                        free.push(v);
+                    }
+                }
+                self.exists_hyp_proof(goal, adds, &free, 0, &mut bindings, db, 0)
+            }
+        }
+    }
+
+    /// Produces a proof tree for `query`, if it is provable.
+    ///
+    /// For queries with free variables the proof covers the first witness
+    /// found (domain order). Negated queries have no proof object — their
+    /// evidence is an absence — so they return `Ok(None)`.
+    pub fn explain(&mut self, query: &Premise) -> Result<Option<ProofNode>> {
+        let base = self.ctx.base_db;
+        let num_vars = query.vars().map(|v| v.index() + 1).max().unwrap_or(0);
+        let mut bindings = Bindings::new(num_vars);
+        match query {
+            Premise::Neg(_) => Ok(None),
+            Premise::Atom(atom) => {
+                let free = bindings.free_vars_of(atom);
+                let mut found: Option<(FactId, DbId)> = None;
+                self.for_each_grounding(&free, 0, &mut bindings, &mut |eng, b| {
+                    let fact = atom.ground(b).expect("grounded");
+                    let fid = eng.ctx.fact_id(fact);
+                    let mut cut = NO_CUT;
+                    if eng.prove(fid, base, 0, &mut cut)? {
+                        found = Some((fid, base));
+                        return Ok(true);
+                    }
+                    Ok(false)
+                })?;
+                Ok(found.and_then(|(f, d)| self.reconstruct(f, d)))
+            }
+            Premise::Hyp { goal, adds } => {
+                let mut free: Vec<Var> = Vec::new();
+                for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
+                    if bindings.get(v).is_none() && !free.contains(&v) {
+                        free.push(v);
+                    }
+                }
+                let mut found: Option<(FactId, DbId)> = None;
+                self.for_each_grounding(&free, 0, &mut bindings, &mut |eng, b| {
+                    let add_ids: Vec<FactId> = adds
+                        .iter()
+                        .map(|a| {
+                            let f = a.ground(b).expect("grounded");
+                            eng.ctx.fact_id(f)
+                        })
+                        .collect();
+                    let db2 = eng.extend_db(base, &add_ids)?;
+                    let gfact = goal.ground(b).expect("grounded");
+                    let gid = eng.ctx.fact_id(gfact);
+                    let mut cut = NO_CUT;
+                    if eng.prove(gid, db2, 0, &mut cut)? {
+                        found = Some((gid, db2));
+                        return Ok(true);
+                    }
+                    Ok(false)
+                })?;
+                Ok(found.and_then(|(f, d)| self.reconstruct(f, d)))
+            }
+        }
+    }
+
+    /// Rebuilds the proof tree for a proven `(fact, db)` goal from the
+    /// recorded steps.
+    fn reconstruct(&mut self, fact: FactId, db: DbId) -> Option<ProofNode> {
+        let fact_atom = self.ctx.dbs.facts().fact(fact).clone();
+        let Some(step) = self.proof_steps.get(&(fact, db)).cloned() else {
+            // EDB premises are matched against the database directly and
+            // never pass through `prove`, so they carry no recorded step.
+            if self.ctx.db_contains(db, fact) {
+                return Some(ProofNode::Membership {
+                    fact: fact_atom,
+                    db,
+                });
+            }
+            return None;
+        };
+        match step {
+            ProofStep::Membership => Some(ProofNode::Membership {
+                fact: fact_atom,
+                db,
+            }),
+            ProofStep::Rule { rule_idx, bindings } => {
+                let rb: &'rb Rulebase = self.ctx.rb;
+                let rule: &'rb HypRule = &rb.rules[rule_idx];
+                let subst = |atom: &Atom| -> Atom {
+                    Atom::new(
+                        atom.pred,
+                        atom.args
+                            .iter()
+                            .map(|t| match t {
+                                hdl_base::Term::Var(v) => {
+                                    bindings[v.index()].map_or(*t, hdl_base::Term::Const)
+                                }
+                                c => *c,
+                            })
+                            .collect(),
+                    )
+                };
+                let mut children = Vec::with_capacity(rule.premises.len());
+                for premise in &rule.premises {
+                    match premise {
+                        Premise::Atom(a) => {
+                            let inst = subst(a).to_ground().expect("positive premise ground");
+                            let fid = self.ctx.fact_id(inst);
+                            let sub = self.reconstruct(fid, db)?;
+                            children.push(ProofChild::Positive(Box::new(sub)));
+                        }
+                        Premise::Neg(a) => {
+                            children.push(ProofChild::NegationHolds { atom: subst(a), db });
+                        }
+                        Premise::Hyp { goal, adds } => {
+                            let ground_adds: Vec<hdl_base::GroundAtom> = adds
+                                .iter()
+                                .map(|a| subst(a).to_ground().expect("add atom ground"))
+                                .collect();
+                            let add_ids: Vec<FactId> = ground_adds
+                                .iter()
+                                .map(|g| self.ctx.fact_id(g.clone()))
+                                .collect();
+                            let db2 = self.ctx.dbs.extend(db, &add_ids);
+                            let gfact = subst(goal).to_ground().expect("hyp goal ground");
+                            let gid = self.ctx.fact_id(gfact);
+                            let sub = self.reconstruct(gid, db2)?;
+                            children.push(ProofChild::Hypothetical {
+                                adds: ground_adds,
+                                db: db2,
+                                sub: Box::new(sub),
+                            });
+                        }
+                    }
+                }
+                Some(ProofNode::Derived {
+                    fact: fact_atom,
+                    db,
+                    rule_idx,
+                    children,
+                })
+            }
+        }
+    }
+
+    /// All domain tuples `x̄` such that `pattern(x̄)` is provable from the
+    /// base database, sorted.
+    pub fn answers(&mut self, pattern: &Atom) -> Result<Vec<Vec<Symbol>>> {
+        let num_vars = pattern.vars().map(|v| v.index() + 1).max().unwrap_or(0);
+        let mut bindings = Bindings::new(num_vars);
+        let free = bindings.free_vars_of(pattern);
+        let base = self.ctx.base_db;
+        let mut out = Vec::new();
+        self.for_each_grounding(&free, 0, &mut bindings, &mut |eng, b| {
+            let fact = pattern.ground(b).expect("grounded");
+            let fid = eng.ctx.fact_id(fact);
+            let mut cut = NO_CUT;
+            if eng.prove(fid, base, 0, &mut cut)? {
+                out.push(
+                    pattern
+                        .args
+                        .iter()
+                        .map(|t| match t {
+                            hdl_base::Term::Const(c) => *c,
+                            hdl_base::Term::Var(v) => b.get(*v).expect("bound"),
+                        })
+                        .collect(),
+                );
+            }
+            Ok(false)
+        })?;
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Proves one ground goal `(fact, db)`.
+    ///
+    /// Returns the verdict; `cut` is lowered to the depth of the shallowest
+    /// in-progress ancestor this (failing) search touched.
+    fn prove(&mut self, goal: FactId, db: DbId, depth: u64, cut: &mut u64) -> Result<bool> {
+        self.stats.calls += 1;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        let key = (goal, db);
+        if let Some(&r) = self.memo.get(&key) {
+            self.stats.memo_hits += 1;
+            return Ok(r);
+        }
+        // Inference rule 1: database membership.
+        if self.ctx.db_contains(db, goal) {
+            self.memo.insert(key, true);
+            self.proof_steps.entry(key).or_insert(ProofStep::Membership);
+            return Ok(true);
+        }
+        if let Some(&d0) = self.in_progress.get(&key) {
+            *cut = (*cut).min(d0);
+            return Ok(false);
+        }
+
+        self.stats.goal_expansions += 1;
+        if self.stats.goal_expansions > self.limits.max_expansions {
+            return Err(Error::LimitExceeded {
+                what: "goal expansions".into(),
+                limit: self.limits.max_expansions,
+            });
+        }
+
+        self.in_progress.insert(key, depth);
+        let result = self.prove_by_rules(goal, db, depth);
+        self.in_progress.remove(&key);
+
+        match result {
+            Ok((true, _)) => {
+                self.memo.insert(key, true);
+                if let Some((rule_idx, bindings)) = self.last_success.take() {
+                    self.proof_steps
+                        .entry(key)
+                        .or_insert(ProofStep::Rule { rule_idx, bindings });
+                }
+                Ok(true)
+            }
+            Ok((false, my_cut)) => {
+                if my_cut >= depth {
+                    // All cycles were internal to this goal's search: the
+                    // failure is definitive.
+                    self.memo.insert(key, false);
+                } else {
+                    *cut = (*cut).min(my_cut);
+                }
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Inference rule 3: try every defining rule of the goal's predicate.
+    fn prove_by_rules(&mut self, goal: FactId, db: DbId, depth: u64) -> Result<(bool, u64)> {
+        let rb: &'rb Rulebase = self.ctx.rb;
+        let pred = self.ctx.dbs.facts().fact(goal).pred;
+        let Some(rule_ids) = self.ctx.defs.get(&pred) else {
+            return Ok((false, NO_CUT));
+        };
+        let rule_ids = rule_ids.clone();
+        let mut my_cut = NO_CUT;
+        for rule_idx in rule_ids {
+            let rule: &'rb HypRule = &rb.rules[rule_idx];
+            let mut bindings = Bindings::new(rule.num_vars);
+            let trail = {
+                let fact = self.ctx.dbs.facts().fact(goal).clone();
+                bindings.match_atom(&rule.head, &fact)
+            };
+            let Some(trail) = trail else { continue };
+            // Definition 3: substitutions range over dom(R, DB); a goal
+            // mentioning foreign constants cannot instantiate a rule.
+            if trail
+                .iter()
+                .any(|&v| !self.ctx.in_domain(bindings.get(v).expect("bound")))
+            {
+                continue;
+            }
+            if self.walk(rule, rule_idx, 0, &mut bindings, db, depth, &mut my_cut)? {
+                return Ok((true, NO_CUT));
+            }
+        }
+        Ok((false, my_cut))
+    }
+
+    /// Proves premises `idx..` of `rule` under `bindings`; returns whether
+    /// a full match of the remaining premises was found.
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        &mut self,
+        rule: &'rb HypRule,
+        rule_idx: usize,
+        idx: usize,
+        bindings: &mut Bindings,
+        db: DbId,
+        depth: u64,
+        cut: &mut u64,
+    ) -> Result<bool> {
+        if idx == rule.premises.len() {
+            // Body closed: remember the witnessing instance for proofs.
+            self.last_success = Some((rule_idx, bindings.snapshot()));
+            return Ok(true);
+        }
+        match &rule.premises[idx] {
+            Premise::Atom(atom) => {
+                if !self.ctx.has_rules(atom.pred) {
+                    // Pure EDB predicate: drive bindings from stored facts.
+                    return self
+                        .walk_edb_matches(rule, rule_idx, idx, atom, bindings, db, depth, cut);
+                }
+                let free = bindings.free_vars_of(atom);
+                self.walk_groundings(
+                    rule, rule_idx, idx, atom, &free, 0, bindings, db, depth, cut,
+                )
+            }
+            Premise::Neg(atom) => {
+                let inner = self.ctx.plans[rule_idx].inner_neg_vars[idx].clone();
+                let free = bindings.free_vars_of(atom);
+                let outer: Vec<Var> = free.into_iter().filter(|v| !inner.contains(v)).collect();
+                let mut found = false;
+                self.for_each_grounding(&outer, 0, bindings, &mut |eng, b| {
+                    // ¬∃ inner-assignment with a proof; stratification
+                    // keeps these sub-searches untainted, so the verdict
+                    // is definitive.
+                    let exists = eng.exists_proof(atom, &inner, b, db, depth + 1)?;
+                    if !exists && eng.walk(rule, rule_idx, idx + 1, b, db, depth, cut)? {
+                        found = true;
+                        return Ok(true);
+                    }
+                    Ok(false)
+                })?;
+                Ok(found)
+            }
+            Premise::Hyp { goal, adds } => {
+                let mut free: Vec<Var> = Vec::new();
+                for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
+                    if bindings.get(v).is_none() && !free.contains(&v) {
+                        free.push(v);
+                    }
+                }
+                let mut found = false;
+                self.for_each_grounding(&free, 0, bindings, &mut |eng, b| {
+                    let add_ids: Vec<FactId> = adds
+                        .iter()
+                        .map(|a| {
+                            let f = a.ground(b).expect("add atom grounded");
+                            eng.ctx.fact_id(f)
+                        })
+                        .collect();
+                    let db2 = eng.extend_db(db, &add_ids)?;
+                    let gfact = goal.ground(b).expect("goal grounded");
+                    let gid = eng.ctx.fact_id(gfact);
+                    if eng.prove(gid, db2, depth + 1, cut)? {
+                        let ok = eng.walk(rule, rule_idx, idx + 1, b, db, depth, cut)?;
+                        if ok {
+                            found = true;
+                            return Ok(true);
+                        }
+                    }
+                    Ok(false)
+                })?;
+                Ok(found)
+            }
+        }
+    }
+
+    /// Walks an EDB premise by matching against the database's stored
+    /// facts for that predicate.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_edb_matches(
+        &mut self,
+        rule: &'rb HypRule,
+        rule_idx: usize,
+        idx: usize,
+        atom: &'rb Atom,
+        bindings: &mut Bindings,
+        db: DbId,
+        depth: u64,
+        cut: &mut u64,
+    ) -> Result<bool> {
+        let candidates: Vec<FactId> = self.ctx.dbs.entry(db).facts_of(atom.pred).to_vec();
+        for fid in candidates {
+            let trail = {
+                let fact = self.ctx.dbs.facts().fact(fid);
+                bindings.match_atom(atom, fact)
+            };
+            if let Some(trail) = trail {
+                let ok = self.walk(rule, rule_idx, idx + 1, bindings, db, depth, cut)?;
+                bindings.undo(&trail);
+                if ok {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Walks an IDB positive premise by enumerating groundings of its free
+    /// variables and proving each.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_groundings(
+        &mut self,
+        rule: &'rb HypRule,
+        rule_idx: usize,
+        idx: usize,
+        atom: &'rb Atom,
+        free: &[Var],
+        fpos: usize,
+        bindings: &mut Bindings,
+        db: DbId,
+        depth: u64,
+        cut: &mut u64,
+    ) -> Result<bool> {
+        if fpos == free.len() {
+            let fact = atom.ground(bindings).expect("grounded");
+            let fid = self.ctx.fact_id(fact);
+            if self.prove(fid, db, depth + 1, cut)? {
+                return self.walk(rule, rule_idx, idx + 1, bindings, db, depth, cut);
+            }
+            return Ok(false);
+        }
+        let v = free[fpos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            if self.walk_groundings(
+                rule,
+                rule_idx,
+                idx,
+                atom,
+                free,
+                fpos + 1,
+                bindings,
+                db,
+                depth,
+                cut,
+            )? {
+                bindings.unset(v);
+                return Ok(true);
+            }
+        }
+        bindings.unset(v);
+        Ok(false)
+    }
+
+    /// `∃` assignment of `vars` over the domain making `atom` provable.
+    fn exists_proof(
+        &mut self,
+        atom: &Atom,
+        vars: &[Var],
+        bindings: &mut Bindings,
+        db: DbId,
+        depth: u64,
+    ) -> Result<bool> {
+        let mut found = false;
+        self.for_each_grounding(vars, 0, bindings, &mut |eng, b| {
+            let fact = atom.ground(b).expect("grounded");
+            let fid = eng.ctx.fact_id(fact);
+            let mut cut = NO_CUT;
+            let ok = eng.prove(fid, db, depth, &mut cut)?;
+            debug_assert_eq!(
+                cut, NO_CUT,
+                "stratification must keep negation sub-searches untainted"
+            );
+            if ok {
+                found = true;
+            }
+            Ok(found)
+        })?;
+        Ok(found)
+    }
+
+    /// `∃` grounding of a hypothetical query (used by `holds`).
+    #[allow(clippy::too_many_arguments)]
+    fn exists_hyp_proof(
+        &mut self,
+        goal: &Atom,
+        adds: &[Atom],
+        free: &[Var],
+        fpos: usize,
+        bindings: &mut Bindings,
+        db: DbId,
+        depth: u64,
+    ) -> Result<bool> {
+        if fpos == free.len() {
+            let add_ids: Vec<FactId> = adds
+                .iter()
+                .map(|a| {
+                    let f = a.ground(bindings).expect("grounded");
+                    self.ctx.fact_id(f)
+                })
+                .collect();
+            let db2 = self.extend_db(db, &add_ids)?;
+            let gfact = goal.ground(bindings).expect("grounded");
+            let gid = self.ctx.fact_id(gfact);
+            let mut cut = NO_CUT;
+            return self.prove(gid, db2, depth, &mut cut);
+        }
+        let v = free[fpos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            if self.exists_hyp_proof(goal, adds, free, fpos + 1, bindings, db, depth)? {
+                bindings.unset(v);
+                return Ok(true);
+            }
+        }
+        bindings.unset(v);
+        Ok(false)
+    }
+
+    /// Enumerates groundings of `vars` over the domain, calling `f` until
+    /// it returns `Ok(true)`.
+    fn for_each_grounding(
+        &mut self,
+        vars: &[Var],
+        pos: usize,
+        bindings: &mut Bindings,
+        f: &mut impl FnMut(&mut Self, &mut Bindings) -> Result<bool>,
+    ) -> Result<bool> {
+        if pos == vars.len() {
+            return f(self, bindings);
+        }
+        let v = vars[pos];
+        for i in 0..self.ctx.domain.len() {
+            let c = self.ctx.domain[i];
+            bindings.set(v, c);
+            if self.for_each_grounding(vars, pos + 1, bindings, f)? {
+                bindings.unset(v);
+                return Ok(true);
+            }
+        }
+        bindings.unset(v);
+        Ok(false)
+    }
+
+    fn extend_db(&mut self, db: DbId, adds: &[FactId]) -> Result<DbId> {
+        let before = self.ctx.dbs.len();
+        let db2 = self.ctx.dbs.extend(db, adds);
+        if self.ctx.dbs.len() > before {
+            self.stats.databases_created += 1;
+            if self.stats.databases_created > self.limits.max_databases {
+                return Err(Error::LimitExceeded {
+                    what: "databases".into(),
+                    limit: self.limits.max_databases,
+                });
+            }
+        }
+        Ok(db2)
+    }
+}

@@ -1,0 +1,135 @@
+//! Pretty-printing of rules, premises, and databases back to the concrete
+//! syntax accepted by [`crate::parser`].
+
+use crate::ast::{HypRule, Premise, Rulebase};
+use hdl_base::{Atom, Database, GroundAtom, SymbolTable, Term};
+use std::fmt::Write as _;
+
+/// Renders a variable index as `X0`, `X1`, ….
+fn var_name(i: u32) -> String {
+    format!("X{i}")
+}
+
+/// Renders a term.
+pub fn term(t: Term, symbols: &SymbolTable) -> String {
+    match t {
+        Term::Var(v) => var_name(v.0),
+        Term::Const(c) => symbols.name(c).to_owned(),
+    }
+}
+
+/// Renders an atom; propositional atoms print without parentheses.
+pub fn atom(a: &Atom, symbols: &SymbolTable) -> String {
+    let mut out = symbols.name(a.pred).to_owned();
+    if !a.args.is_empty() {
+        out.push('(');
+        for (i, &t) in a.args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&term(t, symbols));
+        }
+        out.push(')');
+    }
+    out
+}
+
+/// Renders a ground atom.
+pub fn ground_atom(g: &GroundAtom, symbols: &SymbolTable) -> String {
+    atom(&g.to_atom(), symbols)
+}
+
+/// Renders a premise.
+pub fn premise(p: &Premise, symbols: &SymbolTable) -> String {
+    match p {
+        Premise::Atom(a) => atom(a, symbols),
+        Premise::Neg(a) => format!("~{}", atom(a, symbols)),
+        Premise::Hyp { goal, adds } => {
+            let mut out = atom(goal, symbols);
+            out.push_str("[add: ");
+            for (i, a) in adds.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&atom(a, symbols));
+            }
+            out.push(']');
+            out
+        }
+    }
+}
+
+/// Renders a rule, ending with `.`.
+pub fn rule(r: &HypRule, symbols: &SymbolTable) -> String {
+    let mut out = atom(&r.head, symbols);
+    if !r.premises.is_empty() {
+        out.push_str(" :- ");
+        for (i, p) in r.premises.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&premise(p, symbols));
+        }
+    }
+    out.push('.');
+    out
+}
+
+/// Renders a whole rulebase, one rule per line.
+pub fn rulebase(rb: &Rulebase, symbols: &SymbolTable) -> String {
+    let mut out = String::new();
+    for r in rb.iter() {
+        let _ = writeln!(out, "{}", rule(r, symbols));
+    }
+    out
+}
+
+/// Renders a database as sorted fact lines (deterministic output).
+pub fn database(db: &Database, symbols: &SymbolTable) -> String {
+    let mut lines: Vec<String> = db
+        .iter_facts()
+        .map(|f| format!("{}.", ground_atom(&f, symbols)))
+        .collect();
+    lines.sort();
+    let mut out = String::new();
+    for l in lines {
+        let _ = writeln!(out, "{l}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let src = "\
+within1(X0, X1) :- grad(X0, X1)[add: take(X0, X2)].
+grad(X0, mathphys) :- within1(X0, math), within1(X0, phys).
+even :- ~select(X0).
+a :- b[add: c, d].
+";
+        let mut syms = SymbolTable::new();
+        let rb = parse_program(src, &mut syms).unwrap();
+        let printed = rulebase(&rb, &syms);
+        assert_eq!(printed, src);
+        // And the printed form re-parses to the same AST.
+        let mut syms2 = SymbolTable::new();
+        let rb2 = parse_program(&printed, &mut syms2).unwrap();
+        assert_eq!(rb.len(), rb2.len());
+    }
+
+    #[test]
+    fn database_output_is_sorted() {
+        let mut syms = SymbolTable::new();
+        let p = syms.intern("p");
+        let b = syms.intern("b");
+        let a = syms.intern("a");
+        let mut db = Database::new();
+        db.insert(GroundAtom::new(p, vec![b]));
+        db.insert(GroundAtom::new(p, vec![a]));
+        assert_eq!(database(&db, &syms), "p(a).\np(b).\n");
+    }
+}

@@ -1,0 +1,274 @@
+//! A convenience façade: load programs and ask queries as text.
+//!
+//! [`Session`] owns the symbol table, rulebase, and database, and answers
+//! textual queries with a fresh engine per call (engine construction is
+//! cheap — a linear stratification pass; memo tables are per-call). For
+//! long query sequences against one database, construct a
+//! [`TopDownEngine`](crate::engine::TopDownEngine) directly and reuse it.
+//!
+//! ```
+//! use hdl_core::session::Session;
+//!
+//! let mut s = Session::new();
+//! s.load("
+//!     take(tony, his101).
+//!     grad(S) :- take(S, his101), take(S, eng201).
+//! ").unwrap();
+//! assert!(s.ask("?- grad(tony)[add: take(tony, eng201)].").unwrap());
+//! assert!(!s.ask("?- grad(tony).").unwrap());
+//! ```
+
+use crate::ast::Rulebase;
+use crate::engine::{BottomUpEngine, EngineStats, TopDownEngine};
+use crate::parser::{check_arities, parse_program, parse_query, split_facts};
+use hdl_base::{Database, GroundAtom, Result, SymbolTable};
+
+/// Which engine a [`Session`] evaluates with.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EngineKind {
+    /// Goal-directed with tabling (default; best for search workloads).
+    #[default]
+    TopDown,
+    /// Perfect-model reference engine.
+    BottomUp,
+}
+
+/// An owned program + database with a textual query interface.
+#[derive(Default)]
+pub struct Session {
+    symbols: SymbolTable,
+    rulebase: Rulebase,
+    database: Database,
+    engine: EngineKind,
+    last_stats: Option<EngineStats>,
+    arities: hdl_base::FxHashMap<hdl_base::Symbol, usize>,
+}
+
+impl Session {
+    /// Creates an empty session using the top-down engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the evaluation engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Parses `src`; rules join the rulebase, ground facts the database.
+    ///
+    /// Arity consistency is enforced across *all* loads, facts included.
+    pub fn load(&mut self, src: &str) -> Result<()> {
+        let parsed = parse_program(src, &mut self.symbols)?;
+        // Check new atoms against the session-wide arity registry before
+        // committing anything.
+        for rule in parsed.iter() {
+            for atom in
+                std::iter::once(&rule.head).chain(rule.premises.iter().flat_map(|p| p.atoms()))
+            {
+                match self.arities.get(&atom.pred) {
+                    Some(&a) if a != atom.arity() => {
+                        return Err(hdl_base::Error::ArityMismatch {
+                            predicate: self.symbols.name(atom.pred).to_owned(),
+                            expected: a,
+                            found: atom.arity(),
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.arities.insert(atom.pred, atom.arity());
+                    }
+                }
+            }
+        }
+        let (rules, facts) = split_facts(parsed);
+        for r in rules.rules {
+            self.rulebase.push(r);
+        }
+        check_arities(&self.rulebase, &self.symbols)?;
+        for f in facts {
+            self.database.insert(f);
+        }
+        Ok(())
+    }
+
+    /// Inserts one ground fact directly.
+    pub fn assert_fact(&mut self, fact: GroundAtom) {
+        self.database.insert(fact);
+    }
+
+    /// Evaluates a textual query (`?- premise.`).
+    pub fn ask(&mut self, query: &str) -> Result<bool> {
+        let q = parse_query(query, &mut self.symbols)?;
+        match self.engine {
+            EngineKind::TopDown => {
+                let mut eng = TopDownEngine::new(&self.rulebase, &self.database)?;
+                let r = eng.holds(&q)?;
+                self.last_stats = Some(*eng.stats());
+                Ok(r)
+            }
+            EngineKind::BottomUp => {
+                let mut eng = BottomUpEngine::new(&self.rulebase, &self.database)?;
+                let r = eng.holds(&q)?;
+                self.last_stats = Some(*eng.stats());
+                Ok(r)
+            }
+        }
+    }
+
+    /// All tuples satisfying a non-ground atom pattern, e.g.
+    /// `answers("tc(X, Y)")`.
+    pub fn answers(&mut self, pattern: &str) -> Result<Vec<Vec<String>>> {
+        let q = parse_query(&format!("?- {pattern}."), &mut self.symbols)?;
+        let crate::ast::Premise::Atom(atom) = q else {
+            return Err(hdl_base::Error::Invalid(
+                "answers() takes a plain atom pattern".into(),
+            ));
+        };
+        let rows = match self.engine {
+            EngineKind::TopDown => {
+                let mut eng = TopDownEngine::new(&self.rulebase, &self.database)?;
+                eng.answers(&atom)?
+            }
+            EngineKind::BottomUp => {
+                let mut eng = BottomUpEngine::new(&self.rulebase, &self.database)?;
+                eng.answers(&atom)?
+            }
+        };
+        Ok(rows
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|s| self.symbols.name(s).to_owned())
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Evaluates a textual query and, if provable, renders a proof tree
+    /// (top-down engine only; see
+    /// [`TopDownEngine::explain`](crate::engine::TopDownEngine::explain)).
+    pub fn explain(&mut self, query: &str) -> Result<Option<String>> {
+        let q = parse_query(query, &mut self.symbols)?;
+        let mut eng = TopDownEngine::new(&self.rulebase, &self.database)?;
+        let proof = eng.explain(&q)?;
+        self.last_stats = Some(*eng.stats());
+        Ok(proof.map(|p| crate::engine::proof::render(&p, &self.symbols)))
+    }
+
+    /// The statistics of the most recent [`ask`](Self::ask).
+    pub fn last_stats(&self) -> Option<&EngineStats> {
+        self.last_stats.as_ref()
+    }
+
+    /// Read access to the loaded rulebase.
+    pub fn rulebase(&self) -> &Rulebase {
+        &self.rulebase
+    }
+
+    /// Read access to the database.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// Read access to the symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Renders the current rulebase back to source text.
+    pub fn show_rules(&self) -> String {
+        crate::pretty::rulebase(&self.rulebase, &self.symbols)
+    }
+
+    /// Serializes the whole session (rules then facts) as a program that
+    /// [`Session::load`] accepts — a save file.
+    pub fn dump(&self) -> String {
+        let mut out = crate::pretty::rulebase(&self.rulebase, &self.symbols);
+        out.push_str(&crate::pretty::database(&self.database, &self.symbols));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_ask_roundtrip() {
+        let mut s = Session::new();
+        s.load(
+            "edge(a, b). edge(b, c).
+             tc(X, Y) :- edge(X, Y).
+             tc(X, Z) :- edge(X, Y), tc(Y, Z).",
+        )
+        .unwrap();
+        assert!(s.ask("?- tc(a, c).").unwrap());
+        assert!(!s.ask("?- tc(c, a).").unwrap());
+        assert!(s.last_stats().is_some());
+    }
+
+    #[test]
+    fn incremental_loads_accumulate() {
+        let mut s = Session::new();
+        s.load("p :- q.").unwrap();
+        assert!(!s.ask("?- p.").unwrap());
+        s.load("q.").unwrap();
+        assert!(s.ask("?- p.").unwrap());
+    }
+
+    #[test]
+    fn answers_renders_names() {
+        let mut s = Session::new();
+        s.load("likes(ann, bo). likes(bo, cy). popular(X) :- likes(Y, X).")
+            .unwrap();
+        let rows = s.answers("popular(X)").unwrap();
+        assert_eq!(rows, vec![vec!["bo".to_string()], vec!["cy".to_string()]]);
+    }
+
+    #[test]
+    fn arity_errors_surface_on_load() {
+        let mut s = Session::new();
+        s.load("p(a).").unwrap();
+        assert!(s.load("p(a, b).").is_err());
+    }
+
+    #[test]
+    fn bottom_up_engine_selectable() {
+        let mut s = Session::new().with_engine(EngineKind::BottomUp);
+        s.load("even :- ~odd.\nodd :- marker.").unwrap();
+        assert!(s.ask("?- even.").unwrap());
+        s.load("marker.").unwrap();
+        assert!(!s.ask("?- even.").unwrap());
+    }
+
+    #[test]
+    fn dump_roundtrips_through_load() {
+        let mut s = Session::new();
+        s.load(
+            "edge(a, b).
+             tc(X, Y) :- edge(X, Y).
+             tc(X, Z) :- edge(X, Y), tc(Y, Z).
+             island(X) :- node(X), ~touched(X).
+             touched(X) :- edge(X, Y).",
+        )
+        .unwrap();
+        let saved = s.dump();
+        let mut s2 = Session::new();
+        s2.load(&saved).expect("dump re-loads");
+        assert_eq!(
+            s.ask("?- tc(a, b).").unwrap(),
+            s2.ask("?- tc(a, b).").unwrap()
+        );
+        assert_eq!(saved, s2.dump(), "dump is a fixpoint");
+    }
+
+    #[test]
+    fn hypothetical_queries_via_session() {
+        let mut s = Session::new();
+        s.load("goal :- f1, f2.").unwrap();
+        assert!(s.ask("?- goal[add: f1, f2].").unwrap());
+        assert!(!s.ask("?- goal[add: f1].").unwrap());
+    }
+}

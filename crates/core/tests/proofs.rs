@@ -1,0 +1,201 @@
+//! Proof extraction: every provable query yields a tree that verifies
+//! structurally against the rulebase, and unprovable queries yield none.
+
+use hdl_base::{Database, SymbolTable};
+use hdl_core::ast::Rulebase;
+use hdl_core::engine::{render_proof, ProofChild, ProofNode, TopDownEngine};
+use hdl_core::parser::{parse_program, parse_query, split_facts};
+
+fn setup(src: &str) -> (Rulebase, Database, SymbolTable) {
+    let mut syms = SymbolTable::new();
+    let program = parse_program(src, &mut syms).expect("parses");
+    let (rules, facts) = split_facts(program);
+    (rules, facts.into_iter().collect(), syms)
+}
+
+#[test]
+fn membership_proof_is_a_leaf() {
+    let (rules, db, mut syms) = setup("p(a).");
+    let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+    let q = parse_query("?- p(a).", &mut syms).unwrap();
+    let proof = eng.explain(&q).unwrap().expect("provable");
+    assert!(matches!(proof, ProofNode::Membership { .. }));
+    assert_eq!(proof.size(), 1);
+    proof.verify(&rules).unwrap();
+    let text = render_proof(&proof, &syms);
+    assert!(text.contains("p(a)"));
+    assert!(text.contains("[in database]"));
+}
+
+#[test]
+fn unprovable_queries_have_no_proof() {
+    let (rules, db, mut syms) = setup("p(a).\nq :- p(b).");
+    let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+    let q = parse_query("?- q.", &mut syms).unwrap();
+    assert!(eng.explain(&q).unwrap().is_none());
+}
+
+#[test]
+fn horn_chain_proof_shape() {
+    let (rules, db, mut syms) = setup(
+        "e(a, b). e(b, c).
+         tc(X, Y) :- e(X, Y).
+         tc(X, Z) :- e(X, Y), tc(Y, Z).",
+    );
+    let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+    let q = parse_query("?- tc(a, c).", &mut syms).unwrap();
+    let proof = eng.explain(&q).unwrap().expect("provable");
+    proof.verify(&rules).unwrap();
+    // tc(a,c) via rule 1: e(a,b) ∧ tc(b,c); tc(b,c) via rule 0: e(b,c).
+    let ProofNode::Derived {
+        rule_idx, children, ..
+    } = &proof
+    else {
+        panic!("expected derivation");
+    };
+    assert_eq!(
+        *rule_idx, 1,
+        "the recursive tc rule (facts are split out of the rulebase)"
+    );
+    assert_eq!(children.len(), 2);
+    assert!(proof.depth() >= 3);
+    let text = render_proof(&proof, &syms);
+    assert!(text.contains("tc(a, c)"));
+    assert!(text.contains("e(a, b)"));
+}
+
+#[test]
+fn hypothetical_proof_records_insertions() {
+    let (rules, db, mut syms) = setup(
+        "grad :- his, eng.
+         his.
+         outcome :- grad[add: eng].",
+    );
+    let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+    let q = parse_query("?- outcome.", &mut syms).unwrap();
+    let proof = eng.explain(&q).unwrap().expect("provable");
+    proof.verify(&rules).unwrap();
+    let ProofNode::Derived { children, .. } = &proof else {
+        panic!()
+    };
+    let ProofChild::Hypothetical { adds, sub, .. } = &children[0] else {
+        panic!("expected hypothetical evidence")
+    };
+    assert_eq!(adds.len(), 1);
+    assert_eq!(syms.name(adds[0].pred), "eng");
+    // The inner proof uses the inserted fact as a membership leaf.
+    let ProofNode::Derived {
+        children: inner, ..
+    } = sub.as_ref()
+    else {
+        panic!()
+    };
+    assert!(matches!(
+        inner[1],
+        ProofChild::Positive(ref p) if matches!(**p, ProofNode::Membership { .. })
+    ));
+    let text = render_proof(&proof, &syms);
+    assert!(text.contains("[add: eng]"));
+}
+
+#[test]
+fn negation_evidence_has_no_subtree() {
+    let (rules, db, mut syms) = setup("ok :- ~flag.");
+    let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+    let q = parse_query("?- ok.", &mut syms).unwrap();
+    let proof = eng.explain(&q).unwrap().expect("provable");
+    proof.verify(&rules).unwrap();
+    let ProofNode::Derived { children, .. } = &proof else {
+        panic!()
+    };
+    assert!(matches!(children[0], ProofChild::NegationHolds { .. }));
+    let text = render_proof(&proof, &syms);
+    assert!(text.contains("~flag"));
+    assert!(text.contains("[not derivable]"));
+}
+
+#[test]
+fn negated_query_returns_none_by_design() {
+    let (rules, db, mut syms) = setup("p(a).");
+    let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+    let q = parse_query("?- ~p(b).", &mut syms).unwrap();
+    assert!(eng.holds(&q).unwrap());
+    assert!(eng.explain(&q).unwrap().is_none(), "absence has no tree");
+}
+
+#[test]
+fn existential_query_proof_covers_first_witness() {
+    let (rules, db, mut syms) = setup(
+        "take(tony, cs1).
+         grad(S) :- take(S, cs1), take(S, cs2).",
+    );
+    let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+    let q = parse_query("?- grad(tony)[add: take(tony, C)].", &mut syms).unwrap();
+    assert!(eng.holds(&q).unwrap());
+    let proof = eng.explain(&q).unwrap().expect("provable");
+    proof.verify(&rules).unwrap();
+    // The witness proof is the inner grad derivation inside the augmented DB.
+    let ProofNode::Derived { fact, .. } = &proof else {
+        panic!()
+    };
+    assert_eq!(syms.name(fact.pred), "grad");
+}
+
+#[test]
+fn parity_proof_verifies_and_uses_all_copies() {
+    let (rules, db, mut syms) = setup(
+        "even :- select(X), odd[add: b(X)].
+         odd :- select(X), even[add: b(X)].
+         even :- ~select(X).
+         select(X) :- a(X), ~b(X).
+         a(t0). a(t1).",
+    );
+    let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+    let q = parse_query("?- even.", &mut syms).unwrap();
+    let proof = eng.explain(&q).unwrap().expect("even for |a|=2");
+    proof.verify(&rules).unwrap();
+    // even → odd (1 copied) → even (2 copied, base case). Two
+    // hypothetical hops at least.
+    assert!(proof.depth() >= 5, "depth was {}", proof.depth());
+    let text = render_proof(&proof, &syms);
+    assert_eq!(text.matches("[add: b(").count(), 2, "{text}");
+}
+
+#[test]
+fn hamiltonian_proof_lists_the_path() {
+    let (rules, db, mut syms) = setup(
+        "yes :- node(X), path(X)[add: pnode(X)].
+         path(X) :- select(Y), edge(X, Y), path(Y)[add: pnode(Y)].
+         path(X) :- ~select(Y).
+         select(Y) :- node(Y), ~pnode(Y).
+         node(a). node(b). node(c).
+         edge(a, b). edge(b, c).",
+    );
+    let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+    let q = parse_query("?- yes.", &mut syms).unwrap();
+    let proof = eng.explain(&q).unwrap().expect("chain has a path");
+    proof.verify(&rules).unwrap();
+    let text = render_proof(&proof, &syms);
+    // The proof inserts pnode(a), pnode(b), pnode(c) along the way.
+    for node in ["a", "b", "c"] {
+        assert!(
+            text.contains(&format!("pnode({node})")),
+            "proof must visit {node}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn proofs_survive_memoized_requeries() {
+    let (rules, db, mut syms) = setup(
+        "e(a, b). e(b, c).
+         tc(X, Y) :- e(X, Y).
+         tc(X, Z) :- e(X, Y), tc(Y, Z).",
+    );
+    let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+    let q = parse_query("?- tc(a, c).", &mut syms).unwrap();
+    assert!(eng.holds(&q).unwrap());
+    // Second call answers from the memo — the proof must still build.
+    let proof = eng.explain(&q).unwrap().expect("provable");
+    proof.verify(&rules).unwrap();
+}

@@ -1,0 +1,163 @@
+//! Abstract syntax of plain Datalog with stratified negation.
+
+use hdl_base::{Atom, Symbol, Var};
+
+/// A body literal: a positive or negated atom.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Literal {
+    /// `p(t̄)` — must be provable.
+    Pos(Atom),
+    /// `~p(t̄)` — must not be provable (negation as failure).
+    Neg(Atom),
+}
+
+impl Literal {
+    /// The underlying atom.
+    pub fn atom(&self) -> &Atom {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => a,
+        }
+    }
+
+    /// Whether this literal is negated.
+    pub fn is_negative(&self) -> bool {
+        matches!(self, Literal::Neg(_))
+    }
+}
+
+/// A Datalog rule `head ← body₁, …, bodyₙ`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// Head atom.
+    pub head: Atom,
+    /// Body literals, evaluated conjunctively.
+    pub body: Vec<Literal>,
+    /// Number of distinct variables in the rule (variables are numbered
+    /// densely `0..num_vars`).
+    pub num_vars: usize,
+}
+
+impl Rule {
+    /// Builds a rule, computing `num_vars` from the maximum variable index.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Self {
+        let max = head
+            .vars()
+            .chain(body.iter().flat_map(|l| l.atom().vars()))
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        Rule {
+            head,
+            body,
+            num_vars: max,
+        }
+    }
+
+    /// Whether the rule has an empty body (a fact schema).
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Iterates over all variables in the rule (with repeats).
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.head
+            .vars()
+            .chain(self.body.iter().flat_map(|l| l.atom().vars()))
+    }
+
+    /// The predicates occurring positively in the body.
+    pub fn positive_preds(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Pos(a) => Some(a.pred),
+            Literal::Neg(_) => None,
+        })
+    }
+
+    /// The predicates occurring negatively in the body.
+    pub fn negative_preds(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Neg(a) => Some(a.pred),
+            Literal::Pos(_) => None,
+        })
+    }
+
+    /// Range restriction (safety) check: every head variable and every
+    /// variable of a negated literal must occur in some positive literal.
+    ///
+    /// Unsafe rules are still *evaluable* under the active-domain semantics
+    /// used by the engines, but safe rules evaluate without domain
+    /// enumeration; the engines use this to pick the fast path.
+    pub fn is_safe(&self) -> bool {
+        let positive: Vec<Var> = self
+            .body
+            .iter()
+            .filter(|l| !l.is_negative())
+            .flat_map(|l| l.atom().vars())
+            .collect();
+        let covered = |v: Var| positive.contains(&v);
+        self.head.vars().all(covered)
+            && self
+                .body
+                .iter()
+                .filter(|l| l.is_negative())
+                .all(|l| l.atom().vars().all(covered))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdl_base::Term;
+
+    fn atom(p: u32, args: &[Term]) -> Atom {
+        Atom::new(Symbol(p), args.to_vec())
+    }
+    fn v(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+    fn c(i: u32) -> Term {
+        Term::Const(Symbol(i))
+    }
+
+    #[test]
+    fn num_vars_counts_distinct_indices() {
+        let r = Rule::new(atom(0, &[v(0)]), vec![Literal::Pos(atom(1, &[v(0), v(2)]))]);
+        assert_eq!(r.num_vars, 3); // dense numbering up to max index
+    }
+
+    #[test]
+    fn safety() {
+        // p(X) :- q(X).           safe
+        let safe = Rule::new(atom(0, &[v(0)]), vec![Literal::Pos(atom(1, &[v(0)]))]);
+        assert!(safe.is_safe());
+        // p(X) :- q(Y).           unsafe head var
+        let unsafe_head = Rule::new(atom(0, &[v(0)]), vec![Literal::Pos(atom(1, &[v(1)]))]);
+        assert!(!unsafe_head.is_safe());
+        // p(X) :- q(X), ~r(Y).    unsafe negated var
+        let unsafe_neg = Rule::new(
+            atom(0, &[v(0)]),
+            vec![
+                Literal::Pos(atom(1, &[v(0)])),
+                Literal::Neg(atom(2, &[v(1)])),
+            ],
+        );
+        assert!(!unsafe_neg.is_safe());
+        // p(a) :- .               ground fact is safe
+        let fact = Rule::new(atom(0, &[c(1)]), vec![]);
+        assert!(fact.is_safe());
+        assert!(fact.is_fact());
+    }
+
+    #[test]
+    fn pred_iterators() {
+        let r = Rule::new(
+            atom(0, &[v(0)]),
+            vec![
+                Literal::Pos(atom(1, &[v(0)])),
+                Literal::Neg(atom(2, &[v(0)])),
+            ],
+        );
+        assert_eq!(r.positive_preds().collect::<Vec<_>>(), vec![Symbol(1)]);
+        assert_eq!(r.negative_preds().collect::<Vec<_>>(), vec![Symbol(2)]);
+    }
+}

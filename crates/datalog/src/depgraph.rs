@@ -1,0 +1,235 @@
+//! Predicate dependency graphs and strongly connected components.
+//!
+//! The dependency graph of a program has one node per predicate and an edge
+//! `head → body-pred` for every body occurrence, labelled positive or
+//! negative. Stratification (and, in `hdl-core`, linearity) is decided on
+//! the condensation of this graph, computed with Tarjan's algorithm.
+
+use hdl_base::{FxHashMap, Symbol};
+
+/// Polarity of a dependency edge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeKind {
+    /// The body predicate occurs positively.
+    Positive,
+    /// The body predicate occurs under negation-as-failure.
+    Negative,
+}
+
+/// A labelled predicate dependency graph.
+#[derive(Default, Debug)]
+pub struct DepGraph {
+    /// Dense renumbering of the predicates that occur.
+    index: FxHashMap<Symbol, usize>,
+    /// Inverse of `index`.
+    preds: Vec<Symbol>,
+    /// Adjacency: for each node, `(target, kind)` edges.
+    edges: Vec<Vec<(usize, EdgeKind)>>,
+}
+
+impl DepGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures `p` is a node, returning its dense index.
+    pub fn add_node(&mut self, p: Symbol) -> usize {
+        if let Some(&i) = self.index.get(&p) {
+            return i;
+        }
+        let i = self.preds.len();
+        self.index.insert(p, i);
+        self.preds.push(p);
+        self.edges.push(Vec::new());
+        i
+    }
+
+    /// Adds an edge `from → to` with the given polarity.
+    pub fn add_edge(&mut self, from: Symbol, to: Symbol, kind: EdgeKind) {
+        let f = self.add_node(from);
+        let t = self.add_node(to);
+        if !self.edges[f].contains(&(t, kind)) {
+            self.edges[f].push((t, kind));
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// The predicate at dense index `i`.
+    pub fn pred(&self, i: usize) -> Symbol {
+        self.preds[i]
+    }
+
+    /// The dense index of `p`, if it occurs.
+    pub fn node(&self, p: Symbol) -> Option<usize> {
+        self.index.get(&p).copied()
+    }
+
+    /// Outgoing edges of node `i`.
+    pub fn edges_of(&self, i: usize) -> &[(usize, EdgeKind)] {
+        &self.edges[i]
+    }
+
+    /// Computes strongly connected components with Tarjan's algorithm
+    /// (iterative, so deep recursion chains cannot overflow the stack).
+    ///
+    /// Returns `(component-id per node, number of components)`. Component
+    /// ids are in reverse topological order of the condensation: if there
+    /// is an edge `u → v` with `scc[u] != scc[v]`, then `scc[u] > scc[v]`.
+    pub fn sccs(&self) -> (Vec<usize>, usize) {
+        let n = self.len();
+        let mut index_of = vec![usize::MAX; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut comp = vec![usize::MAX; n];
+        let mut next_index = 0usize;
+        let mut next_comp = 0usize;
+
+        // Explicit DFS frames: (node, edge cursor).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index_of[root] != usize::MAX {
+                continue;
+            }
+            frames.push((root, 0));
+            index_of[root] = next_index;
+            lowlink[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+
+            while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+                if *cursor < self.edges[v].len() {
+                    let (w, _) = self.edges[v][*cursor];
+                    *cursor += 1;
+                    if index_of[w] == usize::MAX {
+                        index_of[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index_of[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index_of[v] {
+                        // v is the root of an SCC.
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp[w] = next_comp;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_comp += 1;
+                    }
+                }
+            }
+        }
+        (comp, next_comp)
+    }
+
+    /// Whether some cycle in the graph passes through a negative edge.
+    ///
+    /// Returns the offending `(from, to)` predicates if so. This is the
+    /// stratified-negation test: a program is stratifiable iff no SCC
+    /// contains a negative edge.
+    pub fn negative_cycle(&self) -> Option<(Symbol, Symbol)> {
+        let (comp, _) = self.sccs();
+        for u in 0..self.len() {
+            for &(v, kind) in &self.edges[u] {
+                if kind == EdgeKind::Negative && comp[u] == comp[v] {
+                    return Some((self.preds[u], self.preds[v]));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> Symbol {
+        Symbol(i)
+    }
+
+    #[test]
+    fn sccs_of_a_cycle() {
+        let mut g = DepGraph::new();
+        g.add_edge(s(0), s(1), EdgeKind::Positive);
+        g.add_edge(s(1), s(0), EdgeKind::Positive);
+        g.add_edge(s(1), s(2), EdgeKind::Positive);
+        let (comp, n) = g.sccs();
+        assert_eq!(n, 2);
+        let i0 = g.node(s(0)).unwrap();
+        let i1 = g.node(s(1)).unwrap();
+        let i2 = g.node(s(2)).unwrap();
+        assert_eq!(comp[i0], comp[i1]);
+        assert_ne!(comp[i0], comp[i2]);
+        // Reverse topological order: the sink {2} gets a smaller id.
+        assert!(comp[i2] < comp[i0]);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_scc() {
+        let mut g = DepGraph::new();
+        g.add_edge(s(0), s(0), EdgeKind::Positive);
+        g.add_node(s(1));
+        let (comp, n) = g.sccs();
+        assert_eq!(n, 2);
+        assert_ne!(comp[0], comp[1]);
+    }
+
+    #[test]
+    fn negative_cycle_detection() {
+        // 0 -~-> 1 --> 0 : negation inside a cycle.
+        let mut g = DepGraph::new();
+        g.add_edge(s(0), s(1), EdgeKind::Negative);
+        g.add_edge(s(1), s(0), EdgeKind::Positive);
+        assert!(g.negative_cycle().is_some());
+
+        // 0 -~-> 1, 1 --> 2 : negation but acyclic.
+        let mut g = DepGraph::new();
+        g.add_edge(s(0), s(1), EdgeKind::Negative);
+        g.add_edge(s(1), s(2), EdgeKind::Positive);
+        assert!(g.negative_cycle().is_none());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 10_000-node chain exercises the iterative DFS.
+        let mut g = DepGraph::new();
+        for i in 0..10_000u32 {
+            g.add_edge(s(i), s(i + 1), EdgeKind::Positive);
+        }
+        let (_, n) = g.sccs();
+        assert_eq!(n, 10_001);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut g = DepGraph::new();
+        g.add_edge(s(0), s(1), EdgeKind::Positive);
+        g.add_edge(s(0), s(1), EdgeKind::Positive);
+        g.add_edge(s(0), s(1), EdgeKind::Negative);
+        assert_eq!(g.edges_of(g.node(s(0)).unwrap()).len(), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! # hdl-datalog
+//!
+//! Plain (non-hypothetical) Datalog with stratified negation — the baseline
+//! substrate of the Bonner PODS '89 reproduction.
+//!
+//! The paper positions hypothetical rules against ordinary function-free
+//! Horn logic, whose data-complexity is P regardless of linearity or
+//! stratified negation (§1). This crate provides that comparison system:
+//!
+//! - [`ast`] — rules with positive/negated body literals;
+//! - [`depgraph`] — the predicate dependency graph and Tarjan SCCs;
+//! - [`stratify`] — the stratified-negation test and stratum assignment;
+//! - [`naive`] / [`seminaive`] — bottom-up evaluation to the perfect
+//!   model (Apt–Blair–Walker / Przymusinski semantics, the paper's [1] and
+//!   [20]), naive and differential;
+//! - [`magic`] — the magic-sets transformation for goal-directed
+//!   bottom-up evaluation (the paper's [2] is the survey of such
+//!   strategies for linear rules);
+//! - [`program`] — an arity-checked rule container.
+//!
+//! The hypothetical engine in `hdl-core` reuses this crate's dependency
+//! analysis and mirrors its perfect-model construction per database.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod depgraph;
+pub mod eval;
+pub mod magic;
+pub mod naive;
+pub mod program;
+pub mod seminaive;
+pub mod stratify;
+
+pub use ast::{Literal, Rule};
+pub use depgraph::{DepGraph, EdgeKind};
+pub use program::Program;
+pub use stratify::{stratify, Stratification};

@@ -1,0 +1,86 @@
+//! Program container: rules plus the symbol table they were built against,
+//! with arity checking.
+
+use crate::ast::Rule;
+use crate::stratify::{stratify, Stratification};
+use hdl_base::{Error, FxHashMap, Result, Symbol, SymbolTable};
+
+/// A checked Datalog program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+    arities: FxHashMap<Symbol, usize>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule after checking arity consistency against earlier rules.
+    pub fn push(&mut self, rule: Rule, symbols: &SymbolTable) -> Result<()> {
+        for atom in std::iter::once(&rule.head).chain(rule.body.iter().map(|l| l.atom())) {
+            match self.arities.get(&atom.pred) {
+                Some(&a) if a != atom.arity() => {
+                    return Err(Error::ArityMismatch {
+                        predicate: symbols.name(atom.pred).to_owned(),
+                        expected: a,
+                        found: atom.arity(),
+                    });
+                }
+                Some(_) => {}
+                None => {
+                    self.arities.insert(atom.pred, atom.arity());
+                }
+            }
+        }
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// The recorded arity of `p`, if it occurs in the program.
+    pub fn arity(&self, p: Symbol) -> Option<usize> {
+        self.arities.get(&p).copied()
+    }
+
+    /// Stratifies the program.
+    pub fn stratification(&self) -> Result<Stratification> {
+        stratify(&self.rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Literal;
+    use hdl_base::{Atom, Term, Var};
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut syms = SymbolTable::new();
+        let p = syms.intern("p");
+        let q = syms.intern("q");
+        let mut prog = Program::new();
+        prog.push(
+            Rule::new(
+                Atom::new(p, vec![Term::Var(Var(0))]),
+                vec![Literal::Pos(Atom::new(q, vec![Term::Var(Var(0))]))],
+            ),
+            &syms,
+        )
+        .unwrap();
+        let err = prog
+            .push(
+                Rule::new(
+                    Atom::new(q, vec![Term::Var(Var(0)), Term::Var(Var(1))]),
+                    vec![],
+                ),
+                &syms,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::ArityMismatch { .. }));
+        assert_eq!(prog.arity(p), Some(1));
+    }
+}

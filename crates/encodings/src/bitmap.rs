@@ -1,0 +1,220 @@
+//! §6.2.2–6.2.3: bitmap encodings of databases onto machine tapes.
+//!
+//! The work tape of the top machine holds a bitmap image of the database:
+//! the tape is divided into blocks, one per relation `Pᵢ` of arity `αᵢ`,
+//! each of size `n^αᵢ`; the cell for tuple `x̄` holds `1` iff
+//! `Pᵢ(x̄) ∈ DB`, where tuples are ranked lexicographically under the
+//! (asserted) linear order. This module provides the encoding as an
+//! executable function — enough to reproduce the paper's diagrams 1–3 and
+//! the order-independence argument of §6.2.3 — plus the `INITIALᶜ` *rules*
+//! for the unary-relation case used by the end-to-end Lemma 2 pipeline.
+
+use hdl_base::{Atom, Database, Symbol, SymbolTable, Term, Var};
+use hdl_core::ast::{HypRule, Premise, Rulebase};
+use hdl_turing::Sym;
+
+/// Schema of the database being encoded: relations in block order.
+#[derive(Clone, Debug)]
+pub struct BitmapSchema {
+    /// `(predicate, arity)` pairs, one block each, in tape order.
+    pub relations: Vec<(Symbol, usize)>,
+}
+
+/// Tape symbols used by bitmap images.
+pub mod tape_sym {
+    use hdl_turing::Sym;
+    /// Blank (beyond the bitmap).
+    pub const BLANK: Sym = Sym(0);
+    /// Bit 0 — tuple absent.
+    pub const ZERO: Sym = Sym(1);
+    /// Bit 1 — tuple present.
+    pub const ONE: Sym = Sym(2);
+}
+
+/// Encodes `db` as a tape under the linear order `order` (a permutation
+/// of the domain; `order[0]` is the least element).
+///
+/// The result has length `Σᵢ n^{αᵢ}`; callers append blanks as needed.
+pub fn bitmap_tape(db: &Database, schema: &BitmapSchema, order: &[Symbol]) -> Vec<Sym> {
+    let n = order.len();
+    let index_of = |s: Symbol| -> usize {
+        order
+            .iter()
+            .position(|&o| o == s)
+            .expect("constant not in the order")
+    };
+    let mut tape = Vec::new();
+    for &(pred, arity) in &schema.relations {
+        let block = n.pow(arity as u32);
+        let mut bits = vec![tape_sym::ZERO; block];
+        for tuple in db.tuples(pred) {
+            assert_eq!(tuple.len(), arity, "schema arity mismatch");
+            let mut rank = 0usize;
+            for &c in tuple {
+                rank = rank * n + index_of(c);
+            }
+            bits[rank] = tape_sym::ONE;
+        }
+        tape.extend(bits);
+    }
+    tape
+}
+
+/// Emits the `INITIALᶜ` rules for a single *unary* relation `p` over
+/// domain `d` into `rb`, writing directly to the top machine's cell
+/// predicates at time `first`:
+///
+/// ```text
+/// cell_k_ONE(J, T̄)   :- p(J), first(T̄).
+/// cell_k_ZERO(J, T̄)  :- d(J), ~p(J), first(T̄).
+/// ```
+///
+/// With a unary relation and the ℓ = 1 base order, a tuple's rank *is*
+/// its element, so positions need no arithmetic — the general-arity rank
+/// computation of [`bitmap_tape`] degenerates to the identity. Positions
+/// beyond the bitmap are higher counter tuples (`ℓ ≥ 2`), which the
+/// caller blanks with its own rules.
+#[allow(clippy::too_many_arguments)]
+pub fn unary_initial_rules(
+    syms: &mut SymbolTable,
+    rb: &mut Rulebase,
+    p: Symbol,
+    domain: Symbol,
+    first_pred: Symbol,
+    l: usize,
+    cell_one: Symbol,
+    cell_zero: Symbol,
+    first1: Symbol,
+) {
+    // Position block: (first1-element)^{l-1} followed by J — rank J in the
+    // first n cells of the n^l counter.
+    let j = Var(0);
+    let tvars: Vec<Term> = (0..l as u32).map(|i| Term::Var(Var(1 + i))).collect();
+    let hi: Vec<Term> = (0..l as u32 - 1)
+        .map(|i| Term::Var(Var(1 + l as u32 + i)))
+        .collect();
+    let mut pos: Vec<Term> = hi.clone();
+    pos.push(j.into());
+
+    let hi_premises = |hi: &[Term]| -> Vec<Premise> {
+        hi.iter()
+            .map(|&t| Premise::Atom(Atom::new(first1, vec![t])))
+            .collect()
+    };
+
+    // cell ONE at positions of p-elements.
+    {
+        let mut argv = pos.clone();
+        argv.extend(tvars.iter().copied());
+        let mut premises = vec![Premise::Atom(Atom::new(p, vec![j.into()]))];
+        premises.extend(hi_premises(&hi));
+        premises.push(Premise::Atom(Atom::new(first_pred, tvars.clone())));
+        rb.push(HypRule::new(Atom::new(cell_one, argv), premises));
+    }
+    // cell ZERO at positions of non-p domain elements.
+    {
+        let mut argv = pos.clone();
+        argv.extend(tvars.iter().copied());
+        let mut premises = vec![
+            Premise::Atom(Atom::new(domain, vec![j.into()])),
+            Premise::Neg(Atom::new(p, vec![j.into()])),
+        ];
+        premises.extend(hi_premises(&hi));
+        premises.push(Premise::Atom(Atom::new(first_pred, tvars.clone())));
+        rb.push(HypRule::new(Atom::new(cell_zero, argv), premises));
+    }
+    let _ = syms;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdl_base::GroundAtom;
+
+    /// The paper's diagrams 1–3 (§6.2.3): DB = {P(b,a), P(b,b), Q(b)}.
+    fn diagram_db(syms: &mut SymbolTable) -> (Database, BitmapSchema, Symbol, Symbol) {
+        let p = syms.intern("p");
+        let q = syms.intern("q");
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        let mut db = Database::new();
+        db.insert(GroundAtom::new(p, vec![b, a]));
+        db.insert(GroundAtom::new(p, vec![b, b]));
+        db.insert(GroundAtom::new(q, vec![b]));
+        (
+            db,
+            BitmapSchema {
+                relations: vec![(p, 2), (q, 1)],
+            },
+            a,
+            b,
+        )
+    }
+
+    fn bits(tape: &[Sym]) -> Vec<u8> {
+        tape.iter()
+            .map(|s| match *s {
+                tape_sym::ZERO => 0,
+                tape_sym::ONE => 1,
+                _ => 9,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn diagram_1_order_a_before_b() {
+        let mut syms = SymbolTable::new();
+        let (db, schema, a, b) = diagram_db(&mut syms);
+        let tape = bitmap_tape(&db, &schema, &[a, b]);
+        // P-block: P(a,a) P(a,b) P(b,a) P(b,b) = 0 0 1 1; Q: Q(a) Q(b) = 0 1.
+        assert_eq!(bits(&tape), vec![0, 0, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn diagram_2_order_b_before_a() {
+        let mut syms = SymbolTable::new();
+        let (db, schema, a, b) = diagram_db(&mut syms);
+        let tape = bitmap_tape(&db, &schema, &[b, a]);
+        // P(b,b) P(b,a) P(a,b) P(a,a) = 1 1 0 0; Q(b) Q(a) = 1 0.
+        assert_eq!(bits(&tape), vec![1, 1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn diagram_3_renaming_equals_reordering() {
+        // DB' = {P(a,b), P(a,a), Q(a)} (swap a↔b) under a<b equals
+        // diagram 2's tape — renaming constants and changing the order are
+        // the same operation on the bitmap (§6.2.3).
+        let mut syms = SymbolTable::new();
+        let p = syms.intern("p");
+        let q = syms.intern("q");
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        let mut db2 = Database::new();
+        db2.insert(GroundAtom::new(p, vec![a, b]));
+        db2.insert(GroundAtom::new(p, vec![a, a]));
+        db2.insert(GroundAtom::new(q, vec![a]));
+        let schema = BitmapSchema {
+            relations: vec![(p, 2), (q, 1)],
+        };
+        let tape3 = bitmap_tape(&db2, &schema, &[a, b]);
+        assert_eq!(bits(&tape3), vec![1, 1, 0, 0, 1, 0]);
+
+        let (db, schema, a, b) = diagram_db(&mut syms);
+        let tape2 = bitmap_tape(&db, &schema, &[b, a]);
+        assert_eq!(tape2, tape3);
+    }
+
+    #[test]
+    fn empty_relation_is_all_zeros() {
+        let mut syms = SymbolTable::new();
+        let p = syms.intern("p");
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        let db = Database::new();
+        let schema = BitmapSchema {
+            relations: vec![(p, 1)],
+        };
+        let tape = bitmap_tape(&db, &schema, &[a, b]);
+        assert_eq!(bits(&tape), vec![0, 0]);
+    }
+}

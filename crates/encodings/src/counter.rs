@@ -1,0 +1,262 @@
+//! §6.2.2: ℓ-tuple counters over a base linear order.
+//!
+//! A linear order `first1/next1/last1` on an `n`-element domain counts to
+//! `n`; ℓ-tuples under lexicographic order count to `n^ℓ`. This module
+//! emits the Horn rules defining `first/next/last` (of arities ℓ, 2ℓ, ℓ)
+//! from the base order, via intermediate predicates `first_k/next_k/
+//! last_k` for `k = 1..ℓ`:
+//!
+//! ```text
+//! first_k(X̄, X)      :- first_{k-1}(X̄), first1(X).
+//! last_k(X̄, X)       :- last_{k-1}(X̄), last1(X).
+//! next_k(X̄, X, X̄, Y) :- dom(X̄), next1(X, Y).            % low digit steps
+//! next_k(X̄, X, Ȳ, Y) :- next_{k-1}(X̄, Ȳ), last1(X), first1(Y). % carry
+//! ```
+//!
+//! The most significant digit comes first, so `next` steps the final
+//! coordinate and carries leftward — exactly a base-`n` odometer.
+
+use hdl_base::{Atom, Symbol, SymbolTable, Term, Var};
+use hdl_core::ast::{HypRule, Premise, Rulebase};
+
+/// Names for one counter level.
+#[derive(Clone, Copy, Debug)]
+pub struct CounterNames {
+    /// Base order (unary/binary/unary).
+    pub first1: Symbol,
+    /// Base successor.
+    pub next1: Symbol,
+    /// Base maximum.
+    pub last1: Symbol,
+    /// Domain predicate (unary) for the untouched high digits.
+    pub domain: Symbol,
+}
+
+/// Emits rules defining `first/next/last` over ℓ-tuples into `rb`, using
+/// the final names `first`, `next`, `last` (arities ℓ, 2ℓ, ℓ).
+///
+/// For `ℓ = 1` the output is three alias rules.
+pub fn counter_rules(syms: &mut SymbolTable, names: &CounterNames, l: usize, rb: &mut Rulebase) {
+    assert!(l >= 1, "counter width must be positive");
+    let level_name = |syms: &mut SymbolTable, what: &str, k: usize| -> Symbol {
+        if k == l {
+            syms.intern(what)
+        } else {
+            syms.intern(&format!("{what}_lv{k}"))
+        }
+    };
+
+    // Level 1: aliases to the base order.
+    {
+        let f = level_name(syms, "first", 1);
+        let n = level_name(syms, "next", 1);
+        let la = level_name(syms, "last", 1);
+        let (x, y) = (Var(0), Var(1));
+        rb.push(HypRule::new(
+            Atom::new(f, vec![x.into()]),
+            vec![Premise::Atom(Atom::new(names.first1, vec![x.into()]))],
+        ));
+        rb.push(HypRule::new(
+            Atom::new(n, vec![x.into(), y.into()]),
+            vec![Premise::Atom(Atom::new(
+                names.next1,
+                vec![x.into(), y.into()],
+            ))],
+        ));
+        rb.push(HypRule::new(
+            Atom::new(la, vec![x.into()]),
+            vec![Premise::Atom(Atom::new(names.last1, vec![x.into()]))],
+        ));
+    }
+
+    for k in 2..=l {
+        let f_k = level_name(syms, "first", k);
+        let f_prev = level_name(syms, "first", k - 1);
+        let n_k = level_name(syms, "next", k);
+        let n_prev = level_name(syms, "next", k - 1);
+        let la_k = level_name(syms, "last", k);
+        let la_prev = level_name(syms, "last", k - 1);
+
+        // Variable layout: X̄ = 0..k-1 (high digits), low digit X = k-1;
+        // target Ȳ similar, offset by k.
+        let hi = |base: u32| -> Vec<Term> {
+            (0..k as u32 - 1)
+                .map(|i| Term::Var(Var(base + i)))
+                .collect()
+        };
+        let lo = |base: u32| Term::Var(Var(base + k as u32 - 1));
+
+        // first_k(X̄, X) :- first_{k-1}(X̄), first1(X).
+        {
+            let xs = hi(0);
+            let x = lo(0);
+            let mut argv = xs.clone();
+            argv.push(x);
+            rb.push(HypRule::new(
+                Atom::new(f_k, argv),
+                vec![
+                    Premise::Atom(Atom::new(f_prev, xs)),
+                    Premise::Atom(Atom::new(names.first1, vec![x])),
+                ],
+            ));
+        }
+        // last_k(X̄, X) :- last_{k-1}(X̄), last1(X).
+        {
+            let xs = hi(0);
+            let x = lo(0);
+            let mut argv = xs.clone();
+            argv.push(x);
+            rb.push(HypRule::new(
+                Atom::new(la_k, argv),
+                vec![
+                    Premise::Atom(Atom::new(la_prev, xs)),
+                    Premise::Atom(Atom::new(names.last1, vec![x])),
+                ],
+            ));
+        }
+        // next_k(X̄,X, X̄,Y) :- d(X₁),…,d(Xₖ₋₁), next1(X, Y).
+        {
+            let xs = hi(0);
+            let x = lo(0);
+            let y = Term::Var(Var(k as u32)); // one extra var after the block
+            let mut argv = xs.clone();
+            argv.push(x);
+            argv.extend(xs.iter().copied());
+            argv.push(y);
+            let mut premises: Vec<Premise> = xs
+                .iter()
+                .map(|&t| Premise::Atom(Atom::new(names.domain, vec![t])))
+                .collect();
+            premises.push(Premise::Atom(Atom::new(names.next1, vec![x, y])));
+            rb.push(HypRule::new(Atom::new(n_k, argv), premises));
+        }
+        // next_k(X̄,X, Ȳ,Y) :- next_{k-1}(X̄, Ȳ), last1(X), first1(Y).
+        {
+            let xs = hi(0);
+            let x = lo(0);
+            let ys = hi(k as u32);
+            let y = lo(k as u32);
+            let mut argv = xs.clone();
+            argv.push(x);
+            argv.extend(ys.iter().copied());
+            argv.push(y);
+            let mut nk_args = xs.clone();
+            nk_args.extend(ys.iter().copied());
+            rb.push(HypRule::new(
+                Atom::new(n_k, argv),
+                vec![
+                    Premise::Atom(Atom::new(n_prev, nk_args)),
+                    Premise::Atom(Atom::new(names.last1, vec![x])),
+                    Premise::Atom(Atom::new(names.first1, vec![y])),
+                ],
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdl_base::{Database, GroundAtom};
+    use hdl_core::engine::BottomUpEngine;
+
+    /// Materializes a base order a0 < a1 < … < a_{n-1} as facts and
+    /// returns the counter tuples derivable from it.
+    fn counter_model(n: usize, l: usize) -> (Vec<Vec<usize>>, usize) {
+        let mut syms = SymbolTable::new();
+        let first1 = syms.intern("first1");
+        let next1 = syms.intern("next1");
+        let last1 = syms.intern("last1");
+        let domain = syms.intern("d");
+        let names = CounterNames {
+            first1,
+            next1,
+            last1,
+            domain,
+        };
+        let mut rb = Rulebase::new();
+        counter_rules(&mut syms, &names, l, &mut rb);
+
+        let consts: Vec<_> = (0..n).map(|i| syms.intern(&format!("a{i}"))).collect();
+        let mut db = Database::new();
+        db.insert(GroundAtom::new(first1, vec![consts[0]]));
+        db.insert(GroundAtom::new(last1, vec![consts[n - 1]]));
+        for w in consts.windows(2) {
+            db.insert(GroundAtom::new(next1, vec![w[0], w[1]]));
+        }
+        for &c in &consts {
+            db.insert(GroundAtom::new(domain, vec![c]));
+        }
+
+        let mut eng = BottomUpEngine::new(&rb, &db).unwrap();
+        let model = eng.model().unwrap();
+        let next = syms.lookup("next").unwrap();
+        let index = |s: hdl_base::Symbol| consts.iter().position(|&c| c == s).unwrap();
+        let mut steps: Vec<Vec<usize>> = model
+            .tuples(next)
+            .map(|t| t.iter().map(|&s| index(s)).collect())
+            .collect();
+        steps.sort();
+        // Count of next edges should be n^l - 1 for a complete counter.
+        let first = syms.lookup("first").unwrap();
+        let firsts = model.count(first);
+        (steps, firsts)
+    }
+
+    /// Decodes an ℓ-tuple of digit indices as a number (big-endian).
+    fn decode(digits: &[usize], n: usize) -> usize {
+        digits.iter().fold(0, |acc, &d| acc * n + d)
+    }
+
+    #[test]
+    fn l1_counter_is_the_base_order() {
+        let (steps, firsts) = counter_model(4, 1);
+        assert_eq!(firsts, 1);
+        assert_eq!(steps.len(), 3);
+        for s in &steps {
+            assert_eq!(s[1], s[0] + 1);
+        }
+    }
+
+    #[test]
+    fn l2_counter_counts_to_n_squared() {
+        let n = 3;
+        let (steps, firsts) = counter_model(n, 2);
+        assert_eq!(firsts, 1);
+        assert_eq!(steps.len(), n * n - 1, "n² − 1 successor edges");
+        for s in &steps {
+            let from = decode(&s[0..2], n);
+            let to = decode(&s[2..4], n);
+            assert_eq!(to, from + 1, "lexicographic successor: {s:?}");
+        }
+    }
+
+    #[test]
+    fn l3_counter_counts_to_n_cubed() {
+        let n = 2;
+        let (steps, _) = counter_model(n, 3);
+        assert_eq!(steps.len(), n * n * n - 1);
+        for s in &steps {
+            assert_eq!(decode(&s[3..6], n), decode(&s[0..3], n) + 1);
+        }
+    }
+
+    #[test]
+    fn counter_rules_are_plain_horn() {
+        let mut syms = SymbolTable::new();
+        let names = CounterNames {
+            first1: syms.intern("first1"),
+            next1: syms.intern("next1"),
+            last1: syms.intern("last1"),
+            domain: syms.intern("d"),
+        };
+        let mut rb = Rulebase::new();
+        counter_rules(&mut syms, &names, 3, &mut rb);
+        for r in rb.iter() {
+            for p in &r.premises {
+                assert!(!p.is_hypothetical() && !p.is_negative());
+            }
+        }
+        assert!(rb.is_constant_free());
+    }
+}

@@ -1,0 +1,105 @@
+//! Corollary 2: lifting a yes/no rulebase to a tuple-returning query.
+//!
+//! Given `R(ψ)` with a 0-ary `YES`, the corollary's rule
+//!
+//! ```text
+//! out(X₁,…,X_α) :- d(X₁), …, d(X_α), yes[add: p0(X₁,…,X_α)].
+//! ```
+//!
+//! enumerates candidate α-tuples over the domain, marks each with the
+//! fresh relation `p0` hypothetically, and keeps those for which the
+//! yes/no query accepts the marked database: `R(φ), DB ⊢ out(x̄)` iff
+//! `x̄ ∈ φ(DB)`.
+
+use hdl_base::{Atom, Symbol, SymbolTable, Term, Var};
+use hdl_core::ast::{HypRule, Premise, Rulebase};
+
+/// Adds the Corollary 2 output rule to `rb`.
+///
+/// Returns the `out` predicate. `p0` is the marker relation the inner
+/// yes/no query inspects; `arity` is the output arity `α₀`.
+pub fn add_output_rule(
+    syms: &mut SymbolTable,
+    rb: &mut Rulebase,
+    yes: Symbol,
+    domain: Symbol,
+    p0: Symbol,
+    arity: usize,
+) -> Symbol {
+    let out = syms.intern("out");
+    let xs: Vec<Term> = (0..arity as u32).map(|i| Term::Var(Var(i))).collect();
+    let mut premises: Vec<Premise> = xs
+        .iter()
+        .map(|&x| Premise::Atom(Atom::new(domain, vec![x])))
+        .collect();
+    premises.push(Premise::Hyp {
+        goal: Atom::new(yes, vec![]),
+        adds: vec![Atom::new(p0, xs.clone())],
+    });
+    rb.push(HypRule::new(Atom::new(out, xs), premises));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdl_base::{Database, GroundAtom};
+    use hdl_core::engine::TopDownEngine;
+    use hdl_core::parser::parse_program;
+
+    /// Inner yes/no query: "the marked element is isolated (has no edge)".
+    /// Lifting it returns exactly the isolated nodes.
+    #[test]
+    fn output_rule_enumerates_answers() {
+        let mut syms = SymbolTable::new();
+        let mut rb = parse_program(
+            "yes :- p0(X), ~touched(X).
+             touched(X) :- e(X, Y).
+             touched(X) :- e(Y, X).",
+            &mut syms,
+        )
+        .unwrap();
+        let yes = syms.lookup("yes").unwrap();
+        let p0 = syms.lookup("p0").unwrap();
+        let d = syms.intern("d");
+        let out = add_output_rule(&mut syms, &mut rb, yes, d, p0, 1);
+
+        let e = syms.lookup("e").unwrap();
+        let (a, b, c) = (syms.intern("a"), syms.intern("b"), syms.intern("c"));
+        let mut db = Database::new();
+        db.insert(GroundAtom::new(e, vec![a, b]));
+        for x in [a, b, c] {
+            db.insert(GroundAtom::new(d, vec![x]));
+        }
+
+        let mut eng = TopDownEngine::new(&rb, &db).unwrap();
+        let pattern = Atom::new(out, vec![Term::Var(Var(0))]);
+        let answers = eng.answers(&pattern).unwrap();
+        assert_eq!(answers, vec![vec![c]], "c is the only isolated node");
+    }
+
+    /// Binary output arity: ordered pairs not connected by an edge.
+    #[test]
+    fn output_rule_binary_arity() {
+        let mut syms = SymbolTable::new();
+        let mut rb = parse_program("yes :- p0(X, Y), ~e(X, Y).", &mut syms).unwrap();
+        let yes = syms.lookup("yes").unwrap();
+        let p0 = syms.lookup("p0").unwrap();
+        let d = syms.intern("d");
+        let out = add_output_rule(&mut syms, &mut rb, yes, d, p0, 2);
+
+        let e = syms.lookup("e").unwrap();
+        let (a, b) = (syms.intern("a"), syms.intern("b"));
+        let mut db = Database::new();
+        db.insert(GroundAtom::new(e, vec![a, b]));
+        db.insert(GroundAtom::new(d, vec![a]));
+        db.insert(GroundAtom::new(d, vec![b]));
+
+        let mut eng = TopDownEngine::new(&rb, &db).unwrap();
+        let pattern = Atom::new(out, vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        let answers = eng.answers(&pattern).unwrap();
+        // 4 ordered pairs, 1 edge → 3 non-edges.
+        assert_eq!(answers.len(), 3);
+        assert!(!answers.contains(&vec![a, b]));
+    }
+}

@@ -1,0 +1,30 @@
+//! # hdl-encodings
+//!
+//! The paper's constructions as executable compilers (Bonner PODS '89).
+//!
+//! - [`tm`] — §5.1: oracle-machine cascades → hypothetical rulebases
+//!   (`R(L)`, `DB(s̄)`), the Theorem 1 lower bound;
+//! - [`order`] — §6.2.1: hypothetical assertion of linear orders over
+//!   unordered domains;
+//! - [`counter`] — §6.2.2: ℓ-tuple counters (`n^ℓ` time/tape positions)
+//!   as Horn rules over an asserted base order;
+//! - [`bitmap`] — §6.2.2–6.2.3: bitmap images of databases on machine
+//!   tapes (reproducing the paper's diagrams 1–3) and the unary-case
+//!   `INITIALᶜ` rules;
+//! - [`lemma2`] — the composed expressibility pipeline `R(ψ)` for generic
+//!   queries over a unary relation;
+//! - [`generic`] — Corollary 2's output rule, lifting yes/no queries to
+//!   tuple-returning ones;
+//! - [`qbf`] — quantified Boolean formulas compiled to stratified
+//!   rulebases: the `Σₖᴾ`-complete problem family in the Example 6–7
+//!   idiom, without the Turing-machine apparatus.
+
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod counter;
+pub mod generic;
+pub mod lemma2;
+pub mod order;
+pub mod qbf;
+pub mod tm;

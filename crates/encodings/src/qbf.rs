@@ -1,0 +1,523 @@
+//! Quantified Boolean formulas as stratified hypothetical rulebases.
+//!
+//! QBF with `k` quantifier alternations (outermost ∃) is the canonical
+//! `Σₖᴾ`-complete problem family. This module compiles such formulas
+//! into hypothetical rulebases in the style of the paper's Examples 6–7
+//! — *without* the Turing-machine apparatus — making Theorem 1's
+//! syntax/complexity correspondence directly visible: a `k`-block QBF
+//! becomes a rulebase whose linear stratification has exactly one
+//! stratum per block.
+//!
+//! ## Encoding
+//!
+//! Per block `i` (outermost first), an ∃-block guesses an assignment of
+//! its variables one at a time, recording it by hypothetical insertion —
+//! the paper's select-and-record idiom:
+//!
+//! ```text
+//! sat_i :- go_i.
+//! go_i  :- sel_i(X), go_i[add: tv_true(X),  assigned(X)].
+//! go_i  :- sel_i(X), go_i[add: tv_false(X), assigned(X)].
+//! go_i  :- ~sel_i(X), sat_{i+1}.
+//! sel_i(X) :- blockvar_i(X), ~assigned(X).
+//! ```
+//!
+//! A ∀-block uses `∀Ȳψ ≡ ¬∃Ȳ¬ψ`: it *searches for a violation* and
+//! negates the result — negation-as-failure supplying exactly the
+//! stratum boundary Theorem 1 needs:
+//!
+//! ```text
+//! sat_i  :- ~viol_i.
+//! viol_i :- vgo_i.
+//! vgo_i  :- sel_i(X), vgo_i[add: tv_true(X),  assigned(X)].
+//! vgo_i  :- sel_i(X), vgo_i[add: tv_false(X), assigned(X)].
+//! vgo_i  :- ~sel_i(X), ~sat_{i+1}.
+//! ```
+//!
+//! The innermost level checks the CNF matrix against the accumulated
+//! `tv_*` facts:
+//!
+//! ```text
+//! sat_{k+1} :- ~unsupported.
+//! unsupported :- clause(C), ~supported(C).
+//! supported(C) :- pos(C, X), tv_true(X).
+//! supported(C) :- neg(C, X), tv_false(X).
+//! ```
+//!
+//! All recursion is linear, so the rulebase is linearly stratified and
+//! the `PROVE` procedures apply; tests cross-check all three engines
+//! against the direct QBF evaluator below.
+
+use hdl_base::{Atom, Database, GroundAtom, Symbol, SymbolTable, Var};
+use hdl_core::ast::{HypRule, Premise, Rulebase};
+
+/// A propositional variable (index into the formula's variable space).
+pub type BoolVar = usize;
+
+/// A literal: variable plus polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Lit {
+    /// The variable.
+    pub var: BoolVar,
+    /// `true` for the positive literal.
+    pub positive: bool,
+}
+
+/// Quantifier of a block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Quant {
+    /// Existential block.
+    Exists,
+    /// Universal block.
+    Forall,
+}
+
+/// A prenex-CNF quantified Boolean formula.
+#[derive(Clone, Debug)]
+pub struct Qbf {
+    /// Quantifier prefix, outermost block first. Every variable must
+    /// appear in exactly one block.
+    pub prefix: Vec<(Quant, Vec<BoolVar>)>,
+    /// CNF matrix: a conjunction of clauses, each a disjunction of
+    /// literals.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Qbf {
+    /// All variables of the prefix, for validation.
+    fn prefix_vars(&self) -> Vec<BoolVar> {
+        let mut v: Vec<BoolVar> = self
+            .prefix
+            .iter()
+            .flat_map(|(_, vars)| vars.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Checks well-formedness: nonempty blocks, no repeated or free
+    /// variables.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.prefix.iter().any(|(_, vars)| vars.is_empty()) {
+            return Err("empty quantifier block".into());
+        }
+        let vars = self.prefix_vars();
+        if vars.windows(2).any(|w| w[0] == w[1]) {
+            return Err("variable quantified twice".into());
+        }
+        for clause in &self.clauses {
+            for lit in clause {
+                if !vars.contains(&lit.var) {
+                    return Err(format!("free variable {} in matrix", lit.var));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Direct semantic evaluation — the substrate baseline the encoding
+    /// is checked against (exponential backtracking over blocks).
+    pub fn eval(&self) -> bool {
+        let max_var = self.prefix_vars().last().copied().map_or(0, |v| v + 1);
+        let mut assignment = vec![None; max_var];
+        self.eval_blocks(0, &mut assignment)
+    }
+
+    fn eval_blocks(&self, block: usize, assignment: &mut Vec<Option<bool>>) -> bool {
+        let Some((quant, vars)) = self.prefix.get(block) else {
+            return self.matrix_true(assignment);
+        };
+        let combos = 1usize << vars.len();
+        match quant {
+            Quant::Exists => (0..combos).any(|mask| {
+                for (i, &v) in vars.iter().enumerate() {
+                    assignment[v] = Some(mask & (1 << i) != 0);
+                }
+                let r = self.eval_blocks(block + 1, assignment);
+                for &v in vars {
+                    assignment[v] = None;
+                }
+                r
+            }),
+            Quant::Forall => (0..combos).all(|mask| {
+                for (i, &v) in vars.iter().enumerate() {
+                    assignment[v] = Some(mask & (1 << i) != 0);
+                }
+                let r = self.eval_blocks(block + 1, assignment);
+                for &v in vars {
+                    assignment[v] = None;
+                }
+                r
+            }),
+        }
+    }
+
+    fn matrix_true(&self, assignment: &[Option<bool>]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|lit| assignment[lit.var].expect("prefix covers all vars") == lit.positive)
+        })
+    }
+}
+
+/// The compiled rulebase and its interface.
+pub struct QbfEncoding {
+    /// The rulebase.
+    pub rulebase: Rulebase,
+    /// EDB: block membership, clause structure.
+    pub database: Database,
+    /// Symbol names.
+    pub symbols: SymbolTable,
+    /// The 0-ary `sat_1` query predicate.
+    pub sat: Symbol,
+}
+
+impl QbfEncoding {
+    /// The query `?- sat_1.`
+    pub fn sat_query(&self) -> Premise {
+        Premise::Atom(Atom::new(self.sat, vec![]))
+    }
+}
+
+/// Compiles `qbf` into a hypothetical rulebase (see module docs).
+pub fn encode_qbf(qbf: &Qbf) -> Result<QbfEncoding, String> {
+    qbf.validate()?;
+    let mut syms = SymbolTable::new();
+    let mut rb = Rulebase::new();
+    let mut db = Database::new();
+
+    let tv_true = syms.intern("tv_true");
+    let tv_false = syms.intern("tv_false");
+    let assigned = syms.intern("assigned");
+    let clause_p = syms.intern("clause");
+    let pos_p = syms.intern("pos");
+    let neg_p = syms.intern("neg");
+    let supported = syms.intern("supported");
+    let unsupported = syms.intern("unsupported");
+
+    // EDB: variables and clause structure.
+    let var_const: Vec<Symbol> = qbf
+        .prefix_vars()
+        .iter()
+        .map(|v| syms.intern(&format!("x{v}")))
+        .collect();
+    let var_sym = |v: BoolVar, syms: &mut SymbolTable| syms.intern(&format!("x{v}"));
+    let _ = var_const;
+    for (i, (_, vars)) in qbf.prefix.iter().enumerate() {
+        let blockvar = syms.intern(&format!("blockvar_{}", i + 1));
+        for &v in vars {
+            let c = var_sym(v, &mut syms);
+            db.insert(GroundAtom::new(blockvar, vec![c]));
+        }
+    }
+    for (ci, clause) in qbf.clauses.iter().enumerate() {
+        let c = syms.intern(&format!("c{ci}"));
+        db.insert(GroundAtom::new(clause_p, vec![c]));
+        for lit in clause {
+            let x = var_sym(lit.var, &mut syms);
+            let pred = if lit.positive { pos_p } else { neg_p };
+            db.insert(GroundAtom::new(pred, vec![c, x]));
+        }
+    }
+
+    // Matrix level: sat_{k+1}.
+    let k = qbf.prefix.len();
+    let sat_matrix = syms.intern(&format!("sat_{}", k + 1));
+    let (x, c) = (Var(0), Var(1));
+    // supported(C) :- pos(C, X), tv_true(X).   (and the negative twin)
+    for (pred, tv) in [(pos_p, tv_true), (neg_p, tv_false)] {
+        rb.push(HypRule::new(
+            Atom::new(supported, vec![c.into()]),
+            vec![
+                Premise::Atom(Atom::new(pred, vec![c.into(), x.into()])),
+                Premise::Atom(Atom::new(tv, vec![x.into()])),
+            ],
+        ));
+    }
+    // unsupported :- clause(C), ~supported(C).
+    rb.push(HypRule::new(
+        Atom::new(unsupported, vec![]),
+        vec![
+            Premise::Atom(Atom::new(clause_p, vec![c.into()])),
+            Premise::Neg(Atom::new(supported, vec![c.into()])),
+        ],
+    ));
+    // sat_{k+1} :- ~unsupported.
+    rb.push(HypRule::new(
+        Atom::new(sat_matrix, vec![]),
+        vec![Premise::Neg(Atom::new(unsupported, vec![]))],
+    ));
+
+    // Blocks, innermost-last: emit from innermost (k) to outermost (1).
+    for i in (1..=k).rev() {
+        let (quant, _) = qbf.prefix[i - 1];
+        let sat_i = syms.intern(&format!("sat_{i}"));
+        let sat_next = syms.intern(&format!("sat_{}", i + 1));
+        let sel = syms.intern(&format!("sel_{i}"));
+        let blockvar = syms.intern(&format!("blockvar_{i}"));
+        // sel_i(X) :- blockvar_i(X), ~assigned(X).
+        rb.push(HypRule::new(
+            Atom::new(sel, vec![x.into()]),
+            vec![
+                Premise::Atom(Atom::new(blockvar, vec![x.into()])),
+                Premise::Neg(Atom::new(assigned, vec![x.into()])),
+            ],
+        ));
+        let walker = |name: &str, syms: &mut SymbolTable| syms.intern(name);
+        match quant {
+            Quant::Exists => {
+                let go = walker(&format!("go_{i}"), &mut syms);
+                emit_walk(&mut rb, go, sel, tv_true, tv_false, assigned, x);
+                // go_i :- ~sel_i(X), sat_{i+1}.
+                rb.push(HypRule::new(
+                    Atom::new(go, vec![]),
+                    vec![
+                        Premise::Neg(Atom::new(sel, vec![x.into()])),
+                        Premise::Atom(Atom::new(sat_next, vec![])),
+                    ],
+                ));
+                // sat_i :- go_i.
+                rb.push(HypRule::new(
+                    Atom::new(sat_i, vec![]),
+                    vec![Premise::Atom(Atom::new(go, vec![]))],
+                ));
+            }
+            Quant::Forall => {
+                let viol = walker(&format!("viol_{i}"), &mut syms);
+                let vgo = walker(&format!("vgo_{i}"), &mut syms);
+                emit_walk(&mut rb, vgo, sel, tv_true, tv_false, assigned, x);
+                // vgo_i :- ~sel_i(X), ~sat_{i+1}.
+                rb.push(HypRule::new(
+                    Atom::new(vgo, vec![]),
+                    vec![
+                        Premise::Neg(Atom::new(sel, vec![x.into()])),
+                        Premise::Neg(Atom::new(sat_next, vec![])),
+                    ],
+                ));
+                // viol_i :- vgo_i.     sat_i :- ~viol_i.
+                rb.push(HypRule::new(
+                    Atom::new(viol, vec![]),
+                    vec![Premise::Atom(Atom::new(vgo, vec![]))],
+                ));
+                rb.push(HypRule::new(
+                    Atom::new(sat_i, vec![]),
+                    vec![Premise::Neg(Atom::new(viol, vec![]))],
+                ));
+            }
+        }
+    }
+
+    let sat = syms.intern("sat_1");
+    Ok(QbfEncoding {
+        rulebase: rb,
+        database: db,
+        symbols: syms,
+        sat,
+    })
+}
+
+/// The two guessing rules shared by ∃- and ∀-walkers:
+/// `W :- sel(X), W[add: tv(X), assigned(X)]` for both polarities.
+fn emit_walk(
+    rb: &mut Rulebase,
+    walker: Symbol,
+    sel: Symbol,
+    tv_true: Symbol,
+    tv_false: Symbol,
+    assigned: Symbol,
+    x: Var,
+) {
+    for tv in [tv_true, tv_false] {
+        rb.push(HypRule::new(
+            Atom::new(walker, vec![]),
+            vec![
+                Premise::Atom(Atom::new(sel, vec![x.into()])),
+                Premise::Hyp {
+                    goal: Atom::new(walker, vec![]),
+                    adds: vec![
+                        Atom::new(tv, vec![x.into()]),
+                        Atom::new(assigned, vec![x.into()]),
+                    ],
+                },
+            ],
+        ));
+    }
+}
+
+/// Convenience constructors for tests and examples.
+pub mod build {
+    use super::*;
+
+    /// A positive literal.
+    pub fn p(var: BoolVar) -> Lit {
+        Lit {
+            var,
+            positive: true,
+        }
+    }
+
+    /// A negative literal.
+    pub fn n(var: BoolVar) -> Lit {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+
+    /// A plain SAT instance: one ∃ block over all variables.
+    pub fn sat(num_vars: usize, clauses: Vec<Vec<Lit>>) -> Qbf {
+        Qbf {
+            prefix: vec![(Quant::Exists, (0..num_vars).collect())],
+            clauses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::{n, p, sat};
+    use super::*;
+    use hdl_core::engine::{BottomUpEngine, ProveEngine, TopDownEngine};
+
+    fn check_all_engines(qbf: &Qbf) {
+        let expected = qbf.eval();
+        let enc = encode_qbf(qbf).expect("encodes");
+        let q = enc.sat_query();
+        let mut td = TopDownEngine::new(&enc.rulebase, &enc.database).unwrap();
+        assert_eq!(td.holds(&q).unwrap(), expected, "top-down {qbf:?}");
+        let mut bu = BottomUpEngine::new(&enc.rulebase, &enc.database).unwrap();
+        assert_eq!(bu.holds(&q).unwrap(), expected, "bottom-up {qbf:?}");
+        let mut pe = ProveEngine::new(&enc.rulebase, &enc.database)
+            .expect("QBF encodings are linearly stratified");
+        assert_eq!(pe.holds(&q).unwrap(), expected, "prove {qbf:?}");
+    }
+
+    #[test]
+    fn sat_instances() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x1) — satisfiable with x1 = true.
+        check_all_engines(&sat(2, vec![vec![p(0), p(1)], vec![n(0), p(1)]]));
+        // x0 ∧ ¬x0 — unsatisfiable.
+        check_all_engines(&sat(1, vec![vec![p(0)], vec![n(0)]]));
+        // Empty matrix — trivially true.
+        check_all_engines(&sat(1, vec![]));
+        // Empty clause — trivially false.
+        check_all_engines(&sat(1, vec![vec![]]));
+    }
+
+    #[test]
+    fn two_block_formulas() {
+        // ∃x0 ∀x1 (x0 ∨ x1): x0 = true works → true.
+        let qbf = Qbf {
+            prefix: vec![(Quant::Exists, vec![0]), (Quant::Forall, vec![1])],
+            clauses: vec![vec![p(0), p(1)]],
+        };
+        check_all_engines(&qbf);
+        // ∃x0 ∀x1 (x0 ∧ x1 requires x1 always true) → false.
+        let qbf = Qbf {
+            prefix: vec![(Quant::Exists, vec![0]), (Quant::Forall, vec![1])],
+            clauses: vec![vec![p(0)], vec![p(1)]],
+        };
+        check_all_engines(&qbf);
+        // ∀x0 ∃x1 (x0 ≠ x1) → true (pick x1 = ¬x0).
+        let qbf = Qbf {
+            prefix: vec![(Quant::Forall, vec![0]), (Quant::Exists, vec![1])],
+            clauses: vec![vec![p(0), p(1)], vec![n(0), n(1)]],
+        };
+        check_all_engines(&qbf);
+    }
+
+    #[test]
+    fn three_block_formula() {
+        // ∃x0 ∀x1 ∃x2: (x2 ↔ (x0 ∨ x1))'s satisfiability core:
+        // clauses (¬x0 ∨ x2) ∧ (¬x1 ∨ x2) ∧ (x0 ∨ x1 ∨ ¬x2): true.
+        let qbf = Qbf {
+            prefix: vec![
+                (Quant::Exists, vec![0]),
+                (Quant::Forall, vec![1]),
+                (Quant::Exists, vec![2]),
+            ],
+            clauses: vec![vec![n(0), p(2)], vec![n(1), p(2)], vec![p(0), p(1), n(2)]],
+        };
+        check_all_engines(&qbf);
+    }
+
+    #[test]
+    fn strata_count_equals_alternation_depth() {
+        use hdl_core::analysis::stratify::linear_stratification;
+        // ∃∀∃ → at least 3 strata worth of alternation; the exact count
+        // is one stratum per negation boundary: matrix + per-∀ + final.
+        let qbf = Qbf {
+            prefix: vec![
+                (Quant::Exists, vec![0]),
+                (Quant::Forall, vec![1]),
+                (Quant::Exists, vec![2]),
+            ],
+            clauses: vec![vec![p(0), p(1), p(2)]],
+        };
+        let enc = encode_qbf(&qbf).unwrap();
+        let ls = linear_stratification(&enc.rulebase).expect("linear");
+        let one_block = encode_qbf(&sat(2, vec![vec![p(0)]])).unwrap();
+        let ls1 = linear_stratification(&one_block.rulebase).unwrap();
+        assert!(
+            ls.num_strata() > ls1.num_strata(),
+            "alternations must add strata: {} vs {}",
+            ls.num_strata(),
+            ls1.num_strata()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_malformed_formulas() {
+        let bad = Qbf {
+            prefix: vec![(Quant::Exists, vec![])],
+            clauses: vec![],
+        };
+        assert!(bad.validate().is_err());
+        let free = Qbf {
+            prefix: vec![(Quant::Exists, vec![0])],
+            clauses: vec![vec![p(1)]],
+        };
+        assert!(free.validate().is_err());
+        let dup = Qbf {
+            prefix: vec![(Quant::Exists, vec![0]), (Quant::Forall, vec![0])],
+            clauses: vec![],
+        };
+        assert!(dup.validate().is_err());
+    }
+
+    #[test]
+    fn exhaustive_small_formulas() {
+        // All 2-var, ≤2-clause, ≤2-literal formulas over a fixed clause
+        // pool, under all four 2-block prefixes: encoder must agree with
+        // the evaluator everywhere.
+        let pool = [
+            vec![p(0), p(1)],
+            vec![n(0), p(1)],
+            vec![p(0), n(1)],
+            vec![n(0), n(1)],
+            vec![p(0)],
+            vec![n(1)],
+        ];
+        let prefixes = [
+            vec![(Quant::Exists, vec![0, 1])],
+            vec![(Quant::Forall, vec![0, 1])],
+            vec![(Quant::Exists, vec![0]), (Quant::Forall, vec![1])],
+            vec![(Quant::Forall, vec![0]), (Quant::Exists, vec![1])],
+        ];
+        for prefix in &prefixes {
+            for i in 0..pool.len() {
+                for j in i..pool.len() {
+                    let qbf = Qbf {
+                        prefix: prefix.clone(),
+                        clauses: vec![pool[i].clone(), pool[j].clone()],
+                    };
+                    let expected = qbf.eval();
+                    let enc = encode_qbf(&qbf).unwrap();
+                    let mut td = TopDownEngine::new(&enc.rulebase, &enc.database).unwrap();
+                    assert_eq!(td.holds(&enc.sat_query()).unwrap(), expected, "{qbf:?}");
+                }
+            }
+        }
+    }
+}

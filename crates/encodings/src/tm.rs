@@ -1,0 +1,484 @@
+//! §5.1: compiling an oracle-machine cascade into a hypothetical rulebase.
+//!
+//! Given a cascade `Mₖ, …, M₁` and an input string `s̄`, this module builds
+//! the database `DB(s̄)` and the linearly stratified rulebase `R(L)` such
+//! that `R(L), DB(s̄) ⊢ ACCEPT` iff the cascade accepts `s̄` — the paper's
+//! lower-bound construction (Theorem 1), validated in experiment E6
+//! against the direct simulator of `hdl-turing`.
+//!
+//! ## Construction
+//!
+//! *Database* (§5.1.1): a counter `first(t0), next(t0,t1), …, last(t_{b-1})`
+//! over `bound` fresh constants, blank work tapes at time 0 for machines
+//! `M₁..Mₖ₋₁`, and the input written on `Mₖ`'s tape at time 0.
+//!
+//! *Rulebase* (§5.1.2–§5.1.4), per machine `Mᵢ`:
+//!
+//! - accepting-state rules `acceptᵢ(T̄) ← controlᵢ_q(J̄1, J̄2, T̄)`;
+//! - one rule per transition, stepping the configuration hypothetically;
+//! - oracle-invocation rules using `oracleᵢ₋₁(T̄)` positively (answer
+//!   *yes*) and under negation-as-failure (answer *no*) — the stratum
+//!   boundary;
+//! - frame axioms propagating untouched cells from `T̄` to `T̄+1` via
+//!   `~activeᵢ(J̄, T̄)`.
+//!
+//! Positions and times are blocks of `ℓ` variables (§6.2.2's ℓ-tuple
+//! counter); the standalone [`encode`] uses `ℓ = 1` with the counter laid
+//! down as database facts, while the §6 expressibility composition
+//! (`lemma2`) uses `ℓ ≥ 1` with the counter *defined by rules* over a
+//! hypothetically asserted base order.
+//!
+//! ## Two corrections to the paper's printed rules
+//!
+//! The transition rule in §5.1.3(ii) adds `CELLᵢᶜ(j₁′, t′)` — the written
+//! symbol at the *new* head position. Combined with the §5.1.4 frame
+//! axiom (which refuses to propagate the cell under the head and happily
+//! propagates the cell at `j₁′`), this loses the old cell `j₁` and gives
+//! `j₁′` two symbols at `t′`. We implement the evidently intended version:
+//! the transition adds `CELLᵢᶜ(j₁, t′)` (write where the head *was*), and
+//! likewise the oracle write lands at `j₂`, not `j₂′`. Second, the frame
+//! axiom's oracle-head `ACTIVE` rule is emitted per `(state, read-symbol)`
+//! pair that actually writes the oracle tape, so a non-writing transition
+//! does not erase the cell under the idle oracle head; the encoder
+//! rejects machines where alternatives of one `(state, symbol)` pair
+//! disagree about writing (none of the paper's constructions need that).
+
+use hdl_base::{Atom, Database, GroundAtom, Symbol, SymbolTable, Term, Var};
+use hdl_core::ast::{HypRule, Premise, Rulebase};
+use hdl_turing::{Cascade, Move, State, Sym};
+
+/// The output of the §5.1 compiler.
+pub struct TmEncoding {
+    /// The rulebase `R(L)`.
+    pub rulebase: Rulebase,
+    /// The database `DB(s̄)`.
+    pub database: Database,
+    /// Names for all generated predicates and constants.
+    pub symbols: SymbolTable,
+    /// The 0-ary `accept` predicate to query.
+    pub accept: Symbol,
+    /// Counter size (time steps and tape cells).
+    pub bound: usize,
+}
+
+impl TmEncoding {
+    /// The query premise `?- accept.`
+    pub fn accept_query(&self) -> Premise {
+        Premise::Atom(Atom::new(self.accept, vec![]))
+    }
+}
+
+/// Predicate-name factory shared with the §6 composition.
+pub struct TmNames<'a> {
+    /// The symbol table names are interned into.
+    pub syms: &'a mut SymbolTable,
+    /// Width of position/time blocks (ℓ).
+    pub l: usize,
+}
+
+impl TmNames<'_> {
+    fn counter_const(&mut self, j: usize) -> Symbol {
+        self.syms.intern(&format!("t{j}"))
+    }
+    /// `first(T̄)` — ℓ-ary.
+    pub fn first(&mut self) -> Symbol {
+        self.syms.intern("first")
+    }
+    /// `next(T̄, T̄′)` — 2ℓ-ary.
+    #[allow(clippy::should_implement_trait)] // named after the paper's NEXT predicate
+    pub fn next(&mut self) -> Symbol {
+        self.syms.intern("next")
+    }
+    /// `last(T̄)` — ℓ-ary.
+    pub fn last(&mut self) -> Symbol {
+        self.syms.intern("last")
+    }
+    /// `cell_i_c(J̄, T̄)`.
+    pub fn cell(&mut self, machine: usize, sym: Sym) -> Symbol {
+        self.syms.intern(&format!("cell_{machine}_{}", sym.0))
+    }
+    /// `control_i_q(J̄1, J̄2, T̄)`.
+    pub fn control(&mut self, machine: usize, q: State) -> Symbol {
+        self.syms.intern(&format!("control_{machine}_{}", q.0))
+    }
+    /// `accept_i(T̄)`.
+    pub fn accept_i(&mut self, machine: usize) -> Symbol {
+        self.syms.intern(&format!("accept_{machine}"))
+    }
+    /// `oracle_i(T̄)`.
+    pub fn oracle(&mut self, machine: usize) -> Symbol {
+        self.syms.intern(&format!("oracle_{machine}"))
+    }
+    /// `active_i(J̄, T̄)`.
+    pub fn active(&mut self, machine: usize) -> Symbol {
+        self.syms.intern(&format!("active_{machine}"))
+    }
+    /// The 0-ary top-level `accept`.
+    pub fn accept(&mut self) -> Symbol {
+        self.syms.intern("accept")
+    }
+}
+
+/// Allocates fresh variable blocks within one rule.
+struct Blocks {
+    next: u32,
+    l: usize,
+}
+
+impl Blocks {
+    fn new(l: usize) -> Self {
+        Blocks { next: 0, l }
+    }
+    /// A fresh block of ℓ variables.
+    fn block(&mut self) -> Vec<Term> {
+        let out: Vec<Term> = (0..self.l)
+            .map(|i| Term::Var(Var(self.next + i as u32)))
+            .collect();
+        self.next += self.l as u32;
+        out
+    }
+}
+
+fn args(blocks: &[&[Term]]) -> Vec<Term> {
+    blocks.iter().flat_map(|b| b.iter().copied()).collect()
+}
+
+/// Compiles `cascade` on `input` with counter size `bound` (ℓ = 1, counter
+/// as database facts).
+///
+/// Machine indices follow the paper: `M₁` is the bottom (oracle-less)
+/// machine, `Mₖ` the top machine that reads the input.
+pub fn encode(cascade: &Cascade, input: &[Sym], bound: usize) -> Result<TmEncoding, String> {
+    if bound < 2 {
+        return Err("bound must be at least 2 (the counter needs a step)".into());
+    }
+    if input.len() > bound {
+        return Err("input longer than the counter".into());
+    }
+    let mut syms = SymbolTable::new();
+    let rulebase = {
+        let mut names = TmNames {
+            syms: &mut syms,
+            l: 1,
+        };
+        machine_rules(cascade, &mut names)?
+    };
+    let mut database = Database::new();
+    {
+        let mut names = TmNames {
+            syms: &mut syms,
+            l: 1,
+        };
+        build_database(&mut names, &mut database, cascade, input, bound);
+    }
+    let accept = syms.intern("accept");
+    Ok(TmEncoding {
+        rulebase,
+        database,
+        symbols: syms,
+        accept,
+        bound,
+    })
+}
+
+/// Emits the full rulebase `R(L)` for `cascade` (all rule families, no
+/// database). Exposed for the §6 composition, which supplies the counter
+/// and initial tapes by rules instead of facts.
+pub fn machine_rules(cascade: &Cascade, names: &mut TmNames) -> Result<Rulebase, String> {
+    let k = cascade.depth();
+    for m in cascade.machines.iter() {
+        m.validate()
+            .map_err(|e| format!("machine {}: {e}", m.name))?;
+        check_uniform_oracle_writes(m)?;
+    }
+    let mut rb = Rulebase::new();
+    for i in 1..=k {
+        let machine = &cascade.machines[i - 1];
+        let below = if i >= 2 { Some(i - 1) } else { None };
+        emit_accepting_rules(names, &mut rb, i, machine);
+        emit_transition_rules(names, &mut rb, i, machine, below);
+        let lower_start = below.map(|b| cascade.machines[b - 1].start);
+        emit_oracle_rules(names, &mut rb, i, machine, below, lower_start);
+        emit_frame_axioms(names, &mut rb, i, cascade);
+    }
+    emit_start_rule(names, &mut rb, k, cascade);
+    Ok(rb)
+}
+
+/// Every alternative of one `(state, symbol)` entry must agree on whether
+/// it writes the oracle tape (see module docs).
+fn check_uniform_oracle_writes(m: &hdl_turing::Machine) -> Result<(), String> {
+    for ((q, s), actions) in &m.transitions {
+        let writes: Vec<bool> = actions.iter().map(|a| a.oracle_write.is_some()).collect();
+        if writes.iter().any(|&w| w) && writes.iter().any(|&w| !w) {
+            return Err(format!(
+                "machine {}: state {} symbol {} mixes oracle-writing and \
+                 non-writing alternatives",
+                m.name, q.0, s.0
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// §5.1.1: counter + initial tapes (ℓ = 1 only).
+fn build_database(
+    names: &mut TmNames,
+    db: &mut Database,
+    cascade: &Cascade,
+    input: &[Sym],
+    bound: usize,
+) {
+    let first = names.first();
+    let next = names.next();
+    let last = names.last();
+    let t: Vec<Symbol> = (0..bound).map(|j| names.counter_const(j)).collect();
+    db.insert(GroundAtom::new(first, vec![t[0]]));
+    for w in t.windows(2) {
+        db.insert(GroundAtom::new(next, vec![w[0], w[1]]));
+    }
+    db.insert(GroundAtom::new(last, vec![t[bound - 1]]));
+
+    let k = cascade.depth();
+    // Blank tapes for the oracle machines M₁..Mₖ₋₁ at time 0.
+    for i in 1..k {
+        let blank = cascade.machines[i - 1].blank;
+        let cell_b = names.cell(i, blank);
+        for &tj in &t {
+            db.insert(GroundAtom::new(cell_b, vec![tj, t[0]]));
+        }
+    }
+    // Input on Mₖ's tape; blanks elsewhere.
+    let top = &cascade.machines[k - 1];
+    for (j, &tj) in t.iter().enumerate() {
+        let sym = input.get(j).copied().unwrap_or(top.blank);
+        let cell = names.cell(k, sym);
+        db.insert(GroundAtom::new(cell, vec![tj, t[0]]));
+    }
+}
+
+/// §5.1.3(i): acceptance detection.
+fn emit_accepting_rules(
+    names: &mut TmNames,
+    rb: &mut Rulebase,
+    i: usize,
+    machine: &hdl_turing::Machine,
+) {
+    let accept_i = names.accept_i(i);
+    for &qa in &machine.accepting {
+        let control = names.control(i, qa);
+        let mut b = Blocks::new(names.l);
+        let (t, j1, j2) = (b.block(), b.block(), b.block());
+        // accept_i(T̄) :- control_i_qa(J̄1, J̄2, T̄).
+        rb.push(HypRule::new(
+            Atom::new(accept_i, t.clone()),
+            vec![Premise::Atom(Atom::new(control, args(&[&j1, &j2, &t])))],
+        ));
+    }
+}
+
+/// §5.1.3(ii): one rule per transition alternative.
+fn emit_transition_rules(
+    names: &mut TmNames,
+    rb: &mut Rulebase,
+    i: usize,
+    machine: &hdl_turing::Machine,
+    below: Option<usize>,
+) {
+    let accept_i = names.accept_i(i);
+    let next = names.next();
+    for (q, read, action) in machine.all_transitions() {
+        let mut b = Blocks::new(names.l);
+        let (t, tp, j1, j2, j1p) = (b.block(), b.block(), b.block(), b.block(), b.block());
+        let control_q = names.control(i, q);
+        let control_next = names.control(i, action.next);
+        let cell_read = names.cell(i, read);
+        let cell_write = names.cell(i, action.write);
+
+        let mut premises: Vec<Premise> = vec![
+            // Bind the configuration first (control facts are EDB-like).
+            Premise::Atom(Atom::new(control_q, args(&[&j1, &j2, &t]))),
+            Premise::Atom(Atom::new(next, args(&[&t, &tp]))),
+            Premise::Atom(Atom::new(cell_read, args(&[&j1, &t]))),
+        ];
+        // Head movement: left needs next(J̄1′, J̄1); right next(J̄1, J̄1′).
+        premises.push(Premise::Atom(match action.work_move {
+            Move::Left => Atom::new(next, args(&[&j1p, &j1])),
+            Move::Right => Atom::new(next, args(&[&j1, &j1p])),
+        }));
+
+        let mut adds: Vec<Atom> = Vec::new();
+        // Write where the head was (correction of the printed rule).
+        adds.push(Atom::new(cell_write, args(&[&j1, &tp])));
+
+        let new_oracle_head: Vec<Term> = if action.oracle_write.is_some() {
+            let j2p = b.block();
+            premises.push(Premise::Atom(Atom::new(next, args(&[&j2, &j2p]))));
+            j2p
+        } else {
+            j2.clone()
+        };
+        if let Some(d) = action.oracle_write {
+            let lower = below.expect("validated: oracle writes need a machine below");
+            let cell_oracle = names.cell(lower, d);
+            adds.push(Atom::new(cell_oracle, args(&[&j2, &tp])));
+        }
+        adds.insert(
+            0,
+            Atom::new(control_next, args(&[&j1p, &new_oracle_head, &tp])),
+        );
+
+        premises.push(Premise::Hyp {
+            goal: Atom::new(accept_i, tp.clone()),
+            adds,
+        });
+        rb.push(HypRule::new(Atom::new(accept_i, t.clone()), premises));
+    }
+}
+
+/// §5.1.3(iii): oracle invocation and the `ORACLEᵢ₋₁` starter rule.
+fn emit_oracle_rules(
+    names: &mut TmNames,
+    rb: &mut Rulebase,
+    i: usize,
+    machine: &hdl_turing::Machine,
+    below: Option<usize>,
+    lower_start: Option<State>,
+) {
+    let Some(protocol) = machine.oracle else {
+        return;
+    };
+    let lower = below.expect("validated: oracle protocol needs a machine below");
+    let lower_start = lower_start.expect("lower machine start state");
+    let accept_i = names.accept_i(i);
+    let next = names.next();
+    let oracle_lower = names.oracle(lower);
+    let control_query = names.control(i, protocol.query);
+    let control_yes = names.control(i, protocol.yes);
+    let control_no = names.control(i, protocol.no);
+
+    for (resume_control, positive) in [(control_yes, true), (control_no, false)] {
+        let mut b = Blocks::new(names.l);
+        let (t, tp, j1, j2) = (b.block(), b.block(), b.block(), b.block());
+        let oracle_atom = Atom::new(oracle_lower, t.clone());
+        rb.push(HypRule::new(
+            Atom::new(accept_i, t.clone()),
+            vec![
+                Premise::Atom(Atom::new(control_query, args(&[&j1, &j2, &t]))),
+                Premise::Atom(Atom::new(next, args(&[&t, &tp]))),
+                if positive {
+                    Premise::Atom(oracle_atom)
+                } else {
+                    // Negation-as-failure at the stratum boundary.
+                    Premise::Neg(oracle_atom)
+                },
+                Premise::Hyp {
+                    goal: Atom::new(accept_i, tp.clone()),
+                    adds: vec![Atom::new(resume_control, args(&[&j1, &j2, &tp]))],
+                },
+            ],
+        ));
+    }
+
+    // Starter: oracle_{i-1}(T̄) :- first(J̄),
+    //     accept_{i-1}(T̄)[add: control_{i-1}_q0(J̄, J̄, T̄)].
+    let accept_lower = names.accept_i(lower);
+    let control_lower_start = names.control(lower, lower_start);
+    let first = names.first();
+    let mut b = Blocks::new(names.l);
+    let (t, j) = (b.block(), b.block());
+    rb.push(HypRule::new(
+        Atom::new(oracle_lower, t.clone()),
+        vec![
+            Premise::Atom(Atom::new(first, j.clone())),
+            Premise::Hyp {
+                goal: Atom::new(accept_lower, t.clone()),
+                adds: vec![Atom::new(control_lower_start, args(&[&j, &j, &t]))],
+            },
+        ],
+    ));
+}
+
+/// §5.1.4: frame axioms for machine `Mᵢ`'s work tape.
+fn emit_frame_axioms(names: &mut TmNames, rb: &mut Rulebase, i: usize, cascade: &Cascade) {
+    let machine = &cascade.machines[i - 1];
+    let next = names.next();
+    let active_i = names.active(i);
+
+    // Propagation per symbol: cell_i_c(J̄, T̄′) :- next(T̄, T̄′),
+    //     cell_i_c(J̄, T̄), ~active_i(J̄, T̄).
+    for c in 0..machine.num_symbols {
+        let cell_c = names.cell(i, Sym(c));
+        let mut b = Blocks::new(names.l);
+        let (t, tp, j) = (b.block(), b.block(), b.block());
+        rb.push(HypRule::new(
+            Atom::new(cell_c, args(&[&j, &tp])),
+            vec![
+                Premise::Atom(Atom::new(next, args(&[&t, &tp]))),
+                Premise::Atom(Atom::new(cell_c, args(&[&j, &t]))),
+                Premise::Neg(Atom::new(active_i, args(&[&j, &t]))),
+            ],
+        ));
+    }
+
+    // Own work head: active for every state except the query state.
+    let skip = machine.oracle.map(|p| p.query);
+    for q in 0..machine.num_states {
+        if Some(State(q)) == skip {
+            continue;
+        }
+        let control_q = names.control(i, State(q));
+        let mut b = Blocks::new(names.l);
+        let (j, j2, t) = (b.block(), b.block(), b.block());
+        rb.push(HypRule::new(
+            Atom::new(active_i, args(&[&j, &t])),
+            vec![Premise::Atom(Atom::new(control_q, args(&[&j, &j2, &t])))],
+        ));
+    }
+
+    // Oracle head of the machine above (if any): active exactly for the
+    // (state, read-symbol) pairs whose transitions write this tape.
+    if i < cascade.depth() {
+        let upper = &cascade.machines[i]; // M_{i+1}
+        let upper_idx = i + 1;
+        let mut emitted: Vec<(State, Sym)> = Vec::new();
+        for (q, s, action) in upper.all_transitions() {
+            if action.oracle_write.is_none() || emitted.contains(&(q, s)) {
+                continue;
+            }
+            emitted.push((q, s));
+            let control_q = names.control(upper_idx, q);
+            let cell_s = names.cell(upper_idx, s);
+            let mut b = Blocks::new(names.l);
+            let (j, j1, t) = (b.block(), b.block(), b.block());
+            rb.push(HypRule::new(
+                Atom::new(active_i, args(&[&j, &t])),
+                vec![
+                    Premise::Atom(Atom::new(control_q, args(&[&j1, &j, &t]))),
+                    Premise::Atom(Atom::new(cell_s, args(&[&j1, &t]))),
+                ],
+            ));
+        }
+    }
+}
+
+/// The top-level `ACCEPT` rule (§5.1.2).
+fn emit_start_rule(names: &mut TmNames, rb: &mut Rulebase, k: usize, cascade: &Cascade) {
+    let accept = names.accept();
+    let first = names.first();
+    let accept_k = names.accept_i(k);
+    let start = cascade.machines[k - 1].start;
+    let control_start = names.control(k, start);
+    let mut b = Blocks::new(names.l);
+    let x = b.block();
+    rb.push(HypRule::new(
+        Atom::new(accept, vec![]),
+        vec![
+            Premise::Atom(Atom::new(first, x.clone())),
+            Premise::Hyp {
+                goal: Atom::new(accept_k, x.clone()),
+                adds: vec![Atom::new(control_start, args(&[&x, &x, &x]))],
+            },
+        ],
+    ));
+}

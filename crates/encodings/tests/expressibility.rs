@@ -1,0 +1,127 @@
+//! E8: the §6 expressibility pipeline on unordered domains.
+//!
+//! `R(ψ)` composed by `lemma2::unary_query_rulebase` must decide the
+//! generic query on every database — with no linear order supplied: the
+//! rulebase asserts all orders hypothetically and genericity makes the
+//! verdict order-independent (§6.2.3). Verdicts are compared against the
+//! query computed directly, across databases and isomorphic copies.
+
+use hdl_base::{Database, GroundAtom, Symbol};
+use hdl_core::engine::TopDownEngine;
+use hdl_encodings::lemma2::unary_query_rulebase;
+use hdl_turing::library;
+use hdl_turing::Cascade;
+
+/// Builds the EDB: domain `a0..a_{n-1}`, `p` on the given indices.
+fn unary_db(
+    enc: &hdl_encodings::lemma2::Lemma2Encoding,
+    syms: &mut hdl_base::SymbolTable,
+    n: usize,
+    p_members: &[usize],
+) -> Database {
+    let consts: Vec<Symbol> = (0..n).map(|i| syms.intern(&format!("a{i}"))).collect();
+    let mut db = Database::new();
+    for &c in &consts {
+        db.insert(GroundAtom::new(enc.domain, vec![c]));
+    }
+    for &i in p_members {
+        db.insert(GroundAtom::new(enc.p, vec![consts[i]]));
+    }
+    db
+}
+
+fn run_yes(cascade: &Cascade, l: usize, n: usize, p_members: &[usize]) -> bool {
+    let enc = unary_query_rulebase(cascade, l, false).expect("composition");
+    let mut syms = enc.symbols.clone();
+    let db = unary_db(&enc, &mut syms, n, p_members);
+    let mut eng = TopDownEngine::new(&enc.rulebase, &db).expect("stratified");
+    eng.holds(&enc.yes_query()).expect("evaluation")
+}
+
+#[test]
+fn nonempty_query_on_unordered_domains() {
+    let cascade = Cascade::new(vec![library::bitmap_nonempty()]).unwrap();
+    // ℓ = 2: n² time steps, bitmap in the first n cells.
+    for n in 2..=3 {
+        assert!(!run_yes(&cascade, 2, n, &[]), "p = ∅ → no (n={n})");
+        for i in 0..n {
+            assert!(
+                run_yes(&cascade, 2, n, &[i]),
+                "p = {{a{i}}} → yes (n={n}) — must hold wherever the element \
+                 lands in the asserted order"
+            );
+        }
+    }
+    assert!(run_yes(&cascade, 2, 3, &[0, 2]));
+}
+
+#[test]
+fn parity_query_on_unordered_domains() {
+    let cascade = Cascade::new(vec![library::bitmap_even_ones()]).unwrap();
+    for n in 2..=3 {
+        for subset_mask in 0..(1u32 << n) {
+            let members: Vec<usize> = (0..n).filter(|&i| subset_mask & (1 << i) != 0).collect();
+            let expected = members.len().is_multiple_of(2);
+            assert_eq!(
+                run_yes(&cascade, 2, n, &members),
+                expected,
+                "|p| = {} on n = {n}",
+                members.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn genericity_verdict_is_isomorphism_invariant() {
+    // The same query on an isomorphic database (renamed constants) must
+    // agree — the §6.2.3 consistency criterion, observable because the
+    // composed rulebase is constant-free.
+    let cascade = Cascade::new(vec![library::bitmap_nonempty()]).unwrap();
+    let enc = unary_query_rulebase(&cascade, 2, false).unwrap();
+    assert!(enc.rulebase.is_constant_free());
+
+    let mut syms = enc.symbols.clone();
+    // Database 1: domain {x, y, z}, p = {y}.
+    let (x, y, z) = (syms.intern("x"), syms.intern("y"), syms.intern("z"));
+    let mut db1 = Database::new();
+    for c in [x, y, z] {
+        db1.insert(GroundAtom::new(enc.domain, vec![c]));
+    }
+    db1.insert(GroundAtom::new(enc.p, vec![y]));
+    // Database 2: renamed via x→z, y→x, z→y; p = {x}.
+    let mut db2 = Database::new();
+    for c in [x, y, z] {
+        db2.insert(GroundAtom::new(enc.domain, vec![c]));
+    }
+    db2.insert(GroundAtom::new(enc.p, vec![x]));
+
+    let v1 = TopDownEngine::new(&enc.rulebase, &db1)
+        .unwrap()
+        .holds(&enc.yes_query())
+        .unwrap();
+    let v2 = TopDownEngine::new(&enc.rulebase, &db2)
+        .unwrap()
+        .holds(&enc.yes_query())
+        .unwrap();
+    assert_eq!(v1, v2, "isomorphic databases must get the same verdict");
+    assert!(v1);
+}
+
+#[test]
+fn example_8_stratum_negates_the_verdict() {
+    // `no :- ~yes.` — empty p: no holds; nonempty p: no fails.
+    let cascade = Cascade::new(vec![library::bitmap_nonempty()]).unwrap();
+    let enc = unary_query_rulebase(&cascade, 2, true).unwrap();
+    let mut syms = enc.symbols.clone();
+
+    let db_empty = unary_db(&enc, &mut syms, 2, &[]);
+    let mut eng = TopDownEngine::new(&enc.rulebase, &db_empty).unwrap();
+    assert!(!eng.holds(&enc.yes_query()).unwrap());
+    assert!(eng.holds(&enc.no_query().unwrap()).unwrap());
+
+    let db_one = unary_db(&enc, &mut syms, 2, &[1]);
+    let mut eng = TopDownEngine::new(&enc.rulebase, &db_one).unwrap();
+    assert!(eng.holds(&enc.yes_query()).unwrap());
+    assert!(!eng.holds(&enc.no_query().unwrap()).unwrap());
+}

@@ -1,0 +1,204 @@
+//! E6: the §5.1 lower-bound construction, cross-checked against the
+//! direct oracle-machine simulator.
+//!
+//! For every (cascade, input, bound) triple:
+//! `R(L), DB(s̄) ⊢ ACCEPT` ⇔ the cascade accepts `s̄` within the bound.
+
+use hdl_core::engine::TopDownEngine;
+use hdl_encodings::tm::encode;
+use hdl_turing::library;
+use hdl_turing::{Cascade, Sym};
+
+const S0: Sym = Sym(0);
+const S1: Sym = Sym(1);
+
+fn encoded_accepts(cascade: &Cascade, input: &[Sym], bound: usize) -> bool {
+    let enc = encode(cascade, input, bound).expect("encodable");
+    let mut engine =
+        TopDownEngine::new(&enc.rulebase, &enc.database).expect("encoding is stratified");
+    engine.holds(&enc.accept_query()).expect("evaluation")
+}
+
+fn assert_matches_simulator(cascade: &Cascade, input: &[Sym], bound: usize) {
+    let direct = cascade.accepts(input, bound);
+    let encoded = encoded_accepts(cascade, input, bound);
+    assert_eq!(
+        encoded, direct,
+        "encoding disagrees with simulator on input {input:?} (bound {bound})"
+    );
+}
+
+#[test]
+fn always_accepting_machine() {
+    let c = Cascade::new(vec![library::always_accept()]).unwrap();
+    assert_matches_simulator(&c, &[], 3);
+    assert!(encoded_accepts(&c, &[], 3));
+}
+
+#[test]
+fn never_accepting_machine() {
+    let c = Cascade::new(vec![library::never_accept()]).unwrap();
+    assert_matches_simulator(&c, &[S0, S1], 5);
+    assert!(!encoded_accepts(&c, &[S0, S1], 5));
+}
+
+#[test]
+fn contains_one_on_various_inputs() {
+    let c = Cascade::new(vec![library::contains_one()]).unwrap();
+    for input in [
+        vec![],
+        vec![S0],
+        vec![S1],
+        vec![S0, S0, S1],
+        vec![S0, S0, S0],
+        vec![S1, S0, S0],
+    ] {
+        assert_matches_simulator(&c, &input, 6);
+    }
+}
+
+#[test]
+fn parity_machine_encoding() {
+    let c = Cascade::new(vec![library::even_ones()]).unwrap();
+    for input in [
+        vec![],
+        vec![S1],
+        vec![S1, S1],
+        vec![S1, S0, S1],
+        vec![S1, S1, S1],
+    ] {
+        assert_matches_simulator(&c, &input, 7);
+    }
+}
+
+#[test]
+fn nondeterministic_guessing_machine() {
+    // ∃-guessing exercises the NP search through hypothetical insertion.
+    let c = Cascade::new(vec![library::guess_contains_one(2)]).unwrap();
+    assert_matches_simulator(&c, &[], 8);
+    assert!(encoded_accepts(&c, &[], 8));
+}
+
+#[test]
+fn time_bound_is_respected() {
+    // The 1 sits at cell 3; reaching it needs 4 steps plus the accept.
+    let c = Cascade::new(vec![library::contains_one()]).unwrap();
+    let input = vec![S0, S0, S0, S1];
+    assert_matches_simulator(&c, &input, 6); // enough time: accept
+    assert_matches_simulator(&c, &input, 4); // too little: reject
+    assert!(!encoded_accepts(&c, &input, 4));
+}
+
+#[test]
+fn two_level_cascade_deterministic_writer() {
+    // write 1 → ask contains-one → accept on yes: ACCEPT.
+    let top = library::write_then_ask(S1, true);
+    let c = Cascade::new(vec![top, library::contains_one()]).unwrap();
+    assert_matches_simulator(&c, &[], 8);
+    assert!(encoded_accepts(&c, &[], 8));
+
+    // write 0 → ask → accept on yes: REJECT (oracle says no).
+    let top = library::write_then_ask(S0, true);
+    let c = Cascade::new(vec![top, library::contains_one()]).unwrap();
+    assert_matches_simulator(&c, &[], 8);
+    assert!(!encoded_accepts(&c, &[], 8));
+
+    // write 0 → ask → accept on NO: ACCEPT through the ~ORACLE rule.
+    let top = library::write_then_ask(S0, false);
+    let c = Cascade::new(vec![top, library::contains_one()]).unwrap();
+    assert_matches_simulator(&c, &[], 8);
+    assert!(encoded_accepts(&c, &[], 8));
+}
+
+#[test]
+fn two_level_cascade_with_guessing() {
+    // Guess one bit onto the oracle tape, accept on yes: satisfiable.
+    let top = library::guess_and_ask(1);
+    let c = Cascade::new(vec![top, library::contains_one()]).unwrap();
+    assert_matches_simulator(&c, &[], 8);
+    assert!(encoded_accepts(&c, &[], 8));
+
+    // Accept on no: also satisfiable (guess 0).
+    let top = library::guess_and_ask_no(1);
+    let c = Cascade::new(vec![top, library::contains_one()]).unwrap();
+    assert_matches_simulator(&c, &[], 8);
+    assert!(encoded_accepts(&c, &[], 8));
+}
+
+#[test]
+fn encoding_is_linearly_stratified_with_k_strata() {
+    use hdl_core::analysis::stratify::linear_stratification;
+    // One machine → 1 stratum; two machines → 2 strata (Theorem 1 shape).
+    let c1 = Cascade::new(vec![library::contains_one()]).unwrap();
+    let enc = encode(&c1, &[S1], 4).unwrap();
+    let ls = linear_stratification(&enc.rulebase).expect("linearly stratified");
+    assert_eq!(ls.num_strata(), 1);
+
+    let top = library::write_then_ask(S1, true);
+    let c2 = Cascade::new(vec![top, library::contains_one()]).unwrap();
+    let enc = encode(&c2, &[], 5).unwrap();
+    let ls = linear_stratification(&enc.rulebase).expect("linearly stratified");
+    assert_eq!(ls.num_strata(), 2);
+    // accept_2 sits above accept_1.
+    let a1 = enc.symbols.lookup("accept_1").unwrap();
+    let a2 = enc.symbols.lookup("accept_2").unwrap();
+    assert!(ls.part(a2) > ls.part(a1));
+}
+
+#[test]
+fn encoder_input_validation() {
+    let c = Cascade::new(vec![library::contains_one()]).unwrap();
+    assert!(encode(&c, &[], 1).is_err(), "bound too small");
+    assert!(
+        encode(&c, &[S0, S0, S0], 2).is_err(),
+        "input exceeds counter"
+    );
+}
+
+#[test]
+fn three_level_cascade_has_three_strata() {
+    // M₃ = write 1 then ask; M₂ = guess a bit, ask M₁, accept on NO;
+    // M₁ = contains-one. A Σ₃ᴾ-shaped composite.
+    let m3 = library::write_then_ask(S1, true);
+    let m2 = library::guess_and_ask_no(1);
+    let m1 = library::contains_one();
+    let c = Cascade::new(vec![m3, m2, m1]).unwrap();
+    let bound = 8;
+    let direct = c.accepts(&[], bound);
+    let enc = encode(&c, &[], bound).unwrap();
+    let ls = hdl_core::analysis::stratify::linear_stratification(&enc.rulebase)
+        .expect("linearly stratified");
+    assert_eq!(ls.num_strata(), 3, "three machines, three strata");
+    let mut engine = TopDownEngine::new(&enc.rulebase, &enc.database).unwrap();
+    assert_eq!(engine.holds(&enc.accept_query()).unwrap(), direct);
+}
+
+#[test]
+fn three_level_cascade_both_outcomes() {
+    // Vary the top machine's acceptance condition to exercise both
+    // verdicts through two oracle layers.
+    for accept_on_yes in [true, false] {
+        let m3 = library::write_then_ask(S1, accept_on_yes);
+        let m2 = library::guess_and_ask(1);
+        let m1 = library::contains_one();
+        let c = Cascade::new(vec![m3, m2, m1]).unwrap();
+        assert_matches_simulator(&c, &[], 8);
+    }
+}
+
+#[test]
+fn accepting_traces_align_with_encoding_verdicts() {
+    use hdl_turing::{accepting_trace, validate_trace};
+    let c = Cascade::new(vec![library::guess_contains_one(2)]).unwrap();
+    let bound = 8;
+    let trace = accepting_trace(&c, &[], bound);
+    let encoded = encoded_accepts(&c, &[], bound);
+    assert_eq!(trace.is_some(), encoded);
+    if let Some(t) = trace {
+        assert_eq!(
+            validate_trace(&c, &[], bound, &t),
+            None,
+            "witness validates"
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Cascades of oracle machines `Mₖ, …, M₁` and their direct simulation.
+//!
+//! A [`Cascade`] is the composite machine of §5.1: `machines[k-1]` is the
+//! top machine `Mₖ` (which reads the input), and each `Mᵢ` uses `Mᵢ₋₁` as
+//! its oracle; `M₁` must not invoke an oracle. The simulator is the
+//! *ground truth* the §5.1 rulebase encoding is validated against
+//! (experiment E6): it explores nondeterministic computation paths by
+//! depth-first search, bounded by the same time/space budget the
+//! encoding's counter provides, with the same boundary conventions:
+//!
+//! - tape cells are `0..bound`; moving a head outside kills the branch
+//!   (the encoding's `NEXT` has no successor there);
+//! - an oracle invocation consumes one time step and resumes in `yes`/`no`;
+//! - the invoked oracle starts at the *current* time and must finish
+//!   within the same global bound (§5.1's shared counter);
+//! - a branch accepts the moment its control state is accepting.
+
+use crate::machine::{Machine, Move, State, Sym};
+
+/// A cascade `Mₖ, …, M₁` (index `k-1` down to `0`).
+#[derive(Clone, Debug)]
+pub struct Cascade {
+    /// `machines[i]` is `Mᵢ₊₁`; the last entry is the top machine.
+    pub machines: Vec<Machine>,
+}
+
+/// One machine's live configuration during simulation.
+struct Config {
+    state: State,
+    work: Vec<Sym>,
+    work_head: usize,
+    oracle_tape: Vec<Sym>,
+    oracle_head: usize,
+}
+
+impl Cascade {
+    /// Builds a cascade after validating every machine.
+    ///
+    /// `machines` are given top-first (`Mₖ` first) for readability; they
+    /// are stored bottom-first internally.
+    pub fn new(machines_top_first: Vec<Machine>) -> Result<Self, String> {
+        if machines_top_first.is_empty() {
+            return Err("cascade needs at least one machine".into());
+        }
+        let mut machines = machines_top_first;
+        machines.reverse(); // store bottom-first: machines[0] = M₁
+        for (i, m) in machines.iter().enumerate() {
+            m.validate()
+                .map_err(|e| format!("machine {}: {e}", m.name))?;
+            if i == 0 && m.oracle.is_some() {
+                return Err(format!("bottom machine {} must not use an oracle", m.name));
+            }
+            if i > 0 && m.oracle.is_none() {
+                return Err(format!(
+                    "machine {} has an oracle below it but no oracle protocol; \
+                     every non-bottom machine must invoke its oracle states",
+                    m.name
+                ));
+            }
+            if i > 0 {
+                // The oracle tape alphabet is the lower machine's.
+                let lower = &machines[i - 1];
+                if m.num_symbols > lower.num_symbols {
+                    return Err(format!(
+                        "machine {} writes symbols its oracle {} lacks",
+                        m.name, lower.name
+                    ));
+                }
+            }
+        }
+        Ok(Cascade { machines })
+    }
+
+    /// Number of machines `k`.
+    pub fn depth(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// The top machine `Mₖ`.
+    pub fn top(&self) -> &Machine {
+        self.machines.last().expect("non-empty")
+    }
+
+    /// Whether the cascade accepts `input` within `bound` time steps and
+    /// tape cells (the encoding's counter size `n^l`).
+    pub fn accepts(&self, input: &[Sym], bound: usize) -> bool {
+        assert!(bound >= 1, "bound must be positive");
+        let top = self.machines.len() - 1;
+        let m = &self.machines[top];
+        let mut work = vec![m.blank; bound];
+        for (i, &s) in input.iter().enumerate() {
+            if i < bound {
+                work[i] = s;
+            }
+        }
+        self.run(top, work, 0, bound)
+    }
+
+    /// Runs machine `level` from its initial control state on `work`,
+    /// starting at time `t0`; returns whether some path accepts. Exposed
+    /// for the trace extractor, which answers oracle calls this way.
+    pub(crate) fn run_from(&self, level: usize, work: Vec<Sym>, t0: usize, bound: usize) -> bool {
+        self.run(level, work, t0, bound)
+    }
+
+    /// Runs machine `level` from its initial control state on `work`,
+    /// starting at time `t0`; returns whether some path accepts.
+    fn run(&self, level: usize, work: Vec<Sym>, t0: usize, bound: usize) -> bool {
+        let m = &self.machines[level];
+        let mut cfg = Config {
+            state: m.start,
+            work,
+            work_head: 0,
+            oracle_tape: if level > 0 {
+                vec![self.machines[level - 1].blank; bound]
+            } else {
+                Vec::new()
+            },
+            oracle_head: 0,
+        };
+        self.search(level, &mut cfg, t0, bound)
+    }
+
+    /// DFS over the nondeterministic choices of machine `level`.
+    fn search(&self, level: usize, cfg: &mut Config, t: usize, bound: usize) -> bool {
+        let m = &self.machines[level];
+        if m.is_accepting(cfg.state) {
+            return true;
+        }
+        if t + 1 >= bound {
+            // No NEXT(t, t') exists: the branch cannot step again.
+            return false;
+        }
+        if let Some(p) = m.oracle {
+            if cfg.state == p.query {
+                // Invoke the oracle on a copy of the oracle tape; its own
+                // computation starts at the current time (§5.1's shared
+                // counter) and leaves this machine's tapes untouched.
+                let answer = self.run(level - 1, cfg.oracle_tape.clone(), t, bound);
+                cfg.state = if answer { p.yes } else { p.no };
+                let accepted = self.search(level, cfg, t + 1, bound);
+                cfg.state = p.query;
+                return accepted;
+            }
+        }
+        let read = cfg.work[cfg.work_head];
+        let actions: Vec<_> = m.actions(cfg.state, read).to_vec();
+        for a in actions {
+            // Apply with undo (cheaper than cloning tapes per branch).
+            let old_state = cfg.state;
+            let old_sym = cfg.work[cfg.work_head];
+            let old_head = cfg.work_head;
+            let old_oracle = cfg.oracle_head;
+            let mut old_oracle_sym = None;
+
+            cfg.work[cfg.work_head] = a.write;
+            let moved = match a.work_move {
+                Move::Left => cfg.work_head.checked_sub(1),
+                Move::Right => {
+                    let h = cfg.work_head + 1;
+                    (h < bound).then_some(h)
+                }
+            };
+            let Some(new_head) = moved else {
+                cfg.work[old_head] = old_sym;
+                continue; // head fell off the counter: branch dies
+            };
+            cfg.work_head = new_head;
+            let mut oracle_ok = true;
+            if let Some(d) = a.oracle_write {
+                if cfg.oracle_head < bound && level > 0 {
+                    old_oracle_sym = Some(cfg.oracle_tape[cfg.oracle_head]);
+                    cfg.oracle_tape[cfg.oracle_head] = d;
+                    cfg.oracle_head += 1;
+                } else {
+                    oracle_ok = false; // oracle head off the counter
+                }
+            }
+            if oracle_ok {
+                cfg.state = a.next;
+                if self.search(level, cfg, t + 1, bound) {
+                    return true;
+                }
+            }
+            // Undo.
+            cfg.state = old_state;
+            cfg.work_head = old_head;
+            cfg.work[old_head] = old_sym;
+            if let Some(s) = old_oracle_sym {
+                cfg.oracle_head -= 1;
+                cfg.oracle_tape[cfg.oracle_head] = s;
+            }
+            let _ = old_oracle;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn cascade_rejects_oracle_on_bottom_machine() {
+        let m = library::guess_and_ask(2);
+        assert!(Cascade::new(vec![m]).is_err());
+    }
+
+    #[test]
+    fn single_machine_accepts_contains_one() {
+        let c = Cascade::new(vec![library::contains_one()]).unwrap();
+        let one = Sym(1);
+        let zero = Sym(0);
+        assert!(c.accepts(&[zero, one, zero], 16));
+        assert!(!c.accepts(&[zero, zero, zero], 16));
+        assert!(c.accepts(&[one], 16));
+        assert!(!c.accepts(&[], 16));
+    }
+
+    #[test]
+    fn always_accept_and_never_accept() {
+        let c = Cascade::new(vec![library::always_accept()]).unwrap();
+        assert!(c.accepts(&[], 2));
+        let c = Cascade::new(vec![library::never_accept()]).unwrap();
+        assert!(!c.accepts(&[Sym(0)], 16));
+    }
+
+    #[test]
+    fn parity_machine_counts_ones() {
+        let c = Cascade::new(vec![library::even_ones()]).unwrap();
+        let one = Sym(1);
+        let zero = Sym(0);
+        assert!(c.accepts(&[], 8));
+        assert!(!c.accepts(&[one], 8));
+        assert!(c.accepts(&[one, zero, one], 16));
+        assert!(!c.accepts(&[one, one, one], 16));
+    }
+
+    #[test]
+    fn guessing_machine_finds_a_witness() {
+        // Nondeterministically writes n symbols to its work tape and
+        // accepts iff it wrote a 1 somewhere (∃-guessing).
+        let c = Cascade::new(vec![library::guess_contains_one(3)]).unwrap();
+        assert!(c.accepts(&[], 16));
+    }
+
+    #[test]
+    fn two_level_cascade_queries_its_oracle() {
+        // Top machine writes a guessed bit to the oracle tape, then asks
+        // contains-one; accepts iff the oracle says yes — which the guess
+        // can always arrange.
+        let top = library::guess_and_ask(1);
+        let c = Cascade::new(vec![top, library::contains_one()]).unwrap();
+        assert!(c.accepts(&[], 16));
+
+        // Same, but accept on the oracle saying NO: also satisfiable by
+        // guessing 0. Both outcomes being reachable is what makes the
+        // encoding's ~ORACLE rule observable.
+        let top = library::guess_and_ask_no(1);
+        let c = Cascade::new(vec![top, library::contains_one()]).unwrap();
+        assert!(c.accepts(&[], 16));
+    }
+
+    #[test]
+    fn oracle_answer_depends_on_written_string() {
+        // Deterministic writer: writes `1` then queries. Oracle yes → accept.
+        let top = library::write_then_ask(Sym(1), true);
+        let c = Cascade::new(vec![top, library::contains_one()]).unwrap();
+        assert!(c.accepts(&[], 16));
+        // Writes `0` then queries. Oracle says no → accept-on-yes fails.
+        let top = library::write_then_ask(Sym(0), true);
+        let c = Cascade::new(vec![top, library::contains_one()]).unwrap();
+        assert!(!c.accepts(&[], 16));
+        // Writes `0`, accepts on NO.
+        let top = library::write_then_ask(Sym(0), false);
+        let c = Cascade::new(vec![top, library::contains_one()]).unwrap();
+        assert!(c.accepts(&[], 16));
+    }
+
+    #[test]
+    fn bound_limits_time() {
+        // contains_one on input with the 1 at position 5 needs 7 steps.
+        let c = Cascade::new(vec![library::contains_one()]).unwrap();
+        let mut input = vec![Sym(0); 6];
+        input[5] = Sym(1);
+        assert!(c.accepts(&input, 16));
+        assert!(!c.accepts(&input, 5), "not enough time to reach the 1");
+    }
+}

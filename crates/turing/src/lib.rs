@@ -1,0 +1,29 @@
+//! # hdl-turing
+//!
+//! Nondeterministic oracle Turing machines — the §5.1 substrate of the
+//! Bonner PODS '89 reproduction.
+//!
+//! The paper's lower-bound construction compiles a cascade of NP oracle
+//! machines `Mₖ, …, M₁` (a `Σₖᴾ` machine) into a hypothetical rulebase.
+//! This crate provides the machines themselves:
+//!
+//! - [`machine`] — two-head nondeterministic machines with the paper's
+//!   `q?`/`q_y`/`q_n` oracle protocol;
+//! - [`cascade`] — composite machines and a bounded DFS simulator, the
+//!   ground truth the rulebase encoding (`hdl-encodings`) is checked
+//!   against;
+//! - [`library`] — small concrete machines (scanners, parity, ∃-guessers,
+//!   oracle callers) used by tests, examples and benchmarks;
+//! - [`trace`] — accepting-run extraction and independent step-by-step
+//!   validation, the debugging bridge to the §5.1 encodings.
+
+#![warn(missing_docs)]
+
+pub mod cascade;
+pub mod library;
+pub mod machine;
+pub mod trace;
+
+pub use cascade::Cascade;
+pub use machine::{Action, Machine, Move, OracleProtocol, State, Sym};
+pub use trace::{accepting_trace, validate_trace, Trace, TraceAction, TraceStep};

@@ -1,0 +1,377 @@
+//! A small library of concrete machines for tests, examples and the E6
+//! encoding experiments.
+//!
+//! All machines use the binary alphabet `{0 = blank, 1}` unless noted.
+//! They are deliberately tiny: the §5.1 construction is uniform in the
+//! machine, so exercising every rule family (accept, transition, oracle
+//! invocation, frame axiom) on small machines validates the compiler
+//! without astronomically large rulebases.
+
+use crate::machine::{Action, Machine, Move, OracleProtocol, State, Sym};
+
+/// Blank/zero symbol.
+pub const S0: Sym = Sym(0);
+/// One symbol.
+pub const S1: Sym = Sym(1);
+
+/// Accepts immediately (its start state is accepting).
+pub fn always_accept() -> Machine {
+    let mut m = Machine::new("always", 1, 2);
+    m.accepting.push(State(0));
+    m
+}
+
+/// Never accepts (no accepting states; scans right forever).
+pub fn never_accept() -> Machine {
+    let mut m = Machine::new("never", 1, 2);
+    for s in [S0, S1] {
+        m.add_transition(
+            State(0),
+            s,
+            Action {
+                write: s,
+                work_move: Move::Right,
+                oracle_write: None,
+                next: State(0),
+            },
+        );
+    }
+    m
+}
+
+/// Accepts iff the input contains a `1`: scan right, accept on reading 1.
+pub fn contains_one() -> Machine {
+    let mut m = Machine::new("contains_one", 2, 2);
+    m.accepting.push(State(1));
+    m.add_transition(
+        State(0),
+        S0,
+        Action {
+            write: S0,
+            work_move: Move::Right,
+            oracle_write: None,
+            next: State(0),
+        },
+    );
+    m.add_transition(
+        State(0),
+        S1,
+        Action {
+            write: S1,
+            work_move: Move::Right,
+            oracle_write: None,
+            next: State(1),
+        },
+    );
+    m
+}
+
+/// Accepts iff the input holds an even number of `1`s (parity flip-flop).
+///
+/// The scan must reach the end of the used tape; since the work tape is
+/// blank-padded, "end" is detected by convention: the machine runs until
+/// it steps onto a blank *after* having started — it accepts by entering
+/// the accept state on reading a blank in the even state.
+pub fn even_ones() -> Machine {
+    // States: 0 = even-so-far, 1 = odd-so-far, 2 = accept.
+    let mut m = Machine::new("even_ones", 3, 2);
+    m.accepting.push(State(2));
+    m.add_transition(
+        State(0),
+        S1,
+        Action {
+            write: S1,
+            work_move: Move::Right,
+            oracle_write: None,
+            next: State(1),
+        },
+    );
+    m.add_transition(
+        State(1),
+        S1,
+        Action {
+            write: S1,
+            work_move: Move::Right,
+            oracle_write: None,
+            next: State(0),
+        },
+    );
+    // Reading a blank in the even state: accept. (Blanks inside the input
+    // count as terminators, which is fine for our test inputs.)
+    m.add_transition(
+        State(0),
+        S0,
+        Action {
+            write: S0,
+            work_move: Move::Right,
+            oracle_write: None,
+            next: State(2),
+        },
+    );
+    // Reading a blank in the odd state: keep scanning (will never accept).
+    m.add_transition(
+        State(1),
+        S0,
+        Action {
+            write: S0,
+            work_move: Move::Right,
+            oracle_write: None,
+            next: State(1),
+        },
+    );
+    m
+}
+
+/// Nondeterministically writes `n` bits onto its own work tape, then
+/// accepts iff some written bit was `1` — a pure ∃-guess.
+pub fn guess_contains_one(n: u8) -> Machine {
+    // States: 0..n = writing position i; n+1 = scan-back-left; n+2 = accept.
+    let scan = n + 1;
+    let accept = n + 2;
+    let mut m = Machine::new(format!("guess_contains_one_{n}"), n + 3, 2);
+    m.accepting.push(State(accept));
+    for i in 0..n {
+        for write in [S0, S1] {
+            m.add_transition(
+                State(i),
+                S0,
+                Action {
+                    write,
+                    work_move: Move::Right,
+                    oracle_write: None,
+                    next: State(i + 1),
+                },
+            );
+        }
+    }
+    // After writing, the head is at cell n; scan left for a 1.
+    m.add_transition(
+        State(n),
+        S0,
+        Action {
+            write: S0,
+            work_move: Move::Left,
+            oracle_write: None,
+            next: State(scan),
+        },
+    );
+    m.add_transition(
+        State(scan),
+        S0,
+        Action {
+            write: S0,
+            work_move: Move::Left,
+            oracle_write: None,
+            next: State(scan),
+        },
+    );
+    m.add_transition(
+        State(scan),
+        S1,
+        Action {
+            write: S1,
+            work_move: Move::Left,
+            oracle_write: None,
+            next: State(accept),
+        },
+    );
+    m
+}
+
+/// Oracle protocol states shared by the oracle-using library machines:
+/// the machine has states `0..=n+3` where `n+1 = query`, `n+2 = yes`,
+/// `n+3 = no` (which of `yes`/`no` is accepting varies).
+fn with_protocol(mut m: Machine, n: u8) -> Machine {
+    m.oracle = Some(OracleProtocol {
+        query: State(n + 1),
+        yes: State(n + 2),
+        no: State(n + 3),
+    });
+    m
+}
+
+/// Nondeterministically writes `n` bits to the *oracle tape*, queries the
+/// oracle, and accepts iff the answer is *yes* (`∃w: oracle(w)`).
+pub fn guess_and_ask(n: u8) -> Machine {
+    let mut m = Machine::new(format!("guess_and_ask_{n}"), n + 4, 2);
+    for i in 0..n {
+        for bit in [S0, S1] {
+            m.add_transition(
+                State(i),
+                S0,
+                Action {
+                    write: S0,
+                    work_move: Move::Right,
+                    oracle_write: Some(bit),
+                    next: State(i + 1),
+                },
+            );
+        }
+    }
+    // Step into the query state (one more work-tape step).
+    m.add_transition(
+        State(n),
+        S0,
+        Action {
+            write: S0,
+            work_move: Move::Right,
+            oracle_write: None,
+            next: State(n + 1),
+        },
+    );
+    let mut m = with_protocol(m, n);
+    m.accepting.push(State(n + 2)); // accept on yes
+    m
+}
+
+/// Like [`guess_and_ask`] but accepts iff the oracle answers *no*
+/// (`∃w: ¬oracle(w)`) — this exercises the encoding's `~ORACLE` rule.
+pub fn guess_and_ask_no(n: u8) -> Machine {
+    let mut m = guess_and_ask(n);
+    m.name = format!("guess_and_ask_no_{n}");
+    m.accepting.clear();
+    m.accepting.push(State(n + 3)); // accept on no
+    m
+}
+
+/// Deterministically writes `bit` once to the oracle tape, queries, and
+/// accepts on *yes* (`accept_on_yes`) or *no*.
+pub fn write_then_ask(bit: Sym, accept_on_yes: bool) -> Machine {
+    let mut m = Machine::new(
+        format!(
+            "write{}_then_ask_{}",
+            bit.0,
+            if accept_on_yes { "yes" } else { "no" }
+        ),
+        5,
+        2,
+    );
+    m.add_transition(
+        State(0),
+        S0,
+        Action {
+            write: S0,
+            work_move: Move::Right,
+            oracle_write: Some(bit),
+            next: State(1),
+        },
+    );
+    let mut m = with_protocol(m, 0);
+    m.accepting
+        .push(if accept_on_yes { State(2) } else { State(3) });
+    m
+}
+
+/// Tape alphabet for bitmap images (§6.2.2): blank, bit 0, bit 1.
+pub mod bitmap_alphabet {
+    use crate::machine::Sym;
+    /// Blank — beyond the bitmap.
+    pub const BLANK: Sym = Sym(0);
+    /// Bit 0 — tuple absent.
+    pub const ZERO: Sym = Sym(1);
+    /// Bit 1 — tuple present.
+    pub const ONE: Sym = Sym(2);
+}
+
+/// Scans a bitmap tape rightward and accepts iff it contains a ONE —
+/// decides the generic query "is the (unary) relation nonempty?".
+pub fn bitmap_nonempty() -> Machine {
+    use bitmap_alphabet::{ONE, ZERO};
+    let mut m = Machine::new("bitmap_nonempty", 2, 3);
+    m.accepting.push(State(1));
+    m.add_transition(
+        State(0),
+        ZERO,
+        Action {
+            write: ZERO,
+            work_move: Move::Right,
+            oracle_write: None,
+            next: State(0),
+        },
+    );
+    m.add_transition(
+        State(0),
+        ONE,
+        Action {
+            write: ONE,
+            work_move: Move::Right,
+            oracle_write: None,
+            next: State(1),
+        },
+    );
+    // On BLANK: halt (reject this branch) — no transition.
+    m
+}
+
+/// Scans a bitmap tape rightward and accepts iff it holds an even number
+/// of ONEs — decides the generic query "is |p| even?". The end of the
+/// bitmap is the first BLANK cell.
+pub fn bitmap_even_ones() -> Machine {
+    use bitmap_alphabet::{BLANK, ONE, ZERO};
+    // States: 0 even-so-far, 1 odd-so-far, 2 accept.
+    let mut m = Machine::new("bitmap_even_ones", 3, 3);
+    m.accepting.push(State(2));
+    for (state, one_next) in [(0u8, 1u8), (1, 0)] {
+        m.add_transition(
+            State(state),
+            ZERO,
+            Action {
+                write: ZERO,
+                work_move: Move::Right,
+                oracle_write: None,
+                next: State(state),
+            },
+        );
+        m.add_transition(
+            State(state),
+            ONE,
+            Action {
+                write: ONE,
+                work_move: Move::Right,
+                oracle_write: None,
+                next: State(one_next),
+            },
+        );
+    }
+    m.add_transition(
+        State(0),
+        BLANK,
+        Action {
+            write: BLANK,
+            work_move: Move::Right,
+            oracle_write: None,
+            next: State(2),
+        },
+    );
+    // Odd at the end: no transition on BLANK → reject.
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_machines_validate() {
+        for m in [
+            always_accept(),
+            never_accept(),
+            contains_one(),
+            even_ones(),
+            guess_contains_one(3),
+            guess_and_ask(2),
+            guess_and_ask_no(2),
+            write_then_ask(S1, true),
+        ] {
+            assert!(m.validate().is_ok(), "{} must validate", m.name);
+        }
+    }
+
+    #[test]
+    fn guessing_machines_are_nondeterministic() {
+        let m = guess_contains_one(2);
+        assert_eq!(m.actions(State(0), S0).len(), 2);
+        let m = guess_and_ask(1);
+        assert_eq!(m.actions(State(0), S0).len(), 2);
+    }
+}

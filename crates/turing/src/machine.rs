@@ -1,0 +1,229 @@
+//! Nondeterministic oracle Turing machines, as used in §5.1 of the paper.
+//!
+//! A machine has a read/write *work tape* and (if it invokes an oracle) a
+//! write-only *oracle tape*, which is the work tape of the machine below
+//! it in the cascade. Each transition reads the work-tape symbol under the
+//! work head and, nondeterministically, picks an action that writes the
+//! work tape, moves the work head, optionally writes the oracle tape
+//! (moving the oracle head one cell right), and changes state. Three
+//! distinguished states implement the oracle protocol: entering `query`
+//! suspends the machine, runs the oracle on the oracle tape, and resumes
+//! in `yes` or `no`.
+
+use std::collections::BTreeMap;
+
+/// A tape symbol (index into the machine's alphabet).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Sym(pub u8);
+
+/// A control state.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct State(pub u8);
+
+/// Work-head movement. The paper's encoding uses `NEXT` both ways, so
+/// both directions are supported; there is no "stay".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Move {
+    /// One cell toward position 0.
+    Left,
+    /// One cell away from position 0.
+    Right,
+}
+
+/// One nondeterministic alternative of a transition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Action {
+    /// Symbol written to the work tape at the work head.
+    pub write: Sym,
+    /// Work-head movement.
+    pub work_move: Move,
+    /// If `Some(d)`: write `d` at the oracle head and move it right.
+    pub oracle_write: Option<Sym>,
+    /// Next control state.
+    pub next: State,
+}
+
+/// Special states implementing the oracle protocol (§5.1.3 (iii)).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OracleProtocol {
+    /// `q?` — invoke the oracle and suspend.
+    pub query: State,
+    /// `q_y` — resumed here when the oracle answers *yes*.
+    pub yes: State,
+    /// `q_n` — resumed here when the oracle answers *no*.
+    pub no: State,
+}
+
+/// A nondeterministic (oracle) Turing machine.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Human-readable name (used in reports and generated predicates).
+    pub name: String,
+    /// Number of states; states are `0..num_states`.
+    pub num_states: u8,
+    /// Number of tape symbols; symbols are `0..num_symbols`.
+    pub num_symbols: u8,
+    /// The blank symbol.
+    pub blank: Sym,
+    /// Initial control state.
+    pub start: State,
+    /// Accepting control states.
+    pub accepting: Vec<State>,
+    /// Oracle protocol states, if this machine invokes an oracle.
+    pub oracle: Option<OracleProtocol>,
+    /// The transition relation: `(state, read symbol) → alternatives`.
+    /// Deterministic states have one alternative; nondeterministic choice
+    /// points have several; missing entries halt (reject) that branch.
+    pub transitions: BTreeMap<(State, Sym), Vec<Action>>,
+}
+
+impl Machine {
+    /// Creates a machine skeleton with no transitions.
+    pub fn new(name: impl Into<String>, num_states: u8, num_symbols: u8) -> Self {
+        assert!(num_symbols >= 1, "need at least the blank symbol");
+        Machine {
+            name: name.into(),
+            num_states,
+            num_symbols,
+            blank: Sym(0),
+            start: State(0),
+            accepting: Vec::new(),
+            oracle: None,
+            transitions: BTreeMap::new(),
+        }
+    }
+
+    /// Adds one nondeterministic alternative for `(state, read)`.
+    pub fn add_transition(&mut self, state: State, read: Sym, action: Action) -> &mut Self {
+        assert!(state.0 < self.num_states, "state out of range");
+        assert!(read.0 < self.num_symbols, "symbol out of range");
+        assert!(action.write.0 < self.num_symbols, "write out of range");
+        assert!(action.next.0 < self.num_states, "next state out of range");
+        if let Some(d) = action.oracle_write {
+            assert!(d.0 < self.num_symbols, "oracle write out of range");
+        }
+        self.transitions
+            .entry((state, read))
+            .or_default()
+            .push(action);
+        self
+    }
+
+    /// Whether `s` is accepting.
+    pub fn is_accepting(&self, s: State) -> bool {
+        self.accepting.contains(&s)
+    }
+
+    /// The alternatives for `(state, read)` (empty slice = halt/reject).
+    pub fn actions(&self, state: State, read: Sym) -> &[Action] {
+        self.transitions
+            .get(&(state, read))
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// All `(state, read, action)` triples, for encoders.
+    pub fn all_transitions(&self) -> impl Iterator<Item = (State, Sym, Action)> + '_ {
+        self.transitions
+            .iter()
+            .flat_map(|(&(q, s), acts)| acts.iter().map(move |&a| (q, s, a)))
+    }
+
+    /// Basic well-formedness checks (used by encoders before compiling).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.start.0 >= self.num_states {
+            return Err("start state out of range".into());
+        }
+        if self.blank.0 >= self.num_symbols {
+            return Err("blank symbol out of range".into());
+        }
+        for s in &self.accepting {
+            if s.0 >= self.num_states {
+                return Err("accepting state out of range".into());
+            }
+        }
+        if let Some(p) = self.oracle {
+            for (nm, s) in [("query", p.query), ("yes", p.yes), ("no", p.no)] {
+                if s.0 >= self.num_states {
+                    return Err(format!("oracle {nm} state out of range"));
+                }
+            }
+            // The query state suspends the machine; transitions out of it
+            // would be ambiguous with the oracle protocol.
+            if self.transitions.keys().any(|&(q, _)| q == p.query) {
+                return Err("query state must have no ordinary transitions".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query_transitions() {
+        let mut m = Machine::new("t", 2, 2);
+        m.add_transition(
+            State(0),
+            Sym(0),
+            Action {
+                write: Sym(1),
+                work_move: Move::Right,
+                oracle_write: None,
+                next: State(1),
+            },
+        );
+        m.add_transition(
+            State(0),
+            Sym(0),
+            Action {
+                write: Sym(0),
+                work_move: Move::Right,
+                oracle_write: None,
+                next: State(0),
+            },
+        );
+        assert_eq!(m.actions(State(0), Sym(0)).len(), 2);
+        assert!(m.actions(State(1), Sym(0)).is_empty());
+        assert_eq!(m.all_transitions().count(), 2);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_oracle_protocol() {
+        let mut m = Machine::new("t", 3, 2);
+        m.oracle = Some(OracleProtocol {
+            query: State(2),
+            yes: State(0),
+            no: State(1),
+        });
+        m.add_transition(
+            State(2),
+            Sym(0),
+            Action {
+                write: Sym(0),
+                work_move: Move::Right,
+                oracle_write: None,
+                next: State(0),
+            },
+        );
+        assert!(m.validate().is_err(), "query state must be transition-free");
+    }
+
+    #[test]
+    #[should_panic(expected = "state out of range")]
+    fn add_transition_bounds_checked() {
+        let mut m = Machine::new("t", 1, 1);
+        m.add_transition(
+            State(1),
+            Sym(0),
+            Action {
+                write: Sym(0),
+                work_move: Move::Left,
+                oracle_write: None,
+                next: State(0),
+            },
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! Accepting-run extraction: the witness behind a cascade's `accept`.
+//!
+//! [`accepting_trace`] re-runs the DFS of [`crate::cascade`] but records
+//! the sequence of configurations of the *top* machine (oracle calls are
+//! summarized by their answer). The §5.1 encoding's hypothetical
+//! insertions correspond one-to-one to these steps, so traces are the
+//! bridge for debugging encodings — and [`validate_trace`] re-checks
+//! every step against the transition relation, independently of the
+//! search that produced it.
+
+use crate::cascade::Cascade;
+use crate::machine::{Move, State, Sym};
+
+/// One step of an accepting run of the top machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Time before the step.
+    pub time: usize,
+    /// Control state before the step.
+    pub state: State,
+    /// Work-head position before the step.
+    pub work_head: usize,
+    /// Symbol read from the work tape.
+    pub read: Sym,
+    /// What the machine did.
+    pub action: TraceAction,
+}
+
+/// The action taken in one step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceAction {
+    /// An ordinary transition: wrote, moved, changed state.
+    Step {
+        /// Symbol written at the work head.
+        write: Sym,
+        /// Head movement.
+        work_move: Move,
+        /// Symbol written to the oracle tape (if any).
+        oracle_write: Option<Sym>,
+        /// New control state.
+        next: State,
+    },
+    /// Invoked the oracle, which answered `answer`, resuming in `next`.
+    OracleCall {
+        /// The oracle's verdict.
+        answer: bool,
+        /// Resumption state (`q_y` or `q_n`).
+        next: State,
+    },
+    /// The run reached an accepting state here; no action taken.
+    Accept,
+}
+
+/// A full accepting run of the cascade's top machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// The steps, initial configuration first; the last step is
+    /// [`TraceAction::Accept`].
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Number of machine steps (excluding the final accept marker).
+    pub fn len(&self) -> usize {
+        self.steps.len().saturating_sub(1)
+    }
+
+    /// Whether the trace has no steps at all.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Like [`Cascade::accepts`], but returns the witnessing run of the top
+/// machine on acceptance.
+pub fn accepting_trace(cascade: &Cascade, input: &[Sym], bound: usize) -> Option<Trace> {
+    assert!(bound >= 1);
+    let top = cascade.machines.len() - 1;
+    let m = &cascade.machines[top];
+    let mut work = vec![m.blank; bound];
+    for (i, &s) in input.iter().enumerate() {
+        if i < bound {
+            work[i] = s;
+        }
+    }
+    let mut steps = Vec::new();
+    let mut oracle_tape = if top > 0 {
+        vec![cascade.machines[top - 1].blank; bound]
+    } else {
+        Vec::new()
+    };
+    if search(
+        cascade,
+        top,
+        m.start,
+        &mut work,
+        0,
+        &mut oracle_tape,
+        0,
+        0,
+        bound,
+        &mut steps,
+    ) {
+        Some(Trace { steps })
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    cascade: &Cascade,
+    level: usize,
+    state: State,
+    work: &mut [Sym],
+    work_head: usize,
+    oracle_tape: &mut [Sym],
+    oracle_head: usize,
+    t: usize,
+    bound: usize,
+    steps: &mut Vec<TraceStep>,
+) -> bool {
+    let m = &cascade.machines[level];
+    let read = work[work_head];
+    if m.is_accepting(state) {
+        steps.push(TraceStep {
+            time: t,
+            state,
+            work_head,
+            read,
+            action: TraceAction::Accept,
+        });
+        return true;
+    }
+    if t + 1 >= bound {
+        return false;
+    }
+    if let Some(p) = m.oracle {
+        if state == p.query {
+            let answer = oracle_answer(cascade, level - 1, oracle_tape, t, bound);
+            let next = if answer { p.yes } else { p.no };
+            steps.push(TraceStep {
+                time: t,
+                state,
+                work_head,
+                read,
+                action: TraceAction::OracleCall { answer, next },
+            });
+            if search(
+                cascade,
+                level,
+                next,
+                work,
+                work_head,
+                oracle_tape,
+                oracle_head,
+                t + 1,
+                bound,
+                steps,
+            ) {
+                return true;
+            }
+            steps.pop();
+            return false;
+        }
+    }
+    let actions: Vec<_> = m.actions(state, read).to_vec();
+    for a in actions {
+        let old_sym = work[work_head];
+        work[work_head] = a.write;
+        let moved = match a.work_move {
+            Move::Left => work_head.checked_sub(1),
+            Move::Right => {
+                let h = work_head + 1;
+                (h < bound).then_some(h)
+            }
+        };
+        let Some(new_head) = moved else {
+            work[work_head] = old_sym;
+            continue;
+        };
+        let mut old_oracle = None;
+        let mut new_oracle_head = oracle_head;
+        let mut ok = true;
+        if let Some(d) = a.oracle_write {
+            if oracle_head < bound && level > 0 {
+                old_oracle = Some(oracle_tape[oracle_head]);
+                oracle_tape[oracle_head] = d;
+                new_oracle_head = oracle_head + 1;
+            } else {
+                ok = false;
+            }
+        }
+        if ok {
+            steps.push(TraceStep {
+                time: t,
+                state,
+                work_head,
+                read,
+                action: TraceAction::Step {
+                    write: a.write,
+                    work_move: a.work_move,
+                    oracle_write: a.oracle_write,
+                    next: a.next,
+                },
+            });
+            if search(
+                cascade,
+                level,
+                a.next,
+                work,
+                new_head,
+                oracle_tape,
+                new_oracle_head,
+                t + 1,
+                bound,
+                steps,
+            ) {
+                return true;
+            }
+            steps.pop();
+        }
+        work[work_head] = old_sym;
+        if let Some(s) = old_oracle {
+            oracle_tape[oracle_head] = s;
+        }
+    }
+    false
+}
+
+/// Answers an oracle call by running the sub-cascade on a copy of the
+/// oracle tape (matching the semantics of [`Cascade::accepts`]).
+fn oracle_answer(cascade: &Cascade, level: usize, tape: &[Sym], t: usize, bound: usize) -> bool {
+    // Build a one-level-shorter cascade view and run it.
+    let sub = Cascade {
+        machines: cascade.machines[..=level].to_vec(),
+    };
+    let m = &sub.machines[level];
+    let mut work = tape.to_vec();
+    work.resize(bound, m.blank);
+    sub.run_from(level, work, t, bound)
+}
+
+/// Re-checks a trace step by step against the machine's transition
+/// relation and the shared time/space bound. Returns the index of the
+/// first invalid step, if any.
+pub fn validate_trace(
+    cascade: &Cascade,
+    input: &[Sym],
+    bound: usize,
+    trace: &Trace,
+) -> Option<usize> {
+    let top = cascade.machines.len() - 1;
+    let m = &cascade.machines[top];
+    let mut work = vec![m.blank; bound];
+    for (i, &s) in input.iter().enumerate() {
+        if i < bound {
+            work[i] = s;
+        }
+    }
+    let mut state = m.start;
+    let mut head = 0usize;
+    let mut t = 0usize;
+    for (i, step) in trace.steps.iter().enumerate() {
+        if step.time != t || step.state != state || step.work_head != head {
+            return Some(i);
+        }
+        if work[head] != step.read {
+            return Some(i);
+        }
+        match &step.action {
+            TraceAction::Accept => {
+                if !m.is_accepting(state) {
+                    return Some(i);
+                }
+                return None; // valid accepting run
+            }
+            TraceAction::OracleCall { next, .. } => {
+                let Some(p) = m.oracle else { return Some(i) };
+                if state != p.query || (*next != p.yes && *next != p.no) {
+                    return Some(i);
+                }
+                state = *next;
+                t += 1;
+            }
+            TraceAction::Step {
+                write,
+                work_move,
+                oracle_write,
+                next,
+            } => {
+                let legal = m.actions(state, step.read).iter().any(|a| {
+                    a.write == *write
+                        && a.work_move == *work_move
+                        && a.oracle_write == *oracle_write
+                        && a.next == *next
+                });
+                if !legal {
+                    return Some(i);
+                }
+                work[head] = *write;
+                head = match work_move {
+                    Move::Left => match head.checked_sub(1) {
+                        Some(h) => h,
+                        None => return Some(i),
+                    },
+                    Move::Right => {
+                        if head + 1 >= bound {
+                            return Some(i);
+                        }
+                        head + 1
+                    }
+                };
+                state = *next;
+                t += 1;
+            }
+        }
+        if t >= bound {
+            return Some(i);
+        }
+    }
+    // A trace must end in Accept.
+    Some(trace.steps.len().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::Cascade;
+
+    const S0: Sym = Sym(0);
+    const S1: Sym = Sym(1);
+
+    #[test]
+    fn trace_exists_iff_accepting() {
+        let c = Cascade::new(vec![library::contains_one()]).unwrap();
+        assert!(accepting_trace(&c, &[S0, S1], 6).is_some());
+        assert!(accepting_trace(&c, &[S0, S0], 6).is_none());
+    }
+
+    #[test]
+    fn traces_validate() {
+        let c = Cascade::new(vec![library::contains_one()]).unwrap();
+        let input = [S0, S0, S1];
+        let trace = accepting_trace(&c, &input, 8).expect("accepts");
+        assert_eq!(validate_trace(&c, &input, 8, &trace), None);
+        assert_eq!(trace.len(), 3, "three scans to reach the 1");
+    }
+
+    #[test]
+    fn corrupted_traces_are_rejected() {
+        let c = Cascade::new(vec![library::contains_one()]).unwrap();
+        let input = [S1];
+        let mut trace = accepting_trace(&c, &input, 4).unwrap();
+        // Tamper with the read symbol of the first step.
+        trace.steps[0].read = S0;
+        assert_eq!(validate_trace(&c, &input, 4, &trace), Some(0));
+        // Truncate the accept marker.
+        let mut t2 = accepting_trace(&c, &input, 4).unwrap();
+        t2.steps.pop();
+        assert!(validate_trace(&c, &input, 4, &t2).is_some());
+    }
+
+    #[test]
+    fn oracle_calls_appear_in_traces() {
+        let top = library::write_then_ask(S1, true);
+        let c = Cascade::new(vec![top, library::contains_one()]).unwrap();
+        let trace = accepting_trace(&c, &[], 8).expect("accepts");
+        assert!(trace
+            .steps
+            .iter()
+            .any(|s| matches!(s.action, TraceAction::OracleCall { answer: true, .. })));
+        assert_eq!(validate_trace(&c, &[], 8, &trace), None);
+    }
+
+    #[test]
+    fn nondeterministic_guess_trace_is_a_valid_witness() {
+        let c = Cascade::new(vec![library::guess_contains_one(3)]).unwrap();
+        let trace = accepting_trace(&c, &[], 16).expect("accepts");
+        assert_eq!(validate_trace(&c, &[], 16, &trace), None);
+        // Some step must have written a 1.
+        assert!(trace.steps.iter().any(|s| matches!(
+            s.action,
+            TraceAction::Step { write, .. } if write == S1
+        )));
+    }
+}

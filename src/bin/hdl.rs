@@ -1,0 +1,186 @@
+//! `hdl` — an interactive shell for hypothetical Datalog.
+//!
+//! ```console
+//! $ cargo run --bin hdl [file.hdl ...]
+//! hdl> take(tony, his101).
+//! hdl> grad(S) :- take(S, his101), take(S, eng201).
+//! hdl> ?- grad(tony)[add: take(tony, eng201)].
+//! true
+//! hdl> :explain ?- grad(tony)[add: take(tony, eng201)].
+//! grad(tony)    [rule 0]
+//!   ...
+//! ```
+//!
+//! Lines ending in `.` are programs (rules/facts) or queries (`?- …`).
+//! Commands: `:load FILE`, `:rules`, `:facts`, `:answers PATTERN`,
+//! `:explain QUERY`, `:strata`, `:stats`, `:help`, `:quit`.
+
+use hypothetical_datalog::prelude::*;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut session = Session::new();
+    let mut status = 0;
+    for path in std::env::args().skip(1) {
+        match std::fs::read_to_string(&path) {
+            Ok(src) => match session.load(&src) {
+                Ok(()) => eprintln!("loaded {path}"),
+                Err(e) => {
+                    eprintln!("error loading {path}: {e}");
+                    status = 1;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                status = 1;
+            }
+        }
+    }
+    if status != 0 {
+        std::process::exit(status);
+    }
+
+    let stdin = io::stdin();
+    let interactive = atty_guess();
+    if interactive {
+        println!("hypothetical Datalog shell — :help for commands");
+    }
+    let mut out = io::stdout();
+    loop {
+        if interactive {
+            print!("hdl> ");
+            let _ = out.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with("//") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            if !run_command(&mut session, rest) {
+                break;
+            }
+            continue;
+        }
+        if line.starts_with("?-") {
+            match session.ask(line) {
+                Ok(v) => println!("{v}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+            continue;
+        }
+        if let Err(e) = session.load(line) {
+            eprintln!("error: {e}");
+        }
+    }
+}
+
+/// Returns `false` to quit.
+fn run_command(session: &mut Session, rest: &str) -> bool {
+    let (cmd, arg) = match rest.split_once(' ') {
+        Some((c, a)) => (c, a.trim()),
+        None => (rest, ""),
+    };
+    match cmd {
+        "quit" | "q" | "exit" => return false,
+        "help" | "h" => {
+            println!(
+                "  fact(a, b).                    assert a fact\n\
+                 \x20 head :- body.                  add a rule\n\
+                 \x20 ?- query.                      evaluate (hypotheticals: goal[add: f])\n\
+                 \x20 :load FILE                     load a program file\n\
+                 \x20 :save FILE                     write rules+facts to a file\n\
+                 \x20 :rules | :facts                show the loaded program\n\
+                 \x20 :answers PATTERN               all tuples matching e.g. tc(X, Y)\n\
+                 \x20 :explain ?- QUERY.             proof tree for a provable query\n\
+                 \x20 :strata                        linear stratification report\n\
+                 \x20 :lint                          diagnostics for the loaded rules\n\
+                 \x20 :stats                         counters from the last query\n\
+                 \x20 :quit"
+            );
+        }
+        "load" => match std::fs::read_to_string(arg) {
+            Ok(src) => match session.load(&src) {
+                Ok(()) => println!("loaded {arg}"),
+                Err(e) => eprintln!("error: {e}"),
+            },
+            Err(e) => eprintln!("cannot read {arg}: {e}"),
+        },
+        "rules" => print!("{}", session.show_rules()),
+        "save" => match std::fs::write(arg, session.dump()) {
+            Ok(()) => println!("saved {arg}"),
+            Err(e) => eprintln!("cannot write {arg}: {e}"),
+        },
+        "facts" => print!(
+            "{}",
+            hdl_core::pretty::database(session.database(), session.symbols())
+        ),
+        "answers" => match session.answers(arg) {
+            Ok(rows) => {
+                for row in &rows {
+                    println!("{}", row.join(", "));
+                }
+                println!("({} answers)", rows.len());
+            }
+            Err(e) => eprintln!("error: {e}"),
+        },
+        "explain" => match session.explain(arg) {
+            Ok(Some(tree)) => print!("{tree}"),
+            Ok(None) => println!("not provable (or a negated query)"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        "lint" => {
+            let lints = hdl_core::analysis::lint::lint(session.rulebase(), session.symbols());
+            if lints.is_empty() {
+                println!("no lints");
+            }
+            for l in &lints {
+                println!(
+                    "  {}",
+                    hdl_core::analysis::lint::render_lint(l, session.symbols())
+                );
+            }
+        }
+        "strata" => match linear_stratification(session.rulebase()) {
+            Ok(ls) => {
+                println!("linearly stratified: {} strata", ls.num_strata());
+                let mut parts: Vec<(String, usize, bool)> = ls
+                    .part_of
+                    .iter()
+                    .map(|(&p, &part)| (session.symbols().name(p).to_owned(), part, ls.in_sigma(p)))
+                    .collect();
+                parts.sort_by(|a, b| (a.1, &a.0).cmp(&(b.1, &b.0)));
+                for (name, part, sigma) in parts {
+                    let seg = if sigma { "Σ" } else { "Δ" };
+                    println!(
+                        "  {name:<24} partition {part:<3} ({seg}{})",
+                        part.div_ceil(2)
+                    );
+                }
+            }
+            Err(e) => println!("not linearly stratified: {e}"),
+        },
+        "stats" => match session.last_stats() {
+            Some(s) => println!("{s:?}"),
+            None => println!("no query evaluated yet"),
+        },
+        other => eprintln!("unknown command :{other} (try :help)"),
+    }
+    true
+}
+
+/// Crude interactivity check without adding a dependency: honour an
+/// explicit override, otherwise assume piped input is non-interactive
+/// only when stdin read fails to be a terminal — which std cannot tell
+/// us portably, so default to printing prompts unless HDL_NO_PROMPT=1.
+fn atty_guess() -> bool {
+    std::env::var_os("HDL_NO_PROMPT").is_none()
+}

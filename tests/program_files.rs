@@ -1,0 +1,78 @@
+//! The shipped `.hdl` program files load and answer their documented
+//! queries (the same files the `hdl` REPL advertises).
+
+use hypothetical_datalog::prelude::*;
+
+fn load(name: &str) -> Session {
+    let path = format!("{}/examples/programs/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let mut s = Session::new();
+    s.load(&src).expect("program file loads");
+    s
+}
+
+#[test]
+fn university_program() {
+    let mut s = load("university.hdl");
+    assert!(s.ask("?- grad(alice).").unwrap());
+    assert!(!s.ask("?- grad(tony).").unwrap());
+    assert!(s.ask("?- grad(tony)[add: take(tony, eng201)].").unwrap());
+    assert!(s.ask("?- grad(tony)[add: take(tony, C)].").unwrap());
+    let proof = s.explain("?- grad(alice).").unwrap().expect("provable");
+    assert!(proof.contains("grad(alice)"));
+}
+
+#[test]
+fn parity_program() {
+    let mut s = load("parity.hdl");
+    // The file ships 4 tuples.
+    assert!(s.ask("?- even.").unwrap());
+    assert!(!s.ask("?- odd.").unwrap());
+    // One more tuple flips it.
+    s.load("a(t4).").unwrap();
+    assert!(!s.ask("?- even.").unwrap());
+    assert!(s.ask("?- odd.").unwrap());
+}
+
+#[test]
+fn hamiltonian_program() {
+    let mut s = load("hamiltonian.hdl");
+    // The shipped 4-cycle has a Hamiltonian path.
+    assert!(s.ask("?- yes.").unwrap());
+    assert!(!s.ask("?- no.").unwrap());
+    let ls = linear_stratification(s.rulebase()).unwrap();
+    assert_eq!(ls.num_strata(), 2, "the `no` rule adds a stratum");
+}
+
+#[test]
+fn nationality_program() {
+    let mut s = load("nationality.hdl");
+    assert!(!s.ask("?- eligible(george).").unwrap(), "george is dead");
+    assert!(
+        s.ask("?- eligible(harold).").unwrap(),
+        "his father would be eligible were he alive"
+    );
+    assert!(s.ask("?- eligible(william).").unwrap());
+    let proof = s
+        .explain("?- eligible(harold).")
+        .unwrap()
+        .expect("provable");
+    assert!(proof.contains("[add: alive(george)]"), "{proof}");
+}
+
+#[test]
+fn contracts_program() {
+    let mut s = load("contracts.hdl");
+    assert!(s.ask("?- actionable(acme_deal).").unwrap());
+    assert!(
+        !s.ask("?- actionable(beta_deal).").unwrap(),
+        "no disputed writing to admit"
+    );
+    assert!(s.ask("?- advise_settlement(acme_deal).").unwrap());
+    assert!(
+        !s.ask("?- breach(acme_deal).").unwrap(),
+        "not without the writing"
+    );
+    let proof = s.explain("?- actionable(acme_deal).").unwrap().unwrap();
+    assert!(proof.contains("[add: in_evidence(acme_deal, late_penalty_clause)]"));
+}

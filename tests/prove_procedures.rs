@@ -1,0 +1,146 @@
+//! E7: the §5.2 PROVE procedures — agreement with the reference engines
+//! and the Theorem 3 goal-sequence bound.
+
+use hypothetical_datalog::prelude::*;
+
+fn setup(src: &str) -> (Rulebase, Database, SymbolTable) {
+    let mut syms = SymbolTable::new();
+    let program = parse_program(src, &mut syms).expect("parses");
+    let (rules, facts) = split_facts(program);
+    (rules, facts.into_iter().collect(), syms)
+}
+
+#[test]
+fn sigma_expansions_respect_theorem_3_bound() {
+    // Example 6 parity: Σ₁ = {even, odd} rules → k₁ = 1 equivalence
+    // class; k₀ = max arity = 1. Theorem 3 bounds any repetition-free
+    // goal sequence by O(n^{2·k₁·k₀}) = O(n²). Our engine memoizes, so
+    // the number of *distinct* Σ expansions must come in under c·n².
+    for n in [2usize, 4, 6, 8] {
+        let mut src = String::from(
+            "even :- select(X), odd[add: b(X)].
+             odd :- select(X), even[add: b(X)].
+             even :- ~select(X).
+             select(X) :- a(X), ~b(X).\n",
+        );
+        for i in 0..n {
+            src.push_str(&format!("a(t{i}).\n"));
+        }
+        let (rules, db, mut syms) = setup(&src);
+        let mut pe = ProveEngine::new(&rules, &db).expect("linearly stratified");
+        let q = parse_query("?- even.", &mut syms).unwrap();
+        let verdict = pe.holds(&q).unwrap();
+        assert_eq!(verdict, n % 2 == 0);
+        let expansions = pe.stats().sigma_expansions[0];
+        let bound = 4 * (n as u64 + 1).pow(2);
+        assert!(
+            expansions <= bound,
+            "n={n}: {expansions} Σ-expansions exceeds the Theorem 3 budget {bound}"
+        );
+    }
+}
+
+#[test]
+fn prove_agrees_with_reference_on_example_9() {
+    // The canonical 3-stratum rulebase, with base facts toggling each
+    // stratum's outcome.
+    let src = "
+        a3 :- b3, a3[add: c3].
+        a3 :- d3, ~a2.
+        a2 :- b2, a2[add: c2].
+        a2 :- d2, ~a1.
+        a1 :- b1, a1[add: c1].
+        a1 :- d1.
+        d3. d2.
+    ";
+    let (rules, db, mut syms) = setup(src);
+    let mut pe = ProveEngine::new(&rules, &db).unwrap();
+    assert_eq!(pe.stratification().num_strata(), 3);
+    let mut td = TopDownEngine::new(&rules, &db).unwrap();
+    let mut bu = BottomUpEngine::new(&rules, &db).unwrap();
+    for atom in ["a1", "a2", "a3"] {
+        let q = parse_query(&format!("?- {atom}."), &mut syms).unwrap();
+        let p = pe.holds(&q).unwrap();
+        let t = td.holds(&q).unwrap();
+        let b = bu.holds(&q).unwrap();
+        assert_eq!(p, t, "{atom}");
+        assert_eq!(p, b, "{atom}");
+    }
+    // d1 absent → a1 false → ~a1 holds → a2 true (d2 present) → a3 false.
+    let expect = [("a1", false), ("a2", true), ("a3", false)];
+    for (atom, want) in expect {
+        let q = parse_query(&format!("?- {atom}."), &mut syms).unwrap();
+        assert_eq!(pe.holds(&q).unwrap(), want, "{atom}");
+    }
+}
+
+#[test]
+fn delta_oracle_chain_through_hypothetical_premises() {
+    // A Δ₂ rule with a hypothetical premise over Σ₁ — the exact shape
+    // PROVE_Δᵢ's TEST⁰ resolves through PROVE_Σᵢ₋₁ (§5.2.2).
+    let src = "
+        reach :- step[add: key].
+        step :- step2[add: key2].
+        step2 :- key, key2.
+        blocked :- ~reach.
+        verdict :- reach[add: extra], ~blocked.
+    ";
+    let (rules, db, mut syms) = setup(src);
+    let mut pe = ProveEngine::new(&rules, &db).unwrap();
+    for (q, want) in [("reach", true), ("blocked", false), ("verdict", true)] {
+        let query = parse_query(&format!("?- {q}."), &mut syms).unwrap();
+        assert_eq!(pe.holds(&query).unwrap(), want, "{q}");
+    }
+    assert!(pe.stats().oracle_calls > 0, "TEST⁰ must hit the oracle");
+}
+
+#[test]
+fn prove_rejects_non_linear_rulebases() {
+    let src = "a :- b, a[add: c1], a[add: c2].";
+    let (rules, db, _) = setup(src);
+    assert!(ProveEngine::new(&rules, &db).is_err());
+}
+
+#[test]
+fn delta_substrata_negation_inside_a_segment() {
+    // Intra-Δ stratified negation: winner depends on loser which depends
+    // on base — all within Δ₁ sub-strata.
+    let src = "
+        base(x1).
+        loser(X) :- base(X), ~promoted(X).
+        promoted(X) :- star(X).
+        winner(X) :- base(X), ~loser(X).
+    ";
+    let (rules, db, mut syms) = setup(src);
+    let mut pe = ProveEngine::new(&rules, &db).unwrap();
+    let loser = parse_query("?- loser(x1).", &mut syms).unwrap();
+    let winner = parse_query("?- winner(x1).", &mut syms).unwrap();
+    assert!(pe.holds(&loser).unwrap());
+    assert!(!pe.holds(&winner).unwrap());
+
+    // Now promote x1: it stops losing and starts winning.
+    let src2 = format!("{src}\nstar(x1).");
+    let (rules2, db2, mut syms2) = setup(&src2);
+    let mut pe2 = ProveEngine::new(&rules2, &db2).unwrap();
+    let loser = parse_query("?- loser(x1).", &mut syms2).unwrap();
+    let winner = parse_query("?- winner(x1).", &mut syms2).unwrap();
+    assert!(!pe2.holds(&loser).unwrap());
+    assert!(pe2.holds(&winner).unwrap());
+}
+
+#[test]
+fn hamiltonian_on_prove_engine() {
+    let src = "
+        yes :- node(X), path(X)[add: pnode(X)].
+        path(X) :- select(Y), edge(X, Y), path(Y)[add: pnode(Y)].
+        path(X) :- ~select(Y).
+        select(Y) :- node(Y), ~pnode(Y).
+        node(a). node(b). node(c).
+        edge(a, b). edge(b, c).
+    ";
+    let (rules, db, mut syms) = setup(src);
+    let mut pe = ProveEngine::new(&rules, &db).unwrap();
+    let q = parse_query("?- yes.", &mut syms).unwrap();
+    assert!(pe.holds(&q).unwrap());
+    assert_eq!(pe.stratification().num_strata(), 1);
+}

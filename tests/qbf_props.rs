@@ -1,0 +1,82 @@
+//! Property test for the QBF encoding (E11): on random prenex-CNF
+//! formulas with up to three quantifier blocks, the compiled rulebase
+//! must agree with the direct evaluator, on the top-down engine and on
+//! the paper's PROVE procedures.
+
+use hdl_core::engine::{ProveEngine, TopDownEngine};
+use hdl_encodings::qbf::{encode_qbf, Lit, Qbf, Quant};
+use proptest::prelude::*;
+
+fn lit_strategy(num_vars: usize) -> impl Strategy<Value = Lit> {
+    (0..num_vars, any::<bool>()).prop_map(|(var, positive)| Lit { var, positive })
+}
+
+fn clauses_strategy(num_vars: usize) -> impl Strategy<Value = Vec<Vec<Lit>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(lit_strategy(num_vars), 1..=3),
+        0..=4,
+    )
+}
+
+/// Splits `0..num_vars` into 1..=3 consecutive blocks with alternating or
+/// arbitrary quantifiers.
+fn prefix_strategy(num_vars: usize) -> impl Strategy<Value = Vec<(Quant, Vec<usize>)>> {
+    (
+        1..=3usize,
+        proptest::collection::vec(any::<bool>(), 3),
+    )
+        .prop_map(move |(blocks, quants)| {
+            let blocks = blocks.min(num_vars);
+            let per = num_vars / blocks;
+            let mut out = Vec::new();
+            let mut start = 0;
+            for b in 0..blocks {
+                let end = if b == blocks - 1 {
+                    num_vars
+                } else {
+                    start + per
+                };
+                let quant = if quants[b] { Quant::Exists } else { Quant::Forall };
+                out.push((quant, (start..end).collect()));
+                start = end;
+            }
+            out
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encoding_agrees_with_evaluator(
+        num_vars in 1..=4usize,
+        prefix_seed in prefix_strategy(4),
+        clauses in clauses_strategy(4),
+    ) {
+        // Restrict prefix and clauses to the chosen variable count.
+        let prefix: Vec<(Quant, Vec<usize>)> = prefix_seed
+            .into_iter()
+            .filter_map(|(q, vars)| {
+                let vars: Vec<usize> = vars.into_iter().filter(|&v| v < num_vars).collect();
+                (!vars.is_empty()).then_some((q, vars))
+            })
+            .collect();
+        prop_assume!(!prefix.is_empty());
+        let covered: Vec<usize> = prefix.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        let clauses: Vec<Vec<Lit>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().filter(|l| covered.contains(&l.var)).collect::<Vec<_>>())
+            .filter(|c: &Vec<Lit>| !c.is_empty())
+            .collect();
+
+        let qbf = Qbf { prefix, clauses };
+        prop_assume!(qbf.validate().is_ok());
+        let expected = qbf.eval();
+        let enc = encode_qbf(&qbf).unwrap();
+        let mut td = TopDownEngine::new(&enc.rulebase, &enc.database).unwrap();
+        prop_assert_eq!(td.holds(&enc.sat_query()).unwrap(), expected, "{:?}", qbf);
+        let mut pe = ProveEngine::new(&enc.rulebase, &enc.database)
+            .expect("QBF encodings are linearly stratified");
+        prop_assert_eq!(pe.holds(&enc.sat_query()).unwrap(), expected, "prove: {:?}", qbf);
+    }
+}
