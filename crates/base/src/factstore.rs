@@ -3,13 +3,29 @@
 //! Hypothetical inference explores a *lattice of databases*: every premise
 //! `A[add: C̄]` moves the proof to a strictly larger database. The engines
 //! therefore intern each ground fact to a dense [`FactId`] and each database
-//! (a sorted set of fact ids) to a dense [`DbId`], so that memo tables can
-//! be keyed by plain `(FactId, DbId)` pairs instead of hashing whole fact
-//! sets at every lookup.
+//! to a dense [`DbId`], so that memo tables can be keyed by plain
+//! `(FactId, DbId)` pairs instead of hashing whole fact sets at every lookup.
+//!
+//! Databases are stored **persistently** as a parent+delta DAG rather than
+//! as materialized fact vectors. Each [`DbEntry`] records its parent node,
+//! the small delta of facts added over the parent, and a cumulative
+//! *overlay* — the sorted facts it holds above its nearest *flat* ancestor
+//! (`croot`). Flat nodes materialize their full fact set plus a
+//! per-predicate index that every descendant shares. When an overlay would
+//! exceed [`FLATTEN_THRESHOLD`], the new node is created flat instead, so
+//! reads never chase more than a bounded overlay while writes stay
+//! O(|delta|) rather than O(|DB|).
+//!
+//! Interning is canonical over *fact sets*, not construction paths: two
+//! databases reached by different extension orders (or from different
+//! roots) compare equal and share one [`DbId`]. Equality is resolved
+//! through an order-independent set hash with full verification on bucket
+//! collisions, preserving the engines' O(1) database equality.
 
 use crate::atom::GroundAtom;
 use crate::database::Database;
 use crate::hasher::FxHashMap;
+use crate::smallvec::SmallVec;
 use crate::symbol::Symbol;
 use std::sync::Arc;
 
@@ -82,49 +98,159 @@ impl DbId {
     }
 }
 
-/// An interned database: its sorted fact ids plus a per-predicate index.
+/// Overlay length at which a new node is materialized flat.
+///
+/// Reads over a chain node scan its overlay linearly (binary search for
+/// membership), so the overlay is kept short; once a lineage has
+/// accumulated this many facts above its flat root, the next extension
+/// pays one O(|DB|) materialization and becomes the new `croot` its own
+/// descendants index against.
+pub const FLATTEN_THRESHOLD: usize = 32;
+
+/// Materialized representation held by flat nodes only.
+#[derive(Debug)]
+struct FlatRepr {
+    /// Sorted, deduplicated fact ids of the full set.
+    facts: Arc<Vec<FactId>>,
+    /// Fact ids grouped by predicate, shared by all chain descendants.
+    by_pred: Arc<FxHashMap<Symbol, Vec<FactId>>>,
+}
+
+/// A node in the persistent overlay DAG of databases.
+///
+/// Flat nodes (`croot == self`) materialize their fact set; chain nodes
+/// record only their delta over the parent plus the cumulative overlay
+/// above the shared flat root. Both answer reads through
+/// [`crate::view::DbView`].
 #[derive(Debug)]
 pub struct DbEntry {
-    /// Sorted, deduplicated fact ids — the canonical identity of this DB.
-    pub facts: Arc<Vec<FactId>>,
-    /// Fact ids grouped by predicate, for premise matching.
-    pub by_pred: Arc<FxHashMap<Symbol, Vec<FactId>>>,
+    /// The node this one was extended from (`self` for roots).
+    parent: DbId,
+    /// Nearest flat ancestor (`self` for flat nodes).
+    croot: DbId,
+    /// Facts added over `parent` (sorted; empty for roots).
+    delta: SmallVec<FactId, 4>,
+    /// All facts above `croot`, sorted (empty for flat nodes).
+    overlay: Arc<Vec<FactId>>,
+    /// Total fact count of the represented set.
+    len: u32,
+    /// Order-independent hash of the represented set.
+    set_hash: u64,
+    /// Materialized set + predicate index; `Some` exactly on flat nodes.
+    flat: Option<FlatRepr>,
 }
 
 impl DbEntry {
-    /// Whether this database contains `id`.
+    /// The node this database was extended from (`self` for roots).
     #[inline]
-    pub fn contains(&self, id: FactId) -> bool {
-        self.facts.binary_search(&id).is_ok()
+    pub fn parent(&self) -> DbId {
+        self.parent
     }
 
-    /// Number of facts.
+    /// The nearest flat ancestor whose index this node shares.
+    #[inline]
+    pub fn croot(&self) -> DbId {
+        self.croot
+    }
+
+    /// The facts this node added over its parent.
+    #[inline]
+    pub fn delta(&self) -> &[FactId] {
+        &self.delta
+    }
+
+    /// The sorted facts this node holds above its flat root.
+    #[inline]
+    pub fn overlay(&self) -> &[FactId] {
+        &self.overlay
+    }
+
+    /// Whether this node materializes its full fact set.
+    #[inline]
+    pub fn is_flat(&self) -> bool {
+        self.flat.is_some()
+    }
+
+    /// Number of facts in the represented set.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.facts.len()
+        self.len as usize
     }
 
-    /// Whether the database is empty.
+    /// Whether the represented set is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
-    }
-
-    /// The fact ids stored for `pred`.
-    pub fn facts_of(&self, pred: Symbol) -> &[FactId] {
-        self.by_pred.get(&pred).map_or(&[], |v| v.as_slice())
+        self.len == 0
     }
 }
 
-/// An intern table over databases, supporting cheap extension.
+/// Storage counters for the overlay DAG.
+///
+/// `delta_facts` counts fact-id slots physically stored (flat sets plus
+/// chain overlays and deltas); `materialized_facts` counts the slots the
+/// pre-overlay representation would have stored — one full copy of every
+/// database per node. Their ratio is the sharing won by the DAG.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct OverlayStats {
+    /// Databases interned (DAG nodes).
+    pub nodes: u64,
+    /// Nodes holding a materialized fact set (roots + flattened nodes).
+    pub flat_nodes: u64,
+    /// Chain extensions promoted to flat by [`FLATTEN_THRESHOLD`].
+    pub flattens: u64,
+    /// Fact-id slots physically stored across all nodes.
+    pub delta_facts: u64,
+    /// Fact-id slots a fully-materialized store would hold.
+    pub materialized_facts: u64,
+}
+
+/// An intern table over databases, supporting O(|delta|) extension.
 ///
 /// Databases form a join-semilattice under union; [`DbStore::extend`] is the
-/// only constructor besides [`DbStore::intern_facts`], so equal fact sets
-/// always share one [`DbId`] — giving the engines O(1) database equality and
-/// compact memo keys.
+/// only constructor besides [`DbStore::intern_facts`], and both canonicalize
+/// over fact sets, so equal sets always share one [`DbId`] — giving the
+/// engines O(1) database equality and compact memo keys.
 #[derive(Default)]
 pub struct DbStore {
     store: FactStore,
     entries: Vec<DbEntry>,
-    ids: FxHashMap<Arc<Vec<FactId>>, DbId>,
+    /// Canonicalization buckets: (set length, set hash) → candidate ids.
+    canon: FxHashMap<(u32, u64), SmallVec<DbId, 2>>,
+    stats: OverlayStats,
+}
+
+/// SplitMix64 finalizer — mixes a fact id into an avalanche hash whose
+/// XOR over a set is order-independent yet collision-resistant enough to
+/// serve as a canonicalization bucket key.
+#[inline]
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn fact_hash(f: FactId) -> u64 {
+    mix(f.0 as u64)
+}
+
+/// Merges two sorted, disjoint fact-id slices into one sorted vector.
+fn merge_sorted(a: &[FactId], b: &[FactId]) -> Vec<FactId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 impl DbStore {
@@ -143,7 +269,7 @@ impl DbStore {
         self.store.intern(fact)
     }
 
-    /// The entry for database `id`.
+    /// The DAG node for database `id`.
     pub fn entry(&self, id: DbId) -> &DbEntry {
         &self.entries[id.index()]
     }
@@ -156,6 +282,50 @@ impl DbStore {
     /// Whether no databases have been interned.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Storage counters for the overlay DAG.
+    pub fn overlay_stats(&self) -> OverlayStats {
+        self.stats
+    }
+
+    /// Whether database `db` contains fact `f`.
+    #[inline]
+    pub fn contains(&self, db: DbId, f: FactId) -> bool {
+        let e = &self.entries[db.index()];
+        if e.overlay.binary_search(&f).is_ok() {
+            return true;
+        }
+        self.flat_facts(e.croot).binary_search(&f).is_ok()
+    }
+
+    /// The materialized sorted fact set of a flat node.
+    #[inline]
+    pub(crate) fn flat_facts(&self, flat: DbId) -> &[FactId] {
+        &self.entries[flat.index()]
+            .flat
+            .as_ref()
+            .expect("croot must be flat")
+            .facts
+    }
+
+    /// The shared per-predicate index of a flat node.
+    #[inline]
+    pub(crate) fn flat_by_pred(&self, flat: DbId) -> &FxHashMap<Symbol, Vec<FactId>> {
+        &self.entries[flat.index()]
+            .flat
+            .as_ref()
+            .expect("croot must be flat")
+            .by_pred
+    }
+
+    /// Iterates the fact ids of `db` in sorted order.
+    pub fn iter_fact_ids(&self, db: DbId) -> impl Iterator<Item = FactId> + '_ {
+        let e = &self.entries[db.index()];
+        MergeIds {
+            a: self.flat_facts(e.croot),
+            b: &e.overlay,
+        }
     }
 
     /// Interns the database consisting of exactly `facts` (deduplicated).
@@ -175,31 +345,114 @@ impl DbStore {
     ///
     /// If every addition is already present, returns `base` itself — the
     /// engines rely on this to detect the "degenerate hypothetical" case
-    /// where `A[add: C̄]` collapses to a plain premise.
+    /// where `A[add: C̄]` collapses to a plain premise. Otherwise the new
+    /// node stores only its delta and (bounded) overlay; the full fact set
+    /// is never copied unless the overlay crosses [`FLATTEN_THRESHOLD`].
     pub fn extend(&mut self, base: DbId, additions: &[FactId]) -> DbId {
-        let entry = &self.entries[base.index()];
-        let fresh: Vec<FactId> = additions
+        let mut fresh: SmallVec<FactId, 8> = additions
             .iter()
             .copied()
-            .filter(|&id| !entry.contains(id))
+            .filter(|&id| !self.contains(base, id))
             .collect();
         if fresh.is_empty() {
             return base;
         }
-        let mut ids = entry.facts.as_ref().clone();
-        ids.extend(fresh);
-        ids.sort_unstable();
-        ids.dedup();
-        self.intern_sorted(ids)
+        fresh.as_mut_slice().sort_unstable();
+        // `additions` may repeat a fact; keep the first of each run.
+        let mut dedup: SmallVec<FactId, 8> = SmallVec::new();
+        for f in fresh.iter() {
+            if dedup.as_slice().last() != Some(&f) {
+                dedup.push(f);
+            }
+        }
+        let fresh = dedup;
+
+        let base_entry = &self.entries[base.index()];
+        let croot = base_entry.croot;
+        let new_len = base_entry.len + fresh.len() as u32;
+        let new_hash = base_entry.set_hash ^ fresh.iter().fold(0u64, |acc, f| acc ^ fact_hash(f));
+        let overlay = merge_sorted(&base_entry.overlay, &fresh);
+
+        // Canonicalization: an equal fact set may already exist (reached by
+        // a different extension order or from a different root).
+        if let Some(bucket) = self.canon.get(&(new_len, new_hash)) {
+            for &cand in bucket.as_slice() {
+                if self.set_equals(cand, croot, &overlay) {
+                    return cand;
+                }
+            }
+        }
+
+        let delta = SmallVec::from_slice(&fresh);
+        let id = DbId(u32::try_from(self.entries.len()).expect("db store overflow"));
+        let entry = if overlay.len() >= FLATTEN_THRESHOLD {
+            // Promote to flat: one O(|DB|) materialization bounds every
+            // descendant's read cost to its own (short) overlay.
+            let facts = Arc::new(merge_sorted(self.flat_facts(croot), &overlay));
+            let by_pred = self.build_by_pred(&facts);
+            self.stats.flattens += 1;
+            self.stats.flat_nodes += 1;
+            self.stats.delta_facts += facts.len() as u64;
+            DbEntry {
+                parent: base,
+                croot: id,
+                delta,
+                overlay: Arc::new(Vec::new()),
+                len: new_len,
+                set_hash: new_hash,
+                flat: Some(FlatRepr { facts, by_pred }),
+            }
+        } else {
+            self.stats.delta_facts += (delta.len() + overlay.len()) as u64;
+            DbEntry {
+                parent: base,
+                croot,
+                delta,
+                overlay: Arc::new(overlay),
+                len: new_len,
+                set_hash: new_hash,
+                flat: None,
+            }
+        };
+        self.stats.nodes += 1;
+        self.stats.materialized_facts += new_len as u64;
+        self.entries.push(entry);
+        self.canon.entry((new_len, new_hash)).or_default().push(id);
+        id
     }
 
     /// Materializes database `id` as a [`Database`] value.
     pub fn to_database(&self, id: DbId) -> Database {
-        self.entry(id)
-            .facts
-            .iter()
-            .map(|&f| self.store.fact(f).clone())
+        self.iter_fact_ids(id)
+            .map(|f| self.store.fact(f).clone())
             .collect()
+    }
+
+    /// Whether `cand`'s fact set equals `croot ∪ overlay`.
+    fn set_equals(&self, cand: DbId, croot: DbId, overlay: &[FactId]) -> bool {
+        let ce = &self.entries[cand.index()];
+        if ce.croot == croot {
+            // Same flat root: the overlays are both sorted sets over it.
+            return ce.overlay.as_slice() == overlay;
+        }
+        // Different roots (rare): compare full sorted iterations.
+        let a = MergeIds {
+            a: self.flat_facts(ce.croot),
+            b: &ce.overlay,
+        };
+        let b = MergeIds {
+            a: self.flat_facts(croot),
+            b: overlay,
+        };
+        a.eq(b)
+    }
+
+    fn build_by_pred(&self, facts: &[FactId]) -> Arc<FxHashMap<Symbol, Vec<FactId>>> {
+        let mut by_pred: FxHashMap<Symbol, Vec<FactId>> = FxHashMap::default();
+        for &f in facts {
+            by_pred.entry(self.store.fact(f).pred).or_default().push(f);
+        }
+        Arc::new(by_pred)
     }
 
     fn intern_sorted(&mut self, ids: Vec<FactId>) -> DbId {
@@ -207,21 +460,71 @@ impl DbStore {
             ids.windows(2).all(|w| w[0] < w[1]),
             "ids must be sorted+dedup"
         );
-        let key = Arc::new(ids);
-        if let Some(&id) = self.ids.get(&key) {
-            return id;
+        let len = ids.len() as u32;
+        let set_hash = ids.iter().fold(0u64, |acc, &f| acc ^ fact_hash(f));
+        if let Some(bucket) = self.canon.get(&(len, set_hash)) {
+            for &cand in bucket.as_slice() {
+                if self.iter_fact_ids(cand).eq(ids.iter().copied()) {
+                    return cand;
+                }
+            }
         }
-        let mut by_pred: FxHashMap<Symbol, Vec<FactId>> = FxHashMap::default();
-        for &f in key.iter() {
-            by_pred.entry(self.store.fact(f).pred).or_default().push(f);
-        }
-        let db_id = DbId(u32::try_from(self.entries.len()).expect("db store overflow"));
+        let facts = Arc::new(ids);
+        let by_pred = self.build_by_pred(&facts);
+        let id = DbId(u32::try_from(self.entries.len()).expect("db store overflow"));
+        self.stats.nodes += 1;
+        self.stats.flat_nodes += 1;
+        self.stats.delta_facts += facts.len() as u64;
+        self.stats.materialized_facts += facts.len() as u64;
         self.entries.push(DbEntry {
-            facts: Arc::clone(&key),
-            by_pred: Arc::new(by_pred),
+            parent: id,
+            croot: id,
+            delta: SmallVec::new(),
+            overlay: Arc::new(Vec::new()),
+            len,
+            set_hash,
+            flat: Some(FlatRepr { facts, by_pred }),
         });
-        self.ids.insert(key, db_id);
-        db_id
+        self.canon.entry((len, set_hash)).or_default().push(id);
+        id
+    }
+}
+
+/// Sorted merge of two disjoint sorted fact-id slices.
+struct MergeIds<'a> {
+    a: &'a [FactId],
+    b: &'a [FactId],
+}
+
+impl Iterator for MergeIds<'_> {
+    type Item = FactId;
+
+    fn next(&mut self) -> Option<FactId> {
+        match (self.a.first(), self.b.first()) {
+            (Some(&x), Some(&y)) => {
+                if x <= y {
+                    self.a = &self.a[1..];
+                    Some(x)
+                } else {
+                    self.b = &self.b[1..];
+                    Some(y)
+                }
+            }
+            (Some(&x), None) => {
+                self.a = &self.a[1..];
+                Some(x)
+            }
+            (None, Some(&y)) => {
+                self.b = &self.b[1..];
+                Some(y)
+            }
+            (None, None) => None,
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.a.len() + self.b.len();
+        (n, Some(n))
     }
 }
 
@@ -268,22 +571,12 @@ mod tests {
         let bigger = dbs.extend(base, &[f]);
         assert_ne!(bigger, base);
         assert_eq!(dbs.entry(bigger).len(), 2);
-        assert!(dbs.entry(bigger).contains(f));
+        assert!(dbs.contains(bigger, f));
         // Extending two different ways to the same set yields the same id.
         let g = dbs.intern_fact(fact(0, &[1]));
         let other = dbs.intern_facts([fact(0, &[2])]);
         let merged = dbs.extend(other, &[g]);
         assert_eq!(merged, bigger);
-    }
-
-    #[test]
-    fn by_pred_groups_facts() {
-        let mut dbs = DbStore::new();
-        let id = dbs.intern_facts([fact(0, &[1]), fact(1, &[2]), fact(0, &[3])]);
-        let entry = dbs.entry(id);
-        assert_eq!(entry.facts_of(Symbol(0)).len(), 2);
-        assert_eq!(entry.facts_of(Symbol(1)).len(), 1);
-        assert_eq!(entry.facts_of(Symbol(9)).len(), 0);
     }
 
     #[test]
@@ -294,5 +587,91 @@ mod tests {
         let mut dbs = DbStore::new();
         let id = dbs.intern_database(&db);
         assert_eq!(dbs.to_database(id), db);
+    }
+
+    #[test]
+    fn extend_stores_delta_not_full_copy() {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts((0..20).map(|i| fact(0, &[i])));
+        let f = dbs.intern_fact(fact(0, &[99]));
+        let bigger = dbs.extend(base, &[f]);
+        let e = dbs.entry(bigger);
+        assert!(!e.is_flat(), "small delta must stay a chain node");
+        assert_eq!(e.parent(), base);
+        assert_eq!(e.croot(), base, "base is flat, so it is the chain root");
+        assert_eq!(e.delta(), &[f]);
+        assert_eq!(e.overlay(), &[f]);
+        assert_eq!(e.len(), 21);
+        let stats = dbs.overlay_stats();
+        // Base stores 20 slots, the extension 2 (delta + overlay copy).
+        assert_eq!(stats.delta_facts, 22);
+        assert_eq!(stats.materialized_facts, 41);
+        assert!(stats.delta_facts < stats.materialized_facts);
+    }
+
+    #[test]
+    fn extension_chain_shares_flat_root_until_threshold() {
+        let mut dbs = DbStore::new();
+        let root = dbs.intern_facts([fact(0, &[0])]);
+        let mut db = root;
+        for i in 1..FLATTEN_THRESHOLD as u32 {
+            let f = dbs.intern_fact(fact(0, &[i]));
+            db = dbs.extend(db, &[f]);
+            let e = dbs.entry(db);
+            assert_eq!(e.croot(), root);
+            assert_eq!(e.overlay().len(), i as usize);
+        }
+        assert_eq!(dbs.overlay_stats().flattens, 0);
+        // The next extension crosses the threshold and flattens.
+        let f = dbs.intern_fact(fact(0, &[1000]));
+        let flat = dbs.extend(db, &[f]);
+        let e = dbs.entry(flat);
+        assert!(e.is_flat());
+        assert_eq!(e.croot(), flat);
+        assert_eq!(e.len(), FLATTEN_THRESHOLD + 1);
+        assert_eq!(dbs.overlay_stats().flattens, 1);
+        // Descendants of the flat node index against it, not the old root.
+        let g = dbs.intern_fact(fact(0, &[2000]));
+        let child = dbs.extend(flat, &[g]);
+        assert_eq!(dbs.entry(child).croot(), flat);
+    }
+
+    #[test]
+    fn canonicalization_unifies_across_extension_orders() {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts([fact(0, &[1])]);
+        let f = dbs.intern_fact(fact(1, &[2]));
+        let g = dbs.intern_fact(fact(2, &[3]));
+        let just_f = dbs.extend(base, &[f]);
+        let fg = dbs.extend(just_f, &[g]);
+        let just_g = dbs.extend(base, &[g]);
+        let gf = dbs.extend(just_g, &[f]);
+        assert_eq!(fg, gf, "order of hypothetical additions is immaterial");
+        let both = dbs.extend(base, &[f, g]);
+        assert_eq!(both, fg, "batch extension unifies with chains");
+    }
+
+    #[test]
+    fn iter_fact_ids_is_sorted_merge() {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts([fact(0, &[5]), fact(0, &[1])]);
+        let f = dbs.intern_fact(fact(0, &[3]));
+        let db = dbs.extend(base, &[f]);
+        let ids: Vec<FactId> = dbs.iter_fact_ids(db).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted);
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn extend_dedups_repeated_additions() {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts([fact(0, &[1])]);
+        let f = dbs.intern_fact(fact(0, &[2]));
+        let db = dbs.extend(base, &[f, f, f]);
+        assert_eq!(dbs.entry(db).len(), 2);
+        assert_eq!(dbs.entry(db).delta(), &[f]);
     }
 }

@@ -12,8 +12,13 @@
 //!   of pattern atoms against ground facts;
 //! - [`Database`] — a mutable, predicate-indexed fact store;
 //! - [`FactStore`] / [`DbStore`] — interners that give each ground fact and
-//!   each database a dense id, so that engines exploring the lattice of
-//!   hypothetically-augmented databases can memoize on `(FactId, DbId)`;
+//!   each database a dense id; databases are stored persistently as a
+//!   parent+delta overlay DAG so extension is O(|delta|) while engines
+//!   exploring the lattice of hypothetically-augmented databases still
+//!   memoize on `(FactId, DbId)`;
+//! - [`DbView`] — read-only matching over an interned database without
+//!   materializing it;
+//! - [`SmallVec`] — inline-capacity storage for the tiny per-node deltas;
 //! - [`FxHashMap`] / [`FxHashSet`] — fast hashing for interned keys.
 
 #![warn(missing_docs)]
@@ -23,15 +28,19 @@ pub mod database;
 pub mod error;
 pub mod factstore;
 pub mod hasher;
+pub mod smallvec;
 pub mod subst;
 pub mod symbol;
 pub mod term;
+pub mod view;
 
 pub use atom::{Atom, GroundAtom};
 pub use database::Database;
 pub use error::{Error, Result};
-pub use factstore::{DbEntry, DbId, DbStore, FactId, FactStore};
+pub use factstore::{DbEntry, DbId, DbStore, FactId, FactStore, OverlayStats, FLATTEN_THRESHOLD};
 pub use hasher::{FxHashMap, FxHashSet, FxHasher};
+pub use smallvec::SmallVec;
 pub use subst::Bindings;
 pub use symbol::{Symbol, SymbolTable};
 pub use term::{Term, Var};
+pub use view::DbView;

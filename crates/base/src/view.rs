@@ -1,0 +1,226 @@
+//! Read-only views over interned overlay databases.
+//!
+//! [`DbView`] answers the questions engines ask of a database —
+//! membership, per-predicate enumeration, pattern matching — directly
+//! against the overlay DAG of [`DbStore`], without materializing a
+//! [`Database`]. A view over a chain node reads the shared per-predicate
+//! index of its flat root plus its own (bounded) overlay; matching hands
+//! premise patterns the store's interned [`GroundAtom`]s by reference, so
+//! no per-candidate allocation happens at all.
+
+use crate::atom::{Atom, GroundAtom};
+use crate::database::Database;
+use crate::factstore::{DbId, DbStore, FactId};
+use crate::subst::Bindings;
+use crate::symbol::Symbol;
+use crate::term::Var;
+
+/// A borrowed, read-only view of one interned database.
+#[derive(Clone, Copy)]
+pub struct DbView<'a> {
+    store: &'a DbStore,
+    id: DbId,
+}
+
+impl<'a> DbView<'a> {
+    /// Creates a view of `id` in `store`.
+    pub fn new(store: &'a DbStore, id: DbId) -> Self {
+        DbView { store, id }
+    }
+
+    /// The id of the viewed database.
+    #[inline]
+    pub fn id(&self) -> DbId {
+        self.id
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.store.entry(self.id).len()
+    }
+
+    /// Whether the database holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.store.entry(self.id).is_empty()
+    }
+
+    /// Whether fact id `f` is present.
+    #[inline]
+    pub fn contains_id(&self, f: FactId) -> bool {
+        self.store.contains(self.id, f)
+    }
+
+    /// Whether `fact` is present.
+    pub fn contains(&self, fact: &GroundAtom) -> bool {
+        self.store
+            .facts()
+            .lookup(fact)
+            .is_some_and(|f| self.contains_id(f))
+    }
+
+    /// Iterates all fact ids in sorted order.
+    pub fn fact_ids(&self) -> impl Iterator<Item = FactId> + 'a {
+        self.store.iter_fact_ids(self.id)
+    }
+
+    /// Iterates the fact ids stored for `pred`: the shared index of the
+    /// flat root first, then this node's overlay additions.
+    pub fn facts_of(&self, pred: Symbol) -> impl Iterator<Item = FactId> + 'a {
+        let store = self.store;
+        let entry = store.entry(self.id);
+        let rooted = store
+            .flat_by_pred(entry.croot())
+            .get(&pred)
+            .map_or(&[][..], |v| v.as_slice());
+        rooted.iter().copied().chain(
+            entry
+                .overlay()
+                .iter()
+                .copied()
+                .filter(move |&f| store.facts().fact(f).pred == pred),
+        )
+    }
+
+    /// Iterates the argument tuples stored for `pred`.
+    pub fn tuples(&self, pred: Symbol) -> impl Iterator<Item = &'a [Symbol]> {
+        let store = self.store;
+        self.facts_of(pred)
+            .map(move |f| store.facts().fact(f).args.as_slice())
+    }
+
+    /// Calls `f` with the undo trail for every fact of `pattern.pred` that
+    /// matches `pattern` under `bindings`; `f` returning `true` stops the
+    /// scan early (existential check). Bindings are restored between
+    /// candidates and after the call.
+    ///
+    /// Returns `true` if `f` stopped the scan. Mirrors
+    /// [`Database::for_each_match`], but matches against the store's
+    /// interned facts without allocating per candidate.
+    pub fn for_each_match(
+        &self,
+        pattern: &Atom,
+        bindings: &mut Bindings,
+        mut f: impl FnMut(&mut Bindings) -> bool,
+    ) -> bool {
+        let store = self.store;
+        for fid in self.facts_of(pattern.pred) {
+            let fact = store.facts().fact(fid);
+            if let Some(trail) = bindings.match_atom(pattern, fact) {
+                let stop = f(bindings);
+                bindings.undo(&trail);
+                if stop {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Collects all extensions of `bindings` under which `pattern` matches
+    /// a stored fact, as vectors of `(var, value)` pairs for the variables
+    /// the match bound. Mirrors [`Database::all_matches`].
+    pub fn all_matches(&self, pattern: &Atom, bindings: &mut Bindings) -> Vec<Vec<(Var, Symbol)>> {
+        let mut out = Vec::new();
+        self.for_each_match(pattern, bindings, |b| {
+            let row = pattern
+                .vars()
+                .filter_map(|v| b.get(v).map(|c| (v, c)))
+                .collect();
+            out.push(row);
+            false
+        });
+        out
+    }
+
+    /// Materializes the view as an owned [`Database`].
+    pub fn to_database(&self) -> Database {
+        self.store.to_database(self.id)
+    }
+}
+
+impl DbStore {
+    /// A read-only view of database `id`.
+    #[inline]
+    pub fn view(&self, id: DbId) -> DbView<'_> {
+        DbView::new(self, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn fact(p: u32, args: &[u32]) -> GroundAtom {
+        GroundAtom::new(Symbol(p), args.iter().map(|&a| Symbol(a)).collect())
+    }
+
+    fn store_with_chain() -> (DbStore, DbId) {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts([fact(0, &[1, 10]), fact(0, &[2, 20]), fact(1, &[7])]);
+        let f = dbs.intern_fact(fact(0, &[1, 30]));
+        let g = dbs.intern_fact(fact(2, &[8]));
+        let db = dbs.extend(base, &[f, g]);
+        (dbs, db)
+    }
+
+    #[test]
+    fn view_contains_root_and_overlay_facts() {
+        let (dbs, db) = store_with_chain();
+        let v = dbs.view(db);
+        assert_eq!(v.len(), 5);
+        assert!(v.contains(&fact(0, &[2, 20])), "root fact");
+        assert!(v.contains(&fact(0, &[1, 30])), "overlay fact");
+        assert!(!v.contains(&fact(0, &[9, 9])));
+    }
+
+    #[test]
+    fn view_tuples_cover_both_layers() {
+        let (dbs, db) = store_with_chain();
+        let v = dbs.view(db);
+        let mut firsts: Vec<u32> = v.tuples(Symbol(0)).map(|t| t[1].0).collect();
+        firsts.sort_unstable();
+        assert_eq!(firsts, vec![10, 20, 30]);
+        assert_eq!(v.tuples(Symbol(9)).count(), 0);
+    }
+
+    #[test]
+    fn view_matches_agree_with_materialized_database() {
+        let (dbs, db) = store_with_chain();
+        let v = dbs.view(db);
+        let mat = v.to_database();
+        let pattern = Atom::new(Symbol(0), vec![Term::Const(Symbol(1)), Term::Var(Var(0))]);
+        let mut b = Bindings::new(1);
+        let mut via_view: Vec<u32> = Vec::new();
+        v.for_each_match(&pattern, &mut b, |bb| {
+            via_view.push(bb.get(Var(0)).unwrap().0);
+            false
+        });
+        assert_eq!(b.get(Var(0)), None, "bindings restored");
+        let mut via_db: Vec<u32> = Vec::new();
+        mat.for_each_match(&pattern, &mut b, |bb| {
+            via_db.push(bb.get(Var(0)).unwrap().0);
+            false
+        });
+        via_view.sort_unstable();
+        via_db.sort_unstable();
+        assert_eq!(via_view, via_db);
+        let rows = v.all_matches(&pattern, &mut b);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn view_early_stop() {
+        let (dbs, db) = store_with_chain();
+        let v = dbs.view(db);
+        let pattern = Atom::new(Symbol(0), vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        let mut b = Bindings::new(2);
+        let mut n = 0;
+        let stopped = v.for_each_match(&pattern, &mut b, |_| {
+            n += 1;
+            true
+        });
+        assert!(stopped);
+        assert_eq!(n, 1);
+    }
+}

@@ -44,9 +44,7 @@ criterion_main!(benches);
 /// Conservative Criterion settings: the harness favours total suite time
 /// over tight confidence intervals — the experiments compare shapes, not
 /// single-digit-percent deltas.
-fn configure<M: criterion::measurement::Measurement>(
-    group: &mut criterion::BenchmarkGroup<'_, M>,
-) {
+fn configure<M: criterion::measurement::Measurement>(group: &mut criterion::BenchmarkGroup<'_, M>) {
     group
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))

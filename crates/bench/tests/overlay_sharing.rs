@@ -1,0 +1,54 @@
+//! Acceptance checks for the overlay storage layer (see DESIGN.md,
+//! "Storage layer"): on the hypothetical-search workloads the parent+delta
+//! DAG must store strictly fewer fact-id slots (`delta_facts`) than
+//! per-node full materialization would (`materialized_facts`). These are
+//! the same workloads as `benches/bench_hamiltonian.rs` and
+//! `benches/bench_qbf.rs`, shrunk to test-suite sizes.
+
+use hdl_base::OverlayStats;
+use hdl_bench::workloads::{hamiltonian_program, random_digraph};
+use hdl_core::engine::TopDownEngine;
+use hdl_core::parser::parse_query;
+use hdl_encodings::qbf::build::{n, p};
+use hdl_encodings::qbf::{encode_qbf, Qbf, Quant};
+
+fn assert_shares(o: OverlayStats) {
+    assert!(
+        o.nodes > 1,
+        "the search should have extended the base database: {o:?}"
+    );
+    assert!(
+        o.delta_facts < o.materialized_facts,
+        "overlay storage must beat full materialization: {o:?}"
+    );
+}
+
+#[test]
+fn hamiltonian_search_stores_deltas_not_copies() {
+    let graph = random_digraph(6, 0.4, 42);
+    let expected = graph.has_hamiltonian_path();
+    let (rules, db, mut syms) = hamiltonian_program(&graph);
+    let query = parse_query("?- yes.", &mut syms).unwrap();
+    let mut eng = TopDownEngine::new(&rules, &db).unwrap();
+    assert_eq!(eng.holds(&query).unwrap(), expected);
+    assert_shares(eng.stats().overlay);
+}
+
+#[test]
+fn qbf_search_stores_deltas_not_copies() {
+    // A fixed Σ₂ᴾ instance: ∃x₀x₁ ∀x₂ over four 3-literal clauses.
+    let qbf = Qbf {
+        prefix: vec![(Quant::Exists, vec![0, 1]), (Quant::Forall, vec![2])],
+        clauses: vec![
+            vec![p(0), p(1), p(2)],
+            vec![n(0), p(1), n(2)],
+            vec![p(0), n(1), p(2)],
+            vec![n(0), n(1), n(2)],
+        ],
+    };
+    let expected = qbf.eval();
+    let enc = encode_qbf(&qbf).unwrap();
+    let mut eng = TopDownEngine::new(&enc.rulebase, &enc.database).unwrap();
+    assert_eq!(eng.holds(&enc.sat_query()).unwrap(), expected);
+    assert_shares(eng.stats().overlay);
+}

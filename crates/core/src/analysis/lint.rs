@@ -174,8 +174,8 @@ fn edit_distance_is_one(a: &str, b: &str) -> bool {
     let (short, long) = if n < m { (a, b) } else { (b, a) };
     let mut i = 0;
     let mut skipped = false;
-    for j in 0..long.len() {
-        if i < short.len() && short[i] == long[j] {
+    for &cur in long {
+        if i < short.len() && short[i] == cur {
             i += 1;
         } else if skipped {
             return false;

@@ -32,13 +32,23 @@ use crate::analysis::stratify::{evaluation_strata, NegationStrata};
 use crate::ast::{HypRule, Premise, Rulebase};
 use crate::engine::context::Context;
 use crate::engine::stats::{EngineStats, Limits};
-use hdl_base::{Atom, Bindings, Database, DbId, Error, FactId, FxHashMap, Result, Symbol, Var};
+use hdl_base::{
+    Atom, Bindings, Database, DbId, DbView, Error, FactId, FxHashMap, Result, Symbol, Var,
+};
+use std::sync::Arc;
 
 /// A partially computed perfect model: strata `0..upto` are closed.
+///
+/// Only the *derived* facts are stored — the facts the rules added above
+/// the interned database itself. The EDB layer is answered through a
+/// [`DbView`] of the overlay DAG, so memoizing a model for an augmented
+/// database costs O(|derived|), not a full copy of the database. The
+/// invariant `derived ∩ DB = ∅` keeps the two layers disjoint, so
+/// enumerating `view ∪ derived` never repeats a fact.
 #[derive(Debug)]
 struct ModelEntry {
     upto: usize,
-    model: Database,
+    derived: Database,
 }
 
 /// The bottom-up engine, bound to one rulebase and one base database.
@@ -48,8 +58,9 @@ pub struct BottomUpEngine<'rb> {
     /// Evaluation strata (hypothetical edges across recursion classes are
     /// strict — see [`evaluation_strata`]).
     eval_strata: NegationStrata,
-    /// Rule indices grouped by evaluation stratum of the head predicate.
-    rules_by_stratum: Vec<Vec<usize>>,
+    /// Rule indices grouped by evaluation stratum of the head predicate,
+    /// shared immutably so fixpoint rounds need no per-round copy.
+    rules_by_stratum: Vec<Arc<[usize]>>,
     stats: EngineStats,
     limits: Limits,
 }
@@ -60,10 +71,11 @@ impl<'rb> BottomUpEngine<'rb> {
         let ctx = Context::new(rb, db)?;
         let eval_strata = evaluation_strata(rb)?;
         let n = eval_strata.num_strata.max(1);
-        let mut rules_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut grouped: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, rule) in rb.iter().enumerate() {
-            rules_by_stratum[eval_strata.stratum(rule.head.pred)].push(i);
+            grouped[eval_strata.stratum(rule.head.pred)].push(i);
         }
+        let rules_by_stratum = grouped.into_iter().map(Arc::from).collect();
         Ok(BottomUpEngine {
             ctx,
             models: FxHashMap::default(),
@@ -100,7 +112,10 @@ impl<'rb> BottomUpEngine<'rb> {
         let base = self.ctx.base_db;
         let all = self.num_strata();
         self.ensure_model(base, all)?;
-        Ok(self.models[&base].model.clone())
+        let mut model = self.ctx.dbs.to_database(base);
+        model.absorb(&self.models[&base].derived);
+        self.stats.record_overlay(self.ctx.dbs.overlay_stats());
+        Ok(model)
     }
 
     /// Evaluates a query premise against the base database (same free-
@@ -109,11 +124,12 @@ impl<'rb> BottomUpEngine<'rb> {
         let base = self.ctx.base_db;
         let num_vars = query.vars().map(|v| v.index() + 1).max().unwrap_or(0);
         let mut bindings = Bindings::new(num_vars);
-        match query {
+        let result = match query {
             Premise::Atom(atom) => {
                 self.ensure_for_pred(base, atom.pred)?;
                 Ok(exists_in_model(
-                    &self.models[&base].model,
+                    self.ctx.dbs.view(base),
+                    &self.models[&base].derived,
                     atom,
                     &mut bindings,
                 ))
@@ -121,7 +137,8 @@ impl<'rb> BottomUpEngine<'rb> {
             Premise::Neg(atom) => {
                 self.ensure_for_pred(base, atom.pred)?;
                 Ok(!exists_in_model(
-                    &self.models[&base].model,
+                    self.ctx.dbs.view(base),
+                    &self.models[&base].derived,
                     atom,
                     &mut bindings,
                 ))
@@ -130,29 +147,38 @@ impl<'rb> BottomUpEngine<'rb> {
                 let free = collect_free(goal, adds, &bindings);
                 self.exists_hyp(goal, adds, &free, 0, &mut bindings, base)
             }
-        }
+        };
+        self.stats.record_overlay(self.ctx.dbs.overlay_stats());
+        result
     }
 
     /// All tuples of `pattern` in the perfect model of the base database.
     pub fn answers(&mut self, pattern: &Atom) -> Result<Vec<Vec<Symbol>>> {
         let base = self.ctx.base_db;
         self.ensure_for_pred(base, pattern.pred)?;
-        let model = &self.models[&base].model;
+        let derived = &self.models[&base].derived;
         let mut bindings = Bindings::new(pattern.vars().map(|v| v.index() + 1).max().unwrap_or(0));
         let mut out = Vec::new();
-        model.for_each_match(pattern, &mut bindings, |b| {
-            out.push(
-                pattern
-                    .args
-                    .iter()
-                    .map(|t| match t {
-                        hdl_base::Term::Const(c) => *c,
-                        hdl_base::Term::Var(v) => b.get(*v).expect("bound by match"),
-                    })
-                    .collect(),
-            );
-            false
-        });
+        for_each_match_layered(
+            self.ctx.dbs.view(base),
+            derived,
+            pattern,
+            &mut bindings,
+            |b| {
+                out.push(
+                    pattern
+                        .args
+                        .iter()
+                        .map(|t| match t {
+                            hdl_base::Term::Const(c) => *c,
+                            hdl_base::Term::Var(v) => b.get(*v).expect("bound by match"),
+                        })
+                        .collect(),
+                );
+                false
+            },
+        );
+        self.stats.record_overlay(self.ctx.dbs.overlay_stats());
         out.sort();
         out.dedup();
         Ok(out)
@@ -162,7 +188,9 @@ impl<'rb> BottomUpEngine<'rb> {
     /// the strata the fact's predicate needs).
     pub fn proves(&mut self, db: DbId, fact: &hdl_base::GroundAtom) -> Result<bool> {
         self.ensure_for_pred(db, fact.pred)?;
-        Ok(self.models[&db].model.contains(fact))
+        let found = self.models[&db].derived.contains(fact) || self.ctx.dbs.view(db).contains(fact);
+        self.stats.record_overlay(self.ctx.dbs.overlay_stats());
+        Ok(found)
     }
 
     fn ensure_for_pred(&mut self, db: DbId, pred: Symbol) -> Result<()> {
@@ -184,19 +212,21 @@ impl<'rb> BottomUpEngine<'rb> {
                         limit: self.limits.max_databases,
                     });
                 }
+                // O(1): the EDB layer stays in the overlay DAG; only
+                // facts the rules derive are stored here.
                 ModelEntry {
                     upto: 0,
-                    model: self.ctx.dbs.to_database(db),
+                    derived: Database::new(),
                 }
             }
         };
         while entry.upto < upto {
             let stratum = entry.upto;
-            let rule_ids = self.rules_by_stratum[stratum].clone();
+            let rule_ids = Arc::clone(&self.rules_by_stratum[stratum]);
             loop {
                 self.stats.rounds += 1;
                 let mut fresh: Vec<hdl_base::GroundAtom> = Vec::new();
-                for &rule_idx in &rule_ids {
+                for &rule_idx in rule_ids.iter() {
                     self.stats.goal_expansions += 1;
                     if self.stats.goal_expansions > self.limits.max_expansions {
                         self.models.insert(db, entry);
@@ -205,11 +235,16 @@ impl<'rb> BottomUpEngine<'rb> {
                             limit: self.limits.max_expansions,
                         });
                     }
-                    self.fire(rule_idx, &entry.model, db, &mut fresh)?;
+                    self.fire(rule_idx, &entry.derived, db, &mut fresh)?;
                 }
                 let mut changed = false;
                 for f in fresh {
-                    changed |= entry.model.insert(f);
+                    // Keep `derived` disjoint from the EDB layer so the
+                    // two never enumerate the same fact twice.
+                    if self.ctx.dbs.view(db).contains(&f) {
+                        continue;
+                    }
+                    changed |= entry.derived.insert(f);
                 }
                 if !changed {
                     break;
@@ -221,18 +256,19 @@ impl<'rb> BottomUpEngine<'rb> {
         Ok(())
     }
 
-    /// Fires one rule against the growing model, collecting new heads.
+    /// Fires one rule against the growing model (EDB view + derived
+    /// delta), collecting new heads.
     fn fire(
         &mut self,
         rule_idx: usize,
-        model: &Database,
+        derived: &Database,
         db: DbId,
         out: &mut Vec<hdl_base::GroundAtom>,
     ) -> Result<()> {
         let rb: &'rb Rulebase = self.ctx.rb;
         let rule: &'rb HypRule = &rb.rules[rule_idx];
         let mut bindings = Bindings::new(rule.num_vars);
-        self.walk(rule, rule_idx, 0, &mut bindings, model, db, out)
+        self.walk(rule, rule_idx, 0, &mut bindings, derived, db, out)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -242,7 +278,7 @@ impl<'rb> BottomUpEngine<'rb> {
         rule_idx: usize,
         idx: usize,
         bindings: &mut Bindings,
-        model: &Database,
+        derived: &Database,
         db: DbId,
         out: &mut Vec<hdl_base::GroundAtom>,
     ) -> Result<()> {
@@ -255,13 +291,16 @@ impl<'rb> BottomUpEngine<'rb> {
         match &rule.premises[idx] {
             Premise::Atom(atom) => {
                 // Provable instances of same-or-lower strata are exactly
-                // the model's tuples, so matching enumerates the bindings.
-                let rows = collect_matches(model, atom, bindings);
+                // the EDB view plus the derived delta, so matching both
+                // layers enumerates the bindings. Rows are collected
+                // first: the recursive walk needs `&mut self` while the
+                // view borrows the store.
+                let rows = collect_matches(self.ctx.dbs.view(db), derived, atom, bindings);
                 for row in rows {
                     for &(v, c) in &row {
                         bindings.set(v, c);
                     }
-                    self.walk(rule, rule_idx, idx + 1, bindings, model, db, out)?;
+                    self.walk(rule, rule_idx, idx + 1, bindings, derived, db, out)?;
                     for &(v, _) in &row {
                         bindings.unset(v);
                     }
@@ -273,13 +312,13 @@ impl<'rb> BottomUpEngine<'rb> {
                 let free = bindings.free_vars_of(atom);
                 let outer: Vec<Var> = free.into_iter().filter(|v| !inner.contains(v)).collect();
                 self.neg_outer(
-                    rule, rule_idx, idx, atom, &outer, 0, bindings, model, db, out,
+                    rule, rule_idx, idx, atom, &outer, 0, bindings, derived, db, out,
                 )
             }
             Premise::Hyp { goal, adds } => {
                 let free = collect_free(goal, adds, bindings);
                 self.hyp_groundings(
-                    rule, rule_idx, idx, goal, adds, &free, 0, bindings, model, db, out,
+                    rule, rule_idx, idx, goal, adds, &free, 0, bindings, derived, db, out,
                 )
             }
         }
@@ -299,14 +338,14 @@ impl<'rb> BottomUpEngine<'rb> {
         outer: &[Var],
         opos: usize,
         bindings: &mut Bindings,
-        model: &Database,
+        derived: &Database,
         db: DbId,
         out: &mut Vec<hdl_base::GroundAtom>,
     ) -> Result<()> {
         if opos == outer.len() {
-            let witnessed = exists_in_model(model, atom, bindings);
+            let witnessed = exists_in_model(self.ctx.dbs.view(db), derived, atom, bindings);
             if !witnessed {
-                self.walk(rule, rule_idx, idx + 1, bindings, model, db, out)?;
+                self.walk(rule, rule_idx, idx + 1, bindings, derived, db, out)?;
             }
             return Ok(());
         }
@@ -322,7 +361,7 @@ impl<'rb> BottomUpEngine<'rb> {
                 outer,
                 opos + 1,
                 bindings,
-                model,
+                derived,
                 db,
                 out,
             )?;
@@ -345,7 +384,7 @@ impl<'rb> BottomUpEngine<'rb> {
         free: &[Var],
         fpos: usize,
         bindings: &mut Bindings,
-        model: &Database,
+        derived: &Database,
         db: DbId,
         out: &mut Vec<hdl_base::GroundAtom>,
     ) -> Result<()> {
@@ -363,13 +402,13 @@ impl<'rb> BottomUpEngine<'rb> {
                 // Degenerate hypothetical: all additions already present.
                 // The goal is tested inside the current fixpoint, where it
                 // behaves like a positive premise (monotone).
-                model.contains(&goal_fact)
+                derived.contains(&goal_fact) || self.ctx.dbs.view(db).contains(&goal_fact)
             } else {
                 self.stats.databases_created += 1;
                 self.proves(db2, &goal_fact)?
             };
             if holds {
-                self.walk(rule, rule_idx, idx + 1, bindings, model, db, out)?;
+                self.walk(rule, rule_idx, idx + 1, bindings, derived, db, out)?;
             }
             return Ok(());
         }
@@ -386,7 +425,7 @@ impl<'rb> BottomUpEngine<'rb> {
                 free,
                 fpos + 1,
                 bindings,
-                model,
+                derived,
                 db,
                 out,
             )?;
@@ -454,16 +493,33 @@ impl<'rb> BottomUpEngine<'rb> {
     }
 }
 
-/// Collects the binding rows matching `atom` in `model` (only the newly
-/// bound variables are recorded, for replay in the caller).
+/// Runs `f` on every match of `atom` across the two model layers: the
+/// interned database's overlay view, then the derived delta. The layers
+/// are disjoint (see [`ModelEntry`]), so no match repeats.
+fn for_each_match_layered(
+    view: DbView<'_>,
+    derived: &Database,
+    atom: &Atom,
+    bindings: &mut Bindings,
+    mut f: impl FnMut(&mut Bindings) -> bool,
+) -> bool {
+    if view.for_each_match(atom, bindings, &mut f) {
+        return true;
+    }
+    derived.for_each_match(atom, bindings, f)
+}
+
+/// Collects the binding rows matching `atom` in the layered model (only
+/// the newly bound variables are recorded, for replay in the caller).
 fn collect_matches(
-    model: &Database,
+    view: DbView<'_>,
+    derived: &Database,
     atom: &Atom,
     bindings: &mut Bindings,
 ) -> Vec<Vec<(Var, Symbol)>> {
     let before: Vec<Var> = bindings.free_vars_of(atom);
     let mut rows = Vec::new();
-    model.for_each_match(atom, bindings, |b| {
+    for_each_match_layered(view, derived, atom, bindings, |b| {
         rows.push(
             before
                 .iter()
@@ -475,9 +531,14 @@ fn collect_matches(
     rows
 }
 
-fn exists_in_model(model: &Database, atom: &Atom, bindings: &mut Bindings) -> bool {
+fn exists_in_model(
+    view: DbView<'_>,
+    derived: &Database,
+    atom: &Atom,
+    bindings: &mut Bindings,
+) -> bool {
     let mut found = false;
-    model.for_each_match(atom, bindings, |_| {
+    for_each_match_layered(view, derived, atom, bindings, |_| {
         found = true;
         true
     });

@@ -4,6 +4,7 @@
 use crate::analysis::stratify::{global_negation_strata, NegationStrata};
 use crate::ast::{Premise, Rulebase};
 use hdl_base::{Atom, Database, DbId, DbStore, FactId, FxHashMap, GroundAtom, Result, Symbol, Var};
+use std::sync::Arc;
 
 /// Precomputed evaluation data for one rule.
 #[derive(Debug, Clone)]
@@ -39,8 +40,9 @@ pub struct Context<'rb> {
     pub dbs: DbStore,
     /// The interned base database all queries start from.
     pub base_db: DbId,
-    /// Rule indices grouped by head predicate.
-    pub defs: FxHashMap<Symbol, Vec<usize>>,
+    /// Rule indices grouped by head predicate. Shared immutably so the
+    /// engines can hold a group across recursion without copying it.
+    pub defs: FxHashMap<Symbol, Arc<[usize]>>,
     /// Per-rule plans, parallel to `rb.rules`.
     pub plans: Vec<RulePlan>,
 }
@@ -57,10 +59,14 @@ impl<'rb> Context<'rb> {
         let mut dbs = DbStore::new();
         let base_db = dbs.intern_database(db);
 
-        let mut defs: FxHashMap<Symbol, Vec<usize>> = FxHashMap::default();
+        let mut grouped: FxHashMap<Symbol, Vec<usize>> = FxHashMap::default();
         for (i, rule) in rb.iter().enumerate() {
-            defs.entry(rule.head.pred).or_default().push(i);
+            grouped.entry(rule.head.pred).or_default().push(i);
         }
+        let defs = grouped
+            .into_iter()
+            .map(|(p, ids)| (p, Arc::from(ids)))
+            .collect();
 
         let plans = rb.iter().map(plan_rule).collect();
         let domain_set = domain.iter().copied().collect();
@@ -94,9 +100,10 @@ impl<'rb> Context<'rb> {
         self.dbs.intern_fact(fact)
     }
 
-    /// Whether fact `f` is in database `db`.
+    /// Whether fact `f` is in database `db` (one overlay probe plus one
+    /// binary search in the shared flat root).
     pub fn db_contains(&self, db: DbId, f: FactId) -> bool {
-        self.dbs.entry(db).contains(f)
+        self.dbs.contains(db, f)
     }
 }
 

@@ -28,7 +28,9 @@ use crate::analysis::stratify::{linear_stratification, LinearStratification};
 use crate::ast::{HypRule, Premise, Rulebase};
 use crate::engine::context::Context;
 use crate::engine::stats::Limits;
-use hdl_base::{Atom, Bindings, Database, DbId, Error, FactId, FxHashMap, Result, Symbol, Var};
+use hdl_base::{
+    Atom, Bindings, Database, DbId, DbView, Error, FactId, FxHashMap, Result, Symbol, Var,
+};
 use std::sync::Arc;
 
 const NO_CUT: u64 = u64::MAX;
@@ -47,6 +49,9 @@ pub struct ProveStats {
     pub max_depth: u64,
     /// Memo hits on atomic goals.
     pub memo_hits: u64,
+    /// Storage counters of the overlay DAG backing the database lattice,
+    /// snapshotted when the engine finished its last query.
+    pub overlay: hdl_base::OverlayStats,
 }
 
 /// The §5.2 proof-procedure engine.
@@ -55,11 +60,15 @@ pub struct ProveEngine<'rb> {
     ls: LinearStratification,
     /// Δ rule indices per stratum (1-based stratum → index-1), grouped by
     /// internal negation sub-strata `Δᵢ₁,…,Δᵢₘ` (evaluation order).
-    delta_rules: Vec<Vec<Vec<usize>>>,
-    /// Σ rule indices per stratum.
-    sigma_rules: Vec<Vec<usize>>,
+    /// Shared immutably so fixpoint rounds need no per-round copy.
+    delta_rules: Vec<Arc<[Vec<usize>]>>,
+    /// Σ rule indices per stratum, shared immutably for the same reason.
+    sigma_rules: Vec<Arc<[usize]>>,
     memo: FxHashMap<(FactId, DbId), bool>,
     in_progress: FxHashMap<(FactId, DbId), u64>,
+    /// Memoized Δ models, storing only the facts *derived* above the keyed
+    /// database — the EDB layer stays in the overlay DAG and is consulted
+    /// through a [`DbView`].
     delta_models: FxHashMap<(usize, DbId), Arc<Database>>,
     stats: ProveStats,
     limits: Limits,
@@ -72,11 +81,11 @@ impl<'rb> ProveEngine<'rb> {
         let ctx = Context::new(rb, db)?;
         let ls = linear_stratification(rb)?;
         let k = ls.num_strata();
-        let mut delta_rules: Vec<Vec<Vec<usize>>> = vec![Vec::new(); k];
-        let mut sigma_rules: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut delta_rules: Vec<Arc<[Vec<usize>]>> = vec![Arc::from(Vec::new()); k];
+        let mut sigma_rules: Vec<Arc<[usize]>> = vec![Arc::from(Vec::new()); k];
         for (i, stratum) in ls.strata.iter().enumerate() {
-            delta_rules[i] = substrata(rb, &ls, &stratum.delta);
-            sigma_rules[i] = stratum.sigma.clone();
+            delta_rules[i] = Arc::from(substrata(rb, &ls, &stratum.delta));
+            sigma_rules[i] = Arc::from(stratum.sigma.clone());
         }
         Ok(ProveEngine {
             ctx,
@@ -121,14 +130,15 @@ impl<'rb> ProveEngine<'rb> {
         let base = self.ctx.base_db;
         let num_vars = query.vars().map(|v| v.index() + 1).max().unwrap_or(0);
         let mut bindings = Bindings::new(num_vars);
-        match query {
+        let result = match query {
             Premise::Atom(atom) => {
                 let free = bindings.free_vars_of(atom);
                 self.exists_atomic(atom, &free, 0, &mut bindings, base)
             }
             Premise::Neg(atom) => {
                 let free = bindings.free_vars_of(atom);
-                Ok(!self.exists_atomic(atom, &free, 0, &mut bindings, base)?)
+                self.exists_atomic(atom, &free, 0, &mut bindings, base)
+                    .map(|found| !found)
             }
             Premise::Hyp { goal, adds } => {
                 let mut free: Vec<Var> = Vec::new();
@@ -139,7 +149,9 @@ impl<'rb> ProveEngine<'rb> {
                 }
                 self.exists_hyp(goal, adds, &free, 0, &mut bindings, base)
             }
-        }
+        };
+        self.stats.overlay = self.ctx.dbs.overlay_stats();
+        result
     }
 
     /// All domain tuples `x̄` such that `pattern(x̄)` is provable from the
@@ -150,7 +162,9 @@ impl<'rb> ProveEngine<'rb> {
         let mut bindings = Bindings::new(num_vars);
         let free = bindings.free_vars_of(pattern);
         let mut out = Vec::new();
-        self.collect_answers(pattern, &free, 0, &mut bindings, base, &mut out)?;
+        let walked = self.collect_answers(pattern, &free, 0, &mut bindings, base, &mut out);
+        self.stats.overlay = self.ctx.dbs.overlay_stats();
+        walked?;
         out.sort();
         out.dedup();
         Ok(out)
@@ -275,8 +289,9 @@ impl<'rb> ProveEngine<'rb> {
         let rb: &'rb Rulebase = self.ctx.rb;
         let pred = self.ctx.dbs.facts().fact(goal).pred;
         let mut my_cut = NO_CUT;
-        let rule_ids = self.sigma_rules[stratum - 1].clone();
-        for rule_idx in rule_ids {
+        // O(1) shared handle; the group is never copied per expansion.
+        let rule_ids = Arc::clone(&self.sigma_rules[stratum - 1]);
+        for &rule_idx in rule_ids.iter() {
             let rule: &'rb HypRule = &rb.rules[rule_idx];
             if rule.head.pred != pred {
                 continue;
@@ -331,9 +346,10 @@ impl<'rb> ProveEngine<'rb> {
         match &rule.premises[idx] {
             Premise::Atom(atom) => {
                 if !self.ctx.has_rules(atom.pred) {
-                    // Membership-only goals: drive bindings from the DB.
+                    // Membership-only goals: drive bindings from the
+                    // overlay view (shared flat index + this DB's delta).
                     let candidates: Vec<FactId> =
-                        self.ctx.dbs.entry(db).facts_of(atom.pred).to_vec();
+                        self.ctx.dbs.view(db).facts_of(atom.pred).collect();
                     for fid in candidates {
                         let trail = {
                             let fact = self.ctx.dbs.facts().fact(fid);
@@ -648,15 +664,18 @@ impl<'rb> ProveEngine<'rb> {
             return Ok(Arc::clone(m));
         }
         self.stats.delta_models += 1;
-        let mut model = self.ctx.dbs.to_database(db);
-        let groups = self.delta_rules[stratum - 1].clone();
+        // The model stores only derived facts; the EDB layer is answered
+        // by the overlay view, so memoizing a Δ model for an augmented
+        // database costs O(|derived|) instead of a full database copy.
+        let mut model = Database::new();
+        let groups = Arc::clone(&self.delta_rules[stratum - 1]);
         let delta_part = 2 * stratum - 1;
         // LFPᵢ per sub-stratum, applied in order: negation within the
         // segment only ever consults sub-strata that are already closed.
-        for group in groups {
+        for group in groups.iter() {
             loop {
                 let mut fresh: Vec<hdl_base::GroundAtom> = Vec::new();
-                for &rule_idx in &group {
+                for &rule_idx in group {
                     self.expansions_total += 1;
                     if self.expansions_total > self.limits.max_expansions {
                         return Err(Error::LimitExceeded {
@@ -668,6 +687,10 @@ impl<'rb> ProveEngine<'rb> {
                 }
                 let mut changed = false;
                 for f in fresh {
+                    // Keep derived facts disjoint from the EDB layer.
+                    if self.ctx.dbs.view(db).contains(&f) {
+                        continue;
+                    }
                     changed |= model.insert(f);
                 }
                 if !changed {
@@ -715,9 +738,9 @@ impl<'rb> ProveEngine<'rb> {
             Premise::Atom(atom) => {
                 let part = self.ls.part(atom.pred);
                 if part == delta_part || part == 0 {
-                    // Same segment (growing model) or EDB (seeded into the
-                    // model): match directly.
-                    let rows = collect_matches(model, atom, bindings);
+                    // Same segment (growing derived model) or EDB (overlay
+                    // view): match both layers directly.
+                    let rows = collect_matches(self.ctx.dbs.view(db), model, atom, bindings);
                     for row in rows {
                         for &(v, c) in &row {
                             bindings.set(v, c);
@@ -848,7 +871,7 @@ impl<'rb> ProveEngine<'rb> {
             let witnessed = if part == delta_part || part == 0 {
                 // Sub-strata ordering guarantees the negated predicate's
                 // tuples are complete in the growing model.
-                exists_in_model(model, atom, bindings)
+                exists_in_model(self.ctx.dbs.view(db), model, atom, bindings)
             } else {
                 self.stats.oracle_calls += 1;
                 self.exists_atomic(atom, inner, 0, bindings, db)?
@@ -1035,14 +1058,30 @@ fn substrata(rb: &Rulebase, ls: &LinearStratification, delta: &[usize]) -> Vec<V
     groups
 }
 
+/// Runs `f` on every match of `atom` across the EDB overlay view and the
+/// derived Δ model; the layers are disjoint, so no match repeats.
+fn for_each_match_layered(
+    view: DbView<'_>,
+    derived: &Database,
+    atom: &Atom,
+    bindings: &mut Bindings,
+    mut f: impl FnMut(&mut Bindings) -> bool,
+) -> bool {
+    if view.for_each_match(atom, bindings, &mut f) {
+        return true;
+    }
+    derived.for_each_match(atom, bindings, f)
+}
+
 fn collect_matches(
-    model: &Database,
+    view: DbView<'_>,
+    derived: &Database,
     atom: &Atom,
     bindings: &mut Bindings,
 ) -> Vec<Vec<(Var, Symbol)>> {
     let before: Vec<Var> = bindings.free_vars_of(atom);
     let mut rows = Vec::new();
-    model.for_each_match(atom, bindings, |b| {
+    for_each_match_layered(view, derived, atom, bindings, |b| {
         rows.push(
             before
                 .iter()
@@ -1054,9 +1093,14 @@ fn collect_matches(
     rows
 }
 
-fn exists_in_model(model: &Database, atom: &Atom, bindings: &mut Bindings) -> bool {
+fn exists_in_model(
+    view: DbView<'_>,
+    derived: &Database,
+    atom: &Atom,
+    bindings: &mut Bindings,
+) -> bool {
     let mut found = false;
-    model.for_each_match(atom, bindings, |_| {
+    for_each_match_layered(view, derived, atom, bindings, |_| {
         found = true;
         true
     });

@@ -4,12 +4,14 @@
 //! E7 checks goal-sequence lengths against the Theorem 3 bound
 //! `O(n^{2kᵢk₀})`, and E9 plots how work grows with the number of strata.
 
+use hdl_base::OverlayStats;
+
 /// Work counters for one engine run.
 #[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
     /// Goals expanded (top-down) or rule firings (bottom-up).
     pub goal_expansions: u64,
-    /// Distinct databases materialized in the database lattice.
+    /// Distinct databases interned in the database lattice.
     pub databases_created: u64,
     /// Memo-table hits.
     pub memo_hits: u64,
@@ -19,12 +21,23 @@ pub struct EngineStats {
     pub max_depth: u64,
     /// Fixpoint rounds (bottom-up only).
     pub rounds: u64,
+    /// Storage counters of the overlay DAG backing the database lattice —
+    /// a snapshot of [`hdl_base::DbStore::overlay_stats`] taken when the
+    /// engine finished its last query. `overlay.delta_facts` versus
+    /// `overlay.materialized_facts` measures how much sharing the
+    /// parent+delta representation bought over full materialization.
+    pub overlay: OverlayStats,
 }
 
 impl EngineStats {
     /// Resets all counters.
     pub fn reset(&mut self) {
         *self = EngineStats::default();
+    }
+
+    /// Records a snapshot of the overlay DAG's storage counters.
+    pub fn record_overlay(&mut self, o: OverlayStats) {
+        self.overlay = o;
     }
 }
 

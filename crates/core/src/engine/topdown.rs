@@ -100,14 +100,15 @@ impl<'rb> TopDownEngine<'rb> {
     pub fn holds_in(&mut self, query: &Premise, db: DbId) -> Result<bool> {
         let num_vars = query.vars().map(|v| v.index() + 1).max().unwrap_or(0);
         let mut bindings = Bindings::new(num_vars);
-        match query {
+        let result = match query {
             Premise::Atom(atom) => {
                 let free = bindings.free_vars_of(atom);
                 self.exists_proof(atom, &free, &mut bindings, db, 0)
             }
             Premise::Neg(atom) => {
                 let free = bindings.free_vars_of(atom);
-                Ok(!self.exists_proof(atom, &free, &mut bindings, db, 0)?)
+                self.exists_proof(atom, &free, &mut bindings, db, 0)
+                    .map(|found| !found)
             }
             Premise::Hyp { goal, adds } => {
                 let mut free: Vec<Var> = Vec::new();
@@ -118,7 +119,9 @@ impl<'rb> TopDownEngine<'rb> {
                 }
                 self.exists_hyp_proof(goal, adds, &free, 0, &mut bindings, db, 0)
             }
-        }
+        };
+        self.stats.record_overlay(self.ctx.dbs.overlay_stats());
+        result
     }
 
     /// Produces a proof tree for `query`, if it is provable.
@@ -145,7 +148,9 @@ impl<'rb> TopDownEngine<'rb> {
                     }
                     Ok(false)
                 })?;
-                Ok(found.and_then(|(f, d)| self.reconstruct(f, d)))
+                let node = found.and_then(|(f, d)| self.reconstruct(f, d));
+                self.stats.record_overlay(self.ctx.dbs.overlay_stats());
+                Ok(node)
             }
             Premise::Hyp { goal, adds } => {
                 let mut free: Vec<Var> = Vec::new();
@@ -173,7 +178,9 @@ impl<'rb> TopDownEngine<'rb> {
                     }
                     Ok(false)
                 })?;
-                Ok(found.and_then(|(f, d)| self.reconstruct(f, d)))
+                let node = found.and_then(|(f, d)| self.reconstruct(f, d));
+                self.stats.record_overlay(self.ctx.dbs.overlay_stats());
+                Ok(node)
             }
         }
     }
@@ -266,7 +273,7 @@ impl<'rb> TopDownEngine<'rb> {
         let free = bindings.free_vars_of(pattern);
         let base = self.ctx.base_db;
         let mut out = Vec::new();
-        self.for_each_grounding(&free, 0, &mut bindings, &mut |eng, b| {
+        let walked = self.for_each_grounding(&free, 0, &mut bindings, &mut |eng, b| {
             let fact = pattern.ground(b).expect("grounded");
             let fid = eng.ctx.fact_id(fact);
             let mut cut = NO_CUT;
@@ -283,7 +290,9 @@ impl<'rb> TopDownEngine<'rb> {
                 );
             }
             Ok(false)
-        })?;
+        });
+        self.stats.record_overlay(self.ctx.dbs.overlay_stats());
+        walked?;
         out.sort();
         out.dedup();
         Ok(out)
@@ -355,9 +364,11 @@ impl<'rb> TopDownEngine<'rb> {
         let Some(rule_ids) = self.ctx.defs.get(&pred) else {
             return Ok((false, NO_CUT));
         };
-        let rule_ids = rule_ids.clone();
+        // O(1) shared handle — the group itself is never copied, even
+        // though rule bodies below re-borrow `self` mutably.
+        let rule_ids = std::sync::Arc::clone(rule_ids);
         let mut my_cut = NO_CUT;
-        for rule_idx in rule_ids {
+        for &rule_idx in rule_ids.iter() {
             let rule: &'rb HypRule = &rb.rules[rule_idx];
             let mut bindings = Bindings::new(rule.num_vars);
             let trail = {
@@ -475,7 +486,10 @@ impl<'rb> TopDownEngine<'rb> {
         depth: u64,
         cut: &mut u64,
     ) -> Result<bool> {
-        let candidates: Vec<FactId> = self.ctx.dbs.entry(db).facts_of(atom.pred).to_vec();
+        // Candidates come straight off the overlay view: the flat root's
+        // shared index plus this database's own additions. Collected so
+        // the recursive walk below can re-borrow `self`.
+        let candidates: Vec<FactId> = self.ctx.dbs.view(db).facts_of(atom.pred).collect();
         for fid in candidates {
             let trail = {
                 let fact = self.ctx.dbs.facts().fact(fid);

@@ -210,6 +210,22 @@ mod tests {
     }
 
     #[test]
+    fn last_stats_surface_overlay_counters() {
+        let mut s = Session::new();
+        s.load(
+            "wet :- rain.
+             wet_if_rains :- wet [add: rain].",
+        )
+        .unwrap();
+        assert!(s.ask("?- wet_if_rains.").unwrap());
+        let overlay = s.last_stats().unwrap().overlay;
+        // The hypothetical premise interned base+{rain}, so the DAG holds
+        // at least two nodes, and the added fact is stored as a delta.
+        assert!(overlay.nodes >= 2, "{overlay:?}");
+        assert!(overlay.delta_facts > 0, "{overlay:?}");
+    }
+
+    #[test]
     fn incremental_loads_accumulate() {
         let mut s = Session::new();
         s.load("p :- q.").unwrap();

@@ -215,7 +215,7 @@ pub fn magic_query(
         .filter(|t| {
             t.iter()
                 .zip(&query.args)
-                .all(|(&v, a)| a.map_or(true, |c| c == v))
+                .all(|(&v, a)| a.is_none_or(|c| c == v))
         })
         .map(|t| t.to_vec())
         .collect();

@@ -423,6 +423,123 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Overlay storage: a DbView over the parent+delta DAG answers exactly
+// like a Database built by inserting the same facts directly.
+// ---------------------------------------------------------------------
+
+mod overlay_views {
+    use super::*;
+    use hdl_base::{Atom, Bindings, DbStore, Term, Var};
+
+    fn realize(syms: &mut SymbolTable, facts: &[(usize, Vec<u8>)]) -> Vec<GroundAtom> {
+        facts
+            .iter()
+            .map(|(p, args)| {
+                let pred = syms.intern(&format!("q{p}"));
+                let consts: Vec<_> = args
+                    .iter()
+                    .map(|&a| syms.intern(&format!("c{}", a - 100)))
+                    .collect();
+                GroundAtom::new(pred, consts)
+            })
+            .collect()
+    }
+
+    /// Enough extension batches that chains regularly cross
+    /// [`hdl_base::FLATTEN_THRESHOLD`], exercising both representations.
+    fn batches_strategy() -> impl Strategy<Value = Vec<Vec<(usize, Vec<u8>)>>> {
+        proptest::collection::vec(super::facts_strategy(), 1..=12)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// `DbView` membership and matching agree with a `Database` built
+        /// by inserting the same facts directly, across extension chains.
+        #[test]
+        fn view_answers_match_materialized_database(
+            base in super::facts_strategy(),
+            batches in batches_strategy(),
+        ) {
+            let mut syms = SymbolTable::new();
+            let mut store = DbStore::new();
+            let mut reference = Database::new();
+            for f in realize(&mut syms, &base) {
+                reference.insert(f);
+            }
+            let mut db = store.intern_database(&reference);
+            for batch in &batches {
+                let ids: Vec<_> = realize(&mut syms, batch)
+                    .into_iter()
+                    .map(|f| {
+                        reference.insert(f.clone());
+                        store.intern_fact(f)
+                    })
+                    .collect();
+                db = store.extend(db, &ids);
+            }
+            let view = store.view(db);
+            prop_assert_eq!(view.len(), reference.len());
+            for fact in reference.iter_facts() {
+                prop_assert!(view.contains(&fact), "missing {:?}", fact);
+            }
+            // Matching agrees for fully-open and half-ground patterns over
+            // every predicate (covers facts_of, for_each_match, and the
+            // empty-relation case for predicates with no facts).
+            for p in 0..super::NUM_PREDS {
+                let pred = syms.intern(&format!("q{p}"));
+                let ar = super::arity(p);
+                let open: Vec<Term> = (0..ar as u32).map(|i| Term::Var(Var(i))).collect();
+                let mut half = open.clone();
+                half[0] = Term::Const(syms.intern("c0"));
+                for pattern in [Atom::new(pred, open), Atom::new(pred, half)] {
+                    let mut got = view.all_matches(&pattern, &mut Bindings::new(ar));
+                    let mut want = reference.all_matches(&pattern, &mut Bindings::new(ar));
+                    got.sort();
+                    want.sort();
+                    prop_assert_eq!(got, want, "pattern over q{}", p);
+                }
+            }
+        }
+
+        /// Extending a database by facts it already holds is the identity
+        /// on `DbId` — the degenerate-hypothesis invariant the engines'
+        /// `(FactId, DbId)` memo keys rely on.
+        #[test]
+        fn extend_by_present_facts_returns_same_id(
+            base in super::facts_strategy(),
+            extra in super::facts_strategy(),
+            picks in proptest::collection::vec(0usize..64, 1..=4),
+        ) {
+            let mut syms = SymbolTable::new();
+            let mut store = DbStore::new();
+            let mut reference = Database::new();
+            for f in realize(&mut syms, &base) {
+                reference.insert(f);
+            }
+            let mut db = store.intern_database(&reference);
+            let ids: Vec<_> = realize(&mut syms, &extra)
+                .into_iter()
+                .map(|f| store.intern_fact(f))
+                .collect();
+            if !ids.is_empty() {
+                db = store.extend(db, &ids);
+            }
+            // Re-adding any subset of what the view already holds must not
+            // mint a new node.
+            let present: Vec<_> = store.view(db).fact_ids().collect();
+            if present.is_empty() {
+                return Ok(());
+            }
+            let re_add: Vec<_> = picks.iter().map(|&i| present[i % present.len()]).collect();
+            let nodes_before = store.len();
+            prop_assert_eq!(store.extend(db, &re_add), db);
+            prop_assert_eq!(store.len(), nodes_before);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Linear-stratified-by-construction programs: all three engines,
 // including PROVE, must agree (PROVE must also *accept* the program).
 // ---------------------------------------------------------------------

@@ -21,27 +21,23 @@ fn clauses_strategy(num_vars: usize) -> impl Strategy<Value = Vec<Vec<Lit>>> {
 /// Splits `0..num_vars` into 1..=3 consecutive blocks with alternating or
 /// arbitrary quantifiers.
 fn prefix_strategy(num_vars: usize) -> impl Strategy<Value = Vec<(Quant, Vec<usize>)>> {
-    (
-        1..=3usize,
-        proptest::collection::vec(any::<bool>(), 3),
-    )
-        .prop_map(move |(blocks, quants)| {
-            let blocks = blocks.min(num_vars);
-            let per = num_vars / blocks;
-            let mut out = Vec::new();
-            let mut start = 0;
-            for b in 0..blocks {
-                let end = if b == blocks - 1 {
-                    num_vars
-                } else {
-                    start + per
-                };
-                let quant = if quants[b] { Quant::Exists } else { Quant::Forall };
-                out.push((quant, (start..end).collect()));
-                start = end;
-            }
-            out
-        })
+    (1..=3usize, proptest::collection::vec(any::<bool>(), 3)).prop_map(move |(blocks, quants)| {
+        let blocks = blocks.min(num_vars);
+        let per = num_vars / blocks;
+        let mut out = Vec::new();
+        let mut start = 0;
+        for (b, &q) in quants.iter().enumerate().take(blocks) {
+            let end = if b == blocks - 1 {
+                num_vars
+            } else {
+                start + per
+            };
+            let quant = if q { Quant::Exists } else { Quant::Forall };
+            out.push((quant, (start..end).collect()));
+            start = end;
+        }
+        out
+    })
 }
 
 proptest! {

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the criterion 0.5 API the workspace's benches
+//! use — benchmark groups, `bench_with_input`, `Bencher::iter`, the
+//! `criterion_group!`/`criterion_main!` macros — as a small wall-clock
+//! harness. Timings are medians over `sample_size` samples, each sample
+//! running as many iterations as fit in `measurement_time /
+//! sample_size`; results print one line per benchmark id. No statistics,
+//! plots, or baselines — enough to compare shapes, which is what the
+//! experiment harness needs.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+pub mod measurement {
+    /// Marker trait mirroring criterion's measurement abstraction; the
+    /// stand-in only measures wall time.
+    pub trait Measurement {}
+
+    /// Wall-clock measurement (the only one provided).
+    pub struct WallTime;
+
+    impl Measurement for WallTime {}
+}
+
+/// A benchmark id: `new("function", parameter)` renders as
+/// `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: &'a mut Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over the harness-chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        *self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a, M: measurement::Measurement = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M: measurement::Measurement> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs a benchmark that receives an input by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let median = self.run(|b| f(b, input));
+        self.report(&id.id, median);
+        self
+    }
+
+    /// Runs a benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let median = self.run(&mut f);
+        self.report(id, median);
+        self
+    }
+
+    /// Finishes the group (printing happens per benchmark; nothing to do).
+    pub fn finish(&mut self) {}
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, mut f: F) -> Duration {
+        // Calibrate: one iteration to size the batches.
+        let mut once = Duration::ZERO;
+        {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: &mut once,
+            };
+            f(&mut b);
+        }
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters = if once.is_zero() {
+            100
+        } else {
+            (per_sample.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        // Warm up for roughly the configured time.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut scratch = Duration::ZERO;
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: &mut scratch,
+            };
+            f(&mut b);
+        }
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut sample = Duration::ZERO;
+            let mut b = Bencher {
+                iters,
+                elapsed: &mut sample,
+            };
+            f(&mut b);
+            per_iter.push(sample / iters as u32);
+        }
+        per_iter.sort_unstable();
+        per_iter[per_iter.len() / 2]
+    }
+
+    fn report(&self, id: &str, median: Duration) {
+        println!("{}/{id}: median {median:?} per iteration", self.name);
+    }
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group with default settings.
+    pub fn benchmark_group<S: Into<String>>(
+        &mut self,
+        name: S,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Declares a benchmark group function list, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_renders_function_slash_parameter() {
+        let id = BenchmarkId::new("sat/rulebase", 4);
+        assert_eq!(id.id, "sat/rulebase/4");
+    }
+
+    #[test]
+    fn group_runs_closures_and_respects_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs > 0, "routine must have executed");
+    }
+}

@@ -1,0 +1,656 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! reimplements the subset of proptest's API the workspace's property
+//! tests use: the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map`/`prop_flat_map`/`boxed`, range and tuple strategies,
+//! [`collection::vec`], [`sample::subsequence`], `Just`, `any::<bool>()`,
+//! a regex-lite string strategy, and the `proptest!`/`prop_oneof!`/
+//! `prop_assert*!`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs
+//!   (`Debug`) and the case seed instead of a minimized counterexample.
+//! - **Deterministic seeding.** Cases are seeded from the test name and
+//!   case index, so runs are reproducible without a regression file
+//!   (existing `proptest-regressions` files are ignored).
+//! - **String strategies** accept only a simplified pattern form: a char
+//!   class (`\PC` treated as printable) with an optional `{m,n}` length
+//!   suffix.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of one type.
+    ///
+    /// Unlike real proptest there is no value tree: `generate` produces
+    /// the value directly and failures are not shrunk.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f`
+        /// derives from it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+    }
+
+    /// Object-safe adapter behind [`BoxedStrategy`].
+    trait DynStrategy {
+        type Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(std::rc::Rc<dyn DynStrategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(std::rc::Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the held value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical strategy (only what the workspace needs).
+    pub trait Arbitrary {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// A uniformly random `bool`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    /// The canonical strategy for `A`, like proptest's `any`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.below(span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// A union of same-valued strategies with integer weights
+    /// (the expansion of `prop_oneof!`).
+    pub struct WeightedUnion<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> WeightedUnion<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs positive total weight");
+            WeightedUnion { arms, total }
+        }
+    }
+
+    impl<T> Strategy for WeightedUnion<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut roll = rng.below(self.total);
+            for (w, arm) in &self.arms {
+                if roll < *w as u64 {
+                    return arm.generate(rng);
+                }
+                roll -= *w as u64;
+            }
+            unreachable!("weighted roll below total")
+        }
+    }
+
+    /// Simplified pattern strategy: `&str` generates strings whose
+    /// length honours a trailing `{m,n}` repetition (defaulting to
+    /// `{0,32}`) of printable characters. This models the `\PC{m,n}`
+    /// patterns used by the robustness tests; other regex features are
+    /// not interpreted.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (min, max) = parse_repeat_suffix(self).unwrap_or((0, 32));
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            let mut out = String::with_capacity(len);
+            for _ in 0..len {
+                out.push(printable_char(rng));
+            }
+            out
+        }
+    }
+
+    fn parse_repeat_suffix(pattern: &str) -> Option<(usize, usize)> {
+        let body = pattern.strip_suffix('}')?;
+        let brace = body.rfind('{')?;
+        let (min, max) = body[brace + 1..].split_once(',')?;
+        let min: usize = min.trim().parse().ok()?;
+        let max: usize = max.trim().parse().ok()?;
+        (min <= max).then_some((min, max))
+    }
+
+    fn printable_char(rng: &mut TestRng) -> char {
+        // Mostly ASCII printables (dense in tokens the parser knows),
+        // with occasional multi-byte characters to exercise UTF-8 paths.
+        match rng.below(20) {
+            0 => char::from_u32(0x00C0 + rng.below(0x250 - 0xC0) as u32).unwrap_or('é'),
+            1 => ['λ', '→', '∀', '∃', '≤', '⊢', '文', '字'][rng.below(8) as usize],
+            _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Accepted size specifications for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        pub(crate) fn sample(self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+
+    /// Generates `Vec`s of `elem` values with a length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::collection::SizeRange;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates order-preserving subsequences of `values` with a length
+    /// in `size`.
+    pub fn subsequence<T: Clone>(values: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            values,
+            size: size.into(),
+        }
+    }
+
+    /// See [`subsequence`].
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let k = self.size.sample(rng).min(self.values.len());
+            // Floyd's algorithm for k distinct indices, then sort to
+            // preserve source order.
+            let n = self.values.len();
+            let mut chosen: Vec<usize> = Vec::with_capacity(k);
+            for j in n - k..n {
+                let t = rng.below((j + 1) as u64) as usize;
+                if chosen.contains(&t) {
+                    chosen.push(j);
+                } else {
+                    chosen.push(t);
+                }
+            }
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-case pseudo-random source (SplitMix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator for one test case.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+
+    /// Runner configuration (only the `cases` knob is honoured).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// How one test case ended (other than passing).
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: not a counterexample, skip the case.
+        Reject,
+        /// `prop_assert*!` failed with this message.
+        Fail(String),
+    }
+
+    /// Drives one property: deterministic seeds per `(name, case)`, a
+    /// bounded rejection budget, and a panic carrying the inputs of the
+    /// first failing case.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+    {
+        let name_seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
+        let mut passed = 0u32;
+        let mut rejected = 0u64;
+        let max_rejects = config.cases as u64 * 64;
+        let mut index = 0u64;
+        while passed < config.cases {
+            let seed = name_seed ^ index.wrapping_mul(0x9e3779b97f4a7c15);
+            let mut rng = TestRng::new(seed);
+            let (inputs, outcome) = case(&mut rng);
+            index += 1;
+            match outcome {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        // Too sparse a precondition: accept what ran.
+                        return;
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property `{name}` failed at case #{index} (seed {seed:#x}):\n\
+                         {msg}\ninputs:\n{inputs}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Everything the tests import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests: `proptest! { #![proptest_config(...)] #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($pat:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategies = ($($strat,)+);
+            #[allow(unused_parens, non_snake_case)]
+            let ($($pat,)+) = {
+                // Bind strategy tuple fields back to the pattern names so
+                // the per-case closure can reference them.
+                strategies
+            };
+            $crate::test_runner::run(&config, stringify!($name), |__rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&$pat, __rng);)+
+                let __inputs = {
+                    let mut s = String::new();
+                    $(s.push_str(&format!("  {} = {:?}\n", stringify!($pat), &$pat));)+
+                    s
+                };
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                (__inputs, __outcome)
+            });
+        }
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($cfg:expr;) => {};
+}
+
+/// Weighted or unweighted strategy union.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Skips the current case unless `cond` holds (not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(42);
+        let s = (0u8..3, 10usize..=12).prop_map(|(a, b)| (a, b));
+        for _ in 0..200 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a < 3);
+            assert!((10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_absence() {
+        let mut rng = crate::test_runner::TestRng::new(7);
+        let s = prop_oneof![3 => Just(1u8), 1 => Just(2u8)];
+        let mut seen = [0u32; 3];
+        for _ in 0..400 {
+            seen[s.generate(&mut rng) as usize] += 1;
+        }
+        assert_eq!(seen[0], 0);
+        assert!(seen[1] > seen[2], "weighted arm should dominate: {seen:?}");
+    }
+
+    #[test]
+    fn collection_vec_and_subsequence_respect_sizes() {
+        let mut rng = crate::test_runner::TestRng::new(9);
+        let v = crate::collection::vec(0u8..5, 2..=4);
+        for _ in 0..100 {
+            let xs = v.generate(&mut rng);
+            assert!((2..=4).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 5));
+        }
+        let sub = crate::sample::subsequence((0usize..6).collect::<Vec<_>>(), 0..=6);
+        for _ in 0..100 {
+            let xs = sub.generate(&mut rng);
+            assert!(xs.len() <= 6);
+            assert!(
+                xs.windows(2).all(|w| w[0] < w[1]),
+                "order preserved: {xs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn string_pattern_respects_length_suffix() {
+        let mut rng = crate::test_runner::TestRng::new(3);
+        for _ in 0..50 {
+            let s = "\\PC{0,200}".generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0usize..10, ys in crate::collection::vec(0u8..3, 0..4)) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 10, "x = {}", x);
+            prop_assert_eq!(ys.len() < 4, true);
+        }
+    }
+}
