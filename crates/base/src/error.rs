@@ -42,6 +42,10 @@ pub enum Error {
         /// The configured bound.
         limit: u64,
     },
+    /// Evaluation was cancelled through a cancellation token.
+    Cancelled,
+    /// Evaluation ran past its wall-clock deadline.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for Error {
@@ -73,6 +77,8 @@ impl fmt::Display for Error {
             Error::LimitExceeded { what, limit } => {
                 write!(f, "evaluation limit exceeded: {what} > {limit}")
             }
+            Error::Cancelled => write!(f, "evaluation cancelled"),
+            Error::DeadlineExceeded => write!(f, "evaluation deadline exceeded"),
         }
     }
 }

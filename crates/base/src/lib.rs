@@ -44,3 +44,17 @@ pub use subst::Bindings;
 pub use symbol::{Symbol, SymbolTable};
 pub use term::{Term, Var};
 pub use view::DbView;
+
+// Concurrency audit: the service layer shares frozen copies of these
+// types across worker threads behind `Arc`. They contain no interior
+// mutability, so the auto traits must hold — these assertions turn any
+// future regression (e.g. an `Rc` or `Cell` sneaking in) into a compile
+// error here rather than a distant trait-bound failure in `hdl-service`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SymbolTable>();
+    assert_send_sync::<Database>();
+    assert_send_sync::<FactStore>();
+    assert_send_sync::<DbStore>();
+    assert_send_sync::<Error>();
+};

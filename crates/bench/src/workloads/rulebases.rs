@@ -40,6 +40,43 @@ pub fn hamiltonian_program(g: &Digraph) -> (Rulebase, Database, SymbolTable) {
     build(&src)
 }
 
+/// `count` disjoint copies of the Example 7 Hamiltonian rulebase over
+/// independently sampled random digraphs, every predicate suffixed
+/// `_i`. The copies share no predicates or constants, so the queries
+/// `?- yes_i.` are fully independent — the workload for the
+/// `hdl-service` concurrent-throughput test, where disjointness means
+/// workers cannot piggyback on each other's memo tables.
+///
+/// Returns the merged program plus `(query_text, expected)` pairs.
+pub fn independent_hamiltonian_programs(
+    count: usize,
+    nodes: usize,
+    density: f64,
+    seed: u64,
+) -> (Rulebase, Database, SymbolTable, Vec<(String, bool)>) {
+    let mut src = String::new();
+    let mut queries = Vec::new();
+    for i in 0..count {
+        let g = crate::workloads::random_digraph(nodes, density, seed + i as u64);
+        let _ = writeln!(
+            src,
+            "yes_{i} :- node_{i}(X), path_{i}(X)[add: pnode_{i}(X)].
+             path_{i}(X) :- select_{i}(Y), edge_{i}(X, Y), path_{i}(Y)[add: pnode_{i}(Y)].
+             path_{i}(X) :- ~select_{i}(Y).
+             select_{i}(Y) :- node_{i}(Y), ~pnode_{i}(Y)."
+        );
+        for v in 0..g.n {
+            let _ = writeln!(src, "node_{i}(v{i}_{v}).");
+        }
+        for &(a, b) in &g.edges {
+            let _ = writeln!(src, "edge_{i}(v{i}_{a}, v{i}_{b}).");
+        }
+        queries.push((format!("?- yes_{i}."), g.has_hamiltonian_path()));
+    }
+    let (rules, db, syms) = build(&src);
+    (rules, db, syms, queries)
+}
+
 /// Example 4 (chained hypothetical adds) of length `n`: `a1` is provable
 /// iff every `b_i` gets added along the chain.
 pub fn chain_program(n: usize) -> (Rulebase, Database, SymbolTable) {

@@ -1,0 +1,103 @@
+//! Concurrent-throughput acceptance checks for the `hdl-service` worker
+//! pool (see DESIGN.md §3.9).
+//!
+//! The scaling workload is `independent_hamiltonian_programs`: disjoint
+//! copies of the Example 7 rulebase, so no memoization or cache entry is
+//! shared between queries and the work is embarrassingly parallel. The
+//! ≥2× assertion only runs when the machine actually has ≥4 cores —
+//! on smaller machines (CI runners, the 1-core dev container) the test
+//! still exercises both pool sizes and checks answers, it just cannot
+//! observe a speed-up that the hardware makes impossible.
+
+use hdl_bench::workloads::independent_hamiltonian_programs;
+use hdl_core::snapshot::Snapshot;
+use hdl_service::{Outcome, QueryRequest, QueryService};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const COPIES: usize = 8;
+const NODES: usize = 7;
+const DENSITY: f64 = 0.4;
+const SEED: u64 = 7;
+
+fn workload() -> (Arc<Snapshot>, Vec<(String, bool)>) {
+    let (rules, db, syms, queries) = independent_hamiltonian_programs(COPIES, NODES, DENSITY, SEED);
+    (Snapshot::new(syms, rules, db), queries)
+}
+
+fn run_pool(snap: &Arc<Snapshot>, queries: &[(String, bool)], workers: usize) -> Duration {
+    let service = QueryService::new(Arc::clone(snap), workers);
+    let requests = queries
+        .iter()
+        .map(|(q, _)| QueryRequest::ask(q.clone()))
+        .collect();
+    let started = Instant::now();
+    let outcomes = service.run_batch(requests);
+    let elapsed = started.elapsed();
+    for ((query, expected), outcome) in queries.iter().zip(&outcomes) {
+        assert_eq!(
+            *outcome,
+            Outcome::from_verdict(Ok(*expected)),
+            "{query} under {workers} workers"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.queries_served, queries.len() as u64);
+    assert_eq!(stats.cache_hits, 0, "independent queries never share");
+    service.shutdown();
+    elapsed
+}
+
+#[test]
+fn four_workers_scale_on_independent_queries() {
+    let (snap, queries) = workload();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Warm-up pass so both measured runs see identical page-cache and
+    // allocator conditions.
+    run_pool(&snap, &queries, 1);
+    let t1 = run_pool(&snap, &queries, 1);
+    let t4 = run_pool(&snap, &queries, 4);
+    eprintln!("independent batch: 1 worker {t1:?}, 4 workers {t4:?} ({cores} cores)");
+    if cores >= 4 {
+        assert!(
+            t1 >= t4 * 2,
+            "expected ≥2× throughput with 4 workers: 1w={t1:?} 4w={t4:?}"
+        );
+    } else {
+        eprintln!("skipping ≥2× assertion: only {cores} core(s) available");
+    }
+}
+
+#[test]
+fn overlapping_queries_hit_the_shared_cache() {
+    let (snap, queries) = workload();
+    let service = QueryService::new(snap, 4);
+    // First round populates the shared cache; the second round repeats
+    // every goal twice and must be answered from it, regardless of
+    // which worker computed the original answer.
+    let round = |n: usize| -> Vec<QueryRequest> {
+        std::iter::repeat_with(|| queries.iter().map(|(q, _)| QueryRequest::ask(q.clone())))
+            .take(n)
+            .flatten()
+            .collect()
+    };
+    let check = |outcomes: Vec<Outcome>| {
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let (query, expected) = &queries[i % queries.len()];
+            assert_eq!(*outcome, Outcome::from_verdict(Ok(*expected)), "{query}");
+        }
+    };
+    check(service.run_batch(round(1)));
+    let warm = service.stats();
+    check(service.run_batch(round(2)));
+    let stats = service.stats();
+    assert!(
+        stats.cache_hits >= warm.cache_hits + 2 * queries.len() as u64,
+        "every repeat must be served from the shared cache: {stats:?}"
+    );
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        3 * queries.len() as u64
+    );
+    service.shutdown();
+}

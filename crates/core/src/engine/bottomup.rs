@@ -30,6 +30,7 @@
 
 use crate::analysis::stratify::{evaluation_strata, NegationStrata};
 use crate::ast::{HypRule, Premise, Rulebase};
+use crate::engine::budget::Budget;
 use crate::engine::context::Context;
 use crate::engine::stats::{EngineStats, Limits};
 use hdl_base::{
@@ -63,6 +64,7 @@ pub struct BottomUpEngine<'rb> {
     rules_by_stratum: Vec<Arc<[usize]>>,
     stats: EngineStats,
     limits: Limits,
+    budget: Budget,
 }
 
 impl<'rb> BottomUpEngine<'rb> {
@@ -83,6 +85,7 @@ impl<'rb> BottomUpEngine<'rb> {
             rules_by_stratum,
             stats: EngineStats::default(),
             limits: Limits::default(),
+            budget: Budget::default(),
         })
     }
 
@@ -90,6 +93,16 @@ impl<'rb> BottomUpEngine<'rb> {
     pub fn with_limits(mut self, limits: Limits) -> Self {
         self.limits = limits;
         self
+    }
+
+    /// Replaces the evaluation budget (deadline / cancellation token).
+    ///
+    /// A tripped budget abandons the fixpoint mid-flight; the partial
+    /// model of the interrupted database is discarded (its stratum was
+    /// never marked closed), so later queries recompute it from scratch
+    /// and memoized models stay sound.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Work counters accumulated so far.
@@ -282,6 +295,7 @@ impl<'rb> BottomUpEngine<'rb> {
         db: DbId,
         out: &mut Vec<hdl_base::GroundAtom>,
     ) -> Result<()> {
+        self.budget.check()?;
         if idx == rule.premises.len() {
             // Ground any remaining head variables over the domain
             // (Definition 3's ground substitution).
@@ -342,6 +356,7 @@ impl<'rb> BottomUpEngine<'rb> {
         db: DbId,
         out: &mut Vec<hdl_base::GroundAtom>,
     ) -> Result<()> {
+        self.budget.check()?;
         if opos == outer.len() {
             let witnessed = exists_in_model(self.ctx.dbs.view(db), derived, atom, bindings);
             if !witnessed {

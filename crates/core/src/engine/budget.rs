@@ -1,0 +1,178 @@
+//! Per-query evaluation budgets: cancellation tokens and deadlines.
+//!
+//! The paper's language is `Σₖᴾ`-complete, so a service answering
+//! arbitrary queries must be able to abandon a search that will not
+//! finish in time. A [`Budget`] carries an optional wall-clock deadline
+//! and an optional shared [`CancelToken`]; the engines call
+//! [`Budget::check`] inside their inner loops and unwind with
+//! [`Error::Cancelled`] / [`Error::DeadlineExceeded`] when the budget is
+//! spent.
+//!
+//! Checking the clock on every goal expansion would be measurable, so
+//! `check` only consults the token and `Instant::now()` once every
+//! [`CHECK_PERIOD`] calls. At typical expansion rates (millions per
+//! second) this bounds the overshoot past a deadline to well under a
+//! millisecond while keeping the hot-path cost to one decrement and
+//! branch.
+//!
+//! Cancellation is cooperative and *sound*: the engines propagate the
+//! error without recording any verdicts for goals still in flight, so a
+//! cancelled engine can keep serving later queries — its memo tables
+//! only ever hold definitive answers.
+
+use hdl_base::{Error, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many [`Budget::check`] calls elapse between real clock/token
+/// probes.
+pub const CHECK_PERIOD: u32 = 128;
+
+/// A shared flag for cooperative cancellation of an in-flight query.
+///
+/// Cloning the token is cheap (`Arc`); any clone may call
+/// [`CancelToken::cancel`], and every engine holding a [`Budget`] with
+/// the token will unwind with [`Error::Cancelled`] at its next probe.
+#[derive(Clone, Default, Debug)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation of every evaluation holding this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A per-query evaluation budget (deadline + cancellation token).
+///
+/// The default budget is unlimited and check-free.
+#[derive(Clone, Default, Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    token: Option<CancelToken>,
+    /// Calls remaining until the next real probe.
+    countdown: u32,
+}
+
+impl Budget {
+    /// An unlimited budget (never trips).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Adds a wall-clock deadline `d` from now.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(Instant::now() + d);
+        self
+    }
+
+    /// Adds a deadline at an absolute instant.
+    pub fn with_deadline_at(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// Whether this budget can ever trip (has a deadline or a token).
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.token.is_some()
+    }
+
+    /// Cheap periodic probe: every [`CHECK_PERIOD`] calls, tests the
+    /// token and the clock. Errors with [`Error::Cancelled`] or
+    /// [`Error::DeadlineExceeded`] once the budget is spent.
+    #[inline]
+    pub fn check(&mut self) -> Result<()> {
+        if !self.is_limited() {
+            return Ok(());
+        }
+        if self.countdown > 0 {
+            self.countdown -= 1;
+            return Ok(());
+        }
+        self.countdown = CHECK_PERIOD - 1;
+        self.probe()
+    }
+
+    /// Unconditional probe of the token and the clock.
+    #[cold]
+    pub fn probe(&self) -> Result<()> {
+        if let Some(t) = &self.token {
+            if t.is_cancelled() {
+                return Err(Error::Cancelled);
+            }
+        }
+        if let Some(at) = self.deadline {
+            if Instant::now() >= at {
+                return Err(Error::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let mut b = Budget::unlimited();
+        for _ in 0..10_000 {
+            b.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn expired_deadline_trips_within_one_period() {
+        let mut b = Budget::unlimited().with_deadline(Duration::ZERO);
+        let mut tripped = 0u32;
+        for i in 0..=CHECK_PERIOD {
+            if b.check().is_err() {
+                tripped = i;
+                break;
+            }
+        }
+        assert!(tripped <= CHECK_PERIOD, "must probe at least once a period");
+        assert_eq!(b.probe().unwrap_err(), Error::DeadlineExceeded);
+    }
+
+    #[test]
+    fn token_cancels_all_clones() {
+        let token = CancelToken::new();
+        let mut b = Budget::unlimited().with_token(token.clone());
+        b.check().unwrap();
+        token.cancel();
+        assert_eq!(b.probe().unwrap_err(), Error::Cancelled);
+        let mut any_err = false;
+        for _ in 0..=CHECK_PERIOD {
+            if b.check().is_err() {
+                any_err = true;
+                break;
+            }
+        }
+        assert!(any_err);
+    }
+
+    #[test]
+    fn future_deadline_passes() {
+        let b = Budget::unlimited().with_deadline(Duration::from_secs(3600));
+        assert!(b.probe().is_ok());
+    }
+}

@@ -14,6 +14,7 @@
 //!   bound. Requires a linearly stratified rulebase.
 
 pub mod bottomup;
+pub mod budget;
 pub mod context;
 pub mod proof;
 pub mod prove;
@@ -21,6 +22,7 @@ pub mod stats;
 pub mod topdown;
 
 pub use bottomup::BottomUpEngine;
+pub use budget::{Budget, CancelToken};
 pub use context::Context;
 pub use proof::{render as render_proof, ProofChild, ProofNode};
 pub use prove::ProveEngine;

@@ -26,6 +26,7 @@
 
 use crate::analysis::stratify::{linear_stratification, LinearStratification};
 use crate::ast::{HypRule, Premise, Rulebase};
+use crate::engine::budget::Budget;
 use crate::engine::context::Context;
 use crate::engine::stats::Limits;
 use hdl_base::{
@@ -72,6 +73,7 @@ pub struct ProveEngine<'rb> {
     delta_models: FxHashMap<(usize, DbId), Arc<Database>>,
     stats: ProveStats,
     limits: Limits,
+    budget: Budget,
     expansions_total: u64,
 }
 
@@ -100,6 +102,7 @@ impl<'rb> ProveEngine<'rb> {
                 ..Default::default()
             },
             limits: Limits::default(),
+            budget: Budget::default(),
             expansions_total: 0,
         })
     }
@@ -108,6 +111,13 @@ impl<'rb> ProveEngine<'rb> {
     pub fn with_limits(mut self, limits: Limits) -> Self {
         self.limits = limits;
         self
+    }
+
+    /// Replaces the evaluation budget (deadline / cancellation token).
+    /// A tripped budget unwinds without recording in-flight verdicts, so
+    /// memoized answers and Δ models stay sound for later queries.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Work counters.
@@ -211,6 +221,7 @@ impl<'rb> ProveEngine<'rb> {
     /// Dispatches a ground atomic goal by its predicate's partition:
     /// even → `PROVE_Σ`, odd → `PROVE_Δ` model, 0 → database membership.
     fn prove_atomic(&mut self, fact: FactId, db: DbId, depth: u64, cut: &mut u64) -> Result<bool> {
+        self.budget.check()?;
         if self.ctx.db_contains(db, fact) {
             return Ok(true); // line 1 of PROVE_Σ / first case of TEST⁰
         }
@@ -730,6 +741,7 @@ impl<'rb> ProveEngine<'rb> {
         db: DbId,
         out: &mut Vec<hdl_base::GroundAtom>,
     ) -> Result<()> {
+        self.budget.check()?;
         if idx == rule.premises.len() {
             let free = bindings.free_vars_of(&rule.head);
             return self.delta_emit(rule, &free, 0, bindings, out);

@@ -17,11 +17,15 @@
 //! (untainted failures), which keeps the memo sound in cyclic programs.
 //!
 //! The search recurses on the host stack, so the required stack is
-//! proportional to proof depth. Programs with proofs thousands of steps
-//! deep (e.g. very long hypothetical chains) should run the engine on a
-//! thread with an enlarged stack (`std::thread::Builder::stack_size`).
+//! proportional to proof depth. [`Session`](crate::session::Session) and
+//! the `hdl-service` worker pool already run every evaluation on a
+//! thread with an enlarged stack
+//! ([`call_with_deep_stack`](crate::stack::call_with_deep_stack)); only
+//! code driving this engine directly on a shallow thread needs to do the
+//! same for programs with proofs thousands of steps deep.
 
 use crate::ast::{HypRule, Premise, Rulebase};
+use crate::engine::budget::Budget;
 use crate::engine::context::Context;
 use crate::engine::proof::{ProofChild, ProofNode};
 use crate::engine::stats::{EngineStats, Limits};
@@ -52,6 +56,7 @@ pub struct TopDownEngine<'rb> {
     last_success: Option<(usize, Vec<Option<Symbol>>)>,
     stats: EngineStats,
     limits: Limits,
+    budget: Budget,
 }
 
 impl<'rb> TopDownEngine<'rb> {
@@ -65,6 +70,7 @@ impl<'rb> TopDownEngine<'rb> {
             last_success: None,
             stats: EngineStats::default(),
             limits: Limits::default(),
+            budget: Budget::default(),
         })
     }
 
@@ -72,6 +78,16 @@ impl<'rb> TopDownEngine<'rb> {
     pub fn with_limits(mut self, limits: Limits) -> Self {
         self.limits = limits;
         self
+    }
+
+    /// Replaces the evaluation budget (deadline / cancellation token).
+    ///
+    /// A tripped budget unwinds the search with
+    /// [`Error::Cancelled`] / [`Error::DeadlineExceeded`] without
+    /// recording verdicts for in-flight goals, so the engine stays
+    /// usable — and its memo table correct — for later queries.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Work counters accumulated so far.
@@ -303,6 +319,7 @@ impl<'rb> TopDownEngine<'rb> {
     /// Returns the verdict; `cut` is lowered to the depth of the shallowest
     /// in-progress ancestor this (failing) search touched.
     fn prove(&mut self, goal: FactId, db: DbId, depth: u64, cut: &mut u64) -> Result<bool> {
+        self.budget.check()?;
         self.stats.calls += 1;
         self.stats.max_depth = self.stats.max_depth.max(depth);
         let key = (goal, db);

@@ -38,10 +38,14 @@ pub mod engine;
 pub mod parser;
 pub mod pretty;
 pub mod session;
+pub mod snapshot;
+pub mod stack;
 pub mod transform;
 
 pub use analysis::stratify::{linear_stratification, LinearStratification};
 pub use ast::{HypRule, Premise, Rulebase};
-pub use engine::{BottomUpEngine, ProveEngine, TopDownEngine};
+pub use engine::{BottomUpEngine, Budget, CancelToken, ProveEngine, TopDownEngine};
 pub use parser::{parse_program, parse_query, split_facts};
 pub use session::Session;
+pub use snapshot::Snapshot;
+pub use stack::call_with_deep_stack;

@@ -2,9 +2,13 @@
 //!
 //! [`Session`] owns the symbol table, rulebase, and database, and answers
 //! textual queries with a fresh engine per call (engine construction is
-//! cheap — a linear stratification pass; memo tables are per-call). For
-//! long query sequences against one database, construct a
-//! [`TopDownEngine`](crate::engine::TopDownEngine) directly and reuse it.
+//! cheap — a linear stratification pass; memo tables are per-call).
+//! Every evaluation runs on a dedicated thread with an enlarged stack,
+//! so deep proofs cannot overflow the caller. For long query sequences
+//! against one database, construct a
+//! [`TopDownEngine`](crate::engine::TopDownEngine) directly and reuse it,
+//! or publish a [`Session::snapshot`] and drive it through the
+//! `hdl-service` concurrent query service.
 //!
 //! ```
 //! use hdl_core::session::Session;
@@ -19,18 +23,38 @@
 //! ```
 
 use crate::ast::Rulebase;
-use crate::engine::{BottomUpEngine, EngineStats, TopDownEngine};
+use crate::engine::{BottomUpEngine, Budget, EngineStats, TopDownEngine};
 use crate::parser::{check_arities, parse_program, parse_query, split_facts};
+use crate::snapshot::Snapshot;
+use crate::stack::call_with_deep_stack;
 use hdl_base::{Database, GroundAtom, Result, SymbolTable};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Which engine a [`Session`] evaluates with.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
 pub enum EngineKind {
     /// Goal-directed with tabling (default; best for search workloads).
     #[default]
     TopDown,
     /// Perfect-model reference engine.
     BottomUp,
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = hdl_base::Error;
+
+    /// Accepts the CLI spellings `top-down` / `topdown` / `td` and
+    /// `bottom-up` / `bottomup` / `bu`.
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "top-down" | "topdown" | "td" => Ok(EngineKind::TopDown),
+            "bottom-up" | "bottomup" | "bu" => Ok(EngineKind::BottomUp),
+            other => Err(hdl_base::Error::Invalid(format!(
+                "unknown engine `{other}` (expected top-down or bottom-up)"
+            ))),
+        }
+    }
 }
 
 /// An owned program + database with a textual query interface.
@@ -40,6 +64,7 @@ pub struct Session {
     rulebase: Rulebase,
     database: Database,
     engine: EngineKind,
+    deadline: Option<Duration>,
     last_stats: Option<EngineStats>,
     arities: hdl_base::FxHashMap<hdl_base::Symbol, usize>,
 }
@@ -54,6 +79,41 @@ impl Session {
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
         self
+    }
+
+    /// Selects the evaluation engine on an existing session.
+    pub fn set_engine(&mut self, engine: EngineKind) {
+        self.engine = engine;
+    }
+
+    /// The currently selected evaluation engine.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Sets (or clears) a per-query wall-clock deadline. Queries that
+    /// run past it fail with [`hdl_base::Error::DeadlineExceeded`].
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// The budget applied to each query of this session.
+    fn budget(&self) -> Budget {
+        match self.deadline {
+            Some(d) => Budget::unlimited().with_deadline(d),
+            None => Budget::unlimited(),
+        }
+    }
+
+    /// Publishes the current program + database as an immutable,
+    /// epoch-stamped [`Snapshot`] that worker threads can share. Later
+    /// `load`s do not affect already-published snapshots.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Snapshot::new(
+            self.symbols.clone(),
+            self.rulebase.clone(),
+            self.database.clone(),
+        )
     }
 
     /// Parses `src`; rules join the rulebase, ground facts the database.
@@ -99,22 +159,30 @@ impl Session {
     }
 
     /// Evaluates a textual query (`?- premise.`).
+    ///
+    /// Evaluation runs on a dedicated thread with an enlarged stack
+    /// ([`call_with_deep_stack`]), so deep linear-recursion proofs never
+    /// overflow the caller's stack.
     pub fn ask(&mut self, query: &str) -> Result<bool> {
         let q = parse_query(query, &mut self.symbols)?;
-        match self.engine {
-            EngineKind::TopDown => {
-                let mut eng = TopDownEngine::new(&self.rulebase, &self.database)?;
-                let r = eng.holds(&q)?;
-                self.last_stats = Some(*eng.stats());
-                Ok(r)
+        let (rulebase, database) = (&self.rulebase, &self.database);
+        let (engine, budget) = (self.engine, self.budget());
+        let (r, stats) = call_with_deep_stack(move || -> Result<(bool, EngineStats)> {
+            match engine {
+                EngineKind::TopDown => {
+                    let mut eng = TopDownEngine::new(rulebase, database)?;
+                    eng.set_budget(budget);
+                    Ok((eng.holds(&q)?, *eng.stats()))
+                }
+                EngineKind::BottomUp => {
+                    let mut eng = BottomUpEngine::new(rulebase, database)?;
+                    eng.set_budget(budget);
+                    Ok((eng.holds(&q)?, *eng.stats()))
+                }
             }
-            EngineKind::BottomUp => {
-                let mut eng = BottomUpEngine::new(&self.rulebase, &self.database)?;
-                let r = eng.holds(&q)?;
-                self.last_stats = Some(*eng.stats());
-                Ok(r)
-            }
-        }
+        })?;
+        self.last_stats = Some(stats);
+        Ok(r)
     }
 
     /// All tuples satisfying a non-ground atom pattern, e.g.
@@ -126,16 +194,20 @@ impl Session {
                 "answers() takes a plain atom pattern".into(),
             ));
         };
-        let rows = match self.engine {
+        let (rulebase, database) = (&self.rulebase, &self.database);
+        let (engine, budget) = (self.engine, self.budget());
+        let rows = call_with_deep_stack(move || match engine {
             EngineKind::TopDown => {
-                let mut eng = TopDownEngine::new(&self.rulebase, &self.database)?;
-                eng.answers(&atom)?
+                let mut eng = TopDownEngine::new(rulebase, database)?;
+                eng.set_budget(budget);
+                eng.answers(&atom)
             }
             EngineKind::BottomUp => {
-                let mut eng = BottomUpEngine::new(&self.rulebase, &self.database)?;
-                eng.answers(&atom)?
+                let mut eng = BottomUpEngine::new(rulebase, database)?;
+                eng.set_budget(budget);
+                eng.answers(&atom)
             }
-        };
+        })?;
         Ok(rows
             .into_iter()
             .map(|row| {
@@ -151,9 +223,15 @@ impl Session {
     /// [`TopDownEngine::explain`](crate::engine::TopDownEngine::explain)).
     pub fn explain(&mut self, query: &str) -> Result<Option<String>> {
         let q = parse_query(query, &mut self.symbols)?;
-        let mut eng = TopDownEngine::new(&self.rulebase, &self.database)?;
-        let proof = eng.explain(&q)?;
-        self.last_stats = Some(*eng.stats());
+        let (rulebase, database) = (&self.rulebase, &self.database);
+        let budget = self.budget();
+        let (proof, stats) = call_with_deep_stack(move || {
+            let mut eng = TopDownEngine::new(rulebase, database)?;
+            eng.set_budget(budget);
+            let proof = eng.explain(&q)?;
+            Ok::<_, hdl_base::Error>((proof, *eng.stats()))
+        })?;
+        self.last_stats = Some(stats);
         Ok(proof.map(|p| crate::engine::proof::render(&p, &self.symbols)))
     }
 
@@ -278,6 +356,69 @@ mod tests {
             s2.ask("?- tc(a, b).").unwrap()
         );
         assert_eq!(saved, s2.dump(), "dump is a fixpoint");
+    }
+
+    #[test]
+    fn deep_linear_recursion_does_not_overflow() {
+        // A hypothetical chain of length n proves through n nested
+        // engine frames; 3000 steps of host-stack recursion (with
+        // multiple frames per step) was the territory the old caveat
+        // warned about — the deep-stack evaluation thread absorbs it.
+        let n = 3000;
+        let mut src = String::new();
+        for i in 1..=n {
+            src.push_str(&format!("a{i} :- a{next}[add: b{i}].\n", next = i + 1));
+        }
+        src.push_str(&format!("a{}.\n", n + 1));
+        let mut s = Session::new();
+        s.load(&src).unwrap();
+        assert!(s.ask("?- a1.").unwrap());
+    }
+
+    #[test]
+    fn deadline_trips_and_clears() {
+        let mut s = Session::new();
+        // Parity over a moderate set is slow enough to hit a zero
+        // deadline but completes quickly without one.
+        s.load(
+            "even :- select(X), odd[add: b(X)].
+             odd :- select(X), even[add: b(X)].
+             even :- ~select(X).
+             select(X) :- a(X), ~b(X).
+             a(t1). a(t2). a(t3). a(t4).",
+        )
+        .unwrap();
+        s.set_deadline(Some(std::time::Duration::ZERO));
+        assert_eq!(
+            s.ask("?- even.").unwrap_err(),
+            hdl_base::Error::DeadlineExceeded
+        );
+        s.set_deadline(None);
+        assert!(s.ask("?- even.").unwrap(), "deadline cleared");
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_loads() {
+        let mut s = Session::new();
+        s.load("p :- q.").unwrap();
+        let snap1 = s.snapshot();
+        s.load("q.").unwrap();
+        let snap2 = s.snapshot();
+        assert!(snap2.epoch() > snap1.epoch());
+        assert_eq!(snap1.database().len(), 0, "snapshot 1 predates `q.`");
+        assert_eq!(snap2.database().len(), 1);
+        assert!(s.ask("?- p.").unwrap());
+    }
+
+    #[test]
+    fn engine_kind_parses_cli_spellings() {
+        use std::str::FromStr as _;
+        assert_eq!(
+            EngineKind::from_str("top-down").unwrap(),
+            EngineKind::TopDown
+        );
+        assert_eq!(EngineKind::from_str("bu").unwrap(), EngineKind::BottomUp);
+        assert!(EngineKind::from_str("sideways").is_err());
     }
 
     #[test]

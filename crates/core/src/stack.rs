@@ -1,0 +1,69 @@
+//! Running evaluations on a thread with an enlarged stack.
+//!
+//! The top-down engine recurses on the host stack, so the stack it needs
+//! is proportional to proof depth — programs with proofs thousands of
+//! steps deep (long hypothetical chains, deep linear recursion) can
+//! overflow the default ~8 MiB main stack. Every public entry point that
+//! evaluates a query ([`crate::session::Session`] and the `hdl-service`
+//! worker pool) routes the evaluation through [`call_with_deep_stack`],
+//! which runs the closure on a scoped thread with [`DEEP_STACK_BYTES`]
+//! of stack, so the caveat never reaches users.
+
+use std::thread;
+
+/// Stack size for evaluation threads (64 MiB — roughly three orders of
+/// magnitude deeper proofs than the default main stack allows).
+pub const DEEP_STACK_BYTES: usize = 64 << 20;
+
+/// Runs `f` to completion on a scoped thread with [`DEEP_STACK_BYTES`]
+/// of stack and returns its result. Panics in `f` are propagated to the
+/// caller. Borrows in `f` may reference the caller's stack (the thread
+/// is scoped), so existing `&self`/`&mut self` call patterns work
+/// unchanged.
+pub fn call_with_deep_stack<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+    thread::scope(|scope| {
+        let handle = thread::Builder::new()
+            .name("hdl-eval".into())
+            .stack_size(DEEP_STACK_BYTES)
+            .spawn_scoped(scope, f)
+            .expect("spawn evaluation thread");
+        match handle.join() {
+            Ok(v) => v,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_closure_result() {
+        let data = [1u64, 2, 3];
+        let sum = call_with_deep_stack(|| data.iter().sum::<u64>());
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn survives_recursion_far_beyond_the_default_stack() {
+        // 200k frames with a stack-resident payload need tens of MiB —
+        // far past an 8 MiB default stack, comfortably inside 64 MiB.
+        fn down(n: u64) -> u64 {
+            let pad = [n; 8]; // keep the frame from being optimized away
+            if n == 0 {
+                pad[0]
+            } else {
+                down(n - 1) + 1
+            }
+        }
+        let depth = 200_000;
+        assert_eq!(call_with_deep_stack(|| down(depth)), depth);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn propagates_panics() {
+        call_with_deep_stack(|| panic!("boom"));
+    }
+}

@@ -1,0 +1,136 @@
+//! The shared cross-query answer cache.
+//!
+//! Keys combine the snapshot **epoch**, the engine, the database the
+//! query runs against, and a *canonical* rendering of the goal
+//! (pretty-printing normalizes whitespace and alpha-renames variables,
+//! so `?- tc(X,Y).` and `?-  tc(A, B) .` share an entry). Because every
+//! published snapshot carries a globally unique epoch, a publish
+//! invalidates the whole cache by construction — old keys can never
+//! collide with new ones — and [`AnswerCache::retain_epoch`] merely
+//! reclaims the memory eagerly.
+//!
+//! Only definitive outcomes ([`Outcome::is_definitive`]) are stored:
+//! `Cancelled` / `DeadlineExceeded` / `Error` depend on the budget, not
+//! the program, and must never be replayed to a later caller.
+
+use crate::outcome::Outcome;
+use hdl_base::{DbId, FxHashMap};
+use hdl_core::session::EngineKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What makes two queries "the same query" for reuse purposes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Epoch of the snapshot the query was submitted against.
+    pub epoch: u64,
+    /// Engine that computed (or would compute) the answer.
+    pub engine: EngineKind,
+    /// Database the goal is evaluated in.
+    pub db: DbId,
+    /// Canonical goal text, prefixed with the request kind
+    /// (`ask`/`rows`).
+    pub goal: String,
+}
+
+/// A concurrency-safe map from canonical queries to definitive outcomes.
+#[derive(Debug, Default)]
+pub struct AnswerCache {
+    map: Mutex<FxHashMap<CacheKey, Outcome>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AnswerCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a key, counting the hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Outcome> {
+        let found = self.map.lock().unwrap().get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a definitive outcome; non-definitive outcomes are refused
+    /// (budget trips must re-evaluate).
+    pub fn put(&self, key: CacheKey, outcome: Outcome) {
+        if outcome.is_definitive() {
+            self.map.lock().unwrap().insert(key, outcome);
+        }
+    }
+
+    /// Drops every entry not belonging to `epoch` — called on publish so
+    /// superseded snapshots' answers free their memory immediately.
+    pub fn retain_epoch(&self, epoch: u64) {
+        self.map.lock().unwrap().retain(|k, _| k.epoch == epoch);
+    }
+
+    /// Number of cached answers.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hits and misses since construction.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(epoch: u64, goal: &str) -> CacheKey {
+        CacheKey {
+            epoch,
+            engine: EngineKind::TopDown,
+            db: DbId(0),
+            goal: goal.to_owned(),
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = AnswerCache::new();
+        assert_eq!(cache.get(&key(1, "ask p")), None);
+        cache.put(key(1, "ask p"), Outcome::True);
+        assert_eq!(cache.get(&key(1, "ask p")), Some(Outcome::True));
+        assert_eq!(cache.counters(), (1, 1));
+    }
+
+    #[test]
+    fn non_definitive_outcomes_are_refused() {
+        let cache = AnswerCache::new();
+        cache.put(key(1, "ask p"), Outcome::DeadlineExceeded);
+        cache.put(key(1, "ask q"), Outcome::Cancelled);
+        cache.put(key(1, "ask r"), Outcome::Error("nope".into()));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn epochs_partition_the_keyspace() {
+        let cache = AnswerCache::new();
+        cache.put(key(1, "ask p"), Outcome::True);
+        // Same goal, later epoch: distinct entry, no cross-snapshot leak.
+        assert_eq!(cache.get(&key(2, "ask p")), None);
+        cache.put(key(2, "ask p"), Outcome::False);
+        assert_eq!(cache.get(&key(1, "ask p")), Some(Outcome::True));
+        cache.retain_epoch(2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key(2, "ask p")), Some(Outcome::False));
+    }
+}

@@ -1,0 +1,56 @@
+//! # hdl-service
+//!
+//! A concurrent query service for hypothetical Datalog.
+//!
+//! The language of Bonner's *Hypothetical Datalog* is `Σₖᴾ`-complete, so
+//! a server answering arbitrary queries needs more than an evaluator: it
+//! needs isolation (queries must see one consistent program state),
+//! admission of concurrent work, and the ability to abandon searches
+//! that will not finish in time. This crate layers those concerns over
+//! the engines in `hdl-core` without touching their semantics:
+//!
+//! - [`QueryService`] — a fixed pool of worker threads (each with an
+//!   evaluation-sized stack) draining a submission queue;
+//! - [`Snapshot`](hdl_core::snapshot::Snapshot) — immutable,
+//!   epoch-stamped program state shared behind an `Arc`; publishing a
+//!   new snapshot never perturbs queries already running or queued;
+//! - [`AnswerCache`] — one cache across all workers, keyed on
+//!   `(epoch, engine, database, canonical goal)`; epochs are globally
+//!   unique, so stale reuse across publishes is impossible by
+//!   construction;
+//! - [`QueryRequest`] budgets — per-query wall-clock deadlines and
+//!   cooperative cancellation via [`Ticket::cancel`], surfacing as the
+//!   structured [`Outcome::DeadlineExceeded`] / [`Outcome::Cancelled`]
+//!   instead of a hang;
+//! - [`ServiceStats`] — queries served, cache hits/misses, budget
+//!   trips, and per-worker busy time, for `:stats` and batch summaries.
+//!
+//! ```
+//! use hdl_core::snapshot::Snapshot;
+//! use hdl_service::{Outcome, QueryRequest, QueryService};
+//!
+//! let snap = Snapshot::from_program(
+//!     "take(tony, his101).
+//!      grad(S) :- take(S, his101), take(S, eng201).
+//!      eligible(S) :- grad(S)[add: take(S, eng201)].",
+//! )
+//! .unwrap();
+//! let service = QueryService::new(snap, 4);
+//! let outcomes = service.run_batch(vec![
+//!     QueryRequest::ask("eligible(tony)"),
+//!     QueryRequest::ask("grad(tony)"),
+//! ]);
+//! assert_eq!(outcomes, vec![Outcome::True, Outcome::False]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod outcome;
+pub mod service;
+pub mod stats;
+
+pub use cache::{AnswerCache, CacheKey};
+pub use outcome::Outcome;
+pub use service::{QueryRequest, QueryService, RequestKind, Ticket};
+pub use stats::ServiceStats;

@@ -1,0 +1,115 @@
+//! Structured results of service queries.
+
+use hdl_base::Error;
+use std::fmt;
+
+/// The result of one service query — never a hang: budget trips surface
+/// as [`Outcome::Cancelled`] / [`Outcome::DeadlineExceeded`] instead of
+/// an unbounded search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The query is provable.
+    True,
+    /// The query is not provable.
+    False,
+    /// All tuples satisfying an `answers` pattern, rendered as names.
+    Answers(Vec<Vec<String>>),
+    /// The query was cancelled through its ticket's token.
+    Cancelled,
+    /// The query ran past its wall-clock deadline.
+    DeadlineExceeded,
+    /// The query failed (parse error, stratification error, limits…).
+    Error(String),
+}
+
+impl Outcome {
+    /// Converts an engine verdict, mapping budget errors to their
+    /// structured outcomes.
+    pub fn from_verdict(r: hdl_base::Result<bool>) -> Self {
+        match r {
+            Ok(true) => Outcome::True,
+            Ok(false) => Outcome::False,
+            Err(Error::Cancelled) => Outcome::Cancelled,
+            Err(Error::DeadlineExceeded) => Outcome::DeadlineExceeded,
+            Err(e) => Outcome::Error(e.to_string()),
+        }
+    }
+
+    /// Whether this outcome is a definitive answer (safe to cache and
+    /// reuse for identical queries against the same snapshot).
+    pub fn is_definitive(&self) -> bool {
+        matches!(self, Outcome::True | Outcome::False | Outcome::Answers(_))
+    }
+
+    /// One stable result line, as emitted by `hdl batch` / `hdl serve`.
+    pub fn render_line(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::True => write!(f, "true"),
+            Outcome::False => write!(f, "false"),
+            Outcome::Answers(rows) => {
+                if rows.is_empty() {
+                    return write!(f, "(0 answers)");
+                }
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{}", row.join(", "))?;
+                }
+                write!(f, " ({} answers)", rows.len())
+            }
+            Outcome::Cancelled => write!(f, "cancelled"),
+            Outcome::DeadlineExceeded => write!(f, "deadline-exceeded"),
+            Outcome::Error(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_mapping() {
+        assert_eq!(Outcome::from_verdict(Ok(true)), Outcome::True);
+        assert_eq!(Outcome::from_verdict(Ok(false)), Outcome::False);
+        assert_eq!(
+            Outcome::from_verdict(Err(Error::Cancelled)),
+            Outcome::Cancelled
+        );
+        assert_eq!(
+            Outcome::from_verdict(Err(Error::DeadlineExceeded)),
+            Outcome::DeadlineExceeded
+        );
+        assert!(matches!(
+            Outcome::from_verdict(Err(Error::Invalid("x".into()))),
+            Outcome::Error(_)
+        ));
+    }
+
+    #[test]
+    fn only_answers_are_definitive() {
+        assert!(Outcome::True.is_definitive());
+        assert!(Outcome::Answers(vec![]).is_definitive());
+        assert!(!Outcome::Cancelled.is_definitive());
+        assert!(!Outcome::DeadlineExceeded.is_definitive());
+        assert!(!Outcome::Error("e".into()).is_definitive());
+    }
+
+    #[test]
+    fn render_lines_are_stable() {
+        assert_eq!(Outcome::True.render_line(), "true");
+        assert_eq!(Outcome::DeadlineExceeded.render_line(), "deadline-exceeded");
+        let rows = Outcome::Answers(vec![
+            vec!["a".into(), "b".into()],
+            vec!["c".into(), "d".into()],
+        ]);
+        assert_eq!(rows.render_line(), "a, b; c, d (2 answers)");
+    }
+}

@@ -1,0 +1,577 @@
+//! The concurrent query executor: worker pool, tickets, publishing.
+
+use crate::cache::{AnswerCache, CacheKey};
+use crate::outcome::Outcome;
+use crate::stats::{ServiceStats, StatsCell};
+use hdl_base::{Error, SymbolTable};
+use hdl_core::engine::{BottomUpEngine, Budget, CancelToken, TopDownEngine};
+use hdl_core::parser::parse_query;
+use hdl_core::session::EngineKind;
+use hdl_core::snapshot::Snapshot;
+use hdl_core::stack::DEEP_STACK_BYTES;
+use hdl_core::{pretty, Premise};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What a query asks for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// A yes/no query (`?- premise.`); the `?-`/`.` dressing is
+    /// optional.
+    Ask(String),
+    /// All tuples matching a plain atom pattern, e.g. `tc(X, Y)`.
+    Answers(String),
+}
+
+/// One query to run against the service's current snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// The goal.
+    pub kind: RequestKind,
+    /// Engine to evaluate with.
+    pub engine: EngineKind,
+    /// Optional wall-clock budget; past it the query resolves to
+    /// [`Outcome::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+}
+
+impl QueryRequest {
+    /// A yes/no query with the session-default engine and no deadline.
+    pub fn ask(query: impl Into<String>) -> Self {
+        QueryRequest {
+            kind: RequestKind::Ask(query.into()),
+            engine: EngineKind::default(),
+            deadline: None,
+        }
+    }
+
+    /// An all-answers query for an atom pattern.
+    pub fn answers(pattern: impl Into<String>) -> Self {
+        QueryRequest {
+            kind: RequestKind::Answers(pattern.into()),
+            engine: EngineKind::default(),
+            deadline: None,
+        }
+    }
+
+    /// Selects the evaluation engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets a wall-clock deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+/// A handle on one submitted query: await the outcome, or cancel it.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Outcome>,
+    token: CancelToken,
+}
+
+impl Ticket {
+    /// Requests cooperative cancellation; the query resolves to
+    /// [`Outcome::Cancelled`] at the engine's next budget probe.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// A clone of the cancellation token (e.g. to hand to a timeout
+    /// thread).
+    pub fn token(&self) -> CancelToken {
+        self.token.clone()
+    }
+
+    /// Blocks until the query resolves.
+    pub fn wait(self) -> Outcome {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Outcome::Error("query service shut down".into()))
+    }
+}
+
+/// A unit of work: the request plus the snapshot it was submitted
+/// against (publishing later snapshots never retargets queued work).
+struct Job {
+    request: QueryRequest,
+    snapshot: Arc<Snapshot>,
+    token: CancelToken,
+    reply: mpsc::Sender<Outcome>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    snapshot: Mutex<Arc<Snapshot>>,
+    cache: AnswerCache,
+    stats: StatsCell,
+}
+
+impl Shared {
+    /// Blocks until a job is available (returning it) or shutdown is
+    /// signalled with the queue drained (returning `None`).
+    fn wait_pop(&self) -> Option<Job> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(job) = q.jobs.pop_front() {
+                return Some(job);
+            }
+            if q.shutdown {
+                return None;
+            }
+            q = self.available.wait(q).unwrap();
+        }
+    }
+}
+
+/// An in-process concurrent query executor over shared immutable
+/// [`Snapshot`]s.
+///
+/// A fixed pool of worker threads (each with an evaluation-sized stack)
+/// drains a submission queue. Workers reuse engines — and therefore
+/// memo tables and the interned database lattice — for as long as they
+/// keep serving the same snapshot, and all workers share one
+/// [`AnswerCache`] so identical queries are answered once per snapshot.
+///
+/// ```
+/// use hdl_core::snapshot::Snapshot;
+/// use hdl_service::{Outcome, QueryRequest, QueryService};
+///
+/// let snap = Snapshot::from_program("edge(a, b). tc(X, Y) :- edge(X, Y).").unwrap();
+/// let service = QueryService::new(snap, 2);
+/// let t = service.submit(QueryRequest::ask("tc(a, b)"));
+/// assert_eq!(t.wait(), Outcome::True);
+/// ```
+pub struct QueryService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Starts a pool of `workers` threads (at least one) serving
+    /// `snapshot`.
+    pub fn new(snapshot: Arc<Snapshot>, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            snapshot: Mutex::new(snapshot),
+            cache: AnswerCache::new(),
+            stats: StatsCell::new(workers),
+        });
+        let handles = (0..workers)
+            .map(|widx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hdl-worker-{widx}"))
+                    .stack_size(DEEP_STACK_BYTES)
+                    .spawn(move || worker_loop(&shared, widx))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        QueryService {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a query against the *current* snapshot and returns a
+    /// ticket for its outcome.
+    pub fn submit(&self, request: QueryRequest) -> Ticket {
+        let snapshot = Arc::clone(&self.shared.snapshot.lock().unwrap());
+        let token = CancelToken::new();
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            request,
+            snapshot,
+            token: token.clone(),
+            reply: tx,
+        };
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.jobs.push_back(job);
+        }
+        self.shared.available.notify_one();
+        Ticket { rx, token }
+    }
+
+    /// Submits every request and waits for all outcomes, preserving
+    /// input order (execution itself is concurrent and unordered).
+    pub fn run_batch(&self, requests: Vec<QueryRequest>) -> Vec<Outcome> {
+        let tickets: Vec<Ticket> = requests.into_iter().map(|r| self.submit(r)).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// Publishes a new snapshot. Queries already submitted keep the
+    /// snapshot they were tagged with; the answer cache drops entries
+    /// for superseded epochs (keys embed the epoch, so this is memory
+    /// reclamation, not correctness — stale reuse is impossible either
+    /// way).
+    pub fn publish(&self, snapshot: Arc<Snapshot>) {
+        let epoch = snapshot.epoch();
+        *self.shared.snapshot.lock().unwrap() = snapshot;
+        self.shared.cache.retain_epoch(epoch);
+        self.shared
+            .stats
+            .snapshots_published
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The snapshot new submissions will run against.
+    pub fn current_snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.shared.snapshot.lock().unwrap())
+    }
+
+    /// A point-in-time view of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let mut s = self.shared.stats.snapshot();
+        let (hits, misses) = self.shared.cache.counters();
+        s.cache_hits = hits;
+        s.cache_misses = misses;
+        s.cache_entries = self.shared.cache.len() as u64;
+        s
+    }
+
+    /// Drains the queue, stops the workers, and joins them.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+/// Engines a worker keeps alive for the snapshot it is currently
+/// serving; built lazily, so a pure top-down workload never pays for a
+/// bottom-up model (and vice versa).
+#[derive(Default)]
+struct Engines<'rb> {
+    top_down: Option<TopDownEngine<'rb>>,
+    bottom_up: Option<BottomUpEngine<'rb>>,
+}
+
+fn worker_loop(shared: &Shared, widx: usize) {
+    // A job whose snapshot differs from the one the current engines
+    // serve; carried across the engine-rebuild boundary below.
+    let mut pending: Option<Job> = None;
+    loop {
+        let Some(first) = pending.take().or_else(|| shared.wait_pop()) else {
+            return;
+        };
+        // Pin this scope to the job's snapshot. Workers intern
+        // query-only constants into a private extension of the frozen
+        // symbol table; the engines borrow the snapshot's rulebase, so
+        // they are declared after `snap` (dropped before it).
+        let snap = Arc::clone(&first.snapshot);
+        let mut symbols = snap.symbols().clone();
+        let mut engines = Engines::default();
+        let mut job = Some(first);
+        while let Some(j) = job.take() {
+            if !Arc::ptr_eq(&j.snapshot, &snap) && j.snapshot.epoch() != snap.epoch() {
+                pending = Some(j);
+                break;
+            }
+            let started = Instant::now();
+            let outcome = process(shared, &snap, &mut symbols, &mut engines, &j);
+            shared.stats.add_busy(widx, started.elapsed());
+            count_outcome(shared, &outcome);
+            // A dropped ticket is fine — the answer is simply unread.
+            let _ = j.reply.send(outcome);
+            job = shared.wait_pop();
+        }
+        if pending.is_none() {
+            // Shutdown drained the queue.
+            return;
+        }
+    }
+}
+
+fn count_outcome(shared: &Shared, outcome: &Outcome) {
+    use std::sync::atomic::Ordering::Relaxed;
+    let stats = &shared.stats;
+    stats.queries.fetch_add(1, Relaxed);
+    match outcome {
+        Outcome::Cancelled => stats.cancelled.fetch_add(1, Relaxed),
+        Outcome::DeadlineExceeded => stats.deadline_exceeded.fetch_add(1, Relaxed),
+        Outcome::Error(_) => stats.errors.fetch_add(1, Relaxed),
+        _ => 0,
+    };
+}
+
+/// Strips optional `?-` / trailing `.` dressing so batch files and API
+/// callers can write goals either way.
+fn normalize_goal(text: &str) -> String {
+    let mut core = text.trim();
+    core = core.strip_prefix("?-").unwrap_or(core).trim();
+    core = core.strip_suffix('.').unwrap_or(core).trim_end();
+    format!("?- {core}.")
+}
+
+fn process<'rb>(
+    shared: &Shared,
+    snap: &'rb Snapshot,
+    symbols: &mut SymbolTable,
+    engines: &mut Engines<'rb>,
+    job: &Job,
+) -> Outcome {
+    // Parse in the worker's private symbol extension.
+    let (tag, text) = match &job.request.kind {
+        RequestKind::Ask(text) => ("ask", text),
+        RequestKind::Answers(pattern) => ("rows", pattern),
+    };
+    let query = match parse_query(&normalize_goal(text), symbols) {
+        Ok(q) => q,
+        Err(e) => return Outcome::Error(e.to_string()),
+    };
+    if tag == "rows" && !matches!(query, Premise::Atom(_)) {
+        return Outcome::Error("answers takes a plain atom pattern".into());
+    }
+
+    // Ensure the engine for this (snapshot, kind) pair exists; a
+    // stratification failure is a property of the snapshot, reported
+    // per query.
+    let engine = job.request.engine;
+    let base_db = match ensure_engine(engines, snap, engine) {
+        Ok(db) => db,
+        Err(e) => return Outcome::Error(e.to_string()),
+    };
+
+    // Canonical key: pretty-printing normalizes whitespace and
+    // alpha-renames variables, so textual variants of one goal share a
+    // cache entry across all workers.
+    let key = CacheKey {
+        epoch: snap.epoch(),
+        engine,
+        db: base_db,
+        goal: format!("{tag} {}", pretty::premise(&query, symbols)),
+    };
+    if let Some(cached) = shared.cache.get(&key) {
+        return cached;
+    }
+
+    let mut budget = Budget::unlimited().with_token(job.token.clone());
+    if let Some(d) = job.request.deadline {
+        budget = budget.with_deadline(d);
+    }
+
+    let outcome = match (&job.request.kind, engine) {
+        (RequestKind::Ask(_), EngineKind::TopDown) => {
+            let eng = engines.top_down.as_mut().expect("engine ensured");
+            eng.set_budget(budget);
+            Outcome::from_verdict(eng.holds(&query))
+        }
+        (RequestKind::Ask(_), EngineKind::BottomUp) => {
+            let eng = engines.bottom_up.as_mut().expect("engine ensured");
+            eng.set_budget(budget);
+            Outcome::from_verdict(eng.holds(&query))
+        }
+        (RequestKind::Answers(_), _) => {
+            let Premise::Atom(atom) = &query else {
+                unreachable!("checked above")
+            };
+            let rows = match engine {
+                EngineKind::TopDown => {
+                    let eng = engines.top_down.as_mut().expect("engine ensured");
+                    eng.set_budget(budget);
+                    eng.answers(atom)
+                }
+                EngineKind::BottomUp => {
+                    let eng = engines.bottom_up.as_mut().expect("engine ensured");
+                    eng.set_budget(budget);
+                    eng.answers(atom)
+                }
+            };
+            match rows {
+                Ok(rows) => Outcome::Answers(
+                    rows.into_iter()
+                        .map(|row| {
+                            row.into_iter()
+                                .map(|s| symbols.name(s).to_owned())
+                                .collect()
+                        })
+                        .collect(),
+                ),
+                Err(Error::Cancelled) => Outcome::Cancelled,
+                Err(Error::DeadlineExceeded) => Outcome::DeadlineExceeded,
+                Err(e) => Outcome::Error(e.to_string()),
+            }
+        }
+    };
+
+    // Budget trips and errors are never cached (put refuses them too).
+    shared.cache.put(key, outcome.clone());
+    outcome
+}
+
+/// Builds the requested engine for the current snapshot if missing and
+/// returns the base database id (part of the cache key).
+fn ensure_engine<'rb>(
+    engines: &mut Engines<'rb>,
+    snap: &'rb Snapshot,
+    kind: EngineKind,
+) -> hdl_base::Result<hdl_base::DbId> {
+    match kind {
+        EngineKind::TopDown => {
+            if engines.top_down.is_none() {
+                engines.top_down = Some(TopDownEngine::new(snap.rulebase(), snap.database())?);
+            }
+            Ok(engines.top_down.as_ref().unwrap().context().base_db)
+        }
+        EngineKind::BottomUp => {
+            if engines.bottom_up.is_none() {
+                engines.bottom_up = Some(BottomUpEngine::new(snap.rulebase(), snap.database())?);
+            }
+            Ok(engines.bottom_up.as_ref().unwrap().context().base_db)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn university() -> Arc<Snapshot> {
+        Snapshot::from_program(
+            "take(tony, his101).
+             grad(S) :- take(S, his101), take(S, eng201).
+             eligible(S) :- grad(S)[add: take(S, eng201)].",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn normalize_accepts_all_dressings() {
+        assert_eq!(normalize_goal("p(a)"), "?- p(a).");
+        assert_eq!(normalize_goal("p(a)."), "?- p(a).");
+        assert_eq!(normalize_goal("?- p(a)."), "?- p(a).");
+        assert_eq!(normalize_goal("  ?-  p(a) . "), "?- p(a).");
+    }
+
+    #[test]
+    fn ask_and_answers_through_the_pool() {
+        let service = QueryService::new(university(), 2);
+        let yes = service.submit(QueryRequest::ask("eligible(tony)"));
+        let no = service.submit(QueryRequest::ask("grad(tony)"));
+        let rows = service.submit(QueryRequest::answers("eligible(S)"));
+        assert_eq!(yes.wait(), Outcome::True);
+        assert_eq!(no.wait(), Outcome::False);
+        assert_eq!(rows.wait(), Outcome::Answers(vec![vec!["tony".into()]]));
+        let stats = service.stats();
+        assert_eq!(stats.queries_served, 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn identical_queries_share_the_cache() {
+        let service = QueryService::new(university(), 4);
+        // Textual variants of one goal: whitespace and variable names
+        // differ, the canonical key does not.
+        let outcomes = service.run_batch(vec![
+            QueryRequest::ask("eligible(tony)"),
+            QueryRequest::ask("?-   eligible( tony ) ."),
+            QueryRequest::ask("eligible(tony)."),
+        ]);
+        assert!(outcomes.iter().all(|o| *o == Outcome::True));
+        let stats = service.stats();
+        assert!(
+            stats.cache_hits >= 1,
+            "at least one of the repeats must hit: {stats:?}"
+        );
+        assert_eq!(stats.cache_hits + stats.cache_misses, 3);
+    }
+
+    #[test]
+    fn batch_preserves_submission_order() {
+        let service = QueryService::new(university(), 3);
+        let outcomes = service.run_batch(vec![
+            QueryRequest::ask("grad(tony)"),
+            QueryRequest::ask("eligible(tony)"),
+            QueryRequest::ask("no_such_pred(x)"),
+        ]);
+        assert_eq!(outcomes[0], Outcome::False);
+        assert_eq!(outcomes[1], Outcome::True);
+        // Unknown predicate is simply not derivable.
+        assert_eq!(outcomes[2], Outcome::False);
+    }
+
+    #[test]
+    fn engines_are_selectable_per_request() {
+        let service = QueryService::new(university(), 2);
+        let td =
+            service.submit(QueryRequest::ask("eligible(tony)").with_engine(EngineKind::TopDown));
+        let bu =
+            service.submit(QueryRequest::ask("eligible(tony)").with_engine(EngineKind::BottomUp));
+        assert_eq!(td.wait(), Outcome::True);
+        assert_eq!(bu.wait(), Outcome::True);
+        // Different engines never share cache entries.
+        assert_eq!(service.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn parse_errors_are_structured_not_fatal() {
+        let service = QueryService::new(university(), 1);
+        let bad = service.submit(QueryRequest::ask("p(((("));
+        assert!(matches!(bad.wait(), Outcome::Error(_)));
+        // The worker survives and keeps answering.
+        let ok = service.submit(QueryRequest::ask("eligible(tony)"));
+        assert_eq!(ok.wait(), Outcome::True);
+        assert_eq!(service.stats().errors, 1);
+    }
+
+    #[test]
+    fn publish_switches_new_submissions() {
+        let service = QueryService::new(Snapshot::from_program("p :- q.").unwrap(), 2);
+        assert_eq!(
+            service.submit(QueryRequest::ask("p")).wait(),
+            Outcome::False
+        );
+        service.publish(Snapshot::from_program("p :- q. q.").unwrap());
+        assert_eq!(service.submit(QueryRequest::ask("p")).wait(), Outcome::True);
+        let stats = service.stats();
+        assert_eq!(stats.snapshots_published, 1);
+        // The `False` under epoch 1 must not satisfy the epoch-2 query.
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn answers_pattern_must_be_atomic() {
+        let service = QueryService::new(university(), 1);
+        let t = service.submit(QueryRequest::answers("~grad(X)"));
+        assert!(matches!(t.wait(), Outcome::Error(_)));
+    }
+}

@@ -1,0 +1,119 @@
+//! Budget enforcement against deliberately exponential workloads.
+//!
+//! The QBF instance is an alternating ∃/∀ XOR chain: refuting it forces
+//! the engine to exhaust an exponential assignment tree (about a second
+//! of single-threaded work in a debug build at 18 variables), which is
+//! exactly the shape of query a service must be able to abandon.
+
+use hdl_core::snapshot::Snapshot;
+use hdl_encodings::qbf::build::{n, p};
+use hdl_encodings::qbf::{encode_qbf, Qbf, Quant};
+use hdl_service::{Outcome, QueryRequest, QueryService};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// ∃x₀ ∀x₁ ∃x₂ … with clauses `(xᵢ ∨ xᵢ₊₁) ∧ (¬xᵢ ∨ ¬xᵢ₊₁)` (an XOR
+/// chain). False for every `vars ≥ 2`, and refutation visits the whole
+/// assignment tree.
+fn xor_chain(vars: usize) -> Qbf {
+    let prefix = (0..vars)
+        .map(|v| {
+            let q = if v % 2 == 0 {
+                Quant::Exists
+            } else {
+                Quant::Forall
+            };
+            (q, vec![v])
+        })
+        .collect();
+    let mut clauses = Vec::new();
+    for v in 0..vars - 1 {
+        clauses.push(vec![p(v), p(v + 1)]);
+        clauses.push(vec![n(v), n(v + 1)]);
+    }
+    Qbf { prefix, clauses }
+}
+
+fn qbf_snapshot(vars: usize) -> (Arc<Snapshot>, bool) {
+    let qbf = xor_chain(vars);
+    let expected = qbf.eval();
+    let enc = encode_qbf(&qbf).unwrap();
+    (
+        Snapshot::new(enc.symbols, enc.rulebase, enc.database),
+        expected,
+    )
+}
+
+#[test]
+fn exponential_qbf_deadline_trips_promptly() {
+    let (snap, expected) = qbf_snapshot(18);
+    let service = QueryService::new(snap, 2);
+
+    // With a 10ms budget the query must come back quickly — orders of
+    // magnitude under the ~1s (debug) unrestricted solve time. The
+    // bound below is generous to absorb CI noise while still proving
+    // the wall-clock is bounded by the deadline, not the search space.
+    let started = Instant::now();
+    let outcome = service
+        .submit(QueryRequest::ask("sat_1").with_deadline(Duration::from_millis(10)))
+        .wait();
+    let elapsed = started.elapsed();
+    assert_eq!(outcome, Outcome::DeadlineExceeded);
+    assert!(
+        elapsed < Duration::from_millis(500),
+        "deadline trip took {elapsed:?}"
+    );
+    assert_eq!(service.stats().deadline_exceeded, 1);
+
+    // The cache must not have recorded the abandoned attempt: the same
+    // query with no deadline still answers correctly...
+    let outcome = service.submit(QueryRequest::ask("sat_1")).wait();
+    assert_eq!(outcome, Outcome::from_verdict(Ok(expected)));
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 0, "abandoned attempt must not be reused");
+    assert_eq!(stats.cache_entries, 1);
+
+    // ...and only the definitive answer is cached for reuse.
+    let outcome = service.submit(QueryRequest::ask("sat_1")).wait();
+    assert_eq!(outcome, Outcome::from_verdict(Ok(expected)));
+    assert_eq!(service.stats().cache_hits, 1);
+    service.shutdown();
+}
+
+#[test]
+fn tickets_cancel_cooperatively() {
+    let (snap, _) = qbf_snapshot(18);
+    let service = QueryService::new(snap, 1);
+    let started = Instant::now();
+    let ticket = service.submit(QueryRequest::ask("sat_1"));
+    ticket.cancel();
+    let outcome = ticket.wait();
+    assert_eq!(outcome, Outcome::Cancelled);
+    assert!(
+        started.elapsed() < Duration::from_millis(500),
+        "cancellation took {:?}",
+        started.elapsed()
+    );
+
+    // The worker survives a cancelled search and keeps serving; the
+    // cancelled attempt left nothing behind in the shared cache.
+    let stats = service.stats();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.cache_entries, 0);
+    let easy = service.submit(QueryRequest::ask("no_such_goal")).wait();
+    assert_eq!(easy, Outcome::False, "worker must still answer");
+    service.shutdown();
+}
+
+#[test]
+fn deadlines_leave_plenty_for_easy_queries() {
+    // A generous deadline on an easy query must not trip.
+    let (snap, _) = qbf_snapshot(4);
+    let service = QueryService::new(snap, 2);
+    let outcome = service
+        .submit(QueryRequest::ask("sat_1").with_deadline(Duration::from_secs(30)))
+        .wait();
+    assert_eq!(outcome, Outcome::False);
+    assert_eq!(service.stats().deadline_exceeded, 0);
+    service.shutdown();
+}

@@ -1,4 +1,5 @@
-//! `hdl` — an interactive shell for hypothetical Datalog.
+//! `hdl` — an interactive shell and batch/serve front-end for
+//! hypothetical Datalog.
 //!
 //! ```console
 //! $ cargo run --bin hdl [file.hdl ...]
@@ -14,15 +15,253 @@
 //! Lines ending in `.` are programs (rules/facts) or queries (`?- …`).
 //! Commands: `:load FILE`, `:rules`, `:facts`, `:answers PATTERN`,
 //! `:explain QUERY`, `:strata`, `:stats`, `:help`, `:quit`.
+//!
+//! Two further modes drive the `hdl-service` concurrent executor:
+//!
+//! ```console
+//! $ hdl batch queries.hdl --workers 4 --engine top-down --deadline-ms 500
+//! $ printf '?- grad(tony).\n' | hdl serve --workers 4 program.hdl
+//! ```
+//!
+//! `batch` runs every `?- …` line of its input concurrently (program
+//! lines load in order and publish fresh snapshots), emits one result
+//! line per query in input order, prints a `ServiceStats` summary to
+//! stderr, and exits non-zero if any query errored. `serve` loads the
+//! given program files, then answers query lines from stdin one at a
+//! time; `:stats` prints the live service counters.
 
+use hdl_core::session::EngineKind;
+use hdl_service::{Outcome, QueryRequest, QueryService};
 use hypothetical_datalog::prelude::*;
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read as _, Write};
+use std::time::Duration;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let status = match args.first().map(String::as_str) {
+        Some("batch") => batch_main(&args[1..]),
+        Some("serve") => serve_main(&args[1..]),
+        _ => repl_main(&args),
+    };
+    std::process::exit(status);
+}
+
+/// Options shared by all three modes.
+struct Opts {
+    files: Vec<String>,
+    workers: usize,
+    engine: EngineKind,
+    deadline: Option<Duration>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        files: Vec::new(),
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        engine: EngineKind::default(),
+        deadline: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--workers" | "-w" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--engine" | "-e" => {
+                opts.engine = value("--engine")?
+                    .parse()
+                    .map_err(|e| format!("--engine: {e}"))?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                opts.deadline = Some(Duration::from_millis(ms));
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag}"));
+            }
+            file => opts.files.push(file.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage_error(mode: &str, msg: &str) -> i32 {
+    eprintln!("hdl {mode}: {msg}");
+    eprintln!(
+        "usage: hdl {mode} [FILE ...] [--workers N] [--engine top-down|bottom-up] [--deadline-ms MS]"
+    );
+    2
+}
+
+fn request_for(line: &str, opts: &Opts) -> QueryRequest {
+    let mut req = QueryRequest::ask(line).with_engine(opts.engine);
+    if let Some(d) = opts.deadline {
+        req = req.with_deadline(d);
+    }
+    req
+}
+
+/// Reads the concatenation of `files` (stdin when empty) as lines.
+fn input_lines(files: &[String]) -> Result<Vec<String>, String> {
+    if files.is_empty() {
+        let mut text = String::new();
+        io::stdin()
+            .lock()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        return Ok(text.lines().map(str::to_owned).collect());
+    }
+    let mut lines = Vec::new();
+    for path in files {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        lines.extend(src.lines().map(str::to_owned));
+    }
+    Ok(lines)
+}
+
+fn is_skippable(line: &str) -> bool {
+    line.is_empty() || line.starts_with('%') || line.starts_with("//")
+}
+
+/// `hdl batch [FILE ...]` — program lines load in order; every query
+/// line is submitted to the worker pool against the snapshot current at
+/// its position. Results print in input order; exit is non-zero if any
+/// query (or program line) errored.
+fn batch_main(args: &[String]) -> i32 {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(msg) => return usage_error("batch", &msg),
+    };
+    let lines = match input_lines(&opts.files) {
+        Ok(l) => l,
+        Err(msg) => return usage_error("batch", &msg),
+    };
+
     let mut session = Session::new();
+    let service = QueryService::new(session.snapshot(), opts.workers);
     let mut status = 0;
-    for path in std::env::args().skip(1) {
-        match std::fs::read_to_string(&path) {
+    let mut dirty = false;
+    let mut tickets = Vec::new();
+    for line in &lines {
+        let line = line.trim();
+        if is_skippable(line) {
+            continue;
+        }
+        if line.starts_with("?-") {
+            if dirty {
+                service.publish(session.snapshot());
+                dirty = false;
+            }
+            tickets.push(service.submit(request_for(line, &opts)));
+        } else {
+            match session.load(line) {
+                Ok(()) => dirty = true,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    status = 1;
+                }
+            }
+        }
+    }
+    for ticket in tickets {
+        let outcome = ticket.wait();
+        if matches!(outcome, Outcome::Error(_)) {
+            status = 1;
+        }
+        println!("{}", outcome.render_line());
+    }
+    eprintln!("--- batch summary ({} workers) ---", service.workers());
+    eprintln!("{}", service.stats());
+    service.shutdown();
+    status
+}
+
+/// `hdl serve [FILE ...]` — loads the program files, then answers query
+/// lines from stdin through the worker pool, one result line each.
+fn serve_main(args: &[String]) -> i32 {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(msg) => return usage_error("serve", &msg),
+    };
+    let mut session = Session::new();
+    for path in &opts.files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => return usage_error("serve", &format!("cannot read {path}: {e}")),
+        };
+        if let Err(e) = session.load(&src) {
+            eprintln!("error loading {path}: {e}");
+            return 1;
+        }
+        eprintln!("loaded {path}");
+    }
+    let service = QueryService::new(session.snapshot(), opts.workers);
+    eprintln!(
+        "serving on {} workers — queries on stdin, :stats, :quit",
+        service.workers()
+    );
+    let mut status = 0;
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        };
+        let line = line.trim();
+        if is_skippable(line) {
+            continue;
+        }
+        match line {
+            ":quit" | ":q" | ":exit" => break,
+            ":stats" => println!("{}", service.stats()),
+            _ if line.starts_with("?-") => {
+                let outcome = service.submit(request_for(line, &opts)).wait();
+                if matches!(outcome, Outcome::Error(_)) {
+                    status = 1;
+                }
+                println!("{}", outcome.render_line());
+                let _ = out.flush();
+            }
+            _ if line.starts_with(':') => eprintln!("unknown command {line} (:stats, :quit)"),
+            _ => match session.load(line) {
+                Ok(()) => service.publish(session.snapshot()),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    status = 1;
+                }
+            },
+        }
+    }
+    service.shutdown();
+    status
+}
+
+fn repl_main(args: &[String]) -> i32 {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(msg) => return usage_error("", &msg),
+    };
+    let mut session = Session::new();
+    session.set_engine(opts.engine);
+    session.set_deadline(opts.deadline);
+    let mut status = 0;
+    for path in &opts.files {
+        match std::fs::read_to_string(path) {
             Ok(src) => match session.load(&src) {
                 Ok(()) => eprintln!("loaded {path}"),
                 Err(e) => {
@@ -37,7 +276,7 @@ fn main() {
         }
     }
     if status != 0 {
-        std::process::exit(status);
+        return status;
     }
 
     let stdin = io::stdin();
@@ -61,7 +300,7 @@ fn main() {
             }
         }
         let line = line.trim();
-        if line.is_empty() || line.starts_with('%') || line.starts_with("//") {
+        if is_skippable(line) {
             continue;
         }
         if let Some(rest) = line.strip_prefix(':') {
@@ -73,13 +312,24 @@ fn main() {
         if line.starts_with("?-") {
             match session.ask(line) {
                 Ok(v) => println!("{v}"),
-                Err(e) => eprintln!("error: {e}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    status = 1;
+                }
             }
             continue;
         }
         if let Err(e) = session.load(line) {
             eprintln!("error: {e}");
+            status = 1;
         }
+    }
+    // Interactive sessions exit clean; piped input propagates whether
+    // any line errored mid-stream.
+    if interactive {
+        0
+    } else {
+        status
     }
 }
 

@@ -51,6 +51,7 @@ pub use hdl_base;
 pub use hdl_core;
 pub use hdl_datalog;
 pub use hdl_encodings;
+pub use hdl_service;
 pub use hdl_turing;
 
 /// The most commonly used items, re-exported flat.
@@ -59,7 +60,10 @@ pub mod prelude {
     pub use hdl_core::analysis::stratify::{linear_stratification, LinearStratification};
     pub use hdl_core::ast::{HypRule, Premise, Rulebase};
     pub use hdl_core::engine::{BottomUpEngine, EngineStats, Limits, ProveEngine, TopDownEngine};
+    pub use hdl_core::engine::{Budget, CancelToken};
     pub use hdl_core::parser::{parse_program, parse_query, split_facts};
     pub use hdl_core::pretty;
     pub use hdl_core::session::{EngineKind, Session};
+    pub use hdl_core::snapshot::Snapshot;
+    pub use hdl_service::{Outcome, QueryRequest, QueryService, ServiceStats, Ticket};
 }

@@ -76,3 +76,50 @@ fn contracts_program() {
     let proof = s.explain("?- actionable(acme_deal).").unwrap().unwrap();
     assert!(proof.contains("[add: in_evidence(acme_deal, late_penalty_clause)]"));
 }
+
+#[test]
+fn service_batch_file_answers_in_order() {
+    // The same file CI pipes through `hdl batch`, replayed through the
+    // service API: program lines publish snapshots, query lines run on
+    // the pool against the snapshot current at their position.
+    let path = format!(
+        "{}/examples/programs/service_batch.hdl",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let src = std::fs::read_to_string(&path).unwrap();
+    let mut session = Session::new();
+    let service = QueryService::new(session.snapshot(), 2);
+    let mut dirty = false;
+    let mut tickets = Vec::new();
+    for line in src.lines().map(str::trim) {
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        if line.starts_with("?-") {
+            if dirty {
+                service.publish(session.snapshot());
+                dirty = false;
+            }
+            tickets.push(service.submit(QueryRequest::ask(line)));
+        } else {
+            session.load(line).expect("program line loads");
+            dirty = true;
+        }
+    }
+    let outcomes: Vec<Outcome> = tickets.into_iter().map(Ticket::wait).collect();
+    assert_eq!(
+        outcomes,
+        vec![
+            Outcome::True,  // grad(alice)
+            Outcome::False, // grad(tony) before the mid-stream load
+            Outcome::True,  // hypothetical add
+            Outcome::True,  // repeated goal
+            Outcome::True,  // grad(tony) after the mid-stream load
+        ]
+    );
+    assert_eq!(service.stats().snapshots_published, 2);
+    // Replaying a finished query is answered from the shared cache.
+    let replay = service.submit(QueryRequest::ask("?- grad(tony)."));
+    assert_eq!(replay.wait(), Outcome::True);
+    assert!(service.stats().cache_hits >= 1, "{:?}", service.stats());
+}
