@@ -46,6 +46,14 @@ pub enum Error {
     Cancelled,
     /// Evaluation ran past its wall-clock deadline.
     DeadlineExceeded,
+    /// Evaluation exceeded a configured memory budget (fact count, goal-set
+    /// size, overlay depth) and was abandoned to keep the process bounded.
+    ResourceExhausted {
+        /// Which resource ran out (e.g. "facts", "goal set").
+        resource: String,
+        /// The configured bound.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -79,6 +87,9 @@ impl fmt::Display for Error {
             }
             Error::Cancelled => write!(f, "evaluation cancelled"),
             Error::DeadlineExceeded => write!(f, "evaluation deadline exceeded"),
+            Error::ResourceExhausted { resource, limit } => {
+                write!(f, "resource exhausted: {resource} budget of {limit} spent")
+            }
         }
     }
 }

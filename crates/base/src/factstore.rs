@@ -136,6 +136,8 @@ pub struct DbEntry {
     len: u32,
     /// Order-independent hash of the represented set.
     set_hash: u64,
+    /// Extension distance from an interned root (roots are 0).
+    depth: u32,
     /// Materialized set + predicate index; `Some` exactly on flat nodes.
     flat: Option<FlatRepr>,
 }
@@ -182,6 +184,16 @@ impl DbEntry {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Extension distance from an interned root database (roots are 0).
+    ///
+    /// Canonicalization keeps this a property of the *first* construction
+    /// path that reached the set; it is used as a proxy for hypothetical
+    /// nesting depth by the memory budget, not as a semantic attribute.
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
 }
 
 /// Storage counters for the overlay DAG.
@@ -217,6 +229,8 @@ pub struct DbStore {
     /// Canonicalization buckets: (set length, set hash) → candidate ids.
     canon: FxHashMap<(u32, u64), SmallVec<DbId, 2>>,
     stats: OverlayStats,
+    /// Largest [`DbEntry::depth`] interned so far (O(1) budget probes).
+    max_depth: u32,
 }
 
 /// SplitMix64 finalizer — mixes a fact id into an avalanche hash whose
@@ -287,6 +301,11 @@ impl DbStore {
     /// Storage counters for the overlay DAG.
     pub fn overlay_stats(&self) -> OverlayStats {
         self.stats
+    }
+
+    /// Largest extension depth of any interned database.
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
     }
 
     /// Whether database `db` contains fact `f`.
@@ -369,6 +388,7 @@ impl DbStore {
 
         let base_entry = &self.entries[base.index()];
         let croot = base_entry.croot;
+        let new_depth = base_entry.depth + 1;
         let new_len = base_entry.len + fresh.len() as u32;
         let new_hash = base_entry.set_hash ^ fresh.iter().fold(0u64, |acc, f| acc ^ fact_hash(f));
         let overlay = merge_sorted(&base_entry.overlay, &fresh);
@@ -400,6 +420,7 @@ impl DbStore {
                 overlay: Arc::new(Vec::new()),
                 len: new_len,
                 set_hash: new_hash,
+                depth: new_depth,
                 flat: Some(FlatRepr { facts, by_pred }),
             }
         } else {
@@ -411,9 +432,11 @@ impl DbStore {
                 overlay: Arc::new(overlay),
                 len: new_len,
                 set_hash: new_hash,
+                depth: new_depth,
                 flat: None,
             }
         };
+        self.max_depth = self.max_depth.max(new_depth);
         self.stats.nodes += 1;
         self.stats.materialized_facts += new_len as u64;
         self.entries.push(entry);
@@ -483,6 +506,7 @@ impl DbStore {
             overlay: Arc::new(Vec::new()),
             len,
             set_hash,
+            depth: 0,
             flat: Some(FlatRepr { facts, by_pred }),
         });
         self.canon.entry((len, set_hash)).or_default().push(id);

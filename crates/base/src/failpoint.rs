@@ -1,0 +1,246 @@
+//! Deterministic fault injection ("failpoints") for robustness testing.
+//!
+//! A *failpoint* is a named site in production code at which a test can
+//! inject a fault: a panic, a delay, or a spurious
+//! [`Error::ResourceExhausted`]. Sites are compiled in only when the
+//! `failpoints` cargo feature is enabled; without it the
+//! [`failpoint!`](crate::failpoint!) / [`failpoint_fire!`](crate::failpoint_fire!)
+//! macros expand to nothing, so release builds carry zero cost.
+//!
+//! Injection is *deterministic*: every configured site owns a private
+//! xorshift64 stream seeded from `(seed, site name)`, so a given
+//! `(seed, one_in)` configuration fires on the same sequence of hits on
+//! every run. Tests can additionally cap the number of fires with
+//! [`FaultSpec::max_fires`] for exact scenarios ("panic exactly once,
+//! then recover").
+//!
+//! ```
+//! # #[cfg(feature = "failpoints")] {
+//! use hdl_base::failpoint::{self, FaultAction, FaultSpec};
+//!
+//! failpoint::configure("demo::site", FaultSpec::erroring(1).fires(1), 42);
+//! assert!(failpoint::check("demo::site").is_err()); // fires once...
+//! assert!(failpoint::check("demo::site").is_ok()); // ...then is spent
+//! failpoint::clear();
+//! # }
+//! ```
+
+use crate::error::{Error, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// What a firing failpoint does to the thread that hit it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with a `failpoint '<site>'` payload (exercises
+    /// `catch_unwind` isolation and lock-poisoning recovery).
+    Panic,
+    /// Sleep for the given duration (exercises deadline/queueing paths).
+    Delay(Duration),
+    /// Return a spurious [`Error::ResourceExhausted`] (exercises
+    /// structured degradation); ignored at sites that cannot return
+    /// errors.
+    Error,
+}
+
+/// Configuration of one failpoint site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The fault to inject when the site fires.
+    pub action: FaultAction,
+    /// Fire on roughly one in `one_in` hits (deterministically, from the
+    /// site's seeded stream); `1` or `0` fires on every hit.
+    pub one_in: u32,
+    /// Stop firing after this many fires (`None` = unbounded).
+    pub max_fires: Option<u64>,
+}
+
+impl FaultSpec {
+    /// A panicking spec firing one-in-`one_in` hits.
+    pub fn panicking(one_in: u32) -> Self {
+        FaultSpec {
+            action: FaultAction::Panic,
+            one_in,
+            max_fires: None,
+        }
+    }
+
+    /// A delaying spec firing one-in-`one_in` hits.
+    pub fn delaying(ms: u64, one_in: u32) -> Self {
+        FaultSpec {
+            action: FaultAction::Delay(Duration::from_millis(ms)),
+            one_in,
+            max_fires: None,
+        }
+    }
+
+    /// A spurious-resource-error spec firing one-in-`one_in` hits.
+    pub fn erroring(one_in: u32) -> Self {
+        FaultSpec {
+            action: FaultAction::Error,
+            one_in,
+            max_fires: None,
+        }
+    }
+
+    /// Caps the total number of fires.
+    pub fn fires(mut self, n: u64) -> Self {
+        self.max_fires = Some(n);
+        self
+    }
+}
+
+struct Site {
+    name: String,
+    spec: FaultSpec,
+    rng: u64,
+    hits: u64,
+    fired: u64,
+}
+
+/// Fast-path gate: `check` is a single relaxed load while no site is
+/// configured, so even feature-enabled builds only pay for injection
+/// where a test asked for it.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<Vec<Site>> = Mutex::new(Vec::new());
+
+fn registry() -> std::sync::MutexGuard<'static, Vec<Site>> {
+    // The registry must stay usable after an injected panic fired while
+    // a test thread held the lock — recover instead of cascading.
+    REGISTRY.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// SplitMix64-style mix for seeding per-site streams.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn site_seed(seed: u64, name: &str) -> u64 {
+    let h = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |acc, b| {
+        (acc ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    });
+    mix(seed ^ h) | 1 // xorshift state must be non-zero
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// Arms `site` with `spec`, seeding its deterministic stream from
+/// `seed`. Reconfiguring an armed site resets its counters and stream.
+pub fn configure(site: &str, spec: FaultSpec, seed: u64) {
+    let mut reg = registry();
+    let fresh = Site {
+        name: site.to_owned(),
+        spec,
+        rng: site_seed(seed, site),
+        hits: 0,
+        fired: 0,
+    };
+    match reg.iter_mut().find(|s| s.name == site) {
+        Some(s) => *s = fresh,
+        None => reg.push(fresh),
+    }
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Disarms every site (counters are discarded).
+pub fn clear() {
+    let mut reg = registry();
+    reg.clear();
+    ACTIVE.store(false, Ordering::Release);
+}
+
+/// `(hits, fires)` recorded for `site` since it was configured.
+pub fn counters(site: &str) -> (u64, u64) {
+    registry()
+        .iter()
+        .find(|s| s.name == site)
+        .map_or((0, 0), |s| (s.hits, s.fired))
+}
+
+/// Probes `site`: panics, sleeps, or errors if the site is armed and its
+/// stream elects this hit. Called via the [`failpoint!`](crate::failpoint!)
+/// macro in code that can propagate [`Error`]s.
+pub fn check(site: &str) -> Result<()> {
+    if !ACTIVE.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    let action = {
+        let mut reg = registry();
+        let Some(s) = reg.iter_mut().find(|s| s.name == site) else {
+            return Ok(());
+        };
+        s.hits += 1;
+        if s.spec.max_fires.is_some_and(|cap| s.fired >= cap) {
+            return Ok(());
+        }
+        let elected =
+            s.spec.one_in <= 1 || xorshift(&mut s.rng).is_multiple_of(s.spec.one_in as u64);
+        if !elected {
+            return Ok(());
+        }
+        s.fired += 1;
+        s.spec.action
+        // Lock dropped here: the panic/sleep below must not poison or
+        // hold the registry.
+    };
+    match action {
+        FaultAction::Panic => panic!("failpoint '{site}'"),
+        FaultAction::Delay(d) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        FaultAction::Error => Err(Error::ResourceExhausted {
+            resource: format!("failpoint '{site}'"),
+            limit: 0,
+        }),
+    }
+}
+
+/// Like [`check`] for sites that cannot return an error: panics and
+/// delays take effect, a configured [`FaultAction::Error`] is ignored.
+pub fn fire(site: &str) {
+    let _ = check(site);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; serialize the tests touching it.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn deterministic_and_capped() {
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        clear();
+        configure("t::err", FaultSpec::erroring(3), 7);
+        let pattern: Vec<bool> = (0..32).map(|_| check("t::err").is_err()).collect();
+        assert!(pattern.iter().any(|&b| b), "one-in-3 must fire within 32");
+        configure("t::err", FaultSpec::erroring(3), 7);
+        let replay: Vec<bool> = (0..32).map(|_| check("t::err").is_err()).collect();
+        assert_eq!(pattern, replay, "same seed must replay the same fires");
+
+        configure("t::once", FaultSpec::erroring(1).fires(1), 7);
+        assert!(check("t::once").is_err());
+        assert!(check("t::once").is_ok());
+        assert_eq!(counters("t::once"), (2, 1));
+        clear();
+    }
+
+    #[test]
+    fn unarmed_sites_are_inert() {
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        clear();
+        assert!(check("t::nowhere").is_ok());
+        assert_eq!(counters("t::nowhere"), (0, 0));
+    }
+}

@@ -27,6 +27,8 @@ pub mod atom;
 pub mod database;
 pub mod error;
 pub mod factstore;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
 pub mod hasher;
 pub mod smallvec;
 pub mod subst;
@@ -44,6 +46,45 @@ pub use subst::Bindings;
 pub use symbol::{Symbol, SymbolTable};
 pub use term::{Term, Var};
 pub use view::DbView;
+
+/// Probes a failpoint site from fallible code.
+///
+/// With the `failpoints` feature enabled this expands to
+/// `hdl_base::failpoint::check($site)?`, so an injected fault can panic,
+/// delay, or early-return [`Error::ResourceExhausted`] from the enclosing
+/// function. Without the feature it expands to nothing.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {
+        $crate::failpoint::check($site)?
+    };
+}
+
+/// Probes a failpoint site from fallible code (no-op build).
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {};
+}
+
+/// Probes a failpoint site from infallible code: injected panics and
+/// delays take effect, injected errors are swallowed. Expands to nothing
+/// without the `failpoints` feature.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! failpoint_fire {
+    ($site:expr) => {
+        $crate::failpoint::fire($site)
+    };
+}
+
+/// Probes a failpoint site from infallible code (no-op build).
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! failpoint_fire {
+    ($site:expr) => {};
+}
 
 // Concurrency audit: the service layer shares frozen copies of these
 // types across worker threads behind `Arc`. They contain no interior

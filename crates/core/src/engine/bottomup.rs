@@ -65,6 +65,11 @@ pub struct BottomUpEngine<'rb> {
     stats: EngineStats,
     limits: Limits,
     budget: Budget,
+    /// Cached `budget.has_memory_limits()` for the round-loop fast path.
+    mem_limited: bool,
+    /// Fact-store size when the budget was installed; the fact cap
+    /// bounds growth past this, not absolute size (engines are reused).
+    facts_baseline: u64,
 }
 
 impl<'rb> BottomUpEngine<'rb> {
@@ -86,6 +91,8 @@ impl<'rb> BottomUpEngine<'rb> {
             stats: EngineStats::default(),
             limits: Limits::default(),
             budget: Budget::default(),
+            mem_limited: false,
+            facts_baseline: 0,
         })
     }
 
@@ -101,8 +108,24 @@ impl<'rb> BottomUpEngine<'rb> {
     /// model of the interrupted database is discarded (its stratum was
     /// never marked closed), so later queries recompute it from scratch
     /// and memoized models stay sound.
+    ///
+    /// The fact cap of any memory limits bounds growth from this moment;
+    /// the goal-set cap bounds the derived-fact count of the model being
+    /// closed (absolute — the natural "working set" of this engine).
     pub fn set_budget(&mut self, budget: Budget) {
+        self.mem_limited = budget.has_memory_limits();
+        self.facts_baseline = self.ctx.fact_footprint();
         self.budget = budget;
+    }
+
+    /// Probes the memory caps at a fixpoint-round boundary.
+    fn check_memory(&self, derived: usize) -> Result<()> {
+        let facts = self
+            .ctx
+            .fact_footprint()
+            .saturating_sub(self.facts_baseline);
+        self.budget
+            .check_memory(facts, derived as u64, self.ctx.dbs.max_depth() as u64)
     }
 
     /// Work counters accumulated so far.
@@ -167,9 +190,23 @@ impl<'rb> BottomUpEngine<'rb> {
 
     /// All tuples of `pattern` in the perfect model of the base database.
     pub fn answers(&mut self, pattern: &Atom) -> Result<Vec<Vec<Symbol>>> {
+        let (rows, trip) = self.answers_partial(pattern);
+        match trip {
+            Some(e) => Err(e),
+            None => Ok(rows),
+        }
+    }
+
+    /// Like [`answers`](Self::answers), but if the budget trips while
+    /// closing the model the tuples already derived are returned alongside
+    /// the trip error instead of being discarded. The rows are sound
+    /// (stratified fixpoints only ever add true facts) but not complete
+    /// when the error is `Some`.
+    pub fn answers_partial(&mut self, pattern: &Atom) -> (Vec<Vec<Symbol>>, Option<Error>) {
         let base = self.ctx.base_db;
-        self.ensure_for_pred(base, pattern.pred)?;
-        let derived = &self.models[&base].derived;
+        let trip = self.ensure_for_pred(base, pattern.pred).err();
+        let empty = Database::new();
+        let derived = self.models.get(&base).map_or(&empty, |e| &e.derived);
         let mut bindings = Bindings::new(pattern.vars().map(|v| v.index() + 1).max().unwrap_or(0));
         let mut out = Vec::new();
         for_each_match_layered(
@@ -194,7 +231,7 @@ impl<'rb> BottomUpEngine<'rb> {
         self.stats.record_overlay(self.ctx.dbs.overlay_stats());
         out.sort();
         out.dedup();
-        Ok(out)
+        (out, trip)
     }
 
     /// Whether a ground fact is in the perfect model of `db` (closing only
@@ -238,6 +275,12 @@ impl<'rb> BottomUpEngine<'rb> {
             let rule_ids = Arc::clone(&self.rules_by_stratum[stratum]);
             loop {
                 self.stats.rounds += 1;
+                // A trip here drops `entry` (the stratum was never marked
+                // closed), so later queries recompute it — memo stays sound.
+                if self.mem_limited {
+                    self.check_memory(entry.derived.len())?;
+                }
+                hdl_base::failpoint!("bottomup::round");
                 let mut fresh: Vec<hdl_base::GroundAtom> = Vec::new();
                 for &rule_idx in rule_ids.iter() {
                     self.stats.goal_expansions += 1;

@@ -54,13 +54,43 @@ impl CancelToken {
     }
 }
 
-/// A per-query evaluation budget (deadline + cancellation token).
+/// Memory-side caps for an evaluation: how much an engine may *grow*
+/// its shared stores while answering one query.
+///
+/// All three limits are deltas over the state at the moment the budget
+/// was installed (engines are reused across queries, so absolute store
+/// sizes would punish later queries for earlier ones), except
+/// `max_overlay_depth`, which bounds the absolute extension depth of the
+/// database DAG — a proxy for hypothetical nesting.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct MemoryLimits {
+    /// Cap on fact memory grown during this query: distinct ground
+    /// atoms interned plus fact-id slots stored across new overlay
+    /// nodes (so hypothetical branching counts even when it reuses the
+    /// same few atoms).
+    pub max_facts: Option<u64>,
+    /// Cap on new memoized goals / derived tuples during this query.
+    pub max_goal_set: Option<u64>,
+    /// Cap on the absolute overlay depth of any database reached.
+    pub max_overlay_depth: Option<u64>,
+}
+
+impl MemoryLimits {
+    /// Whether any cap is set.
+    pub fn is_limited(&self) -> bool {
+        self.max_facts.is_some() || self.max_goal_set.is_some() || self.max_overlay_depth.is_some()
+    }
+}
+
+/// A per-query evaluation budget (deadline + cancellation token +
+/// memory limits).
 ///
 /// The default budget is unlimited and check-free.
 #[derive(Clone, Default, Debug)]
 pub struct Budget {
     deadline: Option<Instant>,
     token: Option<CancelToken>,
+    memory: MemoryLimits,
     /// Calls remaining until the next real probe.
     countdown: u32,
 }
@@ -89,9 +119,77 @@ impl Budget {
         self
     }
 
+    /// Caps the fact memory (interned atoms + stored fact slots)
+    /// grown during the query.
+    pub fn with_max_facts(mut self, n: u64) -> Self {
+        self.memory.max_facts = Some(n);
+        self
+    }
+
+    /// Caps the number of new memoized goals / derived tuples.
+    pub fn with_max_goal_set(mut self, n: u64) -> Self {
+        self.memory.max_goal_set = Some(n);
+        self
+    }
+
+    /// Caps the absolute overlay depth of databases reached.
+    pub fn with_max_overlay_depth(mut self, n: u64) -> Self {
+        self.memory.max_overlay_depth = Some(n);
+        self
+    }
+
+    /// Installs a full set of memory limits at once.
+    pub fn with_memory_limits(mut self, limits: MemoryLimits) -> Self {
+        self.memory = limits;
+        self
+    }
+
+    /// The memory limits carried by this budget.
+    pub fn memory_limits(&self) -> MemoryLimits {
+        self.memory
+    }
+
+    /// Whether any memory cap is set (engines skip the store-size
+    /// arithmetic entirely when not).
+    pub fn has_memory_limits(&self) -> bool {
+        self.memory.is_limited()
+    }
+
     /// Whether this budget can ever trip (has a deadline or a token).
     pub fn is_limited(&self) -> bool {
         self.deadline.is_some() || self.token.is_some()
+    }
+
+    /// Tests the memory caps against current usage: `facts` and
+    /// `goal_set` are growth since the budget was installed,
+    /// `overlay_depth` is absolute. Errors with
+    /// [`Error::ResourceExhausted`] naming the first cap exceeded.
+    pub fn check_memory(&self, facts: u64, goal_set: u64, overlay_depth: u64) -> Result<()> {
+        if let Some(limit) = self.memory.max_facts {
+            if facts > limit {
+                return Err(Error::ResourceExhausted {
+                    resource: "facts".into(),
+                    limit,
+                });
+            }
+        }
+        if let Some(limit) = self.memory.max_goal_set {
+            if goal_set > limit {
+                return Err(Error::ResourceExhausted {
+                    resource: "goal set".into(),
+                    limit,
+                });
+            }
+        }
+        if let Some(limit) = self.memory.max_overlay_depth {
+            if overlay_depth > limit {
+                return Err(Error::ResourceExhausted {
+                    resource: "overlay depth".into(),
+                    limit,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Cheap periodic probe: every [`CHECK_PERIOD`] calls, tests the
@@ -174,5 +272,38 @@ mod tests {
     fn future_deadline_passes() {
         let b = Budget::unlimited().with_deadline(Duration::from_secs(3600));
         assert!(b.probe().is_ok());
+    }
+
+    #[test]
+    fn memory_limits_trip_the_right_resource() {
+        let b = Budget::unlimited()
+            .with_max_facts(10)
+            .with_max_goal_set(20)
+            .with_max_overlay_depth(5);
+        assert!(b.has_memory_limits());
+        assert!(b.check_memory(10, 20, 5).is_ok(), "at the cap is fine");
+        assert_eq!(
+            b.check_memory(11, 0, 0).unwrap_err(),
+            Error::ResourceExhausted {
+                resource: "facts".into(),
+                limit: 10
+            }
+        );
+        assert_eq!(
+            b.check_memory(0, 21, 0).unwrap_err(),
+            Error::ResourceExhausted {
+                resource: "goal set".into(),
+                limit: 20
+            }
+        );
+        assert_eq!(
+            b.check_memory(0, 0, 6).unwrap_err(),
+            Error::ResourceExhausted {
+                resource: "overlay depth".into(),
+                limit: 5
+            }
+        );
+        assert!(!Budget::unlimited().has_memory_limits());
+        assert!(Budget::unlimited().check_memory(u64::MAX, 0, 0).is_ok());
     }
 }

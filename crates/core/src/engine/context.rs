@@ -105,6 +105,16 @@ impl<'rb> Context<'rb> {
     pub fn db_contains(&self, db: DbId, f: FactId) -> bool {
         self.dbs.contains(db, f)
     }
+
+    /// The fact memory this context holds: distinct interned ground
+    /// atoms plus the fact-id slots physically stored across overlay
+    /// nodes. Hypothetical branching grows the second term even when the
+    /// distinct-atom count stays flat (QBF-style searches re-add the
+    /// same few atoms into exponentially many databases), so this is the
+    /// quantity `max_facts` budgets measure.
+    pub fn fact_footprint(&self) -> u64 {
+        self.dbs.facts().len() as u64 + self.dbs.overlay_stats().delta_facts
+    }
 }
 
 fn plan_rule(rule: &crate::ast::HypRule) -> RulePlan {

@@ -22,7 +22,7 @@ pub mod stats;
 pub mod topdown;
 
 pub use bottomup::BottomUpEngine;
-pub use budget::{Budget, CancelToken};
+pub use budget::{Budget, CancelToken, MemoryLimits};
 pub use context::Context;
 pub use proof::{render as render_proof, ProofChild, ProofNode};
 pub use prove::ProveEngine;

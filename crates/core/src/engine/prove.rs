@@ -75,6 +75,12 @@ pub struct ProveEngine<'rb> {
     limits: Limits,
     budget: Budget,
     expansions_total: u64,
+    /// Cached `budget.has_memory_limits()` for the hot-path probes.
+    mem_limited: bool,
+    /// Store sizes when the budget was installed; the memory caps bound
+    /// growth past these (engines are reused across queries).
+    facts_baseline: u64,
+    goals_baseline: u64,
 }
 
 impl<'rb> ProveEngine<'rb> {
@@ -104,6 +110,9 @@ impl<'rb> ProveEngine<'rb> {
             limits: Limits::default(),
             budget: Budget::default(),
             expansions_total: 0,
+            mem_limited: false,
+            facts_baseline: 0,
+            goals_baseline: 0,
         })
     }
 
@@ -116,8 +125,27 @@ impl<'rb> ProveEngine<'rb> {
     /// Replaces the evaluation budget (deadline / cancellation token).
     /// A tripped budget unwinds without recording in-flight verdicts, so
     /// memoized answers and Δ models stay sound for later queries.
+    ///
+    /// Memory limits carried by the budget bound growth from this
+    /// moment: current store sizes become the measurement baseline.
     pub fn set_budget(&mut self, budget: Budget) {
+        self.mem_limited = budget.has_memory_limits();
+        self.facts_baseline = self.ctx.fact_footprint();
+        self.goals_baseline = (self.memo.len() + self.in_progress.len()) as u64;
         self.budget = budget;
+    }
+
+    /// Probes the memory caps against growth since the budget was set;
+    /// `extra` adds the working set of an in-flight Δ model.
+    fn check_memory(&self, extra: usize) -> Result<()> {
+        let facts = self
+            .ctx
+            .fact_footprint()
+            .saturating_sub(self.facts_baseline);
+        let goals = ((self.memo.len() + self.in_progress.len() + extra) as u64)
+            .saturating_sub(self.goals_baseline);
+        self.budget
+            .check_memory(facts, goals, self.ctx.dbs.max_depth() as u64)
     }
 
     /// Work counters.
@@ -250,6 +278,10 @@ impl<'rb> ProveEngine<'rb> {
         depth: u64,
         cut: &mut u64,
     ) -> Result<bool> {
+        if self.mem_limited {
+            self.check_memory(0)?;
+        }
+        hdl_base::failpoint!("prove::sigma");
         let key = (goal, db);
         if let Some(&r) = self.memo.get(&key) {
             self.stats.memo_hits += 1;
@@ -685,6 +717,12 @@ impl<'rb> ProveEngine<'rb> {
         // segment only ever consults sub-strata that are already closed.
         for group in groups.iter() {
             loop {
+                // A trip here drops the partial `model` local (it was
+                // never memoized), so Δ models stay sound.
+                if self.mem_limited {
+                    self.check_memory(model.len())?;
+                }
+                hdl_base::failpoint!("prove::delta_round");
                 let mut fresh: Vec<hdl_base::GroundAtom> = Vec::new();
                 for &rule_idx in group {
                     self.expansions_total += 1;

@@ -57,6 +57,13 @@ pub struct TopDownEngine<'rb> {
     stats: EngineStats,
     limits: Limits,
     budget: Budget,
+    /// Cached `budget.has_memory_limits()` — keeps the hot path to one
+    /// branch when no memory caps are set.
+    mem_limited: bool,
+    /// Store sizes when the budget was installed; memory caps bound
+    /// growth past these, not absolute size (engines are reused).
+    facts_baseline: u64,
+    goals_baseline: u64,
 }
 
 impl<'rb> TopDownEngine<'rb> {
@@ -71,6 +78,9 @@ impl<'rb> TopDownEngine<'rb> {
             stats: EngineStats::default(),
             limits: Limits::default(),
             budget: Budget::default(),
+            mem_limited: false,
+            facts_baseline: 0,
+            goals_baseline: 0,
         })
     }
 
@@ -86,8 +96,27 @@ impl<'rb> TopDownEngine<'rb> {
     /// [`Error::Cancelled`] / [`Error::DeadlineExceeded`] without
     /// recording verdicts for in-flight goals, so the engine stays
     /// usable — and its memo table correct — for later queries.
+    ///
+    /// Memory limits carried by the budget bound *growth* from this
+    /// moment: the current fact-store and memo sizes become the baseline
+    /// the caps are measured against.
     pub fn set_budget(&mut self, budget: Budget) {
+        self.mem_limited = budget.has_memory_limits();
+        self.facts_baseline = self.ctx.fact_footprint();
+        self.goals_baseline = (self.memo.len() + self.in_progress.len()) as u64;
         self.budget = budget;
+    }
+
+    /// Probes the memory caps against growth since the budget was set.
+    fn check_memory(&self) -> Result<()> {
+        let facts = self
+            .ctx
+            .fact_footprint()
+            .saturating_sub(self.facts_baseline);
+        let goals =
+            ((self.memo.len() + self.in_progress.len()) as u64).saturating_sub(self.goals_baseline);
+        self.budget
+            .check_memory(facts, goals, self.ctx.dbs.max_depth() as u64)
     }
 
     /// Work counters accumulated so far.
@@ -284,6 +313,19 @@ impl<'rb> TopDownEngine<'rb> {
     /// All domain tuples `x̄` such that `pattern(x̄)` is provable from the
     /// base database, sorted.
     pub fn answers(&mut self, pattern: &Atom) -> Result<Vec<Vec<Symbol>>> {
+        let (rows, trip) = self.answers_partial(pattern);
+        match trip {
+            Some(e) => Err(e),
+            None => Ok(rows),
+        }
+    }
+
+    /// Like [`answers`](Self::answers), but if the budget trips mid-scan
+    /// the tuples proven so far are returned alongside the trip error
+    /// instead of being discarded — callers can degrade to a partial
+    /// answer set. The rows are sound (each was fully proven) but not
+    /// complete when the error is `Some`.
+    pub fn answers_partial(&mut self, pattern: &Atom) -> (Vec<Vec<Symbol>>, Option<Error>) {
         let num_vars = pattern.vars().map(|v| v.index() + 1).max().unwrap_or(0);
         let mut bindings = Bindings::new(num_vars);
         let free = bindings.free_vars_of(pattern);
@@ -308,10 +350,9 @@ impl<'rb> TopDownEngine<'rb> {
             Ok(false)
         });
         self.stats.record_overlay(self.ctx.dbs.overlay_stats());
-        walked?;
         out.sort();
         out.dedup();
-        Ok(out)
+        (out, walked.err())
     }
 
     /// Proves one ground goal `(fact, db)`.
@@ -320,6 +361,10 @@ impl<'rb> TopDownEngine<'rb> {
     /// in-progress ancestor this (failing) search touched.
     fn prove(&mut self, goal: FactId, db: DbId, depth: u64, cut: &mut u64) -> Result<bool> {
         self.budget.check()?;
+        if self.mem_limited {
+            self.check_memory()?;
+        }
+        hdl_base::failpoint!("topdown::prove");
         self.stats.calls += 1;
         self.stats.max_depth = self.stats.max_depth.max(depth);
         let key = (goal, db);

@@ -17,7 +17,7 @@ use crate::outcome::Outcome;
 use hdl_base::{DbId, FxHashMap};
 use hdl_core::session::EngineKind;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// What makes two queries "the same query" for reuse purposes.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -47,9 +47,19 @@ impl AnswerCache {
         Self::default()
     }
 
+    /// Locks the map, recovering from poisoning: every critical section
+    /// below is a single atomic map operation, so a panic inside one
+    /// (only possible via an injected fault) can never leave a
+    /// half-written entry — the poisoned guard's data is consistent and
+    /// safe to keep using.
+    fn map(&self) -> MutexGuard<'_, FxHashMap<CacheKey, Outcome>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Looks up a key, counting the hit or miss.
     pub fn get(&self, key: &CacheKey) -> Option<Outcome> {
-        let found = self.map.lock().unwrap().get(key).cloned();
+        hdl_base::failpoint_fire!("cache::get");
+        let found = self.map().get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -60,20 +70,22 @@ impl AnswerCache {
     /// Stores a definitive outcome; non-definitive outcomes are refused
     /// (budget trips must re-evaluate).
     pub fn put(&self, key: CacheKey, outcome: Outcome) {
+        hdl_base::failpoint_fire!("cache::put");
         if outcome.is_definitive() {
-            self.map.lock().unwrap().insert(key, outcome);
+            self.map().insert(key, outcome);
         }
     }
 
     /// Drops every entry not belonging to `epoch` — called on publish so
     /// superseded snapshots' answers free their memory immediately.
     pub fn retain_epoch(&self, epoch: u64) {
-        self.map.lock().unwrap().retain(|k, _| k.epoch == epoch);
+        hdl_base::failpoint_fire!("cache::purge");
+        self.map().retain(|k, _| k.epoch == epoch);
     }
 
     /// Number of cached answers.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.map().len()
     }
 
     /// Whether the cache is empty.

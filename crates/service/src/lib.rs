@@ -23,7 +23,12 @@
 //!   structured [`Outcome::DeadlineExceeded`] / [`Outcome::Cancelled`]
 //!   instead of a hang;
 //! - [`ServiceStats`] — queries served, cache hits/misses, budget
-//!   trips, and per-worker busy time, for `:stats` and batch summaries.
+//!   trips, and per-worker busy time, for `:stats` and batch summaries;
+//! - fault tolerance — every job runs under panic isolation with a
+//!   bounded retry budget (panics resolve to structured [`Outcome`]s
+//!   and the worker's engines are rebuilt), memory budgets surface as
+//!   [`Outcome::MemoryExceeded`], and a bounded queue sheds load as
+//!   [`Outcome::Overloaded`]; see [`ServiceConfig`].
 //!
 //! ```
 //! use hdl_core::snapshot::Snapshot;
@@ -52,5 +57,5 @@ pub mod stats;
 
 pub use cache::{AnswerCache, CacheKey};
 pub use outcome::Outcome;
-pub use service::{QueryRequest, QueryService, RequestKind, Ticket};
+pub use service::{QueryRequest, QueryService, RequestKind, ServiceConfig, Ticket};
 pub use stats::ServiceStats;

@@ -18,6 +18,23 @@ pub enum Outcome {
     Cancelled,
     /// The query ran past its wall-clock deadline.
     DeadlineExceeded,
+    /// The query exceeded a configured memory budget (fact count,
+    /// goal-set size, or overlay depth) and was abandoned to keep the
+    /// process bounded.
+    MemoryExceeded,
+    /// The submission was rejected because the job queue was at its
+    /// configured capacity (load shedding); the query never ran.
+    Overloaded,
+    /// An `answers` query tripped its budget mid-scan: `rows` are the
+    /// tuples fully proven before the trip (sound but incomplete),
+    /// `reason` names the trip (`cancelled`, `deadline-exceeded`,
+    /// `memory-exceeded`, …).
+    Partial {
+        /// Tuples proven before the budget tripped.
+        rows: Vec<Vec<String>>,
+        /// Rendered trip reason.
+        reason: String,
+    },
     /// The query failed (parse error, stratification error, limits…).
     Error(String),
 }
@@ -29,9 +46,18 @@ impl Outcome {
         match r {
             Ok(true) => Outcome::True,
             Ok(false) => Outcome::False,
-            Err(Error::Cancelled) => Outcome::Cancelled,
-            Err(Error::DeadlineExceeded) => Outcome::DeadlineExceeded,
-            Err(e) => Outcome::Error(e.to_string()),
+            Err(e) => Outcome::from_error(e),
+        }
+    }
+
+    /// Maps an engine error to its structured outcome (budget trips get
+    /// dedicated variants; everything else is [`Outcome::Error`]).
+    pub fn from_error(e: Error) -> Self {
+        match e {
+            Error::Cancelled => Outcome::Cancelled,
+            Error::DeadlineExceeded => Outcome::DeadlineExceeded,
+            Error::ResourceExhausted { .. } => Outcome::MemoryExceeded,
+            other => Outcome::Error(other.to_string()),
         }
     }
 
@@ -66,6 +92,20 @@ impl fmt::Display for Outcome {
             }
             Outcome::Cancelled => write!(f, "cancelled"),
             Outcome::DeadlineExceeded => write!(f, "deadline-exceeded"),
+            Outcome::MemoryExceeded => write!(f, "memory-exceeded"),
+            Outcome::Overloaded => write!(f, "overloaded"),
+            Outcome::Partial { rows, reason } => {
+                if rows.is_empty() {
+                    return write!(f, "(0 answers; partial: {reason})");
+                }
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{}", row.join(", "))?;
+                }
+                write!(f, " ({} answers; partial: {reason})", rows.len())
+            }
             Outcome::Error(msg) => write!(f, "error: {msg}"),
         }
     }
@@ -99,7 +139,35 @@ mod tests {
         assert!(Outcome::Answers(vec![]).is_definitive());
         assert!(!Outcome::Cancelled.is_definitive());
         assert!(!Outcome::DeadlineExceeded.is_definitive());
+        assert!(!Outcome::MemoryExceeded.is_definitive());
+        assert!(!Outcome::Overloaded.is_definitive());
+        assert!(!Outcome::Partial {
+            rows: vec![vec!["a".into()]],
+            reason: "cancelled".into()
+        }
+        .is_definitive());
         assert!(!Outcome::Error("e".into()).is_definitive());
+    }
+
+    #[test]
+    fn resource_errors_map_to_memory_exceeded() {
+        assert_eq!(
+            Outcome::from_verdict(Err(Error::ResourceExhausted {
+                resource: "facts".into(),
+                limit: 10
+            })),
+            Outcome::MemoryExceeded
+        );
+        assert_eq!(Outcome::MemoryExceeded.render_line(), "memory-exceeded");
+        assert_eq!(Outcome::Overloaded.render_line(), "overloaded");
+        let partial = Outcome::Partial {
+            rows: vec![vec!["a".into(), "b".into()]],
+            reason: "deadline-exceeded".into(),
+        };
+        assert_eq!(
+            partial.render_line(),
+            "a, b (1 answers; partial: deadline-exceeded)"
+        );
     }
 
     #[test]

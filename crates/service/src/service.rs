@@ -1,20 +1,33 @@
-//! The concurrent query executor: worker pool, tickets, publishing.
+//! The concurrent query executor: worker pool, tickets, publishing,
+//! panic isolation, retries, and load shedding.
 
 use crate::cache::{AnswerCache, CacheKey};
 use crate::outcome::Outcome;
 use crate::stats::{ServiceStats, StatsCell};
-use hdl_base::{Error, SymbolTable};
-use hdl_core::engine::{BottomUpEngine, Budget, CancelToken, TopDownEngine};
+use hdl_base::SymbolTable;
+use hdl_core::engine::{BottomUpEngine, Budget, CancelToken, MemoryLimits, TopDownEngine};
 use hdl_core::parser::parse_query;
 use hdl_core::session::EngineKind;
 use hdl_core::snapshot::Snapshot;
 use hdl_core::stack::DEEP_STACK_BYTES;
 use hdl_core::{pretty, Premise};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Locks `m`, recovering the guard if a panicking thread poisoned it.
+///
+/// Sound here because every critical section in this module keeps the
+/// protected data consistent at each possible panic point: queue pushes
+/// and pops are single `VecDeque` calls, the snapshot slot is a single
+/// pointer swap, and cache inserts are single map operations — so a
+/// poisoned lock never guards a torn invariant.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What a query asks for.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,6 +49,12 @@ pub struct QueryRequest {
     /// Optional wall-clock budget; past it the query resolves to
     /// [`Outcome::DeadlineExceeded`].
     pub deadline: Option<Duration>,
+    /// Optional per-query fact budget overriding the service default;
+    /// past it the query resolves to [`Outcome::MemoryExceeded`].
+    pub max_facts: Option<u64>,
+    /// Optional per-query retry budget for transient failures (panics
+    /// caught mid-query), overriding [`ServiceConfig::retries`].
+    pub retries: Option<u32>,
 }
 
 impl QueryRequest {
@@ -45,6 +64,8 @@ impl QueryRequest {
             kind: RequestKind::Ask(query.into()),
             engine: EngineKind::default(),
             deadline: None,
+            max_facts: None,
+            retries: None,
         }
     }
 
@@ -54,6 +75,8 @@ impl QueryRequest {
             kind: RequestKind::Answers(pattern.into()),
             engine: EngineKind::default(),
             deadline: None,
+            max_facts: None,
+            retries: None,
         }
     }
 
@@ -67,6 +90,53 @@ impl QueryRequest {
     pub fn with_deadline(mut self, d: Duration) -> Self {
         self.deadline = Some(d);
         self
+    }
+
+    /// Caps the number of new facts this query may intern.
+    pub fn with_max_facts(mut self, n: u64) -> Self {
+        self.max_facts = Some(n);
+        self
+    }
+
+    /// Overrides the service-wide retry budget for this query.
+    pub fn with_retries(mut self, n: u32) -> Self {
+        self.retries = Some(n);
+        self
+    }
+}
+
+/// Pool-wide configuration: worker count, queue bound, retry budget,
+/// and default memory limits applied to every query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads (at least one is always started).
+    pub workers: usize,
+    /// Queue bound: submissions past this many waiting jobs resolve to
+    /// [`Outcome::Overloaded`] instead of growing the queue without
+    /// bound. `None` = unbounded.
+    pub queue_cap: Option<usize>,
+    /// How many times a job is retried after a caught panic before it
+    /// resolves to [`Outcome::Error`] with the panic payload.
+    pub retries: u32,
+    /// Default cap on facts a query may intern
+    /// ([`QueryRequest::max_facts`] overrides per query).
+    pub max_facts: Option<u64>,
+    /// Default cap on memoized goals / derived tuples per query.
+    pub max_goal_set: Option<u64>,
+    /// Default cap on the overlay depth of databases a query reaches.
+    pub max_overlay_depth: Option<u64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 1,
+            queue_cap: None,
+            retries: 2,
+            max_facts: None,
+            max_goal_set: None,
+            max_overlay_depth: None,
+        }
     }
 }
 
@@ -118,13 +188,14 @@ struct Shared {
     snapshot: Mutex<Arc<Snapshot>>,
     cache: AnswerCache,
     stats: StatsCell,
+    config: ServiceConfig,
 }
 
 impl Shared {
     /// Blocks until a job is available (returning it) or shutdown is
     /// signalled with the queue drained (returning `None`).
     fn wait_pop(&self) -> Option<Job> {
-        let mut q = self.queue.lock().unwrap();
+        let mut q = lock_recover(&self.queue);
         loop {
             if let Some(job) = q.jobs.pop_front() {
                 return Some(job);
@@ -132,7 +203,10 @@ impl Shared {
             if q.shutdown {
                 return None;
             }
-            q = self.available.wait(q).unwrap();
+            q = self
+                .available
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -145,6 +219,12 @@ impl Shared {
 /// memo tables and the interned database lattice — for as long as they
 /// keep serving the same snapshot, and all workers share one
 /// [`AnswerCache`] so identical queries are answered once per snapshot.
+///
+/// Faults are contained: each job runs under `catch_unwind`, a panic
+/// resolves the job to a structured [`Outcome`] (after bounded retries)
+/// and rebuilds the worker's engines, shared locks recover from
+/// poisoning, and a bounded queue sheds load with
+/// [`Outcome::Overloaded`] instead of growing without bound.
 ///
 /// ```
 /// use hdl_core::snapshot::Snapshot;
@@ -162,9 +242,20 @@ pub struct QueryService {
 
 impl QueryService {
     /// Starts a pool of `workers` threads (at least one) serving
-    /// `snapshot`.
+    /// `snapshot`, with default fault-tolerance settings.
     pub fn new(snapshot: Arc<Snapshot>, workers: usize) -> Self {
-        let workers = workers.max(1);
+        Self::with_config(
+            snapshot,
+            ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    /// Starts a pool with explicit [`ServiceConfig`].
+    pub fn with_config(snapshot: Arc<Snapshot>, config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -174,21 +265,20 @@ impl QueryService {
             snapshot: Mutex::new(snapshot),
             cache: AnswerCache::new(),
             stats: StatsCell::new(workers),
+            config,
         });
         let handles = (0..workers)
-            .map(|widx| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("hdl-worker-{widx}"))
-                    .stack_size(DEEP_STACK_BYTES)
-                    .spawn(move || worker_loop(&shared, widx))
-                    .expect("spawn service worker")
-            })
+            .map(|widx| spawn_worker(&shared, widx))
             .collect();
         QueryService {
             shared,
             workers: handles,
         }
+    }
+
+    /// The pool configuration in effect.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.config
     }
 
     /// Number of worker threads in the pool.
@@ -198,19 +288,38 @@ impl QueryService {
 
     /// Enqueues a query against the *current* snapshot and returns a
     /// ticket for its outcome.
+    ///
+    /// If the queue is at its configured capacity the submission is shed:
+    /// the ticket resolves immediately to [`Outcome::Overloaded`] and the
+    /// query never runs.
     pub fn submit(&self, request: QueryRequest) -> Ticket {
-        let snapshot = Arc::clone(&self.shared.snapshot.lock().unwrap());
+        let snapshot = Arc::clone(&lock_recover(&self.shared.snapshot));
         let token = CancelToken::new();
         let (tx, rx) = mpsc::channel();
-        let job = Job {
-            request,
-            snapshot,
-            token: token.clone(),
-            reply: tx,
-        };
         {
-            let mut q = self.shared.queue.lock().unwrap();
-            q.jobs.push_back(job);
+            // Capacity is checked under the queue lock so concurrent
+            // submitters cannot race past the bound together.
+            let mut q = lock_recover(&self.shared.queue);
+            if self
+                .shared
+                .config
+                .queue_cap
+                .is_some_and(|cap| q.jobs.len() >= cap)
+            {
+                drop(q);
+                self.shared
+                    .stats
+                    .shed
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let _ = tx.send(Outcome::Overloaded);
+                return Ticket { rx, token };
+            }
+            q.jobs.push_back(Job {
+                request,
+                snapshot,
+                token: token.clone(),
+                reply: tx,
+            });
         }
         self.shared.available.notify_one();
         Ticket { rx, token }
@@ -228,19 +337,44 @@ impl QueryService {
     /// for superseded epochs (keys embed the epoch, so this is memory
     /// reclamation, not correctness — stale reuse is impossible either
     /// way).
+    ///
+    /// Publishing degrades gracefully: a panic during the swap or purge
+    /// (injected or otherwise) is caught and retried with backoff; if
+    /// retries are exhausted the snapshot is still swapped in and only
+    /// the eager purge is skipped — superseded entries then cost memory
+    /// until the next successful publish, never correctness.
     pub fn publish(&self, snapshot: Arc<Snapshot>) {
+        use std::sync::atomic::Ordering::Relaxed;
         let epoch = snapshot.epoch();
-        *self.shared.snapshot.lock().unwrap() = snapshot;
-        self.shared.cache.retain_epoch(epoch);
-        self.shared
-            .stats
-            .snapshots_published
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut backoff = Duration::from_millis(1);
+        for _attempt in 0..3 {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                hdl_base::failpoint_fire!("service::publish");
+                *lock_recover(&self.shared.snapshot) = Arc::clone(&snapshot);
+                self.shared.cache.retain_epoch(epoch);
+            }));
+            match result {
+                Ok(()) => {
+                    self.shared.stats.snapshots_published.fetch_add(1, Relaxed);
+                    return;
+                }
+                Err(_) => {
+                    self.shared.stats.panics_recovered.fetch_add(1, Relaxed);
+                    self.shared.stats.retries.fetch_add(1, Relaxed);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(20));
+                }
+            }
+        }
+        // Last resort: swap without the eager purge (stale entries are
+        // unreachable by construction — their keys carry old epochs).
+        *lock_recover(&self.shared.snapshot) = snapshot;
+        self.shared.stats.snapshots_published.fetch_add(1, Relaxed);
     }
 
     /// The snapshot new submissions will run against.
     pub fn current_snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.shared.snapshot.lock().unwrap())
+        Arc::clone(&lock_recover(&self.shared.snapshot))
     }
 
     /// A point-in-time view of the service counters.
@@ -260,7 +394,7 @@ impl QueryService {
 
     fn stop_workers(&mut self) {
         {
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut q = lock_recover(&self.shared.queue);
             q.shutdown = true;
         }
         self.shared.available.notify_all();
@@ -285,6 +419,40 @@ struct Engines<'rb> {
     bottom_up: Option<BottomUpEngine<'rb>>,
 }
 
+/// Spawns one worker thread. The thread supervises its own loop: a
+/// panic that escapes per-job isolation (e.g. an injected fault at
+/// `service::worker_start`) restarts the loop with fresh engines after
+/// a short backoff, so the pool never silently shrinks.
+fn spawn_worker(shared: &Arc<Shared>, widx: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("hdl-worker-{widx}"))
+        .stack_size(DEEP_STACK_BYTES)
+        .spawn(move || {
+            use std::sync::atomic::Ordering::Relaxed;
+            let mut backoff = Duration::from_millis(1);
+            loop {
+                let ran = catch_unwind(AssertUnwindSafe(|| {
+                    hdl_base::failpoint_fire!("service::worker_start");
+                    worker_loop(&shared, widx);
+                }));
+                match ran {
+                    // Clean exit: shutdown drained the queue.
+                    Ok(()) => return,
+                    Err(_) => {
+                        shared.stats.workers_respawned.fetch_add(1, Relaxed);
+                        if lock_recover(&shared.queue).shutdown {
+                            return;
+                        }
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_millis(50));
+                    }
+                }
+            }
+        })
+        .expect("spawn service worker")
+}
+
 fn worker_loop(shared: &Shared, widx: usize) {
     // A job whose snapshot differs from the one the current engines
     // serve; carried across the engine-rebuild boundary below.
@@ -307,7 +475,7 @@ fn worker_loop(shared: &Shared, widx: usize) {
                 break;
             }
             let started = Instant::now();
-            let outcome = process(shared, &snap, &mut symbols, &mut engines, &j);
+            let outcome = run_job(shared, &snap, &mut symbols, &mut engines, &j);
             shared.stats.add_busy(widx, started.elapsed());
             count_outcome(shared, &outcome);
             // A dropped ticket is fine — the answer is simply unread.
@@ -321,6 +489,69 @@ fn worker_loop(shared: &Shared, widx: usize) {
     }
 }
 
+/// Renders a caught panic payload (the common `&str`/`String` cases).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one job under panic isolation with a bounded retry budget.
+///
+/// A panic anywhere in parsing or evaluation is caught here; the
+/// worker's symbol extension and engines are rebuilt from the snapshot
+/// (their memo tables may be mid-mutation), and the job is retried with
+/// capped exponential backoff. Exhausted retries resolve the job to
+/// [`Outcome::Error`] carrying the panic payload — the caller always
+/// gets a structured outcome, never a hang or a crashed pool.
+///
+/// `AssertUnwindSafe` is sound because everything the closure can leave
+/// inconsistent is discarded on the error path (symbols, engines), and
+/// the shared state it touches (cache, stats) only uses single-call
+/// atomic operations.
+fn run_job<'rb>(
+    shared: &Shared,
+    snap: &'rb Snapshot,
+    symbols: &mut SymbolTable,
+    engines: &mut Engines<'rb>,
+    job: &Job,
+) -> Outcome {
+    use std::sync::atomic::Ordering::Relaxed;
+    let retry_budget = job.request.retries.unwrap_or(shared.config.retries);
+    let mut backoff = Duration::from_millis(1);
+    let mut attempt = 0u32;
+    loop {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            process(shared, snap, symbols, engines, job)
+        }));
+        match result {
+            Ok(outcome) => return outcome,
+            Err(payload) => {
+                shared.stats.panics_recovered.fetch_add(1, Relaxed);
+                *symbols = snap.symbols().clone();
+                *engines = Engines::default();
+                if job.token.is_cancelled() {
+                    return Outcome::Cancelled;
+                }
+                if attempt >= retry_budget {
+                    return Outcome::Error(format!(
+                        "query panicked: {}",
+                        panic_message(payload.as_ref())
+                    ));
+                }
+                attempt += 1;
+                shared.stats.retries.fetch_add(1, Relaxed);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
 fn count_outcome(shared: &Shared, outcome: &Outcome) {
     use std::sync::atomic::Ordering::Relaxed;
     let stats = &shared.stats;
@@ -328,6 +559,14 @@ fn count_outcome(shared: &Shared, outcome: &Outcome) {
     match outcome {
         Outcome::Cancelled => stats.cancelled.fetch_add(1, Relaxed),
         Outcome::DeadlineExceeded => stats.deadline_exceeded.fetch_add(1, Relaxed),
+        Outcome::MemoryExceeded => stats.memory_trips.fetch_add(1, Relaxed),
+        Outcome::Overloaded => stats.shed.fetch_add(1, Relaxed),
+        Outcome::Partial { reason, .. } => match reason.as_str() {
+            "cancelled" => stats.cancelled.fetch_add(1, Relaxed),
+            "deadline-exceeded" => stats.deadline_exceeded.fetch_add(1, Relaxed),
+            "memory-exceeded" => stats.memory_trips.fetch_add(1, Relaxed),
+            _ => stats.errors.fetch_add(1, Relaxed),
+        },
         Outcome::Error(_) => stats.errors.fetch_add(1, Relaxed),
         _ => 0,
     };
@@ -340,6 +579,16 @@ fn normalize_goal(text: &str) -> String {
     core = core.strip_prefix("?-").unwrap_or(core).trim();
     core = core.strip_suffix('.').unwrap_or(core).trim_end();
     format!("?- {core}.")
+}
+
+/// The memory limits for one job: service-wide defaults, with the
+/// per-request fact cap taking precedence.
+fn memory_limits_for(config: &ServiceConfig, request: &QueryRequest) -> MemoryLimits {
+    MemoryLimits {
+        max_facts: request.max_facts.or(config.max_facts),
+        max_goal_set: config.max_goal_set,
+        max_overlay_depth: config.max_overlay_depth,
+    }
 }
 
 fn process<'rb>(
@@ -384,11 +633,17 @@ fn process<'rb>(
         return cached;
     }
 
-    let mut budget = Budget::unlimited().with_token(job.token.clone());
+    let mut budget = Budget::unlimited()
+        .with_token(job.token.clone())
+        .with_memory_limits(memory_limits_for(&shared.config, &job.request));
     if let Some(d) = job.request.deadline {
         budget = budget.with_deadline(d);
     }
 
+    // `expect("engine ensured")` below is a documented invariant, not a
+    // recoverable condition: `ensure_engine` succeeded above for this
+    // exact `engine` kind, so the slot is `Some`. (If it ever trips, the
+    // per-job `catch_unwind` still contains it.)
     let outcome = match (&job.request.kind, engine) {
         (RequestKind::Ask(_), EngineKind::TopDown) => {
             let eng = engines.top_down.as_mut().expect("engine ensured");
@@ -404,31 +659,36 @@ fn process<'rb>(
             let Premise::Atom(atom) = &query else {
                 unreachable!("checked above")
             };
-            let rows = match engine {
+            let (rows, trip) = match engine {
                 EngineKind::TopDown => {
                     let eng = engines.top_down.as_mut().expect("engine ensured");
                     eng.set_budget(budget);
-                    eng.answers(atom)
+                    eng.answers_partial(atom)
                 }
                 EngineKind::BottomUp => {
                     let eng = engines.bottom_up.as_mut().expect("engine ensured");
                     eng.set_budget(budget);
-                    eng.answers(atom)
+                    eng.answers_partial(atom)
                 }
             };
-            match rows {
-                Ok(rows) => Outcome::Answers(
-                    rows.into_iter()
-                        .map(|row| {
-                            row.into_iter()
-                                .map(|s| symbols.name(s).to_owned())
-                                .collect()
-                        })
-                        .collect(),
-                ),
-                Err(Error::Cancelled) => Outcome::Cancelled,
-                Err(Error::DeadlineExceeded) => Outcome::DeadlineExceeded,
-                Err(e) => Outcome::Error(e.to_string()),
+            let rows: Vec<Vec<String>> = rows
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|s| symbols.name(s).to_owned())
+                        .collect()
+                })
+                .collect();
+            match trip {
+                None => Outcome::Answers(rows),
+                // Trip with nothing proven: plain structured trip.
+                Some(e) if rows.is_empty() => Outcome::from_error(e),
+                // Trip mid-scan: degrade to the sound partial answer set
+                // instead of discarding proven tuples.
+                Some(e) => Outcome::Partial {
+                    rows,
+                    reason: Outcome::from_error(e).to_string(),
+                },
             }
         }
     };
@@ -450,13 +710,23 @@ fn ensure_engine<'rb>(
             if engines.top_down.is_none() {
                 engines.top_down = Some(TopDownEngine::new(snap.rulebase(), snap.database())?);
             }
-            Ok(engines.top_down.as_ref().unwrap().context().base_db)
+            Ok(engines
+                .top_down
+                .as_ref()
+                .expect("just built")
+                .context()
+                .base_db)
         }
         EngineKind::BottomUp => {
             if engines.bottom_up.is_none() {
                 engines.bottom_up = Some(BottomUpEngine::new(snap.rulebase(), snap.database())?);
             }
-            Ok(engines.bottom_up.as_ref().unwrap().context().base_db)
+            Ok(engines
+                .bottom_up
+                .as_ref()
+                .expect("just built")
+                .context()
+                .base_db)
         }
     }
 }
@@ -573,5 +843,23 @@ mod tests {
         let service = QueryService::new(university(), 1);
         let t = service.submit(QueryRequest::answers("~grad(X)"));
         assert!(matches!(t.wait(), Outcome::Error(_)));
+    }
+
+    #[test]
+    fn queue_cap_sheds_new_submissions() {
+        // No workers can drain the queue faster than we fill it here:
+        // the capacity check happens at submit time under the lock, so a
+        // zero-cap config sheds everything deterministically.
+        let service = QueryService::with_config(
+            university(),
+            ServiceConfig {
+                workers: 1,
+                queue_cap: Some(0),
+                ..ServiceConfig::default()
+            },
+        );
+        let t = service.submit(QueryRequest::ask("eligible(tony)"));
+        assert_eq!(t.wait(), Outcome::Overloaded);
+        assert_eq!(service.stats().shed, 1);
     }
 }

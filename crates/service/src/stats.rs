@@ -14,6 +14,11 @@ pub(crate) struct StatsCell {
     pub deadline_exceeded: AtomicU64,
     pub errors: AtomicU64,
     pub snapshots_published: AtomicU64,
+    pub panics_recovered: AtomicU64,
+    pub retries: AtomicU64,
+    pub shed: AtomicU64,
+    pub memory_trips: AtomicU64,
+    pub workers_respawned: AtomicU64,
     /// Per-worker time spent evaluating (not idling on the queue).
     pub busy_nanos: Vec<AtomicU64>,
 }
@@ -26,6 +31,11 @@ impl StatsCell {
             deadline_exceeded: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             snapshots_published: AtomicU64::new(0),
+            panics_recovered: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            memory_trips: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
             busy_nanos: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -44,6 +54,11 @@ impl StatsCell {
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
+            panics_recovered: self.panics_recovered.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            memory_trips: self.memory_trips.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
             worker_busy: self
                 .busy_nanos
                 .iter()
@@ -72,6 +87,21 @@ pub struct ServiceStats {
     pub errors: u64,
     /// Snapshots published over the service's lifetime.
     pub snapshots_published: u64,
+    /// Query panics caught and isolated (the job resolved to a
+    /// structured outcome; the worker kept serving).
+    pub panics_recovered: u64,
+    /// Transient failures retried with backoff.
+    pub retries: u64,
+    /// Submissions rejected by the bounded queue ([`Outcome::Overloaded`]).
+    ///
+    /// [`Outcome::Overloaded`]: crate::Outcome::Overloaded
+    pub shed: u64,
+    /// Queries ended by a memory budget ([`Outcome::MemoryExceeded`]).
+    ///
+    /// [`Outcome::MemoryExceeded`]: crate::Outcome::MemoryExceeded
+    pub memory_trips: u64,
+    /// Worker loops restarted after a panic escaped job isolation.
+    pub workers_respawned: u64,
     /// Per-worker time spent evaluating queries.
     pub worker_busy: Vec<Duration>,
 }
@@ -89,7 +119,17 @@ impl fmt::Display for ServiceStats {
             "budget trips        {} cancelled, {} deadline-exceeded",
             self.cancelled, self.deadline_exceeded
         )?;
+        writeln!(
+            f,
+            "memory trips        {} (shed {})",
+            self.memory_trips, self.shed
+        )?;
         writeln!(f, "errors              {}", self.errors)?;
+        writeln!(
+            f,
+            "panics recovered    {} ({} retries, {} workers respawned)",
+            self.panics_recovered, self.retries, self.workers_respawned
+        )?;
         writeln!(f, "snapshots published {}", self.snapshots_published)?;
         write!(f, "worker busy        ")?;
         for (i, d) in self.worker_busy.iter().enumerate() {

@@ -5,10 +5,14 @@
 //! of single-threaded work in a debug build at 18 variables), which is
 //! exactly the shape of query a service must be able to abandon.
 
+use hdl_base::Error;
+use hdl_core::engine::{Budget, CancelToken, ProveEngine, TopDownEngine};
+use hdl_core::parser::parse_query;
+use hdl_core::session::EngineKind;
 use hdl_core::snapshot::Snapshot;
 use hdl_encodings::qbf::build::{n, p};
 use hdl_encodings::qbf::{encode_qbf, Qbf, Quant};
-use hdl_service::{Outcome, QueryRequest, QueryService};
+use hdl_service::{Outcome, QueryRequest, QueryService, ServiceConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -102,6 +106,176 @@ fn tickets_cancel_cooperatively() {
     assert_eq!(stats.cache_entries, 0);
     let easy = service.submit(QueryRequest::ask("no_such_goal")).wait();
     assert_eq!(easy, Outcome::False, "worker must still answer");
+    service.shutdown();
+}
+
+#[test]
+fn fact_budget_bounds_growth_on_exponential_qbf() {
+    // Refuting the 18-var instance wants to intern exponentially many
+    // hypothetical databases. A fact budget must stop it close to the
+    // cap: the engine probes at every goal entry, so the store may
+    // overshoot by at most one extension (≤ one flattened database),
+    // bounded here by 2× the configured limit.
+    let (snap, _) = qbf_snapshot(18);
+    let mut eng = TopDownEngine::new(snap.rulebase(), snap.database()).unwrap();
+    let mut symbols = snap.symbols().clone();
+    let query = parse_query("?- sat_1.", &mut symbols).unwrap();
+
+    let limit = 512u64;
+    let before = eng.context().fact_footprint();
+    eng.set_budget(Budget::unlimited().with_max_facts(limit));
+    let err = eng.holds(&query).unwrap_err();
+    assert!(
+        matches!(err, Error::ResourceExhausted { .. }),
+        "expected a resource trip, got {err:?}"
+    );
+    let grown = eng.context().fact_footprint() - before;
+    assert!(grown > 0, "the search must have grown the store");
+    assert!(
+        grown <= 2 * limit,
+        "store grew by {grown} fact slots against a cap of {limit}"
+    );
+}
+
+#[test]
+fn memory_budget_trips_through_the_service() {
+    let (snap, _) = qbf_snapshot(18);
+    let service = QueryService::new(snap, 1);
+    let started = Instant::now();
+    let outcome = service
+        .submit(QueryRequest::ask("sat_1").with_max_facts(512))
+        .wait();
+    assert_eq!(outcome, Outcome::MemoryExceeded);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "memory trip took {:?}",
+        started.elapsed()
+    );
+    let stats = service.stats();
+    assert_eq!(stats.memory_trips, 1);
+    // The trip is not definitive: nothing was cached, and the worker
+    // survives to answer the next query.
+    assert_eq!(stats.cache_entries, 0);
+    let easy = service.submit(QueryRequest::ask("no_such_goal")).wait();
+    assert_eq!(easy, Outcome::False);
+    service.shutdown();
+}
+
+#[test]
+fn service_wide_fact_budget_applies_without_request_caps() {
+    let (snap, _) = qbf_snapshot(18);
+    let service = QueryService::with_config(
+        snap,
+        ServiceConfig {
+            max_facts: Some(512),
+            ..ServiceConfig::default()
+        },
+    );
+    let outcome = service.submit(QueryRequest::ask("sat_1")).wait();
+    assert_eq!(outcome, Outcome::MemoryExceeded);
+    assert_eq!(service.stats().memory_trips, 1);
+    service.shutdown();
+}
+
+#[test]
+fn bottom_up_cancels_mid_evaluation() {
+    // Whole-query cancellation is covered above for the (default)
+    // top-down engine; this pins the bottom-up fixpoint rounds to the
+    // same contract: a cancel arriving mid-stratum unwinds promptly.
+    let (snap, _) = qbf_snapshot(18);
+    let service = QueryService::new(snap, 1);
+    let ticket = service.submit(QueryRequest::ask("sat_1").with_engine(EngineKind::BottomUp));
+    std::thread::sleep(Duration::from_millis(50));
+    let cancelled_at = Instant::now();
+    ticket.cancel();
+    let outcome = ticket.wait();
+    assert_eq!(outcome, Outcome::Cancelled);
+    assert!(
+        cancelled_at.elapsed() < Duration::from_millis(500),
+        "bottom-up cancellation took {:?}",
+        cancelled_at.elapsed()
+    );
+    let easy = service
+        .submit(QueryRequest::ask("no_such_goal").with_engine(EngineKind::BottomUp))
+        .wait();
+    assert_eq!(easy, Outcome::False, "worker must still answer");
+    service.shutdown();
+}
+
+#[test]
+fn prove_delta_rounds_observe_mid_stratum_cancellation() {
+    // PROVE_Δᵢ computes stratum models in bottom-up rounds; a cancel
+    // arriving while a round is in flight must unwind from inside the
+    // round loop, not wait for the stratum to close.
+    let (snap, _) = qbf_snapshot(18);
+    let mut eng = ProveEngine::new(snap.rulebase(), snap.database()).unwrap();
+    let mut symbols = snap.symbols().clone();
+    let query = parse_query("?- sat_1.", &mut symbols).unwrap();
+
+    let token = CancelToken::new();
+    eng.set_budget(Budget::unlimited().with_token(token.clone()));
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        token.cancel();
+    });
+    let started = Instant::now();
+    let err = eng.holds(&query).unwrap_err();
+    canceller.join().unwrap();
+    assert!(matches!(err, Error::Cancelled), "got {err:?}");
+    assert!(
+        started.elapsed() < Duration::from_millis(800),
+        "PROVE cancellation took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn cancelled_prove_strata_are_not_memoized_as_closed() {
+    // Small instance: trip the very first budget probe, then verify a
+    // fresh budget recomputes the abandoned strata and answers
+    // correctly — the cancelled Δ model must not have been recorded.
+    let (snap, expected) = qbf_snapshot(8);
+    let mut eng = ProveEngine::new(snap.rulebase(), snap.database()).unwrap();
+    let mut symbols = snap.symbols().clone();
+    let query = parse_query("?- sat_1.", &mut symbols).unwrap();
+
+    let token = CancelToken::new();
+    token.cancel();
+    eng.set_budget(Budget::unlimited().with_token(token));
+    assert!(matches!(eng.holds(&query).unwrap_err(), Error::Cancelled));
+
+    eng.set_budget(Budget::unlimited());
+    assert_eq!(eng.holds(&query).unwrap(), expected);
+}
+
+#[test]
+fn bounded_queue_sheds_excess_load() {
+    let (snap, _) = qbf_snapshot(18);
+    let service = QueryService::with_config(
+        snap,
+        ServiceConfig {
+            workers: 1,
+            queue_cap: Some(2),
+            ..ServiceConfig::default()
+        },
+    );
+    // Occupy the single worker with a long refutation…
+    let busy = service.submit(QueryRequest::ask("sat_1"));
+    std::thread::sleep(Duration::from_millis(100));
+    // …fill the queue to its cap…
+    let q1 = service.submit(QueryRequest::ask("no_such_goal"));
+    let q2 = service.submit(QueryRequest::ask("no_such_goal"));
+    // …and overflow: these must be shed without running.
+    let s1 = service.submit(QueryRequest::ask("no_such_goal"));
+    let s2 = service.submit(QueryRequest::ask("no_such_goal"));
+    assert_eq!(s1.wait(), Outcome::Overloaded);
+    assert_eq!(s2.wait(), Outcome::Overloaded);
+    assert!(service.stats().shed >= 2);
+
+    busy.cancel();
+    assert_eq!(busy.wait(), Outcome::Cancelled);
+    assert_eq!(q1.wait(), Outcome::False);
+    assert_eq!(q2.wait(), Outcome::False);
     service.shutdown();
 }
 

@@ -1,0 +1,356 @@
+//! Deterministic fault injection against the query service.
+//!
+//! Compiled only with `--features failpoints`. Each test arms a seeded
+//! set of failure sites (panics, delays, spurious resource errors)
+//! threaded through the service and engines, then asserts the service
+//! *degrades* rather than dies: every submitted job resolves to a
+//! structured [`Outcome`], no injected fault escapes as a process
+//! abort, and the recovery counters account for what happened.
+#![cfg(feature = "failpoints")]
+
+use hdl_base::failpoint::{self, FaultSpec};
+use hdl_core::engine::ProveEngine;
+use hdl_core::parser::parse_query;
+use hdl_core::session::EngineKind;
+use hdl_core::snapshot::Snapshot;
+use hdl_service::{Outcome, QueryRequest, QueryService, ServiceConfig};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// The failpoint registry is process-global; tests must not interleave.
+/// The guard also clears the registry on drop, so a failing test cannot
+/// leak armed faults into the next one.
+struct FaultLab {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl FaultLab {
+    fn begin() -> Self {
+        static GUARD: Mutex<()> = Mutex::new(());
+        static HOOK: OnceLock<()> = OnceLock::new();
+        // Injected panics are caught by the service, but the default
+        // hook would still spray their backtraces over the test output.
+        // Silence exactly those; real panics keep reporting.
+        HOOK.get_or_init(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.contains("failpoint '"))
+                    || info
+                        .payload()
+                        .downcast_ref::<&str>()
+                        .is_some_and(|m| m.contains("failpoint '"));
+                if !injected {
+                    default(info);
+                }
+            }));
+        });
+        let guard = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        failpoint::clear();
+        FaultLab { _guard: guard }
+    }
+}
+
+impl Drop for FaultLab {
+    fn drop(&mut self) {
+        failpoint::clear();
+    }
+}
+
+fn university() -> Arc<Snapshot> {
+    Snapshot::from_program(
+        "take(tony, his101).
+         take(ann, his101).
+         take(ann, eng201).
+         grad(S) :- take(S, his101), take(S, eng201).
+         eligible(S) :- grad(S)[add: take(S, eng201)].",
+    )
+    .unwrap()
+}
+
+/// A 4-variable ∃/∀ XOR-chain QBF (false), linearly stratified, for
+/// driving the PROVE engine's Σ/Δ failpoint sites.
+fn qbf_snapshot() -> Arc<Snapshot> {
+    use hdl_encodings::qbf::build::{n, p};
+    use hdl_encodings::qbf::{encode_qbf, Qbf, Quant};
+    let prefix = (0..4)
+        .map(|v| {
+            let q = if v % 2 == 0 {
+                Quant::Exists
+            } else {
+                Quant::Forall
+            };
+            (q, vec![v])
+        })
+        .collect();
+    let mut clauses = Vec::new();
+    for v in 0..3 {
+        clauses.push(vec![p(v), p(v + 1)]);
+        clauses.push(vec![n(v), n(v + 1)]);
+    }
+    let enc = encode_qbf(&Qbf { prefix, clauses }).unwrap();
+    Snapshot::new(enc.symbols, enc.rulebase, enc.database)
+}
+
+/// Every injection site the service and engines expose.
+const ALL_SITES: &[&str] = &[
+    "service::worker_start",
+    "service::publish",
+    "cache::get",
+    "cache::put",
+    "cache::purge",
+    "topdown::prove",
+    "bottomup::round",
+    "prove::sigma",
+    "prove::delta_round",
+];
+
+#[test]
+fn hundred_query_batch_survives_panics_at_every_site() {
+    let _lab = FaultLab::begin();
+    for (i, site) in ALL_SITES.iter().enumerate() {
+        // Rare enough that most jobs eventually succeed within the
+        // retry budget, common enough that every site fires.
+        failpoint::configure(site, FaultSpec::panicking(7), 0xBAD5EED + i as u64);
+    }
+
+    let service = QueryService::with_config(
+        university(),
+        ServiceConfig {
+            workers: 3,
+            retries: 50,
+            ..ServiceConfig::default()
+        },
+    );
+    let requests: Vec<QueryRequest> = (0..100)
+        .map(|i| match i % 3 {
+            0 => QueryRequest::ask("eligible(tony)"),
+            1 => QueryRequest::ask("grad(ann)").with_engine(EngineKind::BottomUp),
+            _ => QueryRequest::answers("eligible(S)"),
+        })
+        .collect();
+    let outcomes = service.run_batch(requests);
+
+    // Zero process aborts (we are still here) and a structured outcome
+    // for every job — with a generous retry budget, the correct one.
+    assert_eq!(outcomes.len(), 100);
+    for (i, o) in outcomes.iter().enumerate() {
+        match i % 3 {
+            0 => assert_eq!(*o, Outcome::True, "query {i}"),
+            1 => assert_eq!(*o, Outcome::True, "query {i}"),
+            _ => assert!(matches!(o, Outcome::Answers(_)), "query {i}: {o:?}"),
+        }
+    }
+
+    let stats = service.stats();
+    assert!(
+        stats.panics_recovered > 0,
+        "injected panics must be visible in stats: {stats:?}"
+    );
+    assert!(stats.retries > 0);
+
+    // The service only drives the top-down and bottom-up engines;
+    // exercise PROVE's Σ/Δ sites directly under the same armed faults
+    // with the same containment contract: panics are caught, the engine
+    // is rebuilt, and the query eventually answers.
+    // Cap the PROVE faults: a query makes hundreds of Σ/Δ probes, so an
+    // uncapped 1-in-7 panic rate would never let one finish.
+    failpoint::configure("prove::sigma", FaultSpec::panicking(3).fires(4), 101);
+    failpoint::configure("prove::delta_round", FaultSpec::panicking(3).fires(4), 103);
+    let qbf = qbf_snapshot();
+    let mut symbols = qbf.symbols().clone();
+    let query = parse_query("?- sat_1.", &mut symbols).unwrap();
+    let mut verdict = None;
+    for _ in 0..200 {
+        let mut eng = ProveEngine::new(qbf.rulebase(), qbf.database()).unwrap();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eng.holds(&query))) {
+            Ok(Ok(v)) => {
+                verdict = Some(v);
+                break;
+            }
+            Ok(Err(_)) | Err(_) => continue,
+        }
+    }
+    assert_eq!(
+        verdict,
+        Some(false),
+        "PROVE must eventually answer despite injected faults"
+    );
+
+    // `service::publish` and `cache::purge` only fire on publishes,
+    // covered by `publish_survives_injected_panics`.
+    for site in ALL_SITES {
+        let (hits, _) = failpoint::counters(site);
+        if *site != "service::publish" && *site != "cache::purge" {
+            assert!(hits > 0, "site {site} was never reached");
+        }
+    }
+
+    // Disarmed, the pool answers normally — no corruption lingers.
+    failpoint::clear();
+    let control = service.submit(QueryRequest::ask("eligible(tony)")).wait();
+    assert_eq!(control, Outcome::True);
+    service.shutdown();
+}
+
+#[test]
+fn worker_start_panic_respawns_the_worker() {
+    let _lab = FaultLab::begin();
+    failpoint::configure(
+        "service::worker_start",
+        FaultSpec::panicking(1).fires(1),
+        42,
+    );
+    let service = QueryService::new(university(), 1);
+    // The sole worker panicked on startup; its respawn loop must bring
+    // it back or this wait would hang (deadline guards the assertion).
+    let outcome = service
+        .submit(QueryRequest::ask("eligible(tony)").with_deadline(Duration::from_secs(30)))
+        .wait();
+    assert_eq!(outcome, Outcome::True);
+    assert!(service.stats().workers_respawned >= 1);
+    service.shutdown();
+}
+
+#[test]
+fn spurious_resource_errors_surface_as_memory_exceeded_and_are_not_cached() {
+    let _lab = FaultLab::begin();
+    failpoint::configure("topdown::prove", FaultSpec::erroring(1).fires(1), 7);
+    let service = QueryService::new(university(), 1);
+    let first = service.submit(QueryRequest::ask("eligible(tony)")).wait();
+    assert_eq!(first, Outcome::MemoryExceeded);
+    let stats = service.stats();
+    assert_eq!(stats.memory_trips, 1);
+    assert_eq!(stats.cache_entries, 0, "trips must not be cached");
+    // The failpoint is spent; the same query now succeeds.
+    let second = service.submit(QueryRequest::ask("eligible(tony)")).wait();
+    assert_eq!(second, Outcome::True);
+    service.shutdown();
+}
+
+#[test]
+fn injected_delays_lose_no_jobs() {
+    let _lab = FaultLab::begin();
+    failpoint::configure("cache::get", FaultSpec::delaying(5, 2), 11);
+    failpoint::configure("topdown::prove", FaultSpec::delaying(1, 50), 13);
+    let service = QueryService::new(university(), 2);
+    let outcomes = service.run_batch(
+        (0..20)
+            .map(|_| QueryRequest::ask("eligible(tony)"))
+            .collect(),
+    );
+    assert!(outcomes.iter().all(|o| *o == Outcome::True));
+    assert_eq!(service.stats().queries_served, 20);
+    service.shutdown();
+}
+
+#[test]
+fn single_panic_is_retried_to_success() {
+    let _lab = FaultLab::begin();
+    failpoint::configure("topdown::prove", FaultSpec::panicking(1).fires(1), 3);
+    let service = QueryService::new(university(), 1);
+    let outcome = service.submit(QueryRequest::ask("eligible(tony)")).wait();
+    assert_eq!(outcome, Outcome::True);
+    let stats = service.stats();
+    assert_eq!(stats.panics_recovered, 1);
+    assert_eq!(stats.retries, 1);
+    service.shutdown();
+}
+
+#[test]
+fn exhausted_retries_resolve_to_a_structured_error() {
+    let _lab = FaultLab::begin();
+    // Panic on every probe: retries cannot save this query.
+    failpoint::configure("topdown::prove", FaultSpec::panicking(1), 5);
+    let service = QueryService::with_config(
+        university(),
+        ServiceConfig {
+            workers: 1,
+            retries: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let outcome = service.submit(QueryRequest::ask("eligible(tony)")).wait();
+    match outcome {
+        Outcome::Error(msg) => assert!(
+            msg.contains("panicked") && msg.contains("failpoint"),
+            "error must carry the panic payload: {msg}"
+        ),
+        other => panic!("expected a structured error, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.panics_recovered, 3, "initial attempt + 2 retries");
+    assert_eq!(stats.retries, 2);
+
+    // The worker survives exhausted retries.
+    failpoint::clear();
+    let ok = service.submit(QueryRequest::ask("eligible(tony)")).wait();
+    assert_eq!(ok, Outcome::True);
+    service.shutdown();
+}
+
+#[test]
+fn publish_survives_injected_panics() {
+    let _lab = FaultLab::begin();
+    let service = QueryService::new(Snapshot::from_program("p :- q.").unwrap(), 1);
+    assert_eq!(
+        service.submit(QueryRequest::ask("p")).wait(),
+        Outcome::False
+    );
+
+    // First publish attempt panics at the publish site, the second
+    // inside the cache purge; the third lands the snapshot.
+    failpoint::configure("service::publish", FaultSpec::panicking(1).fires(1), 17);
+    failpoint::configure("cache::purge", FaultSpec::panicking(1).fires(1), 19);
+    service.publish(Snapshot::from_program("p :- q. q.").unwrap());
+    assert_eq!(service.submit(QueryRequest::ask("p")).wait(), Outcome::True);
+    let stats = service.stats();
+    assert_eq!(stats.snapshots_published, 1);
+    assert_eq!(stats.panics_recovered, 2);
+    service.shutdown();
+}
+
+#[test]
+fn cache_faults_cannot_poison_shared_state() {
+    let _lab = FaultLab::begin();
+    // Panic inside cache operations: the lock-poison recovery plus
+    // per-job isolation must keep every outcome correct.
+    failpoint::configure("cache::put", FaultSpec::panicking(2), 23);
+    failpoint::configure("cache::get", FaultSpec::panicking(5), 29);
+    let service = QueryService::with_config(
+        university(),
+        ServiceConfig {
+            workers: 2,
+            retries: 50,
+            ..ServiceConfig::default()
+        },
+    );
+    let outcomes = service.run_batch((0..30).map(|_| QueryRequest::ask("grad(ann)")).collect());
+    assert!(outcomes.iter().all(|o| *o == Outcome::True), "{outcomes:?}");
+    failpoint::clear();
+    assert_eq!(
+        service.submit(QueryRequest::ask("grad(ann)")).wait(),
+        Outcome::True
+    );
+    service.shutdown();
+}
+
+#[test]
+fn stats_render_the_recovery_counters() {
+    let _lab = FaultLab::begin();
+    failpoint::configure("topdown::prove", FaultSpec::panicking(1).fires(1), 31);
+    let service = QueryService::new(university(), 1);
+    assert_eq!(
+        service.submit(QueryRequest::ask("eligible(tony)")).wait(),
+        Outcome::True
+    );
+    let rendered = service.stats().to_string();
+    assert!(
+        rendered.contains("panics recovered    1 (1 retries, 0 workers respawned)"),
+        "stats must surface recovery counters:\n{rendered}"
+    );
+    assert!(rendered.contains("memory trips"), "{rendered}");
+    service.shutdown();
+}

@@ -28,10 +28,18 @@
 //! line per query in input order, prints a `ServiceStats` summary to
 //! stderr, and exits non-zero if any query errored. `serve` loads the
 //! given program files, then answers query lines from stdin one at a
-//! time; `:stats` prints the live service counters.
+//! time; `:stats` prints the live service counters. Both accept
+//! `:answers PATTERN` lines for all-tuples queries; a budget trip
+//! mid-scan prints the partial answer set (`… partial: reason`) rather
+//! than discarding tuples already proven.
+//!
+//! Fault-tolerance flags (batch/serve): `--max-facts N` caps the facts
+//! a query may intern (trips print `memory-exceeded`), `--retries N`
+//! bounds panic-retry attempts per query, `--queue-cap N` sheds
+//! submissions past N waiting jobs as `overloaded`.
 
 use hdl_core::session::EngineKind;
-use hdl_service::{Outcome, QueryRequest, QueryService};
+use hdl_service::{Outcome, QueryRequest, QueryService, ServiceConfig};
 use hypothetical_datalog::prelude::*;
 use std::io::{self, BufRead, Read as _, Write};
 use std::time::Duration;
@@ -52,6 +60,25 @@ struct Opts {
     workers: usize,
     engine: EngineKind,
     deadline: Option<Duration>,
+    max_facts: Option<u64>,
+    retries: Option<u32>,
+    queue_cap: Option<usize>,
+}
+
+impl Opts {
+    /// The service pool configuration these options describe.
+    fn service_config(&self) -> ServiceConfig {
+        let mut config = ServiceConfig {
+            workers: self.workers,
+            queue_cap: self.queue_cap,
+            max_facts: self.max_facts,
+            ..ServiceConfig::default()
+        };
+        if let Some(r) = self.retries {
+            config.retries = r;
+        }
+        config
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -62,6 +89,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             .unwrap_or(1),
         engine: EngineKind::default(),
         deadline: None,
+        max_facts: None,
+        retries: None,
+        queue_cap: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -87,6 +117,27 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .map_err(|e| format!("--deadline-ms: {e}"))?;
                 opts.deadline = Some(Duration::from_millis(ms));
             }
+            "--max-facts" => {
+                opts.max_facts = Some(
+                    value("--max-facts")?
+                        .parse()
+                        .map_err(|e| format!("--max-facts: {e}"))?,
+                );
+            }
+            "--retries" => {
+                opts.retries = Some(
+                    value("--retries")?
+                        .parse()
+                        .map_err(|e| format!("--retries: {e}"))?,
+                );
+            }
+            "--queue-cap" => {
+                opts.queue_cap = Some(
+                    value("--queue-cap")?
+                        .parse()
+                        .map_err(|e| format!("--queue-cap: {e}"))?,
+                );
+            }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag}"));
             }
@@ -99,17 +150,30 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 fn usage_error(mode: &str, msg: &str) -> i32 {
     eprintln!("hdl {mode}: {msg}");
     eprintln!(
-        "usage: hdl {mode} [FILE ...] [--workers N] [--engine top-down|bottom-up] [--deadline-ms MS]"
+        "usage: hdl {mode} [FILE ...] [--workers N] [--engine top-down|bottom-up] \
+         [--deadline-ms MS] [--max-facts N] [--retries N] [--queue-cap N]"
     );
     2
 }
 
+/// Builds the request for one query line: `?- goal.` asks, and
+/// `:answers PATTERN` enumerates all matching tuples.
 fn request_for(line: &str, opts: &Opts) -> QueryRequest {
-    let mut req = QueryRequest::ask(line).with_engine(opts.engine);
+    let mut req = match line.strip_prefix(":answers") {
+        Some(pattern) => QueryRequest::answers(pattern.trim()),
+        None => QueryRequest::ask(line),
+    }
+    .with_engine(opts.engine);
     if let Some(d) = opts.deadline {
         req = req.with_deadline(d);
     }
     req
+}
+
+/// Whether this line is a query for the service (`?- …` ask or
+/// `:answers PATTERN`).
+fn is_query(line: &str) -> bool {
+    line.starts_with("?-") || line.starts_with(":answers ")
 }
 
 /// Reads the concatenation of `files` (stdin when empty) as lines.
@@ -149,7 +213,7 @@ fn batch_main(args: &[String]) -> i32 {
     };
 
     let mut session = Session::new();
-    let service = QueryService::new(session.snapshot(), opts.workers);
+    let service = QueryService::with_config(session.snapshot(), opts.service_config());
     let mut status = 0;
     let mut dirty = false;
     let mut tickets = Vec::new();
@@ -158,7 +222,7 @@ fn batch_main(args: &[String]) -> i32 {
         if is_skippable(line) {
             continue;
         }
-        if line.starts_with("?-") {
+        if is_query(line) {
             if dirty {
                 service.publish(session.snapshot());
                 dirty = false;
@@ -206,9 +270,9 @@ fn serve_main(args: &[String]) -> i32 {
         }
         eprintln!("loaded {path}");
     }
-    let service = QueryService::new(session.snapshot(), opts.workers);
+    let service = QueryService::with_config(session.snapshot(), opts.service_config());
     eprintln!(
-        "serving on {} workers — queries on stdin, :stats, :quit",
+        "serving on {} workers — queries on stdin, :answers PATTERN, :stats, :quit",
         service.workers()
     );
     let mut status = 0;
@@ -229,7 +293,9 @@ fn serve_main(args: &[String]) -> i32 {
         match line {
             ":quit" | ":q" | ":exit" => break,
             ":stats" => println!("{}", service.stats()),
-            _ if line.starts_with("?-") => {
+            // Budget trips (cancelled / deadline / memory / partial
+            // rows) are reported on stdout but are not process errors.
+            _ if is_query(line) => {
                 let outcome = service.submit(request_for(line, &opts)).wait();
                 if matches!(outcome, Outcome::Error(_)) {
                     status = 1;
@@ -237,7 +303,9 @@ fn serve_main(args: &[String]) -> i32 {
                 println!("{}", outcome.render_line());
                 let _ = out.flush();
             }
-            _ if line.starts_with(':') => eprintln!("unknown command {line} (:stats, :quit)"),
+            _ if line.starts_with(':') => {
+                eprintln!("unknown command {line} (:answers PATTERN, :stats, :quit)")
+            }
             _ => match session.load(line) {
                 Ok(()) => service.publish(session.snapshot()),
                 Err(e) => {
