@@ -9,7 +9,34 @@ use crate::atom::{Atom, GroundAtom};
 use crate::hasher::{FxHashMap, FxHashSet};
 use crate::subst::Bindings;
 use crate::symbol::Symbol;
-use crate::term::Var;
+use crate::term::{Term, Var};
+
+/// Work counters for argument-index probes during premise matching.
+///
+/// `probes` counts pattern evaluations answered through a
+/// `(predicate, argument position, constant)` index lookup instead of a
+/// full per-predicate scan; `hits` counts the probes that found at least
+/// one candidate. Both the [`Database`] argument index and the flat-root
+/// index of [`crate::view::DbView`] report into the same counters.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatchCounters {
+    /// Indexed lookups performed in place of scans.
+    pub probes: u64,
+    /// Probes that yielded a non-empty candidate list.
+    pub hits: u64,
+    /// Candidate facts tested against a pattern (each unification
+    /// attempt, successful or not) — the unit of join work.
+    pub attempts: u64,
+}
+
+impl MatchCounters {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: MatchCounters) {
+        self.probes += other.probes;
+        self.hits += other.hits;
+        self.attempts += other.attempts;
+    }
+}
 
 /// All facts for one predicate symbol.
 #[derive(Default, Clone, Debug)]
@@ -18,11 +45,20 @@ struct Relation {
     tuples: Vec<Box<[Symbol]>>,
     /// Membership index over the same tuples.
     index: FxHashSet<Box<[Symbol]>>,
+    /// Argument-level join index: `(position, constant)` → indices into
+    /// `tuples` (in insertion order). Lets a premise with a bound
+    /// argument hash-probe its candidates instead of scanning the whole
+    /// relation.
+    by_arg: FxHashMap<(u32, Symbol), Vec<u32>>,
 }
 
 impl Relation {
     fn insert(&mut self, args: Box<[Symbol]>) -> bool {
         if self.index.insert(args.clone()) {
+            let row = u32::try_from(self.tuples.len()).expect("relation overflow");
+            for (pos, &c) in args.iter().enumerate() {
+                self.by_arg.entry((pos as u32, c)).or_default().push(row);
+            }
             self.tuples.push(args);
             true
         } else {
@@ -33,6 +69,21 @@ impl Relation {
     fn contains(&self, args: &[Symbol]) -> bool {
         self.index.contains(args)
     }
+
+    /// Tuple indices whose argument `pos` equals `c`, in insertion order.
+    fn rows_bound(&self, pos: u32, c: Symbol) -> &[u32] {
+        self.by_arg.get(&(pos, c)).map_or(&[][..], |v| v.as_slice())
+    }
+}
+
+/// The first argument position of `pattern` that is bound (a constant or
+/// an already-bound variable), with its value — the probe key an
+/// argument-level index can serve.
+pub(crate) fn bound_position(pattern: &Atom, bindings: &Bindings) -> Option<(u32, Symbol)> {
+    pattern.args.iter().enumerate().find_map(|(i, t)| match t {
+        Term::Const(c) => Some((i as u32, *c)),
+        Term::Var(v) => bindings.get(*v).map(|c| (i as u32, c)),
+    })
 }
 
 /// A set of ground facts with per-predicate indexing.
@@ -167,27 +218,71 @@ impl Database {
         &self,
         pattern: &Atom,
         bindings: &mut Bindings,
+        f: impl FnMut(&mut Bindings) -> bool,
+    ) -> bool {
+        let mut counters = MatchCounters::default();
+        self.for_each_match_counted(pattern, bindings, &mut counters, f)
+    }
+
+    /// Like [`Database::for_each_match`], but drives candidate selection
+    /// through the argument-level index when the pattern has a bound
+    /// argument, recording probe work in `counters`. Candidates are
+    /// visited in insertion order either way, so the two entry points
+    /// enumerate matches identically.
+    pub fn for_each_match_counted(
+        &self,
+        pattern: &Atom,
+        bindings: &mut Bindings,
+        counters: &mut MatchCounters,
         mut f: impl FnMut(&mut Bindings) -> bool,
     ) -> bool {
         let Some(rel) = self.rels.get(&pattern.pred) else {
             return false;
         };
+        // Candidate rows: an index probe when some argument is bound,
+        // the whole relation otherwise.
+        let rows: Option<&[u32]> = bound_position(pattern, bindings).map(|(pos, c)| {
+            counters.probes += 1;
+            let rows = rel.rows_bound(pos, c);
+            if !rows.is_empty() {
+                counters.hits += 1;
+            }
+            rows
+        });
         // Iterate by index: `f` only receives `bindings`, never the tuple
         // storage, so the borrow of `self` stays shared.
-        for tuple in &rel.tuples {
-            if tuple.len() != pattern.args.len() {
-                continue;
-            }
-            let fact = GroundAtom::new(pattern.pred, tuple.to_vec());
-            if let Some(trail) = bindings.match_atom(pattern, &fact) {
-                let stop = f(bindings);
-                bindings.undo(&trail);
-                if stop {
-                    return true;
+        let mut visit =
+            |tuple: &[Symbol], counters: &mut MatchCounters, bindings: &mut Bindings| -> bool {
+                counters.attempts += 1;
+                if tuple.len() != pattern.args.len() {
+                    return false;
                 }
+                let fact = GroundAtom::new(pattern.pred, tuple.to_vec());
+                if let Some(trail) = bindings.match_atom(pattern, &fact) {
+                    let stop = f(bindings);
+                    bindings.undo(&trail);
+                    return stop;
+                }
+                false
+            };
+        match rows {
+            Some(rows) => {
+                for &row in rows {
+                    if visit(&rel.tuples[row as usize], counters, bindings) {
+                        return true;
+                    }
+                }
+                false
+            }
+            None => {
+                for tuple in &rel.tuples {
+                    if visit(tuple, counters, bindings) {
+                        return true;
+                    }
+                }
+                false
             }
         }
-        false
     }
 
     /// Collects all extensions of `bindings` under which `pattern` matches a
@@ -318,6 +413,67 @@ mod tests {
         });
         assert!(stopped);
         assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn indexed_match_agrees_with_scan_and_counts_probes() {
+        let mut db = Database::new();
+        db.insert(fact(0, &[1, 10]));
+        db.insert(fact(0, &[2, 20]));
+        db.insert(fact(0, &[1, 30]));
+        // Bound first argument: served by the argument index.
+        let pattern = Atom::new(s(0), vec![Term::Const(s(1)), Term::Var(Var(0))]);
+        let mut b = Bindings::new(2);
+        let mut counters = MatchCounters::default();
+        let mut seen = Vec::new();
+        db.for_each_match_counted(&pattern, &mut b, &mut counters, |bb| {
+            seen.push(bb.get(Var(0)).unwrap().0);
+            false
+        });
+        assert_eq!(seen, vec![10, 30], "insertion order preserved");
+        assert_eq!(
+            counters,
+            MatchCounters {
+                probes: 1,
+                hits: 1,
+                attempts: 2
+            }
+        );
+        // Bound second argument via an already-bound variable.
+        let pattern = Atom::new(s(0), vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        b.set(Var(1), s(20));
+        let mut counters = MatchCounters::default();
+        let mut seen = Vec::new();
+        db.for_each_match_counted(&pattern, &mut b, &mut counters, |bb| {
+            seen.push(bb.get(Var(0)).unwrap().0);
+            false
+        });
+        assert_eq!(seen, vec![2]);
+        assert_eq!(counters.probes, 1);
+        b.unset(Var(1));
+        // No bound argument: full scan, no probes counted.
+        let mut counters = MatchCounters::default();
+        let mut n = 0;
+        db.for_each_match_counted(&pattern, &mut b, &mut counters, |_| {
+            n += 1;
+            false
+        });
+        assert_eq!(n, 3);
+        assert_eq!((counters.probes, counters.hits), (0, 0));
+        assert_eq!(counters.attempts, 3, "scan tested every tuple");
+        // Probe that misses: counted as a probe but not a hit, and no
+        // candidates were ever tested.
+        let pattern = Atom::new(s(0), vec![Term::Const(s(9)), Term::Var(Var(0))]);
+        let mut counters = MatchCounters::default();
+        assert!(!db.for_each_match_counted(&pattern, &mut b, &mut counters, |_| true));
+        assert_eq!(
+            counters,
+            MatchCounters {
+                probes: 1,
+                hits: 0,
+                attempts: 0
+            }
+        );
     }
 
     #[test]

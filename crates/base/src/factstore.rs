@@ -114,6 +114,11 @@ struct FlatRepr {
     facts: Arc<Vec<FactId>>,
     /// Fact ids grouped by predicate, shared by all chain descendants.
     by_pred: Arc<FxHashMap<Symbol, Vec<FactId>>>,
+    /// Argument-level join index: `(predicate, argument position,
+    /// constant)` → fact ids, shared by all chain descendants. Premises
+    /// with a bound argument probe this instead of scanning `by_pred`;
+    /// a descendant's (bounded) overlay is filtered linearly on top.
+    by_arg: Arc<FxHashMap<(Symbol, u32, Symbol), Vec<FactId>>>,
 }
 
 /// A node in the persistent overlay DAG of databases.
@@ -338,6 +343,16 @@ impl DbStore {
             .by_pred
     }
 
+    /// The shared argument-level index of a flat node.
+    #[inline]
+    pub(crate) fn flat_by_arg(&self, flat: DbId) -> &FxHashMap<(Symbol, u32, Symbol), Vec<FactId>> {
+        &self.entries[flat.index()]
+            .flat
+            .as_ref()
+            .expect("croot must be flat")
+            .by_arg
+    }
+
     /// Iterates the fact ids of `db` in sorted order.
     pub fn iter_fact_ids(&self, db: DbId) -> impl Iterator<Item = FactId> + '_ {
         let e = &self.entries[db.index()];
@@ -409,7 +424,7 @@ impl DbStore {
             // Promote to flat: one O(|DB|) materialization bounds every
             // descendant's read cost to its own (short) overlay.
             let facts = Arc::new(merge_sorted(self.flat_facts(croot), &overlay));
-            let by_pred = self.build_by_pred(&facts);
+            let (by_pred, by_arg) = self.build_indexes(&facts);
             self.stats.flattens += 1;
             self.stats.flat_nodes += 1;
             self.stats.delta_facts += facts.len() as u64;
@@ -421,7 +436,11 @@ impl DbStore {
                 len: new_len,
                 set_hash: new_hash,
                 depth: new_depth,
-                flat: Some(FlatRepr { facts, by_pred }),
+                flat: Some(FlatRepr {
+                    facts,
+                    by_pred,
+                    by_arg,
+                }),
             }
         } else {
             self.stats.delta_facts += (delta.len() + overlay.len()) as u64;
@@ -470,12 +489,28 @@ impl DbStore {
         a.eq(b)
     }
 
-    fn build_by_pred(&self, facts: &[FactId]) -> Arc<FxHashMap<Symbol, Vec<FactId>>> {
+    /// Builds the per-predicate and argument-level indexes of a flat node.
+    #[allow(clippy::type_complexity)]
+    fn build_indexes(
+        &self,
+        facts: &[FactId],
+    ) -> (
+        Arc<FxHashMap<Symbol, Vec<FactId>>>,
+        Arc<FxHashMap<(Symbol, u32, Symbol), Vec<FactId>>>,
+    ) {
         let mut by_pred: FxHashMap<Symbol, Vec<FactId>> = FxHashMap::default();
+        let mut by_arg: FxHashMap<(Symbol, u32, Symbol), Vec<FactId>> = FxHashMap::default();
         for &f in facts {
-            by_pred.entry(self.store.fact(f).pred).or_default().push(f);
+            let fact = self.store.fact(f);
+            by_pred.entry(fact.pred).or_default().push(f);
+            for (pos, &c) in fact.args.iter().enumerate() {
+                by_arg
+                    .entry((fact.pred, pos as u32, c))
+                    .or_default()
+                    .push(f);
+            }
         }
-        Arc::new(by_pred)
+        (Arc::new(by_pred), Arc::new(by_arg))
     }
 
     fn intern_sorted(&mut self, ids: Vec<FactId>) -> DbId {
@@ -493,7 +528,7 @@ impl DbStore {
             }
         }
         let facts = Arc::new(ids);
-        let by_pred = self.build_by_pred(&facts);
+        let (by_pred, by_arg) = self.build_indexes(&facts);
         let id = DbId(u32::try_from(self.entries.len()).expect("db store overflow"));
         self.stats.nodes += 1;
         self.stats.flat_nodes += 1;
@@ -507,7 +542,11 @@ impl DbStore {
             len,
             set_hash,
             depth: 0,
-            flat: Some(FlatRepr { facts, by_pred }),
+            flat: Some(FlatRepr {
+                facts,
+                by_pred,
+                by_arg,
+            }),
         });
         self.canon.entry((len, set_hash)).or_default().push(id);
         id

@@ -37,7 +37,7 @@ pub mod term;
 pub mod view;
 
 pub use atom::{Atom, GroundAtom};
-pub use database::Database;
+pub use database::{Database, MatchCounters};
 pub use error::{Error, Result};
 pub use factstore::{DbEntry, DbId, DbStore, FactId, FactStore, OverlayStats, FLATTEN_THRESHOLD};
 pub use hasher::{FxHashMap, FxHashSet, FxHasher};

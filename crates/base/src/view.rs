@@ -9,7 +9,7 @@
 //! no per-candidate allocation happens at all.
 
 use crate::atom::{Atom, GroundAtom};
-use crate::database::Database;
+use crate::database::{bound_position, Database, MatchCounters};
 use crate::factstore::{DbId, DbStore, FactId};
 use crate::subst::Bindings;
 use crate::symbol::Symbol;
@@ -88,6 +88,30 @@ impl<'a> DbView<'a> {
             .map(move |f| store.facts().fact(f).args.as_slice())
     }
 
+    /// Iterates the fact ids of `pred` whose argument `pos` equals `c`:
+    /// a hash probe of the flat root's argument-level index, then a
+    /// linear filter of this node's (bounded) overlay.
+    pub fn facts_of_bound(
+        &self,
+        pred: Symbol,
+        pos: u32,
+        c: Symbol,
+    ) -> impl Iterator<Item = FactId> + 'a {
+        let store = self.store;
+        let entry = store.entry(self.id);
+        let rooted = store
+            .flat_by_arg(entry.croot())
+            .get(&(pred, pos, c))
+            .map_or(&[][..], |v| v.as_slice());
+        rooted
+            .iter()
+            .copied()
+            .chain(entry.overlay().iter().copied().filter(move |&f| {
+                let fact = store.facts().fact(f);
+                fact.pred == pred && fact.args.get(pos as usize) == Some(&c)
+            }))
+    }
+
     /// Calls `f` with the undo trail for every fact of `pattern.pred` that
     /// matches `pattern` under `bindings`; `f` returning `true` stops the
     /// scan early (existential check). Bindings are restored between
@@ -100,17 +124,54 @@ impl<'a> DbView<'a> {
         &self,
         pattern: &Atom,
         bindings: &mut Bindings,
+        f: impl FnMut(&mut Bindings) -> bool,
+    ) -> bool {
+        let mut counters = MatchCounters::default();
+        self.for_each_match_counted(pattern, bindings, &mut counters, f)
+    }
+
+    /// Like [`DbView::for_each_match`], but probes the flat root's
+    /// argument-level index when the pattern has a bound argument,
+    /// recording the probe work in `counters`. Candidate order (flat
+    /// root, then overlay) is identical on both paths, so the two entry
+    /// points enumerate the same matches in the same order.
+    pub fn for_each_match_counted(
+        &self,
+        pattern: &Atom,
+        bindings: &mut Bindings,
+        counters: &mut MatchCounters,
         mut f: impl FnMut(&mut Bindings) -> bool,
     ) -> bool {
         let store = self.store;
-        for fid in self.facts_of(pattern.pred) {
-            let fact = store.facts().fact(fid);
-            if let Some(trail) = bindings.match_atom(pattern, fact) {
-                let stop = f(bindings);
-                bindings.undo(&trail);
-                if stop {
+        let mut visit =
+            |fid: FactId, counters: &mut MatchCounters, bindings: &mut Bindings| -> bool {
+                counters.attempts += 1;
+                let fact = store.facts().fact(fid);
+                if let Some(trail) = bindings.match_atom(pattern, fact) {
+                    let stop = f(bindings);
+                    bindings.undo(&trail);
+                    return stop;
+                }
+                false
+            };
+        if let Some((pos, c)) = bound_position(pattern, bindings) {
+            counters.probes += 1;
+            let mut any = false;
+            for fid in self.facts_of_bound(pattern.pred, pos, c) {
+                any = true;
+                if visit(fid, counters, bindings) {
+                    counters.hits += 1;
                     return true;
                 }
+            }
+            if any {
+                counters.hits += 1;
+            }
+            return false;
+        }
+        for fid in self.facts_of(pattern.pred) {
+            if visit(fid, counters, bindings) {
+                return true;
             }
         }
         false
@@ -207,6 +268,46 @@ mod tests {
         assert_eq!(via_view, via_db);
         let rows = v.all_matches(&pattern, &mut b);
         assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn view_indexed_match_covers_root_and_overlay() {
+        let (dbs, db) = store_with_chain();
+        let v = dbs.view(db);
+        // pred 0, arg 0 bound to 1: one root fact + one overlay fact.
+        let pattern = Atom::new(Symbol(0), vec![Term::Const(Symbol(1)), Term::Var(Var(0))]);
+        let mut b = Bindings::new(1);
+        let mut counters = MatchCounters::default();
+        let mut seen = Vec::new();
+        v.for_each_match_counted(&pattern, &mut b, &mut counters, |bb| {
+            seen.push(bb.get(Var(0)).unwrap().0);
+            false
+        });
+        assert_eq!(seen, vec![10, 30], "root candidates precede overlay");
+        assert_eq!(
+            counters,
+            MatchCounters {
+                probes: 1,
+                hits: 1,
+                attempts: 2
+            }
+        );
+        // Probe miss across both layers.
+        let pattern = Atom::new(Symbol(0), vec![Term::Const(Symbol(5)), Term::Var(Var(0))]);
+        let mut counters = MatchCounters::default();
+        assert!(!v.for_each_match_counted(&pattern, &mut b, &mut counters, |_| true));
+        assert_eq!(
+            counters,
+            MatchCounters {
+                probes: 1,
+                hits: 0,
+                attempts: 0
+            }
+        );
+        // facts_of_bound on the second argument position.
+        let ids: Vec<_> = v.facts_of_bound(Symbol(0), 1, Symbol(30)).collect();
+        assert_eq!(ids.len(), 1);
+        assert_eq!(dbs.facts().fact(ids[0]).args[1], Symbol(30));
     }
 
     #[test]

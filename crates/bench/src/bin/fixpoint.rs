@@ -1,0 +1,498 @@
+//! `fixpoint` — the tracked fixpoint benchmark behind `BENCH_fixpoint.json`.
+//!
+//! Runs each workload under three engine configurations —
+//!
+//! - `naive`: the retained [`NaiveEngine`] reference (full re-fire of
+//!   every rule, every round),
+//! - `semi_naive_w1`: the semi-naive delta-rotating closure, single
+//!   threaded,
+//! - `semi_naive_w4`: the same closure with intra-round parallel rule
+//!   firing on 4 workers,
+//!
+//! — checks that all three agree on the answer, and emits wall time,
+//! rounds, premise-match attempts, index probe/hit counts, and the
+//! per-round delta trajectory as JSON. The attempts counters are
+//! deterministic, so the naive/semi ratio is a stable regression gate;
+//! wall time is machine-dependent and only sanity-gated.
+//!
+//! ```console
+//! $ cargo run --release -p hdl-bench --bin fixpoint            # full sizes
+//! $ cargo run --release -p hdl-bench --bin fixpoint -- --quick # CI sizes
+//! $ cargo run --release -p hdl-bench --bin fixpoint -- --check # quick + gates
+//! ```
+//!
+//! `--check` exits non-zero if semi-naive is slower than naive on a
+//! transitive-closure workload or the attempts ratio falls below 3×.
+
+use hdl_base::Database;
+use hdl_bench::workloads::{
+    hamiltonian_reach_program, random_digraph, same_generation_program, tc_program, Digraph,
+};
+use hdl_core::ast::{Premise, Rulebase};
+use hdl_core::engine::{BottomUpEngine, NaiveEngine};
+use hdl_core::parser::parse_query;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Worker count for the parallel configuration.
+const PAR_WORKERS: usize = 4;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Config {
+    Naive,
+    Semi { workers: usize },
+}
+
+impl Config {
+    fn label(self) -> String {
+        match self {
+            Config::Naive => "naive".into(),
+            Config::Semi { workers } => format!("semi_naive_w{workers}"),
+        }
+    }
+}
+
+/// What the workload asks of the engine.
+enum Task {
+    /// Compute the full perfect model of the base database.
+    Model,
+    /// Evaluate one ground query (hypothetical / negation workloads).
+    Holds(Premise),
+}
+
+/// Deterministic work counters plus the best wall time over repeats.
+struct RunMetrics {
+    wall_ms: f64,
+    attempts: u64,
+    rounds: u64,
+    index_probes: u64,
+    index_hits: u64,
+    parallel_rounds: u64,
+    delta: Vec<u64>,
+}
+
+/// The answer a run produced, for cross-configuration equivalence.
+#[derive(PartialEq)]
+enum Answer {
+    Model(Database),
+    Verdict(bool),
+}
+
+impl Answer {
+    fn describe(&self) -> String {
+        match self {
+            Answer::Model(m) => format!("{} facts", m.len()),
+            Answer::Verdict(v) => format!("verdict {v}"),
+        }
+    }
+}
+
+fn run_once(
+    rb: &Rulebase,
+    db: &Database,
+    task: &Task,
+    config: Config,
+) -> (f64, RunMetrics, Answer) {
+    let start = Instant::now();
+    let mut eng;
+    let answer = match config {
+        Config::Naive => {
+            let mut naive = NaiveEngine::new(rb, db).expect("workload stratifies");
+            let answer = match task {
+                Task::Model => Answer::Model(naive.model().expect("naive model")),
+                Task::Holds(q) => Answer::Verdict(naive.holds(q).expect("naive holds")),
+            };
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            let s = naive.stats();
+            return (
+                wall,
+                RunMetrics {
+                    wall_ms: wall,
+                    attempts: s.goal_expansions,
+                    rounds: s.rounds,
+                    index_probes: s.index_probes,
+                    index_hits: s.index_hits,
+                    parallel_rounds: s.parallel_rounds,
+                    delta: s.delta_facts_per_round.clone(),
+                },
+                answer,
+            );
+        }
+        Config::Semi { workers } => {
+            eng = BottomUpEngine::new(rb, db)
+                .expect("workload stratifies")
+                .with_parallelism(workers);
+            match task {
+                Task::Model => Answer::Model(eng.model().expect("semi-naive model")),
+                Task::Holds(q) => Answer::Verdict(eng.holds(q).expect("semi-naive holds")),
+            }
+        }
+    };
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    let s = eng.stats();
+    (
+        wall,
+        RunMetrics {
+            wall_ms: wall,
+            attempts: s.goal_expansions,
+            rounds: s.rounds,
+            index_probes: s.index_probes,
+            index_hits: s.index_hits,
+            parallel_rounds: s.parallel_rounds,
+            delta: s.delta_facts_per_round.clone(),
+        },
+        answer,
+    )
+}
+
+/// Runs `config` `repeats` times; counters are deterministic across
+/// repeats, wall time is the minimum observed.
+fn run_config(
+    rb: &Rulebase,
+    db: &Database,
+    task: &Task,
+    config: Config,
+    repeats: usize,
+) -> (RunMetrics, Answer) {
+    let (mut best_wall, mut metrics, answer) = run_once(rb, db, task, config);
+    for _ in 1..repeats {
+        let (wall, _, _) = run_once(rb, db, task, config);
+        best_wall = best_wall.min(wall);
+    }
+    metrics.wall_ms = best_wall;
+    (metrics, answer)
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    params: String,
+    answer: String,
+    runs: Vec<(String, RunMetrics)>,
+}
+
+impl WorkloadResult {
+    fn metrics(&self, label: &str) -> &RunMetrics {
+        &self
+            .runs
+            .iter()
+            .find(|(l, _)| l == label)
+            .unwrap_or_else(|| panic!("no config {label}"))
+            .1
+    }
+
+    fn attempts_ratio(&self) -> f64 {
+        ratio(
+            self.metrics("naive").attempts as f64,
+            self.metrics("semi_naive_w1").attempts as f64,
+        )
+    }
+
+    fn wall_ratio_naive_over_semi(&self) -> f64 {
+        ratio(
+            self.metrics("naive").wall_ms,
+            self.metrics("semi_naive_w1").wall_ms,
+        )
+    }
+
+    fn parallel_speedup(&self) -> f64 {
+        ratio(
+            self.metrics("semi_naive_w1").wall_ms,
+            self.metrics(&format!("semi_naive_w{PAR_WORKERS}")).wall_ms,
+        )
+    }
+}
+
+fn ratio(a: f64, b: f64) -> f64 {
+    if b <= 0.0 {
+        f64::INFINITY
+    } else {
+        a / b
+    }
+}
+
+fn run_workload(
+    name: &'static str,
+    params: String,
+    rb: &Rulebase,
+    db: &Database,
+    task: &Task,
+    repeats: usize,
+) -> WorkloadResult {
+    let configs = [
+        Config::Naive,
+        Config::Semi { workers: 1 },
+        Config::Semi {
+            workers: PAR_WORKERS,
+        },
+    ];
+    let mut runs = Vec::new();
+    let mut reference: Option<Answer> = None;
+    for config in configs {
+        let (metrics, answer) = run_config(rb, db, task, config, repeats);
+        match &reference {
+            None => reference = Some(answer),
+            Some(expected) => assert!(
+                *expected == answer,
+                "{name}: {} disagrees with naive reference",
+                config.label()
+            ),
+        }
+        eprintln!(
+            "  {name:<16} {:<14} {:>9.2} ms  {:>12} attempts  {:>6} rounds  {:>12} probes",
+            config.label(),
+            metrics.wall_ms,
+            metrics.attempts,
+            metrics.rounds,
+            metrics.index_probes,
+        );
+        runs.push((config.label(), metrics));
+    }
+    WorkloadResult {
+        name,
+        params,
+        answer: reference.expect("at least one config ran").describe(),
+        runs,
+    }
+}
+
+/// Minimal JSON emitter — the workspace is offline, so no serde.
+fn json(results: &[WorkloadResult], mode: &str, threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"bench_fixpoint/v1\",");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p hdl-bench --bin fixpoint\","
+    );
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"host_threads\": {threads},");
+    let _ = writeln!(out, "  \"parallel_workers\": {PAR_WORKERS},");
+    out.push_str("  \"workloads\": [\n");
+    for (wi, w) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(out, "      \"params\": \"{}\",", w.params);
+        let _ = writeln!(out, "      \"answer\": \"{}\",", w.answer);
+        let _ = writeln!(
+            out,
+            "      \"attempts_ratio_naive_over_semi\": {:.2},",
+            w.attempts_ratio()
+        );
+        let _ = writeln!(
+            out,
+            "      \"wall_ratio_naive_over_semi\": {:.2},",
+            w.wall_ratio_naive_over_semi()
+        );
+        let _ = writeln!(
+            out,
+            "      \"parallel_speedup_w1_over_w{PAR_WORKERS}\": {:.2},",
+            w.parallel_speedup()
+        );
+        out.push_str("      \"configs\": [\n");
+        for (ci, (label, m)) in w.runs.iter().enumerate() {
+            out.push_str("        {");
+            let _ = write!(
+                out,
+                "\"config\": \"{label}\", \"wall_ms\": {:.3}, \"attempts\": {}, \
+                 \"rounds\": {}, \"index_probes\": {}, \"index_hits\": {}, \
+                 \"parallel_rounds\": {}, ",
+                m.wall_ms, m.attempts, m.rounds, m.index_probes, m.index_hits, m.parallel_rounds
+            );
+            // The delta trajectory of the last model computed; long
+            // tails (chains) are truncated for readability.
+            const DELTA_CAP: usize = 32;
+            let shown: Vec<String> = m.delta.iter().take(DELTA_CAP).map(u64::to_string).collect();
+            let _ = write!(
+                out,
+                "\"delta_rounds\": {}, \"delta_facts_per_round\": [{}{}]",
+                m.delta.len(),
+                shown.join(", "),
+                if m.delta.len() > DELTA_CAP {
+                    ", -1"
+                } else {
+                    ""
+                }
+            );
+            out.push_str(if ci + 1 < w.runs.len() { "},\n" } else { "}\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if wi + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let quick = check || args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_fixpoint.json".into());
+    let repeats = if quick { 2 } else { 3 };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "fixpoint benchmark — mode {}, {} host threads",
+        if quick { "quick" } else { "full" },
+        threads
+    );
+
+    let mut results = Vec::new();
+
+    // Chain TC: many rounds with shrinking deltas — the workload where
+    // naive re-derivation is most wasteful (the attempts-ratio gate).
+    let n = if quick { 64 } else { 192 };
+    let (rb, db, _) = tc_program(&Digraph::chain(n));
+    results.push(run_workload(
+        "tc_chain",
+        format!("chain of {n} nodes"),
+        &rb,
+        &db,
+        &Task::Model,
+        repeats,
+    ));
+
+    // Dense random TC: few rounds with wide deltas — the workload where
+    // intra-round parallel firing pays (the wall-clock gate).
+    let (n, d) = if quick { (64, 0.10) } else { (200, 0.035) };
+    let g = random_digraph(n, d, 7);
+    let (rb, db, _) = tc_program(&g);
+    results.push(run_workload(
+        "tc_dense",
+        format!(
+            "random digraph n={n} density={d} seed=7 ({} edges)",
+            g.edges.len()
+        ),
+        &rb,
+        &db,
+        &Task::Model,
+        repeats,
+    ));
+
+    // Same-generation over a complete binary tree: non-linear recursion
+    // with geometrically widening deltas.
+    let depth = if quick { 6 } else { 9 };
+    let (rb, db, _) = same_generation_program(depth);
+    results.push(run_workload(
+        "same_generation",
+        format!("complete binary tree, depth {depth}"),
+        &rb,
+        &db,
+        &Task::Model,
+        repeats,
+    ));
+
+    // Hamiltonian path (Example 7) with the unvisited-reachability
+    // pruning relation: negation + hypothetical branching, and a
+    // genuinely recursive fixpoint recomputed inside every augmented
+    // database the search explores. A chain plus skip edges keeps the
+    // per-branch `reach` fixpoint deep — the regime where naive
+    // re-derivation compounds.
+    let hn = if quick { 12 } else { 16 };
+    let mut g = Digraph::chain(hn);
+    for i in (0..hn.saturating_sub(2)).step_by(3) {
+        g.edges.push((i, i + 2));
+    }
+    let (rb, db, mut syms) = hamiltonian_reach_program(&g);
+    let q = parse_query("?- yes.", &mut syms).expect("query parses");
+    results.push(run_workload(
+        "hamiltonian",
+        format!(
+            "chain n={hn} with skip edges + reach pruning ({} edges)",
+            g.edges.len()
+        ),
+        &rb,
+        &db,
+        &Task::Holds(q),
+        repeats,
+    ));
+
+    // QBF (∃∀∃, 3 blocks): the deep-stratification workload.
+    {
+        use hdl_encodings::qbf::build::{n as neg, p as pos};
+        use hdl_encodings::qbf::{encode_qbf, Qbf, Quant};
+        let qbf = Qbf {
+            prefix: vec![
+                (Quant::Exists, vec![0]),
+                (Quant::Forall, vec![1]),
+                (Quant::Exists, vec![2]),
+            ],
+            clauses: vec![
+                vec![neg(0), pos(2)],
+                vec![neg(1), pos(2)],
+                vec![pos(0), pos(1), neg(2)],
+            ],
+        };
+        let enc = encode_qbf(&qbf).expect("qbf encodes");
+        results.push(run_workload(
+            "qbf_eae",
+            "exists_forall_exists_def, 3 blocks".into(),
+            &enc.rulebase,
+            &enc.database,
+            &Task::Holds(enc.sat_query()),
+            repeats,
+        ));
+    }
+
+    let report = json(&results, if quick { "quick" } else { "full" }, threads);
+    std::fs::write(&out_path, &report).expect("write BENCH json");
+    eprintln!("wrote {out_path}");
+
+    let find = |name: &str| {
+        results
+            .iter()
+            .find(|w| w.name == name)
+            .expect("workload present")
+    };
+    let tc_chain = find("tc_chain");
+    let tc_dense = find("tc_dense");
+    let ham = find("hamiltonian");
+    eprintln!(
+        "gates: tc_chain attempts ratio {:.2}x, hamiltonian attempts ratio {:.2}x, \
+         tc wall naive/semi {:.2}x|{:.2}x, tc_dense parallel speedup {:.2}x",
+        tc_chain.attempts_ratio(),
+        ham.attempts_ratio(),
+        tc_chain.wall_ratio_naive_over_semi(),
+        tc_dense.wall_ratio_naive_over_semi(),
+        tc_dense.parallel_speedup(),
+    );
+
+    if check {
+        let mut failed = false;
+        // Deterministic gate: delta-rotation must cut attempts ≥ 3× on
+        // the chain-TC and Hamiltonian workloads.
+        for (w, min) in [(tc_chain, 3.0), (ham, 3.0)] {
+            if w.attempts_ratio() < min {
+                eprintln!(
+                    "GATE FAILED: {} attempts ratio {:.2} < {min}",
+                    w.name,
+                    w.attempts_ratio()
+                );
+                failed = true;
+            }
+        }
+        // Wall-clock gate: semi-naive must not be slower than naive on
+        // the transitive-closure workloads (generous margin — the
+        // attempts ratio predicts ≥ 3×).
+        for w in [tc_chain, tc_dense] {
+            if w.wall_ratio_naive_over_semi() < 1.0 {
+                eprintln!(
+                    "GATE FAILED: {} semi-naive slower than naive ({:.2}x)",
+                    w.name,
+                    w.wall_ratio_naive_over_semi()
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("all gates passed");
+    }
+}

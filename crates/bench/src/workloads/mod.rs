@@ -5,6 +5,7 @@ pub mod rulebases;
 
 pub use graphs::{random_digraph, Digraph};
 pub use rulebases::{
-    chain_program, hamiltonian_program, independent_hamiltonian_programs, layered_rulebase,
-    parity_program, tc_edb, tc_rules,
+    chain_program, hamiltonian_program, hamiltonian_reach_program,
+    independent_hamiltonian_programs, layered_rulebase, parity_program, same_generation_program,
+    tc_edb, tc_program, tc_rules,
 };

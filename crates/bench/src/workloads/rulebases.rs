@@ -40,6 +40,41 @@ pub fn hamiltonian_program(g: &Digraph) -> (Rulebase, Database, SymbolTable) {
     build(&src)
 }
 
+/// Example 7 (Hamiltonian path) over `g`, augmented with the standard
+/// search-pruning relation: reachability through *unvisited* nodes.
+///
+/// ```text
+/// free(Y)     :- node(Y), ~pnode(Y).
+/// reach(X, Y) :- edge(X, Y), free(Y).
+/// reach(X, Z) :- reach(X, Y), edge(Y, Z), free(Z).
+/// ```
+///
+/// `free` depends on the hypothetically-added `pnode` facts, so the
+/// recursive `reach` fixpoint is recomputed inside every augmented
+/// database the search explores — unlike the plain Example 7 rulebase,
+/// whose only recursion tunnels through the hypothetical premise and
+/// therefore converges in one productive round per database. This is
+/// the fixpoint-benchmark variant: it exercises semi-naive evaluation
+/// under `add:` branching. The `yes` verdict is unchanged.
+pub fn hamiltonian_reach_program(g: &Digraph) -> (Rulebase, Database, SymbolTable) {
+    let mut src = String::from(
+        "yes :- node(X), path(X)[add: pnode(X)].
+         path(X) :- select(Y), edge(X, Y), path(Y)[add: pnode(Y)].
+         path(X) :- ~select(Y).
+         select(Y) :- node(Y), ~pnode(Y).
+         free(Y) :- node(Y), ~pnode(Y).
+         reach(X, Y) :- edge(X, Y), free(Y).
+         reach(X, Z) :- reach(X, Y), edge(Y, Z), free(Z).\n",
+    );
+    for v in 0..g.n {
+        let _ = writeln!(src, "node(v{v}).");
+    }
+    for &(a, b) in &g.edges {
+        let _ = writeln!(src, "edge(v{a}, v{b}).");
+    }
+    build(&src)
+}
+
 /// `count` disjoint copies of the Example 7 Hamiltonian rulebase over
 /// independently sampled random digraphs, every predicate suffixed
 /// `_i`. The copies share no predicates or constants, so the queries
@@ -120,6 +155,48 @@ pub fn layered_rulebase(k: usize, w: usize) -> (Rulebase, SymbolTable) {
     let mut syms = SymbolTable::new();
     let rb = parse_program(&src, &mut syms).expect("generated program parses");
     (rb, syms)
+}
+
+/// Plain transitive closure over `g` in the hypothetical-Datalog
+/// language — the core fixpoint-benchmark workload. No hypotheticals
+/// and no negation, so the measurement isolates the semi-naive delta
+/// machinery and the argument-index joins.
+pub fn tc_program(g: &Digraph) -> (Rulebase, Database, SymbolTable) {
+    let mut src = String::from(
+        "tc(X, Y) :- edge(X, Y).
+         tc(X, Z) :- tc(X, Y), edge(Y, Z).\n",
+    );
+    for &(a, b) in &g.edges {
+        let _ = writeln!(src, "edge(v{a}, v{b}).");
+    }
+    build(&src)
+}
+
+/// Same-generation over a complete binary tree with `depth` levels.
+///
+/// Nodes are heap-indexed (`n1` is the root; `n_i` has children
+/// `n_{2i}` and `n_{2i+1}`), giving `2^depth - 1` nodes. The model
+/// contains every pair of distinct same-level nodes, so the fixpoint
+/// runs `depth` rounds with deltas that widen geometrically — the
+/// classic non-linear recursion workload for the fixpoint benchmark.
+pub fn same_generation_program(depth: usize) -> (Rulebase, Database, SymbolTable) {
+    let mut src = String::from(
+        "sg(X, Y) :- sibling(X, Y).
+         sg(X, Y) :- up(X, XP), sg(XP, YP), down(YP, Y).\n",
+    );
+    let nodes = (1usize << depth) - 1;
+    for i in 1..=nodes {
+        for c in [2 * i, 2 * i + 1] {
+            if c <= nodes {
+                let _ = writeln!(src, "up(n{c}, n{i}). down(n{i}, n{c}).");
+            }
+        }
+        if 2 * i < nodes {
+            let (a, b) = (2 * i, 2 * i + 1);
+            let _ = writeln!(src, "sibling(n{a}, n{b}). sibling(n{b}, n{a}).");
+        }
+    }
+    build(&src)
 }
 
 /// Transitive-closure rules for the plain-Datalog baseline (E10):
@@ -204,6 +281,29 @@ mod tests {
         assert!(eng.holds(&q).unwrap());
         let q3 = parse_query("?- a3.", &mut syms).unwrap();
         assert!(!eng.holds(&q3).unwrap(), "a3 alone misses b1, b2");
+    }
+
+    #[test]
+    fn same_generation_model_counts_same_level_pairs() {
+        use hdl_core::engine::BottomUpEngine;
+        let depth = 4;
+        let (rb, db, syms) = same_generation_program(depth);
+        let sg = syms.lookup("sg").unwrap();
+        let model = BottomUpEngine::new(&rb, &db).unwrap().model().unwrap();
+        // Every ordered pair of distinct nodes on the same level:
+        // sum over levels k of 2^k * (2^k - 1).
+        let expected: usize = (0..depth).map(|k| (1 << k) * ((1 << k) - 1)).sum();
+        assert_eq!(model.count(sg), expected);
+    }
+
+    #[test]
+    fn tc_program_matches_pair_count_on_a_chain() {
+        use hdl_core::engine::BottomUpEngine;
+        let n = 12;
+        let (rb, db, syms) = tc_program(&Digraph::chain(n));
+        let tc = syms.lookup("tc").unwrap();
+        let model = BottomUpEngine::new(&rb, &db).unwrap().model().unwrap();
+        assert_eq!(model.count(tc), n * (n - 1) / 2);
     }
 
     #[test]

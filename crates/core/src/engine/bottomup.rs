@@ -13,6 +13,20 @@
 //! premise evaluated inside the current fixpoint (monotone, so iteration
 //! order is irrelevant).
 //!
+//! The per-stratum closure is *semi-naive* (DESIGN.md §3.11): each round
+//! tracks the delta of facts first derived in the previous round, and a
+//! rule fires in round `r ≥ 1` only through rotations that pin one of its
+//! same-stratum positive premises to that delta
+//! (`Full^{<j} ⋈ Δ_j ⋈ Old^{>j}`). Only round 0 evaluates rules against
+//! the full model. Rules whose hypothetical premise can read the growing
+//! model (the degenerate `add ⊆ DB` case over a same-stratum goal) are
+//! re-fired fully each round instead — rotation can't see those premises
+//! flip. Rules with no hypothetical premises are *pure*: their firings
+//! need only shared reads, so a round can fan them out across scoped
+//! worker threads (see [`BottomUpEngine::set_parallelism`]), each worker
+//! carrying its own budget clone and fresh-fact buffer, merged
+//! deterministically at the round barrier.
+//!
 //! Models are *stratum-lazy*: for an augmented database the engine only
 //! closes the strata up to the hypothetical goal's stratum. Without this,
 //! a rule like `within1(S,D) ← grad(S,D)[add: take(S,C)]` would re-fire
@@ -32,9 +46,14 @@ use crate::analysis::stratify::{evaluation_strata, NegationStrata};
 use crate::ast::{HypRule, Premise, Rulebase};
 use crate::engine::budget::Budget;
 use crate::engine::context::Context;
+use crate::engine::matching::{
+    chunk_tasks, collect_free, empty_layer, fire_pure, part_for, run_pure_parallel, ModelLayers,
+    Part, PureTask, RuleClass, Seed, PARALLEL_MIN_ROWS,
+};
 use crate::engine::stats::{EngineStats, Limits};
 use hdl_base::{
-    Atom, Bindings, Database, DbId, DbView, Error, FactId, FxHashMap, Result, Symbol, Var,
+    Atom, Bindings, Database, DbId, Error, FactId, FxHashMap, GroundAtom, MatchCounters, Result,
+    Symbol, Var,
 };
 use std::sync::Arc;
 
@@ -42,10 +61,10 @@ use std::sync::Arc;
 ///
 /// Only the *derived* facts are stored — the facts the rules added above
 /// the interned database itself. The EDB layer is answered through a
-/// [`DbView`] of the overlay DAG, so memoizing a model for an augmented
-/// database costs O(|derived|), not a full copy of the database. The
-/// invariant `derived ∩ DB = ∅` keeps the two layers disjoint, so
-/// enumerating `view ∪ derived` never repeats a fact.
+/// [`hdl_base::DbView`] of the overlay DAG, so memoizing a model for an
+/// augmented database costs O(|derived|), not a full copy of the
+/// database. The invariant `derived ∩ DB = ∅` keeps the two layers
+/// disjoint, so enumerating `view ∪ derived` never repeats a fact.
 #[derive(Debug)]
 struct ModelEntry {
     upto: usize,
@@ -62,6 +81,14 @@ pub struct BottomUpEngine<'rb> {
     /// Rule indices grouped by evaluation stratum of the head predicate,
     /// shared immutably so fixpoint rounds need no per-round copy.
     rules_by_stratum: Vec<Arc<[usize]>>,
+    /// Per-rule semi-naive classification, indexed like `rb.rules`.
+    classes: Vec<RuleClass>,
+    /// Worker threads for pure-rule firings within a round (1 = inline).
+    workers: usize,
+    /// Semi-naive delta-rotation on (the default). Off re-fires every
+    /// rule fully each round — the naive closure kept as the reference
+    /// baseline (see [`crate::engine::reference::NaiveEngine`]).
+    semi_naive: bool,
     stats: EngineStats,
     limits: Limits,
     budget: Budget,
@@ -83,11 +110,47 @@ impl<'rb> BottomUpEngine<'rb> {
             grouped[eval_strata.stratum(rule.head.pred)].push(i);
         }
         let rules_by_stratum = grouped.into_iter().map(Arc::from).collect();
+        let classes = rb
+            .iter()
+            .map(|rule| {
+                let s = eval_strata.stratum(rule.head.pred);
+                let mut pure = true;
+                let mut hyp_sensitive = false;
+                let mut rot = Vec::new();
+                for (i, p) in rule.premises.iter().enumerate() {
+                    match p {
+                        Premise::Atom(a) => {
+                            if eval_strata.stratum(a.pred) == s {
+                                rot.push(i);
+                            }
+                        }
+                        // Negated predicates sit strictly below the head's
+                        // stratum (stratification), so they are closed and
+                        // round-invariant here.
+                        Premise::Neg(_) => {}
+                        Premise::Hyp { goal, .. } => {
+                            pure = false;
+                            if eval_strata.stratum(goal.pred) == s {
+                                hyp_sensitive = true;
+                            }
+                        }
+                    }
+                }
+                RuleClass {
+                    pure,
+                    hyp_sensitive,
+                    rot,
+                }
+            })
+            .collect();
         Ok(BottomUpEngine {
             ctx,
             models: FxHashMap::default(),
             eval_strata,
             rules_by_stratum,
+            classes,
+            workers: 1,
+            semi_naive: true,
             stats: EngineStats::default(),
             limits: Limits::default(),
             budget: Budget::default(),
@@ -100,6 +163,27 @@ impl<'rb> BottomUpEngine<'rb> {
     pub fn with_limits(mut self, limits: Limits) -> Self {
         self.limits = limits;
         self
+    }
+
+    /// Sets the number of worker threads used for pure-rule firings
+    /// within a fixpoint round (clamped to at least 1). The computed
+    /// model is identical for every setting; only wall-clock changes.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Builder form of [`BottomUpEngine::set_parallelism`].
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.set_parallelism(workers);
+        self
+    }
+
+    /// Toggles semi-naive delta-rotation (on by default). With it off,
+    /// every round re-fires every rule against the full model — the
+    /// pre-optimization naive closure, retained as an equivalence oracle
+    /// and benchmark baseline.
+    pub fn set_semi_naive(&mut self, on: bool) {
+        self.semi_naive = on;
     }
 
     /// Replaces the evaluation budget (deadline / cancellation token).
@@ -163,21 +247,11 @@ impl<'rb> BottomUpEngine<'rb> {
         let result = match query {
             Premise::Atom(atom) => {
                 self.ensure_for_pred(base, atom.pred)?;
-                Ok(exists_in_model(
-                    self.ctx.dbs.view(base),
-                    &self.models[&base].derived,
-                    atom,
-                    &mut bindings,
-                ))
+                Ok(self.exists_in_model(base, atom, &mut bindings))
             }
             Premise::Neg(atom) => {
                 self.ensure_for_pred(base, atom.pred)?;
-                Ok(!exists_in_model(
-                    self.ctx.dbs.view(base),
-                    &self.models[&base].derived,
-                    atom,
-                    &mut bindings,
-                ))
+                Ok(!self.exists_in_model(base, atom, &mut bindings))
             }
             Premise::Hyp { goal, adds } => {
                 let free = collect_free(goal, adds, &bindings);
@@ -186,6 +260,17 @@ impl<'rb> BottomUpEngine<'rb> {
         };
         self.stats.record_overlay(self.ctx.dbs.overlay_stats());
         result
+    }
+
+    /// Whether `atom` matches anywhere in the (closed) model of `db`.
+    fn exists_in_model(&mut self, db: DbId, atom: &Atom, bindings: &mut Bindings) -> bool {
+        let empty = Database::new();
+        let derived = self.models.get(&db).map_or(&empty, |e| &e.derived);
+        let mut c = MatchCounters::default();
+        let layers = ModelLayers::new(self.ctx.dbs.view(db), derived, empty_layer());
+        let found = layers.exists(Part::Full, atom, bindings, &mut c);
+        self.stats.absorb_matches(c);
+        found
     }
 
     /// All tuples of `pattern` in the perfect model of the base database.
@@ -209,25 +294,22 @@ impl<'rb> BottomUpEngine<'rb> {
         let derived = self.models.get(&base).map_or(&empty, |e| &e.derived);
         let mut bindings = Bindings::new(pattern.vars().map(|v| v.index() + 1).max().unwrap_or(0));
         let mut out = Vec::new();
-        for_each_match_layered(
-            self.ctx.dbs.view(base),
-            derived,
-            pattern,
-            &mut bindings,
-            |b| {
-                out.push(
-                    pattern
-                        .args
-                        .iter()
-                        .map(|t| match t {
-                            hdl_base::Term::Const(c) => *c,
-                            hdl_base::Term::Var(v) => b.get(*v).expect("bound by match"),
-                        })
-                        .collect(),
-                );
-                false
-            },
-        );
+        let mut c = MatchCounters::default();
+        let layers = ModelLayers::new(self.ctx.dbs.view(base), derived, empty_layer());
+        layers.for_each_match(Part::Full, pattern, &mut bindings, &mut c, |b| {
+            out.push(
+                pattern
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        hdl_base::Term::Const(c) => *c,
+                        hdl_base::Term::Var(v) => b.get(*v).expect("bound by match"),
+                    })
+                    .collect(),
+            );
+            false
+        });
+        self.stats.absorb_matches(c);
         self.stats.record_overlay(self.ctx.dbs.overlay_stats());
         out.sort();
         out.dedup();
@@ -236,7 +318,7 @@ impl<'rb> BottomUpEngine<'rb> {
 
     /// Whether a ground fact is in the perfect model of `db` (closing only
     /// the strata the fact's predicate needs).
-    pub fn proves(&mut self, db: DbId, fact: &hdl_base::GroundAtom) -> Result<bool> {
+    pub fn proves(&mut self, db: DbId, fact: &GroundAtom) -> Result<bool> {
         self.ensure_for_pred(db, fact.pred)?;
         let found = self.models[&db].derived.contains(fact) || self.ctx.dbs.view(db).contains(fact);
         self.stats.record_overlay(self.ctx.dbs.overlay_stats());
@@ -248,7 +330,8 @@ impl<'rb> BottomUpEngine<'rb> {
         self.ensure_model(db, upto)
     }
 
-    /// Ensures strata `0..upto` of `db`'s model are closed.
+    /// Ensures strata `0..upto` of `db`'s model are closed, running the
+    /// semi-naive fixpoint per stratum.
     fn ensure_model(&mut self, db: DbId, upto: usize) -> Result<()> {
         let upto = upto.min(self.rules_by_stratum.len());
         let mut entry = match self.models.remove(&db) {
@@ -270,61 +353,236 @@ impl<'rb> BottomUpEngine<'rb> {
                 }
             }
         };
+        let mut trajectory: Vec<u64> = Vec::new();
         while entry.upto < upto {
             let stratum = entry.upto;
             let rule_ids = Arc::clone(&self.rules_by_stratum[stratum]);
+            // Semi-naive layers: `older` = derived before the previous
+            // round (seeded with lower strata), `delta` = the previous
+            // round's new facts. Both live outside `entry` while the
+            // stratum runs; any error path that keeps the partial model
+            // must merge them back first.
+            let mut older = std::mem::take(&mut entry.derived);
+            let mut delta = Database::new();
+            let mut round: u64 = 0;
             loop {
                 self.stats.rounds += 1;
                 // A trip here drops `entry` (the stratum was never marked
                 // closed), so later queries recompute it — memo stays sound.
                 if self.mem_limited {
-                    self.check_memory(entry.derived.len())?;
+                    self.check_memory(older.len() + delta.len())?;
                 }
                 hdl_base::failpoint!("bottomup::round");
-                let mut fresh: Vec<hdl_base::GroundAtom> = Vec::new();
-                for &rule_idx in rule_ids.iter() {
-                    self.stats.goal_expansions += 1;
-                    if self.stats.goal_expansions > self.limits.max_expansions {
-                        self.models.insert(db, entry);
-                        return Err(Error::LimitExceeded {
-                            what: "rule firings".into(),
-                            limit: self.limits.max_expansions,
-                        });
-                    }
-                    self.fire(rule_idx, &entry.derived, db, &mut fresh)?;
+                let mut fresh: Vec<GroundAtom> = Vec::new();
+                let mut impure: Vec<(usize, Option<usize>)> = Vec::new();
+                let pure_tasks =
+                    self.schedule_round(db, &rule_ids, round, &older, &delta, &mut impure);
+                self.run_pure(db, &older, &delta, &pure_tasks, &mut fresh)?;
+                for &(rule_idx, rot_j) in &impure {
+                    self.fire_impure(rule_idx, rot_j, &older, &delta, db, &mut fresh)?;
                 }
-                let mut changed = false;
+                if self.stats.goal_expansions > self.limits.max_expansions {
+                    older.absorb(&delta);
+                    entry.derived = older;
+                    self.models.insert(db, entry);
+                    return Err(Error::LimitExceeded {
+                        what: "rule firings".into(),
+                        limit: self.limits.max_expansions,
+                    });
+                }
+                // Round barrier: facts not seen in any layer become the
+                // next delta; the old delta ages into `older`.
+                let mut next_delta = Database::new();
                 for f in fresh {
-                    // Keep `derived` disjoint from the EDB layer so the
-                    // two never enumerate the same fact twice.
-                    if self.ctx.dbs.view(db).contains(&f) {
+                    // Keep the derived layers disjoint from the EDB layer
+                    // so the model never enumerates a fact twice.
+                    if self.ctx.dbs.view(db).contains(&f)
+                        || older.contains(&f)
+                        || delta.contains(&f)
+                    {
                         continue;
                     }
-                    changed |= entry.derived.insert(f);
+                    next_delta.insert(f);
                 }
-                if !changed {
+                older.absorb(&delta);
+                delta = next_delta;
+                trajectory.push(delta.len() as u64);
+                if delta.is_empty() {
                     break;
                 }
+                round += 1;
             }
+            entry.derived = older;
             entry.upto += 1;
+        }
+        if !trajectory.is_empty() {
+            self.stats.delta_facts_per_round = trajectory;
         }
         self.models.insert(db, entry);
         Ok(())
     }
 
-    /// Fires one rule against the growing model (EDB view + derived
-    /// delta), collecting new heads.
-    fn fire(
+    /// Builds the round's work list: pure tasks (chunked over their seed
+    /// premise's matches for data parallelism) and impure `(rule, rot_j)`
+    /// firings for the sequential path.
+    fn schedule_round(
+        &mut self,
+        db: DbId,
+        rule_ids: &[usize],
+        round: u64,
+        older: &Database,
+        delta: &Database,
+        impure: &mut Vec<(usize, Option<usize>)>,
+    ) -> Vec<PureTask> {
+        // (rule, rot_j, seed premise + rows) before chunking.
+        let mut seeded: Vec<(usize, Option<usize>, Option<Seed>)> = Vec::new();
+        let mut counters = MatchCounters::default();
+        let layers = ModelLayers::new(self.ctx.dbs.view(db), older, delta);
+        for &rule_idx in rule_ids {
+            let rule = &self.ctx.rb.rules[rule_idx];
+            let class = &self.classes[rule_idx];
+            if !self.semi_naive || round == 0 || class.hyp_sensitive {
+                if !class.pure {
+                    // Hypothetical recursion needs `&mut self`.
+                    impure.push((rule_idx, None));
+                    continue;
+                }
+                // Full evaluation, seeded on the first positive premise
+                // so its matches can be chunked across workers. A
+                // positive premise with no matches kills the rule.
+                let seed_idx = rule
+                    .premises
+                    .iter()
+                    .position(|p| matches!(p, Premise::Atom(_)));
+                match seed_idx {
+                    Some(i) => {
+                        let Premise::Atom(atom) = &rule.premises[i] else {
+                            unreachable!()
+                        };
+                        let mut b = Bindings::new(rule.num_vars);
+                        let rows = layers.collect_matches(Part::Full, atom, &mut b, &mut counters);
+                        if !rows.is_empty() {
+                            seeded.push((rule_idx, None, Some((i, rows))));
+                        }
+                    }
+                    None => seeded.push((rule_idx, None, None)),
+                }
+            } else if !class.rot.is_empty() {
+                // Delta rotation: one firing per rotated premise, seeded
+                // on that premise's matches against the delta. An empty
+                // seed derives nothing — skip it outright.
+                for &j in &class.rot {
+                    let Premise::Atom(atom) = &rule.premises[j] else {
+                        unreachable!("rot positions are positive atoms")
+                    };
+                    let mut b = Bindings::new(rule.num_vars);
+                    let rows = layers.collect_matches(Part::Delta, atom, &mut b, &mut counters);
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    if class.pure {
+                        seeded.push((rule_idx, Some(j), Some((j, rows))));
+                    } else {
+                        impure.push((rule_idx, Some(j)));
+                    }
+                }
+            }
+        }
+        self.stats.absorb_matches(counters);
+        // Chunk seed rows so a round dominated by one rule (e.g.
+        // transitive closure) still spreads across the pool.
+        chunk_tasks(seeded, self.workers)
+    }
+
+    /// Runs the round's pure tasks — on scoped worker threads when the
+    /// pool and the workload justify it, inline otherwise. Results are
+    /// appended to `fresh` in task order, so the outcome is deterministic
+    /// for every pool size.
+    fn run_pure(
+        &mut self,
+        db: DbId,
+        older: &Database,
+        delta: &Database,
+        tasks: &[PureTask],
+        fresh: &mut Vec<GroundAtom>,
+    ) -> Result<()> {
+        if tasks.is_empty() {
+            return Ok(());
+        }
+        let weight: usize = tasks
+            .iter()
+            .map(|t| t.seed.as_ref().map_or(64, |(_, rows)| rows.len()))
+            .sum();
+        let spawn = self.workers > 1 && tasks.len() > 1 && weight >= PARALLEL_MIN_ROWS;
+        let layers = ModelLayers::new(self.ctx.dbs.view(db), older, delta);
+        if spawn {
+            self.stats.parallel_rounds += 1;
+            let (counters, result) = run_pure_parallel(
+                self.workers,
+                &self.ctx.rb.rules,
+                &self.ctx.plans,
+                &self.classes,
+                layers,
+                &self.ctx.domain,
+                "bottomup::fire",
+                &self.budget,
+                tasks,
+                fresh,
+            );
+            self.stats.absorb_matches(counters);
+            return result;
+        }
+        let mut counters = MatchCounters::default();
+        let mut result = Ok(());
+        for task in tasks {
+            if let Err(e) = fire_pure(
+                &self.ctx.rb.rules[task.rule_idx],
+                &self.ctx.plans[task.rule_idx],
+                &self.classes[task.rule_idx],
+                layers,
+                task,
+                &self.ctx.domain,
+                "bottomup::fire",
+                &mut self.budget,
+                &mut counters,
+                fresh,
+            ) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.stats.absorb_matches(counters);
+        result
+    }
+
+    /// Fires one impure rule (it has hypothetical premises) against the
+    /// layered model, collecting new heads. Runs on the caller's thread:
+    /// augmenting databases and recursing into their models needs
+    /// `&mut self`.
+    fn fire_impure(
         &mut self,
         rule_idx: usize,
-        derived: &Database,
+        rot_j: Option<usize>,
+        older: &Database,
+        delta: &Database,
         db: DbId,
-        out: &mut Vec<hdl_base::GroundAtom>,
+        out: &mut Vec<GroundAtom>,
     ) -> Result<()> {
+        hdl_base::failpoint!("bottomup::fire");
         let rb: &'rb Rulebase = self.ctx.rb;
         let rule: &'rb HypRule = &rb.rules[rule_idx];
         let mut bindings = Bindings::new(rule.num_vars);
-        self.walk(rule, rule_idx, 0, &mut bindings, derived, db, out)
+        self.walk(
+            rule,
+            rule_idx,
+            rot_j,
+            0,
+            &mut bindings,
+            older,
+            delta,
+            db,
+            out,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -332,11 +590,13 @@ impl<'rb> BottomUpEngine<'rb> {
         &mut self,
         rule: &'rb HypRule,
         rule_idx: usize,
+        rot_j: Option<usize>,
         idx: usize,
         bindings: &mut Bindings,
-        derived: &Database,
+        older: &Database,
+        delta: &Database,
         db: DbId,
-        out: &mut Vec<hdl_base::GroundAtom>,
+        out: &mut Vec<GroundAtom>,
     ) -> Result<()> {
         self.budget.check()?;
         if idx == rule.premises.len() {
@@ -348,16 +608,29 @@ impl<'rb> BottomUpEngine<'rb> {
         match &rule.premises[idx] {
             Premise::Atom(atom) => {
                 // Provable instances of same-or-lower strata are exactly
-                // the EDB view plus the derived delta, so matching both
-                // layers enumerates the bindings. Rows are collected
-                // first: the recursive walk needs `&mut self` while the
-                // view borrows the store.
-                let rows = collect_matches(self.ctx.dbs.view(db), derived, atom, bindings);
+                // the layered model slice the rotation assigns to this
+                // position. Rows are collected first: the recursive walk
+                // needs `&mut self` while the view borrows the store.
+                let part = part_for(&self.classes[rule_idx], rot_j, idx);
+                let mut c = MatchCounters::default();
+                let rows = ModelLayers::new(self.ctx.dbs.view(db), older, delta)
+                    .collect_matches(part, atom, bindings, &mut c);
+                self.stats.absorb_matches(c);
                 for row in rows {
                     for &(v, c) in &row {
                         bindings.set(v, c);
                     }
-                    self.walk(rule, rule_idx, idx + 1, bindings, derived, db, out)?;
+                    self.walk(
+                        rule,
+                        rule_idx,
+                        rot_j,
+                        idx + 1,
+                        bindings,
+                        older,
+                        delta,
+                        db,
+                        out,
+                    )?;
                     for &(v, _) in &row {
                         bindings.unset(v);
                     }
@@ -369,13 +642,14 @@ impl<'rb> BottomUpEngine<'rb> {
                 let free = bindings.free_vars_of(atom);
                 let outer: Vec<Var> = free.into_iter().filter(|v| !inner.contains(v)).collect();
                 self.neg_outer(
-                    rule, rule_idx, idx, atom, &outer, 0, bindings, derived, db, out,
+                    rule, rule_idx, rot_j, idx, atom, &outer, 0, bindings, older, delta, db, out,
                 )
             }
             Premise::Hyp { goal, adds } => {
                 let free = collect_free(goal, adds, bindings);
                 self.hyp_groundings(
-                    rule, rule_idx, idx, goal, adds, &free, 0, bindings, derived, db, out,
+                    rule, rule_idx, rot_j, idx, goal, adds, &free, 0, bindings, older, delta, db,
+                    out,
                 )
             }
         }
@@ -390,36 +664,58 @@ impl<'rb> BottomUpEngine<'rb> {
         &mut self,
         rule: &'rb HypRule,
         rule_idx: usize,
+        rot_j: Option<usize>,
         idx: usize,
         atom: &'rb Atom,
         outer: &[Var],
         opos: usize,
         bindings: &mut Bindings,
-        derived: &Database,
+        older: &Database,
+        delta: &Database,
         db: DbId,
-        out: &mut Vec<hdl_base::GroundAtom>,
+        out: &mut Vec<GroundAtom>,
     ) -> Result<()> {
         self.budget.check()?;
         if opos == outer.len() {
-            let witnessed = exists_in_model(self.ctx.dbs.view(db), derived, atom, bindings);
+            let mut c = MatchCounters::default();
+            let witnessed = ModelLayers::new(self.ctx.dbs.view(db), older, delta).exists(
+                Part::Full,
+                atom,
+                bindings,
+                &mut c,
+            );
+            self.stats.absorb_matches(c);
             if !witnessed {
-                self.walk(rule, rule_idx, idx + 1, bindings, derived, db, out)?;
+                self.walk(
+                    rule,
+                    rule_idx,
+                    rot_j,
+                    idx + 1,
+                    bindings,
+                    older,
+                    delta,
+                    db,
+                    out,
+                )?;
             }
             return Ok(());
         }
         let v = outer[opos];
         for i in 0..self.ctx.domain.len() {
             let c = self.ctx.domain[i];
+            self.stats.goal_expansions += 1;
             bindings.set(v, c);
             self.neg_outer(
                 rule,
                 rule_idx,
+                rot_j,
                 idx,
                 atom,
                 outer,
                 opos + 1,
                 bindings,
-                derived,
+                older,
+                delta,
                 db,
                 out,
             )?;
@@ -436,15 +732,17 @@ impl<'rb> BottomUpEngine<'rb> {
         &mut self,
         rule: &'rb HypRule,
         rule_idx: usize,
+        rot_j: Option<usize>,
         idx: usize,
         goal: &'rb Atom,
         adds: &'rb [Atom],
         free: &[Var],
         fpos: usize,
         bindings: &mut Bindings,
-        derived: &Database,
+        older: &Database,
+        delta: &Database,
         db: DbId,
-        out: &mut Vec<hdl_base::GroundAtom>,
+        out: &mut Vec<GroundAtom>,
     ) -> Result<()> {
         if fpos == free.len() {
             let add_ids: Vec<FactId> = adds
@@ -460,30 +758,45 @@ impl<'rb> BottomUpEngine<'rb> {
                 // Degenerate hypothetical: all additions already present.
                 // The goal is tested inside the current fixpoint, where it
                 // behaves like a positive premise (monotone).
-                derived.contains(&goal_fact) || self.ctx.dbs.view(db).contains(&goal_fact)
+                older.contains(&goal_fact)
+                    || delta.contains(&goal_fact)
+                    || self.ctx.dbs.view(db).contains(&goal_fact)
             } else {
                 self.stats.databases_created += 1;
                 self.proves(db2, &goal_fact)?
             };
             if holds {
-                self.walk(rule, rule_idx, idx + 1, bindings, derived, db, out)?;
+                self.walk(
+                    rule,
+                    rule_idx,
+                    rot_j,
+                    idx + 1,
+                    bindings,
+                    older,
+                    delta,
+                    db,
+                    out,
+                )?;
             }
             return Ok(());
         }
         let v = free[fpos];
         for i in 0..self.ctx.domain.len() {
             let c = self.ctx.domain[i];
+            self.stats.goal_expansions += 1;
             bindings.set(v, c);
             self.hyp_groundings(
                 rule,
                 rule_idx,
+                rot_j,
                 idx,
                 goal,
                 adds,
                 free,
                 fpos + 1,
                 bindings,
-                derived,
+                older,
+                delta,
                 db,
                 out,
             )?;
@@ -498,7 +811,7 @@ impl<'rb> BottomUpEngine<'rb> {
         free: &[Var],
         fpos: usize,
         bindings: &mut Bindings,
-        out: &mut Vec<hdl_base::GroundAtom>,
+        out: &mut Vec<GroundAtom>,
     ) -> Result<()> {
         if fpos == free.len() {
             out.push(rule.head.ground(bindings).expect("head grounded"));
@@ -507,6 +820,7 @@ impl<'rb> BottomUpEngine<'rb> {
         let v = free[fpos];
         for i in 0..self.ctx.domain.len() {
             let c = self.ctx.domain[i];
+            self.stats.goal_expansions += 1;
             bindings.set(v, c);
             self.emit_head(rule, free, fpos + 1, bindings, out)?;
         }
@@ -549,66 +863,4 @@ impl<'rb> BottomUpEngine<'rb> {
         bindings.unset(v);
         Ok(false)
     }
-}
-
-/// Runs `f` on every match of `atom` across the two model layers: the
-/// interned database's overlay view, then the derived delta. The layers
-/// are disjoint (see [`ModelEntry`]), so no match repeats.
-fn for_each_match_layered(
-    view: DbView<'_>,
-    derived: &Database,
-    atom: &Atom,
-    bindings: &mut Bindings,
-    mut f: impl FnMut(&mut Bindings) -> bool,
-) -> bool {
-    if view.for_each_match(atom, bindings, &mut f) {
-        return true;
-    }
-    derived.for_each_match(atom, bindings, f)
-}
-
-/// Collects the binding rows matching `atom` in the layered model (only
-/// the newly bound variables are recorded, for replay in the caller).
-fn collect_matches(
-    view: DbView<'_>,
-    derived: &Database,
-    atom: &Atom,
-    bindings: &mut Bindings,
-) -> Vec<Vec<(Var, Symbol)>> {
-    let before: Vec<Var> = bindings.free_vars_of(atom);
-    let mut rows = Vec::new();
-    for_each_match_layered(view, derived, atom, bindings, |b| {
-        rows.push(
-            before
-                .iter()
-                .map(|&v| (v, b.get(v).expect("bound by match")))
-                .collect(),
-        );
-        false
-    });
-    rows
-}
-
-fn exists_in_model(
-    view: DbView<'_>,
-    derived: &Database,
-    atom: &Atom,
-    bindings: &mut Bindings,
-) -> bool {
-    let mut found = false;
-    for_each_match_layered(view, derived, atom, bindings, |_| {
-        found = true;
-        true
-    });
-    found
-}
-
-fn collect_free(goal: &Atom, adds: &[Atom], bindings: &Bindings) -> Vec<Var> {
-    let mut free: Vec<Var> = Vec::new();
-    for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
-        if bindings.get(v).is_none() && !free.contains(&v) {
-            free.push(v);
-        }
-    }
-    free
 }

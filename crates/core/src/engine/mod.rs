@@ -16,8 +16,10 @@
 pub mod bottomup;
 pub mod budget;
 pub mod context;
+pub mod matching;
 pub mod proof;
 pub mod prove;
+pub mod reference;
 pub mod stats;
 pub mod topdown;
 
@@ -26,5 +28,6 @@ pub use budget::{Budget, CancelToken, MemoryLimits};
 pub use context::Context;
 pub use proof::{render as render_proof, ProofChild, ProofNode};
 pub use prove::ProveEngine;
+pub use reference::NaiveEngine;
 pub use stats::{EngineStats, Limits};
 pub use topdown::TopDownEngine;

@@ -28,9 +28,14 @@ use crate::analysis::stratify::{linear_stratification, LinearStratification};
 use crate::ast::{HypRule, Premise, Rulebase};
 use crate::engine::budget::Budget;
 use crate::engine::context::Context;
+use crate::engine::matching::{
+    chunk_tasks, fire_pure, part_for, run_pure_parallel, ModelLayers, Part, PureTask, RuleClass,
+    Seed, PARALLEL_MIN_ROWS,
+};
 use crate::engine::stats::Limits;
 use hdl_base::{
-    Atom, Bindings, Database, DbId, DbView, Error, FactId, FxHashMap, Result, Symbol, Var,
+    Atom, Bindings, Database, DbId, Error, FactId, FxHashMap, GroundAtom, MatchCounters, Result,
+    Symbol, Var,
 };
 use std::sync::Arc;
 
@@ -50,6 +55,16 @@ pub struct ProveStats {
     pub max_depth: u64,
     /// Memo hits on atomic goals.
     pub memo_hits: u64,
+    /// Facts newly derived in each fixpoint round of the last Δ model
+    /// computed — the semi-naive delta trajectory.
+    pub delta_facts_per_round: Vec<u64>,
+    /// Premise matches answered via an argument-index hash probe instead
+    /// of a relation scan.
+    pub index_probes: u64,
+    /// Index probes that found at least one candidate.
+    pub index_hits: u64,
+    /// Δ fixpoint rounds whose pure-rule firings ran on worker threads.
+    pub parallel_rounds: u64,
     /// Storage counters of the overlay DAG backing the database lattice,
     /// snapshotted when the engine finished its last query.
     pub overlay: hdl_base::OverlayStats,
@@ -63,8 +78,14 @@ pub struct ProveEngine<'rb> {
     /// internal negation sub-strata `Δᵢ₁,…,Δᵢₘ` (evaluation order).
     /// Shared immutably so fixpoint rounds need no per-round copy.
     delta_rules: Vec<Arc<[Vec<usize>]>>,
+    /// Per sub-stratum group, the semi-naive classification of its rules
+    /// (indexed like `rb.rules`; rules outside the group keep defaults).
+    /// Parallel to `delta_rules`.
+    delta_classes: Vec<Arc<[Vec<RuleClass>]>>,
     /// Σ rule indices per stratum, shared immutably for the same reason.
     sigma_rules: Vec<Arc<[usize]>>,
+    /// Worker threads for pure Δ-rule firings within a round (1 = inline).
+    workers: usize,
     memo: FxHashMap<(FactId, DbId), bool>,
     in_progress: FxHashMap<(FactId, DbId), u64>,
     /// Memoized Δ models, storing only the facts *derived* above the keyed
@@ -95,11 +116,25 @@ impl<'rb> ProveEngine<'rb> {
             delta_rules[i] = Arc::from(substrata(rb, &ls, &stratum.delta));
             sigma_rules[i] = Arc::from(stratum.sigma.clone());
         }
+        let delta_classes = delta_rules
+            .iter()
+            .enumerate()
+            .map(|(i, groups)| {
+                let delta_part = 2 * (i + 1) - 1;
+                let per_group: Vec<Vec<RuleClass>> = groups
+                    .iter()
+                    .map(|group| classify_group(rb, &ls, group, delta_part))
+                    .collect();
+                Arc::from(per_group)
+            })
+            .collect();
         Ok(ProveEngine {
             ctx,
             ls,
             delta_rules,
+            delta_classes,
             sigma_rules,
+            workers: 1,
             memo: FxHashMap::default(),
             in_progress: FxHashMap::default(),
             delta_models: FxHashMap::default(),
@@ -120,6 +155,28 @@ impl<'rb> ProveEngine<'rb> {
     pub fn with_limits(mut self, limits: Limits) -> Self {
         self.limits = limits;
         self
+    }
+
+    /// Sets the number of worker threads used for pure Δ-rule firings
+    /// within a fixpoint round (clamped to at least 1). The computed
+    /// models are identical for every setting; only wall-clock changes.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Builder form of [`ProveEngine::set_parallelism`].
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.set_parallelism(workers);
+        self
+    }
+
+    /// Folds premise-match counters into the engine's accounting: each
+    /// candidate tested is one unit of [`Limits::max_expansions`] work,
+    /// and index probes/hits feed the `:stats` report.
+    fn absorb_matches(&mut self, c: MatchCounters) {
+        self.expansions_total += c.attempts;
+        self.stats.index_probes += c.probes;
+        self.stats.index_hits += c.hits;
     }
 
     /// Replaces the evaluation budget (deadline / cancellation token).
@@ -701,6 +758,16 @@ impl<'rb> ProveEngine<'rb> {
     /// a growing model in sub-stratum order until fixpoint; `TESTᵢ⁰`
     /// resolves premises over lower-defined predicates through
     /// [`Self::prove_atomic`] (the `PROVE_Σᵢ₋₁` oracle).
+    ///
+    /// Each sub-stratum's fixpoint is *semi-naive* (DESIGN.md §3.11): the
+    /// model is split into an `older` layer and the previous round's
+    /// `delta`; after round 0, rules re-fire only through rotations that
+    /// pin one of their growing-predicate premises to the delta. Oracle
+    /// premises (atoms and hypotheticals resolved below the segment) are
+    /// round-invariant, so rules carrying them still rotate — only their
+    /// layered premises drive re-firing. Pure rules (every premise
+    /// answered by the layered model) fan out across worker threads like
+    /// the bottom-up engine's.
     fn delta_model(&mut self, stratum: usize, db: DbId) -> Result<Arc<Database>> {
         let key = (stratum, db);
         if let Some(m) = self.delta_models.get(&key) {
@@ -710,61 +777,247 @@ impl<'rb> ProveEngine<'rb> {
         // The model stores only derived facts; the EDB layer is answered
         // by the overlay view, so memoizing a Δ model for an augmented
         // database costs O(|derived|) instead of a full database copy.
-        let mut model = Database::new();
         let groups = Arc::clone(&self.delta_rules[stratum - 1]);
+        let classes_by_group = Arc::clone(&self.delta_classes[stratum - 1]);
         let delta_part = 2 * stratum - 1;
+        let mut older = Database::new();
+        let mut trajectory: Vec<u64> = Vec::new();
         // LFPᵢ per sub-stratum, applied in order: negation within the
         // segment only ever consults sub-strata that are already closed.
-        for group in groups.iter() {
+        for (g, group) in groups.iter().enumerate() {
+            let classes: &[RuleClass] = &classes_by_group[g];
+            let mut delta = Database::new();
+            let mut round: u64 = 0;
             loop {
-                // A trip here drops the partial `model` local (it was
+                // A trip here drops the partial model locals (they were
                 // never memoized), so Δ models stay sound.
                 if self.mem_limited {
-                    self.check_memory(model.len())?;
+                    self.check_memory(older.len() + delta.len())?;
                 }
                 hdl_base::failpoint!("prove::delta_round");
-                let mut fresh: Vec<hdl_base::GroundAtom> = Vec::new();
-                for &rule_idx in group {
-                    self.expansions_total += 1;
-                    if self.expansions_total > self.limits.max_expansions {
-                        return Err(Error::LimitExceeded {
-                            what: "delta rule firings".into(),
-                            limit: self.limits.max_expansions,
-                        });
-                    }
-                    self.fire_delta(rule_idx, delta_part, &model, db, &mut fresh)?;
+                let mut fresh: Vec<GroundAtom> = Vec::new();
+                let mut impure: Vec<(usize, Option<usize>)> = Vec::new();
+                let tasks = self.schedule_delta_round(
+                    db,
+                    group,
+                    classes,
+                    round,
+                    &older,
+                    &delta,
+                    &mut impure,
+                );
+                self.expansions_total += (tasks.len() + impure.len()) as u64;
+                if self.expansions_total > self.limits.max_expansions {
+                    return Err(Error::LimitExceeded {
+                        what: "delta rule firings".into(),
+                        limit: self.limits.max_expansions,
+                    });
                 }
-                let mut changed = false;
+                self.run_delta_pure(db, &older, &delta, classes, &tasks, &mut fresh)?;
+                for &(rule_idx, rot_j) in &impure {
+                    self.fire_delta(
+                        rule_idx,
+                        rot_j,
+                        delta_part,
+                        &classes[rule_idx],
+                        &older,
+                        &delta,
+                        db,
+                        &mut fresh,
+                    )?;
+                }
+                // Round barrier: facts not seen in any layer become the
+                // next delta; the old delta ages into `older`. Derived
+                // facts stay disjoint from the EDB layer.
+                let mut next_delta = Database::new();
                 for f in fresh {
-                    // Keep derived facts disjoint from the EDB layer.
-                    if self.ctx.dbs.view(db).contains(&f) {
+                    if self.ctx.dbs.view(db).contains(&f)
+                        || older.contains(&f)
+                        || delta.contains(&f)
+                    {
                         continue;
                     }
-                    changed |= model.insert(f);
+                    next_delta.insert(f);
                 }
-                if !changed {
+                older.absorb(&delta);
+                delta = next_delta;
+                trajectory.push(delta.len() as u64);
+                if delta.is_empty() {
                     break;
                 }
+                round += 1;
             }
         }
-        let arc = Arc::new(model);
+        if !trajectory.is_empty() {
+            self.stats.delta_facts_per_round = trajectory;
+        }
+        let arc = Arc::new(older);
         self.delta_models.insert(key, Arc::clone(&arc));
         Ok(arc)
     }
 
-    /// One application of `Tᵢ` for a single Δ rule.
+    /// Builds one Δ round's work list, mirroring the bottom-up engine's
+    /// scheduler: round 0 evaluates every rule fully; later rounds fire
+    /// only delta-rotations (seeded on the rotated premise's delta
+    /// matches, skipped outright when the seed is empty). Pure tasks are
+    /// chunked over their seed rows for data parallelism; impure `(rule,
+    /// rot_j)` firings go to the sequential oracle path.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_delta_round(
+        &mut self,
+        db: DbId,
+        group: &[usize],
+        classes: &[RuleClass],
+        round: u64,
+        older: &Database,
+        delta: &Database,
+        impure: &mut Vec<(usize, Option<usize>)>,
+    ) -> Vec<PureTask> {
+        let mut seeded: Vec<(usize, Option<usize>, Option<Seed>)> = Vec::new();
+        let mut counters = MatchCounters::default();
+        let layers = ModelLayers::new(self.ctx.dbs.view(db), older, delta);
+        for &rule_idx in group {
+            let rule = &self.ctx.rb.rules[rule_idx];
+            let class = &classes[rule_idx];
+            if round == 0 || class.hyp_sensitive {
+                if !class.pure {
+                    impure.push((rule_idx, None));
+                    continue;
+                }
+                // Pure rules have no oracle premises, so any positive atom
+                // is layered and can seed the full evaluation; a positive
+                // premise with no matches kills the rule.
+                let seed_idx = rule
+                    .premises
+                    .iter()
+                    .position(|p| matches!(p, Premise::Atom(_)));
+                match seed_idx {
+                    Some(i) => {
+                        let Premise::Atom(atom) = &rule.premises[i] else {
+                            unreachable!()
+                        };
+                        let mut b = Bindings::new(rule.num_vars);
+                        let rows = layers.collect_matches(Part::Full, atom, &mut b, &mut counters);
+                        if !rows.is_empty() {
+                            seeded.push((rule_idx, None, Some((i, rows))));
+                        }
+                    }
+                    None => seeded.push((rule_idx, None, None)),
+                }
+            } else if !class.rot.is_empty() {
+                for &j in &class.rot {
+                    let Premise::Atom(atom) = &rule.premises[j] else {
+                        unreachable!("rot positions are positive atoms")
+                    };
+                    let mut b = Bindings::new(rule.num_vars);
+                    let rows = layers.collect_matches(Part::Delta, atom, &mut b, &mut counters);
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    if class.pure {
+                        seeded.push((rule_idx, Some(j), Some((j, rows))));
+                    } else {
+                        impure.push((rule_idx, Some(j)));
+                    }
+                }
+            }
+        }
+        self.absorb_matches(counters);
+        chunk_tasks(seeded, self.workers)
+    }
+
+    /// Runs the round's pure Δ tasks — on scoped worker threads when the
+    /// pool and the workload justify it, inline otherwise. Results land in
+    /// `fresh` in task order, so the outcome is deterministic for every
+    /// pool size.
+    fn run_delta_pure(
+        &mut self,
+        db: DbId,
+        older: &Database,
+        delta: &Database,
+        classes: &[RuleClass],
+        tasks: &[PureTask],
+        fresh: &mut Vec<GroundAtom>,
+    ) -> Result<()> {
+        if tasks.is_empty() {
+            return Ok(());
+        }
+        let weight: usize = tasks
+            .iter()
+            .map(|t| t.seed.as_ref().map_or(64, |(_, rows)| rows.len()))
+            .sum();
+        let spawn = self.workers > 1 && tasks.len() > 1 && weight >= PARALLEL_MIN_ROWS;
+        let layers = ModelLayers::new(self.ctx.dbs.view(db), older, delta);
+        if spawn {
+            self.stats.parallel_rounds += 1;
+            let (counters, result) = run_pure_parallel(
+                self.workers,
+                &self.ctx.rb.rules,
+                &self.ctx.plans,
+                classes,
+                layers,
+                &self.ctx.domain,
+                "prove::delta_fire",
+                &self.budget,
+                tasks,
+                fresh,
+            );
+            self.absorb_matches(counters);
+            return result;
+        }
+        let mut counters = MatchCounters::default();
+        let mut result = Ok(());
+        for task in tasks {
+            if let Err(e) = fire_pure(
+                &self.ctx.rb.rules[task.rule_idx],
+                &self.ctx.plans[task.rule_idx],
+                &classes[task.rule_idx],
+                layers,
+                task,
+                &self.ctx.domain,
+                "prove::delta_fire",
+                &mut self.budget,
+                &mut counters,
+                fresh,
+            ) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.absorb_matches(counters);
+        result
+    }
+
+    /// One application of `Tᵢ` for a single impure Δ rule (it carries
+    /// oracle or hypothetical premises), under rotation `rot_j`.
+    #[allow(clippy::too_many_arguments)]
     fn fire_delta(
         &mut self,
         rule_idx: usize,
+        rot_j: Option<usize>,
         delta_part: usize,
-        model: &Database,
+        class: &RuleClass,
+        older: &Database,
+        delta: &Database,
         db: DbId,
-        out: &mut Vec<hdl_base::GroundAtom>,
+        out: &mut Vec<GroundAtom>,
     ) -> Result<()> {
         let rb: &'rb Rulebase = self.ctx.rb;
         let rule: &'rb HypRule = &rb.rules[rule_idx];
         let mut bindings = Bindings::new(rule.num_vars);
-        self.delta_walk(rule, rule_idx, delta_part, 0, &mut bindings, model, db, out)
+        self.delta_walk(
+            rule,
+            rule_idx,
+            rot_j,
+            delta_part,
+            class,
+            0,
+            &mut bindings,
+            older,
+            delta,
+            db,
+            out,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -772,12 +1025,15 @@ impl<'rb> ProveEngine<'rb> {
         &mut self,
         rule: &'rb HypRule,
         rule_idx: usize,
+        rot_j: Option<usize>,
         delta_part: usize,
+        class: &RuleClass,
         idx: usize,
         bindings: &mut Bindings,
-        model: &Database,
+        older: &Database,
+        delta: &Database,
         db: DbId,
-        out: &mut Vec<hdl_base::GroundAtom>,
+        out: &mut Vec<GroundAtom>,
     ) -> Result<()> {
         self.budget.check()?;
         if idx == rule.premises.len() {
@@ -789,8 +1045,12 @@ impl<'rb> ProveEngine<'rb> {
                 let part = self.ls.part(atom.pred);
                 if part == delta_part || part == 0 {
                     // Same segment (growing derived model) or EDB (overlay
-                    // view): match both layers directly.
-                    let rows = collect_matches(self.ctx.dbs.view(db), model, atom, bindings);
+                    // view): match the layer slice the rotation assigns.
+                    let slice = part_for(class, rot_j, idx);
+                    let mut c = MatchCounters::default();
+                    let rows = ModelLayers::new(self.ctx.dbs.view(db), older, delta)
+                        .collect_matches(slice, atom, bindings, &mut c);
+                    self.absorb_matches(c);
                     for row in rows {
                         for &(v, c) in &row {
                             bindings.set(v, c);
@@ -798,10 +1058,13 @@ impl<'rb> ProveEngine<'rb> {
                         self.delta_walk(
                             rule,
                             rule_idx,
+                            rot_j,
                             delta_part,
+                            class,
                             idx + 1,
                             bindings,
-                            model,
+                            older,
+                            delta,
                             db,
                             out,
                         )?;
@@ -811,11 +1074,13 @@ impl<'rb> ProveEngine<'rb> {
                     }
                     Ok(())
                 } else {
-                    // Defined below this segment: oracle per grounding.
+                    // Defined below this segment: oracle per grounding
+                    // (round-invariant while this fixpoint grows).
                     self.stats.oracle_calls += 1;
                     let free = bindings.free_vars_of(atom);
                     self.delta_oracle_groundings(
-                        rule, rule_idx, delta_part, idx, atom, &free, 0, bindings, model, db, out,
+                        rule, rule_idx, rot_j, delta_part, class, idx, atom, &free, 0, bindings,
+                        older, delta, db, out,
                     )
                 }
             }
@@ -824,8 +1089,8 @@ impl<'rb> ProveEngine<'rb> {
                 let free = bindings.free_vars_of(atom);
                 let outer: Vec<Var> = free.into_iter().filter(|v| !inner.contains(v)).collect();
                 self.delta_neg_outer(
-                    rule, rule_idx, delta_part, idx, atom, &inner, &outer, 0, bindings, model, db,
-                    out,
+                    rule, rule_idx, rot_j, delta_part, class, idx, atom, &inner, &outer, 0,
+                    bindings, older, delta, db, out,
                 )
             }
             Premise::Hyp { goal, adds } => {
@@ -839,7 +1104,8 @@ impl<'rb> ProveEngine<'rb> {
                     }
                 }
                 self.delta_hyp_groundings(
-                    rule, rule_idx, delta_part, idx, goal, adds, &free, 0, bindings, model, db, out,
+                    rule, rule_idx, rot_j, delta_part, class, idx, goal, adds, &free, 0, bindings,
+                    older, delta, db, out,
                 )
             }
         }
@@ -850,15 +1116,18 @@ impl<'rb> ProveEngine<'rb> {
         &mut self,
         rule: &'rb HypRule,
         rule_idx: usize,
+        rot_j: Option<usize>,
         delta_part: usize,
+        class: &RuleClass,
         idx: usize,
         atom: &'rb Atom,
         free: &[Var],
         fpos: usize,
         bindings: &mut Bindings,
-        model: &Database,
+        older: &Database,
+        delta: &Database,
         db: DbId,
-        out: &mut Vec<hdl_base::GroundAtom>,
+        out: &mut Vec<GroundAtom>,
     ) -> Result<()> {
         if fpos == free.len() {
             let fact = atom.ground(bindings).expect("grounded");
@@ -868,10 +1137,13 @@ impl<'rb> ProveEngine<'rb> {
                 self.delta_walk(
                     rule,
                     rule_idx,
+                    rot_j,
                     delta_part,
+                    class,
                     idx + 1,
                     bindings,
-                    model,
+                    older,
+                    delta,
                     db,
                     out,
                 )?;
@@ -881,17 +1153,21 @@ impl<'rb> ProveEngine<'rb> {
         let v = free[fpos];
         for i in 0..self.ctx.domain.len() {
             let c = self.ctx.domain[i];
+            self.expansions_total += 1;
             bindings.set(v, c);
             self.delta_oracle_groundings(
                 rule,
                 rule_idx,
+                rot_j,
                 delta_part,
+                class,
                 idx,
                 atom,
                 free,
                 fpos + 1,
                 bindings,
-                model,
+                older,
+                delta,
                 db,
                 out,
             )?;
@@ -905,23 +1181,34 @@ impl<'rb> ProveEngine<'rb> {
         &mut self,
         rule: &'rb HypRule,
         rule_idx: usize,
+        rot_j: Option<usize>,
         delta_part: usize,
+        class: &RuleClass,
         idx: usize,
         atom: &'rb Atom,
         inner: &[Var],
         outer: &[Var],
         opos: usize,
         bindings: &mut Bindings,
-        model: &Database,
+        older: &Database,
+        delta: &Database,
         db: DbId,
-        out: &mut Vec<hdl_base::GroundAtom>,
+        out: &mut Vec<GroundAtom>,
     ) -> Result<()> {
         if opos == outer.len() {
             let part = self.ls.part(atom.pred);
             let witnessed = if part == delta_part || part == 0 {
                 // Sub-strata ordering guarantees the negated predicate's
                 // tuples are complete in the growing model.
-                exists_in_model(self.ctx.dbs.view(db), model, atom, bindings)
+                let mut c = MatchCounters::default();
+                let found = ModelLayers::new(self.ctx.dbs.view(db), older, delta).exists(
+                    Part::Full,
+                    atom,
+                    bindings,
+                    &mut c,
+                );
+                self.absorb_matches(c);
+                found
             } else {
                 self.stats.oracle_calls += 1;
                 self.exists_atomic(atom, inner, 0, bindings, db)?
@@ -930,10 +1217,13 @@ impl<'rb> ProveEngine<'rb> {
                 self.delta_walk(
                     rule,
                     rule_idx,
+                    rot_j,
                     delta_part,
+                    class,
                     idx + 1,
                     bindings,
-                    model,
+                    older,
+                    delta,
                     db,
                     out,
                 )?;
@@ -943,18 +1233,22 @@ impl<'rb> ProveEngine<'rb> {
         let v = outer[opos];
         for i in 0..self.ctx.domain.len() {
             let c = self.ctx.domain[i];
+            self.expansions_total += 1;
             bindings.set(v, c);
             self.delta_neg_outer(
                 rule,
                 rule_idx,
+                rot_j,
                 delta_part,
+                class,
                 idx,
                 atom,
                 inner,
                 outer,
                 opos + 1,
                 bindings,
-                model,
+                older,
+                delta,
                 db,
                 out,
             )?;
@@ -968,16 +1262,19 @@ impl<'rb> ProveEngine<'rb> {
         &mut self,
         rule: &'rb HypRule,
         rule_idx: usize,
+        rot_j: Option<usize>,
         delta_part: usize,
+        class: &RuleClass,
         idx: usize,
         goal: &'rb Atom,
         adds: &'rb [Atom],
         free: &[Var],
         fpos: usize,
         bindings: &mut Bindings,
-        model: &Database,
+        older: &Database,
+        delta: &Database,
         db: DbId,
-        out: &mut Vec<hdl_base::GroundAtom>,
+        out: &mut Vec<GroundAtom>,
     ) -> Result<()> {
         if fpos == free.len() {
             let add_ids: Vec<FactId> = adds
@@ -995,10 +1292,13 @@ impl<'rb> ProveEngine<'rb> {
                 self.delta_walk(
                     rule,
                     rule_idx,
+                    rot_j,
                     delta_part,
+                    class,
                     idx + 1,
                     bindings,
-                    model,
+                    older,
+                    delta,
                     db,
                     out,
                 )?;
@@ -1008,18 +1308,22 @@ impl<'rb> ProveEngine<'rb> {
         let v = free[fpos];
         for i in 0..self.ctx.domain.len() {
             let c = self.ctx.domain[i];
+            self.expansions_total += 1;
             bindings.set(v, c);
             self.delta_hyp_groundings(
                 rule,
                 rule_idx,
+                rot_j,
                 delta_part,
+                class,
                 idx,
                 goal,
                 adds,
                 free,
                 fpos + 1,
                 bindings,
-                model,
+                older,
+                delta,
                 db,
                 out,
             )?;
@@ -1034,7 +1338,7 @@ impl<'rb> ProveEngine<'rb> {
         free: &[Var],
         fpos: usize,
         bindings: &mut Bindings,
-        out: &mut Vec<hdl_base::GroundAtom>,
+        out: &mut Vec<GroundAtom>,
     ) -> Result<()> {
         if fpos == free.len() {
             out.push(rule.head.ground(bindings).expect("head grounded"));
@@ -1043,6 +1347,7 @@ impl<'rb> ProveEngine<'rb> {
         let v = free[fpos];
         for i in 0..self.ctx.domain.len() {
             let c = self.ctx.domain[i];
+            self.expansions_total += 1;
             bindings.set(v, c);
             self.delta_emit(rule, free, fpos + 1, bindings, out)?;
         }
@@ -1108,51 +1413,62 @@ fn substrata(rb: &Rulebase, ls: &LinearStratification, delta: &[usize]) -> Vec<V
     groups
 }
 
-/// Runs `f` on every match of `atom` across the EDB overlay view and the
-/// derived Δ model; the layers are disjoint, so no match repeats.
-fn for_each_match_layered(
-    view: DbView<'_>,
-    derived: &Database,
-    atom: &Atom,
-    bindings: &mut Bindings,
-    mut f: impl FnMut(&mut Bindings) -> bool,
-) -> bool {
-    if view.for_each_match(atom, bindings, &mut f) {
-        return true;
+/// Semi-naive classification of one sub-stratum group's rules, indexed
+/// like `rb.rules` (rules outside the group keep the inert default).
+///
+/// Within a Δ sub-stratum, the growing predicates are exactly the group's
+/// own head predicates: positive premises over them are rotatable. Every
+/// other premise is round-invariant while the group's fixpoint runs —
+/// same-segment predicates from earlier sub-strata are closed, EDB atoms
+/// are fixed, and oracle premises (part below the segment) are resolved
+/// against memoized lower machinery. A rule is *pure* when no premise
+/// needs the oracle (`&mut` recursion): all its atoms and negations stay
+/// within `{delta_part, 0}` and it has no hypothetical premises. A
+/// hypothetical premise whose goal predicate lives in this very segment
+/// is conservatively `hyp_sensitive`: its verdict can flip as the model
+/// grows, so the rule re-fires fully each round.
+fn classify_group(
+    rb: &Rulebase,
+    ls: &LinearStratification,
+    group: &[usize],
+    delta_part: usize,
+) -> Vec<RuleClass> {
+    let head_preds: Vec<Symbol> = group.iter().map(|&i| rb.rules[i].head.pred).collect();
+    let mut classes = vec![RuleClass::default(); rb.rules.len()];
+    for &rule_idx in group {
+        let rule = &rb.rules[rule_idx];
+        let mut pure = true;
+        let mut hyp_sensitive = false;
+        let mut rot = Vec::new();
+        for (i, p) in rule.premises.iter().enumerate() {
+            match p {
+                Premise::Atom(a) => {
+                    let part = ls.part(a.pred);
+                    if part == delta_part && head_preds.contains(&a.pred) {
+                        rot.push(i);
+                    } else if part != delta_part && part != 0 {
+                        pure = false; // oracle call
+                    }
+                }
+                Premise::Neg(a) => {
+                    let part = ls.part(a.pred);
+                    if part != delta_part && part != 0 {
+                        pure = false; // oracle call
+                    }
+                }
+                Premise::Hyp { goal, .. } => {
+                    pure = false;
+                    if ls.part(goal.pred) == delta_part {
+                        hyp_sensitive = true;
+                    }
+                }
+            }
+        }
+        classes[rule_idx] = RuleClass {
+            pure,
+            hyp_sensitive,
+            rot,
+        };
     }
-    derived.for_each_match(atom, bindings, f)
-}
-
-fn collect_matches(
-    view: DbView<'_>,
-    derived: &Database,
-    atom: &Atom,
-    bindings: &mut Bindings,
-) -> Vec<Vec<(Var, Symbol)>> {
-    let before: Vec<Var> = bindings.free_vars_of(atom);
-    let mut rows = Vec::new();
-    for_each_match_layered(view, derived, atom, bindings, |b| {
-        rows.push(
-            before
-                .iter()
-                .map(|&v| (v, b.get(v).expect("bound by match")))
-                .collect(),
-        );
-        false
-    });
-    rows
-}
-
-fn exists_in_model(
-    view: DbView<'_>,
-    derived: &Database,
-    atom: &Atom,
-    bindings: &mut Bindings,
-) -> bool {
-    let mut found = false;
-    for_each_match_layered(view, derived, atom, bindings, |_| {
-        found = true;
-        true
-    });
-    found
+    classes
 }

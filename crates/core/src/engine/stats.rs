@@ -4,12 +4,16 @@
 //! E7 checks goal-sequence lengths against the Theorem 3 bound
 //! `O(n^{2kᵢk₀})`, and E9 plots how work grows with the number of strata.
 
-use hdl_base::OverlayStats;
+use hdl_base::{MatchCounters, OverlayStats};
 
 /// Work counters for one engine run.
-#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Goals expanded (top-down) or rule firings (bottom-up).
+    /// Premise-match attempts: every candidate fact tested against a rule
+    /// premise (successful or not), plus every domain-enumeration step
+    /// while grounding hypothetical premises. Top-down engines count one
+    /// per goal expanded. This is the unit [`Limits::max_expansions`]
+    /// bounds; see DESIGN.md §3.11 for the accounting change.
     pub goal_expansions: u64,
     /// Distinct databases interned in the database lattice.
     pub databases_created: u64,
@@ -21,6 +25,16 @@ pub struct EngineStats {
     pub max_depth: u64,
     /// Fixpoint rounds (bottom-up only).
     pub rounds: u64,
+    /// Facts newly derived in each fixpoint round of the *last* model
+    /// computed (bottom-up only) — the semi-naive delta trajectory.
+    pub delta_facts_per_round: Vec<u64>,
+    /// Premise matches answered via an argument-index hash probe instead
+    /// of a relation scan.
+    pub index_probes: u64,
+    /// Index probes that found at least one candidate.
+    pub index_hits: u64,
+    /// Fixpoint rounds whose pure-rule firings ran on worker threads.
+    pub parallel_rounds: u64,
     /// Storage counters of the overlay DAG backing the database lattice —
     /// a snapshot of [`hdl_base::DbStore::overlay_stats`] taken when the
     /// engine finished its last query. `overlay.delta_facts` versus
@@ -39,6 +53,15 @@ impl EngineStats {
     pub fn record_overlay(&mut self, o: OverlayStats) {
         self.overlay = o;
     }
+
+    /// Folds one batch of premise-match work into the counters:
+    /// `attempts` lands in [`EngineStats::goal_expansions`], probe
+    /// statistics in the index counters.
+    pub fn absorb_matches(&mut self, c: MatchCounters) {
+        self.goal_expansions += c.attempts;
+        self.index_probes += c.probes;
+        self.index_hits += c.hits;
+    }
 }
 
 /// Resource limits guarding against runaway searches.
@@ -48,7 +71,8 @@ impl EngineStats {
 /// instead of hangs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Limits {
-    /// Maximum goal expansions / rule firings per query.
+    /// Maximum goal expansions (top-down) / premise-match attempts
+    /// (bottom-up) per query.
     pub max_expansions: u64,
     /// Maximum distinct databases in the lattice per query.
     pub max_databases: u64,

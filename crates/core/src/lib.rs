@@ -44,7 +44,9 @@ pub mod transform;
 
 pub use analysis::stratify::{linear_stratification, LinearStratification};
 pub use ast::{HypRule, Premise, Rulebase};
-pub use engine::{BottomUpEngine, Budget, CancelToken, MemoryLimits, ProveEngine, TopDownEngine};
+pub use engine::{
+    BottomUpEngine, Budget, CancelToken, MemoryLimits, NaiveEngine, ProveEngine, TopDownEngine,
+};
 pub use parser::{parse_program, parse_query, split_facts};
 pub use session::Session;
 pub use snapshot::Snapshot;

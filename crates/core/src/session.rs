@@ -64,6 +64,7 @@ pub struct Session {
     rulebase: Rulebase,
     database: Database,
     engine: EngineKind,
+    parallelism: usize,
     deadline: Option<Duration>,
     last_stats: Option<EngineStats>,
     arities: hdl_base::FxHashMap<hdl_base::Symbol, usize>,
@@ -89,6 +90,19 @@ impl Session {
     /// The currently selected evaluation engine.
     pub fn engine(&self) -> EngineKind {
         self.engine
+    }
+
+    /// Sets the worker count for intra-round parallel rule firing in
+    /// the bottom-up engine (see DESIGN.md §3.11). `0` and `1` both
+    /// mean single-threaded; the top-down engine ignores this.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.parallelism = workers;
+    }
+
+    /// Builder-style [`Session::set_parallelism`].
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.set_parallelism(workers);
+        self
     }
 
     /// Sets (or clears) a per-query wall-clock deadline. Queries that
@@ -167,17 +181,19 @@ impl Session {
         let q = parse_query(query, &mut self.symbols)?;
         let (rulebase, database) = (&self.rulebase, &self.database);
         let (engine, budget) = (self.engine, self.budget());
+        let workers = self.parallelism.max(1);
         let (r, stats) = call_with_deep_stack(move || -> Result<(bool, EngineStats)> {
             match engine {
                 EngineKind::TopDown => {
                     let mut eng = TopDownEngine::new(rulebase, database)?;
                     eng.set_budget(budget);
-                    Ok((eng.holds(&q)?, *eng.stats()))
+                    Ok((eng.holds(&q)?, eng.stats().clone()))
                 }
                 EngineKind::BottomUp => {
                     let mut eng = BottomUpEngine::new(rulebase, database)?;
                     eng.set_budget(budget);
-                    Ok((eng.holds(&q)?, *eng.stats()))
+                    eng.set_parallelism(workers);
+                    Ok((eng.holds(&q)?, eng.stats().clone()))
                 }
             }
         })?;
@@ -196,6 +212,7 @@ impl Session {
         };
         let (rulebase, database) = (&self.rulebase, &self.database);
         let (engine, budget) = (self.engine, self.budget());
+        let workers = self.parallelism.max(1);
         let rows = call_with_deep_stack(move || match engine {
             EngineKind::TopDown => {
                 let mut eng = TopDownEngine::new(rulebase, database)?;
@@ -205,6 +222,7 @@ impl Session {
             EngineKind::BottomUp => {
                 let mut eng = BottomUpEngine::new(rulebase, database)?;
                 eng.set_budget(budget);
+                eng.set_parallelism(workers);
                 eng.answers(&atom)
             }
         })?;
@@ -229,7 +247,7 @@ impl Session {
             let mut eng = TopDownEngine::new(rulebase, database)?;
             eng.set_budget(budget);
             let proof = eng.explain(&q)?;
-            Ok::<_, hdl_base::Error>((proof, *eng.stats()))
+            Ok::<_, hdl_base::Error>((proof, eng.stats().clone()))
         })?;
         self.last_stats = Some(stats);
         Ok(proof.map(|p| crate::engine::proof::render(&p, &self.symbols)))
@@ -335,6 +353,24 @@ mod tests {
         assert!(s.ask("?- even.").unwrap());
         s.load("marker.").unwrap();
         assert!(!s.ask("?- even.").unwrap());
+    }
+
+    #[test]
+    fn parallel_bottom_up_session_reports_seminaive_counters() {
+        let mut s = Session::new()
+            .with_engine(EngineKind::BottomUp)
+            .with_parallelism(4);
+        s.load(
+            "edge(a, b). edge(b, c). edge(c, d).
+             tc(X, Y) :- edge(X, Y).
+             tc(X, Z) :- tc(X, Y), edge(Y, Z).",
+        )
+        .unwrap();
+        assert!(s.ask("?- tc(a, d).").unwrap());
+        let stats = s.last_stats().unwrap();
+        assert!(stats.index_probes > 0, "{stats:?}");
+        assert!(stats.index_hits <= stats.index_probes, "{stats:?}");
+        assert!(!stats.delta_facts_per_round.is_empty(), "{stats:?}");
     }
 
     #[test]

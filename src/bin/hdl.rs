@@ -327,6 +327,9 @@ fn repl_main(args: &[String]) -> i32 {
     let mut session = Session::new();
     session.set_engine(opts.engine);
     session.set_deadline(opts.deadline);
+    // In the REPL, --workers drives intra-round parallel rule firing of
+    // the bottom-up engine (batch/serve give it to the service pool).
+    session.set_parallelism(opts.workers);
     let mut status = 0;
     for path in &opts.files {
         match std::fs::read_to_string(path) {
@@ -487,12 +490,66 @@ fn run_command(session: &mut Session, rest: &str) -> bool {
             Err(e) => println!("not linearly stratified: {e}"),
         },
         "stats" => match session.last_stats() {
-            Some(s) => println!("{s:?}"),
+            Some(s) => print!("{}", render_stats(s)),
             None => println!("no query evaluated yet"),
         },
         other => eprintln!("unknown command :{other} (try :help)"),
     }
     true
+}
+
+/// Renders the per-query counters, including the semi-naive fixpoint
+/// instrumentation (DESIGN.md §3.11): per-round deltas, argument-index
+/// probe/hit rates, and how many rounds fired rules on worker threads.
+fn render_stats(s: &hdl_core::engine::EngineStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  goal_expansions        {:>12}   (premise-match attempts)",
+        s.goal_expansions
+    );
+    let _ = writeln!(out, "  databases_created      {:>12}", s.databases_created);
+    let _ = writeln!(out, "  memo_hits              {:>12}", s.memo_hits);
+    let _ = writeln!(
+        out,
+        "  calls                  {:>12}   max_depth {}",
+        s.calls, s.max_depth
+    );
+    let _ = writeln!(
+        out,
+        "  rounds                 {:>12}   parallel_rounds {}",
+        s.rounds, s.parallel_rounds
+    );
+    let _ = writeln!(
+        out,
+        "  index_probes           {:>12}   index_hits {}",
+        s.index_probes, s.index_hits
+    );
+    if !s.delta_facts_per_round.is_empty() {
+        let shown: Vec<String> = s
+            .delta_facts_per_round
+            .iter()
+            .take(16)
+            .map(u64::to_string)
+            .collect();
+        let _ = writeln!(
+            out,
+            "  delta_facts_per_round  [{}{}]",
+            shown.join(", "),
+            if s.delta_facts_per_round.len() > 16 {
+                ", ..."
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  overlay                nodes {}, delta_facts {}, materialized_facts {}",
+        s.overlay.nodes, s.overlay.delta_facts, s.overlay.materialized_facts
+    );
+    out
 }
 
 /// Crude interactivity check without adding a dependency: honour an

@@ -1,0 +1,120 @@
+//! Semi-naive equivalence under armed failpoints.
+//!
+//! Compiled only with `--features failpoints`. The fault-tolerance suite
+//! in `crates/service` checks that injected faults *degrade* the service;
+//! this one checks the complementary engine-level property: faults that
+//! do not abort a fixpoint (delays on worker threads) must not change the
+//! computed model, and faults that do (spurious resource errors) must
+//! surface as structured errors — never as a wrong model.
+#![cfg(feature = "failpoints")]
+
+use hdl_base::failpoint::{self, FaultSpec};
+use hdl_base::Database;
+use hdl_base::SymbolTable;
+use hdl_core::engine::{BottomUpEngine, NaiveEngine, ProveEngine};
+use hdl_core::parser::{parse_program, parse_query, split_facts};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The failpoint registry is process-global; tests must not interleave.
+struct FaultLab {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl FaultLab {
+    fn begin() -> Self {
+        static GUARD: Mutex<()> = Mutex::new(());
+        let guard = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        failpoint::clear();
+        FaultLab { _guard: guard }
+    }
+}
+
+impl Drop for FaultLab {
+    fn drop(&mut self) {
+        failpoint::clear();
+    }
+}
+
+/// A dense transitive closure whose delta rounds are wide enough to
+/// spawn worker threads, plus a variable-bounded hypothetical branch so
+/// the impure path runs too.
+fn workload(syms: &mut SymbolTable) -> (hdl_core::ast::Rulebase, Database) {
+    let mut src = String::from(
+        "tc(X, Y) :- edge(X, Y).
+         tc(X, Z) :- tc(X, Y), edge(Y, Z).
+         promoted(X) :- special(X), tc(n0, X)[add: edge(n0, X)].\n",
+    );
+    for i in 0..16u32 {
+        for j in 0..16u32 {
+            if i != j && (3 * i + 5 * j) % 4 == 0 {
+                src.push_str(&format!("edge(n{i}, n{j}).\n"));
+            }
+        }
+    }
+    src.push_str("special(n3). special(n5).\n");
+    let program = parse_program(&src, syms).unwrap();
+    let (rb, facts) = split_facts(program);
+    let db: Database = facts.into_iter().collect();
+    (rb, db)
+}
+
+#[test]
+fn delays_on_worker_firings_leave_the_model_unchanged() {
+    let _lab = FaultLab::begin();
+    let mut syms = SymbolTable::new();
+    let (rb, db) = workload(&mut syms);
+    let expected = NaiveEngine::new(&rb, &db).unwrap().model().unwrap();
+    // Delays perturb worker scheduling but not semantics.
+    failpoint::configure("bottomup::fire", FaultSpec::delaying(1, 5), 11);
+    let got = BottomUpEngine::new(&rb, &db)
+        .unwrap()
+        .with_parallelism(4)
+        .model()
+        .unwrap();
+    assert_eq!(expected, got);
+    let (hits, _) = failpoint::counters("bottomup::fire");
+    assert!(hits > 0, "the armed site must actually be exercised");
+}
+
+#[test]
+fn injected_errors_surface_structurally_not_as_wrong_models() {
+    let _lab = FaultLab::begin();
+    let mut syms = SymbolTable::new();
+    let (rb, db) = workload(&mut syms);
+    failpoint::configure("bottomup::fire", FaultSpec::erroring(1).fires(1), 13);
+    let err = BottomUpEngine::new(&rb, &db)
+        .unwrap()
+        .with_parallelism(4)
+        .model()
+        .unwrap_err();
+    assert!(
+        matches!(err, hdl_base::Error::ResourceExhausted { .. }),
+        "{err}"
+    );
+    // The spent failpoint stops firing; a fresh engine recovers fully.
+    let expected = NaiveEngine::new(&rb, &db).unwrap().model().unwrap();
+    let got = BottomUpEngine::new(&rb, &db)
+        .unwrap()
+        .with_parallelism(4)
+        .model()
+        .unwrap();
+    assert_eq!(expected, got);
+}
+
+#[test]
+fn prove_delta_equivalence_holds_with_armed_delays() {
+    let _lab = FaultLab::begin();
+    let mut syms = SymbolTable::new();
+    let (rb, db) = workload(&mut syms);
+    let q = parse_query("?- tc(n0, n15).", &mut syms).unwrap();
+    let clean = ProveEngine::new(&rb, &db).unwrap().holds(&q).unwrap();
+    failpoint::configure("prove::delta_fire", FaultSpec::delaying(1, 5), 17);
+    let armed = ProveEngine::new(&rb, &db)
+        .unwrap()
+        .with_parallelism(4)
+        .holds(&q)
+        .unwrap();
+    assert_eq!(clean, armed);
+    let (hits, _) = failpoint::counters("prove::delta_fire");
+    assert!(hits > 0, "the armed site must actually be exercised");
+}

@@ -19,7 +19,9 @@ use proptest::prelude::*;
 /// dominating the test budget; limited cases are skipped, not compared.
 fn small_limits() -> Limits {
     Limits {
-        max_expansions: 300_000,
+        // The unit is premise-match attempts (finer-grained than the old
+        // per-firing count), so the ceiling is correspondingly higher.
+        max_expansions: 2_000_000,
         max_databases: 3_000,
     }
 }
@@ -316,6 +318,71 @@ proptest! {
         let a = hdl_datalog::naive::evaluate(&dl_rules, &db).unwrap();
         let b = hdl_datalog::seminaive::evaluate(&dl_rules, &db).unwrap();
         prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Semi-naive, parallel bottom-up closure ≡ retained naive reference.
+// ---------------------------------------------------------------------
+
+mod seminaive_equivalence {
+    use super::*;
+    use hdl_core::engine::NaiveEngine;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The semi-naive, index-driven closure — delta-rotation plus
+        /// worker-thread rule firing — derives exactly the perfect model
+        /// of the retained naive reference on random hypothetical
+        /// programs (including `add:` branching), at every pool size.
+        #[test]
+        fn parallel_seminaive_model_matches_naive_reference(
+            rules in program_strategy(true),
+            facts in facts_strategy(),
+            workers in 1usize..=4,
+        ) {
+            let (rb, db, _) = build(&rules, &facts);
+            let Ok(naive) = NaiveEngine::new(&rb, &db) else { return Ok(()) };
+            let mut naive = naive.with_limits(small_limits());
+            let mut semi = BottomUpEngine::new(&rb, &db)
+                .unwrap()
+                .with_limits(small_limits())
+                .with_parallelism(workers);
+            let (m_naive, m_semi) = (naive.model(), semi.model());
+            let (Ok(m_naive), Ok(m_semi)) = (m_naive, m_semi) else {
+                return Ok(()); // resource-limited case: skip
+            };
+            prop_assert_eq!(
+                m_naive,
+                m_semi,
+                "workers={}\n{}",
+                workers,
+                render_program(&rules)
+            );
+        }
+
+        /// `PROVE_Δᵢ`'s semi-naive fixpoint answers identically with and
+        /// without worker threads on random linearly stratified programs.
+        #[test]
+        fn prove_delta_parallelism_is_transparent(
+            rules in program_strategy(true),
+            facts in facts_strategy(),
+        ) {
+            let (rb, db, mut syms) = build(&rules, &facts);
+            let Ok(seq) = ProveEngine::new(&rb, &db) else { return Ok(()) };
+            let mut seq = seq.with_limits(small_limits());
+            let mut par = ProveEngine::new(&rb, &db)
+                .unwrap()
+                .with_limits(small_limits())
+                .with_parallelism(4);
+            for q in ground_queries(&mut syms) {
+                let (Ok(a), Ok(b)) = (seq.holds(&q), par.holds(&q)) else {
+                    return Ok(());
+                };
+                prop_assert_eq!(a, b, "on {:?}\n{}", q, render_program(&rules));
+            }
+        }
     }
 }
 
