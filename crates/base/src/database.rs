@@ -70,6 +70,28 @@ impl Relation {
         self.index.contains(args)
     }
 
+    /// Removes `args`, preserving insertion order of the survivors.
+    ///
+    /// Deletion is rare (interactive retraction only), so this pays one
+    /// O(|relation|) compaction + index rebuild rather than complicating
+    /// the hot insert/lookup paths with tombstones.
+    fn remove(&mut self, args: &[Symbol]) -> bool {
+        if !self.index.remove(args) {
+            return false;
+        }
+        self.tuples.retain(|t| &t[..] != args);
+        self.by_arg.clear();
+        for (row, tuple) in self.tuples.iter().enumerate() {
+            for (pos, &c) in tuple.iter().enumerate() {
+                self.by_arg
+                    .entry((pos as u32, c))
+                    .or_default()
+                    .push(row as u32);
+            }
+        }
+        true
+    }
+
     /// Tuple indices whose argument `pos` equals `c`, in insertion order.
     fn rows_bound(&self, pos: u32, c: Symbol) -> &[u32] {
         self.by_arg.get(&(pos, c)).map_or(&[][..], |v| v.as_slice())
@@ -131,6 +153,21 @@ impl Database {
             self.len += 1;
         }
         fresh
+    }
+
+    /// Removes `fact`; returns `true` if it was present.
+    ///
+    /// Survivors keep their relative insertion order, so iteration stays
+    /// deterministic after a retraction.
+    pub fn remove(&mut self, fact: &GroundAtom) -> bool {
+        let Some(rel) = self.rels.get_mut(&fact.pred) else {
+            return false;
+        };
+        let removed = rel.remove(&fact.args);
+        if removed {
+            self.len -= 1;
+        }
+        removed
     }
 
     /// Whether `fact` is present.
@@ -344,6 +381,31 @@ mod tests {
         assert!(db.contains(&fact(0, &[1, 2])));
         assert!(!db.contains(&fact(0, &[2, 1])));
         assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn remove_retracts_and_keeps_order_and_index() {
+        let mut db = Database::new();
+        db.insert(fact(0, &[1, 10]));
+        db.insert(fact(0, &[2, 20]));
+        db.insert(fact(0, &[1, 30]));
+        assert!(db.remove(&fact(0, &[2, 20])));
+        assert!(!db.remove(&fact(0, &[2, 20])), "second removal is a no-op");
+        assert!(!db.remove(&fact(7, &[1])), "absent predicate");
+        assert_eq!(db.len(), 2);
+        assert!(!db.contains(&fact(0, &[2, 20])));
+        let order: Vec<u32> = db.tuples(s(0)).map(|t| t[1].0).collect();
+        assert_eq!(order, vec![10, 30], "survivors keep insertion order");
+        // The argument index is rebuilt: a bound-argument match still
+        // enumerates exactly the surviving tuples.
+        let pattern = Atom::new(s(0), vec![Term::Const(s(1)), Term::Var(Var(0))]);
+        let mut b = Bindings::new(1);
+        let mut seen = Vec::new();
+        db.for_each_match(&pattern, &mut b, |bb| {
+            seen.push(bb.get(Var(0)).unwrap().0);
+            false
+        });
+        assert_eq!(seen, vec![10, 30]);
     }
 
     #[test]

@@ -54,6 +54,17 @@ pub enum Error {
         /// The configured bound.
         limit: u64,
     },
+    /// A filesystem operation failed (durability layer). Carries the
+    /// operation context and the rendered `std::io::Error`, since io
+    /// errors are neither `Clone` nor `Eq`.
+    Io(String),
+}
+
+impl Error {
+    /// Wraps an `std::io::Error` with the operation that hit it.
+    pub fn io(context: impl fmt::Display, err: std::io::Error) -> Self {
+        Error::Io(format!("{context}: {err}"))
+    }
 }
 
 impl fmt::Display for Error {
@@ -90,6 +101,7 @@ impl fmt::Display for Error {
             Error::ResourceExhausted { resource, limit } => {
                 write!(f, "resource exhausted: {resource} budget of {limit} spent")
             }
+            Error::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

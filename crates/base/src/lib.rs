@@ -30,6 +30,7 @@ pub mod factstore;
 #[cfg(feature = "failpoints")]
 pub mod failpoint;
 pub mod hasher;
+pub mod serialize;
 pub mod smallvec;
 pub mod subst;
 pub mod symbol;
@@ -41,6 +42,7 @@ pub use database::{Database, MatchCounters};
 pub use error::{Error, Result};
 pub use factstore::{DbEntry, DbId, DbStore, FactId, FactStore, OverlayStats, FLATTEN_THRESHOLD};
 pub use hasher::{FxHashMap, FxHashSet, FxHasher};
+pub use serialize::{crc32, Decoder, Encoder};
 pub use smallvec::SmallVec;
 pub use subst::Bindings;
 pub use symbol::{Symbol, SymbolTable};

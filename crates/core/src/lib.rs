@@ -48,6 +48,6 @@ pub use engine::{
     BottomUpEngine, Budget, CancelToken, MemoryLimits, NaiveEngine, ProveEngine, TopDownEngine,
 };
 pub use parser::{parse_program, parse_query, split_facts};
-pub use session::Session;
+pub use session::{Mutation, Session, SessionObserver};
 pub use snapshot::Snapshot;
 pub use stack::call_with_deep_stack;

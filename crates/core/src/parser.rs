@@ -288,10 +288,13 @@ impl<'s> Parser<'s> {
             Some(Tok::UpperIdent(n)) => {
                 // An underscore by itself is an anonymous variable: each
                 // occurrence is distinct (the paper writes these as blanks
-                // in the frame-axiom rules of section 5.1.4).
+                // in the frame-axiom rules of section 5.1.4). The internal
+                // key contains `#`, which the lexer rejects in identifiers,
+                // so a user variable can never collide with (and silently
+                // co-constrain) an anonymous one.
                 if n == "_" {
                     let id = self.vars.len();
-                    Ok(Term::Var(self.fresh_var(&format!("_anon{id}"))))
+                    Ok(Term::Var(self.fresh_var(&format!("#anon{id}"))))
                 } else {
                     Ok(Term::Var(self.fresh_var(&n)))
                 }
@@ -521,6 +524,18 @@ mod tests {
         // accept(T) :- control(_, _, T).  — two `_` must not co-constrain.
         let (rb, _) = parse("accept(T) :- control(_, _, T).");
         assert_eq!(rb.rules[0].num_vars, 3);
+    }
+
+    #[test]
+    fn user_variables_cannot_collide_with_anonymous_ones() {
+        // `_anon0` is a legal user variable name; it must stay distinct
+        // from the internally numbered blanks.
+        let (rb, _) = parse("p(T) :- q(_, _anon0, T), r(_anon0).");
+        // Variables: #anon0 (the blank), _anon0, T — three distinct.
+        assert_eq!(rb.rules[0].num_vars, 3);
+        let (rb, _) = parse("p :- q(_anon1, _), r(_anon1).");
+        // _anon1 is shared across premises; the blank is separate.
+        assert_eq!(rb.rules[0].num_vars, 2);
     }
 
     #[test]

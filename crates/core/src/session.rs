@@ -22,14 +22,50 @@
 //! assert!(!s.ask("?- grad(tony).").unwrap());
 //! ```
 
-use crate::ast::Rulebase;
+use crate::ast::{HypRule, Rulebase};
 use crate::engine::{BottomUpEngine, Budget, EngineStats, TopDownEngine};
-use crate::parser::{check_arities, parse_program, parse_query, split_facts};
+use crate::parser::{parse_program, parse_query, split_facts};
 use crate::snapshot::Snapshot;
 use crate::stack::call_with_deep_stack;
 use hdl_base::{Database, GroundAtom, Result, SymbolTable};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// A state change about to be committed to a [`Session`].
+///
+/// Observers see the mutation *before* it takes effect (write-ahead): if
+/// the observer errors, the session is left unchanged and the error is
+/// returned to the caller.
+#[derive(Debug)]
+pub enum Mutation<'a> {
+    /// Rules and base facts from one [`Session::load`] (or a single
+    /// [`Session::assert_fact`]), committed atomically.
+    Program {
+        /// Rules joining the rulebase.
+        rules: &'a [HypRule],
+        /// Ground facts joining the base database.
+        facts: &'a [GroundAtom],
+    },
+    /// One base fact retracted.
+    Retract(&'a GroundAtom),
+    /// A new assumption frame pushed ([`Session::assume`]).
+    Assume(&'a [GroundAtom]),
+    /// The top assumption frame popped.
+    PopAssumption,
+}
+
+/// Write-ahead hook for session mutations (implemented by the durability
+/// layer in `hdl-persist`).
+///
+/// The observer runs after validation but before the mutation is applied,
+/// so a durable log can guarantee: anything the in-memory session holds
+/// has been offered to the log first. `symbols` is the table *after*
+/// parsing (new names are already interned — a replay that re-interns in
+/// the same order reproduces identical ids).
+pub trait SessionObserver: Send {
+    /// Called once per mutation; an `Err` aborts the mutation.
+    fn on_mutation(&mut self, symbols: &SymbolTable, mutation: &Mutation<'_>) -> Result<()>;
+}
 
 /// Which engine a [`Session`] evaluates with.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
@@ -63,6 +99,11 @@ pub struct Session {
     symbols: SymbolTable,
     rulebase: Rulebase,
     database: Database,
+    /// DES-style assumption frames: each `:assume` pushes a set of ground
+    /// facts; queries run against base ∪ frames. Frames are popped LIFO.
+    assumptions: Vec<Vec<GroundAtom>>,
+    /// Write-ahead observer; offered every mutation before commit.
+    observer: Option<Box<dyn SessionObserver>>,
     engine: EngineKind,
     parallelism: usize,
     deadline: Option<Duration>,
@@ -74,6 +115,53 @@ impl Session {
     /// Creates an empty session using the top-down engine.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuilds a session from restored parts (checkpoint + WAL replay).
+    ///
+    /// The arity registry is recomputed from the rulebase, database, and
+    /// assumption frames, so later loads keep enforcing consistency.
+    pub fn from_parts(
+        symbols: SymbolTable,
+        rulebase: Rulebase,
+        database: Database,
+        assumptions: Vec<Vec<GroundAtom>>,
+    ) -> Self {
+        let mut arities = hdl_base::FxHashMap::default();
+        for rule in rulebase.iter() {
+            for atom in
+                std::iter::once(&rule.head).chain(rule.premises.iter().flat_map(|p| p.atoms()))
+            {
+                arities.entry(atom.pred).or_insert(atom.arity());
+            }
+        }
+        for fact in database
+            .iter_facts()
+            .chain(assumptions.iter().flatten().cloned())
+        {
+            arities.entry(fact.pred).or_insert(fact.arity());
+        }
+        Session {
+            symbols,
+            rulebase,
+            database,
+            assumptions,
+            arities,
+            ..Session::default()
+        }
+    }
+
+    /// Installs (or clears) the write-ahead mutation observer.
+    pub fn set_observer(&mut self, observer: Option<Box<dyn SessionObserver>>) {
+        self.observer = observer;
+    }
+
+    /// Offers a mutation to the observer; `Err` means "do not commit".
+    fn observe(&mut self, mutation: &Mutation<'_>) -> Result<()> {
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_mutation(&self.symbols, mutation)?;
+        }
+        Ok(())
     }
 
     /// Selects the evaluation engine.
@@ -126,7 +214,7 @@ impl Session {
         Snapshot::new(
             self.symbols.clone(),
             self.rulebase.clone(),
-            self.database.clone(),
+            self.effective_database().into_owned(),
         )
     }
 
@@ -157,19 +245,148 @@ impl Session {
             }
         }
         let (rules, facts) = split_facts(parsed);
+        // Write-ahead: one atomic record for the whole load, offered
+        // before anything is committed (cross-load arity consistency was
+        // already validated above, so a replay cannot fail validation).
+        self.observe(&Mutation::Program {
+            rules: &rules.rules,
+            facts: &facts,
+        })?;
         for r in rules.rules {
             self.rulebase.push(r);
         }
-        check_arities(&self.rulebase, &self.symbols)?;
         for f in facts {
             self.database.insert(f);
         }
         Ok(())
     }
 
-    /// Inserts one ground fact directly.
-    pub fn assert_fact(&mut self, fact: GroundAtom) {
+    /// Applies a structured program mutation (rules + facts), as decoded
+    /// from a write-ahead log during recovery. Arity-checked against the
+    /// session registry and offered to the observer like [`Session::load`].
+    pub fn apply_program(&mut self, rules: Vec<HypRule>, facts: Vec<GroundAtom>) -> Result<()> {
+        for rule in &rules {
+            for atom in
+                std::iter::once(&rule.head).chain(rule.premises.iter().flat_map(|p| p.atoms()))
+            {
+                match self.arities.get(&atom.pred) {
+                    Some(&a) if a != atom.arity() => {
+                        return Err(hdl_base::Error::ArityMismatch {
+                            predicate: self.symbols.name(atom.pred).to_owned(),
+                            expected: a,
+                            found: atom.arity(),
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.arities.insert(atom.pred, atom.arity());
+                    }
+                }
+            }
+        }
+        for f in &facts {
+            self.check_fact_arity(f)?;
+        }
+        self.observe(&Mutation::Program {
+            rules: &rules,
+            facts: &facts,
+        })?;
+        for r in rules {
+            self.rulebase.push(r);
+        }
+        for f in facts {
+            self.database.insert(f);
+        }
+        Ok(())
+    }
+
+    /// Interns `names` in order, for write-ahead-log symbol replay.
+    ///
+    /// Replaying the names in their original interning order reproduces
+    /// the dense ids every logged atom refers to.
+    pub fn sync_symbols(&mut self, names: &[String]) {
+        for n in names {
+            self.symbols.intern(n);
+        }
+    }
+
+    /// Registers (or checks) the arity of one ground fact.
+    fn check_fact_arity(&mut self, fact: &GroundAtom) -> Result<()> {
+        match self.arities.get(&fact.pred) {
+            Some(&a) if a != fact.arity() => Err(hdl_base::Error::ArityMismatch {
+                predicate: self.symbols.name(fact.pred).to_owned(),
+                expected: a,
+                found: fact.arity(),
+            }),
+            Some(_) => Ok(()),
+            None => {
+                self.arities.insert(fact.pred, fact.arity());
+                Ok(())
+            }
+        }
+    }
+
+    /// Inserts one ground fact directly (arity-checked, observed).
+    pub fn assert_fact(&mut self, fact: GroundAtom) -> Result<()> {
+        self.check_fact_arity(&fact)?;
+        self.observe(&Mutation::Program {
+            rules: &[],
+            facts: std::slice::from_ref(&fact),
+        })?;
         self.database.insert(fact);
+        Ok(())
+    }
+
+    /// Retracts one base fact; returns whether it was present.
+    ///
+    /// Only the base database is affected — facts assumed via
+    /// [`Session::assume`] are retracted by popping their frame.
+    pub fn retract_fact(&mut self, fact: &GroundAtom) -> Result<bool> {
+        self.observe(&Mutation::Retract(fact))?;
+        Ok(self.database.remove(fact))
+    }
+
+    /// Pushes an assumption frame: queries see base ∪ all frames until
+    /// the frame is popped (DES-style interactive hypotheses, the
+    /// session-level analogue of the paper's `[add: …]` premise).
+    pub fn assume(&mut self, facts: Vec<GroundAtom>) -> Result<()> {
+        for f in &facts {
+            self.check_fact_arity(f)?;
+        }
+        self.observe(&Mutation::Assume(&facts))?;
+        self.assumptions.push(facts);
+        Ok(())
+    }
+
+    /// Pops the most recent assumption frame, returning it (or `None` if
+    /// no assumptions are active).
+    pub fn pop_assumption(&mut self) -> Result<Option<Vec<GroundAtom>>> {
+        if self.assumptions.is_empty() {
+            return Ok(None);
+        }
+        self.observe(&Mutation::PopAssumption)?;
+        Ok(self.assumptions.pop())
+    }
+
+    /// The active assumption frames, oldest first.
+    pub fn assumptions(&self) -> &[Vec<GroundAtom>] {
+        &self.assumptions
+    }
+
+    /// The database queries actually run against: the base plus every
+    /// active assumption frame. Borrows the base when no assumptions are
+    /// active; merges into a fresh copy otherwise.
+    fn effective_database(&self) -> std::borrow::Cow<'_, Database> {
+        if self.assumptions.is_empty() {
+            return std::borrow::Cow::Borrowed(&self.database);
+        }
+        let mut merged = self.database.clone();
+        for frame in &self.assumptions {
+            for f in frame {
+                merged.insert(f.clone());
+            }
+        }
+        std::borrow::Cow::Owned(merged)
     }
 
     /// Evaluates a textual query (`?- premise.`).
@@ -179,7 +396,8 @@ impl Session {
     /// overflow the caller's stack.
     pub fn ask(&mut self, query: &str) -> Result<bool> {
         let q = parse_query(query, &mut self.symbols)?;
-        let (rulebase, database) = (&self.rulebase, &self.database);
+        let database = self.effective_database();
+        let (rulebase, database) = (&self.rulebase, database.as_ref());
         let (engine, budget) = (self.engine, self.budget());
         let workers = self.parallelism.max(1);
         let (r, stats) = call_with_deep_stack(move || -> Result<(bool, EngineStats)> {
@@ -210,7 +428,8 @@ impl Session {
                 "answers() takes a plain atom pattern".into(),
             ));
         };
-        let (rulebase, database) = (&self.rulebase, &self.database);
+        let database = self.effective_database();
+        let (rulebase, database) = (&self.rulebase, database.as_ref());
         let (engine, budget) = (self.engine, self.budget());
         let workers = self.parallelism.max(1);
         let rows = call_with_deep_stack(move || match engine {
@@ -241,7 +460,8 @@ impl Session {
     /// [`TopDownEngine::explain`](crate::engine::TopDownEngine::explain)).
     pub fn explain(&mut self, query: &str) -> Result<Option<String>> {
         let q = parse_query(query, &mut self.symbols)?;
-        let (rulebase, database) = (&self.rulebase, &self.database);
+        let database = self.effective_database();
+        let (rulebase, database) = (&self.rulebase, database.as_ref());
         let budget = self.budget();
         let (proof, stats) = call_with_deep_stack(move || {
             let mut eng = TopDownEngine::new(rulebase, database)?;
@@ -271,6 +491,15 @@ impl Session {
     /// Read access to the symbol table.
     pub fn symbols(&self) -> &SymbolTable {
         &self.symbols
+    }
+
+    /// Mutable access to the symbol table, for callers that parse
+    /// session-external text (`:assume`/`:retract` fact arguments) whose
+    /// constants must intern into *this* session's id space. Interning
+    /// alone is not a mutation — the durability observer picks up any
+    /// new names with the next logged mutation.
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
     }
 
     /// Renders the current rulebase back to source text.
@@ -455,6 +684,103 @@ mod tests {
         );
         assert_eq!(EngineKind::from_str("bu").unwrap(), EngineKind::BottomUp);
         assert!(EngineKind::from_str("sideways").is_err());
+    }
+
+    #[test]
+    fn assumption_frames_extend_and_pop() {
+        let mut s = Session::new();
+        s.load("grad(S) :- take(S, his101), take(S, eng201).\ntake(tony, his101).")
+            .unwrap();
+        assert!(!s.ask("?- grad(tony).").unwrap());
+        let take = s.symbols.intern("take");
+        let (tony, eng) = (s.symbols.intern("tony"), s.symbols.intern("eng201"));
+        s.assume(vec![GroundAtom::new(take, vec![tony, eng])])
+            .unwrap();
+        assert!(s.ask("?- grad(tony).").unwrap(), "assumed fact visible");
+        assert_eq!(s.assumptions().len(), 1);
+        // Snapshots see the merged view.
+        assert_eq!(s.snapshot().database().len(), 2);
+        let frame = s.pop_assumption().unwrap().expect("one frame");
+        assert_eq!(frame.len(), 1);
+        assert!(!s.ask("?- grad(tony).").unwrap(), "assumption gone");
+        assert!(s.pop_assumption().unwrap().is_none());
+    }
+
+    #[test]
+    fn retract_removes_base_facts_only() {
+        let mut s = Session::new();
+        s.load("p(a). p(b).").unwrap();
+        let p = s.symbols.intern("p");
+        let a = s.symbols.intern("a");
+        let fact = GroundAtom::new(p, vec![a]);
+        assert!(s.retract_fact(&fact).unwrap());
+        assert!(!s.retract_fact(&fact).unwrap(), "already gone");
+        assert!(!s.ask("?- p(a).").unwrap());
+        assert!(s.ask("?- p(b).").unwrap());
+    }
+
+    #[test]
+    fn assert_fact_checks_arity() {
+        let mut s = Session::new();
+        s.load("p(a).").unwrap();
+        let p = s.symbols.intern("p");
+        let a = s.symbols.intern("a");
+        assert!(s.assert_fact(GroundAtom::new(p, vec![a, a])).is_err());
+        assert!(s.assert_fact(GroundAtom::new(p, vec![a])).is_ok());
+    }
+
+    #[test]
+    fn observer_sees_mutations_before_commit_and_can_abort() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        struct Counting {
+            seen: Arc<AtomicUsize>,
+            fail: bool,
+        }
+        impl SessionObserver for Counting {
+            fn on_mutation(&mut self, _: &SymbolTable, _: &Mutation<'_>) -> Result<()> {
+                self.seen.fetch_add(1, Ordering::Relaxed);
+                if self.fail {
+                    Err(hdl_base::Error::Invalid("log full".into()))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let seen = Arc::new(AtomicUsize::new(0));
+        let mut s = Session::new();
+        s.set_observer(Some(Box::new(Counting {
+            seen: seen.clone(),
+            fail: false,
+        })));
+        s.load("p(a). q :- p(X).").unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 1, "one record per load");
+        // A failing observer aborts the mutation: memory unchanged.
+        s.set_observer(Some(Box::new(Counting {
+            seen: seen.clone(),
+            fail: true,
+        })));
+        assert!(s.load("r(c).").is_err());
+        assert_eq!(s.database().len(), 1, "aborted load not committed");
+        assert_eq!(s.rulebase().len(), 1);
+        let p = s.symbols.intern("p");
+        let b = s.symbols.intern("b");
+        assert!(s.assume(vec![GroundAtom::new(p, vec![b])]).is_err());
+        assert!(s.assumptions().is_empty(), "aborted assume not committed");
+    }
+
+    #[test]
+    fn from_parts_restores_arity_registry() {
+        let mut s = Session::new();
+        s.load("p(a). q(X) :- p(X).").unwrap();
+        let mut restored = Session::from_parts(
+            s.symbols.clone(),
+            s.rulebase.clone(),
+            s.database.clone(),
+            Vec::new(),
+        );
+        assert!(restored.load("p(a, b).").is_err(), "arity still enforced");
+        assert!(restored.ask("?- q(a).").unwrap());
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Checkpoint files: atomic publication and newest-valid selection.
+//!
+//! A checkpoint is published with the classic temp-file dance — write
+//! `ckpt-<epoch>.tmp`, fsync it, rename to `ckpt-<epoch>.bin`, fsync the
+//! directory — so a crash anywhere in the sequence leaves either the old
+//! world or the new one, never a half-written file under the real name.
+//! Selection walks checkpoints newest-first and takes the first one that
+//! passes its CRC and structural decode; a corrupt newest checkpoint
+//! (e.g. a bad sector) silently falls back to its predecessor, which is
+//! why [`prune_checkpoints`] always spares the runner-up.
+
+use crate::codec::{decode_checkpoint, CheckpointState};
+use crate::crashpoint;
+use hdl_base::{Error, Result};
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// `dir/ckpt-<epoch>.bin`.
+pub fn checkpoint_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("ckpt-{epoch}.bin"))
+}
+
+/// `dir/wal-<epoch>.log`.
+pub fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{epoch}.log"))
+}
+
+/// Parses `<prefix><epoch><suffix>` file names back to their epoch.
+pub fn parse_epoch(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+/// Fsyncs a directory so renames/creates/unlinks inside it are durable.
+pub fn sync_dir(dir: &Path) -> Result<()> {
+    // Directory fsync is a Unix-ism; on platforms where opening a
+    // directory fails, the rename is still atomic — only its durability
+    // ordering is weaker.
+    if let Ok(d) = File::open(dir) {
+        d.sync_all().map_err(|e| Error::io(dir.display(), e))?;
+    }
+    Ok(())
+}
+
+/// Atomically publishes checkpoint `epoch` from its serialized image.
+pub fn write_checkpoint(dir: &Path, epoch: u64, bytes: &[u8]) -> Result<PathBuf> {
+    let tmp = dir.join(format!("ckpt-{epoch}.tmp"));
+    let path = checkpoint_path(dir, epoch);
+
+    hdl_base::failpoint!("persist::checkpoint_write");
+    let mut file = File::create(&tmp).map_err(|e| Error::io(tmp.display(), e))?;
+    if crashpoint::should_crash("persist::checkpoint_write") {
+        // Die with a half-written temp file on disk; recovery must sweep
+        // it and fall back to the previous checkpoint.
+        let _ = file.write_all(&bytes[..bytes.len() / 2]);
+        let _ = file.sync_all();
+        std::process::abort();
+    }
+    file.write_all(bytes)
+        .map_err(|e| Error::io(tmp.display(), e))?;
+    file.sync_all().map_err(|e| Error::io(tmp.display(), e))?;
+    drop(file);
+
+    hdl_base::failpoint!("persist::checkpoint_rename");
+    // Temp file is complete and durable, but the rename never happens:
+    // recovery must keep serving from the previous checkpoint + WAL.
+    crashpoint::crash_point("persist::checkpoint_rename");
+    fs::rename(&tmp, &path).map_err(|e| Error::io(path.display(), e))?;
+    sync_dir(dir)?;
+    Ok(path)
+}
+
+/// All published checkpoints in `dir`, newest epoch first.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| Error::io(dir.display(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| Error::io(dir.display(), e))?;
+        let name = entry.file_name();
+        if let Some(epoch) = name.to_str().and_then(|n| parse_epoch(n, "ckpt-", ".bin")) {
+            found.push((epoch, entry.path()));
+        }
+    }
+    found.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+    Ok(found)
+}
+
+/// Loads the newest checkpoint that passes verification, counting how
+/// many newer-but-corrupt ones were skipped on the way.
+pub fn load_newest_valid(dir: &Path) -> Result<(Option<CheckpointState>, u64)> {
+    let mut skipped = 0;
+    for (epoch, path) in list_checkpoints(dir)? {
+        let bytes = fs::read(&path).map_err(|e| Error::io(path.display(), e))?;
+        match decode_checkpoint(&bytes) {
+            Ok(state) if state.epoch == epoch => return Ok((Some(state), skipped)),
+            Ok(state) => {
+                eprintln!(
+                    "warning: {} claims epoch {} (file name says {epoch}); skipping",
+                    path.display(),
+                    state.epoch
+                );
+                skipped += 1;
+            }
+            Err(err) => {
+                eprintln!(
+                    "warning: skipping corrupt checkpoint {}: {err}",
+                    path.display()
+                );
+                skipped += 1;
+            }
+        }
+    }
+    Ok((None, skipped))
+}
+
+/// Deletes all but the `keep` newest checkpoints (best effort).
+pub fn prune_checkpoints(dir: &Path, keep: usize) {
+    if let Ok(all) = list_checkpoints(dir) {
+        for (_, path) in all.into_iter().skip(keep) {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_checkpoint;
+    use crate::testutil::TempDir;
+    use hdl_base::{Database, SymbolTable};
+    use hdl_core::Rulebase;
+
+    fn image(epoch: u64) -> Vec<u8> {
+        encode_checkpoint(
+            epoch,
+            1,
+            &SymbolTable::new(),
+            &Rulebase::new(),
+            &Database::new(),
+            &[],
+        )
+    }
+
+    #[test]
+    fn newest_valid_wins_and_corrupt_newest_falls_back() {
+        let dir = TempDir::new("ckpt-select");
+        write_checkpoint(dir.path(), 1, &image(1)).unwrap();
+        write_checkpoint(dir.path(), 2, &image(2)).unwrap();
+        let (state, skipped) = load_newest_valid(dir.path()).unwrap();
+        assert_eq!(state.unwrap().epoch, 2);
+        assert_eq!(skipped, 0);
+
+        // Corrupt the newest: selection falls back to epoch 1.
+        let mut bytes = image(3);
+        let n = bytes.len();
+        bytes[n / 2] ^= 0xff;
+        write_checkpoint(dir.path(), 3, &bytes).unwrap();
+        let (state, skipped) = load_newest_valid(dir.path()).unwrap();
+        assert_eq!(state.unwrap().epoch, 2);
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn empty_dir_has_no_checkpoint() {
+        let dir = TempDir::new("ckpt-empty");
+        let (state, skipped) = load_newest_valid(dir.path()).unwrap();
+        assert!(state.is_none());
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn prune_spares_the_newest() {
+        let dir = TempDir::new("ckpt-prune");
+        for e in 1..=5 {
+            write_checkpoint(dir.path(), e, &image(e)).unwrap();
+        }
+        prune_checkpoints(dir.path(), 2);
+        let left: Vec<u64> = list_checkpoints(dir.path())
+            .unwrap()
+            .into_iter()
+            .map(|(e, _)| e)
+            .collect();
+        assert_eq!(left, vec![5, 4]);
+    }
+
+    #[test]
+    fn epoch_parsing() {
+        assert_eq!(parse_epoch("ckpt-17.bin", "ckpt-", ".bin"), Some(17));
+        assert_eq!(parse_epoch("wal-0.log", "wal-", ".log"), Some(0));
+        assert_eq!(parse_epoch("ckpt-17.tmp", "ckpt-", ".bin"), None);
+        assert_eq!(parse_epoch("ckpt-x.bin", "ckpt-", ".bin"), None);
+    }
+}

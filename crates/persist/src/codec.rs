@@ -1,0 +1,567 @@
+//! Binary codecs for everything the durability layer puts on disk.
+//!
+//! Builds on the primitive `Encoder`/`Decoder` in `hdl_base::serialize`
+//! (which already covers symbols, ground atoms, databases, and the
+//! overlay DAG) and adds the rule AST, the WAL record set, and the
+//! checkpoint image. All decoders are *total*: arbitrary bytes produce
+//! `Err(Error::Invalid)` — never a panic and never an unvalidated
+//! symbol or absurd allocation — because the WAL tail after a crash is
+//! untrusted input by construction.
+
+use hdl_base::serialize::{
+    decode_ground_atom, decode_symbol, decode_symbols, encode_ground_atom, encode_symbols,
+};
+use hdl_base::{crc32, Atom, DbStore, Decoder, Encoder, Error, GroundAtom, Result, SymbolTable};
+use hdl_base::{Database, Term, Var};
+use hdl_core::{HypRule, Premise, Rulebase};
+
+/// Upper bound on a decoded variable index. `num_vars` sizes per-rule
+/// binding buffers, so a corrupt huge index would turn into a huge
+/// allocation downstream even though the bytes passed their CRC.
+const MAX_VAR_INDEX: u32 = 1 << 20;
+
+// ---------------------------------------------------------------------
+// Rule AST
+// ---------------------------------------------------------------------
+
+fn encode_term(enc: &mut Encoder, term: Term) {
+    match term {
+        Term::Const(c) => {
+            enc.u8(0);
+            enc.u32(c.0);
+        }
+        Term::Var(v) => {
+            enc.u8(1);
+            enc.u32(v.0);
+        }
+    }
+}
+
+fn decode_term(dec: &mut Decoder<'_>, symbols: &SymbolTable) -> Result<Term> {
+    match dec.u8()? {
+        0 => Ok(Term::Const(decode_symbol(dec, symbols)?)),
+        1 => {
+            let idx = dec.u32()?;
+            if idx > MAX_VAR_INDEX {
+                return Err(Error::Invalid(format!("variable index {idx} out of range")));
+            }
+            Ok(Term::Var(Var(idx)))
+        }
+        tag => Err(Error::Invalid(format!("unknown term tag {tag}"))),
+    }
+}
+
+fn encode_atom(enc: &mut Encoder, atom: &Atom) {
+    enc.u32(atom.pred.0);
+    enc.u32(atom.args.len() as u32);
+    for &t in &atom.args {
+        encode_term(enc, t);
+    }
+}
+
+fn decode_atom(dec: &mut Decoder<'_>, symbols: &SymbolTable) -> Result<Atom> {
+    let pred = decode_symbol(dec, symbols)?;
+    let arity = dec.len_prefix(5)?;
+    let mut args = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        args.push(decode_term(dec, symbols)?);
+    }
+    Ok(Atom::new(pred, args))
+}
+
+fn encode_premise(enc: &mut Encoder, premise: &Premise) {
+    match premise {
+        Premise::Atom(a) => {
+            enc.u8(0);
+            encode_atom(enc, a);
+        }
+        Premise::Neg(a) => {
+            enc.u8(1);
+            encode_atom(enc, a);
+        }
+        Premise::Hyp { goal, adds } => {
+            enc.u8(2);
+            encode_atom(enc, goal);
+            enc.u32(adds.len() as u32);
+            for a in adds {
+                encode_atom(enc, a);
+            }
+        }
+    }
+}
+
+fn decode_premise(dec: &mut Decoder<'_>, symbols: &SymbolTable) -> Result<Premise> {
+    match dec.u8()? {
+        0 => Ok(Premise::Atom(decode_atom(dec, symbols)?)),
+        1 => Ok(Premise::Neg(decode_atom(dec, symbols)?)),
+        2 => {
+            let goal = decode_atom(dec, symbols)?;
+            let n = dec.len_prefix(8)?;
+            if n == 0 {
+                return Err(Error::Invalid(
+                    "hypothetical premise with empty add list".into(),
+                ));
+            }
+            let mut adds = Vec::with_capacity(n);
+            for _ in 0..n {
+                adds.push(decode_atom(dec, symbols)?);
+            }
+            Ok(Premise::Hyp { goal, adds })
+        }
+        tag => Err(Error::Invalid(format!("unknown premise tag {tag}"))),
+    }
+}
+
+/// Encodes one rule (head, premises; `num_vars` is derived, not stored).
+pub fn encode_rule(enc: &mut Encoder, rule: &HypRule) {
+    encode_atom(enc, &rule.head);
+    enc.u32(rule.premises.len() as u32);
+    for p in &rule.premises {
+        encode_premise(enc, p);
+    }
+}
+
+/// Decodes one rule; `num_vars` is recomputed by [`HypRule::new`] so it
+/// can never disagree with the premises.
+pub fn decode_rule(dec: &mut Decoder<'_>, symbols: &SymbolTable) -> Result<HypRule> {
+    let head = decode_atom(dec, symbols)?;
+    let n = dec.len_prefix(6)?;
+    let mut premises = Vec::with_capacity(n);
+    for _ in 0..n {
+        premises.push(decode_premise(dec, symbols)?);
+    }
+    Ok(HypRule::new(head, premises))
+}
+
+/// Encodes a rulebase in source order.
+pub fn encode_rulebase(enc: &mut Encoder, rulebase: &Rulebase) {
+    enc.u32(rulebase.len() as u32);
+    for rule in rulebase.iter() {
+        encode_rule(enc, rule);
+    }
+}
+
+/// Decodes a rulebase written by [`encode_rulebase`].
+pub fn decode_rulebase(dec: &mut Decoder<'_>, symbols: &SymbolTable) -> Result<Rulebase> {
+    let n = dec.len_prefix(10)?;
+    let mut rb = Rulebase::new();
+    for _ in 0..n {
+        rb.push(decode_rule(dec, symbols)?);
+    }
+    Ok(rb)
+}
+
+// ---------------------------------------------------------------------
+// WAL records
+// ---------------------------------------------------------------------
+
+/// One durable session mutation, as replayed from the log.
+///
+/// Records are decoded against the symbol table *as of that point in the
+/// log*: a `Symbols` record extends the table, and every later record may
+/// reference the new ids. This mirrors how the live session interns
+/// before mutating, so replay reproduces identical dense symbol ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Names interned since the last record, in interning order.
+    Symbols(Vec<String>),
+    /// Rules + base facts committed atomically by one program load (or a
+    /// single fact assertion).
+    Program {
+        /// Rules joining the rulebase.
+        rules: Vec<HypRule>,
+        /// Ground facts joining the base database.
+        facts: Vec<GroundAtom>,
+    },
+    /// One base fact retracted.
+    Retract(GroundAtom),
+    /// An assumption frame pushed.
+    Assume(Vec<GroundAtom>),
+    /// The top assumption frame popped.
+    PopAssumption,
+}
+
+const TAG_SYMBOLS: u8 = 0;
+const TAG_PROGRAM: u8 = 1;
+const TAG_RETRACT: u8 = 2;
+const TAG_ASSUME: u8 = 3;
+const TAG_POP: u8 = 4;
+
+/// Encodes a `Symbols` record payload from borrowed names.
+pub fn encode_symbols_record(names: &[&str]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.u8(TAG_SYMBOLS);
+    enc.u32(names.len() as u32);
+    for name in names {
+        enc.str(name);
+    }
+    enc.finish()
+}
+
+/// Encodes a `Program` record payload from borrowed parts.
+pub fn encode_program_record(rules: &[HypRule], facts: &[GroundAtom]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.u8(TAG_PROGRAM);
+    enc.u32(rules.len() as u32);
+    for r in rules {
+        encode_rule(&mut enc, r);
+    }
+    enc.u32(facts.len() as u32);
+    for f in facts {
+        encode_ground_atom(&mut enc, f);
+    }
+    enc.finish()
+}
+
+/// Encodes a `Retract` record payload.
+pub fn encode_retract_record(fact: &GroundAtom) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.u8(TAG_RETRACT);
+    encode_ground_atom(&mut enc, fact);
+    enc.finish()
+}
+
+/// Encodes an `Assume` record payload.
+pub fn encode_assume_record(facts: &[GroundAtom]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.u8(TAG_ASSUME);
+    enc.u32(facts.len() as u32);
+    for f in facts {
+        encode_ground_atom(&mut enc, f);
+    }
+    enc.finish()
+}
+
+/// Encodes a `PopAssumption` record payload.
+pub fn encode_pop_record() -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.u8(TAG_POP);
+    enc.finish()
+}
+
+fn decode_fact_list(dec: &mut Decoder<'_>, symbols: &SymbolTable) -> Result<Vec<GroundAtom>> {
+    let n = dec.len_prefix(8)?;
+    let mut facts = Vec::with_capacity(n);
+    for _ in 0..n {
+        facts.push(decode_ground_atom(dec, symbols)?);
+    }
+    Ok(facts)
+}
+
+/// Decodes one WAL record payload against the current symbol table.
+///
+/// Trailing garbage after the record body is corruption (every payload
+/// is framed exactly), so it is rejected rather than ignored.
+pub fn decode_record(payload: &[u8], symbols: &SymbolTable) -> Result<WalRecord> {
+    let mut dec = Decoder::new(payload);
+    let record = match dec.u8()? {
+        TAG_SYMBOLS => {
+            let n = dec.len_prefix(1)?;
+            let mut names = Vec::with_capacity(n);
+            for _ in 0..n {
+                names.push(dec.str()?);
+            }
+            WalRecord::Symbols(names)
+        }
+        TAG_PROGRAM => {
+            let nrules = dec.len_prefix(10)?;
+            let mut rules = Vec::with_capacity(nrules);
+            for _ in 0..nrules {
+                rules.push(decode_rule(&mut dec, symbols)?);
+            }
+            let facts = decode_fact_list(&mut dec, symbols)?;
+            WalRecord::Program { rules, facts }
+        }
+        TAG_RETRACT => WalRecord::Retract(decode_ground_atom(&mut dec, symbols)?),
+        TAG_ASSUME => WalRecord::Assume(decode_fact_list(&mut dec, symbols)?),
+        TAG_POP => WalRecord::PopAssumption,
+        tag => return Err(Error::Invalid(format!("unknown WAL record tag {tag}"))),
+    };
+    if !dec.is_done() {
+        return Err(Error::Invalid(format!(
+            "{} trailing bytes after WAL record",
+            dec.remaining()
+        )));
+    }
+    Ok(record)
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint image
+// ---------------------------------------------------------------------
+
+/// Magic prefix of every checkpoint file.
+pub const CKPT_MAGIC: &[u8; 8] = b"HDLCKPT1";
+/// Current checkpoint format version.
+pub const CKPT_VERSION: u32 = 1;
+
+/// Everything a checkpoint restores: the full session state plus the
+/// snapshot-epoch watermark active when it was taken.
+#[derive(Debug)]
+pub struct CheckpointState {
+    /// The checkpoint's own epoch (WAL files are named after it).
+    pub epoch: u64,
+    /// Snapshot-epoch watermark: recovery advances the global snapshot
+    /// counter past this so restored processes never reuse an epoch.
+    pub watermark: u64,
+    /// Interned symbol table, in interning order.
+    pub symbols: SymbolTable,
+    /// The rulebase, in source order.
+    pub rulebase: Rulebase,
+    /// The base database.
+    pub base: Database,
+    /// Assumption frames, bottom-up.
+    pub frames: Vec<Vec<GroundAtom>>,
+}
+
+/// Serializes a full checkpoint image, including magic and CRC trailer.
+///
+/// The base database and assumption frames are stored as a chain in a
+/// canonical overlay DAG (`DbStore::encode_dag`): the base interns as the
+/// root and each frame extends its predecessor, so parents precede deltas
+/// and shared prefixes are stored once. Because the store canonicalizes,
+/// a frame that adds nothing new collapses onto its predecessor's node;
+/// the chain-ordinal list after the DAG keeps one entry per frame anyway,
+/// so such frames restore as (correctly) empty.
+pub fn encode_checkpoint(
+    epoch: u64,
+    watermark: u64,
+    symbols: &SymbolTable,
+    rulebase: &Rulebase,
+    base: &Database,
+    frames: &[Vec<GroundAtom>],
+) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.u32(CKPT_VERSION);
+    enc.u64(epoch);
+    enc.u64(watermark);
+    encode_symbols(&mut enc, symbols);
+    encode_rulebase(&mut enc, rulebase);
+
+    let mut store = DbStore::new();
+    let mut chain = vec![store.intern_database(base)];
+    for frame in frames {
+        let ids: Vec<_> = frame.iter().map(|f| store.intern_fact(f.clone())).collect();
+        let prev = *chain.last().expect("chain has a root");
+        chain.push(store.extend(prev, &ids));
+    }
+    let ordered = store.encode_dag(&mut enc);
+    enc.u32(chain.len() as u32);
+    for id in &chain {
+        let ordinal = ordered
+            .iter()
+            .position(|kept| kept == id)
+            .expect("chain nodes are never derived, so encode_dag keeps them");
+        enc.u32(ordinal as u32);
+    }
+
+    let payload = enc.finish();
+    let mut bytes = Vec::with_capacity(CKPT_MAGIC.len() + payload.len() + 4);
+    bytes.extend_from_slice(CKPT_MAGIC);
+    bytes.extend_from_slice(&payload);
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes
+}
+
+/// Decodes and verifies a checkpoint image (magic, CRC, then structure).
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointState> {
+    if bytes.len() < CKPT_MAGIC.len() + 4 || &bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+        return Err(Error::Invalid("not a checkpoint file".into()));
+    }
+    let payload = &bytes[CKPT_MAGIC.len()..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(payload) != stored {
+        return Err(Error::Invalid("checkpoint checksum mismatch".into()));
+    }
+
+    let mut dec = Decoder::new(payload);
+    let version = dec.u32()?;
+    if version != CKPT_VERSION {
+        return Err(Error::Invalid(format!(
+            "unsupported checkpoint version {version}"
+        )));
+    }
+    let epoch = dec.u64()?;
+    let watermark = dec.u64()?;
+    let symbols = decode_symbols(&mut dec)?;
+    let rulebase = decode_rulebase(&mut dec, &symbols)?;
+
+    let mut store = DbStore::new();
+    let ordered = store.decode_dag(&mut dec, &symbols)?;
+    let chain_len = dec.len_prefix(4)?;
+    if chain_len == 0 {
+        return Err(Error::Invalid("checkpoint chain is empty".into()));
+    }
+    let mut chain = Vec::with_capacity(chain_len);
+    for _ in 0..chain_len {
+        let ordinal = dec.u32()? as usize;
+        let id = *ordered
+            .get(ordinal)
+            .ok_or_else(|| Error::Invalid(format!("chain ordinal {ordinal} out of range")))?;
+        chain.push(id);
+    }
+    if !dec.is_done() {
+        return Err(Error::Invalid("trailing bytes after checkpoint".into()));
+    }
+
+    let base = store.to_database(chain[0]);
+    let mut frames = Vec::with_capacity(chain_len - 1);
+    for w in chain.windows(2) {
+        let (prev, cur) = (w[0], w[1]);
+        let frame: Vec<GroundAtom> = store
+            .iter_fact_ids(cur)
+            .filter(|&fid| !store.contains(prev, fid))
+            .map(|fid| store.facts().fact(fid).clone())
+            .collect();
+        frames.push(frame);
+    }
+
+    Ok(CheckpointState {
+        epoch,
+        watermark,
+        symbols,
+        rulebase,
+        base,
+        frames,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdl_core::parse_program;
+
+    fn sample() -> (SymbolTable, Rulebase, Database, Vec<Vec<GroundAtom>>) {
+        let mut symbols = SymbolTable::new();
+        let program = parse_program(
+            "edge(a, b). edge(b, c).\n\
+             tc(X, Y) :- edge(X, Y).\n\
+             tc(X, Y) :- edge(X, Z), tc(Z, Y).\n\
+             blocked(X) :- ~tc(X, c).\n\
+             opens(X) :- tc(a, c)[add: edge(X, a), edge(c, X)].",
+            &mut symbols,
+        )
+        .unwrap();
+        let (rules, facts) = hdl_core::split_facts(program);
+        let mut base = Database::new();
+        for f in &facts {
+            base.insert(f.clone());
+        }
+        let d = symbols.intern("d");
+        let e = symbols.intern("e");
+        let edge = symbols.lookup("edge").unwrap();
+        let frames = vec![
+            vec![GroundAtom::new(edge, vec![d, e])],
+            vec![], // deliberately empty frame
+            vec![GroundAtom::new(edge, vec![e, d])],
+        ];
+        (symbols, rules, base, frames)
+    }
+
+    #[test]
+    fn rulebase_roundtrips_exactly() {
+        let (symbols, rules, _, _) = sample();
+        let mut enc = Encoder::new();
+        encode_rulebase(&mut enc, &rules);
+        let bytes = enc.finish();
+        let back = decode_rulebase(&mut Decoder::new(&bytes), &symbols).unwrap();
+        assert_eq!(back, rules);
+    }
+
+    #[test]
+    fn wal_records_roundtrip() {
+        let (symbols, rules, base, _) = sample();
+        let facts: Vec<GroundAtom> = base.iter_facts().collect();
+
+        let payload = encode_program_record(&rules.rules, &facts);
+        match decode_record(&payload, &symbols).unwrap() {
+            WalRecord::Program { rules: r, facts: f } => {
+                assert_eq!(r, rules.rules);
+                assert_eq!(f, facts);
+            }
+            other => panic!("wrong record: {other:?}"),
+        }
+
+        let payload = encode_symbols_record(&["alpha", "beta"]);
+        assert_eq!(
+            decode_record(&payload, &symbols).unwrap(),
+            WalRecord::Symbols(vec!["alpha".into(), "beta".into()])
+        );
+
+        let payload = encode_retract_record(&facts[0]);
+        assert_eq!(
+            decode_record(&payload, &symbols).unwrap(),
+            WalRecord::Retract(facts[0].clone())
+        );
+
+        let payload = encode_assume_record(&facts);
+        assert_eq!(
+            decode_record(&payload, &symbols).unwrap(),
+            WalRecord::Assume(facts.clone())
+        );
+
+        assert_eq!(
+            decode_record(&encode_pop_record(), &symbols).unwrap(),
+            WalRecord::PopAssumption
+        );
+    }
+
+    #[test]
+    fn record_decode_rejects_corruption_without_panicking() {
+        let (symbols, rules, base, _) = sample();
+        let facts: Vec<GroundAtom> = base.iter_facts().collect();
+        let payload = encode_program_record(&rules.rules, &facts);
+        // Every truncation must be an error, never a panic.
+        for cut in 0..payload.len() {
+            assert!(decode_record(&payload[..cut], &symbols).is_err());
+        }
+        // Unknown tag.
+        assert!(decode_record(&[99], &symbols).is_err());
+        // Trailing garbage.
+        let mut long = encode_pop_record();
+        long.push(0);
+        assert!(decode_record(&long, &symbols).is_err());
+        // Symbol id out of range.
+        let empty = SymbolTable::new();
+        assert!(decode_record(&encode_retract_record(&facts[0]), &empty).is_err());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_base_and_frames() {
+        let (symbols, rules, base, frames) = sample();
+        let bytes = encode_checkpoint(7, 42, &symbols, &rules, &base, &frames);
+        let state = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(state.epoch, 7);
+        assert_eq!(state.watermark, 42);
+        assert_eq!(state.symbols.len(), symbols.len());
+        assert_eq!(state.rulebase, rules);
+        assert_eq!(state.base.len(), base.len());
+        let mut want: Vec<GroundAtom> = base.iter_facts().collect();
+        let mut got: Vec<GroundAtom> = state.base.iter_facts().collect();
+        want.sort();
+        got.sort();
+        assert_eq!(want, got);
+        assert_eq!(state.frames.len(), frames.len());
+        for (got, want) in state.frames.iter().zip(frames.iter()) {
+            let mut got = got.clone();
+            let mut want = want.clone();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_bitflips_and_truncation() {
+        let (symbols, rules, base, frames) = sample();
+        let bytes = encode_checkpoint(1, 1, &symbols, &rules, &base, &frames);
+        assert!(decode_checkpoint(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_checkpoint(b"HDLCKPT1").is_err());
+        assert!(decode_checkpoint(b"").is_err());
+        for i in (8..bytes.len()).step_by(13) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_checkpoint(&bad).is_err(), "bitflip at {i} accepted");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Env-armed hard-crash points for the crash-recovery test harness.
+//!
+//! Unlike `hdl_base::failpoint` (which injects *recoverable* faults —
+//! panics, delays, errors — behind a cargo feature), a crash point kills
+//! the whole process with [`std::process::abort`], exactly like a
+//! `kill -9` landing between two syscalls. Crash points are compiled
+//! unconditionally: they cost one relaxed atomic load of a lazily parsed
+//! environment variable, and production processes never set it.
+//!
+//! Arming: `HDL_CRASH_AT=<site>` aborts on the first hit of `<site>`;
+//! `HDL_CRASH_AT=<site>:<n>` aborts on the n-th hit. Sites:
+//!
+//! | site                         | crash window exercised                  |
+//! |------------------------------|-----------------------------------------|
+//! | `persist::wal_append`        | torn record: length prefix + partial payload on disk |
+//! | `persist::wal_fsync`         | record written (kernel page cache) but never acked    |
+//! | `persist::checkpoint_write`  | partial checkpoint temp file                          |
+//! | `persist::checkpoint_rename` | complete temp file, rename never happened             |
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+struct Armed {
+    site: String,
+    nth: u64,
+    hits: AtomicU64,
+}
+
+fn armed() -> Option<&'static Armed> {
+    static ARMED: OnceLock<Option<Armed>> = OnceLock::new();
+    ARMED
+        .get_or_init(|| {
+            let spec = std::env::var("HDL_CRASH_AT").ok()?;
+            // Site names contain `::`, so only a trailing `:<digits>`
+            // counts as a hit index; `site` alone means the first hit.
+            let (site, nth) = match spec.rsplit_once(':') {
+                Some((site, n)) if !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()) => {
+                    (site.to_string(), n.parse().ok()?)
+                }
+                _ => (spec, 1),
+            };
+            Some(Armed {
+                site,
+                nth,
+                hits: AtomicU64::new(0),
+            })
+        })
+        .as_ref()
+}
+
+/// Records a hit of `site`; returns `true` when this hit is the armed
+/// n-th one and the caller must crash *now* (after any partial-write
+/// staging it wants on disk first).
+pub fn should_crash(site: &str) -> bool {
+    match armed() {
+        Some(a) if a.site == site => a.hits.fetch_add(1, Ordering::Relaxed) + 1 == a.nth,
+        _ => false,
+    }
+}
+
+/// Hits `site` and aborts the process if armed for this hit.
+pub fn crash_point(site: &str) {
+    if should_crash(site) {
+        // Simulate power loss: no unwinding, no destructors, no flush.
+        std::process::abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_never_crash() {
+        // HDL_CRASH_AT is unset in the test environment; both entry
+        // points must be inert.
+        assert!(!should_crash("persist::wal_append"));
+        crash_point("persist::wal_fsync");
+    }
+}

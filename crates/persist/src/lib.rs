@@ -1,0 +1,44 @@
+//! # hdl-persist
+//!
+//! Durability for hypothetical-Datalog sessions: a checksummed
+//! write-ahead log of session mutations, atomic checkpointed snapshots
+//! of the full session state, and crash recovery that restores the
+//! newest valid checkpoint and replays the WAL tail — stopping cleanly
+//! (truncate and warn, never panic) at the first torn or corrupt record.
+//!
+//! The durability contract, end to end:
+//!
+//! 1. Every mutation is offered to the log *before* it mutates memory
+//!    (the [`hdl_core::session::SessionObserver`] hook); a failed append
+//!    aborts the mutation.
+//! 2. Under [`wal::FsyncPolicy::Always`], an acked mutation has been
+//!    fsynced — recovery after `kill -9` (or power loss) restores it.
+//! 3. A checkpoint publishes atomically (temp file, fsync, rename,
+//!    directory fsync) and only then rotates the log, so every crash
+//!    window leaves either the old world or the new one intact.
+//! 4. Everything on disk is CRC32-framed and structurally validated on
+//!    the way back in; arbitrary corruption degrades to a truncated
+//!    tail or a skipped checkpoint, reported in [`RecoveryReport`].
+//!
+//! Crash windows are exercised for real by the env-armed hard-crash
+//! points in [`crashpoint`] (`HDL_CRASH_AT=persist::wal_append` etc.),
+//! which the `crash_recovery` integration test drives in child
+//! processes; the softer error-injection failpoints at the same sites
+//! light up under the `failpoints` cargo feature.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod crashpoint;
+pub mod recover;
+pub mod session;
+pub mod wal;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use codec::{decode_checkpoint, decode_record, encode_checkpoint, WalRecord};
+pub use recover::{recover, Recovered, RecoveryReport};
+pub use session::DurableSession;
+pub use wal::{read_wal, FsyncPolicy, WalWriter};

@@ -1,0 +1,350 @@
+//! The write-ahead log: length-prefixed, CRC32-checksummed records.
+//!
+//! One WAL file covers one checkpoint epoch (`wal-<epoch>.log`); a
+//! checkpoint rotates to a fresh file and the old one is deleted. The
+//! layout is
+//!
+//! ```text
+//! "HDLWAL01"  (8 bytes)
+//! epoch       (u64 le)
+//! repeat:
+//!   len       (u32 le, payload length)
+//!   crc       (u32 le, CRC32 of payload)
+//!   payload   (len bytes)
+//! ```
+//!
+//! A crash can tear the tail: [`read_wal`] stops cleanly at the first
+//! incomplete or checksum-failing frame and reports where the valid
+//! prefix ends, so recovery can truncate and keep going — corruption is
+//! an expected input here, never a panic.
+
+use crate::crashpoint;
+use hdl_base::{crc32, Error, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"HDLWAL01";
+/// Bytes before the first record frame.
+pub const WAL_HEADER_LEN: u64 = 16;
+/// Largest accepted record payload (1 GiB) — a sanity bound so a corrupt
+/// length prefix cannot drive an absurd allocation or read.
+const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// When `commit` calls `fsync` on the log file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every commit: nothing acked is ever lost (default).
+    Always,
+    /// Sync every n-th commit: up to n-1 acked mutations may be lost to
+    /// a power failure (not to a process crash — the data is already in
+    /// the kernel page cache when the ack is printed).
+    EveryN(u32),
+    /// Never sync explicitly; the OS flushes when it pleases.
+    Never,
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = Error;
+
+    /// Accepts `always`, `never`, or a positive integer n (`every n`).
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            n => match n.parse::<u32>() {
+                Ok(n) if n > 0 => Ok(FsyncPolicy::EveryN(n)),
+                _ => Err(Error::Invalid(format!(
+                    "bad fsync policy `{s}` (expected always, never, or a positive integer)"
+                ))),
+            },
+        }
+    }
+}
+
+/// Buffered appender for one WAL file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    commits_since_sync: u32,
+}
+
+impl WalWriter {
+    /// Creates a fresh WAL file for `epoch`, synced to disk.
+    pub fn create(path: &Path, epoch: u64, policy: FsyncPolicy) -> Result<Self> {
+        let file = File::create(path).map_err(|e| Error::io(path.display(), e))?;
+        let mut writer = WalWriter {
+            file: BufWriter::new(file),
+            path: path.to_path_buf(),
+            policy,
+            commits_since_sync: 0,
+        };
+        writer.write(WAL_MAGIC)?;
+        writer.write(&epoch.to_le_bytes())?;
+        writer.flush()?;
+        writer.sync()?;
+        Ok(writer)
+    }
+
+    /// Opens an existing WAL for appending after recovery decided its
+    /// valid prefix is `valid_len` bytes: the torn tail (if any) is cut
+    /// off first so new records start at a clean frame boundary.
+    pub fn open_end(path: &Path, valid_len: u64, policy: FsyncPolicy) -> Result<Self> {
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| Error::io(path.display(), e))?;
+        file.set_len(valid_len)
+            .map_err(|e| Error::io(path.display(), e))?;
+        file.sync_all().map_err(|e| Error::io(path.display(), e))?;
+        let mut file = BufWriter::new(file);
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| Error::io(path.display(), e))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            commits_since_sync: 0,
+        })
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends all records of one session mutation, then syncs according
+    /// to the fsync policy. The caller may only ack the mutation (and
+    /// commit it to memory) after this returns `Ok`.
+    pub fn commit(&mut self, payloads: &[&[u8]]) -> Result<()> {
+        for payload in payloads {
+            hdl_base::failpoint!("persist::wal_append");
+            debug_assert!(payload.len() as u64 <= MAX_RECORD_LEN as u64);
+            let crc = crc32(payload);
+            if crashpoint::should_crash("persist::wal_append") {
+                // Stage a torn record — a complete frame header but only
+                // half the payload — flush it to the OS, then die. This
+                // is the worst prefix a real crash can leave.
+                self.write(&(payload.len() as u32).to_le_bytes())?;
+                self.write(&crc.to_le_bytes())?;
+                self.write(&payload[..payload.len() / 2])?;
+                self.flush()?;
+                std::process::abort();
+            }
+            self.write(&(payload.len() as u32).to_le_bytes())?;
+            self.write(&crc.to_le_bytes())?;
+            self.write(payload)?;
+        }
+        self.flush()?;
+        hdl_base::failpoint!("persist::wal_fsync");
+        if crashpoint::should_crash("persist::wal_fsync") {
+            // Flushed but not fsynced and never acked: the record
+            // survives a process crash (page cache) though not a power
+            // cut. Recovery presenting it anyway is legal — it is a
+            // complete, checksummed mutation the client sent.
+            std::process::abort();
+        }
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                self.commits_since_sync += 1;
+                if self.commits_since_sync >= n {
+                    self.sync()?;
+                    self.commits_since_sync = 0;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    fn write(&mut self, bytes: &[u8]) -> Result<()> {
+        self.file
+            .write_all(bytes)
+            .map_err(|e| Error::io(self.path.display(), e))
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.file
+            .flush()
+            .map_err(|e| Error::io(self.path.display(), e))
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file
+            .get_ref()
+            .sync_data()
+            .map_err(|e| Error::io(self.path.display(), e))
+    }
+}
+
+/// One intact record recovered from a WAL scan.
+#[derive(Debug)]
+pub struct WalFrame {
+    /// The record payload (checksum already verified).
+    pub payload: Vec<u8>,
+    /// File offset one past this record's frame — a safe truncation
+    /// point if a *later* record turns out to be corrupt.
+    pub end: u64,
+}
+
+/// Result of scanning a WAL file.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Epoch stamped in the header.
+    pub epoch: u64,
+    /// Intact records, in append order.
+    pub records: Vec<WalFrame>,
+    /// End of the valid prefix; everything past it is a torn or corrupt
+    /// tail that recovery truncates.
+    pub valid_len: u64,
+    /// Actual file length when scanned.
+    pub file_len: u64,
+}
+
+/// Scans a WAL file, stopping cleanly at the first torn or corrupt frame.
+///
+/// Only a missing or mangled *header* is a hard error (the file is not a
+/// WAL at all); anything wrong after the header just ends the valid
+/// prefix.
+pub fn read_wal(path: &Path) -> Result<WalScan> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| Error::io(path.display(), e))?;
+    if bytes.len() < WAL_HEADER_LEN as usize || &bytes[..8] != WAL_MAGIC {
+        return Err(Error::Invalid(format!(
+            "{} is not a WAL file",
+            path.display()
+        )));
+    }
+    let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    // Stops at the first torn/corrupt frame; a short header read is a
+    // clean EOF when pos == len, a torn header otherwise.
+    while let Some(frame) = bytes.get(pos..pos + 8) {
+        let len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            break; // corrupt length prefix
+        }
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len as usize) else {
+            break; // torn payload
+        };
+        if crc32(payload) != crc {
+            break; // bit rot or torn write inside the payload
+        }
+        pos += 8 + len as usize;
+        records.push(WalFrame {
+            payload: payload.to_vec(),
+            end: pos as u64,
+        });
+    }
+
+    Ok(WalScan {
+        epoch,
+        records,
+        valid_len: pos as u64,
+        file_len: bytes.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!(
+            "always".parse::<FsyncPolicy>().unwrap(),
+            FsyncPolicy::Always
+        );
+        assert_eq!("never".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::Never);
+        assert_eq!("8".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::EveryN(8));
+        assert!("0".parse::<FsyncPolicy>().is_err());
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+    }
+
+    #[test]
+    fn commit_then_scan_roundtrips() {
+        let dir = TempDir::new("wal-roundtrip");
+        let path = dir.path().join("wal-3.log");
+        let mut w = WalWriter::create(&path, 3, FsyncPolicy::Always).unwrap();
+        w.commit(&[b"first", b"second"]).unwrap();
+        w.commit(&[b"third"]).unwrap();
+        drop(w);
+
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.epoch, 3);
+        assert_eq!(scan.valid_len, scan.file_len);
+        let payloads: Vec<&[u8]> = scan.records.iter().map(|r| r.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![&b"first"[..], b"second", b"third"]);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_append_resumes() {
+        let dir = TempDir::new("wal-torn");
+        let path = dir.path().join("wal-1.log");
+        let mut w = WalWriter::create(&path, 1, FsyncPolicy::EveryN(2)).unwrap();
+        w.commit(&[b"keep me"]).unwrap();
+        drop(w);
+
+        // Simulate a crash mid-append: a frame header plus half a payload.
+        let keep = read_wal(&path).unwrap().valid_len;
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&9u32.to_le_bytes());
+        bytes.extend_from_slice(&crc32(b"torn torn").to_le_bytes());
+        bytes.extend_from_slice(b"torn");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, keep);
+        assert!(scan.file_len > keep);
+
+        // Recovery truncates and appends cleanly after the valid prefix.
+        let mut w = WalWriter::open_end(&path, scan.valid_len, FsyncPolicy::Always).unwrap();
+        w.commit(&[b"after recovery"]).unwrap();
+        drop(w);
+        let scan = read_wal(&path).unwrap();
+        let payloads: Vec<&[u8]> = scan.records.iter().map(|r| r.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![&b"keep me"[..], b"after recovery"]);
+        assert_eq!(scan.valid_len, scan.file_len);
+    }
+
+    #[test]
+    fn bitflip_ends_the_valid_prefix() {
+        let dir = TempDir::new("wal-bitflip");
+        let path = dir.path().join("wal-1.log");
+        let mut w = WalWriter::create(&path, 1, FsyncPolicy::Always).unwrap();
+        w.commit(&[b"good record"]).unwrap();
+        w.commit(&[b"soon corrupt"]).unwrap();
+        drop(w);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].payload, b"good record");
+        assert!(scan.valid_len < scan.file_len);
+    }
+
+    #[test]
+    fn non_wal_file_is_a_hard_error() {
+        let dir = TempDir::new("wal-notawal");
+        let path = dir.path().join("wal-1.log");
+        std::fs::write(&path, b"definitely not a wal").unwrap();
+        assert!(read_wal(&path).is_err());
+        std::fs::write(&path, b"").unwrap();
+        assert!(read_wal(&path).is_err());
+    }
+}

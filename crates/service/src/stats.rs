@@ -64,6 +64,12 @@ impl StatsCell {
                 .iter()
                 .map(|n| Duration::from_nanos(n.load(Ordering::Relaxed)))
                 .collect(),
+            // Recovery is per-process, not per-worker: the service merges
+            // it in from the host's report (see `QueryService::stats`).
+            recovered: false,
+            recovery_checkpoint_epoch: 0,
+            recovery_records_replayed: 0,
+            recovery_records_truncated: 0,
         }
     }
 }
@@ -104,6 +110,15 @@ pub struct ServiceStats {
     pub workers_respawned: u64,
     /// Per-worker time spent evaluating queries.
     pub worker_busy: Vec<Duration>,
+    /// Whether this process restored durable state on startup (the
+    /// fields below are only meaningful when set).
+    pub recovered: bool,
+    /// Epoch of the checkpoint recovery restored from (0 = WAL only).
+    pub recovery_checkpoint_epoch: u64,
+    /// WAL records replayed on top of the checkpoint.
+    pub recovery_records_replayed: u64,
+    /// Torn or corrupt WAL records truncated during recovery.
+    pub recovery_records_truncated: u64,
 }
 
 impl fmt::Display for ServiceStats {
@@ -131,6 +146,15 @@ impl fmt::Display for ServiceStats {
             self.panics_recovered, self.retries, self.workers_respawned
         )?;
         writeln!(f, "snapshots published {}", self.snapshots_published)?;
+        if self.recovered {
+            writeln!(
+                f,
+                "recovery            checkpoint epoch {}, {} records replayed, {} truncated",
+                self.recovery_checkpoint_epoch,
+                self.recovery_records_replayed,
+                self.recovery_records_truncated
+            )?;
+        }
         write!(f, "worker busy        ")?;
         for (i, d) in self.worker_busy.iter().enumerate() {
             write!(f, " #{i}:{:.1?}", d)?;
@@ -153,5 +177,18 @@ mod tests {
         assert_eq!(s.worker_busy.len(), 2);
         assert_eq!(s.worker_busy[1], Duration::from_millis(5));
         assert!(s.to_string().contains("queries served      3"));
+    }
+
+    #[test]
+    fn recovery_line_appears_only_when_recovered() {
+        let mut s = StatsCell::new(1).snapshot();
+        assert!(!s.to_string().contains("recovery"));
+        s.recovered = true;
+        s.recovery_checkpoint_epoch = 4;
+        s.recovery_records_replayed = 17;
+        s.recovery_records_truncated = 1;
+        assert!(s
+            .to_string()
+            .contains("recovery            checkpoint epoch 4, 17 records replayed, 1 truncated"));
     }
 }

@@ -37,6 +37,15 @@
 //! a query may intern (trips print `memory-exceeded`), `--retries N`
 //! bounds panic-retry attempts per query, `--queue-cap N` sheds
 //! submissions past N waiting jobs as `overloaded`.
+//!
+//! Durability (all modes): `--persist-dir DIR` write-ahead-logs every
+//! mutation (loads, `:assume`, `:retract`) under `DIR` and recovers the
+//! session from it on startup — a `kill -9` loses nothing acked.
+//! `--fsync always|never|N` trades sync cost for power-loss durability
+//! (default `always`). `:checkpoint` compacts the log into an atomic
+//! snapshot. When persisting, every applied mutation is acked with an
+//! `ok` line on stdout (and `:checkpoint` with `checkpoint <epoch>`), so
+//! scripted clients can tell exactly which mutations are durable.
 
 use hdl_core::session::EngineKind;
 use hdl_service::{Outcome, QueryRequest, QueryService, ServiceConfig};
@@ -63,6 +72,8 @@ struct Opts {
     max_facts: Option<u64>,
     retries: Option<u32>,
     queue_cap: Option<usize>,
+    persist_dir: Option<String>,
+    fsync: FsyncPolicy,
 }
 
 impl Opts {
@@ -92,6 +103,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         max_facts: None,
         retries: None,
         queue_cap: None,
+        persist_dir: None,
+        fsync: FsyncPolicy::Always,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -138,6 +151,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                         .map_err(|e| format!("--queue-cap: {e}"))?,
                 );
             }
+            "--persist-dir" => {
+                opts.persist_dir = Some(value("--persist-dir")?);
+            }
+            "--fsync" => {
+                opts.fsync = value("--fsync")?
+                    .parse()
+                    .map_err(|e| format!("--fsync: {e}"))?;
+            }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag}"));
             }
@@ -151,9 +172,82 @@ fn usage_error(mode: &str, msg: &str) -> i32 {
     eprintln!("hdl {mode}: {msg}");
     eprintln!(
         "usage: hdl {mode} [FILE ...] [--workers N] [--engine top-down|bottom-up] \
-         [--deadline-ms MS] [--max-facts N] [--retries N] [--queue-cap N]"
+         [--deadline-ms MS] [--max-facts N] [--retries N] [--queue-cap N] \
+         [--persist-dir DIR] [--fsync always|never|N]"
     );
     2
+}
+
+/// Opens the session this invocation works on: durable when
+/// `--persist-dir` was given (recovering any existing state there),
+/// plain in-memory otherwise. Recovery is narrated on stderr.
+fn open_session(opts: &Opts) -> Result<DurableSession, String> {
+    let Some(dir) = &opts.persist_dir else {
+        return Ok(DurableSession::ephemeral());
+    };
+    let session = DurableSession::open(dir, opts.fsync)
+        .map_err(|e| format!("cannot open persist dir {dir}: {e}"))?;
+    if let Some(r) = session.recovery_report() {
+        if r.restored_anything() || r.records_truncated > 0 || r.checkpoints_skipped > 0 {
+            eprintln!(
+                "recovered from {dir}: checkpoint epoch {}, {} records replayed, \
+                 {} records truncated ({} bytes), {} corrupt checkpoints skipped",
+                r.checkpoint_epoch,
+                r.records_replayed,
+                r.records_truncated,
+                r.bytes_truncated,
+                r.checkpoints_skipped
+            );
+        }
+    }
+    Ok(session)
+}
+
+/// Prints the mutation ack line scripted durable clients key on.
+fn ack(session: &DurableSession) {
+    if session.is_durable() {
+        println!("ok");
+        let _ = io::stdout().flush();
+    }
+}
+
+/// Splits `text` into ground facts; accepts both `f1, f2` and `f1. f2.`
+/// (commas inside argument lists are kept, of course). Constants intern
+/// into the session's own symbol table.
+fn parse_ground_facts(text: &str, session: &mut Session) -> Result<Vec<GroundAtom>, String> {
+    let mut pieces = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth = depth.saturating_sub(1),
+            ',' | '.' if depth == 0 => {
+                pieces.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    pieces.push(&text[start..]);
+    let mut facts = Vec::new();
+    for piece in pieces {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        let rb = hdl_core::parse_program(&format!("{piece}."), session.symbols_mut())
+            .map_err(|e| e.to_string())?;
+        let (rules, mut parsed) = split_facts(rb);
+        if !rules.is_empty() || parsed.len() != 1 {
+            return Err(format!("`{piece}` is not a ground fact"));
+        }
+        facts.push(parsed.pop().expect("checked length"));
+    }
+    if facts.is_empty() {
+        return Err("expected one or more ground facts".to_owned());
+    }
+    Ok(facts)
 }
 
 /// Builds the request for one query line: `?- goal.` asks, and
@@ -212,8 +306,16 @@ fn batch_main(args: &[String]) -> i32 {
         Err(msg) => return usage_error("batch", &msg),
     };
 
-    let mut session = Session::new();
+    let mut session = match open_session(&opts) {
+        Ok(s) => s,
+        Err(msg) => return usage_error("batch", &msg),
+    };
     let service = QueryService::with_config(session.snapshot(), opts.service_config());
+    if let Some(r) = session.recovery_report() {
+        if r.restored_anything() || r.records_truncated > 0 || r.checkpoints_skipped > 0 {
+            service.set_recovery(r.checkpoint_epoch, r.records_replayed, r.records_truncated);
+        }
+    }
     let mut status = 0;
     let mut dirty = false;
     let mut tickets = Vec::new();
@@ -248,7 +350,20 @@ fn batch_main(args: &[String]) -> i32 {
     eprintln!("--- batch summary ({} workers) ---", service.workers());
     eprintln!("{}", service.stats());
     service.shutdown();
+    checkpoint_on_exit(&mut session);
     status
+}
+
+/// Compacts the log into a checkpoint when a durable invocation exits
+/// cleanly (crashed processes recover from the WAL instead).
+fn checkpoint_on_exit(session: &mut DurableSession) {
+    if !session.is_durable() {
+        return;
+    }
+    match session.checkpoint() {
+        Ok(epoch) => eprintln!("checkpointed epoch {epoch} on shutdown"),
+        Err(e) => eprintln!("warning: shutdown checkpoint failed: {e}"),
+    }
 }
 
 /// `hdl serve [FILE ...]` — loads the program files, then answers query
@@ -258,7 +373,10 @@ fn serve_main(args: &[String]) -> i32 {
         Ok(o) => o,
         Err(msg) => return usage_error("serve", &msg),
     };
-    let mut session = Session::new();
+    let mut session = match open_session(&opts) {
+        Ok(s) => s,
+        Err(msg) => return usage_error("serve", &msg),
+    };
     for path in &opts.files {
         let src = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -271,8 +389,14 @@ fn serve_main(args: &[String]) -> i32 {
         eprintln!("loaded {path}");
     }
     let service = QueryService::with_config(session.snapshot(), opts.service_config());
+    if let Some(r) = session.recovery_report() {
+        if r.restored_anything() || r.records_truncated > 0 || r.checkpoints_skipped > 0 {
+            service.set_recovery(r.checkpoint_epoch, r.records_replayed, r.records_truncated);
+        }
+    }
     eprintln!(
-        "serving on {} workers — queries on stdin, :answers PATTERN, :stats, :quit",
+        "serving on {} workers — queries on stdin, :answers PATTERN, :assume FACTS, \
+         :retract FACT, :checkpoint, :stats, :quit",
         service.workers()
     );
     let mut status = 0;
@@ -293,6 +417,16 @@ fn serve_main(args: &[String]) -> i32 {
         match line {
             ":quit" | ":q" | ":exit" => break,
             ":stats" => println!("{}", service.stats()),
+            ":checkpoint" => match session.checkpoint() {
+                Ok(epoch) => {
+                    println!("checkpoint {epoch}");
+                    let _ = out.flush();
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    status = 1;
+                }
+            },
             // Budget trips (cancelled / deadline / memory / partial
             // rows) are reported on stdout but are not process errors.
             _ if is_query(line) => {
@@ -303,11 +437,27 @@ fn serve_main(args: &[String]) -> i32 {
                 println!("{}", outcome.render_line());
                 let _ = out.flush();
             }
-            _ if line.starts_with(':') => {
-                eprintln!("unknown command {line} (:answers PATTERN, :stats, :quit)")
+            _ if line.starts_with(":assume") || line.starts_with(":retract") || line == ":pop" => {
+                match serve_mutation(&mut session, line) {
+                    Ok(()) => {
+                        ack(&session);
+                        service.publish(session.snapshot());
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        status = 1;
+                    }
+                }
             }
+            _ if line.starts_with(':') => eprintln!(
+                "unknown command {line} (:answers PATTERN, :assume FACTS, :retract FACT, \
+                 :pop, :checkpoint, :stats, :quit)"
+            ),
             _ => match session.load(line) {
-                Ok(()) => service.publish(session.snapshot()),
+                Ok(()) => {
+                    ack(&session);
+                    service.publish(session.snapshot());
+                }
                 Err(e) => {
                     eprintln!("error: {e}");
                     status = 1;
@@ -316,7 +466,33 @@ fn serve_main(args: &[String]) -> i32 {
         }
     }
     service.shutdown();
+    checkpoint_on_exit(&mut session);
     status
+}
+
+/// Applies one `:assume FACTS` / `:retract FACT` / `:pop` line.
+fn serve_mutation(session: &mut DurableSession, line: &str) -> Result<(), String> {
+    if let Some(rest) = line.strip_prefix(":assume") {
+        let facts = parse_ground_facts(rest, session)?;
+        return session.assume(facts).map_err(|e| e.to_string());
+    }
+    if let Some(rest) = line.strip_prefix(":retract") {
+        let mut facts = parse_ground_facts(rest, session)?;
+        if facts.len() != 1 {
+            return Err("retract takes exactly one fact".to_owned());
+        }
+        let fact = facts.pop().expect("checked length");
+        return match session.retract_fact(&fact) {
+            Ok(true) => Ok(()),
+            Ok(false) => Ok(()), // logged either way; replay agrees
+            Err(e) => Err(e.to_string()),
+        };
+    }
+    match session.pop_assumption() {
+        Ok(Some(_)) => Ok(()),
+        Ok(None) => Err("no assumption frame to pop".to_owned()),
+        Err(e) => Err(e.to_string()),
+    }
 }
 
 fn repl_main(args: &[String]) -> i32 {
@@ -324,7 +500,10 @@ fn repl_main(args: &[String]) -> i32 {
         Ok(o) => o,
         Err(msg) => return usage_error("", &msg),
     };
-    let mut session = Session::new();
+    let mut session = match open_session(&opts) {
+        Ok(s) => s,
+        Err(msg) => return usage_error("", &msg),
+    };
     session.set_engine(opts.engine);
     session.set_deadline(opts.deadline);
     // In the REPL, --workers drives intra-round parallel rule firing of
@@ -390,11 +569,15 @@ fn repl_main(args: &[String]) -> i32 {
             }
             continue;
         }
-        if let Err(e) = session.load(line) {
-            eprintln!("error: {e}");
-            status = 1;
+        match session.load(line) {
+            Ok(()) => ack(&session),
+            Err(e) => {
+                eprintln!("error: {e}");
+                status = 1;
+            }
         }
     }
+    checkpoint_on_exit(&mut session);
     // Interactive sessions exit clean; piped input propagates whether
     // any line errored mid-stream.
     if interactive {
@@ -405,7 +588,7 @@ fn repl_main(args: &[String]) -> i32 {
 }
 
 /// Returns `false` to quit.
-fn run_command(session: &mut Session, rest: &str) -> bool {
+fn run_command(session: &mut DurableSession, rest: &str) -> bool {
     let (cmd, arg) = match rest.split_once(' ') {
         Some((c, a)) => (c, a.trim()),
         None => (rest, ""),
@@ -424,16 +607,63 @@ fn run_command(session: &mut Session, rest: &str) -> bool {
                  \x20 :explain ?- QUERY.             proof tree for a provable query\n\
                  \x20 :strata                        linear stratification report\n\
                  \x20 :lint                          diagnostics for the loaded rules\n\
+                 \x20 :assume FACTS                  push a hypothesis frame (f1, f2, ...)\n\
+                 \x20 :pop                           pop the top hypothesis frame\n\
+                 \x20 :retract FACT                  remove a base fact\n\
+                 \x20 :checkpoint                    compact the write-ahead log (--persist-dir)\n\
                  \x20 :stats                         counters from the last query\n\
                  \x20 :quit"
             );
         }
         "load" => match std::fs::read_to_string(arg) {
             Ok(src) => match session.load(&src) {
-                Ok(()) => println!("loaded {arg}"),
+                Ok(()) => {
+                    ack(session);
+                    println!("loaded {arg}");
+                }
                 Err(e) => eprintln!("error: {e}"),
             },
             Err(e) => eprintln!("cannot read {arg}: {e}"),
+        },
+        "assume" => match parse_ground_facts(arg, session) {
+            Ok(facts) => match session.assume(facts) {
+                Ok(()) => {
+                    ack(session);
+                    println!("({} assumption frames)", session.assumptions().len());
+                }
+                Err(e) => eprintln!("error: {e}"),
+            },
+            Err(e) => eprintln!("error: {e}"),
+        },
+        "pop" => match session.pop_assumption() {
+            Ok(Some(frame)) => {
+                ack(session);
+                println!(
+                    "popped {} facts ({} frames left)",
+                    frame.len(),
+                    session.assumptions().len()
+                );
+            }
+            Ok(None) => println!("no assumption frame to pop"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        "retract" => match parse_ground_facts(arg, session) {
+            Ok(facts) if facts.len() == 1 => {
+                let fact = &facts[0];
+                match session.retract_fact(fact) {
+                    Ok(removed) => {
+                        ack(session);
+                        println!("{}", if removed { "retracted" } else { "no such fact" });
+                    }
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+            Ok(_) => eprintln!("error: retract takes exactly one fact"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        "checkpoint" => match session.checkpoint() {
+            Ok(epoch) => println!("checkpoint {epoch}"),
+            Err(e) => eprintln!("error: {e}"),
         },
         "rules" => print!("{}", session.show_rules()),
         "save" => match std::fs::write(arg, session.dump()) {

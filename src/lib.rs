@@ -41,6 +41,8 @@
 //! | [`hdl_base`] | Symbols, terms, atoms, indexed databases, interners |
 //! | [`hdl_datalog`] | Plain Datalog baseline (naive & semi-naive, stratified negation) |
 //! | [`hdl_core`] | Hypothetical rules, parser, linear stratification (Lemma 1), three engines (bottom-up reference, top-down tabled, the §5.2 `PROVE` procedures) |
+//! | [`hdl_service`] | Concurrent query service: snapshots, worker pool, answer cache |
+//! | [`hdl_persist`] | Durable sessions: write-ahead log, checkpoints, crash recovery |
 //! | [`hdl_turing`] | Nondeterministic oracle Turing machines and cascade simulation |
 //! | [`hdl_encodings`] | §5.1 machine→rulebase compiler; §6 order assertion, ℓ-counters, bitmaps, Lemma 2 pipeline |
 //!
@@ -51,6 +53,7 @@ pub use hdl_base;
 pub use hdl_core;
 pub use hdl_datalog;
 pub use hdl_encodings;
+pub use hdl_persist;
 pub use hdl_service;
 pub use hdl_turing;
 
@@ -65,5 +68,6 @@ pub mod prelude {
     pub use hdl_core::pretty;
     pub use hdl_core::session::{EngineKind, Session};
     pub use hdl_core::snapshot::Snapshot;
+    pub use hdl_persist::{DurableSession, FsyncPolicy, RecoveryReport};
     pub use hdl_service::{Outcome, QueryRequest, QueryService, ServiceStats, Ticket};
 }

@@ -78,6 +78,44 @@ fn contracts_program() {
 }
 
 #[test]
+fn malformed_programs_fail_with_structured_errors() {
+    // Every file under examples/programs/bad/ is invalid at some stage:
+    // lexing, parsing, arity checking, or stratification. Loading (or,
+    // for late-stage failures, querying) must produce a structured
+    // error with a non-empty message — never a panic, never silent
+    // acceptance of the whole corpus entry.
+    let dir = format!("{}/examples/programs/bad", env!("CARGO_MANIFEST_DIR"));
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{dir}: {e}"))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "hdl"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 8,
+        "corpus went missing: only {} files in {dir}",
+        entries.len()
+    );
+    for path in entries {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let mut s = Session::new();
+        let err = match s.load(&src) {
+            Err(e) => e,
+            // Late-stage failures (e.g. unstratified negation) load
+            // fine and must surface when an engine is built.
+            Ok(()) => s
+                .ask("?- bad_corpus_probe.")
+                .expect_err(&format!("{name}: loaded AND answered cleanly")),
+        };
+        assert!(
+            !err.to_string().trim().is_empty(),
+            "{name}: empty error message"
+        );
+    }
+}
+
+#[test]
 fn service_batch_file_answers_in_order() {
     // The same file CI pipes through `hdl batch`, replayed through the
     // service API: program lines publish snapshots, query lines run on

@@ -607,6 +607,267 @@ mod overlay_views {
 }
 
 // ---------------------------------------------------------------------
+// Durability: checkpoint encode→decode is the identity on session
+// state, and replaying a WAL reconstructs exactly the session that
+// wrote it.
+// ---------------------------------------------------------------------
+
+mod persistence {
+    use super::*;
+    use hdl_core::session::Session;
+    use hdl_persist::{decode_checkpoint, encode_checkpoint, DurableSession, FsyncPolicy};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Minimal scratch directory, removed on drop (no tempfile dep).
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new() -> Self {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!("hdl-props-{}-{n}", std::process::id()));
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn render_fact(p: usize, args: &[u8]) -> String {
+        super::render_atom(p, args)
+    }
+
+    /// Ground-fact-only batches (constants, no variables).
+    fn ground_batch_strategy() -> impl Strategy<Value = Vec<(usize, Vec<u8>)>> {
+        super::facts_strategy()
+    }
+
+    /// A mutation applied identically to both sessions under test.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Load(Vec<(usize, Vec<u8>)>),
+        Assume(Vec<(usize, Vec<u8>)>),
+        Retract(usize, Vec<u8>),
+        Pop,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => ground_batch_strategy().prop_map(Op::Load),
+            3 => ground_batch_strategy().prop_map(Op::Assume),
+            2 => (0..NUM_PREDS).prop_flat_map(|p| {
+                proptest::collection::vec(100u8..(100 + NUM_CONSTS as u8), arity(p))
+                    .prop_map(move |a| Op::Retract(p, a))
+            }),
+            2 => Just(Op::Pop),
+        ]
+    }
+
+    /// Parses one ground fact into `session`'s symbol space.
+    fn fact_in(session: &mut Session, p: usize, args: &[u8]) -> GroundAtom {
+        let src = format!("{}.", render_fact(p, args));
+        let program = parse_program(&src, session.symbols_mut()).unwrap();
+        let (_, mut facts) = hdl_core::parser::split_facts(program);
+        facts.pop().unwrap()
+    }
+
+    fn apply(session: &mut Session, op: &Op) {
+        match op {
+            Op::Load(batch) => {
+                if batch.is_empty() {
+                    return;
+                }
+                let src: String = batch
+                    .iter()
+                    .map(|(p, a)| format!("{}.\n", render_fact(*p, a)))
+                    .collect();
+                session.load(&src).unwrap();
+            }
+            Op::Assume(batch) => {
+                let facts: Vec<_> = batch.iter().map(|(p, a)| fact_in(session, *p, a)).collect();
+                session.assume(facts).unwrap();
+            }
+            Op::Retract(p, a) => {
+                let fact = fact_in(session, *p, a);
+                session.retract_fact(&fact).unwrap();
+            }
+            Op::Pop => {
+                session.pop_assumption().unwrap();
+            }
+        }
+    }
+
+    /// Every ground query, rendered textually so each session resolves
+    /// it in its own symbol space.
+    fn query_texts() -> Vec<String> {
+        let mut out = Vec::new();
+        for p in 0..NUM_PREDS {
+            let combos: Vec<Vec<usize>> = if arity(p) == 1 {
+                (0..NUM_CONSTS).map(|c| vec![c]).collect()
+            } else {
+                (0..NUM_CONSTS)
+                    .flat_map(|a| (0..NUM_CONSTS).map(move |b| vec![a, b]))
+                    .collect()
+            };
+            for combo in combos {
+                let rendered: Vec<String> = combo.iter().map(|c| format!("c{c}")).collect();
+                out.push(format!("?- q{p}({}).", rendered.join(", ")));
+            }
+        }
+        out
+    }
+
+    /// Cumulative fact set at each chain depth (base, then one entry per
+    /// frame), as a canonical sorted list. Comparing cumulative sets
+    /// rather than raw frames absorbs the store's canonical collapse of
+    /// frames that add nothing new.
+    fn cumulative_sets(base: &Database, frames: &[Vec<GroundAtom>]) -> Vec<Vec<GroundAtom>> {
+        let mut acc: Vec<GroundAtom> = base.iter_facts().collect();
+        let mut out = Vec::with_capacity(frames.len() + 1);
+        acc.sort();
+        acc.dedup();
+        out.push(acc.clone());
+        for frame in frames {
+            acc.extend(frame.iter().cloned());
+            acc.sort();
+            acc.dedup();
+            out.push(acc.clone());
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// `decode_checkpoint ∘ encode_checkpoint` is the identity on
+        /// (symbols, rulebase, base, frames) for random overlay DAGs.
+        #[test]
+        fn checkpoint_roundtrip_identity(
+            rules in program_strategy(true),
+            base in facts_strategy(),
+            frames in proptest::collection::vec(ground_batch_strategy(), 0..=6),
+            epoch in 0u64..1000,
+            watermark in 0u64..1000,
+        ) {
+            let (rb, db, mut syms) = build(&rules, &base);
+            let frame_atoms: Vec<Vec<GroundAtom>> = frames
+                .iter()
+                .map(|batch| {
+                    batch
+                        .iter()
+                        .map(|(p, args)| {
+                            let pred = syms.intern(&format!("q{p}"));
+                            let consts: Vec<_> = args
+                                .iter()
+                                .map(|&a| syms.intern(&format!("c{}", a - 100)))
+                                .collect();
+                            GroundAtom::new(pred, consts)
+                        })
+                        .collect()
+                })
+                .collect();
+
+            let bytes = encode_checkpoint(epoch, watermark, &syms, &rb, &db, &frame_atoms);
+            let state = decode_checkpoint(&bytes).expect("roundtrip decodes");
+
+            prop_assert_eq!(state.epoch, epoch);
+            prop_assert_eq!(state.watermark, watermark);
+            prop_assert_eq!(state.symbols.len(), syms.len());
+            let printed = hdl_core::pretty::rulebase(&rb, &syms);
+            let reprinted = hdl_core::pretty::rulebase(&state.rulebase, &state.symbols);
+            prop_assert_eq!(printed, reprinted);
+            prop_assert_eq!(state.frames.len(), frame_atoms.len());
+            prop_assert_eq!(
+                cumulative_sets(&state.base, &state.frames),
+                cumulative_sets(&db, &frame_atoms)
+            );
+        }
+
+        /// A session recovered from its WAL answers every ground query
+        /// exactly like a twin built by applying the same mutations
+        /// directly, and carries the same assumption-frame structure.
+        #[test]
+        fn wal_replay_equals_direct_build(
+            rules in program_strategy(false),
+            ops in proptest::collection::vec(op_strategy(), 0..=8),
+        ) {
+            let dir = TempDir::new();
+            let mut durable =
+                DurableSession::open(&dir.0, FsyncPolicy::Never).unwrap();
+            let mut direct = Session::new();
+
+            let src = render_program(&rules);
+            durable.load(&src).unwrap();
+            direct.load(&src).unwrap();
+            for op in &ops {
+                apply(&mut durable, op);
+                apply(&mut direct, op);
+            }
+
+            drop(durable); // no checkpoint: recovery must replay the WAL
+            let mut recovered =
+                DurableSession::open(&dir.0, FsyncPolicy::Never).unwrap();
+            prop_assert!(
+                recovered.recovery_report().is_some_and(|r| r.restored_anything())
+            );
+
+            prop_assert_eq!(
+                recovered.assumptions().len(),
+                direct.assumptions().len()
+            );
+            let mut rec_frames: Vec<Vec<String>> = Vec::new();
+            for frames in [recovered.assumptions(), direct.assumptions()] {
+                rec_frames.push(frames.iter().map(|f| f.len().to_string()).collect());
+            }
+            prop_assert_eq!(&rec_frames[0], &rec_frames[1]);
+            for q in query_texts() {
+                let a = recovered.ask(&q).unwrap();
+                let b = direct.ask(&q).unwrap();
+                prop_assert_eq!(a, b, "divergence on {} after {:?}", q, ops);
+            }
+        }
+
+        /// Checkpoint-then-recover is also the identity: after a
+        /// checkpoint the WAL is empty, so this exercises the snapshot
+        /// path rather than replay.
+        #[test]
+        fn checkpoint_recover_equals_direct_build(
+            rules in program_strategy(false),
+            ops in proptest::collection::vec(op_strategy(), 0..=6),
+        ) {
+            let dir = TempDir::new();
+            let mut durable =
+                DurableSession::open(&dir.0, FsyncPolicy::Never).unwrap();
+            let mut direct = Session::new();
+            let src = render_program(&rules);
+            durable.load(&src).unwrap();
+            direct.load(&src).unwrap();
+            for op in &ops {
+                apply(&mut durable, op);
+                apply(&mut direct, op);
+            }
+            durable.checkpoint().unwrap();
+            drop(durable);
+
+            let mut recovered =
+                DurableSession::open(&dir.0, FsyncPolicy::Never).unwrap();
+            let report = recovered.recovery_report().cloned().unwrap();
+            prop_assert_eq!(report.records_replayed, 0, "WAL should be empty");
+            for q in query_texts() {
+                let a = recovered.ask(&q).unwrap();
+                let b = direct.ask(&q).unwrap();
+                prop_assert_eq!(a, b, "divergence on {} after {:?}", q, ops);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Linear-stratified-by-construction programs: all three engines,
 // including PROVE, must agree (PROVE must also *accept* the program).
 // ---------------------------------------------------------------------
