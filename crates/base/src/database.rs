@@ -92,6 +92,30 @@ impl Relation {
         true
     }
 
+    /// Removes every tuple in `gone`, compacting and rebuilding the
+    /// argument index once — the batch counterpart of
+    /// [`Relation::remove`] for deletion cascades (e.g. the overdeletion
+    /// phase of incremental maintenance), where per-fact compaction
+    /// would cost O(|relation|) per removed tuple.
+    fn remove_many(&mut self, gone: &FxHashSet<&[Symbol]>) -> usize {
+        let before = self.tuples.len();
+        self.index.retain(|t| !gone.contains(&t[..]));
+        self.tuples.retain(|t| !gone.contains(&t[..]));
+        let removed = before - self.tuples.len();
+        if removed > 0 {
+            self.by_arg.clear();
+            for (row, tuple) in self.tuples.iter().enumerate() {
+                for (pos, &c) in tuple.iter().enumerate() {
+                    self.by_arg
+                        .entry((pos as u32, c))
+                        .or_default()
+                        .push(row as u32);
+                }
+            }
+        }
+        removed
+    }
+
     /// Tuple indices whose argument `pos` equals `c`, in insertion order.
     fn rows_bound(&self, pos: u32, c: Symbol) -> &[u32] {
         self.by_arg.get(&(pos, c)).map_or(&[][..], |v| v.as_slice())
@@ -167,6 +191,27 @@ impl Database {
         if removed {
             self.len -= 1;
         }
+        removed
+    }
+
+    /// Removes every fact in `facts`, returning how many were present.
+    ///
+    /// Each touched relation is compacted and reindexed once, so a
+    /// deletion cascade of `k` facts costs one rebuild per relation
+    /// instead of `k` — use this over repeated [`Database::remove`]
+    /// whenever the removal set is known up front.
+    pub fn remove_all<'a>(&mut self, facts: impl IntoIterator<Item = &'a GroundAtom>) -> usize {
+        let mut by_pred: FxHashMap<Symbol, FxHashSet<&[Symbol]>> = FxHashMap::default();
+        for f in facts {
+            by_pred.entry(f.pred).or_default().insert(&f.args);
+        }
+        let mut removed = 0;
+        for (pred, gone) in &by_pred {
+            if let Some(rel) = self.rels.get_mut(pred) {
+                removed += rel.remove_many(gone);
+            }
+        }
+        self.len -= removed;
         removed
     }
 
@@ -406,6 +451,29 @@ mod tests {
             false
         });
         assert_eq!(seen, vec![10, 30]);
+    }
+
+    #[test]
+    fn remove_all_batches_per_relation() {
+        let mut db = Database::new();
+        db.insert(fact(0, &[1, 10]));
+        db.insert(fact(0, &[2, 20]));
+        db.insert(fact(0, &[1, 30]));
+        db.insert(fact(1, &[5]));
+        let gone = [fact(0, &[2, 20]), fact(0, &[1, 30]), fact(1, &[5]), fact(9, &[0])];
+        assert_eq!(db.remove_all(&gone), 3, "absent facts are not counted");
+        assert_eq!(db.len(), 1);
+        assert!(db.contains(&fact(0, &[1, 10])));
+        assert!(!db.contains(&fact(1, &[5])));
+        // Survivors stay index-reachable through a bound-argument probe.
+        let pattern = Atom::new(s(0), vec![Term::Const(s(1)), Term::Var(Var(0))]);
+        let mut b = Bindings::new(1);
+        let mut seen = Vec::new();
+        db.for_each_match(&pattern, &mut b, |bb| {
+            seen.push(bb.get(Var(0)).unwrap().0);
+            false
+        });
+        assert_eq!(seen, vec![10]);
     }
 
     #[test]

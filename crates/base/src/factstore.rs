@@ -16,11 +16,22 @@
 //! reads never chase more than a bounded overlay while writes stay
 //! O(|delta|) rather than O(|DB|).
 //!
+//! Deltas are signed: a premise `A[del: C̄]` moves the proof to a strictly
+//! *smaller* database. Chain nodes therefore carry a *negative overlay*
+//! alongside the positive one — the sorted facts of the flat root that the
+//! node masks out — and the represented set is
+//! `(flat(croot) ∖ neg_overlay) ∪ overlay`. [`DbStore::shrink`] is the
+//! removal dual of [`DbStore::extend`] and shares its O(|delta|) cost;
+//! [`DbStore::apply`] composes both (removals first, so `add:` wins when a
+//! fact appears in both lists).
+//!
 //! Interning is canonical over *fact sets*, not construction paths: two
 //! databases reached by different extension orders (or from different
 //! roots) compare equal and share one [`DbId`]. Equality is resolved
 //! through an order-independent set hash with full verification on bucket
-//! collisions, preserving the engines' O(1) database equality.
+//! collisions, preserving the engines' O(1) database equality. Because the
+//! set hash is an XOR fold and XOR is self-inverse, removal re-hashing is
+//! as incremental as addition.
 
 use crate::atom::GroundAtom;
 use crate::database::Database;
@@ -124,9 +135,9 @@ struct FlatRepr {
 /// A node in the persistent overlay DAG of databases.
 ///
 /// Flat nodes (`croot == self`) materialize their fact set; chain nodes
-/// record only their delta over the parent plus the cumulative overlay
-/// above the shared flat root. Both answer reads through
-/// [`crate::view::DbView`].
+/// record only their signed delta over the parent plus the cumulative
+/// (positive and negative) overlays against the shared flat root. Both
+/// answer reads through [`crate::view::DbView`].
 #[derive(Debug)]
 pub struct DbEntry {
     /// The node this one was extended from (`self` for roots).
@@ -135,8 +146,15 @@ pub struct DbEntry {
     croot: DbId,
     /// Facts added over `parent` (sorted; empty for roots).
     delta: SmallVec<FactId, 4>,
-    /// All facts above `croot`, sorted (empty for flat nodes).
+    /// Facts removed over `parent` (sorted; empty for roots).
+    neg_delta: SmallVec<FactId, 4>,
+    /// Facts held above `croot`, sorted, disjoint from `croot`'s set
+    /// (empty for flat nodes).
     overlay: Arc<Vec<FactId>>,
+    /// Facts of `croot`'s set masked out of this node, sorted (empty for
+    /// flat nodes). The represented set is
+    /// `(flat(croot) ∖ neg_overlay) ∪ overlay`.
+    neg_overlay: Arc<Vec<FactId>>,
     /// Total fact count of the represented set.
     len: u32,
     /// Order-independent hash of the represented set.
@@ -171,10 +189,28 @@ impl DbEntry {
         &self.delta
     }
 
+    /// The facts this node removed from its parent.
+    #[inline]
+    pub fn neg_delta(&self) -> &[FactId] {
+        &self.neg_delta
+    }
+
     /// The sorted facts this node holds above its flat root.
     #[inline]
     pub fn overlay(&self) -> &[FactId] {
         &self.overlay
+    }
+
+    /// The sorted facts of the flat root this node masks out.
+    #[inline]
+    pub fn neg_overlay(&self) -> &[FactId] {
+        &self.neg_overlay
+    }
+
+    /// Whether this node masks out any facts of its flat root.
+    #[inline]
+    pub fn has_neg_overlay(&self) -> bool {
+        !self.neg_overlay.is_empty()
     }
 
     /// Whether this node materializes its full fact set.
@@ -338,7 +374,21 @@ impl DbStore {
         if e.overlay.binary_search(&f).is_ok() {
             return true;
         }
+        if e.neg_overlay.binary_search(&f).is_ok() {
+            return false;
+        }
         self.flat_facts(e.croot).binary_search(&f).is_ok()
+    }
+
+    /// Order-independent fingerprint of the facts `db` masks out of its
+    /// flat root — `0` iff the node subtracts nothing. Cache keys mix this
+    /// in so a `del:` overlay can never alias a positive-only node.
+    #[inline]
+    pub fn neg_fingerprint(&self, db: DbId) -> u64 {
+        let e = &self.entries[db.index()];
+        e.neg_overlay
+            .iter()
+            .fold(e.neg_overlay.len() as u64, |acc, &f| acc ^ fact_hash(f))
     }
 
     /// The materialized sorted fact set of a flat node.
@@ -376,6 +426,7 @@ impl DbStore {
         let e = &self.entries[db.index()];
         MergeIds {
             a: self.flat_facts(e.croot),
+            sub: &e.neg_overlay,
             b: &e.overlay,
         }
     }
@@ -424,33 +475,151 @@ impl DbStore {
         let new_depth = base_entry.depth + 1;
         let new_len = base_entry.len + fresh.len() as u32;
         let new_hash = base_entry.set_hash ^ fresh.iter().fold(0u64, |acc, f| acc ^ fact_hash(f));
-        let overlay = merge_sorted(&base_entry.overlay, &fresh);
+        // A fresh fact that is a member of the flat root must currently be
+        // masked by the negative overlay — adding it back *revives* it
+        // (shrinks the mask) rather than growing the positive overlay.
+        let flat = self.flat_facts(croot);
+        let (revived, added): (Vec<FactId>, Vec<FactId>) =
+            fresh.iter().partition(|f| flat.binary_search(f).is_ok());
+        let overlay = merge_sorted(&base_entry.overlay, &added);
+        let neg_overlay: Vec<FactId> = base_entry
+            .neg_overlay
+            .iter()
+            .copied()
+            .filter(|f| revived.binary_search(f).is_err())
+            .collect();
 
+        self.insert_node(
+            base,
+            croot,
+            SmallVec::from_slice(&fresh),
+            SmallVec::new(),
+            overlay,
+            neg_overlay,
+            new_len,
+            new_hash,
+            new_depth,
+        )
+    }
+
+    /// Returns the database `base ∖ removals`.
+    ///
+    /// The removal dual of [`DbStore::extend`]: if no removal is present,
+    /// returns `base` itself — the engines rely on this to detect the
+    /// degenerate `A[del: C̄]` where every `C̄` is already absent. Otherwise
+    /// the new node stores only its (signed) delta: removals of overlay
+    /// facts shrink the positive overlay, removals of flat-root facts grow
+    /// the negative overlay. Cost is O(|delta| + |overlay|), never O(|DB|)
+    /// unless the combined overlay crosses [`FLATTEN_THRESHOLD`].
+    pub fn shrink(&mut self, base: DbId, removals: &[FactId]) -> DbId {
+        let mut gone: SmallVec<FactId, 8> = removals
+            .iter()
+            .copied()
+            .filter(|&id| self.contains(base, id))
+            .collect();
+        if gone.is_empty() {
+            return base;
+        }
+        gone.as_mut_slice().sort_unstable();
+        let mut dedup: SmallVec<FactId, 8> = SmallVec::new();
+        for f in gone.iter() {
+            if dedup.as_slice().last() != Some(&f) {
+                dedup.push(f);
+            }
+        }
+        let gone = dedup;
+
+        let base_entry = &self.entries[base.index()];
+        let croot = base_entry.croot;
+        let new_depth = base_entry.depth + 1;
+        let new_len = base_entry.len - gone.len() as u32;
+        let new_hash = base_entry.set_hash ^ gone.iter().fold(0u64, |acc, f| acc ^ fact_hash(f));
+        // Removals of overlay members just drop out of the overlay; the
+        // rest are flat-root members and join the mask.
+        let masked: Vec<FactId> = gone
+            .iter()
+            .filter(|f| base_entry.overlay.binary_search(f).is_err())
+            .collect();
+        let overlay: Vec<FactId> = base_entry
+            .overlay
+            .iter()
+            .copied()
+            .filter(|f| gone.as_slice().binary_search(f).is_err())
+            .collect();
+        let neg_overlay = merge_sorted(&base_entry.neg_overlay, &masked);
+
+        self.insert_node(
+            base,
+            croot,
+            SmallVec::new(),
+            SmallVec::from_slice(&gone),
+            overlay,
+            neg_overlay,
+            new_len,
+            new_hash,
+            new_depth,
+        )
+    }
+
+    /// Returns the database `(base ∖ removals) ∪ additions`.
+    ///
+    /// The goal database of `A[add: B̄, del: C̄]`: removals apply first, so
+    /// a fact listed in both ends up present (`add:` wins). Both halves
+    /// canonicalize, so a round trip `apply(apply(db, ∅, C̄), C̄, ∅)` that
+    /// restores the original set returns the original [`DbId`].
+    pub fn apply(&mut self, base: DbId, additions: &[FactId], removals: &[FactId]) -> DbId {
+        let shrunk = self.shrink(base, removals);
+        self.extend(shrunk, additions)
+    }
+
+    /// Interns a chain node with the given signed delta and overlays,
+    /// canonicalizing against existing sets and flattening when the
+    /// combined overlay crosses [`FLATTEN_THRESHOLD`].
+    #[allow(clippy::too_many_arguments)]
+    fn insert_node(
+        &mut self,
+        parent: DbId,
+        croot: DbId,
+        delta: SmallVec<FactId, 4>,
+        neg_delta: SmallVec<FactId, 4>,
+        overlay: Vec<FactId>,
+        neg_overlay: Vec<FactId>,
+        new_len: u32,
+        new_hash: u64,
+        new_depth: u32,
+    ) -> DbId {
         // Canonicalization: an equal fact set may already exist (reached by
         // a different extension order or from a different root).
         if let Some(bucket) = self.canon.get(&(new_len, new_hash)) {
             for &cand in bucket.as_slice() {
-                if self.set_equals(cand, croot, &overlay) {
+                if self.set_equals(cand, croot, &overlay, &neg_overlay) {
                     return cand;
                 }
             }
         }
 
-        let delta = SmallVec::from_slice(&fresh);
         let id = DbId(u32::try_from(self.entries.len()).expect("db store overflow"));
-        let entry = if overlay.len() >= FLATTEN_THRESHOLD {
+        let entry = if overlay.len() + neg_overlay.len() >= FLATTEN_THRESHOLD {
             // Promote to flat: one O(|DB|) materialization bounds every
             // descendant's read cost to its own (short) overlay.
-            let facts = Arc::new(merge_sorted(self.flat_facts(croot), &overlay));
+            let facts: Vec<FactId> = MergeIds {
+                a: self.flat_facts(croot),
+                sub: &neg_overlay,
+                b: &overlay,
+            }
+            .collect();
+            let facts = Arc::new(facts);
             let (by_pred, by_arg) = self.build_indexes(&facts);
             self.stats.flattens += 1;
             self.stats.flat_nodes += 1;
             self.stats.delta_facts += facts.len() as u64;
             DbEntry {
-                parent: base,
+                parent,
                 croot: id,
                 delta,
+                neg_delta,
                 overlay: Arc::new(Vec::new()),
+                neg_overlay: Arc::new(Vec::new()),
                 len: new_len,
                 set_hash: new_hash,
                 depth: new_depth,
@@ -462,12 +631,15 @@ impl DbStore {
                 }),
             }
         } else {
-            self.stats.delta_facts += (delta.len() + overlay.len()) as u64;
+            self.stats.delta_facts +=
+                (delta.len() + neg_delta.len() + overlay.len() + neg_overlay.len()) as u64;
             DbEntry {
-                parent: base,
+                parent,
                 croot,
                 delta,
+                neg_delta,
                 overlay: Arc::new(overlay),
+                neg_overlay: Arc::new(neg_overlay),
                 len: new_len,
                 set_hash: new_hash,
                 depth: new_depth,
@@ -526,13 +698,14 @@ impl DbStore {
             .enumerate()
             .map(|(i, &id)| (id, i as u32))
             .collect();
-        // Per kept node: the fact ids it contributes (full set for roots,
-        // delta over the nearest kept ancestor otherwise).
-        let mut contributions: Vec<(Option<u32>, Vec<FactId>)> = Vec::with_capacity(kept.len());
+        // Per kept node: the signed fact-id delta it contributes (full set
+        // for roots; adds and dels over the nearest kept ancestor else).
+        type Contribution = (Option<u32>, Vec<FactId>, Vec<FactId>);
+        let mut contributions: Vec<Contribution> = Vec::with_capacity(kept.len());
         for &id in &kept {
             let e = &self.entries[id.index()];
             if e.is_root() {
-                contributions.push((None, self.iter_fact_ids(id).collect()));
+                contributions.push((None, self.iter_fact_ids(id).collect(), Vec::new()));
             } else {
                 // Walk the parent chain to the nearest kept ancestor;
                 // roots are always kept, so this terminates.
@@ -541,18 +714,23 @@ impl DbStore {
                     anc = self.entries[anc.index()].parent;
                 }
                 let anc_facts: Vec<FactId> = self.iter_fact_ids(anc).collect();
-                let delta: Vec<FactId> = self
+                let adds: Vec<FactId> = self
                     .iter_fact_ids(id)
                     .filter(|f| anc_facts.binary_search(f).is_err())
                     .collect();
-                contributions.push((Some(ordinal[&anc]), delta));
+                let dels: Vec<FactId> = anc_facts
+                    .iter()
+                    .copied()
+                    .filter(|&f| !self.contains(id, f))
+                    .collect();
+                contributions.push((Some(ordinal[&anc]), adds, dels));
             }
         }
         // Compact fact table: only the facts the kept nodes reference.
         let mut fact_index: FxHashMap<FactId, u32> = FxHashMap::default();
         let mut fact_list: Vec<FactId> = Vec::new();
-        for (_, facts) in &contributions {
-            for &f in facts {
+        for (_, adds, dels) in &contributions {
+            for &f in adds.iter().chain(dels) {
                 fact_index.entry(f).or_insert_with(|| {
                     fact_list.push(f);
                     fact_list.len() as u32 - 1
@@ -564,17 +742,30 @@ impl DbStore {
             crate::serialize::encode_ground_atom(enc, self.store.fact(f));
         }
         enc.u32(kept.len() as u32);
-        for (anc, facts) in &contributions {
+        for (anc, adds, dels) in &contributions {
             match anc {
                 None => enc.u8(0),
-                Some(a) => {
+                // Tag 1 (adds-only) is kept distinct from tag 2 (signed) so
+                // positive-only DAGs encode exactly as they did before
+                // negative overlays existed.
+                Some(a) if dels.is_empty() => {
                     enc.u8(1);
                     enc.u32(*a);
                 }
+                Some(a) => {
+                    enc.u8(2);
+                    enc.u32(*a);
+                }
             }
-            enc.u32(facts.len() as u32);
-            for &f in facts {
+            enc.u32(adds.len() as u32);
+            for &f in adds {
                 enc.u32(fact_index[&f]);
+            }
+            if !dels.is_empty() {
+                enc.u32(dels.len() as u32);
+                for &f in dels {
+                    enc.u32(fact_index[&f]);
+                }
             }
         }
         kept
@@ -601,16 +792,16 @@ impl DbStore {
         let mut ids: Vec<DbId> = Vec::with_capacity(nnodes);
         for pos in 0..nnodes {
             let tag = dec.u8()?;
-            let anc = match tag {
-                0 => None,
-                1 => {
+            let (anc, signed) = match tag {
+                0 => (None, false),
+                1 | 2 => {
                     let a = dec.u32()? as usize;
                     if a >= pos {
                         return Err(Error::Invalid(format!(
                             "DAG node {pos} references ancestor {a} out of order"
                         )));
                     }
-                    Some(ids[a])
+                    (Some(ids[a]), tag == 2)
                 }
                 other => {
                     return Err(Error::Invalid(format!(
@@ -618,42 +809,49 @@ impl DbStore {
                     )))
                 }
             };
-            let count = dec.len_prefix(4)?;
-            let mut delta = Vec::with_capacity(count);
-            for _ in 0..count {
-                let idx = dec.u32()? as usize;
-                let &f = fact_ids.get(idx).ok_or_else(|| {
-                    Error::Invalid(format!("fact index {idx} out of range ({nfacts} facts)"))
-                })?;
-                delta.push(f);
-            }
+            let read_facts = |dec: &mut crate::serialize::Decoder<'_>| {
+                let count = dec.len_prefix(4)?;
+                let mut out = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let idx = dec.u32()? as usize;
+                    let &f = fact_ids.get(idx).ok_or_else(|| {
+                        Error::Invalid(format!("fact index {idx} out of range ({nfacts} facts)"))
+                    })?;
+                    out.push(f);
+                }
+                Ok::<_, Error>(out)
+            };
+            let mut adds = read_facts(dec)?;
+            let dels = if signed { read_facts(dec)? } else { Vec::new() };
             let id = match anc {
                 None => {
-                    delta.sort_unstable();
-                    delta.dedup();
-                    self.intern_sorted(delta)
+                    adds.sort_unstable();
+                    adds.dedup();
+                    self.intern_sorted(adds)
                 }
-                Some(base) => self.extend(base, &delta),
+                Some(base) => self.apply(base, &adds, &dels),
             };
             ids.push(id);
         }
         Ok(ids)
     }
 
-    /// Whether `cand`'s fact set equals `croot ∪ overlay`.
-    fn set_equals(&self, cand: DbId, croot: DbId, overlay: &[FactId]) -> bool {
+    /// Whether `cand`'s fact set equals `(croot ∖ neg_overlay) ∪ overlay`.
+    fn set_equals(&self, cand: DbId, croot: DbId, overlay: &[FactId], neg_overlay: &[FactId]) -> bool {
         let ce = &self.entries[cand.index()];
         if ce.croot == croot {
-            // Same flat root: the overlays are both sorted sets over it.
-            return ce.overlay.as_slice() == overlay;
+            // Same flat root: both signed overlays are sorted sets over it.
+            return ce.overlay.as_slice() == overlay && ce.neg_overlay.as_slice() == neg_overlay;
         }
         // Different roots (rare): compare full sorted iterations.
         let a = MergeIds {
             a: self.flat_facts(ce.croot),
+            sub: &ce.neg_overlay,
             b: &ce.overlay,
         };
         let b = MergeIds {
             a: self.flat_facts(croot),
+            sub: neg_overlay,
             b: overlay,
         };
         a.eq(b)
@@ -708,7 +906,9 @@ impl DbStore {
             parent: id,
             croot: id,
             delta: SmallVec::new(),
+            neg_delta: SmallVec::new(),
             overlay: Arc::new(Vec::new()),
+            neg_overlay: Arc::new(Vec::new()),
             len,
             set_hash,
             depth: 0,
@@ -724,9 +924,11 @@ impl DbStore {
     }
 }
 
-/// Sorted merge of two disjoint sorted fact-id slices.
+/// Sorted merge of `(a ∖ sub) ∪ b`, where `sub ⊆ a` and `b` is disjoint
+/// from `a`; all three slices sorted.
 struct MergeIds<'a> {
     a: &'a [FactId],
+    sub: &'a [FactId],
     b: &'a [FactId],
 }
 
@@ -734,6 +936,18 @@ impl Iterator for MergeIds<'_> {
     type Item = FactId;
 
     fn next(&mut self) -> Option<FactId> {
+        // Skip the masked prefix of `a`; `sub ⊆ a` and both are sorted, so
+        // walking them in lockstep suppresses exactly the masked members.
+        while let (Some(&x), Some(&s)) = (self.a.first(), self.sub.first()) {
+            if s < x {
+                self.sub = &self.sub[1..];
+            } else if s == x {
+                self.a = &self.a[1..];
+                self.sub = &self.sub[1..];
+            } else {
+                break;
+            }
+        }
         match (self.a.first(), self.b.first()) {
             (Some(&x), Some(&y)) => {
                 if x <= y {
@@ -757,7 +971,9 @@ impl Iterator for MergeIds<'_> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.a.len() + self.b.len();
+        // Exact because `sub ⊆ a` (every remaining mask member suppresses
+        // exactly one remaining member of `a`).
+        let n = self.a.len() + self.b.len() - self.sub.len();
         (n, Some(n))
     }
 }
@@ -968,6 +1184,136 @@ mod tests {
         assert!(DbStore::new()
             .decode_dag(&mut Decoder::new(&bad), &syms)
             .is_err());
+    }
+
+    #[test]
+    fn shrink_with_absent_facts_is_identity() {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts([fact(0, &[1])]);
+        let f = dbs.intern_fact(fact(0, &[9]));
+        assert_eq!(dbs.shrink(base, &[f]), base);
+    }
+
+    #[test]
+    fn shrink_masks_flat_root_facts() {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts((0..10).map(|i| fact(0, &[i])));
+        let f = dbs.intern_fact(fact(0, &[3]));
+        let smaller = dbs.shrink(base, &[f]);
+        assert_ne!(smaller, base);
+        let e = dbs.entry(smaller);
+        assert!(!e.is_flat());
+        assert_eq!(e.neg_delta(), &[f]);
+        assert_eq!(e.neg_overlay(), &[f]);
+        assert_eq!(e.len(), 9);
+        assert!(!dbs.contains(smaller, f));
+        assert!(dbs.contains(base, f), "base is untouched");
+        let ids: Vec<FactId> = dbs.iter_fact_ids(smaller).collect();
+        assert_eq!(ids.len(), 9);
+        assert!(!ids.contains(&f));
+    }
+
+    #[test]
+    fn shrink_of_overlay_fact_cancels_the_overlay() {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts([fact(0, &[1])]);
+        let f = dbs.intern_fact(fact(0, &[2]));
+        let bigger = dbs.extend(base, &[f]);
+        // Removing the overlay fact restores the original set — and must
+        // canonicalize back to the original id.
+        assert_eq!(dbs.shrink(bigger, &[f]), base);
+    }
+
+    #[test]
+    fn extend_revives_masked_facts() {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts((0..10).map(|i| fact(0, &[i])));
+        let f = dbs.intern_fact(fact(0, &[3]));
+        let smaller = dbs.shrink(base, &[f]);
+        // Re-adding the masked fact restores the original set and id.
+        assert_eq!(dbs.extend(smaller, &[f]), base);
+    }
+
+    #[test]
+    fn apply_removals_first_so_adds_win() {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts((0..5).map(|i| fact(0, &[i])));
+        let f = dbs.intern_fact(fact(0, &[2]));
+        let g = dbs.intern_fact(fact(0, &[99]));
+        let db = dbs.apply(base, &[f, g], &[f]);
+        assert!(dbs.contains(db, f), "a fact in both lists stays present");
+        assert!(dbs.contains(db, g));
+        assert_eq!(dbs.entry(db).len(), 6);
+    }
+
+    #[test]
+    fn neg_fingerprint_distinguishes_masked_nodes() {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts((0..10).map(|i| fact(0, &[i])));
+        assert_eq!(dbs.neg_fingerprint(base), 0);
+        let f = dbs.intern_fact(fact(0, &[3]));
+        let smaller = dbs.shrink(base, &[f]);
+        assert_ne!(dbs.neg_fingerprint(smaller), 0);
+    }
+
+    #[test]
+    fn shrink_canonicalizes_across_removal_orders() {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts((0..10).map(|i| fact(0, &[i])));
+        let f = dbs.intern_fact(fact(0, &[3]));
+        let g = dbs.intern_fact(fact(0, &[7]));
+        let just_f = dbs.shrink(base, &[f]);
+        let fg = dbs.shrink(just_f, &[g]);
+        let just_g = dbs.shrink(base, &[g]);
+        let gf = dbs.shrink(just_g, &[f]);
+        assert_eq!(fg, gf, "order of removals is immaterial");
+        assert_eq!(dbs.shrink(base, &[f, g]), fg, "batch removal unifies");
+    }
+
+    #[test]
+    fn shrink_chain_flattens_at_threshold() {
+        let n = 2 * FLATTEN_THRESHOLD as u32;
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts((0..n).map(|i| fact(0, &[i])));
+        let mut db = base;
+        for i in 0..FLATTEN_THRESHOLD as u32 {
+            let f = dbs.intern_fact(fact(0, &[i]));
+            db = dbs.shrink(db, &[f]);
+        }
+        let e = dbs.entry(db);
+        assert!(e.is_flat(), "mask crossing the threshold must flatten");
+        assert_eq!(e.len(), FLATTEN_THRESHOLD);
+        assert_eq!(dbs.neg_fingerprint(db), 0, "flat nodes mask nothing");
+    }
+
+    #[test]
+    fn dag_roundtrip_preserves_negative_overlays() {
+        use crate::serialize::{Decoder, Encoder};
+        use crate::symbol::SymbolTable;
+        let mut syms = SymbolTable::new();
+        for i in 0..32 {
+            syms.intern(&format!("s{i}"));
+        }
+        let mut dbs = DbStore::new();
+        let root = dbs.intern_facts((0..10).map(|i| fact(0, &[i])));
+        let f = dbs.intern_fact(fact(0, &[4]));
+        let g = dbs.intern_fact(fact(1, &[1]));
+        let h = dbs.intern_fact(fact(0, &[7]));
+        let shrunk = dbs.shrink(root, &[f]);
+        let mixed = dbs.apply(shrunk, &[g], &[h]);
+
+        let mut enc = Encoder::new();
+        let kept = dbs.encode_dag(&mut enc);
+        assert!(kept.contains(&shrunk) && kept.contains(&mixed));
+        let bytes = enc.finish();
+
+        let mut back = DbStore::new();
+        let ids = back
+            .decode_dag(&mut Decoder::new(&bytes), &syms)
+            .expect("decode");
+        for (old, new) in kept.iter().zip(ids.iter()) {
+            assert_eq!(dbs.to_database(*old), back.to_database(*new));
+        }
     }
 
     #[test]

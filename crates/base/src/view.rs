@@ -64,21 +64,27 @@ impl<'a> DbView<'a> {
     }
 
     /// Iterates the fact ids stored for `pred`: the shared index of the
-    /// flat root first, then this node's overlay additions.
+    /// flat root (minus any facts this node masks out) first, then this
+    /// node's overlay additions.
     pub fn facts_of(&self, pred: Symbol) -> impl Iterator<Item = FactId> + 'a {
         let store = self.store;
         let entry = store.entry(self.id);
+        let masked = entry.neg_overlay();
         let rooted = store
             .flat_by_pred(entry.croot())
             .get(&pred)
             .map_or(&[][..], |v| v.as_slice());
-        rooted.iter().copied().chain(
-            entry
-                .overlay()
-                .iter()
-                .copied()
-                .filter(move |&f| store.facts().fact(f).pred == pred),
-        )
+        rooted
+            .iter()
+            .copied()
+            .filter(move |f| masked.binary_search(f).is_err())
+            .chain(
+                entry
+                    .overlay()
+                    .iter()
+                    .copied()
+                    .filter(move |&f| store.facts().fact(f).pred == pred),
+            )
     }
 
     /// Iterates the argument tuples stored for `pred`.
@@ -99,6 +105,7 @@ impl<'a> DbView<'a> {
     ) -> impl Iterator<Item = FactId> + 'a {
         let store = self.store;
         let entry = store.entry(self.id);
+        let masked = entry.neg_overlay();
         let rooted = store
             .flat_by_arg(entry.croot())
             .get(&(pred, pos, c))
@@ -106,6 +113,7 @@ impl<'a> DbView<'a> {
         rooted
             .iter()
             .copied()
+            .filter(move |f| masked.binary_search(f).is_err())
             .chain(entry.overlay().iter().copied().filter(move |&f| {
                 let fact = store.facts().fact(f);
                 fact.pred == pred && fact.args.get(pos as usize) == Some(&c)
@@ -308,6 +316,43 @@ mod tests {
         let ids: Vec<_> = v.facts_of_bound(Symbol(0), 1, Symbol(30)).collect();
         assert_eq!(ids.len(), 1);
         assert_eq!(dbs.facts().fact(ids[0]).args[1], Symbol(30));
+    }
+
+    #[test]
+    fn view_subtracts_negative_overlay_on_all_read_paths() {
+        let mut dbs = DbStore::new();
+        let base = dbs.intern_facts([fact(0, &[1, 10]), fact(0, &[2, 20]), fact(0, &[1, 30])]);
+        let gone = dbs.intern_fact(fact(0, &[1, 10]));
+        let db = dbs.shrink(base, &[gone]);
+        let v = dbs.view(db);
+        assert_eq!(v.len(), 2);
+        assert!(!v.contains(&fact(0, &[1, 10])), "masked fact invisible");
+        assert!(v.contains(&fact(0, &[2, 20])));
+        // facts_of skips the masked fact.
+        assert_eq!(v.facts_of(Symbol(0)).count(), 2);
+        // facts_of_bound: the arg index of the flat root still lists the
+        // masked fact; the view must filter it.
+        let ids: Vec<_> = v.facts_of_bound(Symbol(0), 0, Symbol(1)).collect();
+        assert_eq!(ids.len(), 1);
+        assert_eq!(dbs.facts().fact(ids[0]).args[1], Symbol(30));
+        // Matching agrees with the materialized database.
+        let mat = v.to_database();
+        let pattern = Atom::new(Symbol(0), vec![Term::Const(Symbol(1)), Term::Var(Var(0))]);
+        let mut b = Bindings::new(1);
+        let mut via_view: Vec<u32> = Vec::new();
+        v.for_each_match(&pattern, &mut b, |bb| {
+            via_view.push(bb.get(Var(0)).unwrap().0);
+            false
+        });
+        let mut via_db: Vec<u32> = Vec::new();
+        mat.for_each_match(&pattern, &mut b, |bb| {
+            via_db.push(bb.get(Var(0)).unwrap().0);
+            false
+        });
+        via_view.sort_unstable();
+        via_db.sort_unstable();
+        assert_eq!(via_view, via_db);
+        assert_eq!(via_view, vec![30]);
     }
 
     #[test]

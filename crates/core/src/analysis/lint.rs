@@ -78,9 +78,10 @@ fn unbound_head_variables(rb: &Rulebase, out: &mut Vec<Lint>) {
                 // "binds" in the sense of constraining — but a variable
                 // appearing ONLY in the head is enumerated blindly.
                 Premise::Atom(a) => a.vars().collect::<Vec<_>>(),
-                Premise::Hyp { goal, adds } => goal
+                Premise::Hyp { goal, adds, dels } => goal
                     .vars()
                     .chain(adds.iter().flat_map(|a| a.vars()))
+                    .chain(dels.iter().flat_map(|a| a.vars()))
                     .collect(),
                 Premise::Neg(a) => a.vars().collect(),
             })

@@ -58,12 +58,21 @@ impl RecursionAnalysis {
                 graph.add_edge(rule.head.pred, q, EdgeKind::Negative);
                 edges.push((rule.head.pred, q, HypEdge::Negative));
             }
-            for q in rule.hypothetical_preds() {
+            for premise in rule.premises.iter().filter(|p| p.is_hypothetical()) {
+                let q = premise.goal().pred;
                 // Hypothetical goals participate in cycles like positive
                 // occurrences; the label distinction matters only for the
                 // stratification conditions, not for SCCs.
                 graph.add_edge(rule.head.pred, q, EdgeKind::Positive);
                 edges.push((rule.head.pred, q, HypEdge::Hypothetical));
+                // A `del:` list makes the goal occurrence negation-like:
+                // the premise's truth depends on facts of `q`'s database
+                // being *absent*, so recursion through it is as unsafe as
+                // recursion through `~q` and must cross a stratum.
+                if !premise.dels().is_empty() {
+                    graph.add_edge(rule.head.pred, q, EdgeKind::Negative);
+                    edges.push((rule.head.pred, q, HypEdge::Negative));
+                }
             }
             // Predicates that only appear inside add-lists or as premises
             // still need nodes so class lookups succeed.
@@ -192,6 +201,23 @@ mod tests {
         // genuine cycle is p -> q? No: p depends on q (hyp); r depends on p
         // (pos). No cycle.
         let (ra, syms) = analyze("p :- q[add: r].\nr :- p.");
+        let p = syms.lookup("p").unwrap();
+        let r = syms.lookup("r").unwrap();
+        assert!(!ra.mutually_recursive(p, r));
+        assert!(ra.negation_in_cycle().is_none());
+    }
+
+    #[test]
+    fn del_goals_are_negation_like_in_cycles() {
+        // Recursion through a del-carrying hypothetical goal is recursion
+        // through negation.
+        let (ra, _) = analyze("p :- p[del: c].");
+        assert!(ra.negation_in_cycle().is_some());
+        // Non-recursive del: use is fine.
+        let (ra, _) = analyze("p :- q[del: c].\nq :- r.");
+        assert!(ra.negation_in_cycle().is_none());
+        // del-list *atoms* are still not occurrences.
+        let (ra, syms) = analyze("p :- q[del: r].\nr :- p.");
         let p = syms.lookup("p").unwrap();
         let r = syms.lookup("r").unwrap();
         assert!(!ra.mutually_recursive(p, r));

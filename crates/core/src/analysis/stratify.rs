@@ -214,8 +214,10 @@ fn required_part(rules: &[&HypRule], part_of: &FxHashMap<Symbol, usize>, part: u
                     Premise::Neg(a) => (a.pred, even),
                     // Hypothetical occurrences: strictly below when the
                     // rule sits in an odd (Δ) segment; even segments allow
-                    // hypothetical recursion.
-                    Premise::Hyp { goal, .. } => (goal.pred, !even),
+                    // hypothetical recursion — unless the premise carries a
+                    // `del:` list, which is negation-like (the goal's facts
+                    // must be *absent*) and is strict everywhere.
+                    Premise::Hyp { goal, dels, .. } => (goal.pred, !even || !dels.is_empty()),
                 };
                 let qp = part_of.get(&q).copied().unwrap_or(0);
                 if qp > p || (strict && qp == p) {
@@ -584,6 +586,42 @@ mod tests {
         assert!(ls.part(e2) >= ls.part(d));
         assert!(ls.part(d) >= ls.part(a1));
         assert!(ls.in_sigma(a1));
+    }
+
+    #[test]
+    fn del_recursion_is_rejected_like_negation() {
+        let (ls, _) = strat("p :- p[del: c].");
+        assert!(matches!(ls, Err(Error::NotStratified { .. })));
+        let (ls, _) = strat("a :- b[del: c].\nb :- a.");
+        assert!(matches!(ls, Err(Error::NotStratified { .. })));
+    }
+
+    #[test]
+    fn del_goal_sits_strictly_below_even_in_sigma() {
+        // A del-carrying premise is negation-like: its goal must be
+        // defined strictly below, even inside a Σ segment where plain
+        // hypothetical recursion would be allowed.
+        let (ls, syms) = strat(
+            "a1 :- a1[add: c1].
+             a1 :- base.
+             d :- a1[add: g, del: c1].",
+        );
+        let ls = ls.unwrap();
+        let a1 = syms.lookup("a1").unwrap();
+        let d = syms.lookup("d").unwrap();
+        assert!(ls.part(d) > ls.part(a1), "del: goal strictly below");
+        let ns = {
+            let mut syms2 = SymbolTable::new();
+            let rb = parse_program(
+                "a1 :- a1[add: c1].
+                 a1 :- base.
+                 d :- a1[add: g, del: c1].",
+                &mut syms2,
+            )
+            .unwrap();
+            global_negation_strata(&rb).unwrap()
+        };
+        assert_eq!(ns.num_strata, 2, "global strata are strict across del:");
     }
 
     #[test]

@@ -4,8 +4,12 @@
 //! hypothetical query `A[add: B₁,…,Bₘ]`. Definition 1 gives the single-atom
 //! form `A[add: B]`; the multi-atom form is the generalization the paper
 //! itself uses in the §5.1.3 transition rules, which insert a control atom
-//! and two cell atoms in one step. A *hypothetical rule* is
-//! `H ← φ₁, …, φₖ` with atomic head `H`.
+//! and two cell atoms in one step. The `del:` list is the removal dual
+//! (after Sáenz-Pérez's restricted hypothetical Datalog):
+//! `A[add: B̄, del: C̄]` asks whether `A` is provable in
+//! `(DB ∖ C̄) ∪ B̄` — deletions apply first, so a fact listed in both ends
+//! up present. A *hypothetical rule* is `H ← φ₁, …, φₖ` with atomic
+//! head `H`.
 
 use hdl_base::{Atom, Symbol, Var};
 
@@ -20,13 +24,18 @@ pub enum Premise {
     /// assumption); `~A[add:B]` must be expressed via an auxiliary
     /// predicate `C ← A[add:B]` and `~C`.
     Neg(Atom),
-    /// `A[add: B₁,…,Bₘ]` — `A` provable after hypothetically inserting the
-    /// (ground instances of the) `Bᵢ`.
+    /// `A[add: B₁,…,Bₘ, del: C₁,…,Cₙ]` — `A` provable after hypothetically
+    /// removing the (ground instances of the) `Cⱼ` and inserting the `Bᵢ`,
+    /// in that order. At least one of the lists must be nonempty.
     Hyp {
-        /// The goal to prove in the augmented database.
+        /// The goal to prove in the modified database.
         goal: Atom,
-        /// The atoms to insert; must be nonempty.
+        /// The atoms to insert (may be empty if `dels` is not).
         adds: Vec<Atom>,
+        /// The atoms to remove (may be empty if `adds` is not). Removal is
+        /// negation-like for stratification: the goal's evaluation depends
+        /// on facts being *absent*.
+        dels: Vec<Atom>,
     },
 }
 
@@ -48,6 +57,15 @@ impl Premise {
         }
     }
 
+    /// The atoms hypothetically removed by this premise (empty unless
+    /// `Hyp` with a `del:` list).
+    pub fn dels(&self) -> &[Atom] {
+        match self {
+            Premise::Hyp { dels, .. } => dels,
+            _ => &[],
+        }
+    }
+
     /// Whether this premise is a negation.
     pub fn is_negative(&self) -> bool {
         matches!(self, Premise::Neg(_))
@@ -58,9 +76,11 @@ impl Premise {
         matches!(self, Premise::Hyp { .. })
     }
 
-    /// All atoms mentioned (goal plus additions).
+    /// All atoms mentioned (goal, additions, removals).
     pub fn atoms(&self) -> impl Iterator<Item = &Atom> {
-        std::iter::once(self.goal()).chain(self.adds().iter())
+        std::iter::once(self.goal())
+            .chain(self.adds().iter())
+            .chain(self.dels().iter())
     }
 
     /// All variables mentioned (with repeats).
@@ -138,6 +158,17 @@ impl HypRule {
         self.premises
             .iter()
             .flat_map(|p| p.adds().iter().map(|a| a.pred))
+    }
+
+    /// Predicates of atoms appearing in `del` lists (the removed facts).
+    ///
+    /// Like `add`-list atoms these are not occurrences; but a premise
+    /// carrying a `del:` list makes its *goal* occurrence negation-like
+    /// (see [`crate::analysis::RecursionAnalysis`]).
+    pub fn deleted_preds(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.premises
+            .iter()
+            .flat_map(|p| p.dels().iter().map(|a| a.pred))
     }
 
     /// Every predicate the rule mentions anywhere (head, premises, adds).
@@ -246,12 +277,14 @@ mod tests {
         let hyp = Premise::Hyp {
             goal: atom(0, &[v(0)]),
             adds: vec![atom(1, &[v(0)]), atom(2, &[])],
+            dels: vec![atom(4, &[v(1)])],
         };
         assert_eq!(hyp.goal().pred, s(0));
         assert_eq!(hyp.adds().len(), 2);
+        assert_eq!(hyp.dels().len(), 1);
         assert!(hyp.is_hypothetical());
         assert!(!hyp.is_negative());
-        assert_eq!(hyp.atoms().count(), 3);
+        assert_eq!(hyp.atoms().count(), 4);
 
         let neg = Premise::Neg(atom(3, &[]));
         assert!(neg.is_negative());
@@ -269,6 +302,7 @@ mod tests {
                 Premise::Hyp {
                     goal: atom(2, &[v(0)]),
                     adds: vec![atom(3, &[v(0)])],
+                    dels: vec![atom(4, &[v(0)])],
                 },
             ],
         );
@@ -276,6 +310,7 @@ mod tests {
         assert_eq!(r.negative_preds().collect::<Vec<_>>(), vec![s(1)]);
         assert_eq!(r.hypothetical_preds().collect::<Vec<_>>(), vec![s(2)]);
         assert_eq!(r.added_preds().collect::<Vec<_>>(), vec![s(3)]);
+        assert_eq!(r.deleted_preds().collect::<Vec<_>>(), vec![s(4)]);
         assert_eq!(r.num_vars, 1);
     }
 

@@ -3,8 +3,10 @@
 //! For a stratified hypothetical rulebase `R` and database `DB`, the
 //! *perfect model* `M(DB)` is computed stratum by stratum exactly as for
 //! stratified Horn programs ([1], [20] in the paper), with one addition: a
-//! hypothetical premise `B[add: C̄]θ` holds iff `Bθ ∈ M(DB ∪ C̄θ)` — the
-//! perfect model of the *augmented* database, computed recursively.
+//! hypothetical premise `B[add: Āθ, del: C̄θ]` holds iff
+//! `Bθ ∈ M((DB ∖ C̄θ) ∪ Āθ)` — the perfect model of the *modified*
+//! database, computed recursively (deletions apply first, so a fact in
+//! both lists ends up present).
 //!
 //! Termination: grounding substitutions range over the fixed domain
 //! `dom(R, DB)`, so the Herbrand base is finite and augmented databases
@@ -102,7 +104,15 @@ pub struct BottomUpEngine<'rb> {
 impl<'rb> BottomUpEngine<'rb> {
     /// Builds an engine; fails if `rb` is not stratified.
     pub fn new(rb: &'rb Rulebase, db: &Database) -> Result<Self> {
-        let ctx = Context::new(rb, db)?;
+        Self::new_with_constants(rb, db, &[])
+    }
+
+    /// Like [`BottomUpEngine::new`], but with `extra` constants joined
+    /// into the grounding domain — used by incremental maintenance,
+    /// which runs reduced rulebases that must ground negation and
+    /// hypothetical premises over the full program's `dom(R, DB)`.
+    pub fn new_with_constants(rb: &'rb Rulebase, db: &Database, extra: &[Symbol]) -> Result<Self> {
+        let ctx = Context::new_with_constants(rb, db, extra)?;
         let eval_strata = evaluation_strata(rb)?;
         let n = eval_strata.num_strata.max(1);
         let mut grouped: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -253,9 +263,9 @@ impl<'rb> BottomUpEngine<'rb> {
                 self.ensure_for_pred(base, atom.pred)?;
                 Ok(!self.exists_in_model(base, atom, &mut bindings))
             }
-            Premise::Hyp { goal, adds } => {
-                let free = collect_free(goal, adds, &bindings);
-                self.exists_hyp(goal, adds, &free, 0, &mut bindings, base)
+            Premise::Hyp { goal, adds, dels } => {
+                let free = collect_free(goal, adds, dels, &bindings);
+                self.exists_hyp(goal, adds, dels, &free, 0, &mut bindings, base)
             }
         };
         self.stats.record_overlay(self.ctx.dbs.overlay_stats());
@@ -645,11 +655,11 @@ impl<'rb> BottomUpEngine<'rb> {
                     rule, rule_idx, rot_j, idx, atom, &outer, 0, bindings, older, delta, db, out,
                 )
             }
-            Premise::Hyp { goal, adds } => {
-                let free = collect_free(goal, adds, bindings);
+            Premise::Hyp { goal, adds, dels } => {
+                let free = collect_free(goal, adds, dels, bindings);
                 self.hyp_groundings(
-                    rule, rule_idx, rot_j, idx, goal, adds, &free, 0, bindings, older, delta, db,
-                    out,
+                    rule, rule_idx, rot_j, idx, goal, adds, dels, &free, 0, bindings, older,
+                    delta, db, out,
                 )
             }
         }
@@ -725,7 +735,7 @@ impl<'rb> BottomUpEngine<'rb> {
     }
 
     /// Enumerates groundings of a hypothetical premise and tests each in
-    /// the (recursively computed, stratum-bounded) model of the augmented
+    /// the (recursively computed, stratum-bounded) model of the modified
     /// database.
     #[allow(clippy::too_many_arguments)]
     fn hyp_groundings(
@@ -736,6 +746,7 @@ impl<'rb> BottomUpEngine<'rb> {
         idx: usize,
         goal: &'rb Atom,
         adds: &'rb [Atom],
+        dels: &'rb [Atom],
         free: &[Var],
         fpos: usize,
         bindings: &mut Bindings,
@@ -752,12 +763,21 @@ impl<'rb> BottomUpEngine<'rb> {
                     self.ctx.fact_id(f)
                 })
                 .collect();
-            let db2 = self.ctx.dbs.extend(db, &add_ids);
+            let del_ids: Vec<FactId> = dels
+                .iter()
+                .map(|a| {
+                    let f = a.ground(bindings).expect("grounded");
+                    self.ctx.fact_id(f)
+                })
+                .collect();
+            let db2 = self.ctx.dbs.apply(db, &add_ids, &del_ids);
             let goal_fact = goal.ground(bindings).expect("grounded");
             let holds = if db2 == db {
-                // Degenerate hypothetical: all additions already present.
-                // The goal is tested inside the current fixpoint, where it
-                // behaves like a positive premise (monotone).
+                // Degenerate hypothetical: every addition already present
+                // and every deletion already absent. The goal is tested
+                // inside the current fixpoint, where it behaves like a
+                // positive premise (monotone — the EDB never changes
+                // during a fixpoint, so the degeneracy is round-stable).
                 older.contains(&goal_fact)
                     || delta.contains(&goal_fact)
                     || self.ctx.dbs.view(db).contains(&goal_fact)
@@ -792,6 +812,7 @@ impl<'rb> BottomUpEngine<'rb> {
                 idx,
                 goal,
                 adds,
+                dels,
                 free,
                 fpos + 1,
                 bindings,
@@ -834,6 +855,7 @@ impl<'rb> BottomUpEngine<'rb> {
         &mut self,
         goal: &Atom,
         adds: &[Atom],
+        dels: &[Atom],
         free: &[Var],
         fpos: usize,
         bindings: &mut Bindings,
@@ -847,7 +869,14 @@ impl<'rb> BottomUpEngine<'rb> {
                     self.ctx.fact_id(f)
                 })
                 .collect();
-            let db2 = self.ctx.dbs.extend(db, &add_ids);
+            let del_ids: Vec<FactId> = dels
+                .iter()
+                .map(|a| {
+                    let f = a.ground(bindings).expect("grounded");
+                    self.ctx.fact_id(f)
+                })
+                .collect();
+            let db2 = self.ctx.dbs.apply(db, &add_ids, &del_ids);
             let goal_fact = goal.ground(bindings).expect("grounded");
             return self.proves(db2, &goal_fact);
         }
@@ -855,7 +884,7 @@ impl<'rb> BottomUpEngine<'rb> {
         for i in 0..self.ctx.domain.len() {
             let c = self.ctx.domain[i];
             bindings.set(v, c);
-            if self.exists_hyp(goal, adds, free, fpos + 1, bindings, db)? {
+            if self.exists_hyp(goal, adds, dels, free, fpos + 1, bindings, db)? {
                 bindings.unset(v);
                 return Ok(true);
             }

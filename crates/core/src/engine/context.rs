@@ -50,9 +50,19 @@ pub struct Context<'rb> {
 impl<'rb> Context<'rb> {
     /// Builds a context; fails if the rulebase is not stratified.
     pub fn new(rb: &'rb Rulebase, db: &Database) -> Result<Self> {
+        Self::new_with_constants(rb, db, &[])
+    }
+
+    /// Like [`Context::new`], but with `extra` constants joined into
+    /// `dom(R, DB)`. Incremental maintenance evaluates *reduced*
+    /// rulebases whose groundings must still range over the full
+    /// program's domain; this is how the dropped rules' constants get
+    /// back in.
+    pub fn new_with_constants(rb: &'rb Rulebase, db: &Database, extra: &[Symbol]) -> Result<Self> {
         let strata = global_negation_strata(rb)?;
         let mut domain: Vec<Symbol> = db.constants().into_iter().collect();
         domain.extend(rb.constants());
+        domain.extend_from_slice(extra);
         domain.sort_unstable();
         domain.dedup();
 

@@ -134,12 +134,16 @@ impl<'a> ModelLayers<'a> {
     }
 }
 
-/// The variables of `goal` and `adds` not bound under `bindings`, in
-/// first-occurrence order (the enumeration order for grounding a
-/// hypothetical premise over the domain).
-pub fn collect_free(goal: &Atom, adds: &[Atom], bindings: &Bindings) -> Vec<Var> {
+/// The variables of `goal`, `adds`, and `dels` not bound under
+/// `bindings`, in first-occurrence order (the enumeration order for
+/// grounding a hypothetical premise over the domain).
+pub fn collect_free(goal: &Atom, adds: &[Atom], dels: &[Atom], bindings: &Bindings) -> Vec<Var> {
     let mut free: Vec<Var> = Vec::new();
-    for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
+    for v in goal
+        .vars()
+        .chain(adds.iter().flat_map(|a| a.vars()))
+        .chain(dels.iter().flat_map(|a| a.vars()))
+    {
         if bindings.get(v).is_none() && !free.contains(&v) {
             free.push(v);
         }
@@ -636,10 +640,17 @@ mod tests {
             Symbol(1),
             vec![Term::Var(Var(2)), Term::Var(Var(1))],
         )];
-        let mut b = Bindings::new(3);
-        assert_eq!(collect_free(&goal, &adds, &b), vec![Var(1), Var(0), Var(2)]);
+        let dels = [Atom::new(Symbol(2), vec![Term::Var(Var(3))])];
+        let mut b = Bindings::new(4);
+        assert_eq!(
+            collect_free(&goal, &adds, &dels, &b),
+            vec![Var(1), Var(0), Var(2), Var(3)]
+        );
         b.set(Var(0), Symbol(9));
-        assert_eq!(collect_free(&goal, &adds, &b), vec![Var(1), Var(2)]);
+        assert_eq!(
+            collect_free(&goal, &adds, &dels, &b),
+            vec![Var(1), Var(2), Var(3)]
+        );
         assert!(empty_layer().is_empty());
     }
 }

@@ -51,12 +51,14 @@ pub enum ProofChild {
         /// The database the failure was established in.
         db: DbId,
     },
-    /// A hypothetical premise: the inserted facts and the goal's proof in
-    /// the augmented database.
+    /// A hypothetical premise: the inserted/removed facts and the goal's
+    /// proof in the modified database.
     Hypothetical {
         /// The ground facts inserted.
         adds: Vec<GroundAtom>,
-        /// The augmented database.
+        /// The ground facts removed.
+        dels: Vec<GroundAtom>,
+        /// The modified database.
         db: DbId,
         /// Proof of the goal there.
         sub: Box<ProofNode>,
@@ -202,17 +204,24 @@ fn render_into(node: &ProofNode, syms: &SymbolTable, indent: usize, out: &mut St
                             crate::pretty::atom(atom, syms)
                         );
                     }
-                    ProofChild::Hypothetical { adds, sub, .. } => {
-                        let rendered: Vec<String> = adds
-                            .iter()
-                            .map(|a| crate::pretty::ground_atom(a, syms))
-                            .collect();
-                        let _ = writeln!(
-                            out,
-                            "{}[add: {}]",
-                            "  ".repeat(indent + 1),
-                            rendered.join(", ")
-                        );
+                    ProofChild::Hypothetical { adds, dels, sub, .. } => {
+                        let mut groups: Vec<String> = Vec::new();
+                        if !adds.is_empty() {
+                            let rendered: Vec<String> = adds
+                                .iter()
+                                .map(|a| crate::pretty::ground_atom(a, syms))
+                                .collect();
+                            groups.push(format!("add: {}", rendered.join(", ")));
+                        }
+                        if !dels.is_empty() {
+                            let rendered: Vec<String> = dels
+                                .iter()
+                                .map(|a| crate::pretty::ground_atom(a, syms))
+                                .collect();
+                            groups.push(format!("del: {}", rendered.join(", ")));
+                        }
+                        let _ =
+                            writeln!(out, "{}[{}]", "  ".repeat(indent + 1), groups.join(", "));
                         render_into(sub, syms, indent + 2, out);
                     }
                 }
@@ -246,6 +255,7 @@ mod tests {
                 ProofChild::Positive(Box::new(leaf.clone())),
                 ProofChild::Hypothetical {
                     adds: vec![fact(2, &[])],
+                    dels: Vec::new(),
                     db: DbId(1),
                     sub: Box::new(leaf.clone()),
                 },

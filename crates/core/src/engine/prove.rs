@@ -4,7 +4,8 @@
 //!
 //! - **`PROVE_Σᵢ`** (§5.2.1) is the NP component: goals whose predicate is
 //!   defined in an even partition `Σᵢ` are expanded top-down. Line 1 tests
-//!   database membership, line 2 rewrites `B[add: C̄]` into `(B, DB ∪ C̄)`,
+//!   database membership, line 2 rewrites `B[add: Ā, del: C̄]` into
+//!   `(B, (DB ∖ C̄) ∪ Ā)`,
 //!   line 3 nondeterministically picks a defining rule and grounding, and
 //!   line 4 hands every remaining goal to `PROVE_Δᵢ`. The paper's
 //!   nondeterminism becomes deterministic backtracking over (rule,
@@ -235,14 +236,18 @@ impl<'rb> ProveEngine<'rb> {
                 self.exists_atomic(atom, &free, 0, &mut bindings, base)
                     .map(|found| !found)
             }
-            Premise::Hyp { goal, adds } => {
+            Premise::Hyp { goal, adds, dels } => {
                 let mut free: Vec<Var> = Vec::new();
-                for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
+                for v in goal
+                    .vars()
+                    .chain(adds.iter().flat_map(|a| a.vars()))
+                    .chain(dels.iter().flat_map(|a| a.vars()))
+                {
                     if bindings.get(v).is_none() && !free.contains(&v) {
                         free.push(v);
                     }
                 }
-                self.exists_hyp(goal, adds, &free, 0, &mut bindings, base)
+                self.exists_hyp(goal, adds, dels, &free, 0, &mut bindings, base)
             }
         };
         self.stats.overlay = self.ctx.dbs.overlay_stats();
@@ -488,16 +493,21 @@ impl<'rb> ProveEngine<'rb> {
                     stratum, rule, rule_idx, idx, atom, &inner, &outer, 0, bindings, db, depth, cut,
                 )
             }
-            Premise::Hyp { goal, adds } => {
-                // Line 2: (B[add:C̄], DB) → (B, DB ∪ C̄).
+            Premise::Hyp { goal, adds, dels } => {
+                // Line 2: (B[add: Ā, del: C̄], DB) → (B, (DB ∖ C̄) ∪ Ā).
                 let mut free: Vec<Var> = Vec::new();
-                for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
+                for v in goal
+                    .vars()
+                    .chain(adds.iter().flat_map(|a| a.vars()))
+                    .chain(dels.iter().flat_map(|a| a.vars()))
+                {
                     if bindings.get(v).is_none() && !free.contains(&v) {
                         free.push(v);
                     }
                 }
                 self.sigma_hyp_groundings(
-                    stratum, rule, rule_idx, idx, goal, adds, &free, 0, bindings, db, depth, cut,
+                    stratum, rule, rule_idx, idx, goal, adds, dels, &free, 0, bindings, db, depth,
+                    cut,
                 )
             }
         }
@@ -627,6 +637,7 @@ impl<'rb> ProveEngine<'rb> {
         idx: usize,
         goal: &'rb Atom,
         adds: &'rb [Atom],
+        dels: &'rb [Atom],
         free: &[Var],
         fpos: usize,
         bindings: &mut Bindings,
@@ -642,7 +653,14 @@ impl<'rb> ProveEngine<'rb> {
                     self.ctx.fact_id(f)
                 })
                 .collect();
-            let db2 = self.ctx.dbs.extend(db, &add_ids);
+            let del_ids: Vec<FactId> = dels
+                .iter()
+                .map(|a| {
+                    let f = a.ground(bindings).expect("grounded");
+                    self.ctx.fact_id(f)
+                })
+                .collect();
+            let db2 = self.ctx.dbs.apply(db, &add_ids, &del_ids);
             let gfact = goal.ground(bindings).expect("grounded");
             let gid = self.ctx.fact_id(gfact);
             if self.prove_atomic(gid, db2, depth + 1, cut)? {
@@ -670,6 +688,7 @@ impl<'rb> ProveEngine<'rb> {
                 idx,
                 goal,
                 adds,
+                dels,
                 free,
                 fpos + 1,
                 bindings,
@@ -716,10 +735,12 @@ impl<'rb> ProveEngine<'rb> {
         Ok(false)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exists_hyp(
         &mut self,
         goal: &Atom,
         adds: &[Atom],
+        dels: &[Atom],
         free: &[Var],
         fpos: usize,
         bindings: &mut Bindings,
@@ -733,7 +754,14 @@ impl<'rb> ProveEngine<'rb> {
                     self.ctx.fact_id(f)
                 })
                 .collect();
-            let db2 = self.ctx.dbs.extend(db, &add_ids);
+            let del_ids: Vec<FactId> = dels
+                .iter()
+                .map(|a| {
+                    let f = a.ground(bindings).expect("grounded");
+                    self.ctx.fact_id(f)
+                })
+                .collect();
+            let db2 = self.ctx.dbs.apply(db, &add_ids, &del_ids);
             let gfact = goal.ground(bindings).expect("grounded");
             let gid = self.ctx.fact_id(gfact);
             let mut cut = NO_CUT;
@@ -743,7 +771,7 @@ impl<'rb> ProveEngine<'rb> {
         for i in 0..self.ctx.domain.len() {
             let c = self.ctx.domain[i];
             bindings.set(v, c);
-            if self.exists_hyp(goal, adds, free, fpos + 1, bindings, db)? {
+            if self.exists_hyp(goal, adds, dels, free, fpos + 1, bindings, db)? {
                 bindings.unset(v);
                 return Ok(true);
             }
@@ -1093,19 +1121,24 @@ impl<'rb> ProveEngine<'rb> {
                     bindings, older, delta, db, out,
                 )
             }
-            Premise::Hyp { goal, adds } => {
+            Premise::Hyp { goal, adds, dels } => {
                 // TEST⁰'s final case: a hypothetical premise resolved by
-                // the oracle — expand the insertion and prove below.
+                // the oracle — apply the insertions/deletions and prove
+                // below.
                 self.stats.oracle_calls += 1;
                 let mut free: Vec<Var> = Vec::new();
-                for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
+                for v in goal
+                    .vars()
+                    .chain(adds.iter().flat_map(|a| a.vars()))
+                    .chain(dels.iter().flat_map(|a| a.vars()))
+                {
                     if bindings.get(v).is_none() && !free.contains(&v) {
                         free.push(v);
                     }
                 }
                 self.delta_hyp_groundings(
-                    rule, rule_idx, rot_j, delta_part, class, idx, goal, adds, &free, 0, bindings,
-                    older, delta, db, out,
+                    rule, rule_idx, rot_j, delta_part, class, idx, goal, adds, dels, &free, 0,
+                    bindings, older, delta, db, out,
                 )
             }
         }
@@ -1268,6 +1301,7 @@ impl<'rb> ProveEngine<'rb> {
         idx: usize,
         goal: &'rb Atom,
         adds: &'rb [Atom],
+        dels: &'rb [Atom],
         free: &[Var],
         fpos: usize,
         bindings: &mut Bindings,
@@ -1284,7 +1318,14 @@ impl<'rb> ProveEngine<'rb> {
                     self.ctx.fact_id(f)
                 })
                 .collect();
-            let db2 = self.ctx.dbs.extend(db, &add_ids);
+            let del_ids: Vec<FactId> = dels
+                .iter()
+                .map(|a| {
+                    let f = a.ground(bindings).expect("grounded");
+                    self.ctx.fact_id(f)
+                })
+                .collect();
+            let db2 = self.ctx.dbs.apply(db, &add_ids, &del_ids);
             let gfact = goal.ground(bindings).expect("grounded");
             let gid = self.ctx.fact_id(gfact);
             let mut cut = NO_CUT;
@@ -1319,6 +1360,7 @@ impl<'rb> ProveEngine<'rb> {
                 idx,
                 goal,
                 adds,
+                dels,
                 free,
                 fpos + 1,
                 bindings,

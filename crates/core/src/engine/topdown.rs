@@ -3,7 +3,8 @@
 //! This engine implements Definition 3 plus negation-as-failure directly:
 //!
 //! 1. `R, DB ⊢ A` if `A ∈ DB`;
-//! 2. `R, DB ⊢ A[add: C̄]` if `R, DB ∪ C̄ ⊢ A`;
+//! 2. `R, DB ⊢ A[add: B̄, del: C̄]` if `R, (DB ∖ C̄) ∪ B̄ ⊢ A` (deletions
+//!    apply first, so a fact named in both lists ends up present);
 //! 3. `R, DB ⊢ A` if some rule instance `A ← φ₁,…,φₖ` (ground substitution
 //!    over `dom(R, DB)`) has all premises provable;
 //! 4. `R, DB ⊢ ~A` if `R, DB ⊬ A` (requires stratified negation).
@@ -155,14 +156,18 @@ impl<'rb> TopDownEngine<'rb> {
                 self.exists_proof(atom, &free, &mut bindings, db, 0)
                     .map(|found| !found)
             }
-            Premise::Hyp { goal, adds } => {
+            Premise::Hyp { goal, adds, dels } => {
                 let mut free: Vec<Var> = Vec::new();
-                for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
+                for v in goal
+                    .vars()
+                    .chain(adds.iter().flat_map(|a| a.vars()))
+                    .chain(dels.iter().flat_map(|a| a.vars()))
+                {
                     if bindings.get(v).is_none() && !free.contains(&v) {
                         free.push(v);
                     }
                 }
-                self.exists_hyp_proof(goal, adds, &free, 0, &mut bindings, db, 0)
+                self.exists_hyp_proof(goal, adds, dels, &free, 0, &mut bindings, db, 0)
             }
         };
         self.stats.record_overlay(self.ctx.dbs.overlay_stats());
@@ -197,9 +202,13 @@ impl<'rb> TopDownEngine<'rb> {
                 self.stats.record_overlay(self.ctx.dbs.overlay_stats());
                 Ok(node)
             }
-            Premise::Hyp { goal, adds } => {
+            Premise::Hyp { goal, adds, dels } => {
                 let mut free: Vec<Var> = Vec::new();
-                for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
+                for v in goal
+                    .vars()
+                    .chain(adds.iter().flat_map(|a| a.vars()))
+                    .chain(dels.iter().flat_map(|a| a.vars()))
+                {
                     if bindings.get(v).is_none() && !free.contains(&v) {
                         free.push(v);
                     }
@@ -213,7 +222,14 @@ impl<'rb> TopDownEngine<'rb> {
                             eng.ctx.fact_id(f)
                         })
                         .collect();
-                    let db2 = eng.extend_db(base, &add_ids)?;
+                    let del_ids: Vec<FactId> = dels
+                        .iter()
+                        .map(|a| {
+                            let f = a.ground(b).expect("grounded");
+                            eng.ctx.fact_id(f)
+                        })
+                        .collect();
+                    let db2 = eng.apply_db(base, &add_ids, &del_ids)?;
                     let gfact = goal.ground(b).expect("grounded");
                     let gid = eng.ctx.fact_id(gfact);
                     let mut cut = NO_CUT;
@@ -279,21 +295,30 @@ impl<'rb> TopDownEngine<'rb> {
                         Premise::Neg(a) => {
                             children.push(ProofChild::NegationHolds { atom: subst(a), db });
                         }
-                        Premise::Hyp { goal, adds } => {
+                        Premise::Hyp { goal, adds, dels } => {
                             let ground_adds: Vec<hdl_base::GroundAtom> = adds
                                 .iter()
                                 .map(|a| subst(a).to_ground().expect("add atom ground"))
+                                .collect();
+                            let ground_dels: Vec<hdl_base::GroundAtom> = dels
+                                .iter()
+                                .map(|a| subst(a).to_ground().expect("del atom ground"))
                                 .collect();
                             let add_ids: Vec<FactId> = ground_adds
                                 .iter()
                                 .map(|g| self.ctx.fact_id(g.clone()))
                                 .collect();
-                            let db2 = self.ctx.dbs.extend(db, &add_ids);
+                            let del_ids: Vec<FactId> = ground_dels
+                                .iter()
+                                .map(|g| self.ctx.fact_id(g.clone()))
+                                .collect();
+                            let db2 = self.ctx.dbs.apply(db, &add_ids, &del_ids);
                             let gfact = subst(goal).to_ground().expect("hyp goal ground");
                             let gid = self.ctx.fact_id(gfact);
                             let sub = self.reconstruct(gid, db2)?;
                             children.push(ProofChild::Hypothetical {
                                 adds: ground_adds,
+                                dels: ground_dels,
                                 db: db2,
                                 sub: Box::new(sub),
                             });
@@ -501,9 +526,13 @@ impl<'rb> TopDownEngine<'rb> {
                 })?;
                 Ok(found)
             }
-            Premise::Hyp { goal, adds } => {
+            Premise::Hyp { goal, adds, dels } => {
                 let mut free: Vec<Var> = Vec::new();
-                for v in goal.vars().chain(adds.iter().flat_map(|a| a.vars())) {
+                for v in goal
+                    .vars()
+                    .chain(adds.iter().flat_map(|a| a.vars()))
+                    .chain(dels.iter().flat_map(|a| a.vars()))
+                {
                     if bindings.get(v).is_none() && !free.contains(&v) {
                         free.push(v);
                     }
@@ -517,7 +546,14 @@ impl<'rb> TopDownEngine<'rb> {
                             eng.ctx.fact_id(f)
                         })
                         .collect();
-                    let db2 = eng.extend_db(db, &add_ids)?;
+                    let del_ids: Vec<FactId> = dels
+                        .iter()
+                        .map(|a| {
+                            let f = a.ground(b).expect("del atom grounded");
+                            eng.ctx.fact_id(f)
+                        })
+                        .collect();
+                    let db2 = eng.apply_db(db, &add_ids, &del_ids)?;
                     let gfact = goal.ground(b).expect("goal grounded");
                     let gid = eng.ctx.fact_id(gfact);
                     if eng.prove(gid, db2, depth + 1, cut)? {
@@ -649,6 +685,7 @@ impl<'rb> TopDownEngine<'rb> {
         &mut self,
         goal: &Atom,
         adds: &[Atom],
+        dels: &[Atom],
         free: &[Var],
         fpos: usize,
         bindings: &mut Bindings,
@@ -663,7 +700,14 @@ impl<'rb> TopDownEngine<'rb> {
                     self.ctx.fact_id(f)
                 })
                 .collect();
-            let db2 = self.extend_db(db, &add_ids)?;
+            let del_ids: Vec<FactId> = dels
+                .iter()
+                .map(|a| {
+                    let f = a.ground(bindings).expect("grounded");
+                    self.ctx.fact_id(f)
+                })
+                .collect();
+            let db2 = self.apply_db(db, &add_ids, &del_ids)?;
             let gfact = goal.ground(bindings).expect("grounded");
             let gid = self.ctx.fact_id(gfact);
             let mut cut = NO_CUT;
@@ -673,7 +717,7 @@ impl<'rb> TopDownEngine<'rb> {
         for i in 0..self.ctx.domain.len() {
             let c = self.ctx.domain[i];
             bindings.set(v, c);
-            if self.exists_hyp_proof(goal, adds, free, fpos + 1, bindings, db, depth)? {
+            if self.exists_hyp_proof(goal, adds, dels, free, fpos + 1, bindings, db, depth)? {
                 bindings.unset(v);
                 return Ok(true);
             }
@@ -707,9 +751,9 @@ impl<'rb> TopDownEngine<'rb> {
         Ok(false)
     }
 
-    fn extend_db(&mut self, db: DbId, adds: &[FactId]) -> Result<DbId> {
+    fn apply_db(&mut self, db: DbId, adds: &[FactId], dels: &[FactId]) -> Result<DbId> {
         let before = self.ctx.dbs.len();
-        let db2 = self.ctx.dbs.extend(db, adds);
+        let db2 = self.ctx.dbs.apply(db, adds, dels);
         if self.ctx.dbs.len() > before {
             self.stats.databases_created += 1;
             if self.stats.databases_created > self.limits.max_databases {

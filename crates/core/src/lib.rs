@@ -4,8 +4,10 @@
 //! Datalog: Negation and Linear Recursion* (PODS 1989).
 //!
 //! The language extends function-free Horn logic with hypothetical
-//! premises `A[add: B₁,…,Bₘ]` ("infer `A` after inserting the `Bᵢ`") and
-//! negation-as-failure. This crate provides:
+//! premises `A[add: B₁,…,Bₘ]` ("infer `A` after inserting the `Bᵢ`"),
+//! their deleting duals `A[del: C₁,…,Cₖ]` ("infer `A` after removing the
+//! `Cᵢ`", which stratify like negation — see [`maintain`] and DESIGN.md
+//! §3.13), and negation-as-failure. This crate provides:
 //!
 //! - [`ast`] — premises, rules (Definitions 1–2), rulebases;
 //! - [`parser`] — a Prolog-flavoured concrete syntax with `[add: …]`;
@@ -35,6 +37,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod engine;
+pub mod maintain;
 pub mod parser;
 pub mod pretty;
 pub mod session;
@@ -47,6 +50,7 @@ pub use ast::{HypRule, Premise, Rulebase};
 pub use engine::{
     BottomUpEngine, Budget, CancelToken, MemoryLimits, NaiveEngine, ProveEngine, TopDownEngine,
 };
+pub use maintain::{MaintenanceStats, MaterializedModel};
 pub use parser::{parse_program, parse_query, split_facts};
 pub use session::{Mutation, Session, SessionObserver};
 pub use snapshot::Snapshot;

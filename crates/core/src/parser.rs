@@ -321,23 +321,74 @@ impl<'s> Parser<'s> {
         let goal = self.parse_atom()?;
         if self.peek() == Some(&Tok::LBracket) {
             self.bump();
-            match self.bump() {
-                Some(Tok::Ident(kw)) if kw == "add" => {}
-                _ => {
-                    self.pos = self.pos.saturating_sub(1);
-                    return Err(self.error_at("expected `add` after `[`"));
-                }
-            }
-            self.expect(&Tok::Colon, "`:` after `add`")?;
-            let mut adds = vec![self.parse_atom()?];
-            while self.peek() == Some(&Tok::Comma) {
-                self.bump();
-                adds.push(self.parse_atom()?);
-            }
-            self.expect(&Tok::RBracket, "`]`")?;
-            return Ok(Premise::Hyp { goal, adds });
+            let (adds, dels) = self.parse_hyp_lists()?;
+            return Ok(Premise::Hyp { goal, adds, dels });
         }
         Ok(Premise::Atom(goal))
+    }
+
+    /// Parses the body of a hypothetical bracket after `[`: one or more
+    /// keyword groups `add: A₁,…,Aₘ` / `del: C₁,…,Cₙ`, comma-separated, up
+    /// to the closing `]`. Each keyword may appear at most once; an atom
+    /// after a group's atoms continues that group.
+    fn parse_hyp_lists(&mut self) -> Result<(Vec<Atom>, Vec<Atom>)> {
+        let mut adds: Vec<Atom> = Vec::new();
+        let mut dels: Vec<Atom> = Vec::new();
+        // Which list the current keyword group appends to; `None` until the
+        // first keyword has been seen.
+        let mut current: Option<bool> = None; // true = adds, false = dels
+        loop {
+            // A keyword introducer is an identifier followed by `:` — a
+            // plain atom can never match because `:` cannot follow an atom
+            // inside the bracket.
+            let at_keyword = matches!(
+                (self.peek(), self.toks.get(self.pos + 1).map(|(t, _, _)| t)),
+                (Some(Tok::Ident(_)), Some(Tok::Colon))
+            );
+            if at_keyword {
+                let Some(Tok::Ident(kw)) = self.bump() else {
+                    unreachable!("peeked an identifier")
+                };
+                let is_add = match kw.as_str() {
+                    "add" => true,
+                    "del" => false,
+                    other => {
+                        self.pos = self.pos.saturating_sub(1);
+                        return Err(self.error_at(format!(
+                            "unknown premise keyword `{other}` in hypothetical \
+                             bracket; expected `add:` or `del:`"
+                        )));
+                    }
+                };
+                let seen = if is_add { !adds.is_empty() } else { !dels.is_empty() };
+                if seen || current == Some(is_add) {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error_at(format!(
+                        "duplicate `{kw}:` group in hypothetical bracket"
+                    )));
+                }
+                current = Some(is_add);
+                self.expect(&Tok::Colon, format!("`:` after `{kw}`").as_str())?;
+            } else if current.is_none() {
+                return Err(self.error_at("expected `add:` or `del:` after `[`"));
+            }
+            let atom = self.parse_atom()?;
+            if current == Some(true) {
+                adds.push(atom);
+            } else {
+                dels.push(atom);
+            }
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.bump();
+                }
+                Some(Tok::RBracket) => {
+                    self.bump();
+                    return Ok((adds, dels));
+                }
+                _ => return Err(self.error_at("expected `,` or `]` in hypothetical bracket")),
+            }
+        }
     }
 
     fn parse_rule(&mut self) -> Result<HypRule> {
@@ -484,9 +535,10 @@ mod tests {
         let (rb, syms) = parse("within1(S, D) :- grad(S, D)[add: take(S, C)].");
         let r = &rb.rules[0];
         assert_eq!(r.premises.len(), 1);
-        let Premise::Hyp { goal, adds } = &r.premises[0] else {
+        let Premise::Hyp { goal, adds, dels } = &r.premises[0] else {
             panic!("expected hypothetical premise");
         };
+        assert!(dels.is_empty());
         assert_eq!(goal.pred, syms.lookup("grad").unwrap());
         assert_eq!(adds.len(), 1);
         assert_eq!(adds[0].pred, syms.lookup("take").unwrap());
@@ -500,6 +552,83 @@ mod tests {
             panic!()
         };
         assert_eq!(adds.len(), 3);
+    }
+
+    #[test]
+    fn parses_del_lists() {
+        let (rb, syms) = parse("p(X) :- q(X)[del: r(X)].");
+        let Premise::Hyp { goal, adds, dels } = &rb.rules[0].premises[0] else {
+            panic!("expected hypothetical premise");
+        };
+        assert_eq!(goal.pred, syms.lookup("q").unwrap());
+        assert!(adds.is_empty());
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].pred, syms.lookup("r").unwrap());
+    }
+
+    #[test]
+    fn parses_combined_add_del_lists_with_whitespace() {
+        let (rb, _) = parse("a :- b[ add:  c , d(X) ,\n  del:  e , f ].");
+        let Premise::Hyp { adds, dels, .. } = &rb.rules[0].premises[0] else {
+            panic!()
+        };
+        assert_eq!(adds.len(), 2);
+        assert_eq!(dels.len(), 2);
+        // del-first order also parses.
+        let (rb, _) = parse("a :- b[del: e, add: c].");
+        let Premise::Hyp { adds, dels, .. } = &rb.rules[0].premises[0] else {
+            panic!()
+        };
+        assert_eq!(adds.len(), 1);
+        assert_eq!(dels.len(), 1);
+    }
+
+    #[test]
+    fn add_and_del_may_name_atoms_called_add_or_del() {
+        // `add` / `del` are only keywords when followed by `:`.
+        let (rb, _) = parse("a :- b[add: add, del, del: add].");
+        let Premise::Hyp { adds, dels, .. } = &rb.rules[0].premises[0] else {
+            panic!()
+        };
+        assert_eq!(adds.len(), 2);
+        assert_eq!(dels.len(), 1);
+    }
+
+    #[test]
+    fn unknown_premise_keyword_is_a_spanned_error() {
+        let mut syms = SymbolTable::new();
+        let err = parse_program("p :- q[remove: r].", &mut syms).unwrap_err();
+        let Error::Parse {
+            line,
+            column,
+            message,
+        } = err
+        else {
+            panic!("expected parse error")
+        };
+        assert_eq!(line, 1);
+        assert_eq!(column, 8, "error points at the keyword itself");
+        assert!(message.contains("unknown premise keyword `remove`"), "{message}");
+        assert!(message.contains("`add:` or `del:`"), "{message}");
+    }
+
+    #[test]
+    fn duplicate_keyword_groups_are_rejected() {
+        let mut syms = SymbolTable::new();
+        let err = parse_program("p :- q[add: a, del: b, add: c].", &mut syms).unwrap_err();
+        assert!(err.to_string().contains("duplicate `add:`"), "{err}");
+        let err = parse_program("p :- q[del: a, del: b].", &mut syms).unwrap_err();
+        assert!(err.to_string().contains("duplicate `del:`"), "{err}");
+    }
+
+    #[test]
+    fn empty_bracket_is_rejected() {
+        let mut syms = SymbolTable::new();
+        let err = parse_program("p :- q[r].", &mut syms).unwrap_err();
+        assert!(
+            err.to_string().contains("expected `add:` or `del:`"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -44,14 +44,29 @@ pub fn premise(p: &Premise, symbols: &SymbolTable) -> String {
     match p {
         Premise::Atom(a) => atom(a, symbols),
         Premise::Neg(a) => format!("~{}", atom(a, symbols)),
-        Premise::Hyp { goal, adds } => {
+        Premise::Hyp { goal, adds, dels } => {
             let mut out = atom(goal, symbols);
-            out.push_str("[add: ");
-            for (i, a) in adds.iter().enumerate() {
-                if i > 0 {
+            out.push('[');
+            if !adds.is_empty() {
+                out.push_str("add: ");
+                for (i, a) in adds.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&atom(a, symbols));
+                }
+            }
+            if !dels.is_empty() {
+                if !adds.is_empty() {
                     out.push_str(", ");
                 }
-                out.push_str(&atom(a, symbols));
+                out.push_str("del: ");
+                for (i, a) in dels.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&atom(a, symbols));
+                }
             }
             out.push(']');
             out
@@ -110,6 +125,8 @@ within1(X0, X1) :- grad(X0, X1)[add: take(X0, X2)].
 grad(X0, mathphys) :- within1(X0, math), within1(X0, phys).
 even :- ~select(X0).
 a :- b[add: c, d].
+p(X0) :- q(X0)[del: r(X0)].
+s :- t[add: u, del: w, x].
 ";
         let mut syms = SymbolTable::new();
         let rb = parse_program(src, &mut syms).unwrap();

@@ -24,6 +24,7 @@
 
 use crate::ast::{HypRule, Rulebase};
 use crate::engine::{BottomUpEngine, Budget, EngineStats, TopDownEngine};
+use crate::maintain::{MaintenanceStats, MaterializedModel};
 use crate::parser::{parse_program, parse_query, split_facts};
 use crate::snapshot::Snapshot;
 use crate::stack::call_with_deep_stack;
@@ -109,6 +110,13 @@ pub struct Session {
     deadline: Option<Duration>,
     last_stats: Option<EngineStats>,
     arities: hdl_base::FxHashMap<hdl_base::Symbol, usize>,
+    /// Materialized perfect model of the effective database, built on
+    /// demand by [`Session::model`] and then kept current across
+    /// [`Session::assert_fact`] / [`Session::retract_fact`] by
+    /// delete-and-rederive instead of full recomputation. Structural
+    /// mutations (rule loads, assumption frames) drop it; the next
+    /// [`Session::model`] call rebuilds.
+    materialized: Option<MaterializedModel>,
 }
 
 impl Session {
@@ -211,10 +219,11 @@ impl Session {
     /// epoch-stamped [`Snapshot`] that worker threads can share. Later
     /// `load`s do not affect already-published snapshots.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Snapshot::new(
+        Snapshot::with_model(
             self.symbols.clone(),
             self.rulebase.clone(),
             self.effective_database().into_owned(),
+            self.materialized.as_ref().map(|m| m.model().clone()),
         )
     }
 
@@ -258,6 +267,7 @@ impl Session {
         for f in facts {
             self.database.insert(f);
         }
+        self.materialized = None;
         Ok(())
     }
 
@@ -297,6 +307,7 @@ impl Session {
         for f in facts {
             self.database.insert(f);
         }
+        self.materialized = None;
         Ok(())
     }
 
@@ -327,23 +338,81 @@ impl Session {
     }
 
     /// Inserts one ground fact directly (arity-checked, observed).
+    ///
+    /// A materialized model ([`Session::model`]) is maintained
+    /// incrementally: the new fact extends the model by semi-naive delta
+    /// continuation rather than a full fixpoint.
     pub fn assert_fact(&mut self, fact: GroundAtom) -> Result<()> {
         self.check_fact_arity(&fact)?;
         self.observe(&Mutation::Program {
             rules: &[],
             facts: std::slice::from_ref(&fact),
         })?;
-        self.database.insert(fact);
-        Ok(())
+        self.database.insert(fact.clone());
+        self.maintain_model(&fact, true)
     }
 
     /// Retracts one base fact; returns whether it was present.
     ///
     /// Only the base database is affected — facts assumed via
     /// [`Session::assume`] are retracted by popping their frame.
+    ///
+    /// A materialized model ([`Session::model`]) is maintained by
+    /// delete-and-rederive over the affected derivation cone instead of
+    /// recomputing the fixpoint from scratch.
     pub fn retract_fact(&mut self, fact: &GroundAtom) -> Result<bool> {
         self.observe(&Mutation::Retract(fact))?;
-        Ok(self.database.remove(fact))
+        let removed = self.database.remove(fact);
+        if removed {
+            self.maintain_model(fact, false)?;
+        }
+        Ok(removed)
+    }
+
+    /// Applies one committed single-fact mutation to the materialized
+    /// model, if one is live. On error the model is dropped (it may be
+    /// stale), so a later [`Session::model`] rebuilds from scratch.
+    fn maintain_model(&mut self, fact: &GroundAtom, inserted: bool) -> Result<()> {
+        let Some(mut m) = self.materialized.take() else {
+            return Ok(());
+        };
+        let database = self.effective_database();
+        let (rulebase, db) = (&self.rulebase, database.as_ref());
+        let m = call_with_deep_stack(move || {
+            if inserted {
+                m.assert_fact(rulebase, db, fact)?;
+            } else {
+                m.retract_fact(rulebase, db, fact)?;
+            }
+            Ok(m)
+        })?;
+        self.materialized = Some(m);
+        Ok(())
+    }
+
+    /// The perfect model of the rulebase over the effective database,
+    /// materialized on first call and maintained incrementally across
+    /// [`Session::assert_fact`] / [`Session::retract_fact`] (see
+    /// `maintain`). While a model is live, plain-atom queries are
+    /// answered from it directly.
+    pub fn model(&mut self) -> Result<&Database> {
+        if self.materialized.is_none() {
+            let database = self.effective_database();
+            let (rulebase, db) = (&self.rulebase, database.as_ref());
+            let m = call_with_deep_stack(move || MaterializedModel::build(rulebase, db))?;
+            self.materialized = Some(m);
+        }
+        Ok(self.materialized.as_ref().expect("just built").model())
+    }
+
+    /// Whether a materialized model is currently live.
+    pub fn is_materialized(&self) -> bool {
+        self.materialized.is_some()
+    }
+
+    /// Counters of the materialized model's maintenance, if one is live.
+    pub fn maintenance_stats(&self) -> Option<MaintenanceStats> {
+        self.materialized.as_ref().map(|m| m.stats())
     }
 
     /// Pushes an assumption frame: queries see base ∪ all frames until
@@ -355,6 +424,9 @@ impl Session {
         }
         self.observe(&Mutation::Assume(&facts))?;
         self.assumptions.push(facts);
+        // Frames change the effective database wholesale; the next
+        // `model()` call rebuilds against the new merged view.
+        self.materialized = None;
         Ok(())
     }
 
@@ -365,6 +437,7 @@ impl Session {
             return Ok(None);
         }
         self.observe(&Mutation::PopAssumption)?;
+        self.materialized = None;
         Ok(self.assumptions.pop())
     }
 
@@ -389,6 +462,14 @@ impl Session {
         std::borrow::Cow::Owned(merged)
     }
 
+    /// Whether `atom` matches anywhere in `model` (existential over the
+    /// pattern's free variables).
+    fn model_matches(model: &Database, atom: &hdl_base::Atom) -> bool {
+        let mut bindings =
+            hdl_base::Bindings::new(atom.vars().map(|v| v.index() + 1).max().unwrap_or(0));
+        model.for_each_match(atom, &mut bindings, |_| true)
+    }
+
     /// Evaluates a textual query (`?- premise.`).
     ///
     /// Evaluation runs on a dedicated thread with an enlarged stack
@@ -396,6 +477,25 @@ impl Session {
     /// overflow the caller's stack.
     pub fn ask(&mut self, query: &str) -> Result<bool> {
         let q = parse_query(query, &mut self.symbols)?;
+        // A live materialized model answers plain and negated atom
+        // queries by membership — the engines agree with the perfect
+        // model on those by construction. Hypothetical queries still
+        // need overlay evaluation and fall through to an engine.
+        if let Some(m) = &self.materialized {
+            match &q {
+                crate::ast::Premise::Atom(atom) => {
+                    let found = Self::model_matches(m.model(), atom);
+                    self.last_stats = Some(EngineStats::default());
+                    return Ok(found);
+                }
+                crate::ast::Premise::Neg(atom) => {
+                    let found = Self::model_matches(m.model(), atom);
+                    self.last_stats = Some(EngineStats::default());
+                    return Ok(!found);
+                }
+                crate::ast::Premise::Hyp { .. } => {}
+            }
+        }
         let database = self.effective_database();
         let (rulebase, database) = (&self.rulebase, database.as_ref());
         let (engine, budget) = (self.engine, self.budget());
@@ -428,6 +528,33 @@ impl Session {
                 "answers() takes a plain atom pattern".into(),
             ));
         };
+        if let Some(m) = &self.materialized {
+            let mut bindings =
+                hdl_base::Bindings::new(atom.vars().map(|v| v.index() + 1).max().unwrap_or(0));
+            let mut rows = Vec::new();
+            m.model().for_each_match(&atom, &mut bindings, |b| {
+                rows.push(
+                    atom.args
+                        .iter()
+                        .map(|t| match t {
+                            hdl_base::Term::Const(c) => *c,
+                            hdl_base::Term::Var(v) => b.get(*v).expect("bound by match"),
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                false
+            });
+            rows.sort();
+            rows.dedup();
+            return Ok(rows
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|s| self.symbols.name(s).to_owned())
+                        .collect()
+                })
+                .collect());
+        }
         let database = self.effective_database();
         let (rulebase, database) = (&self.rulebase, database.as_ref());
         let (engine, budget) = (self.engine, self.budget());
@@ -781,6 +908,88 @@ mod tests {
         );
         assert!(restored.load("p(a, b).").is_err(), "arity still enforced");
         assert!(restored.ask("?- q(a).").unwrap());
+    }
+
+    #[test]
+    fn materialized_model_answers_and_tracks_retractions() {
+        let mut s = Session::new();
+        s.load(
+            "edge(a, b). edge(b, c). edge(a, c).
+             tc(X, Y) :- edge(X, Y).
+             tc(X, Z) :- edge(X, Y), tc(Y, Z).",
+        )
+        .unwrap();
+        assert!(!s.is_materialized());
+        let tc = s.symbols.lookup("tc").unwrap();
+        let (a0, c0) = (
+            s.symbols.lookup("a").unwrap(),
+            s.symbols.lookup("c").unwrap(),
+        );
+        assert!(s.model().unwrap().contains_tuple(tc, &[a0, c0]));
+        assert!(s.is_materialized());
+        // Queries are now answered from the model.
+        assert!(s.ask("?- tc(a, c).").unwrap());
+        assert!(s.ask("?- ~tc(c, a).").unwrap());
+        assert_eq!(s.answers("tc(a, X)").unwrap().len(), 2);
+        // Retraction maintains the model incrementally: the direct edge
+        // goes, but tc(a, c) survives via b.
+        let edge = s.symbols.intern("edge");
+        let (a, c) = (s.symbols.intern("a"), s.symbols.intern("c"));
+        assert!(s.retract_fact(&GroundAtom::new(edge, vec![a, c])).unwrap());
+        assert!(s.ask("?- tc(a, c).").unwrap(), "rederived via b");
+        assert!(!s.ask("?- edge(a, c).").unwrap());
+        let stats = s.maintenance_stats().unwrap();
+        assert_eq!(stats.full_builds, 1, "retraction did not rebuild");
+        assert_eq!(stats.incremental_retractions, 1);
+        // Assertion also maintains incrementally.
+        s.assert_fact(GroundAtom::new(edge, vec![c, a])).unwrap();
+        assert!(s.ask("?- tc(b, a).").unwrap());
+        assert_eq!(s.maintenance_stats().unwrap().full_builds, 1);
+        // Loading rules drops the model; queries fall back to engines.
+        s.load("q(X) :- tc(X, X).").unwrap();
+        assert!(!s.is_materialized());
+        assert!(s.ask("?- q(a).").unwrap());
+    }
+
+    #[test]
+    fn materialized_model_agrees_under_assumption_frames() {
+        let mut s = Session::new();
+        s.load("grad(S) :- take(S, his101), take(S, eng201).\ntake(tony, his101).")
+            .unwrap();
+        s.model().unwrap();
+        let take = s.symbols.intern("take");
+        let (tony, eng) = (s.symbols.intern("tony"), s.symbols.intern("eng201"));
+        s.assume(vec![GroundAtom::new(take, vec![tony, eng])])
+            .unwrap();
+        assert!(!s.is_materialized(), "frames invalidate the model");
+        s.model().unwrap();
+        assert!(s.ask("?- grad(tony).").unwrap());
+        // Retracting a base fact shadowed by a frame keeps it effective.
+        let his = s.symbols.intern("his101");
+        s.assume(vec![GroundAtom::new(take, vec![tony, his])])
+            .unwrap();
+        s.model().unwrap();
+        assert!(s
+            .retract_fact(&GroundAtom::new(take, vec![tony, his]))
+            .unwrap());
+        assert!(s.ask("?- grad(tony).").unwrap(), "frame still supplies it");
+        s.pop_assumption().unwrap();
+        assert!(!s.is_materialized());
+    }
+
+    #[test]
+    fn snapshots_carry_the_materialized_model() {
+        let mut s = Session::new();
+        s.load("edge(a, b). tc(X, Y) :- edge(X, Y).").unwrap();
+        assert!(s.snapshot().model().is_none());
+        s.model().unwrap();
+        let snap = s.snapshot();
+        let tc = s.symbols.lookup("tc").unwrap();
+        let (a, b) = (
+            s.symbols.lookup("a").unwrap(),
+            s.symbols.lookup("b").unwrap(),
+        );
+        assert!(snap.model().expect("model propagated").contains_tuple(tc, &[a, b]));
     }
 
     #[test]

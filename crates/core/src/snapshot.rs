@@ -30,17 +30,38 @@ pub struct Snapshot {
     symbols: SymbolTable,
     rulebase: Rulebase,
     database: Database,
+    /// The perfect model of `(rulebase, database)` if the publishing
+    /// session had one materialized — workers can then answer plain-atom
+    /// queries by membership instead of re-running a fixpoint.
+    model: Option<Database>,
 }
 
 impl Snapshot {
     /// Freezes the given parts into a snapshot with a fresh epoch.
     pub fn new(symbols: SymbolTable, rulebase: Rulebase, database: Database) -> Arc<Self> {
+        Self::with_model(symbols, rulebase, database, None)
+    }
+
+    /// Like [`Snapshot::new`], carrying an already-materialized perfect
+    /// model of the same program state.
+    pub fn with_model(
+        symbols: SymbolTable,
+        rulebase: Rulebase,
+        database: Database,
+        model: Option<Database>,
+    ) -> Arc<Self> {
         Arc::new(Snapshot {
             epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
             symbols,
             rulebase,
             database,
+            model,
         })
+    }
+
+    /// The materialized perfect model, if the publisher carried one.
+    pub fn model(&self) -> Option<&Database> {
+        self.model.as_ref()
     }
 
     /// Ensures future epochs are strictly greater than `watermark`.

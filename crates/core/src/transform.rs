@@ -193,9 +193,10 @@ fn ground_rule(
             .map(|p| match p {
                 Premise::Atom(a) => Premise::Atom(subst_atom(a)),
                 Premise::Neg(a) => Premise::Neg(subst_atom(a)),
-                Premise::Hyp { goal, adds } => Premise::Hyp {
+                Premise::Hyp { goal, adds, dels } => Premise::Hyp {
                     goal: subst_atom(goal),
                     adds: adds.iter().map(&subst_atom).collect(),
+                    dels: dels.iter().map(&subst_atom).collect(),
                 },
             })
             .collect();

@@ -455,3 +455,87 @@ fn prove_engine_answers_matches_other_engines() {
     assert_eq!(a, c);
     assert_eq!(a.len(), 6);
 }
+
+// ------------------------------------------------------- del: premises ---
+
+#[test]
+fn hypothetical_deletion_basic() {
+    let src = "
+        p(a). p(b).
+        q :- r[del: p(a)].
+        r :- ~p(a), p(b).
+    ";
+    check(src, "?- q.", true);
+    check(src, "?- r.", false);
+}
+
+#[test]
+fn add_wins_when_fact_in_both_lists() {
+    // (DB \ {p(a)}) ∪ {p(a)} = DB — deletions apply first.
+    let src = "
+        p(a).
+        q :- r[add: p(a), del: p(a)].
+        r :- p(a).
+    ";
+    check(src, "?- q.", true);
+}
+
+#[test]
+fn deleting_absent_fact_is_noop() {
+    check("p(a).\nq :- p(a)[del: p(b)].", "?- q.", true);
+}
+
+#[test]
+fn del_with_free_variable_quantifies_existentially() {
+    let src = "
+        p(a). p(b).
+        single :- solo[del: p(X)].
+        solo :- p(a), ~p(b).
+    ";
+    // Deleting p(b) leaves exactly p(a), so some X works.
+    check(src, "?- single.", true);
+    check(src, "?- solo.", false);
+}
+
+#[test]
+fn del_removes_database_facts_not_derivations() {
+    // Deleting an EDB fact that is also derivable by a rule does not
+    // remove it from the perfect model of the modified database.
+    let src = "
+        p(a). q(a).
+        p(X) :- q(X).
+        still :- p(a)[del: p(a)].
+    ";
+    check(src, "?- still.", true);
+}
+
+#[test]
+fn query_level_del_premise() {
+    check("p(a).", "?- p(a)[del: p(a)].", false);
+    check("p(a). r :- ~p(a).", "?- r[del: p(a)].", true);
+    check("p(a). r :- ~p(a).", "?- r.", false);
+}
+
+#[test]
+fn mixed_add_and_del_lists() {
+    let src = "
+        have(a). have(b).
+        ok :- goal[add: have(c), del: have(a)].
+        goal :- have(b), have(c), ~have(a).
+    ";
+    check(src, "?- ok.", true);
+    check(src, "?- goal.", false);
+}
+
+#[test]
+fn negation_sees_hypothetical_deletions() {
+    // The dual of negation_sees_hypothetical_additions: removing the
+    // flag flips ~flag back on inside the branch.
+    let src = "
+        flag.
+        ok :- ~flag.
+        fixed :- ok[del: flag].
+    ";
+    check(src, "?- ok.", false);
+    check(src, "?- fixed.", true);
+}

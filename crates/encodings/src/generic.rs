@@ -35,6 +35,7 @@ pub fn add_output_rule(
     premises.push(Premise::Hyp {
         goal: Atom::new(yes, vec![]),
         adds: vec![Atom::new(p0, xs.clone())],
+        dels: Vec::new(),
     });
     rb.push(HypRule::new(Atom::new(out, xs), premises));
     out

@@ -75,6 +75,7 @@ pub fn order_assertion_rules(names: &OrderNames, rb: &mut Rulebase) {
             Premise::Hyp {
                 goal: Atom::new(names.order, vec![x.into()]),
                 adds: vec![Atom::new(names.first1, vec![x.into()])],
+                dels: Vec::new(),
             },
         ],
     ));
@@ -86,6 +87,7 @@ pub fn order_assertion_rules(names: &OrderNames, rb: &mut Rulebase) {
             Premise::Hyp {
                 goal: Atom::new(names.order, vec![y.into()]),
                 adds: vec![Atom::new(names.next1, vec![x.into(), y.into()])],
+                dels: Vec::new(),
             },
         ],
     ));
@@ -97,6 +99,7 @@ pub fn order_assertion_rules(names: &OrderNames, rb: &mut Rulebase) {
             Premise::Hyp {
                 goal: Atom::new(names.goal, vec![]),
                 adds: vec![Atom::new(names.last1, vec![x.into()])],
+                dels: Vec::new(),
             },
         ],
     ));

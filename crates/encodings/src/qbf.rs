@@ -339,6 +339,7 @@ fn emit_walk(
                         Atom::new(tv, vec![x.into()]),
                         Atom::new(assigned, vec![x.into()]),
                     ],
+                    dels: Vec::new(),
                 },
             ],
         ));

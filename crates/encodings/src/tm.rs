@@ -331,6 +331,7 @@ fn emit_transition_rules(
         premises.push(Premise::Hyp {
             goal: Atom::new(accept_i, tp.clone()),
             adds,
+            dels: Vec::new(),
         });
         rb.push(HypRule::new(Atom::new(accept_i, t.clone()), premises));
     }
@@ -375,6 +376,7 @@ fn emit_oracle_rules(
                 Premise::Hyp {
                     goal: Atom::new(accept_i, tp.clone()),
                     adds: vec![Atom::new(resume_control, args(&[&j1, &j2, &tp]))],
+                    dels: Vec::new(),
                 },
             ],
         ));
@@ -394,6 +396,7 @@ fn emit_oracle_rules(
             Premise::Hyp {
                 goal: Atom::new(accept_lower, t.clone()),
                 adds: vec![Atom::new(control_lower_start, args(&[&j, &j, &t]))],
+                dels: Vec::new(),
             },
         ],
     ));
@@ -478,6 +481,7 @@ fn emit_start_rule(names: &mut TmNames, rb: &mut Rulebase, k: usize, cascade: &C
             Premise::Hyp {
                 goal: Atom::new(accept_k, x.clone()),
                 adds: vec![Atom::new(control_start, args(&[&x, &x, &x]))],
+                dels: Vec::new(),
             },
         ],
     ));

@@ -79,12 +79,28 @@ fn encode_premise(enc: &mut Encoder, premise: &Premise) {
             enc.u8(1);
             encode_atom(enc, a);
         }
-        Premise::Hyp { goal, adds } => {
-            enc.u8(2);
-            encode_atom(enc, goal);
-            enc.u32(adds.len() as u32);
-            for a in adds {
-                encode_atom(enc, a);
+        Premise::Hyp { goal, adds, dels } => {
+            // Tag 2 is the historical adds-only layout; emitting it when
+            // there are no deletions keeps positive-only programs
+            // byte-identical to logs written before `del:` existed.
+            if dels.is_empty() {
+                enc.u8(2);
+                encode_atom(enc, goal);
+                enc.u32(adds.len() as u32);
+                for a in adds {
+                    encode_atom(enc, a);
+                }
+            } else {
+                enc.u8(3);
+                encode_atom(enc, goal);
+                enc.u32(adds.len() as u32);
+                for a in adds {
+                    encode_atom(enc, a);
+                }
+                enc.u32(dels.len() as u32);
+                for a in dels {
+                    encode_atom(enc, a);
+                }
             }
         }
     }
@@ -106,7 +122,32 @@ fn decode_premise(dec: &mut Decoder<'_>, symbols: &SymbolTable) -> Result<Premis
             for _ in 0..n {
                 adds.push(decode_atom(dec, symbols)?);
             }
-            Ok(Premise::Hyp { goal, adds })
+            Ok(Premise::Hyp {
+                goal,
+                adds,
+                dels: Vec::new(),
+            })
+        }
+        3 => {
+            let goal = decode_atom(dec, symbols)?;
+            let na = dec.len_prefix(8)?;
+            let mut adds = Vec::with_capacity(na);
+            for _ in 0..na {
+                adds.push(decode_atom(dec, symbols)?);
+            }
+            let nd = dec.len_prefix(8)?;
+            if nd == 0 {
+                // Tag 3 exists only for del-carrying premises; an empty
+                // del list would have been written as tag 2.
+                return Err(Error::Invalid(
+                    "hypothetical premise with empty del list".into(),
+                ));
+            }
+            let mut dels = Vec::with_capacity(nd);
+            for _ in 0..nd {
+                dels.push(decode_atom(dec, symbols)?);
+            }
+            Ok(Premise::Hyp { goal, adds, dels })
         }
         tag => Err(Error::Invalid(format!("unknown premise tag {tag}"))),
     }
@@ -438,7 +479,9 @@ mod tests {
              tc(X, Y) :- edge(X, Y).\n\
              tc(X, Y) :- edge(X, Z), tc(Z, Y).\n\
              blocked(X) :- ~tc(X, c).\n\
-             opens(X) :- tc(a, c)[add: edge(X, a), edge(c, X)].",
+             opens(X) :- tc(a, c)[add: edge(X, a), edge(c, X)].\n\
+             cut(X) :- blocked(X)[del: edge(a, b)].\n\
+             swap(X) :- tc(X, c)[add: edge(X, a), del: edge(b, c)].",
             &mut symbols,
         )
         .unwrap();

@@ -28,6 +28,13 @@ pub struct CacheKey {
     pub engine: EngineKind,
     /// Database the goal is evaluated in.
     pub db: DbId,
+    /// Fingerprint of the database's *negative* overlay (deleted-fact
+    /// deltas). `DbId` interning canonicalizes by represented set, but a
+    /// `del:` branch and a positive-only overlay can momentarily share a
+    /// canonical hash while their masked views differ; keying on the
+    /// fingerprint makes such aliasing impossible (it is `0` for every
+    /// deletion-free database, so positive-only keys are unchanged).
+    pub neg_fingerprint: u64,
     /// Canonical goal text, prefixed with the request kind
     /// (`ask`/`rows`).
     pub goal: String,
@@ -111,6 +118,7 @@ mod tests {
             epoch,
             engine: EngineKind::TopDown,
             db: DbId(0),
+            neg_fingerprint: 0,
             goal: goal.to_owned(),
         }
     }
@@ -131,6 +139,22 @@ mod tests {
         cache.put(key(1, "ask q"), Outcome::Cancelled);
         cache.put(key(1, "ask r"), Outcome::Error("nope".into()));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn negative_fingerprints_partition_del_branches() {
+        // A del-branch can share DbId-level identity with a positive-only
+        // overlay of the same canonical set; the fingerprint must keep
+        // their answers apart.
+        let cache = AnswerCache::new();
+        let positive = key(1, "ask p");
+        let mut del_branch = key(1, "ask p");
+        del_branch.neg_fingerprint = 0xdead_beef;
+        cache.put(positive.clone(), Outcome::True);
+        assert_eq!(cache.get(&del_branch), None, "no aliasing");
+        cache.put(del_branch.clone(), Outcome::False);
+        assert_eq!(cache.get(&positive), Some(Outcome::True));
+        assert_eq!(cache.get(&del_branch), Some(Outcome::False));
     }
 
     #[test]

@@ -606,6 +606,48 @@ fn count_outcome(shared: &Shared, outcome: &Outcome) {
     };
 }
 
+/// Whether `atom` matches anywhere in `model` (existential over free
+/// variables — the engines' query convention).
+fn model_exists(model: &hdl_base::Database, atom: &hdl_base::Atom) -> bool {
+    let mut bindings =
+        hdl_base::Bindings::new(atom.vars().map(|v| v.index() + 1).max().unwrap_or(0));
+    model.for_each_match(atom, &mut bindings, |_| true)
+}
+
+/// All tuples of `pattern` in `model`, rendered through `symbols` —
+/// sorted and deduplicated exactly like the engines' `answers`.
+fn model_rows(
+    model: &hdl_base::Database,
+    pattern: &hdl_base::Atom,
+    symbols: &SymbolTable,
+) -> Vec<Vec<String>> {
+    let mut bindings =
+        hdl_base::Bindings::new(pattern.vars().map(|v| v.index() + 1).max().unwrap_or(0));
+    let mut rows: Vec<Vec<hdl_base::Symbol>> = Vec::new();
+    model.for_each_match(pattern, &mut bindings, |b| {
+        rows.push(
+            pattern
+                .args
+                .iter()
+                .map(|t| match t {
+                    hdl_base::Term::Const(c) => *c,
+                    hdl_base::Term::Var(v) => b.get(*v).expect("bound by match"),
+                })
+                .collect(),
+        );
+        false
+    });
+    rows.sort();
+    rows.dedup();
+    rows.into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|s| symbols.name(s).to_owned())
+                .collect()
+        })
+        .collect()
+}
+
 /// Strips optional `?-` / trailing `.` dressing so batch files and API
 /// callers can write goals either way.
 fn normalize_goal(text: &str) -> String {
@@ -645,6 +687,33 @@ fn process<'rb>(
         return Outcome::Error("answers takes a plain atom pattern".into());
     }
 
+    // A snapshot published with a materialized model answers plain and
+    // negated atom queries by membership — no engine, no fixpoint, no
+    // cache entry needed. Hypothetical queries still need overlay
+    // evaluation and fall through. Query-only constants interned into
+    // the worker's private extension can never appear in the model, so
+    // membership stays correct for them (it is simply false).
+    if let Some(model) = snap.model() {
+        match &query {
+            Premise::Atom(atom) if tag == "ask" => {
+                return if model_exists(model, atom) {
+                    Outcome::True
+                } else {
+                    Outcome::False
+                };
+            }
+            Premise::Neg(atom) => {
+                return if model_exists(model, atom) {
+                    Outcome::False
+                } else {
+                    Outcome::True
+                };
+            }
+            Premise::Atom(atom) => return Outcome::Answers(model_rows(model, atom, symbols)),
+            Premise::Hyp { .. } => {}
+        }
+    }
+
     // Ensure the engine for this (snapshot, kind) pair exists; a
     // stratification failure is a property of the snapshot, reported
     // per query.
@@ -656,11 +725,24 @@ fn process<'rb>(
 
     // Canonical key: pretty-printing normalizes whitespace and
     // alpha-renames variables, so textual variants of one goal share a
-    // cache entry across all workers.
+    // cache entry across all workers. The negative-delta fingerprint
+    // distinguishes deletion overlays whose DbId could alias a
+    // positive-only database with the same canonical set.
+    let neg_fingerprint = match engine {
+        EngineKind::TopDown => {
+            let eng = engines.top_down.as_ref().expect("engine ensured");
+            eng.context().dbs.neg_fingerprint(base_db)
+        }
+        EngineKind::BottomUp => {
+            let eng = engines.bottom_up.as_ref().expect("engine ensured");
+            eng.context().dbs.neg_fingerprint(base_db)
+        }
+    };
     let key = CacheKey {
         epoch: snap.epoch(),
         engine,
         db: base_db,
+        neg_fingerprint,
         goal: format!("{tag} {}", pretty::premise(&query, symbols)),
     };
     if let Some(cached) = shared.cache.get(&key) {

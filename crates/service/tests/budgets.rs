@@ -250,7 +250,10 @@ fn cancelled_prove_strata_are_not_memoized_as_closed() {
 
 #[test]
 fn bounded_queue_sheds_excess_load() {
-    let (snap, _) = qbf_snapshot(18);
+    // Large enough that the busy query cannot finish before the cancel
+    // below lands, even on fast hardware (the refutation is exponential
+    // in the variable count).
+    let (snap, _) = qbf_snapshot(26);
     let service = QueryService::with_config(
         snap,
         ServiceConfig {

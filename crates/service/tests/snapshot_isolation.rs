@@ -31,6 +31,55 @@ fn queued_queries_keep_their_submission_snapshot() {
 }
 
 #[test]
+fn materialized_snapshots_serve_queries_from_the_model() {
+    // A session that materialized its model publishes snapshots carrying
+    // it; the service then answers plain-atom queries by membership and
+    // keeps agreeing with engine evaluation after incremental retraction.
+    let mut session = hdl_core::session::Session::new();
+    session
+        .load(
+            "edge(a, b). edge(b, c). edge(a, c).
+             tc(X, Y) :- edge(X, Y).
+             tc(X, Z) :- edge(X, Y), tc(Y, Z).",
+        )
+        .unwrap();
+    session.model().unwrap();
+    let snap = session.snapshot();
+    assert!(snap.model().is_some(), "session model propagated");
+    let service = QueryService::new(snap, 2);
+    assert_eq!(service.submit(QueryRequest::ask("tc(a, c)")).wait(), Outcome::True);
+    assert_eq!(service.submit(QueryRequest::ask("~tc(c, a)")).wait(), Outcome::True);
+    match service.submit(QueryRequest::answers("tc(a, X)")).wait() {
+        Outcome::Answers(rows) => assert_eq!(rows.len(), 2),
+        other => panic!("expected rows, got {other:?}"),
+    }
+    // Hypothetical queries still evaluate through an engine.
+    assert_eq!(
+        service
+            .submit(QueryRequest::ask("tc(c, b)[add: edge(c, b)]"))
+            .wait(),
+        Outcome::True
+    );
+    // Incremental retraction, re-publish: the maintained model rides along.
+    let edge = session.symbols_mut().intern("edge");
+    let (a, c) = (
+        session.symbols_mut().intern("a"),
+        session.symbols_mut().intern("c"),
+    );
+    session
+        .retract_fact(&hdl_base::GroundAtom::new(edge, vec![a, c]))
+        .unwrap();
+    service.publish(session.snapshot());
+    assert_eq!(
+        service.submit(QueryRequest::ask("tc(a, c)")).wait(),
+        Outcome::True,
+        "rederived via b after retraction"
+    );
+    assert_eq!(service.submit(QueryRequest::ask("edge(a, c)")).wait(), Outcome::False);
+    service.shutdown();
+}
+
+#[test]
 fn publish_mid_evaluation_does_not_retarget_the_query() {
     // Snapshot 1 is a ~100ms (debug) refutation; snapshot 2 answers the
     // same query `sat_1` with `true` almost instantly. Publishing while

@@ -396,7 +396,7 @@ fn serve_main(args: &[String]) -> i32 {
     }
     eprintln!(
         "serving on {} workers — queries on stdin, :answers PATTERN, :assume FACTS, \
-         :retract FACT, :checkpoint, :stats, :quit",
+         :retract FACT, :materialize, :checkpoint, :stats, :quit",
         service.workers()
     );
     let mut status = 0;
@@ -416,7 +416,23 @@ fn serve_main(args: &[String]) -> i32 {
         }
         match line {
             ":quit" | ":q" | ":exit" => break,
-            ":stats" => println!("{}", service.stats()),
+            ":stats" => {
+                println!("{}", service.stats());
+                if let Some(m) = session.maintenance_stats() {
+                    print!("{}", render_maintenance(&m));
+                }
+            }
+            ":materialize" => match session.model() {
+                Ok(model) => {
+                    println!("materialized {} facts", model.len());
+                    let _ = out.flush();
+                    service.publish(session.snapshot());
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    status = 1;
+                }
+            },
             ":checkpoint" => match session.checkpoint() {
                 Ok(epoch) => {
                     println!("checkpoint {epoch}");
@@ -451,7 +467,7 @@ fn serve_main(args: &[String]) -> i32 {
             }
             _ if line.starts_with(':') => eprintln!(
                 "unknown command {line} (:answers PATTERN, :assume FACTS, :retract FACT, \
-                 :pop, :checkpoint, :stats, :quit)"
+                 :pop, :materialize, :checkpoint, :stats, :quit)"
             ),
             _ => match session.load(line) {
                 Ok(()) => {
@@ -609,7 +625,8 @@ fn run_command(session: &mut DurableSession, rest: &str) -> bool {
                  \x20 :lint                          diagnostics for the loaded rules\n\
                  \x20 :assume FACTS                  push a hypothesis frame (f1, f2, ...)\n\
                  \x20 :pop                           pop the top hypothesis frame\n\
-                 \x20 :retract FACT                  remove a base fact\n\
+                 \x20 :retract FACT                  remove a base fact (incremental once materialized)\n\
+                 \x20 :materialize                   build the model; later asserts/retracts maintain it\n\
                  \x20 :checkpoint                    compact the write-ahead log (--persist-dir)\n\
                  \x20 :stats                         counters from the last query\n\
                  \x20 :quit"
@@ -719,13 +736,49 @@ fn run_command(session: &mut DurableSession, rest: &str) -> bool {
             }
             Err(e) => println!("not linearly stratified: {e}"),
         },
-        "stats" => match session.last_stats() {
-            Some(s) => print!("{}", render_stats(s)),
-            None => println!("no query evaluated yet"),
+        "stats" => {
+            match session.last_stats() {
+                Some(s) => print!("{}", render_stats(s)),
+                None => println!("no query evaluated yet"),
+            }
+            if let Some(m) = session.maintenance_stats() {
+                print!("{}", render_maintenance(&m));
+            }
+        }
+        "materialize" => match session.model() {
+            Ok(model) => println!("materialized {} facts", model.len()),
+            Err(e) => eprintln!("error: {e}"),
         },
         other => eprintln!("unknown command :{other} (try :help)"),
     }
     true
+}
+
+/// Renders the materialized-model maintenance counters: how mutations
+/// were absorbed (delta continuation, delete-and-rederive, conservative
+/// cone recompute, or forced full rebuilds).
+fn render_maintenance(m: &hdl_core::MaintenanceStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  model: full_builds     {:>12}   domain_rebuilds {}",
+        m.full_builds, m.domain_rebuilds
+    );
+    let _ = writeln!(
+        out,
+        "  model: incremental     {:>12}   (+{} asserts, -{} retracts, {} conservative)",
+        m.incremental_assertions + m.incremental_retractions + m.conservative_updates,
+        m.incremental_assertions,
+        m.incremental_retractions,
+        m.conservative_updates
+    );
+    let _ = writeln!(
+        out,
+        "  model: overdeleted     {:>12}   rederived {}",
+        m.overdeleted_facts, m.rederived_facts
+    );
+    out
 }
 
 /// Renders the per-query counters, including the semi-naive fixpoint

@@ -36,6 +36,14 @@ enum PremiseSketch {
     Pos(usize, Vec<u8>), // predicate, args (var index 0..2 or 100+const)
     Neg(usize, Vec<u8>), // only to strictly-lower-level preds
     Hyp(usize, Vec<u8>, usize, Vec<u8>), // goal pred/args, add pred/args
+    /// `goal[add: …, del: …]` with a nonempty del list. The goal edge is
+    /// negation-like (stratify.rs), so like `Neg` the goal predicate is
+    /// restricted to strictly-lower levels.
+    HypDel {
+        goal: (usize, Vec<u8>),
+        add: Option<(usize, Vec<u8>)>,
+        del: (usize, Vec<u8>),
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -74,7 +82,23 @@ fn premise_strategy(head_pred: usize, allow_neg: bool) -> BoxedStrategy<PremiseS
     if allow_neg && head_pred > 0 {
         let neg = (0..head_pred)
             .prop_flat_map(|p| args_strategy(arity(p)).prop_map(move |a| PremiseSketch::Neg(p, a)));
-        prop_oneof![4 => pos, 2 => hyp, 2 => neg].boxed()
+        let hyp_del = (0..head_pred, prop_oneof![Just(None), (0..NUM_PREDS).prop_map(Some)], 0..NUM_PREDS)
+            .prop_flat_map(|(g, ad, dl)| {
+                let add = match ad {
+                    Some(p) => args_strategy(arity(p))
+                        .prop_map(move |a| Some((p, a)))
+                        .boxed(),
+                    None => Just(None).boxed(),
+                };
+                (args_strategy(arity(g)), add, args_strategy(arity(dl))).prop_map(
+                    move |(ga, add, da)| PremiseSketch::HypDel {
+                        goal: (g, ga),
+                        add,
+                        del: (dl, da),
+                    },
+                )
+            });
+        prop_oneof![4 => pos, 2 => hyp, 2 => neg, 1 => hyp_del].boxed()
     } else {
         prop_oneof![4 => pos, 2 => hyp].boxed()
     }
@@ -129,6 +153,19 @@ fn render_program(rules: &[RuleSketch]) -> String {
                 PremiseSketch::Hyp(g, ga, ad, aa) => {
                     format!("{}[add: {}]", render_atom(*g, ga), render_atom(*ad, aa))
                 }
+                PremiseSketch::HypDel { goal, add, del } => match add {
+                    Some((ap, aa)) => format!(
+                        "{}[add: {}, del: {}]",
+                        render_atom(goal.0, &goal.1),
+                        render_atom(*ap, aa),
+                        render_atom(del.0, &del.1)
+                    ),
+                    None => format!(
+                        "{}[del: {}]",
+                        render_atom(goal.0, &goal.1),
+                        render_atom(del.0, &del.1)
+                    ),
+                },
             })
             .collect();
         out.push_str(&premises.join(", "));
@@ -257,6 +294,81 @@ proptest! {
         }
     }
 
+    /// Assuming `f` in and hypothetically deleting it again is the
+    /// identity: for every ground query `g` and every engine,
+    /// `g[del: f]` over `DB ∪ {f}` answers exactly like `g` over `DB`
+    /// (with `f` absent from `DB`). Constants are anchored in a spare
+    /// EDB predicate so both sides ground negation over the same domain.
+    #[test]
+    fn assume_then_del_is_identity_on_all_engines(
+        rules in program_strategy(true),
+        facts in facts_strategy(),
+        f in (0..NUM_PREDS).prop_flat_map(|p| {
+            proptest::collection::vec(100u8..(100 + NUM_CONSTS as u8), arity(p))
+                .prop_map(move |a| (p, a))
+        }),
+    ) {
+        let (rb, mut db, mut syms) = build(&rules, &facts);
+        let anch = syms.intern("anch");
+        for c in 0..NUM_CONSTS {
+            let cc = syms.intern(&format!("c{c}"));
+            db.insert(GroundAtom::new(anch, vec![cc]));
+        }
+        let fact = {
+            let pred = syms.intern(&format!("q{}", f.0));
+            let args: Vec<_> = f.1.iter().map(|&a| syms.intern(&format!("c{}", a - 100))).collect();
+            GroundAtom::new(pred, args)
+        };
+        db.remove(&fact); // the "original" database never holds f
+        let mut db_plus = db.clone();
+        db_plus.insert(fact.clone()); // f assumed in
+
+        let Ok(bu) = BottomUpEngine::new(&rb, &db) else { return Ok(()) };
+        let mut bu = bu.with_limits(small_limits());
+        let mut bu_plus = BottomUpEngine::new(&rb, &db_plus).unwrap().with_limits(small_limits());
+        let mut td = TopDownEngine::new(&rb, &db).unwrap().with_limits(small_limits());
+        let mut td_plus = TopDownEngine::new(&rb, &db_plus).unwrap().with_limits(small_limits());
+        let mut pe = ProveEngine::new(&rb, &db).map(|e| e.with_limits(small_limits())).ok();
+        let mut pe_plus = ProveEngine::new(&rb, &db_plus).map(|e| e.with_limits(small_limits())).ok();
+
+        let fact_txt = render_atom(f.0, &f.1);
+        for p in 0..NUM_PREDS {
+            let combos: Vec<Vec<usize>> = if arity(p) == 1 {
+                (0..NUM_CONSTS).map(|c| vec![c]).collect()
+            } else {
+                (0..NUM_CONSTS)
+                    .flat_map(|a| (0..NUM_CONSTS).map(move |b| vec![a, b]))
+                    .collect()
+            };
+            for combo in combos {
+                let rendered: Vec<String> = combo.iter().map(|c| format!("c{c}")).collect();
+                let base = format!("q{p}({})", rendered.join(", "));
+                let plain = parse_query(&format!("?- {base}."), &mut syms).unwrap();
+                let del = parse_query(&format!("?- {base}[del: {fact_txt}]."), &mut syms).unwrap();
+                let (Ok(a), Ok(b)) = (bu.holds(&plain), bu_plus.holds(&del)) else { return Ok(()) };
+                prop_assert_eq!(
+                    a, b,
+                    "bottom-up: {} vs [del: {}]\n{}",
+                    base, fact_txt, render_program(&rules)
+                );
+                let (Ok(a), Ok(b)) = (td.holds(&plain), td_plus.holds(&del)) else { return Ok(()) };
+                prop_assert_eq!(
+                    a, b,
+                    "top-down: {} vs [del: {}]\n{}",
+                    base, fact_txt, render_program(&rules)
+                );
+                if let (Some(pe), Some(pe_plus)) = (pe.as_mut(), pe_plus.as_mut()) {
+                    let (Ok(a), Ok(b)) = (pe.holds(&plain), pe_plus.holds(&del)) else { return Ok(()) };
+                    prop_assert_eq!(
+                        a, b,
+                        "prove: {} vs [del: {}]\n{}",
+                        base, fact_txt, render_program(&rules)
+                    );
+                }
+            }
+        }
+    }
+
     /// parse ∘ pretty = identity on generated rulebases.
     #[test]
     fn pretty_parse_roundtrip(rules in program_strategy(true)) {
@@ -381,6 +493,91 @@ mod seminaive_equivalence {
                     return Ok(());
                 };
                 prop_assert_eq!(a, b, "on {:?}\n{}", q, render_program(&rules));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental retraction ≡ full recomputation (DRed differential).
+// ---------------------------------------------------------------------
+
+mod incremental_maintenance {
+    use super::*;
+    use hdl_core::engine::NaiveEngine;
+    use hdl_core::MaterializedModel;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// A [`MaterializedModel`] maintained through a random
+        /// retract/assert script equals the naive-reference model
+        /// recomputed from scratch after every mutation, on random
+        /// programs with stratified negation and `del:` premises —
+        /// whichever maintenance path each step takes (fact-level DRed,
+        /// conservative cone recompute, or domain rebuild).
+        #[test]
+        fn maintained_model_equals_naive_recompute(
+            rules in program_strategy(true),
+            facts in facts_strategy(),
+            extra in facts_strategy(),
+        ) {
+            let (rb, mut db, mut syms) = build(&rules, &facts);
+            // Pre-screen: skip unstratifiable programs and cases the
+            // budget rejects (the maintenance API itself is unlimited).
+            let Ok(screen) = NaiveEngine::new(&rb, &db) else { return Ok(()) };
+            if screen.with_limits(small_limits()).model().is_err() {
+                return Ok(());
+            }
+            let mut m = MaterializedModel::build(&rb, &db).unwrap();
+
+            // Script: retract every original fact, then assert every
+            // extra one — exercising both directions, including
+            // retractions that shrink the constant domain and
+            // assertions that grow it.
+            let mut script: Vec<(usize, Vec<u8>, bool)> = Vec::new();
+            for (p, args) in &facts {
+                script.push((*p, args.clone(), false));
+            }
+            for (p, args) in &extra {
+                script.push((*p, args.clone(), true));
+            }
+            for (p, args, insert) in script {
+                let pred = syms.intern(&format!("q{p}"));
+                let consts: Vec<_> = args
+                    .iter()
+                    .map(|&a| syms.intern(&format!("c{}", a - 100)))
+                    .collect();
+                let fact = GroundAtom::new(pred, consts);
+                if insert {
+                    if !db.insert(fact.clone()) {
+                        continue;
+                    }
+                } else if !db.remove(&fact) {
+                    continue;
+                }
+                // Budget-screen the post-mutation model before letting
+                // the (unlimited) maintenance path at it.
+                let Ok(expected) = NaiveEngine::new(&rb, &db)
+                    .unwrap()
+                    .with_limits(small_limits())
+                    .model()
+                else {
+                    return Ok(());
+                };
+                if insert {
+                    m.assert_fact(&rb, &db, &fact).unwrap();
+                } else {
+                    m.retract_fact(&rb, &db, &fact).unwrap();
+                }
+                prop_assert_eq!(
+                    m.model(),
+                    &expected,
+                    "after {} of {:?}\n{}",
+                    if insert { "assert" } else { "retract" },
+                    fact,
+                    render_program(&rules)
+                );
             }
         }
     }
