@@ -460,7 +460,12 @@ mod tests {
         db.insert(fact(0, &[2, 20]));
         db.insert(fact(0, &[1, 30]));
         db.insert(fact(1, &[5]));
-        let gone = [fact(0, &[2, 20]), fact(0, &[1, 30]), fact(1, &[5]), fact(9, &[0])];
+        let gone = [
+            fact(0, &[2, 20]),
+            fact(0, &[1, 30]),
+            fact(1, &[5]),
+            fact(9, &[0]),
+        ];
         assert_eq!(db.remove_all(&gone), 3, "absent facts are not counted");
         assert_eq!(db.len(), 1);
         assert!(db.contains(&fact(0, &[1, 10])));

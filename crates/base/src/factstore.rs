@@ -837,7 +837,13 @@ impl DbStore {
     }
 
     /// Whether `cand`'s fact set equals `(croot ∖ neg_overlay) ∪ overlay`.
-    fn set_equals(&self, cand: DbId, croot: DbId, overlay: &[FactId], neg_overlay: &[FactId]) -> bool {
+    fn set_equals(
+        &self,
+        cand: DbId,
+        croot: DbId,
+        overlay: &[FactId],
+        neg_overlay: &[FactId],
+    ) -> bool {
         let ce = &self.entries[cand.index()];
         if ce.croot == croot {
             // Same flat root: both signed overlays are sorted sets over it.

@@ -118,7 +118,10 @@ fn build_workload(communities: usize, n: usize, density: f64, ops: usize, seed: 
             let qc = rng.gen_range(0..communities);
             let x = rng.gen_range(0..n);
             let y = rng.gen_range(0..n);
-            script.push(Op::Query(GroundAtom::new(tc, vec![nodes[qc][x], nodes[qc][y]])));
+            script.push(Op::Query(GroundAtom::new(
+                tc,
+                vec![nodes[qc][x], nodes[qc][y]],
+            )));
         }
     }
     Workload {
@@ -204,7 +207,8 @@ fn verify_lockstep(w: &Workload) -> Result<(), String> {
         match op {
             Op::Assert(f) => {
                 db.insert(f.clone());
-                m.assert_fact(&w.rulebase, &db, f).map_err(|e| e.to_string())?;
+                m.assert_fact(&w.rulebase, &db, f)
+                    .map_err(|e| e.to_string())?;
             }
             Op::Retract(f) => {
                 db.remove(f);
@@ -216,9 +220,7 @@ fn verify_lockstep(w: &Workload) -> Result<(), String> {
         let full = BottomUpEngine::new(&w.rulebase, &db)
             .and_then(|mut e| e.model())
             .map_err(|e| e.to_string())?;
-        if full.len() != m.model().len()
-            || full.iter_facts().any(|f| !m.model().contains(&f))
-        {
+        if full.len() != m.model().len() || full.iter_facts().any(|f| !m.model().contains(&f)) {
             return Err(format!(
                 "model divergence after op {i}: maintained {} facts, full {}",
                 m.model().len(),

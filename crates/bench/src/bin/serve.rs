@@ -1,0 +1,469 @@
+//! `serve` — the tracked network-server benchmark behind `BENCH_serve.json`.
+//!
+//! Two measurement families, both over real TCP against an in-process
+//! [`Server`]:
+//!
+//! - **Durable mutation throughput** under a multi-tenant workload:
+//!   one pipelining connection per tenant, each writing a window of
+//!   `load` requests in a single burst and then collecting the replies
+//!   (exactly how a batching client library drives a database), for
+//!   every combination of fsync policy (`always`, `never`) and group
+//!   commit (on, off). The headline number is the `always` speedup:
+//!   with group commit the server sweeps each burst into one mutation
+//!   window — one snapshot, one publish, one fsync pass shared across
+//!   tenants — where the per-mutation path pays one fsync per ack.
+//! - **Query latency** (p50/p99) on a loaded tenant while background
+//!   connections keep mutating a second tenant — the interactive
+//!   experience of a reader sharing the server with writers.
+//!
+//! ```console
+//! $ cargo run --release -p hdl-bench --bin serve            # full sizes
+//! $ cargo run --release -p hdl-bench --bin serve -- --quick # CI sizes
+//! $ cargo run --release -p hdl-bench --bin serve -- --check # quick + gates
+//! ```
+//!
+//! `--check` exits non-zero if group commit fails to deliver a ≥10×
+//! mutation-throughput speedup over per-mutation fsync at `always`. The
+//! gated ratio is measured single-stream (one tenant, one pipelined
+//! connection), where the two sides differ only in the commit path; the
+//! multi-tenant ratio is also reported, but on ext4-style journals the
+//! kernel merges the *baseline's* concurrent fsyncs too (its own group
+//! commit), so that ratio understates the server's. The gate is skipped
+//! (and says so in the report) on filesystems where fsync is
+//! effectively free — there is nothing to amortize there, so the ratio
+//! measures noise, not the server.
+
+use hdl_persist::FsyncPolicy;
+use hdl_server::{Json, Server, ServerConfig};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::time::Instant;
+
+/// Scratch directory under the system temp dir, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("hdl-bench-serve-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create bench scratch dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One synchronous wire-protocol client: send a line, read the reply.
+struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to bench server");
+        stream.set_nodelay(true).expect("nodelay");
+        Client {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Json {
+        let stream = self.reader.get_mut();
+        stream.write_all(line.as_bytes()).expect("send request");
+        stream.write_all(b"\n").expect("send newline");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        Json::parse(reply.trim()).expect("parse reply")
+    }
+
+    fn send_ok(&mut self, line: &str) -> Json {
+        let reply = self.send(line);
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request failed: {line} -> {reply}"
+        );
+        reply
+    }
+
+    /// Pipelines a prebuilt burst of `count` newline-terminated
+    /// requests: writes it in one syscall, then reads one reply per
+    /// request. The ack check is a substring probe, not a JSON parse —
+    /// the client must not spend the benchmark core decoding replies.
+    fn pipeline_ok(&mut self, burst: &str, count: usize) {
+        let stream = self.reader.get_mut();
+        stream.write_all(burst.as_bytes()).expect("send burst");
+        let mut reply = String::new();
+        for _ in 0..count {
+            reply.clear();
+            self.reader.read_line(&mut reply).expect("read reply");
+            assert!(
+                reply.contains("\"ok\":true") || reply.contains("\"ok\": true"),
+                "request failed: {reply}"
+            );
+        }
+    }
+}
+
+/// How fast this filesystem really fsyncs: append + fdatasync in a tight
+/// loop. Decides whether the `--check` speedup gate is meaningful.
+fn probe_fsync_per_sec() -> f64 {
+    let dir = TempDir::new("fsync-probe");
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.0.join("probe"))
+        .expect("open probe file");
+    let mut file = file;
+    let n = 100u32;
+    let start = Instant::now();
+    for i in 0..n {
+        file.write_all(&i.to_le_bytes()).expect("probe write");
+        file.sync_data().expect("probe fsync");
+    }
+    f64::from(n) / start.elapsed().as_secs_f64()
+}
+
+struct MutationRun {
+    policy_name: &'static str,
+    group_commit: bool,
+    tenants: usize,
+    connections_per_tenant: usize,
+    window: usize,
+    mutations: usize,
+    elapsed_s: f64,
+    mutations_per_sec: f64,
+    /// The committer's own counters (`Json::Null` with group commit off).
+    group_stats: Json,
+    connections_total: u64,
+}
+
+/// Runs the mutation workload against a fresh server: every connection
+/// loads `per_conn` unique facts, pipelined in bursts of `window`
+/// requests (write the burst, then collect the acks).
+fn run_mutations(
+    policy: FsyncPolicy,
+    policy_name: &'static str,
+    group_commit: bool,
+    tenants: usize,
+    connections_per_tenant: usize,
+    per_conn: usize,
+    window: usize,
+) -> MutationRun {
+    let dir = TempDir::new(&format!("mut-{policy_name}-{group_commit}"));
+    let server = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        persist_root: Some(dir.0.clone()),
+        fsync: policy,
+        group_commit,
+        max_connections: tenants * connections_per_tenant + 8,
+        workers_per_tenant: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start bench server");
+    let addr = server.addr();
+
+    // Connect and open tenants before the clock starts: this measures
+    // mutation throughput, not connection setup.
+    let mut clients: Vec<(usize, usize, Client)> = Vec::new();
+    for t in 0..tenants {
+        for c in 0..connections_per_tenant {
+            let mut client = Client::connect(addr);
+            client.send_ok(&format!("{{\"op\":\"open\",\"tenant\":\"t{t}\"}}"));
+            clients.push((t, c, client));
+        }
+    }
+
+    // Prebuild every burst before the clock starts: request formatting
+    // is client-side work that would otherwise share the benchmark core
+    // with the server under measurement.
+    let bursts: Vec<Vec<(String, usize)>> = clients
+        .iter()
+        .map(|(t, c, _)| {
+            let mut bursts = Vec::new();
+            let mut j = 0;
+            while j < per_conn {
+                let n = window.min(per_conn - j);
+                let mut burst = String::new();
+                for k in j..j + n {
+                    let _ = writeln!(
+                        burst,
+                        "{{\"op\":\"load\",\"program\":\"p(t{t}_c{c}_{k}).\"}}"
+                    );
+                }
+                bursts.push((burst, n));
+                j += n;
+            }
+            bursts
+        })
+        .collect();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for ((_, _, client), bursts) in clients.iter_mut().zip(&bursts) {
+            scope.spawn(move || {
+                for (burst, n) in bursts {
+                    client.pipeline_ok(burst, *n);
+                }
+            });
+        }
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let mut observer = Client::connect(addr);
+    let stats = observer.send_ok("{\"op\":\"stats\"}");
+    let server_stats = stats.get("server").cloned().unwrap_or(Json::Null);
+    let group_stats = server_stats
+        .get("group_commit")
+        .cloned()
+        .unwrap_or(Json::Null);
+    let connections_total = server_stats
+        .get("connections_total")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    drop(observer);
+    drop(clients);
+    server.drain();
+
+    let mutations = tenants * connections_per_tenant * per_conn;
+    MutationRun {
+        policy_name,
+        group_commit,
+        tenants,
+        connections_per_tenant,
+        window,
+        mutations,
+        elapsed_s,
+        mutations_per_sec: mutations as f64 / elapsed_s,
+        group_stats,
+        connections_total,
+    }
+}
+
+struct QueryRun {
+    queries: usize,
+    background_mutators: usize,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Measures query latency on a loaded tenant while background
+/// connections keep mutating a different tenant.
+fn run_queries(chain: usize, queries: usize, background_mutators: usize) -> QueryRun {
+    let dir = TempDir::new("query");
+    let server = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        persist_root: Some(dir.0.clone()),
+        fsync: FsyncPolicy::Always,
+        group_commit: true,
+        max_connections: background_mutators + 8,
+        workers_per_tenant: 2,
+        ..ServerConfig::default()
+    })
+    .expect("start bench server");
+    let addr = server.addr();
+
+    let mut reader = Client::connect(addr);
+    reader.send_ok("{\"op\":\"open\",\"tenant\":\"reader\"}");
+    let mut program = String::from("tc(X, Y) :- edge(X, Y). tc(X, Y) :- edge(X, Z), tc(Z, Y).");
+    for i in 0..chain {
+        let _ = write!(program, " edge(n{i}, n{}).", i + 1);
+    }
+    reader.send_ok(&format!("{{\"op\":\"load\",\"program\":\"{program}\"}}"));
+
+    let stop = AtomicBool::new(false);
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(queries);
+    std::thread::scope(|scope| {
+        for b in 0..background_mutators {
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut writer = Client::connect(addr);
+                writer.send_ok("{\"op\":\"open\",\"tenant\":\"writers\"}");
+                let mut j = 0usize;
+                while !stop.load(Relaxed) {
+                    writer.send_ok(&format!("{{\"op\":\"load\",\"program\":\"w(b{b}_{j}).\"}}"));
+                    j += 1;
+                }
+            });
+        }
+        let ask = format!("{{\"op\":\"query\",\"q\":\"tc(n0, n{chain})\"}}");
+        for _ in 0..queries.min(5) {
+            reader.send_ok(&ask); // warm the worker pool and snapshot
+        }
+        for _ in 0..queries {
+            let start = Instant::now();
+            let reply = reader.send_ok(&ask);
+            latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+            assert_eq!(reply.get("result").and_then(Json::as_str), Some("true"));
+        }
+        stop.store(true, Relaxed);
+    });
+    server.drain();
+
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| {
+        let idx = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        latencies_us[idx]
+    };
+    QueryRun {
+        queries,
+        background_mutators,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let quick = check || args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| PathBuf::from("BENCH_serve.json"), PathBuf::from);
+
+    // One pipelining connection per tenant: depth comes from the burst
+    // window, not from thread count, so the workload behaves the same
+    // on a one-core box as on a big one. Two scales per config: the
+    // multi-tenant run is the server's headline workload; the
+    // single-tenant run isolates the commit path for the speedup gate,
+    // because with several tenants fsyncing concurrently the kernel's
+    // own journal already merges the no-group baseline's syncs
+    // (kernel-level group commit), understating the server's.
+    // Facts per tenant are held constant across the two scales: the
+    // snapshot a mutation window pays for is O(database), so letting the
+    // single-tenant run accumulate the multi-tenant run's *total* would
+    // measure database size, not the commit path.
+    let (window, per_tenant) = (256, if quick { 1536usize } else { 6144 });
+    let scales: [(usize, usize); 2] = [(4, 1), (1, 1)];
+    let (chain, queries, movers) = if quick { (60, 80, 2) } else { (120, 300, 4) };
+
+    eprintln!("probing fsync cost...");
+    let fsync_per_sec = probe_fsync_per_sec();
+    eprintln!("  {fsync_per_sec:.0} fsync/s");
+
+    let configs: [(FsyncPolicy, &'static str, bool); 4] = [
+        (FsyncPolicy::Always, "always", true),
+        (FsyncPolicy::Always, "always", false),
+        (FsyncPolicy::Never, "never", true),
+        (FsyncPolicy::Never, "never", false),
+    ];
+    let mut runs: Vec<MutationRun> = Vec::new();
+    for (tenants, conns) in scales {
+        let per_conn = per_tenant / conns;
+        for (policy, name, group) in configs {
+            eprintln!(
+                "mutations: fsync={name} group_commit={group} \
+                 ({tenants} tenants x {conns} connections x {per_conn}, window {window})..."
+            );
+            let run = run_mutations(policy, name, group, tenants, conns, per_conn, window);
+            eprintln!(
+                "  {:.0} mutations/s ({} in {:.2}s)",
+                run.mutations_per_sec, run.mutations, run.elapsed_s
+            );
+            runs.push(run);
+        }
+    }
+
+    let rate = |tenants: usize, name: &str, group: bool| {
+        runs.iter()
+            .find(|r| r.tenants == tenants && r.policy_name == name && r.group_commit == group)
+            .map(|r| r.mutations_per_sec)
+            .expect("config ran")
+    };
+    // The gated ratio is single-stream: both sides run the identical
+    // pipelined workload and only the commit path differs.
+    let speedup_always = rate(1, "always", true) / rate(1, "always", false);
+    let speedup_always_multi = rate(4, "always", true) / rate(4, "always", false);
+    eprintln!(
+        "group-commit speedup at fsync=always: {speedup_always:.1}x single-tenant, \
+         {speedup_always_multi:.1}x multi-tenant (kernel merges the multi-tenant baseline)"
+    );
+
+    eprintln!("query latency under background writers...");
+    let qrun = run_queries(chain, queries, movers);
+    eprintln!("  p50 {:.0}us  p99 {:.0}us", qrun.p50_us, qrun.p99_us);
+
+    // The gate only means something where fsync has a real cost: on a
+    // device where it is nearly free (ramdisk, write-cache lies), both
+    // paths run at memory speed and the ratio is noise.
+    let gate_meaningful = fsync_per_sec < 50_000.0;
+    let gate_pass = speedup_always >= 10.0;
+
+    let mut report = String::new();
+    let _ = writeln!(report, "{{");
+    let _ = writeln!(report, "  \"schema\": \"bench_serve/v1\",");
+    let _ = writeln!(report, "  \"quick\": {quick},");
+    let _ = writeln!(report, "  \"fsync_probe_per_sec\": {fsync_per_sec:.0},");
+    let _ = writeln!(report, "  \"mutation_throughput\": [");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(
+            report,
+            "    {{\"fsync\": \"{}\", \"group_commit\": {}, \"tenants\": {}, \
+             \"connections_per_tenant\": {}, \"pipeline_window\": {}, \
+             \"connections_total\": {}, \
+             \"mutations\": {}, \"elapsed_s\": {:.4}, \"mutations_per_sec\": {:.0}, \
+             \"group\": {}}}{comma}",
+            run.policy_name,
+            run.group_commit,
+            run.tenants,
+            run.connections_per_tenant,
+            run.window,
+            run.connections_total,
+            run.mutations,
+            run.elapsed_s,
+            run.mutations_per_sec,
+            run.group_stats,
+        );
+    }
+    let _ = writeln!(report, "  ],");
+    let _ = writeln!(
+        report,
+        "  \"group_commit_speedup_always\": {speedup_always:.2},"
+    );
+    let _ = writeln!(
+        report,
+        "  \"group_commit_speedup_always_multitenant\": {speedup_always_multi:.2},"
+    );
+    let _ = writeln!(
+        report,
+        "  \"query_latency\": {{\"queries\": {}, \"background_mutators\": {}, \
+         \"p50_us\": {:.1}, \"p99_us\": {:.1}}},",
+        qrun.queries, qrun.background_mutators, qrun.p50_us, qrun.p99_us
+    );
+    let _ = writeln!(
+        report,
+        "  \"check\": {{\"gate\": \"group commit >= 10x per-mutation fsync at always (single-stream)\", \
+         \"meaningful\": {gate_meaningful}, \"pass\": {gate_pass}}}"
+    );
+    let _ = writeln!(report, "}}");
+
+    std::fs::write(&out, &report).expect("write report");
+    eprintln!("wrote {}", out.display());
+
+    if check {
+        if !gate_meaningful {
+            eprintln!(
+                "check: SKIPPED speedup gate (fsync measures {fsync_per_sec:.0}/s — \
+                 effectively free, nothing to amortize)"
+            );
+        } else if !gate_pass {
+            eprintln!(
+                "check: FAIL group-commit speedup {speedup_always:.1}x < 10x at fsync=always"
+            );
+            std::process::exit(1);
+        } else {
+            eprintln!("check: OK group-commit speedup {speedup_always:.1}x >= 10x");
+        }
+    }
+}

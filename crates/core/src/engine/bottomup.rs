@@ -658,8 +658,8 @@ impl<'rb> BottomUpEngine<'rb> {
             Premise::Hyp { goal, adds, dels } => {
                 let free = collect_free(goal, adds, dels, bindings);
                 self.hyp_groundings(
-                    rule, rule_idx, rot_j, idx, goal, adds, dels, &free, 0, bindings, older,
-                    delta, db, out,
+                    rule, rule_idx, rot_j, idx, goal, adds, dels, &free, 0, bindings, older, delta,
+                    db, out,
                 )
             }
         }

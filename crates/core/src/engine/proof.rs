@@ -204,7 +204,9 @@ fn render_into(node: &ProofNode, syms: &SymbolTable, indent: usize, out: &mut St
                             crate::pretty::atom(atom, syms)
                         );
                     }
-                    ProofChild::Hypothetical { adds, dels, sub, .. } => {
+                    ProofChild::Hypothetical {
+                        adds, dels, sub, ..
+                    } => {
                         let mut groups: Vec<String> = Vec::new();
                         if !adds.is_empty() {
                             let rendered: Vec<String> = adds
@@ -220,8 +222,7 @@ fn render_into(node: &ProofNode, syms: &SymbolTable, indent: usize, out: &mut St
                                 .collect();
                             groups.push(format!("del: {}", rendered.join(", ")));
                         }
-                        let _ =
-                            writeln!(out, "{}[{}]", "  ".repeat(indent + 1), groups.join(", "));
+                        let _ = writeln!(out, "{}[{}]", "  ".repeat(indent + 1), groups.join(", "));
                         render_into(sub, syms, indent + 2, out);
                     }
                 }

@@ -62,6 +62,37 @@ impl EngineStats {
         self.index_probes += c.probes;
         self.index_hits += c.hits;
     }
+
+    /// One-line JSON object of the counters (for `:stats --json` and
+    /// the network protocol's `stats` op). Keys are stable.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(384);
+        let _ = write!(
+            out,
+            "{{\"goal_expansions\":{},\"databases_created\":{},\"memo_hits\":{},\"calls\":{},\
+             \"max_depth\":{},\"rounds\":{},\"parallel_rounds\":{},\"index_probes\":{},\
+             \"index_hits\":{},\"delta_facts_per_round\":[",
+            self.goal_expansions,
+            self.databases_created,
+            self.memo_hits,
+            self.calls,
+            self.max_depth,
+            self.rounds,
+            self.parallel_rounds,
+            self.index_probes,
+            self.index_hits,
+        );
+        for (i, d) in self.delta_facts_per_round.iter().enumerate() {
+            let _ = write!(out, "{}{d}", if i > 0 { "," } else { "" });
+        }
+        let _ = write!(
+            out,
+            "],\"overlay_nodes\":{},\"overlay_delta_facts\":{},\"overlay_materialized_facts\":{}}}",
+            self.overlay.nodes, self.overlay.delta_facts, self.overlay.materialized_facts
+        );
+        out
+    }
 }
 
 /// Resource limits guarding against runaway searches.

@@ -35,9 +35,7 @@
 
 use crate::ast::{HypRule, Premise, Rulebase};
 use crate::engine::BottomUpEngine;
-use hdl_base::{
-    Atom, Bindings, Database, FxHashMap, FxHashSet, GroundAtom, Result, Symbol, Term,
-};
+use hdl_base::{Atom, Bindings, Database, FxHashMap, FxHashSet, GroundAtom, Result, Symbol, Term};
 
 /// Counters describing how a [`MaterializedModel`] has been maintained.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +56,25 @@ pub struct MaintenanceStats {
     pub overdeleted_facts: u64,
     /// Overdeleted facts put back by rederivation (cumulative).
     pub rederived_facts: u64,
+}
+
+impl MaintenanceStats {
+    /// One-line JSON object of the counters (for `:stats --json` and
+    /// the network protocol's `stats` op). Keys are stable.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"full_builds\":{},\"incremental_retractions\":{},\"incremental_assertions\":{},\
+             \"conservative_updates\":{},\"domain_rebuilds\":{},\"overdeleted_facts\":{},\
+             \"rederived_facts\":{}}}",
+            self.full_builds,
+            self.incremental_retractions,
+            self.incremental_assertions,
+            self.conservative_updates,
+            self.domain_rebuilds,
+            self.overdeleted_facts,
+            self.rederived_facts
+        )
+    }
 }
 
 /// A perfect model kept current across single-fact mutations.
@@ -150,8 +167,7 @@ impl MaterializedModel {
         // of one of its constants; negation and hypothetical groundings
         // then quantify over a smaller set everywhere.
         let domain_shrank = fact.args.iter().any(|c| {
-            !rulebase.constants().contains(c)
-                && !database.iter().any(|(_, args)| args.contains(c))
+            !rulebase.constants().contains(c) && !database.iter().any(|(_, args)| args.contains(c))
         });
         if domain_shrank {
             self.stats.domain_rebuilds += 1;

@@ -360,12 +360,16 @@ impl<'s> Parser<'s> {
                         )));
                     }
                 };
-                let seen = if is_add { !adds.is_empty() } else { !dels.is_empty() };
+                let seen = if is_add {
+                    !adds.is_empty()
+                } else {
+                    !dels.is_empty()
+                };
                 if seen || current == Some(is_add) {
                     self.pos = self.pos.saturating_sub(1);
-                    return Err(self.error_at(format!(
-                        "duplicate `{kw}:` group in hypothetical bracket"
-                    )));
+                    return Err(
+                        self.error_at(format!("duplicate `{kw}:` group in hypothetical bracket"))
+                    );
                 }
                 current = Some(is_add);
                 self.expect(&Tok::Colon, format!("`:` after `{kw}`").as_str())?;
@@ -608,7 +612,10 @@ mod tests {
         };
         assert_eq!(line, 1);
         assert_eq!(column, 8, "error points at the keyword itself");
-        assert!(message.contains("unknown premise keyword `remove`"), "{message}");
+        assert!(
+            message.contains("unknown premise keyword `remove`"),
+            "{message}"
+        );
         assert!(message.contains("`add:` or `del:`"), "{message}");
     }
 

@@ -989,7 +989,10 @@ mod tests {
             s.symbols.lookup("a").unwrap(),
             s.symbols.lookup("b").unwrap(),
         );
-        assert!(snap.model().expect("model propagated").contains_tuple(tc, &[a, b]));
+        assert!(snap
+            .model()
+            .expect("model propagated")
+            .contains_tuple(tc, &[a, b]));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 pub mod checkpoint;
 pub mod codec;
 pub mod crashpoint;
+pub mod group;
 pub mod recover;
 pub mod session;
 pub mod wal;
@@ -39,6 +40,7 @@ pub mod wal;
 pub(crate) mod testutil;
 
 pub use codec::{decode_checkpoint, decode_record, encode_checkpoint, WalRecord};
+pub use group::{CommitTicket, GroupCommitStats, GroupCommitter};
 pub use recover::{recover, Recovered, RecoveryReport};
 pub use session::DurableSession;
 pub use wal::{read_wal, FsyncPolicy, WalWriter};

@@ -38,6 +38,20 @@ impl RecoveryReport {
     pub fn restored_anything(&self) -> bool {
         self.checkpoint_epoch > 0 || self.records_replayed > 0
     }
+
+    /// One-line JSON object of the report (for `:stats --json` and the
+    /// network protocol's `stats` op). Keys are stable.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"checkpoint_epoch\":{},\"records_replayed\":{},\"records_truncated\":{},\
+             \"bytes_truncated\":{},\"checkpoints_skipped\":{}}}",
+            self.checkpoint_epoch,
+            self.records_replayed,
+            self.records_truncated,
+            self.bytes_truncated,
+            self.checkpoints_skipped
+        )
+    }
 }
 
 /// A recovered world: the session, its epoch, and an open WAL writer

@@ -17,6 +17,7 @@ use crate::codec::{
     encode_assume_record, encode_checkpoint, encode_pop_record, encode_program_record,
     encode_retract_record, encode_symbols_record,
 };
+use crate::group::{CommitTicket, GroupCommitter, SharedWal};
 use crate::recover::{recover, RecoveryReport};
 use crate::wal::{FsyncPolicy, WalWriter};
 use hdl_base::{Error, Result, SymbolTable};
@@ -26,21 +27,24 @@ use std::ops::{Deref, DerefMut};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, PoisonError};
 
-/// The WAL writer plus the count of symbol names already on disk,
-/// shared between the session-owned observer and the `DurableSession`
-/// (which needs it back for checkpoint rotation).
-#[derive(Debug)]
-struct WalShared {
-    writer: WalWriter,
-    /// How many symbols (by interning position) the log already covers;
-    /// names past this are written in a `Symbols` record before the next
-    /// mutation that needs them.
-    synced: usize,
-}
-
-/// The observer installed into the wrapped session.
+/// The observer installed into the wrapped session. In direct mode it
+/// commits (append + policy fsync) inline under the WAL lock; in group
+/// mode it hands the record group to the shared [`GroupCommitter`] and
+/// blocks until the batch fsync covering it has returned. In *pipelined*
+/// group mode it does not block at all: it enqueues the records and
+/// *stages* the records where the caller can flush them into one
+/// committer submission via
+/// [`DurableSession::take_pending_commits`] — the caller owns the
+/// obligation to wait the resulting ticket before acking anything.
 struct WalObserver {
-    shared: Arc<Mutex<WalShared>>,
+    shared: Arc<Mutex<SharedWal>>,
+    group: Option<Arc<GroupCommitter>>,
+    /// `Some` selects pipelined mode; the buffer accumulates the WAL
+    /// records of every mutation not yet handed to the committer, in
+    /// application order. A caller applying a whole window of mutations
+    /// under one lock hold then pays ONE submission (one queue hop, one
+    /// ticket) for the window instead of one per mutation.
+    staged: Option<Arc<Mutex<Vec<Vec<u8>>>>>,
 }
 
 impl SessionObserver for WalObserver {
@@ -61,24 +65,61 @@ impl SessionObserver for WalObserver {
             Mutation::Assume(facts) => encode_assume_record(facts),
             Mutation::PopAssumption => encode_pop_record(),
         });
-        let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
-        guard.writer.commit(&refs)?;
-        // Only advance after a successful commit: if the append failed,
-        // the next mutation re-sends the same symbol suffix (replay
-        // tolerates re-interning — ids are positional and idempotent).
-        guard.synced = symbols.len();
-        Ok(())
+        match &self.group {
+            None => {
+                let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+                guard.writer.commit(&refs)?;
+                // Only advance after a successful commit: if the append
+                // failed, the next mutation re-sends the same symbol
+                // suffix (replay tolerates re-interning — ids are
+                // positional and idempotent).
+                guard.synced = symbols.len();
+                Ok(())
+            }
+            Some(committer) => match &self.staged {
+                None => {
+                    // The committer takes the WAL lock itself; holding it
+                    // across the blocking submit would deadlock. Mutations
+                    // on one session are serialized (`&mut Session`), so
+                    // the watermark cannot race between release and
+                    // re-lock.
+                    drop(guard);
+                    committer.commit(&self.shared, payloads)?;
+                    let mut guard = self.shared.lock().unwrap_or_else(PoisonError::into_inner);
+                    guard.synced = symbols.len();
+                    Ok(())
+                }
+                Some(buffer) => {
+                    // Pipelined: advance the watermark at *staging* time —
+                    // the suffix is already in this payload, and staging
+                    // preserves order, so the next mutation must not
+                    // re-send it. If the commit later fails, the caller
+                    // sees the ticket error and must stop using the
+                    // session (memory is ahead of a failed log).
+                    guard.synced = symbols.len();
+                    drop(guard);
+                    buffer
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .extend(payloads);
+                    Ok(())
+                }
+            },
+        }
     }
 }
 
 /// State present only when a persist dir is configured.
-#[derive(Debug)]
 struct Durable {
     dir: PathBuf,
     policy: FsyncPolicy,
     epoch: u64,
-    shared: Arc<Mutex<WalShared>>,
+    shared: Arc<Mutex<SharedWal>>,
     report: RecoveryReport,
+    /// The committer, when commits route through group mode.
+    group: Option<Arc<GroupCommitter>>,
+    /// The pipelined-mode staging buffer shared with the observer.
+    staged: Option<Arc<Mutex<Vec<Vec<u8>>>>>,
 }
 
 /// A session with optional durability; derefs to [`Session`].
@@ -94,15 +135,61 @@ const KEEP_CHECKPOINTS: usize = 2;
 impl DurableSession {
     /// Opens (recovering if needed) a durable session rooted at `dir`.
     pub fn open(dir: impl Into<PathBuf>, policy: FsyncPolicy) -> Result<Self> {
-        let dir = dir.into();
+        Self::open_inner(dir.into(), policy, None, false)
+    }
+
+    /// Like [`open`](Self::open), but routes every WAL commit through a
+    /// shared [`GroupCommitter`] so concurrent sessions' mutations are
+    /// batched into one fsync pass per drain. The durability contract is
+    /// unchanged: the mutating call returns only after this session's
+    /// records are on disk under the configured policy.
+    pub fn open_grouped(
+        dir: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+        committer: Arc<GroupCommitter>,
+    ) -> Result<Self> {
+        Self::open_inner(dir.into(), policy, Some(committer), false)
+    }
+
+    /// Like [`open_grouped`](Self::open_grouped), but mutating calls
+    /// return as soon as their records are *enqueued* with the committer
+    /// — durability arrives later, on the [`CommitTicket`] collected via
+    /// [`take_pending_commit`](Self::take_pending_commit). The caller
+    /// MUST wait that ticket before acking the mutation to anyone, and
+    /// must stop mutating the session if it resolves to an error (the
+    /// in-memory state is then ahead of a failed log). This is the mode
+    /// the multi-tenant server uses: it lets concurrent connections
+    /// stack commits into deep per-WAL batches instead of serializing
+    /// each one behind its predecessor's fsync.
+    pub fn open_grouped_pipelined(
+        dir: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+        committer: Arc<GroupCommitter>,
+    ) -> Result<Self> {
+        Self::open_inner(dir.into(), policy, Some(committer), true)
+    }
+
+    fn open_inner(
+        dir: PathBuf,
+        policy: FsyncPolicy,
+        group: Option<Arc<GroupCommitter>>,
+        pipelined: bool,
+    ) -> Result<Self> {
         let recovered = recover(&dir, policy)?;
         let mut session = recovered.session;
-        let shared = Arc::new(Mutex::new(WalShared {
+        let shared = Arc::new(Mutex::new(SharedWal {
             writer: recovered.writer,
             synced: session.symbols().len(),
         }));
+        let staged = if pipelined && group.is_some() {
+            Some(Arc::new(Mutex::new(Vec::new())))
+        } else {
+            None
+        };
         session.set_observer(Some(Box::new(WalObserver {
             shared: Arc::clone(&shared),
+            group: group.clone(),
+            staged: staged.clone(),
         })));
         Ok(DurableSession {
             session,
@@ -112,6 +199,8 @@ impl DurableSession {
                 epoch: recovered.epoch,
                 shared,
                 report: recovered.report,
+                group,
+                staged,
             }),
         })
     }
@@ -146,13 +235,61 @@ impl DurableSession {
         self.durable.as_ref().map(|d| &d.report)
     }
 
+    /// Flushes every mutation staged since the last flush into ONE
+    /// committer submission and returns its durability ticket(s), when
+    /// the session was opened with
+    /// [`open_grouped_pipelined`](Self::open_grouped_pipelined). Returns
+    /// an empty vec in every other mode (the mutating call itself
+    /// already blocked until durable) and when nothing is staged. The
+    /// single submission is what makes deep windows cheap: one queue
+    /// hop and one ticket amortize over however many mutations the
+    /// caller applied under its lock hold.
+    pub fn take_pending_commits(&mut self) -> Vec<CommitTicket> {
+        let Some(durable) = &self.durable else {
+            return Vec::new();
+        };
+        let (Some(committer), Some(buffer)) = (&durable.group, &durable.staged) else {
+            return Vec::new();
+        };
+        let payloads = std::mem::take(&mut *buffer.lock().unwrap_or_else(PoisonError::into_inner));
+        if payloads.is_empty() {
+            return Vec::new();
+        }
+        vec![committer.submit(&durable.shared, payloads)]
+    }
+
+    /// Blocks until every record this session has enqueued with the
+    /// group committer is durable. A no-op outside group mode. Used
+    /// before checkpoint rotation (records landing after the rotation
+    /// would replay on top of a checkpoint that already contains them)
+    /// and useful to callers as an explicit durability barrier.
+    pub fn flush_commits(&mut self) -> Result<()> {
+        for ticket in self.take_pending_commits() {
+            ticket.wait()?;
+        }
+        let Some(durable) = &self.durable else {
+            return Ok(());
+        };
+        let Some(committer) = &durable.group else {
+            return Ok(());
+        };
+        // FIFO per WAL: once the empty barrier group is durable, so is
+        // everything submitted before it — including tickets a
+        // concurrent caller collected but has not finished waiting.
+        committer.commit(&durable.shared, Vec::new())
+    }
+
     /// Serializes the whole session state to a new checkpoint epoch,
     /// rotates the WAL, and deletes the old log. Returns the new epoch.
     pub fn checkpoint(&mut self) -> Result<u64> {
-        let durable = self
-            .durable
-            .as_mut()
-            .ok_or_else(|| Error::Invalid("session has no persist dir".into()))?;
+        if self.durable.is_none() {
+            return Err(Error::Invalid("session has no persist dir".into()));
+        }
+        // Drain in-flight group commits first: rotation deletes the WAL
+        // they target, and any record appended after the image below is
+        // serialized would double-apply on recovery.
+        self.flush_commits()?;
+        let durable = self.durable.as_mut().expect("checked above");
         let epoch = durable.epoch + 1;
         let image = encode_checkpoint(
             epoch,
@@ -353,6 +490,87 @@ mod tests {
         assert!(!s.ask("?- edge(b, c).").unwrap());
         let model_facts = s.model().unwrap().len();
         assert!(model_facts > 0);
+    }
+
+    /// Group-committed sessions replay to the exact same state as
+    /// direct-committed ones: many sessions hammer one committer
+    /// concurrently, and each reopened world matches its writer.
+    #[test]
+    fn grouped_sessions_recover_identically() {
+        let committer = GroupCommitter::new();
+        let dirs: Vec<TempDir> = (0..4).map(|i| TempDir::new(&format!("grp-{i}"))).collect();
+        std::thread::scope(|scope| {
+            for (i, dir) in dirs.iter().enumerate() {
+                let committer = Arc::clone(&committer);
+                scope.spawn(move || {
+                    let mut s =
+                        DurableSession::open_grouped(dir.path(), FsyncPolicy::Always, committer)
+                            .unwrap();
+                    s.load(PROGRAM).unwrap();
+                    for j in 0..10 {
+                        let f = parse_fact(&mut s, &format!("edge(t{i}_{j}, a)."));
+                        s.assert_fact(f).unwrap();
+                    }
+                    let g = parse_fact(&mut s, &format!("edge(t{i}_0, a)."));
+                    assert!(s.retract_fact(&g).unwrap());
+                });
+            }
+        });
+        assert_eq!(committer.stats().commits, 4 * 12);
+        committer.shutdown();
+        for (i, dir) in dirs.iter().enumerate() {
+            let mut s = DurableSession::open(dir.path(), FsyncPolicy::Always).unwrap();
+            assert!(!s.ask(&format!("?- edge(t{i}_0, a).")).unwrap());
+            assert!(s.ask(&format!("?- tc(t{i}_9, d).")).unwrap());
+            assert_eq!(s.recovery_report().unwrap().records_truncated, 0);
+        }
+    }
+
+    /// Pipelined mode: mutations return before durability, staged
+    /// records flush into one submission per `take_pending_commits`
+    /// call, checkpoints drain in-flight commits, and recovery sees the
+    /// exact same world as a blocking session would.
+    #[test]
+    fn pipelined_sessions_ack_late_and_recover_identically() {
+        let committer = GroupCommitter::new();
+        let dir = TempDir::new("pipelined");
+        {
+            let mut s = DurableSession::open_grouped_pipelined(
+                dir.path(),
+                FsyncPolicy::Always,
+                Arc::clone(&committer),
+            )
+            .unwrap();
+            s.load(PROGRAM).unwrap();
+            let mut tickets = s.take_pending_commits();
+            assert_eq!(tickets.len(), 1, "pipelined mode yields tickets");
+            // Several mutations without collecting: the records stage up
+            // and flush as ONE submission — a window costs one ticket,
+            // not eight.
+            for j in 0..8 {
+                let f = parse_fact(&mut s, &format!("edge(p{j}, a)."));
+                s.assert_fact(f).unwrap();
+            }
+            let batch = s.take_pending_commits();
+            assert_eq!(batch.len(), 1, "a whole window flushes as one submission");
+            assert!(s.take_pending_commits().is_empty(), "nothing staged twice");
+            tickets.extend(batch);
+            // Checkpoint must drain the pipeline before rotating.
+            assert_eq!(s.checkpoint().unwrap(), 1);
+            let f = parse_fact(&mut s, "edge(post, a).");
+            s.assert_fact(f).unwrap();
+            s.flush_commits().unwrap();
+            for t in tickets {
+                t.wait().unwrap();
+            }
+        }
+        let mut s = DurableSession::open(dir.path(), FsyncPolicy::Always).unwrap();
+        let report = s.recovery_report().unwrap().clone();
+        assert_eq!(report.checkpoint_epoch, 1);
+        assert_eq!(report.records_truncated, 0);
+        assert!(s.ask("?- tc(p7, d).").unwrap());
+        assert!(s.ask("?- tc(post, d).").unwrap());
+        committer.shutdown();
     }
 
     #[test]

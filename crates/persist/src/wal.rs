@@ -120,6 +120,18 @@ impl WalWriter {
     /// to the fsync policy. The caller may only ack the mutation (and
     /// commit it to memory) after this returns `Ok`.
     pub fn commit(&mut self, payloads: &[&[u8]]) -> Result<()> {
+        self.append_group(payloads)?;
+        self.sync_commits(1)
+    }
+
+    /// Appends the frames of one mutation's record group and flushes
+    /// them to the OS **without** fsyncing. Used by the group-commit
+    /// path, which batches several groups (possibly from several
+    /// concurrent submitters) ahead of a single [`sync_commits`] call.
+    /// Nothing may be acked until that sync returns `Ok`.
+    ///
+    /// [`sync_commits`]: WalWriter::sync_commits
+    pub fn append_group(&mut self, payloads: &[&[u8]]) -> Result<()> {
         for payload in payloads {
             hdl_base::failpoint!("persist::wal_append");
             debug_assert!(payload.len() as u64 <= MAX_RECORD_LEN as u64);
@@ -138,7 +150,14 @@ impl WalWriter {
             self.write(&crc.to_le_bytes())?;
             self.write(payload)?;
         }
-        self.flush()?;
+        self.flush()
+    }
+
+    /// Applies the fsync policy after `commits` mutation groups were
+    /// appended with [`append_group`](WalWriter::append_group). Under
+    /// [`FsyncPolicy::Always`] this is exactly one `fdatasync` no matter
+    /// how many commits it covers — the whole point of group commit.
+    pub fn sync_commits(&mut self, commits: u32) -> Result<()> {
         hdl_base::failpoint!("persist::wal_fsync");
         if crashpoint::should_crash("persist::wal_fsync") {
             // Flushed but not fsynced and never acked: the record
@@ -150,7 +169,7 @@ impl WalWriter {
         match self.policy {
             FsyncPolicy::Always => self.sync()?,
             FsyncPolicy::EveryN(n) => {
-                self.commits_since_sync += 1;
+                self.commits_since_sync += commits;
                 if self.commits_since_sync >= n {
                     self.sync()?;
                     self.commits_since_sync = 0;

@@ -1,0 +1,296 @@
+//! Wire protocol: newline-delimited JSON requests and replies.
+//!
+//! Every request is one JSON object on one line with an `"op"` field;
+//! every reply is one JSON object on one line with `"ok"` (and, when
+//! the request carried an `"id"`, the same id echoed back so pipelined
+//! clients can match replies to requests). See `docs/protocol.md` for
+//! the full wire-format reference with examples.
+
+use crate::json::Json;
+use hdl_core::session::EngineKind;
+use hdl_service::Outcome;
+use std::time::Duration;
+
+/// Protocol revision advertised by `hello`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Per-request evaluation options (all optional).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryOpts {
+    /// Engine override (`"top-down"` / `"bottom-up"`).
+    pub engine: Option<EngineKind>,
+    /// Wall-clock budget in milliseconds.
+    pub deadline: Option<Duration>,
+    /// Per-query fact budget override.
+    pub max_facts: Option<u64>,
+}
+
+/// One parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Protocol handshake; legal before `open`.
+    Hello,
+    /// Bind this connection to the named tenant (creating it on first
+    /// use).
+    Open {
+        /// Tenant name (`[A-Za-z0-9_-]{1,64}`).
+        tenant: String,
+    },
+    /// A yes/no query (`?-` dressing optional).
+    Query {
+        /// The goal text.
+        q: String,
+        /// Evaluation options.
+        opts: QueryOpts,
+    },
+    /// All tuples matching a plain atom pattern.
+    Answers {
+        /// The pattern, e.g. `tc(X, Y)`.
+        pattern: String,
+        /// Evaluation options.
+        opts: QueryOpts,
+    },
+    /// Load program text (rules and facts) into the tenant.
+    Load {
+        /// Program source.
+        program: String,
+    },
+    /// Push an assumption frame of ground facts.
+    Assume {
+        /// Comma/period-separated ground facts.
+        facts: String,
+    },
+    /// Pop the top assumption frame.
+    Pop,
+    /// Retract one base fact.
+    Retract {
+        /// The fact text.
+        fact: String,
+    },
+    /// Compact the tenant's WAL into a checkpoint.
+    Checkpoint,
+    /// Counters: server-level, plus tenant-level once bound.
+    Stats,
+    /// End this connection (the tenant itself persists).
+    Close,
+    /// Ask the server to drain and exit (graceful shutdown).
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one protocol line. Returns the request plus the echoed id
+    /// (if any).
+    pub fn parse(line: &str) -> Result<(Request, Option<u64>), String> {
+        let value = Json::parse(line)?;
+        let id = value.get("id").and_then(Json::as_u64);
+        let op = value
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing \"op\" field")?;
+        let text = |field: &str| -> Result<String, String> {
+            value
+                .get(field)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("op `{op}` needs a string \"{field}\" field"))
+        };
+        let opts = || -> Result<QueryOpts, String> {
+            let engine = match value.get("engine").and_then(Json::as_str) {
+                Some(name) => Some(name.parse::<EngineKind>().map_err(|e| e.to_string())?),
+                None => None,
+            };
+            Ok(QueryOpts {
+                engine,
+                deadline: value
+                    .get("deadline_ms")
+                    .and_then(Json::as_u64)
+                    .map(Duration::from_millis),
+                max_facts: value.get("max_facts").and_then(Json::as_u64),
+            })
+        };
+        let request = match op {
+            "hello" => Request::Hello,
+            "open" => Request::Open {
+                tenant: text("tenant")?,
+            },
+            "query" => Request::Query {
+                q: text("q")?,
+                opts: opts()?,
+            },
+            "answers" => Request::Answers {
+                pattern: text("pattern")?,
+                opts: opts()?,
+            },
+            "load" => Request::Load {
+                program: text("program")?,
+            },
+            "assume" => Request::Assume {
+                facts: text("facts")?,
+            },
+            "pop" => Request::Pop,
+            "retract" => Request::Retract {
+                fact: text("fact")?,
+            },
+            "checkpoint" => Request::Checkpoint,
+            "stats" => Request::Stats,
+            "close" => Request::Close,
+            "shutdown" => Request::Shutdown,
+            other => return Err(format!("unknown op `{other}`")),
+        };
+        Ok((request, id))
+    }
+}
+
+/// Builds one reply line (no trailing newline).
+pub struct Reply {
+    fields: Vec<(&'static str, Json)>,
+}
+
+impl Reply {
+    /// A success reply for `op`.
+    pub fn ok(op: &str) -> Reply {
+        Reply {
+            fields: vec![("ok", Json::Bool(true)), ("op", Json::str(op))],
+        }
+    }
+
+    /// A failure reply with a machine-readable `kind` (`parse`,
+    /// `protocol`, `no-tenant`, `bad-tenant-name`, `quota`,
+    /// `overloaded`, `query`, `shutdown`, `internal`).
+    pub fn err(kind: &str, message: impl Into<String>) -> Reply {
+        Reply {
+            fields: vec![
+                ("ok", Json::Bool(false)),
+                ("kind", Json::str(kind)),
+                ("error", Json::str(message.into())),
+            ],
+        }
+    }
+
+    /// Adds a field.
+    pub fn with(mut self, key: &'static str, value: Json) -> Reply {
+        self.fields.push((key, value));
+        self
+    }
+
+    /// Renders the reply as one line, echoing `id` when present.
+    pub fn render(mut self, id: Option<u64>) -> String {
+        if let Some(id) = id {
+            self.fields.push(("id", Json::num(id as f64)));
+        }
+        Json::obj(self.fields.iter().map(|(k, v)| (*k, v.clone())).collect()).to_string()
+    }
+}
+
+/// Maps a service [`Outcome`] to its reply. Structured budget trips are
+/// `ok:true` results (the protocol worked; the query hit its budget) —
+/// only [`Outcome::Error`] and [`Outcome::Overloaded`] are failures.
+pub fn outcome_reply(op: &str, outcome: &Outcome) -> Reply {
+    let rows_json = |rows: &[Vec<String>]| {
+        Json::Arr(
+            rows.iter()
+                .map(|row| Json::Arr(row.iter().map(Json::str).collect()))
+                .collect(),
+        )
+    };
+    match outcome {
+        Outcome::True => Reply::ok(op).with("result", Json::str("true")),
+        Outcome::False => Reply::ok(op).with("result", Json::str("false")),
+        Outcome::Answers(rows) => Reply::ok(op)
+            .with("result", Json::str("answers"))
+            .with("rows", rows_json(rows))
+            .with("count", Json::num(rows.len() as f64)),
+        Outcome::Cancelled => Reply::ok(op).with("result", Json::str("cancelled")),
+        Outcome::DeadlineExceeded => Reply::ok(op).with("result", Json::str("deadline-exceeded")),
+        Outcome::MemoryExceeded => Reply::ok(op).with("result", Json::str("memory-exceeded")),
+        Outcome::Overloaded => Reply::err("overloaded", "tenant queue at capacity")
+            .with("result", Json::str("overloaded")),
+        Outcome::Partial { rows, reason } => Reply::ok(op)
+            .with("result", Json::str("partial"))
+            .with("rows", rows_json(rows))
+            .with("count", Json::num(rows.len() as f64))
+            .with("reason", Json::str(reason)),
+        Outcome::Error(msg) => Reply::err("query", msg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_op_set() {
+        let cases = [
+            ("{\"op\":\"hello\"}", Request::Hello),
+            (
+                "{\"op\":\"open\",\"tenant\":\"t1\"}",
+                Request::Open {
+                    tenant: "t1".into(),
+                },
+            ),
+            ("{\"op\":\"pop\"}", Request::Pop),
+            ("{\"op\":\"checkpoint\"}", Request::Checkpoint),
+            ("{\"op\":\"stats\"}", Request::Stats),
+            ("{\"op\":\"close\"}", Request::Close),
+            ("{\"op\":\"shutdown\"}", Request::Shutdown),
+        ];
+        for (line, expected) in cases {
+            let (req, id) = Request::parse(line).unwrap();
+            assert_eq!(req, expected, "{line}");
+            assert_eq!(id, None);
+        }
+    }
+
+    #[test]
+    fn query_opts_parse() {
+        let (req, id) = Request::parse(
+            "{\"op\":\"query\",\"q\":\"?- p(a).\",\"engine\":\"bottom-up\",\
+             \"deadline_ms\":250,\"max_facts\":1000,\"id\":9}",
+        )
+        .unwrap();
+        assert_eq!(id, Some(9));
+        match req {
+            Request::Query { q, opts } => {
+                assert_eq!(q, "?- p(a).");
+                assert_eq!(opts.engine, Some(EngineKind::BottomUp));
+                assert_eq!(opts.deadline, Some(Duration::from_millis(250)));
+                assert_eq!(opts.max_facts, Some(1000));
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_fields_are_structured_errors() {
+        assert!(Request::parse("{\"op\":\"open\"}").is_err());
+        assert!(Request::parse("{\"op\":\"query\"}").is_err());
+        assert!(Request::parse("{\"q\":\"p\"}").is_err());
+        assert!(Request::parse("{\"op\":\"warp\"}").is_err());
+        assert!(Request::parse("not json").is_err());
+    }
+
+    #[test]
+    fn replies_render_stably() {
+        assert_eq!(
+            Reply::ok("hello").render(None),
+            "{\"ok\":true,\"op\":\"hello\"}"
+        );
+        assert_eq!(
+            Reply::err("quota", "too many facts").render(Some(3)),
+            "{\"error\":\"too many facts\",\"id\":3,\"kind\":\"quota\",\"ok\":false}"
+        );
+    }
+
+    #[test]
+    fn outcome_mapping() {
+        let line = outcome_reply("query", &Outcome::True).render(None);
+        assert!(line.contains("\"result\":\"true\""));
+        let rows = Outcome::Answers(vec![vec!["a".into(), "b".into()]]);
+        let line = outcome_reply("answers", &rows).render(None);
+        assert!(line.contains("\"rows\":[[\"a\",\"b\"]]"));
+        assert!(line.contains("\"count\":1"));
+        let line = outcome_reply("query", &Outcome::Overloaded).render(None);
+        assert!(line.contains("\"ok\":false"));
+        assert!(line.contains("\"kind\":\"overloaded\""));
+    }
+}

@@ -1,0 +1,825 @@
+//! The TCP server: accept loop, per-connection handlers, admission
+//! control, and graceful drain.
+//!
+//! One thread accepts connections (nonblocking, polling the shutdown
+//! flag); each accepted connection gets its own handler thread speaking
+//! the newline-delimited JSON protocol of [`crate::protocol`]. A
+//! connection binds to at most one tenant at a time via `open`; queries
+//! run on that tenant's worker pool, mutations commit through its
+//! durable session (batched across tenants by the shared group
+//! committer when enabled).
+//!
+//! Admission control happens at two levels: connections past
+//! `max_connections` are refused with a structured `overloaded` line
+//! before a handler is spawned, and per-tenant in-flight/queue caps shed
+//! queries inside [`crate::tenant`]. Graceful drain (`shutdown` op or
+//! SIGTERM) stops the accept loop, half-closes every client socket so
+//! in-flight replies still deliver, joins the handlers, checkpoints
+//! every durable tenant, and shuts the group committer down.
+
+use crate::json::Json;
+use crate::protocol::{outcome_reply, Reply, Request, PROTOCOL_VERSION};
+use crate::tenant::{BatchOp, BatchReply, Registry, RegistryConfig, Tenant, TenantQuotas};
+use hdl_core::session::EngineKind;
+use hdl_persist::{FsyncPolicy, GroupCommitter};
+use hdl_service::QueryRequest;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything the server needs to start.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7671`. Port 0 binds an ephemeral
+    /// port; [`Server::addr`] reports the actual one.
+    pub listen: String,
+    /// Persist root; tenants live under `<root>/tenants/<name>`.
+    /// `None` = everything ephemeral.
+    pub persist_root: Option<PathBuf>,
+    /// Fsync policy for tenant WALs.
+    pub fsync: FsyncPolicy,
+    /// Batch concurrent WAL commits across tenants into shared fsync
+    /// passes (ack-after-commit is preserved either way).
+    pub group_commit: bool,
+    /// Connections past this are refused with an `overloaded` line.
+    pub max_connections: usize,
+    /// Query workers per tenant.
+    pub workers_per_tenant: usize,
+    /// Quotas applied to every tenant.
+    pub quotas: TenantQuotas,
+    /// Engine used when a request names none.
+    pub default_engine: EngineKind,
+    /// Deadline applied when a request names none.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            persist_root: None,
+            fsync: FsyncPolicy::Always,
+            group_commit: true,
+            max_connections: 64,
+            workers_per_tenant: 1,
+            quotas: TenantQuotas::default(),
+            default_engine: EngineKind::default(),
+            default_deadline: None,
+        }
+    }
+}
+
+struct Inner {
+    config: ServerConfig,
+    registry: Registry,
+    committer: Option<Arc<GroupCommitter>>,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    live: AtomicU64,
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    /// Live client sockets (for half-close on drain), keyed by
+    /// connection id.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running server; dropping it without [`drain`](Server::drain) leaves
+/// threads running, so hosts should always drain.
+pub struct Server {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.listen` and starts accepting. Returns once the
+    /// listener is live (the actual address — ephemeral ports resolved —
+    /// is [`addr`](Server::addr)).
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let committer =
+            (config.group_commit && config.persist_root.is_some()).then(GroupCommitter::new);
+        let registry = Registry::new(RegistryConfig {
+            root: config.persist_root.clone(),
+            policy: config.fsync,
+            committer: committer.clone(),
+            workers: config.workers_per_tenant,
+            quotas: config.quotas.clone(),
+        });
+        let inner = Arc::new(Inner {
+            config,
+            registry,
+            committer,
+            addr,
+            shutdown: AtomicBool::new(false),
+            live: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("hdl-accept".to_owned())
+                .spawn(move || accept_loop(&inner, listener))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            inner,
+            accept: Some(accept),
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Asks the server to drain (idempotent); `drain` completes it.
+    pub fn request_shutdown(&self) {
+        self.inner.shutdown.store(true, SeqCst);
+    }
+
+    /// Whether a drain has been requested (by [`request_shutdown`]
+    /// (Self::request_shutdown) or a client `shutdown` op).
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.shutdown.load(SeqCst)
+    }
+
+    /// Blocks until a drain is requested — by a client `shutdown` op,
+    /// [`request_shutdown`](Self::request_shutdown) from another thread,
+    /// or `term` going true (e.g. the SIGTERM flag) — then drains.
+    pub fn run(self, term: Option<&AtomicBool>) {
+        while !self.shutdown_requested() && !term.is_some_and(|t| t.load(SeqCst)) {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        self.drain();
+    }
+
+    /// Graceful shutdown: stop accepting, half-close clients (in-flight
+    /// replies still deliver), join handlers, checkpoint every durable
+    /// tenant, stop the group committer.
+    pub fn drain(mut self) {
+        self.request_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        {
+            let conns = self
+                .inner
+                .conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for stream in conns.values() {
+                // Half-close: the handler's next read sees EOF and exits
+                // after finishing (and replying to) its current request.
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+        let handlers: Vec<_> = self
+            .inner
+            .handlers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+        for (name, result) in self.inner.registry.checkpoint_all() {
+            match result {
+                Ok(epoch) => eprintln!("tenant {name}: checkpointed epoch {epoch} on shutdown"),
+                Err(e) => eprintln!(
+                    "warning: tenant {name}: shutdown checkpoint failed: {}",
+                    e.message
+                ),
+            }
+        }
+        if let Some(c) = &self.inner.committer {
+            c.shutdown();
+        }
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    loop {
+        if inner.shutdown.load(SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                if inner.live.load(SeqCst) >= inner.config.max_connections as u64 {
+                    inner.refused.fetch_add(1, SeqCst);
+                    refuse(stream);
+                    continue;
+                }
+                let id = inner.accepted.fetch_add(1, SeqCst);
+                inner.live.fetch_add(1, SeqCst);
+                if let Ok(clone) = stream.try_clone() {
+                    inner
+                        .conns
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert(id, clone);
+                }
+                let handler = {
+                    let inner = Arc::clone(inner);
+                    std::thread::Builder::new()
+                        .name(format!("hdl-conn-{id}"))
+                        .spawn(move || {
+                            let _ = serve_connection(&inner, stream);
+                            inner
+                                .conns
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .remove(&id);
+                            inner.live.fetch_sub(1, SeqCst);
+                        })
+                        .expect("spawn connection handler")
+                };
+                inner
+                    .handlers
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(handler);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => {
+                if inner.shutdown.load(SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Tells an over-capacity client why it is being dropped.
+fn refuse(mut stream: TcpStream) {
+    let line = Reply::err("overloaded", "server at max connections").render(None);
+    let _ = writeln!(stream, "{line}");
+    let _ = stream.flush();
+}
+
+/// Builds the service request for a query/answers op: explicit options
+/// win, server defaults fill the gaps, and the tenant's per-query fact
+/// quota is a ceiling a request may lower but never raise.
+fn build_request(
+    kind_is_rows: bool,
+    text: &str,
+    opts: &crate::protocol::QueryOpts,
+    config: &ServerConfig,
+    tenant: &Tenant,
+) -> QueryRequest {
+    let mut req = if kind_is_rows {
+        QueryRequest::answers(text)
+    } else {
+        QueryRequest::ask(text)
+    };
+    req = req.with_engine(opts.engine.unwrap_or(config.default_engine));
+    if let Some(d) = opts.deadline.or(config.default_deadline) {
+        req = req.with_deadline(d);
+    }
+    match (opts.max_facts, tenant.quotas().query_max_facts) {
+        (Some(r), Some(q)) => req = req.with_max_facts(r.min(q)),
+        (Some(r), None) => req = req.with_max_facts(r),
+        // No per-request value: the tenant quota already sits in the
+        // service config default.
+        (None, _) => {}
+    }
+    req
+}
+
+/// How many pipelined requests one handler pass will take off the wire
+/// at once. Bounds both the mutation window handed to
+/// [`Tenant::apply_batch`] and the reply burst written back.
+const PIPELINE_WINDOW: usize = 256;
+
+/// A line reader that can *drain* without blocking: [`next_line`]
+/// (Self::next_line) blocks for the next request like `BufReader::lines`
+/// would, but [`buffered_line`](Self::buffered_line) only yields lines
+/// the client has already sent (topping the buffer up with one
+/// nonblocking read). That distinction is what turns a pipelining client
+/// into deep mutation windows: the handler blocks for the first request
+/// of a pass, then sweeps in every request already queued behind it.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`.
+    start: usize,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> LineReader {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// The next complete line, blocking for it; `None` on EOF.
+    fn next_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            if let Some(line) = self.take_buffered_line() {
+                return Ok(Some(line));
+            }
+            if !self.fill(true)? {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// A complete line the client has already sent, or `None` — never
+    /// blocks. One nonblocking read tops the buffer up first so a burst
+    /// that landed in the socket since the last pass is included.
+    fn buffered_line(&mut self) -> Option<String> {
+        if let Some(line) = self.take_buffered_line() {
+            return Some(line);
+        }
+        let _ = self.fill(false);
+        self.take_buffered_line()
+    }
+
+    fn take_buffered_line(&mut self) -> Option<String> {
+        let rest = &self.buf[self.start..];
+        let nl = rest.iter().position(|&b| b == b'\n')?;
+        let line = String::from_utf8_lossy(&rest[..nl]).into_owned();
+        self.start += nl + 1;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Some(line)
+    }
+
+    /// Reads more bytes into the buffer. Returns false on EOF, or — in
+    /// nonblocking mode — when nothing is ready. The nonblocking toggle
+    /// also affects the write clone of this socket (same underlying
+    /// description), so it is always restored before returning and
+    /// nothing writes concurrently with a fill.
+    fn fill(&mut self, blocking: bool) -> io::Result<bool> {
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        if !blocking {
+            self.stream.set_nonblocking(true)?;
+        }
+        let result = self.stream.read(&mut chunk);
+        if !blocking {
+            let _ = self.stream.set_nonblocking(false);
+        }
+        match result {
+            Ok(0) => Ok(false),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(true)
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(false),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                if blocking {
+                    self.fill(true)
+                } else {
+                    Ok(false)
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Maps a mutation request to its batch op; `None` for everything else.
+fn mutation_op(request: &Request) -> Option<BatchOp<'_>> {
+    match request {
+        Request::Load { program } => Some(BatchOp::Load(program)),
+        Request::Assume { facts } => Some(BatchOp::Assume(facts)),
+        Request::Pop => Some(BatchOp::Pop),
+        Request::Retract { fact } => Some(BatchOp::Retract(fact)),
+        _ => None,
+    }
+}
+
+/// Renders one batch result in the same shape the single-op path uses.
+fn mutation_reply(
+    tenant: &Tenant,
+    result: Result<BatchReply, crate::tenant::TenantError>,
+) -> Reply {
+    match result {
+        Ok(BatchReply::Loaded) => Reply::ok("load").with("epoch", Json::num(tenant.epoch() as f64)),
+        Ok(BatchReply::Assumed { frames }) => {
+            Reply::ok("assume").with("frames", Json::num(frames as f64))
+        }
+        Ok(BatchReply::Popped { popped, frames }) => Reply::ok("pop")
+            .with("popped", Json::num(popped as f64))
+            .with("frames", Json::num(frames as f64)),
+        Ok(BatchReply::Retracted { removed }) => {
+            Reply::ok("retract").with("removed", Json::Bool(removed))
+        }
+        Err(e) => Reply::err(e.kind, e.message),
+    }
+}
+
+/// Handles one non-mutation request (or a mutation with no tenant
+/// bound). Returns the reply and whether the connection should close.
+fn handle_one(
+    inner: &Arc<Inner>,
+    tenant: &mut Option<Arc<Tenant>>,
+    request: &Request,
+) -> (Reply, bool) {
+    let mut close = false;
+    let reply = match request {
+        Request::Hello => Reply::ok("hello")
+            .with("server", Json::str("hdl"))
+            .with("protocol", Json::num(PROTOCOL_VERSION as f64))
+            .with("group_commit", Json::Bool(inner.committer.is_some())),
+        Request::Open { tenant: name } => match inner.registry.open(name) {
+            Ok(t) => {
+                let reply = Reply::ok("open")
+                    .with("tenant", Json::str(t.name()))
+                    .with("durable", Json::Bool(t.is_durable()))
+                    .with("epoch", Json::num(t.epoch() as f64));
+                *tenant = Some(t);
+                reply
+            }
+            Err(e) => Reply::err(e.kind, e.message),
+        },
+        Request::Query { q, opts } => match &tenant {
+            None => no_tenant(),
+            Some(t) => {
+                let req = build_request(false, q, opts, &inner.config, t);
+                outcome_reply("query", &t.query(req))
+            }
+        },
+        Request::Answers { pattern, opts } => match &tenant {
+            None => no_tenant(),
+            Some(t) => {
+                let req = build_request(true, pattern, opts, &inner.config, t);
+                outcome_reply("answers", &t.query(req))
+            }
+        },
+        Request::Load { .. } | Request::Assume { .. } | Request::Pop | Request::Retract { .. } => {
+            match &tenant {
+                // With a tenant bound these ops go through the batch
+                // path in `serve_connection`, never here.
+                None => no_tenant(),
+                Some(t) => {
+                    let op = mutation_op(request).expect("mutation arm");
+                    let result = t.apply_batch(&[op]).pop().expect("one reply per op");
+                    mutation_reply(t, result)
+                }
+            }
+        }
+        Request::Checkpoint => with_tenant(tenant, |t| {
+            t.checkpoint()
+                .map(|epoch| Reply::ok("checkpoint").with("epoch", Json::num(epoch as f64)))
+        }),
+        Request::Stats => stats_reply(inner, tenant.as_deref()),
+        Request::Close => {
+            close = true;
+            Reply::ok("close")
+        }
+        Request::Shutdown => {
+            close = true;
+            inner.shutdown.store(true, SeqCst);
+            Reply::ok("shutdown").with("draining", Json::Bool(true))
+        }
+    };
+    (reply, close)
+}
+
+fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = LineReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let mut tenant: Option<Arc<Tenant>> = None;
+    // Block for one request, then sweep in whatever the client has
+    // already pipelined behind it (bounded by the window).
+    'conn: while let Ok(Some(first)) = reader.next_line() {
+        let mut lines = vec![first];
+        while lines.len() < PIPELINE_WINDOW {
+            match reader.buffered_line() {
+                Some(line) => lines.push(line),
+                None => break,
+            }
+        }
+        let parsed: Vec<Result<(Request, Option<u64>), String>> = lines
+            .iter()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| Request::parse(l).map_err(|m| m.to_string()))
+            .collect();
+        let mut replies = String::new();
+        let mut close = false;
+        let mut i = 0;
+        while i < parsed.len() && !close {
+            match &parsed[i] {
+                Err(msg) => {
+                    replies.push_str(&Reply::err("parse", msg.clone()).render(None));
+                    replies.push('\n');
+                    i += 1;
+                }
+                Ok((request, id)) => {
+                    // A run of consecutive mutations on a bound tenant
+                    // becomes ONE batch: one lock hold, one snapshot,
+                    // one durability wait for the whole run.
+                    let batching = if mutation_op(request).is_some() {
+                        tenant.clone()
+                    } else {
+                        None
+                    };
+                    if let Some(t) = batching {
+                        let mut ops = Vec::new();
+                        let mut ids = Vec::new();
+                        while let Some(Ok((r, rid))) = parsed.get(i) {
+                            match mutation_op(r) {
+                                Some(op) => {
+                                    ops.push(op);
+                                    ids.push(*rid);
+                                    i += 1;
+                                }
+                                None => break,
+                            }
+                        }
+                        for (result, rid) in t.apply_batch(&ops).into_iter().zip(ids) {
+                            replies.push_str(&mutation_reply(&t, result).render(rid));
+                            replies.push('\n');
+                        }
+                    } else {
+                        let (reply, c) = handle_one(inner, &mut tenant, request);
+                        close = c;
+                        replies.push_str(&reply.render(*id));
+                        replies.push('\n');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.write_all(replies.as_bytes())?;
+        out.flush()?;
+        if close {
+            break 'conn;
+        }
+    }
+    Ok(())
+}
+
+fn no_tenant() -> Reply {
+    Reply::err(
+        "no-tenant",
+        "no tenant bound — send {\"op\":\"open\",\"tenant\":NAME} first",
+    )
+}
+
+fn with_tenant(
+    tenant: &Option<Arc<Tenant>>,
+    f: impl FnOnce(&Tenant) -> Result<Reply, crate::tenant::TenantError>,
+) -> Reply {
+    match tenant {
+        None => no_tenant(),
+        Some(t) => match f(t) {
+            Ok(reply) => reply,
+            Err(e) => Reply::err(e.kind, e.message),
+        },
+    }
+}
+
+/// Embeds a `to_json()` string from another crate as a JSON value.
+fn raw(json: String) -> Json {
+    Json::parse(&json).unwrap_or(Json::Null)
+}
+
+fn stats_reply(inner: &Arc<Inner>, tenant: Option<&Tenant>) -> Reply {
+    let server = Json::obj(vec![
+        ("addr", Json::str(inner.addr.to_string())),
+        (
+            "connections_live",
+            Json::num(inner.live.load(SeqCst) as f64),
+        ),
+        (
+            "connections_total",
+            Json::num(inner.accepted.load(SeqCst) as f64),
+        ),
+        (
+            "connections_refused",
+            Json::num(inner.refused.load(SeqCst) as f64),
+        ),
+        ("tenants", Json::num(inner.registry.len() as f64)),
+        ("draining", Json::Bool(inner.shutdown.load(SeqCst))),
+        (
+            "group_commit",
+            match &inner.committer {
+                Some(c) => raw(c.stats().to_json()),
+                None => Json::Null,
+            },
+        ),
+    ]);
+    let mut reply = Reply::ok("stats").with("server", server);
+    if let Some(t) = tenant {
+        reply = reply
+            .with("tenant", t.stats_json())
+            .with("service", raw(t.service().stats().to_json()));
+    }
+    reply
+}
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    // An atomic store is async-signal-safe.
+    TERM.store(true, SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers that set (and return) a flag, for
+/// hosts to pass to [`Server::run`]. Uses `signal(2)` directly against
+/// the libc std already links — the build environment has no signal
+/// crate, and a flag store is all a drain needs.
+#[cfg(unix)]
+pub fn install_termination_flag() -> &'static AtomicBool {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+    }
+    &TERM
+}
+
+/// Non-unix fallback: the flag exists but nothing sets it (client
+/// `shutdown` ops still drain the server).
+#[cfg(not(unix))]
+pub fn install_termination_flag() -> &'static AtomicBool {
+    &TERM
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).unwrap();
+            Client {
+                reader: BufReader::new(stream.try_clone().unwrap()),
+                writer: stream,
+            }
+        }
+
+        fn send(&mut self, line: &str) -> Json {
+            writeln!(self.writer, "{line}").unwrap();
+            self.writer.flush().unwrap();
+            self.recv()
+        }
+
+        fn recv(&mut self) -> Json {
+            let mut reply = String::new();
+            self.reader.read_line(&mut reply).unwrap();
+            Json::parse(reply.trim()).unwrap()
+        }
+    }
+
+    fn ok(v: &Json) -> bool {
+        v.get("ok").and_then(Json::as_bool) == Some(true)
+    }
+
+    #[test]
+    fn end_to_end_session_over_tcp() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        assert_ne!(addr.port(), 0, "port 0 resolves to a real port");
+        let mut c = Client::connect(addr);
+
+        let hello = c.send("{\"op\":\"hello\"}");
+        assert!(ok(&hello));
+        // Queries before open are structured errors, not disconnects.
+        let early = c.send("{\"op\":\"query\",\"q\":\"p(a)\"}");
+        assert_eq!(early.get("kind").and_then(Json::as_str), Some("no-tenant"));
+
+        assert!(ok(&c.send("{\"op\":\"open\",\"tenant\":\"t1\"}")));
+        assert!(ok(&c.send(
+            "{\"op\":\"load\",\"program\":\"edge(a, b). tc(X, Y) :- edge(X, Y).\"}"
+        )));
+        let yes = c.send("{\"op\":\"query\",\"q\":\"tc(a, b)\",\"id\":5}");
+        assert_eq!(yes.get("result").and_then(Json::as_str), Some("true"));
+        assert_eq!(yes.get("id").and_then(Json::as_u64), Some(5));
+        let rows = c.send("{\"op\":\"answers\",\"pattern\":\"tc(X, Y)\"}");
+        assert_eq!(rows.get("count").and_then(Json::as_u64), Some(1));
+
+        let stats = c.send("{\"op\":\"stats\"}");
+        assert!(ok(&stats));
+        let addr_in_stats = stats
+            .get("server")
+            .and_then(|s| s.get("addr"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        assert_eq!(addr_in_stats, addr.to_string());
+
+        assert!(ok(&c.send("{\"op\":\"close\"}")));
+        server.drain();
+    }
+
+    #[test]
+    fn connection_admission_refuses_past_cap() {
+        let server = Server::start(ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut first = Client::connect(server.addr());
+        assert!(ok(&first.send("{\"op\":\"hello\"}")));
+        // The second connection is refused with a structured line.
+        let mut second = Client::connect(server.addr());
+        let refusal = second.recv();
+        assert_eq!(
+            refusal.get("kind").and_then(Json::as_str),
+            Some("overloaded")
+        );
+        drop(second);
+        server.drain();
+    }
+
+    #[test]
+    fn shutdown_op_drains_cleanly() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let mut c = Client::connect(addr);
+        assert!(ok(&c.send("{\"op\":\"open\",\"tenant\":\"t\"}")));
+        let bye = c.send("{\"op\":\"shutdown\"}");
+        assert_eq!(bye.get("draining").and_then(Json::as_bool), Some(true));
+        // run() observes the flag the op set and drains.
+        server.run(None);
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may briefly accept into the backlog after close;
+                // either refusal or an immediately-dead socket is fine.
+                true
+            }
+        );
+    }
+
+    /// A client that writes many requests before reading gets one reply
+    /// per request, in order, with ids echoed — and mutation runs are
+    /// windowed through the batch path without changing the wire shape.
+    #[test]
+    fn pipelined_requests_reply_in_order() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr());
+        assert!(ok(&c.send("{\"op\":\"open\",\"tenant\":\"t\"}")));
+        let mut burst = String::new();
+        for i in 0..40 {
+            burst.push_str(&format!(
+                "{{\"op\":\"load\",\"program\":\"p(x{i}).\",\"id\":{i}}}\n"
+            ));
+        }
+        // A query rides in the middle of the next burst: it must see
+        // every mutation acked before it and keep its place in line.
+        burst.push_str("{\"op\":\"query\",\"q\":\"p(x39)\",\"id\":100}\n");
+        burst.push_str("{\"op\":\"load\",\"program\":\"p(tail).\",\"id\":101}\n");
+        c.writer.write_all(burst.as_bytes()).unwrap();
+        c.writer.flush().unwrap();
+        for i in 0..40 {
+            let reply = c.recv();
+            assert!(ok(&reply), "load {i} failed: {reply:?}");
+            assert_eq!(reply.get("id").and_then(Json::as_u64), Some(i));
+        }
+        let q = c.recv();
+        assert_eq!(q.get("id").and_then(Json::as_u64), Some(100));
+        assert_eq!(q.get("result").and_then(Json::as_str), Some("true"));
+        let tail = c.recv();
+        assert_eq!(tail.get("id").and_then(Json::as_u64), Some(101));
+        assert!(ok(&tail));
+        server.drain();
+    }
+
+    #[test]
+    fn bad_tenant_names_are_refused() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr());
+        let bad = c.send("{\"op\":\"open\",\"tenant\":\"../escape\"}");
+        assert_eq!(
+            bad.get("kind").and_then(Json::as_str),
+            Some("bad-tenant-name")
+        );
+        server.drain();
+    }
+}

@@ -1,0 +1,839 @@
+//! Tenants: named, isolated worlds multiplexed by one server process.
+//!
+//! Each tenant owns a [`DurableSession`] (its own persist directory and
+//! snapshot lineage under `<root>/tenants/<name>`) and a
+//! [`QueryService`] worker pool serving snapshots of that session.
+//! Mutations from all tenants funnel through one shared
+//! [`GroupCommitter`] so concurrent commits across tenants share fsync
+//! passes without ever sharing state: nothing a tenant asserts, assumes,
+//! or retracts is visible to any other tenant.
+//!
+//! Sessions open in *pipelined* group mode: a mutation applies under the
+//! tenant's session lock, but the durability wait happens after the lock
+//! is released, so concurrent connections (to this tenant or any other)
+//! stack their commits into the same batch instead of serializing one
+//! fsync behind another. On top of that, [`Tenant::apply_batch`] applies
+//! a whole pipeline window of mutations from one connection under a
+//! single lock hold — one snapshot, one publish, and one durability wait
+//! amortized over the window, mirroring on the CPU side what the group
+//! committer does for fsync. The ack protocol is unchanged either way —
+//! the mutating call returns (and the new snapshot is published to the
+//! query pool) only after every commit ticket resolves, so clients never
+//! see an ack, and queries never see data, that could be lost to a
+//! crash.
+//!
+//! Quotas are enforced at admission: a mutation that would exceed the
+//! tenant's base-fact or assumption-depth cap is refused *before* it
+//! touches the session or the WAL, and queries past the tenant's
+//! in-flight cap are shed as `overloaded` without being enqueued.
+
+use crate::json::Json;
+use hdl_base::GroundAtom;
+use hdl_core::{parse_program, split_facts, Session};
+use hdl_persist::{DurableSession, FsyncPolicy, GroupCommitter};
+use hdl_service::{Outcome, QueryRequest, QueryService, ServiceConfig};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Per-tenant resource limits. `None` means unlimited.
+#[derive(Clone, Debug)]
+pub struct TenantQuotas {
+    /// Cap on base facts a tenant may store (checked at load/assert
+    /// admission; the mutation is refused before touching the WAL).
+    pub max_base_facts: Option<u64>,
+    /// Cap on stacked assumption frames (and on per-query overlay
+    /// depth, via the tenant's service config).
+    pub max_overlay_depth: Option<u64>,
+    /// The tenant's share of queued queries; past it submissions shed
+    /// as [`Outcome::Overloaded`].
+    pub queue_cap: Option<usize>,
+    /// Concurrent requests one tenant may have in flight across all its
+    /// connections; past it queries are refused at admission.
+    pub max_in_flight: usize,
+    /// Default per-query fact budget (a request may lower, never raise
+    /// it).
+    pub query_max_facts: Option<u64>,
+}
+
+impl Default for TenantQuotas {
+    fn default() -> Self {
+        TenantQuotas {
+            max_base_facts: None,
+            max_overlay_depth: None,
+            queue_cap: None,
+            max_in_flight: 64,
+            query_max_facts: None,
+        }
+    }
+}
+
+/// A structured tenant-layer failure: the reply `kind` plus a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantError {
+    /// Machine-readable reply kind (`quota`, `query`, `protocol`,
+    /// `internal`, `bad-tenant-name`).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl TenantError {
+    fn new(kind: &'static str, message: impl Into<String>) -> Self {
+        TenantError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    fn quota(message: impl Into<String>) -> Self {
+        Self::new("quota", message)
+    }
+}
+
+/// One mutation in a pipeline window (see [`Tenant::apply_batch`]).
+/// Borrowed text: ops are built straight from parsed requests.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchOp<'a> {
+    /// Load program text (rules and facts).
+    Load(&'a str),
+    /// Push an assumption frame of ground facts.
+    Assume(&'a str),
+    /// Pop the top assumption frame.
+    Pop,
+    /// Retract one base fact.
+    Retract(&'a str),
+}
+
+/// The per-op result of a window, mirroring [`BatchOp`] variant for
+/// variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchReply {
+    /// The program loaded.
+    Loaded,
+    /// A frame was pushed; `frames` is the new stack depth.
+    Assumed {
+        /// Assumption frames now stacked.
+        frames: usize,
+    },
+    /// The top frame was popped.
+    Popped {
+        /// Facts in the popped frame.
+        popped: usize,
+        /// Frames left.
+        frames: usize,
+    },
+    /// A retraction ran.
+    Retracted {
+        /// Whether the fact existed.
+        removed: bool,
+    },
+}
+
+/// How the registry builds tenants.
+#[derive(Clone)]
+pub struct RegistryConfig {
+    /// Root directory; each tenant persists under
+    /// `<root>/tenants/<name>`. `None` = all tenants ephemeral.
+    pub root: Option<PathBuf>,
+    /// Fsync policy for every tenant WAL.
+    pub policy: FsyncPolicy,
+    /// Shared group committer; when set, tenant WAL commits are batched
+    /// across tenants into shared fsync passes.
+    pub committer: Option<Arc<GroupCommitter>>,
+    /// Query workers per tenant.
+    pub workers: usize,
+    /// Quotas applied to every tenant.
+    pub quotas: TenantQuotas,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            root: None,
+            policy: FsyncPolicy::Always,
+            committer: None,
+            workers: 1,
+            quotas: TenantQuotas::default(),
+        }
+    }
+}
+
+/// One tenant: a durable session plus its query pool and counters.
+pub struct Tenant {
+    name: String,
+    session: Mutex<DurableSession>,
+    service: QueryService,
+    quotas: TenantQuotas,
+    in_flight: AtomicUsize,
+    mutations: AtomicU64,
+    quota_trips: AtomicU64,
+    /// Mutation sequence, assigned under the session lock — the order
+    /// snapshots were taken in, used to keep publishes monotonic when
+    /// durability waits resolve out of order across connections.
+    publish_seq: AtomicU64,
+    /// Sequence of the newest snapshot actually published.
+    published: Mutex<u64>,
+    /// Set when a group commit resolved to an error: the in-memory
+    /// session is then ahead of a failed log and further mutations are
+    /// refused until the process is restarted (recovery re-reads disk).
+    poisoned: AtomicBool,
+}
+
+fn lock_session(m: &Mutex<DurableSession>) -> MutexGuard<'_, DurableSession> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Valid tenant names are short path-safe identifiers: they become
+/// directory names under the persist root, so nothing resembling a path
+/// (separators, dots, empty) is accepted.
+pub fn validate_tenant_name(name: &str) -> Result<(), TenantError> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-');
+    if ok {
+        Ok(())
+    } else {
+        Err(TenantError::new(
+            "bad-tenant-name",
+            format!("tenant name `{name}` is not [A-Za-z0-9_-]{{1,64}}"),
+        ))
+    }
+}
+
+impl Tenant {
+    fn open(name: &str, config: &RegistryConfig) -> Result<Tenant, TenantError> {
+        let session = match &config.root {
+            None => DurableSession::ephemeral(),
+            Some(root) => {
+                let dir = root.join("tenants").join(name);
+                let opened = match &config.committer {
+                    Some(c) => {
+                        DurableSession::open_grouped_pipelined(&dir, config.policy, Arc::clone(c))
+                    }
+                    None => DurableSession::open(&dir, config.policy),
+                };
+                opened.map_err(|e| {
+                    TenantError::new("internal", format!("cannot open tenant `{name}`: {e}"))
+                })?
+            }
+        };
+        let service = QueryService::with_config(
+            session.snapshot(),
+            ServiceConfig {
+                workers: config.workers,
+                queue_cap: config.quotas.queue_cap,
+                max_facts: config.quotas.query_max_facts,
+                max_overlay_depth: config.quotas.max_overlay_depth,
+                ..ServiceConfig::default()
+            },
+        );
+        if let Some(r) = session.recovery_report() {
+            if r.restored_anything() || r.records_truncated > 0 || r.checkpoints_skipped > 0 {
+                service.set_recovery(r.checkpoint_epoch, r.records_replayed, r.records_truncated);
+            }
+        }
+        Ok(Tenant {
+            name: name.to_owned(),
+            session: Mutex::new(session),
+            service,
+            quotas: config.quotas.clone(),
+            in_flight: AtomicUsize::new(0),
+            mutations: AtomicU64::new(0),
+            quota_trips: AtomicU64::new(0),
+            publish_seq: AtomicU64::new(0),
+            published: Mutex::new(0),
+            poisoned: AtomicBool::new(false),
+        })
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether mutations are write-ahead logged.
+    pub fn is_durable(&self) -> bool {
+        lock_session(&self.session).is_durable()
+    }
+
+    /// The active checkpoint epoch.
+    pub fn epoch(&self) -> u64 {
+        lock_session(&self.session).epoch()
+    }
+
+    /// The quotas in force.
+    pub fn quotas(&self) -> &TenantQuotas {
+        &self.quotas
+    }
+
+    /// The tenant's query pool (e.g. for stats).
+    pub fn service(&self) -> &QueryService {
+        &self.service
+    }
+
+    /// Runs one query, admission-checked against the tenant's in-flight
+    /// cap. The cap is taken optimistically (fetch-add then check) so
+    /// concurrent submitters cannot race past it together.
+    pub fn query(&self, request: QueryRequest) -> Outcome {
+        if self.in_flight.fetch_add(1, Relaxed) >= self.quotas.max_in_flight {
+            self.in_flight.fetch_sub(1, Relaxed);
+            self.quota_trips.fetch_add(1, Relaxed);
+            return Outcome::Overloaded;
+        }
+        let outcome = self.service.submit(request).wait();
+        self.in_flight.fetch_sub(1, Relaxed);
+        outcome
+    }
+
+    /// Loads program text (rules and facts), enforcing the base-fact
+    /// quota before anything reaches the session or the WAL.
+    pub fn load(&self, program: &str) -> Result<(), TenantError> {
+        match self.single(BatchOp::Load(program))? {
+            BatchReply::Loaded => Ok(()),
+            other => unreachable!("load reply, got {other:?}"),
+        }
+    }
+
+    /// Pushes an assumption frame; returns the new frame count.
+    pub fn assume(&self, facts_text: &str) -> Result<usize, TenantError> {
+        match self.single(BatchOp::Assume(facts_text))? {
+            BatchReply::Assumed { frames } => Ok(frames),
+            other => unreachable!("assume reply, got {other:?}"),
+        }
+    }
+
+    /// Pops the top assumption frame; returns (popped facts, frames
+    /// left).
+    pub fn pop(&self) -> Result<(usize, usize), TenantError> {
+        match self.single(BatchOp::Pop)? {
+            BatchReply::Popped { popped, frames } => Ok((popped, frames)),
+            other => unreachable!("pop reply, got {other:?}"),
+        }
+    }
+
+    /// Retracts one base fact; returns whether it existed.
+    pub fn retract(&self, fact_text: &str) -> Result<bool, TenantError> {
+        match self.single(BatchOp::Retract(fact_text))? {
+            BatchReply::Retracted { removed } => Ok(removed),
+            other => unreachable!("retract reply, got {other:?}"),
+        }
+    }
+
+    fn single(&self, op: BatchOp<'_>) -> Result<BatchReply, TenantError> {
+        self.apply_batch(&[op]).pop().expect("one reply per op")
+    }
+
+    /// Applies a pipeline window of mutations under ONE session lock
+    /// hold, with ONE snapshot, ONE publish, and ONE durability wait for
+    /// the whole window. Each op gets its own result — a bad program in
+    /// the middle fails alone while its neighbours apply — but the ack
+    /// contract is per-window: nothing here returns until every applied
+    /// op is durable under the tenant's fsync policy.
+    ///
+    /// This is what makes deep group-commit batches affordable on the
+    /// server: the per-mutation costs that dominate a pipelined
+    /// connection (the O(db) snapshot clone and the publish) are paid
+    /// once per window, the same way the committer amortizes the fsync.
+    pub fn apply_batch(&self, ops: &[BatchOp<'_>]) -> Vec<Result<BatchReply, TenantError>> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        if let Err(e) = self.admit() {
+            return ops.iter().map(|_| Err(e.clone())).collect();
+        }
+        let mut session = lock_session(&self.session);
+        let mut replies: Vec<Result<BatchReply, TenantError>> = Vec::with_capacity(ops.len());
+        let mut applied = 0u64;
+        for op in ops {
+            let reply = self.apply_locked(&mut session, op);
+            if reply.is_ok() {
+                applied += 1;
+            }
+            replies.push(reply);
+        }
+        if applied > 0 {
+            if let Err(e) = self.committed(session, applied) {
+                // Durability failed: no op in this window may be acked
+                // as applied, whatever the in-memory session says.
+                for r in replies.iter_mut() {
+                    if r.is_ok() {
+                        *r = Err(e.clone());
+                    }
+                }
+            }
+        }
+        replies
+    }
+
+    /// One op against the locked session: quota admission, parse, apply.
+    /// No snapshot, no publish, no durability wait — the batch driver
+    /// owns those.
+    fn apply_locked(
+        &self,
+        session: &mut DurableSession,
+        op: &BatchOp<'_>,
+    ) -> Result<BatchReply, TenantError> {
+        match op {
+            BatchOp::Load(program) => {
+                if let Some(cap) = self.quotas.max_base_facts {
+                    // Count the incoming facts against a scratch symbol
+                    // table: the real parse happens only once admission
+                    // passes.
+                    let mut scratch = session.symbols().clone();
+                    let rb = parse_program(program, &mut scratch)
+                        .map_err(|e| TenantError::new("query", e.to_string()))?;
+                    let (_, facts) = split_facts(rb);
+                    let current = session.database().len() as u64;
+                    if current + facts.len() as u64 > cap {
+                        self.quota_trips.fetch_add(1, Relaxed);
+                        return Err(TenantError::quota(format!(
+                            "base-fact quota: {current} stored + {} incoming > cap {cap}",
+                            facts.len()
+                        )));
+                    }
+                }
+                session
+                    .load(program)
+                    .map_err(|e| TenantError::new("query", e.to_string()))?;
+                Ok(BatchReply::Loaded)
+            }
+            BatchOp::Assume(facts_text) => {
+                if let Some(cap) = self.quotas.max_overlay_depth {
+                    let depth = session.assumptions().len() as u64;
+                    if depth >= cap {
+                        self.quota_trips.fetch_add(1, Relaxed);
+                        return Err(TenantError::quota(format!(
+                            "assumption-depth quota: {depth} frames stacked, cap {cap}"
+                        )));
+                    }
+                }
+                let facts = parse_ground_facts(facts_text, session)
+                    .map_err(|e| TenantError::new("query", e))?;
+                session
+                    .assume(facts)
+                    .map_err(|e| TenantError::new("query", e.to_string()))?;
+                Ok(BatchReply::Assumed {
+                    frames: session.assumptions().len(),
+                })
+            }
+            BatchOp::Pop => match session.pop_assumption() {
+                Ok(Some(frame)) => Ok(BatchReply::Popped {
+                    popped: frame.len(),
+                    frames: session.assumptions().len(),
+                }),
+                Ok(None) => Err(TenantError::new("protocol", "no assumption frame to pop")),
+                Err(e) => Err(TenantError::new("query", e.to_string())),
+            },
+            BatchOp::Retract(fact_text) => {
+                let mut facts = parse_ground_facts(fact_text, session)
+                    .map_err(|e| TenantError::new("query", e))?;
+                if facts.len() != 1 {
+                    return Err(TenantError::new(
+                        "protocol",
+                        "retract takes exactly one fact",
+                    ));
+                }
+                let fact = facts.pop().expect("checked length");
+                let removed = session
+                    .retract_fact(&fact)
+                    .map_err(|e| TenantError::new("query", e.to_string()))?;
+                Ok(BatchReply::Retracted { removed })
+            }
+        }
+    }
+
+    /// Compacts the tenant's WAL into a checkpoint; returns the epoch.
+    /// Drains the tenant's in-flight group commits first (the rotation
+    /// deletes the log they target).
+    pub fn checkpoint(&self) -> Result<u64, TenantError> {
+        self.admit()?;
+        let mut session = lock_session(&self.session);
+        session
+            .checkpoint()
+            .map_err(|e| TenantError::new("protocol", e.to_string()))
+    }
+
+    /// Refuses work on a tenant whose log failed (see `poisoned`).
+    fn admit(&self) -> Result<(), TenantError> {
+        if self.poisoned.load(Relaxed) {
+            return Err(TenantError::new(
+                "internal",
+                "tenant persistence failed; restart the server to recover from disk",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Completes a window of mutations that already applied under the
+    /// session lock: snapshot and sequence once for the window, release
+    /// the lock, wait every durability ticket, then count and publish.
+    /// The waits happen *outside* the lock — the whole point of
+    /// pipelined mode — so the publish must be kept monotonic by
+    /// sequence (a slow waiter must not regress the pool to a pre-ack
+    /// snapshot; skipping is safe because the newer published snapshot
+    /// already contains these mutations).
+    fn committed(
+        &self,
+        mut session: MutexGuard<'_, DurableSession>,
+        applied: u64,
+    ) -> Result<(), TenantError> {
+        let tickets = session.take_pending_commits();
+        let snapshot = session.snapshot();
+        let seq = self.publish_seq.fetch_add(1, Relaxed) + 1;
+        drop(session);
+        for ticket in tickets {
+            if let Err(e) = ticket.wait() {
+                self.poisoned.store(true, Relaxed);
+                return Err(TenantError::new(
+                    "internal",
+                    format!("durability failure: {e}; tenant refuses further mutations"),
+                ));
+            }
+        }
+        {
+            let mut published = self
+                .published
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if seq > *published {
+                *published = seq;
+                self.service.publish(snapshot);
+            }
+        }
+        self.mutations.fetch_add(applied, Relaxed);
+        Ok(())
+    }
+
+    /// Tenant-level counters and state as a JSON object.
+    pub fn stats_json(&self) -> Json {
+        let session = lock_session(&self.session);
+        Json::obj(vec![
+            ("name", Json::str(&self.name)),
+            ("durable", Json::Bool(session.is_durable())),
+            ("epoch", Json::num(session.epoch() as f64)),
+            ("base_facts", Json::num(session.database().len() as f64)),
+            (
+                "assumption_frames",
+                Json::num(session.assumptions().len() as f64),
+            ),
+            ("in_flight", Json::num(self.in_flight.load(Relaxed) as f64)),
+            ("mutations", Json::num(self.mutations.load(Relaxed) as f64)),
+            (
+                "quota_trips",
+                Json::num(self.quota_trips.load(Relaxed) as f64),
+            ),
+        ])
+    }
+
+    /// Total mutations applied (acked) on this tenant.
+    pub fn mutation_count(&self) -> u64 {
+        self.mutations.load(Relaxed)
+    }
+
+    /// Total admissions refused for quota reasons.
+    pub fn quota_trip_count(&self) -> u64 {
+        self.quota_trips.load(Relaxed)
+    }
+}
+
+/// The set of live tenants, created on first `open`.
+pub struct Registry {
+    config: RegistryConfig,
+    tenants: Mutex<BTreeMap<String, Arc<Tenant>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new(config: RegistryConfig) -> Registry {
+        Registry {
+            config,
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Returns the named tenant, creating (and, when durable, recovering)
+    /// it on first use. Creation holds the registry lock so two
+    /// connections opening the same name cannot both recover the same
+    /// directory.
+    pub fn open(&self, name: &str) -> Result<Arc<Tenant>, TenantError> {
+        validate_tenant_name(name)?;
+        let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(t) = tenants.get(name) {
+            return Ok(Arc::clone(t));
+        }
+        let tenant = Arc::new(Tenant::open(name, &self.config)?);
+        tenants.insert(name.to_owned(), Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// All live tenants (drain, checkpoint-on-shutdown, stats).
+    pub fn tenants(&self) -> Vec<Arc<Tenant>> {
+        self.tenants
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of live tenants.
+    pub fn len(&self) -> usize {
+        self.tenants
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no tenant has been opened yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checkpoints every durable tenant (graceful-shutdown path);
+    /// returns per-tenant outcomes for logging.
+    pub fn checkpoint_all(&self) -> Vec<(String, Result<u64, TenantError>)> {
+        self.tenants()
+            .into_iter()
+            .filter(|t| t.is_durable())
+            .map(|t| (t.name().to_owned(), t.checkpoint()))
+            .collect()
+    }
+}
+
+/// Splits `text` into ground facts; accepts both `f1, f2` and `f1. f2.`
+/// (commas inside argument lists are kept). Constants intern into the
+/// session's own symbol table.
+fn parse_ground_facts(text: &str, session: &mut Session) -> Result<Vec<GroundAtom>, String> {
+    let mut pieces = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth = depth.saturating_sub(1),
+            ',' | '.' if depth == 0 => {
+                pieces.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    pieces.push(&text[start..]);
+    let mut facts = Vec::new();
+    for piece in pieces {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        let rb = parse_program(&format!("{piece}."), session.symbols_mut())
+            .map_err(|e| e.to_string())?;
+        let (rules, mut parsed) = split_facts(rb);
+        if !rules.is_empty() || parsed.len() != 1 {
+            return Err(format!("`{piece}` is not a ground fact"));
+        }
+        facts.push(parsed.pop().expect("checked length"));
+    }
+    if facts.is_empty() {
+        return Err("expected one or more ground facts".to_owned());
+    }
+    Ok(facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ephemeral_registry(quotas: TenantQuotas) -> Registry {
+        Registry::new(RegistryConfig {
+            quotas,
+            ..RegistryConfig::default()
+        })
+    }
+
+    #[test]
+    fn names_are_validated() {
+        for good in ["a", "tenant-1", "A_b-C", &"x".repeat(64)] {
+            assert!(validate_tenant_name(good).is_ok(), "{good}");
+        }
+        for bad in ["", "a/b", "..", "a b", "café", &"x".repeat(65)] {
+            assert!(validate_tenant_name(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn open_is_idempotent_per_name() {
+        let registry = ephemeral_registry(TenantQuotas::default());
+        let a1 = registry.open("a").unwrap();
+        let a2 = registry.open("a").unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2));
+        let b = registry.open("b").unwrap();
+        assert!(!Arc::ptr_eq(&a1, &b));
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn tenants_are_isolated_worlds() {
+        let registry = ephemeral_registry(TenantQuotas::default());
+        let a = registry.open("a").unwrap();
+        let b = registry.open("b").unwrap();
+        a.load("p(x).").unwrap();
+        b.load("p(y).").unwrap();
+        a.assume("q(z)").unwrap();
+        assert_eq!(a.query(QueryRequest::ask("p(x)")), Outcome::True);
+        assert_eq!(b.query(QueryRequest::ask("p(x)")), Outcome::False);
+        assert_eq!(a.query(QueryRequest::ask("q(z)")), Outcome::True);
+        assert_eq!(b.query(QueryRequest::ask("q(z)")), Outcome::False);
+    }
+
+    #[test]
+    fn base_fact_quota_refuses_before_applying() {
+        let registry = ephemeral_registry(TenantQuotas {
+            max_base_facts: Some(2),
+            ..TenantQuotas::default()
+        });
+        let t = registry.open("t").unwrap();
+        t.load("p(a). p(b).").unwrap();
+        let err = t.load("p(c).").unwrap_err();
+        assert_eq!(err.kind, "quota");
+        assert_eq!(t.quota_trip_count(), 1);
+        // The refused fact is not there; the admitted ones are.
+        assert_eq!(t.query(QueryRequest::ask("p(c)")), Outcome::False);
+        assert_eq!(t.query(QueryRequest::ask("p(b)")), Outcome::True);
+        // Rules don't count against the fact quota.
+        t.load("q(X) :- p(X).").unwrap();
+    }
+
+    #[test]
+    fn assumption_depth_quota_trips() {
+        let registry = ephemeral_registry(TenantQuotas {
+            max_overlay_depth: Some(2),
+            ..TenantQuotas::default()
+        });
+        let t = registry.open("t").unwrap();
+        assert_eq!(t.assume("h(a)").unwrap(), 1);
+        assert_eq!(t.assume("h(b)").unwrap(), 2);
+        assert_eq!(t.assume("h(c)").unwrap_err().kind, "quota");
+        // Popping frees a slot.
+        assert_eq!(t.pop().unwrap(), (1, 1));
+        assert_eq!(t.assume("h(c)").unwrap(), 2);
+    }
+
+    #[test]
+    fn in_flight_cap_sheds_structurally() {
+        let registry = ephemeral_registry(TenantQuotas {
+            max_in_flight: 0,
+            ..TenantQuotas::default()
+        });
+        let t = registry.open("t").unwrap();
+        assert_eq!(t.query(QueryRequest::ask("p(a)")), Outcome::Overloaded);
+        assert_eq!(t.quota_trip_count(), 1);
+    }
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let pid = std::process::id();
+            let n = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .subsec_nanos();
+            let dir = std::env::temp_dir().join(format!("hdl-tenant-{tag}-{pid}-{n}"));
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Concurrent connections to one durable tenant: mutations pipeline
+    /// through the group committer (deep batches, not one fsync each),
+    /// acked facts are immediately query-visible, and a reopen recovers
+    /// every acked mutation.
+    #[test]
+    fn concurrent_mutators_pipeline_and_recover() {
+        let dir = TempDir::new("pipeline");
+        let committer = GroupCommitter::new();
+        let config = RegistryConfig {
+            root: Some(dir.0.clone()),
+            policy: FsyncPolicy::Always,
+            committer: Some(Arc::clone(&committer)),
+            ..RegistryConfig::default()
+        };
+        let registry = Registry::new(config.clone());
+        let t = registry.open("t").unwrap();
+        std::thread::scope(|scope| {
+            for c in 0..8 {
+                let t = Arc::clone(&t);
+                scope.spawn(move || {
+                    for j in 0..10 {
+                        t.load(&format!("p(c{c}_{j}).")).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(t.mutation_count(), 80);
+        // Every acked mutation is query-visible (publish is monotonic).
+        assert_eq!(t.query(QueryRequest::ask("p(c7_9)")), Outcome::True);
+        assert_eq!(t.query(QueryRequest::ask("p(c0_0)")), Outcome::True);
+        let stats = committer.stats();
+        assert!(stats.commits >= 80);
+        assert!(
+            stats.fsync_groups < stats.commits,
+            "no batching despite concurrent mutators: {stats:?}"
+        );
+        drop(t);
+        drop(registry);
+        // Reopen from disk: all 80 acked facts must be there.
+        let registry = Registry::new(config);
+        let t = registry.open("t").unwrap();
+        assert_eq!(t.query(QueryRequest::ask("p(c3_5)")), Outcome::True);
+        committer.shutdown();
+    }
+
+    /// A window applies as one unit — one publish, every op its own
+    /// result — and a bad op mid-window fails alone while its
+    /// neighbours land.
+    #[test]
+    fn batch_window_isolates_per_op_failures() {
+        let registry = ephemeral_registry(TenantQuotas::default());
+        let t = registry.open("t").unwrap();
+        let replies = t.apply_batch(&[
+            BatchOp::Load("p(a)."),
+            BatchOp::Load("p(::syntax error"),
+            BatchOp::Pop, // no frame stacked: protocol error
+            BatchOp::Assume("h(x)"),
+            BatchOp::Load("p(b)."),
+        ]);
+        assert_eq!(replies[0], Ok(BatchReply::Loaded));
+        assert_eq!(replies[1].as_ref().unwrap_err().kind, "query");
+        assert_eq!(replies[2].as_ref().unwrap_err().kind, "protocol");
+        assert_eq!(replies[3], Ok(BatchReply::Assumed { frames: 1 }));
+        assert_eq!(replies[4], Ok(BatchReply::Loaded));
+        // Only the applied ops count, and all of them are visible.
+        assert_eq!(t.mutation_count(), 3);
+        assert_eq!(t.query(QueryRequest::ask("p(a)")), Outcome::True);
+        assert_eq!(t.query(QueryRequest::ask("p(b)")), Outcome::True);
+        assert_eq!(t.query(QueryRequest::ask("h(x)")), Outcome::True);
+    }
+
+    #[test]
+    fn retract_and_pop_report_protocol_errors() {
+        let registry = ephemeral_registry(TenantQuotas::default());
+        let t = registry.open("t").unwrap();
+        t.load("p(a).").unwrap();
+        assert!(t.retract("p(a)").unwrap());
+        assert!(!t.retract("p(a)").unwrap());
+        assert_eq!(t.pop().unwrap_err().kind, "protocol");
+        assert_eq!(t.retract("p(a), p(b)").unwrap_err().kind, "protocol");
+        assert_eq!(t.checkpoint().unwrap_err().kind, "protocol");
+    }
+}

@@ -121,6 +121,57 @@ pub struct ServiceStats {
     pub recovery_records_truncated: u64,
 }
 
+impl ServiceStats {
+    /// One-line JSON object of every counter — the machine-readable
+    /// form behind `:stats --json` and the network protocol's `stats`
+    /// op. Keys are stable; scrapers may rely on them.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"queries_served\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{},\
+             \"cancelled\":{},\"deadline_exceeded\":{},\"errors\":{},\"snapshots_published\":{},\
+             \"panics_recovered\":{},\"retries\":{},\"shed\":{},\"memory_trips\":{},\
+             \"workers_respawned\":{},\"worker_busy_ms\":[",
+            self.queries_served,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_entries,
+            self.cancelled,
+            self.deadline_exceeded,
+            self.errors,
+            self.snapshots_published,
+            self.panics_recovered,
+            self.retries,
+            self.shed,
+            self.memory_trips,
+            self.workers_respawned,
+        );
+        for (i, d) in self.worker_busy.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{:.3}",
+                if i > 0 { "," } else { "" },
+                d.as_secs_f64() * 1e3
+            );
+        }
+        let _ = write!(out, "],\"recovered\":{}", self.recovered);
+        if self.recovered {
+            let _ = write!(
+                out,
+                ",\"recovery_checkpoint_epoch\":{},\"recovery_records_replayed\":{},\
+                 \"recovery_records_truncated\":{}",
+                self.recovery_checkpoint_epoch,
+                self.recovery_records_replayed,
+                self.recovery_records_truncated
+            );
+        }
+        out.push('}');
+        out
+    }
+}
+
 impl fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

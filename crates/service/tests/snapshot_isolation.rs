@@ -47,8 +47,14 @@ fn materialized_snapshots_serve_queries_from_the_model() {
     let snap = session.snapshot();
     assert!(snap.model().is_some(), "session model propagated");
     let service = QueryService::new(snap, 2);
-    assert_eq!(service.submit(QueryRequest::ask("tc(a, c)")).wait(), Outcome::True);
-    assert_eq!(service.submit(QueryRequest::ask("~tc(c, a)")).wait(), Outcome::True);
+    assert_eq!(
+        service.submit(QueryRequest::ask("tc(a, c)")).wait(),
+        Outcome::True
+    );
+    assert_eq!(
+        service.submit(QueryRequest::ask("~tc(c, a)")).wait(),
+        Outcome::True
+    );
     match service.submit(QueryRequest::answers("tc(a, X)")).wait() {
         Outcome::Answers(rows) => assert_eq!(rows.len(), 2),
         other => panic!("expected rows, got {other:?}"),
@@ -75,7 +81,10 @@ fn materialized_snapshots_serve_queries_from_the_model() {
         Outcome::True,
         "rederived via b after retraction"
     );
-    assert_eq!(service.submit(QueryRequest::ask("edge(a, c)")).wait(), Outcome::False);
+    assert_eq!(
+        service.submit(QueryRequest::ask("edge(a, c)")).wait(),
+        Outcome::False
+    );
     service.shutdown();
 }
 

@@ -20,18 +20,40 @@
 //!
 //! ```console
 //! $ hdl batch queries.hdl --workers 4 --engine top-down --deadline-ms 500
-//! $ printf '?- grad(tony).\n' | hdl serve --workers 4 program.hdl
+//! $ printf '?- grad(tony).\n' | hdl serve --stdin --workers 4 program.hdl
 //! ```
 //!
 //! `batch` runs every `?- …` line of its input concurrently (program
 //! lines load in order and publish fresh snapshots), emits one result
 //! line per query in input order, prints a `ServiceStats` summary to
-//! stderr, and exits non-zero if any query errored. `serve` loads the
-//! given program files, then answers query lines from stdin one at a
-//! time; `:stats` prints the live service counters. Both accept
-//! `:answers PATTERN` lines for all-tuples queries; a budget trip
-//! mid-scan prints the partial answer set (`… partial: reason`) rather
-//! than discarding tuples already proven.
+//! stderr, and exits non-zero if any query errored. `serve --stdin`
+//! loads the given program files, then answers query lines from stdin
+//! one at a time; `:stats` prints the live service counters (`:stats
+//! --json` as one machine-readable line). Both accept `:answers
+//! PATTERN` lines for all-tuples queries; a budget trip mid-scan prints
+//! the partial answer set (`… partial: reason`) rather than discarding
+//! tuples already proven. Bare `serve` without `--stdin`/`--listen` is
+//! the deprecated spelling of `serve --stdin`.
+//!
+//! The network server and its client (`crates/server`,
+//! `docs/protocol.md`):
+//!
+//! ```console
+//! $ hdl serve --listen 127.0.0.1:0 --persist-root ./data
+//! listening on 127.0.0.1:40213
+//! $ hdl connect 127.0.0.1:40213 --tenant alice
+//! ```
+//!
+//! `serve --listen` multiplexes named tenants — each a full durable
+//! session under `<persist-root>/tenants/<name>` — over TCP
+//! (newline-delimited JSON), sharing fsyncs across concurrent
+//! mutations via group commit; the resolved address prints on stdout
+//! so scripts can bind port 0. Admission: `--max-connections`,
+//! `--tenant-max-facts`, `--tenant-max-depth`, `--tenant-queue-cap`,
+//! `--tenant-in-flight`. SIGTERM or a client `shutdown` op drains
+//! gracefully, checkpointing every durable tenant. `connect` turns
+//! REPL-dialect lines into protocol requests (raw `{…}` lines pass
+//! through) and prints each JSON reply.
 //!
 //! Fault-tolerance flags (batch/serve): `--max-facts N` caps the facts
 //! a query may intern (trips print `memory-exceeded`), `--retries N`
@@ -48,9 +70,12 @@
 //! scripted clients can tell exactly which mutations are durable.
 
 use hdl_core::session::EngineKind;
+use hdl_server::{Json, Server, ServerConfig, TenantQuotas};
 use hdl_service::{Outcome, QueryRequest, QueryService, ServiceConfig};
 use hypothetical_datalog::prelude::*;
-use std::io::{self, BufRead, Read as _, Write};
+use std::io::{self, BufRead, BufReader, Read as _, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn main() {
@@ -58,15 +83,19 @@ fn main() {
     let status = match args.first().map(String::as_str) {
         Some("batch") => batch_main(&args[1..]),
         Some("serve") => serve_main(&args[1..]),
+        Some("connect") => connect_main(&args[1..]),
         _ => repl_main(&args),
     };
     std::process::exit(status);
 }
 
-/// Options shared by all three modes.
+/// Options shared by all modes.
 struct Opts {
     files: Vec<String>,
     workers: usize,
+    /// Whether `--workers` was given explicitly (the network server
+    /// uses a smaller per-tenant default otherwise).
+    workers_set: bool,
     engine: EngineKind,
     deadline: Option<Duration>,
     max_facts: Option<u64>,
@@ -74,6 +103,26 @@ struct Opts {
     queue_cap: Option<usize>,
     persist_dir: Option<String>,
     fsync: FsyncPolicy,
+    /// `serve --listen ADDR`: run the network server.
+    listen: Option<String>,
+    /// `serve --stdin`: the in-process queue-drain mode, explicitly.
+    stdin_mode: bool,
+    /// Network server: tenants persist under `<root>/tenants/<name>`.
+    persist_root: Option<String>,
+    /// Network server: batch concurrent WAL commits across tenants.
+    group_commit: bool,
+    /// Network server: refuse connections past this count.
+    max_connections: usize,
+    /// Per-tenant quota: cap on stored base facts.
+    tenant_max_facts: Option<u64>,
+    /// Per-tenant quota: cap on stacked assumption frames.
+    tenant_max_depth: Option<u64>,
+    /// Per-tenant quota: queued-query share.
+    tenant_queue_cap: Option<usize>,
+    /// Per-tenant quota: concurrent in-flight requests.
+    tenant_in_flight: Option<usize>,
+    /// `connect`: tenant to open on startup.
+    tenant: Option<String>,
 }
 
 impl Opts {
@@ -98,6 +147,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         workers: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        workers_set: false,
         engine: EngineKind::default(),
         deadline: None,
         max_facts: None,
@@ -105,6 +155,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         queue_cap: None,
         persist_dir: None,
         fsync: FsyncPolicy::Always,
+        listen: None,
+        stdin_mode: false,
+        persist_root: None,
+        group_commit: true,
+        max_connections: 64,
+        tenant_max_facts: None,
+        tenant_max_depth: None,
+        tenant_queue_cap: None,
+        tenant_in_flight: None,
+        tenant: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -118,6 +178,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.workers = value("--workers")?
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?;
+                opts.workers_set = true;
             }
             "--engine" | "-e" => {
                 opts.engine = value("--engine")?
@@ -159,6 +220,57 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--fsync: {e}"))?;
             }
+            "--listen" | "-l" => {
+                opts.listen = Some(value("--listen")?);
+            }
+            "--stdin" => {
+                opts.stdin_mode = true;
+            }
+            "--persist-root" => {
+                opts.persist_root = Some(value("--persist-root")?);
+            }
+            "--group-commit" => {
+                opts.group_commit = true;
+            }
+            "--no-group-commit" => {
+                opts.group_commit = false;
+            }
+            "--max-connections" => {
+                opts.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?;
+            }
+            "--tenant-max-facts" => {
+                opts.tenant_max_facts = Some(
+                    value("--tenant-max-facts")?
+                        .parse()
+                        .map_err(|e| format!("--tenant-max-facts: {e}"))?,
+                );
+            }
+            "--tenant-max-depth" => {
+                opts.tenant_max_depth = Some(
+                    value("--tenant-max-depth")?
+                        .parse()
+                        .map_err(|e| format!("--tenant-max-depth: {e}"))?,
+                );
+            }
+            "--tenant-queue-cap" => {
+                opts.tenant_queue_cap = Some(
+                    value("--tenant-queue-cap")?
+                        .parse()
+                        .map_err(|e| format!("--tenant-queue-cap: {e}"))?,
+                );
+            }
+            "--tenant-in-flight" => {
+                opts.tenant_in_flight = Some(
+                    value("--tenant-in-flight")?
+                        .parse()
+                        .map_err(|e| format!("--tenant-in-flight: {e}"))?,
+                );
+            }
+            "--tenant" | "-t" => {
+                opts.tenant = Some(value("--tenant")?);
+            }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag}"));
             }
@@ -170,11 +282,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 
 fn usage_error(mode: &str, msg: &str) -> i32 {
     eprintln!("hdl {mode}: {msg}");
-    eprintln!(
-        "usage: hdl {mode} [FILE ...] [--workers N] [--engine top-down|bottom-up] \
-         [--deadline-ms MS] [--max-facts N] [--retries N] [--queue-cap N] \
-         [--persist-dir DIR] [--fsync always|never|N]"
-    );
+    match mode {
+        "serve" => eprintln!(
+            "usage: hdl serve --listen ADDR [--persist-root DIR] [--fsync always|never|N] \
+             [--no-group-commit] [--max-connections N] [--workers N] \
+             [--tenant-max-facts N] [--tenant-max-depth N] [--tenant-queue-cap N] \
+             [--tenant-in-flight N] [--max-facts N] [--deadline-ms MS]\n\
+             \x20      hdl serve --stdin [FILE ...] [--workers N] [--engine top-down|bottom-up] \
+             [--deadline-ms MS] [--max-facts N] [--retries N] [--queue-cap N] \
+             [--persist-dir DIR] [--fsync always|never|N]"
+        ),
+        "connect" => eprintln!("usage: hdl connect HOST:PORT [--tenant NAME]"),
+        _ => eprintln!(
+            "usage: hdl {mode} [FILE ...] [--workers N] [--engine top-down|bottom-up] \
+             [--deadline-ms MS] [--max-facts N] [--retries N] [--queue-cap N] \
+             [--persist-dir DIR] [--fsync always|never|N]"
+        ),
+    }
     2
 }
 
@@ -366,14 +490,253 @@ fn checkpoint_on_exit(session: &mut DurableSession) {
     }
 }
 
-/// `hdl serve [FILE ...]` — loads the program files, then answers query
-/// lines from stdin through the worker pool, one result line each.
+/// `hdl serve` — two modes:
+///
+/// * `--listen ADDR`: the multi-tenant network server ([`serve_listen`]).
+/// * `--stdin` (or bare, deprecated): loads the program files, then
+///   answers query lines from stdin through the worker pool, one result
+///   line each.
 fn serve_main(args: &[String]) -> i32 {
     let opts = match parse_opts(args) {
         Ok(o) => o,
         Err(msg) => return usage_error("serve", &msg),
     };
-    let mut session = match open_session(&opts) {
+    if opts.listen.is_some() {
+        if opts.stdin_mode {
+            return usage_error("serve", "--listen and --stdin are mutually exclusive");
+        }
+        return serve_listen(&opts);
+    }
+    if !opts.stdin_mode {
+        eprintln!(
+            "warning: bare `hdl serve` is deprecated; use `hdl serve --stdin` for this \
+             stdin queue-drain mode, or `hdl serve --listen ADDR` for the network server"
+        );
+    }
+    serve_stdin(&opts)
+}
+
+/// The network server: binds `--listen ADDR` (port 0 allowed — the
+/// actual address prints to stdout), multiplexes tenant sessions under
+/// `--persist-root`, and drains gracefully on SIGTERM/SIGINT or a
+/// client `shutdown` op, checkpointing every durable tenant.
+fn serve_listen(opts: &Opts) -> i32 {
+    if !opts.files.is_empty() {
+        return usage_error(
+            "serve",
+            "--listen takes no program files (tenants load programs over the protocol)",
+        );
+    }
+    let config = ServerConfig {
+        listen: opts.listen.clone().expect("checked by caller"),
+        persist_root: opts.persist_root.as_ref().map(PathBuf::from),
+        fsync: opts.fsync,
+        group_commit: opts.group_commit,
+        max_connections: opts.max_connections,
+        // Every tenant gets its own pool, so the per-tenant default is
+        // deliberately small; --workers overrides it explicitly.
+        workers_per_tenant: if opts.workers_set { opts.workers } else { 2 },
+        quotas: TenantQuotas {
+            max_base_facts: opts.tenant_max_facts,
+            max_overlay_depth: opts.tenant_max_depth,
+            queue_cap: opts.tenant_queue_cap.or(opts.queue_cap),
+            max_in_flight: opts.tenant_in_flight.unwrap_or(64),
+            query_max_facts: opts.max_facts,
+        },
+        default_engine: opts.engine,
+        default_deadline: opts.deadline,
+    };
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hdl serve: cannot listen: {e}");
+            return 1;
+        }
+    };
+    // The resolved address goes to *stdout* so scripts binding port 0
+    // can read the real port; narration stays on stderr.
+    println!("listening on {}", server.addr());
+    let _ = io::stdout().flush();
+    eprintln!(
+        "hdl server on {} — tenants under {}, group commit {}, fsync {:?}; \
+         SIGTERM or a `shutdown` op drains",
+        server.addr(),
+        opts.persist_root.as_deref().unwrap_or("(ephemeral)"),
+        if opts.group_commit { "on" } else { "off" },
+        opts.fsync,
+    );
+    let term = hdl_server::install_termination_flag();
+    server.run(Some(term));
+    eprintln!("server drained");
+    0
+}
+
+/// `hdl connect ADDR [--tenant NAME]` — a line client for the network
+/// server: REPL-style input is translated to protocol requests, raw
+/// JSON lines (starting with `{`) pass through verbatim, and every
+/// reply prints as its JSON line.
+fn connect_main(args: &[String]) -> i32 {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(msg) => return usage_error("connect", &msg),
+    };
+    let Some(addr) = opts.files.first() else {
+        return usage_error("connect", "expected a server address (host:port)");
+    };
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hdl connect: cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hdl connect: {e}");
+            return 1;
+        }
+    });
+    let mut writer = stream;
+    let mut status = 0;
+    // Sends one request line, prints the reply line, returns whether
+    // the reply was `ok` (`None` = connection gone).
+    let mut step = |line: String| -> Option<bool> {
+        if writeln!(writer, "{line}").is_err() || writer.flush().is_err() {
+            return None;
+        }
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => {
+                let reply = reply.trim_end();
+                println!("{reply}");
+                let _ = io::stdout().flush();
+                Some(
+                    Json::parse(reply)
+                        .ok()
+                        .and_then(|v| v.get("ok").and_then(Json::as_bool))
+                        == Some(true),
+                )
+            }
+        }
+    };
+    if let Some(tenant) = &opts.tenant {
+        let open = Json::obj(vec![
+            ("op", Json::str("open")),
+            ("tenant", Json::str(tenant)),
+        ]);
+        match step(open.to_string()) {
+            None => {
+                eprintln!("hdl connect: server closed the connection");
+                return 1;
+            }
+            Some(ok) => {
+                if !ok {
+                    return 1;
+                }
+            }
+        }
+    }
+    let stdin = io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if is_skippable(line) {
+            continue;
+        }
+        if line == ":quit" || line == ":q" || line == ":exit" {
+            let _ = step("{\"op\":\"close\"}".to_owned());
+            break;
+        }
+        let request = match client_request(line) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                status = 1;
+                continue;
+            }
+        };
+        match step(request) {
+            None => {
+                eprintln!("hdl connect: server closed the connection");
+                status = 1;
+                break;
+            }
+            Some(ok) => {
+                if !ok {
+                    status = 1;
+                }
+            }
+        }
+    }
+    status
+}
+
+/// Translates one client input line to a protocol request line.
+fn client_request(line: &str) -> Result<String, String> {
+    // Raw JSON passes through untouched (power users, scripts).
+    if line.starts_with('{') {
+        return Ok(line.to_owned());
+    }
+    let obj = |pairs: Vec<(&str, Json)>| Json::obj(pairs).to_string();
+    if let Some(rest) = line.strip_prefix(":open") {
+        let name = rest.trim();
+        if name.is_empty() {
+            return Err(":open takes a tenant name".into());
+        }
+        return Ok(obj(vec![
+            ("op", Json::str("open")),
+            ("tenant", Json::str(name)),
+        ]));
+    }
+    if let Some(rest) = line.strip_prefix(":answers") {
+        return Ok(obj(vec![
+            ("op", Json::str("answers")),
+            ("pattern", Json::str(rest.trim())),
+        ]));
+    }
+    if let Some(rest) = line.strip_prefix(":assume") {
+        return Ok(obj(vec![
+            ("op", Json::str("assume")),
+            ("facts", Json::str(rest.trim())),
+        ]));
+    }
+    if let Some(rest) = line.strip_prefix(":retract") {
+        return Ok(obj(vec![
+            ("op", Json::str("retract")),
+            ("fact", Json::str(rest.trim())),
+        ]));
+    }
+    match line {
+        ":pop" => return Ok(obj(vec![("op", Json::str("pop"))])),
+        ":checkpoint" => return Ok(obj(vec![("op", Json::str("checkpoint"))])),
+        ":stats" => return Ok(obj(vec![("op", Json::str("stats"))])),
+        ":shutdown" => return Ok(obj(vec![("op", Json::str("shutdown"))])),
+        _ => {}
+    }
+    if line.starts_with(':') {
+        return Err(format!(
+            "unknown command {line} (:open NAME, :answers PATTERN, :assume FACTS, \
+             :retract FACT, :pop, :checkpoint, :stats, :shutdown, :quit; `{{…}}` raw JSON)"
+        ));
+    }
+    if line.starts_with("?-") {
+        return Ok(obj(vec![
+            ("op", Json::str("query")),
+            ("q", Json::str(line)),
+        ]));
+    }
+    Ok(obj(vec![
+        ("op", Json::str("load")),
+        ("program", Json::str(line)),
+    ]))
+}
+
+/// The stdin queue-drain mode: loads the program files, then answers
+/// query lines from stdin through the worker pool, one result line each.
+fn serve_stdin(opts: &Opts) -> i32 {
+    let mut session = match open_session(opts) {
         Ok(s) => s,
         Err(msg) => return usage_error("serve", &msg),
     };
@@ -416,6 +779,17 @@ fn serve_main(args: &[String]) -> i32 {
         }
         match line {
             ":quit" | ":q" | ":exit" => break,
+            ":stats --json" => {
+                let maintenance = session
+                    .maintenance_stats()
+                    .map(|m| m.to_json())
+                    .unwrap_or_else(|| "null".into());
+                println!(
+                    "{{\"service\":{},\"maintenance\":{maintenance}}}",
+                    service.stats().to_json()
+                );
+                let _ = out.flush();
+            }
             ":stats" => {
                 println!("{}", service.stats());
                 if let Some(m) = session.maintenance_stats() {
@@ -446,7 +820,7 @@ fn serve_main(args: &[String]) -> i32 {
             // Budget trips (cancelled / deadline / memory / partial
             // rows) are reported on stdout but are not process errors.
             _ if is_query(line) => {
-                let outcome = service.submit(request_for(line, &opts)).wait();
+                let outcome = service.submit(request_for(line, opts)).wait();
                 if matches!(outcome, Outcome::Error(_)) {
                     status = 1;
                 }
@@ -628,7 +1002,7 @@ fn run_command(session: &mut DurableSession, rest: &str) -> bool {
                  \x20 :retract FACT                  remove a base fact (incremental once materialized)\n\
                  \x20 :materialize                   build the model; later asserts/retracts maintain it\n\
                  \x20 :checkpoint                    compact the write-ahead log (--persist-dir)\n\
-                 \x20 :stats                         counters from the last query\n\
+                 \x20 :stats [--json]                counters from the last query\n\
                  \x20 :quit"
             );
         }
@@ -737,12 +1111,16 @@ fn run_command(session: &mut DurableSession, rest: &str) -> bool {
             Err(e) => println!("not linearly stratified: {e}"),
         },
         "stats" => {
-            match session.last_stats() {
-                Some(s) => print!("{}", render_stats(s)),
-                None => println!("no query evaluated yet"),
-            }
-            if let Some(m) = session.maintenance_stats() {
-                print!("{}", render_maintenance(&m));
+            if arg == "--json" {
+                println!("{}", repl_stats_json(session));
+            } else {
+                match session.last_stats() {
+                    Some(s) => print!("{}", render_stats(s)),
+                    None => println!("no query evaluated yet"),
+                }
+                if let Some(m) = session.maintenance_stats() {
+                    print!("{}", render_maintenance(&m));
+                }
             }
         }
         "materialize" => match session.model() {
@@ -833,6 +1211,30 @@ fn render_stats(s: &hdl_core::engine::EngineStats) -> String {
         s.overlay.nodes, s.overlay.delta_facts, s.overlay.materialized_facts
     );
     out
+}
+
+/// One line of JSON with every counter the REPL session has: last-query
+/// engine stats, model maintenance, recovery, and durability state.
+/// Scripted clients parse this instead of the aligned human tables.
+fn repl_stats_json(session: &DurableSession) -> String {
+    let engine = session
+        .last_stats()
+        .map(|s| s.to_json())
+        .unwrap_or_else(|| "null".into());
+    let maintenance = session
+        .maintenance_stats()
+        .map(|m| m.to_json())
+        .unwrap_or_else(|| "null".into());
+    let recovery = session
+        .recovery_report()
+        .map(|r| r.to_json())
+        .unwrap_or_else(|| "null".into());
+    format!(
+        "{{\"engine\":{engine},\"maintenance\":{maintenance},\"recovery\":{recovery},\
+         \"durable\":{},\"epoch\":{}}}",
+        session.is_durable(),
+        session.epoch()
+    )
 }
 
 /// Crude interactivity check without adding a dependency: honour an

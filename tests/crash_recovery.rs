@@ -18,9 +18,11 @@
 //!   the process died; a process crash is not a power cut);
 //! - recovery never panics, and `:stats` reports what it restored.
 
-use std::io::Write;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
 
 const HDL: &str = env!("CARGO_BIN_EXE_hdl");
 
@@ -101,7 +103,7 @@ struct Run {
 /// abort, `persist` selects the directory (None = ephemeral twin).
 fn serve(persist: Option<&Path>, crash_at: Option<&str>, input: &str) -> Run {
     let mut cmd = Command::new(HDL);
-    cmd.arg("serve").args(["--workers", "2"]);
+    cmd.arg("serve").args(["--stdin", "--workers", "2"]);
     if let Some(dir) = persist {
         cmd.args(["--persist-dir", dir.to_str().unwrap()]);
         cmd.args(["--fsync", "always"]);
@@ -286,6 +288,212 @@ fn crash_matrix_recovers_byte_identically() {
     let report_path =
         Path::new(env!("CARGO_MANIFEST_DIR")).join("target/crash-recovery-report.json");
     std::fs::write(&report_path, json).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Group-commit crash tests: kill the *network* server mid-batch.
+//
+// The stdin matrix above exercises per-mutation durability. The tests
+// below arm the same failpoints against `hdl serve --listen` with group
+// commit on, so the abort fires inside the shared committer thread while
+// a whole window of staged records — possibly spanning tenants — is
+// being appended or fsynced. The contract per tenant:
+//
+//   acked ⊆ recovered ⊆ submitted, and recovered is a *prefix* of the
+//   submission order — no holes, no invented facts.
+//
+// Unacked overshoot is legal at both sites (complete records can survive
+// in the page cache; a process crash is not a power cut); losing an
+// acked mutation or recovering out of order is not.
+// ---------------------------------------------------------------------
+
+/// Spawns `hdl serve --listen 127.0.0.1:0` on `root` and returns the
+/// child plus the resolved address from its stdout.
+fn spawn_listen(root: &Path, crash_at: Option<&str>) -> (Child, String) {
+    let mut cmd = Command::new(HDL);
+    cmd.args(["serve", "--listen", "127.0.0.1:0", "--fsync", "always"])
+        .args(["--persist-root", root.to_str().unwrap()])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    match crash_at {
+        Some(spec) => cmd.env("HDL_CRASH_AT", spec),
+        None => cmd.env_remove("HDL_CRASH_AT"),
+    };
+    let mut child = cmd.spawn().expect("spawn hdl serve --listen");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let line = lines
+        .next()
+        .expect("server prints its address")
+        .expect("read address line");
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("expected `listening on ADDR`, got: {line}"))
+        .to_owned();
+    (child, addr)
+}
+
+/// A tenant connection that tolerates the server dying under it — or
+/// being dead already by the time it connects.
+struct NetClient {
+    reader: Option<BufReader<TcpStream>>,
+    alive: bool,
+    submitted: usize,
+    acked: usize,
+}
+
+impl NetClient {
+    fn open(addr: &str, tenant: &str) -> NetClient {
+        let mut c = NetClient {
+            reader: None,
+            alive: false,
+            submitted: 0,
+            acked: 0,
+        };
+        let Ok(stream) = TcpStream::connect(addr) else {
+            return c;
+        };
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .expect("read timeout");
+        c.reader = Some(BufReader::new(stream));
+        c.alive = true;
+        let open = format!("{{\"op\":\"open\",\"tenant\":\"{tenant}\"}}\n");
+        if !c.send_raw(&open) || !c.recv().is_some_and(|r| r.contains("\"ok\":true")) {
+            c.alive = false;
+        }
+        c
+    }
+
+    fn send_raw(&mut self, data: &str) -> bool {
+        match self.reader.as_mut() {
+            Some(reader) => reader.get_mut().write_all(data.as_bytes()).is_ok(),
+            None => false,
+        }
+    }
+
+    fn recv(&mut self) -> Option<String> {
+        let reader = self.reader.as_mut()?;
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(line),
+        }
+    }
+
+    /// Pipelines one window of `load` mutations for facts
+    /// `f(<tenant><from>..)` and counts acks until the socket dies.
+    /// Every written line counts as submitted whether or not it arrived
+    /// — submitted is an upper bound by construction.
+    fn burst(&mut self, tenant: &str, from: usize, len: usize) {
+        let mut window = String::new();
+        for i in from..from + len {
+            window.push_str(&format!(
+                "{{\"op\":\"load\",\"program\":\"f({tenant}x{i}).\"}}\n"
+            ));
+        }
+        self.submitted += len;
+        if !self.send_raw(&window) {
+            self.alive = false;
+            return;
+        }
+        for _ in 0..len {
+            match self.recv() {
+                Some(reply) if reply.contains("\"ok\":true") => self.acked += 1,
+                _ => {
+                    self.alive = false;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn run_group_commit_case(site: &str, nth: u64) {
+    let tag = format!("net-{site}-{nth}");
+    let dir = TempDir::new(&tag);
+    let tenants = ["ta", "tb"];
+
+    // Phase 1: two tenants pipeline load windows into a group-commit
+    // server armed to abort mid-batch in the committer thread.
+    let (mut child, addr) = spawn_listen(&dir.0, Some(&format!("{site}:{nth}")));
+    let mut clients: Vec<NetClient> = tenants.iter().map(|t| NetClient::open(&addr, t)).collect();
+    const WINDOW: usize = 8;
+    for round in 0..40 {
+        let mut any = false;
+        for (c, t) in clients.iter_mut().zip(tenants) {
+            if c.alive {
+                any = true;
+                c.burst(t, round * WINDOW, WINDOW);
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    let counts: Vec<(usize, usize)> = clients.iter().map(|c| (c.submitted, c.acked)).collect();
+    drop(clients);
+    let status = child.wait().expect("wait for crashed server");
+    assert!(
+        !status.success(),
+        "{tag}: the armed crash never fired under sustained load"
+    );
+
+    // Phase 2: restart clean and check each tenant's recovered facts.
+    let (mut child, addr) = spawn_listen(&dir.0, None);
+    for (t, &(submitted, acked)) in tenants.iter().zip(&counts) {
+        let mut c = NetClient::open(&addr, t);
+        assert!(c.alive, "{tag}: {t} failed to reopen after recovery");
+        let mut present = Vec::with_capacity(submitted);
+        for i in 0..submitted {
+            let q = format!("{{\"op\":\"query\",\"q\":\"f({t}x{i})\"}}\n");
+            assert!(c.send_raw(&q), "{tag}: {t} query {i} write failed");
+            let reply = c
+                .recv()
+                .unwrap_or_else(|| panic!("{tag}: {t} query {i} got no reply"));
+            present.push(reply.contains("\"result\":\"true\""));
+        }
+        let recovered = present.iter().take_while(|&&p| p).count();
+        assert!(
+            present[recovered..].iter().all(|&p| !p),
+            "{tag}: {t} recovered with a hole — not a prefix of submission order: {present:?}"
+        );
+        assert!(
+            recovered >= acked,
+            "{tag}: {t} lost acked mutations — acked {acked}, recovered {recovered}"
+        );
+        assert!(
+            recovered <= submitted,
+            "{tag}: {t} invented facts — submitted {submitted}, recovered {recovered}"
+        );
+    }
+
+    // Drain the recovery server cleanly.
+    let mut c = NetClient::open(&addr, "ta");
+    let _ = c.send_raw("{\"op\":\"shutdown\"}\n");
+    let _ = c.recv();
+    drop(c);
+    let status = child.wait().expect("wait for recovery server");
+    assert!(status.success(), "{tag}: recovery server failed to drain");
+}
+
+/// Kill the group-commit server mid-append: the committer thread aborts
+/// while writing a staged window's records into tenant WALs.
+#[test]
+fn group_commit_crash_mid_append_preserves_acked_prefix() {
+    for nth in [3, 11, 29] {
+        run_group_commit_case("persist::wal_append", nth);
+    }
+}
+
+/// Kill the group-commit server mid-fsync: whole windows were appended
+/// but the shared durability pass dies before (or between) syncs.
+#[test]
+fn group_commit_crash_mid_fsync_preserves_acked_prefix() {
+    for nth in [1, 4, 9] {
+        run_group_commit_case("persist::wal_fsync", nth);
+    }
 }
 
 /// A clean shutdown after the full script leaves a state that a plain

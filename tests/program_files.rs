@@ -88,7 +88,10 @@ fn resilience_program() {
         "h2 hangs off sw2 alone"
     );
     assert!(s.ask("?- critical(sw1, sw2).").unwrap());
-    assert!(!s.ask("?- critical(sw1, sw3).").unwrap(), "sw2 routes around");
+    assert!(
+        !s.ask("?- critical(sw1, sw3).").unwrap(),
+        "sw2 routes around"
+    );
     assert!(s.ask("?- fragile.").unwrap());
     assert!(s.ask("?- safe(h3).").unwrap());
     assert!(!s.ask("?- safe(h2).").unwrap());

@@ -82,7 +82,11 @@ fn premise_strategy(head_pred: usize, allow_neg: bool) -> BoxedStrategy<PremiseS
     if allow_neg && head_pred > 0 {
         let neg = (0..head_pred)
             .prop_flat_map(|p| args_strategy(arity(p)).prop_map(move |a| PremiseSketch::Neg(p, a)));
-        let hyp_del = (0..head_pred, prop_oneof![Just(None), (0..NUM_PREDS).prop_map(Some)], 0..NUM_PREDS)
+        let hyp_del = (
+            0..head_pred,
+            prop_oneof![Just(None), (0..NUM_PREDS).prop_map(Some)],
+            0..NUM_PREDS,
+        )
             .prop_flat_map(|(g, ad, dl)| {
                 let add = match ad {
                     Some(p) => args_strategy(arity(p))

@@ -1,0 +1,296 @@
+//! End-to-end tests for the network server through the real `hdl`
+//! binary: `hdl serve --listen` with port 0, multi-tenant sessions over
+//! TCP, quota trips, admission control, the `hdl connect` client, and
+//! graceful drain (client `shutdown` op and SIGTERM) with
+//! checkpoint-on-shutdown recovery.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const HDL: &str = env!("CARGO_BIN_EXE_hdl");
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!("hdl-serve-net-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A running `hdl serve --listen 127.0.0.1:0` child plus the address it
+/// printed. Kills the child on drop so a failed assertion cannot leak a
+/// listener.
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    fn start(extra: &[&str]) -> ServerProc {
+        let mut cmd = Command::new(HDL);
+        cmd.arg("serve")
+            .arg("--listen")
+            .arg("127.0.0.1:0")
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .env_remove("HDL_CRASH_AT");
+        let mut child = cmd.spawn().expect("spawn hdl serve");
+        // Port 0 support: the resolved address is the first stdout line.
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let line = lines
+            .next()
+            .expect("server prints its address")
+            .expect("read address line");
+        let addr = line
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("expected `listening on ADDR`, got: {line}"))
+            .to_owned();
+        assert!(
+            !addr.ends_with(":0"),
+            "port 0 must resolve to a real port: {addr}"
+        );
+        ServerProc { child, addr }
+    }
+
+    /// Waits for exit and returns (status ok, stderr text).
+    fn wait(mut self) -> (bool, String) {
+        let mut stderr = String::new();
+        let status = self.child.wait().expect("wait for server");
+        if let Some(mut pipe) = self.child.stderr.take() {
+            let _ = pipe.read_to_string(&mut stderr);
+        }
+        // Disarm the drop kill: the process is already gone.
+        (status.success(), stderr)
+    }
+
+    fn sigterm(&self) {
+        let pid = self.child.id().to_string();
+        let status = Command::new("kill")
+            .args(["-TERM", &pid])
+            .status()
+            .expect("send SIGTERM");
+        assert!(status.success(), "kill -TERM failed");
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        Client {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        let stream = self.reader.get_mut();
+        stream.write_all(line.as_bytes()).expect("send");
+        stream.write_all(b"\n").expect("send newline");
+        self.recv().expect("server replied")
+    }
+
+    fn recv(&mut self) -> Option<String> {
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(reply.trim_end().to_owned()),
+        }
+    }
+}
+
+fn assert_ok(reply: &str, context: &str) {
+    assert!(
+        reply.contains("\"ok\":true") || reply.contains("\"ok\": true"),
+        "{context}: expected ok reply, got {reply}"
+    );
+}
+
+/// One server, two tenants, quotas, and the `hdl connect` CLI —
+/// drained by a client `shutdown` op at the end.
+#[test]
+fn multi_tenant_sessions_quotas_and_connect_cli() {
+    let root = TempDir::new("mt");
+    let server = ServerProc::start(&[
+        "--persist-root",
+        root.0.to_str().unwrap(),
+        "--tenant-max-facts",
+        "3",
+    ]);
+
+    // Tenant isolation: facts loaded into `alpha` are invisible to
+    // `beta`, and vice versa.
+    let mut a = Client::connect(&server.addr);
+    let mut b = Client::connect(&server.addr);
+    assert_ok(
+        &a.send("{\"op\":\"open\",\"tenant\":\"alpha\"}"),
+        "open alpha",
+    );
+    assert_ok(
+        &b.send("{\"op\":\"open\",\"tenant\":\"beta\"}"),
+        "open beta",
+    );
+    assert_ok(
+        &a.send("{\"op\":\"load\",\"program\":\"p(a).\"}"),
+        "load alpha",
+    );
+    assert_ok(
+        &b.send("{\"op\":\"load\",\"program\":\"p(b).\"}"),
+        "load beta",
+    );
+    assert!(a
+        .send("{\"op\":\"query\",\"q\":\"p(a)\"}")
+        .contains("\"result\":\"true\""));
+    assert!(a
+        .send("{\"op\":\"query\",\"q\":\"p(b)\"}")
+        .contains("\"result\":\"false\""));
+    assert!(b
+        .send("{\"op\":\"query\",\"q\":\"p(b)\"}")
+        .contains("\"result\":\"true\""));
+    assert!(b
+        .send("{\"op\":\"query\",\"q\":\"p(a)\"}")
+        .contains("\"result\":\"false\""));
+
+    // Quota trip: alpha holds 1 of its 3 allowed base facts; a 3-fact
+    // load would exceed the cap and is refused before applying.
+    let trip = a.send("{\"op\":\"load\",\"program\":\"q(x). q(y). q(z).\"}");
+    assert!(trip.contains("\"kind\":\"quota\""), "quota trip: {trip}");
+    assert!(a
+        .send("{\"op\":\"query\",\"q\":\"q(x)\"}")
+        .contains("\"result\":\"false\""));
+
+    // Durable epochs: an explicit checkpoint bumps alpha to epoch 1.
+    let cp = a.send("{\"op\":\"checkpoint\"}");
+    assert_ok(&cp, "checkpoint");
+    assert!(cp.contains("\"epoch\":1"), "checkpoint epoch: {cp}");
+
+    // `hdl connect` is a working client: REPL lines translate to
+    // protocol requests and replies echo as JSON lines.
+    let mut cli = Command::new(HDL)
+        .args(["connect", &server.addr, "--tenant", "alpha"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn hdl connect");
+    cli.stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(b"?- p(a).\n:quit\n")
+        .expect("write to hdl connect");
+    let out = cli.wait_with_output().expect("hdl connect runs");
+    assert!(out.status.success(), "hdl connect exit: {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"result\":\"true\""),
+        "hdl connect query output: {stdout}"
+    );
+
+    // Graceful drain via the protocol: `shutdown` acks, the server
+    // checkpoints every durable tenant and exits 0.
+    let bye = a.send("{\"op\":\"shutdown\"}");
+    assert!(bye.contains("\"draining\":true"), "shutdown ack: {bye}");
+    let (ok, stderr) = server.wait();
+    assert!(ok, "server exits 0 after shutdown op; stderr: {stderr}");
+    assert!(
+        stderr.contains("checkpointed epoch") && stderr.contains("server drained"),
+        "drain narration: {stderr}"
+    );
+}
+
+/// Admission control: connections past `--max-connections` are refused
+/// with a structured `overloaded` line and closed.
+#[test]
+fn admission_control_refuses_past_max_connections() {
+    let server = ServerProc::start(&["--max-connections", "1"]);
+    let mut held = Client::connect(&server.addr);
+    assert_ok(
+        &held.send("{\"op\":\"hello\"}"),
+        "first connection admitted",
+    );
+
+    let mut refused = Client::connect(&server.addr);
+    let refusal = refused.recv().expect("refusal line");
+    assert!(
+        refusal.contains("\"kind\":\"overloaded\""),
+        "expected overloaded refusal, got {refusal}"
+    );
+    assert!(refused.recv().is_none(), "refused connection closes");
+
+    held.send("{\"op\":\"shutdown\"}");
+    let (ok, _) = server.wait();
+    assert!(ok, "clean exit after shutdown");
+}
+
+/// SIGTERM drains: in-flight state is checkpointed and a restarted
+/// server recovers every acked mutation at the bumped epoch.
+#[test]
+fn sigterm_drains_checkpoints_and_recovery_restores_tenants() {
+    let root = TempDir::new("sigterm");
+    let flags: &[&str] = &["--persist-root", root.0.to_str().unwrap()];
+    let server = ServerProc::start(flags);
+    let mut c = Client::connect(&server.addr);
+    assert_ok(&c.send("{\"op\":\"open\",\"tenant\":\"world\"}"), "open");
+    assert_ok(
+        &c.send("{\"op\":\"load\",\"program\":\"edge(a, b). tc(X, Y) :- edge(X, Y).\"}"),
+        "load",
+    );
+    assert_ok(
+        &c.send("{\"op\":\"assume\",\"facts\":\"edge(b, c)\"}"),
+        "assume",
+    );
+
+    server.sigterm();
+    let (ok, stderr) = server.wait();
+    assert!(ok, "clean exit on SIGTERM; stderr: {stderr}");
+    assert!(
+        stderr.contains("world: checkpointed epoch 1 on shutdown"),
+        "shutdown checkpoint: {stderr}"
+    );
+
+    // A fresh server over the same root recovers the tenant — base
+    // facts, rules, and the assumption frame — at the new epoch.
+    let server = ServerProc::start(flags);
+    let mut c = Client::connect(&server.addr);
+    let open = c.send("{\"op\":\"open\",\"tenant\":\"world\"}");
+    assert_ok(&open, "reopen");
+    assert!(open.contains("\"epoch\":1"), "recovered epoch: {open}");
+    assert!(c
+        .send("{\"op\":\"query\",\"q\":\"tc(a, b)\"}")
+        .contains("\"result\":\"true\""));
+    assert!(c
+        .send("{\"op\":\"query\",\"q\":\"edge(b, c)\"}")
+        .contains("\"result\":\"true\""));
+    let pop = c.send("{\"op\":\"pop\"}");
+    assert_ok(&pop, "assumption frame survived recovery");
+    c.send("{\"op\":\"shutdown\"}");
+    let (ok, _) = server.wait();
+    assert!(ok);
+}
