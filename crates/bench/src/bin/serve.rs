@@ -248,6 +248,104 @@ fn run_mutations(
     }
 }
 
+struct ReplicationRun {
+    facts: usize,
+    primary_mutations_per_sec: f64,
+    /// Wall time from the last primary ack until the follower answers
+    /// the last fact — what an operator calls replication lag.
+    lag_ms: f64,
+    /// Wall time from sending `promote` until the first write is acked
+    /// by the promoted follower — the failover window.
+    failover_ms: f64,
+    converged: bool,
+}
+
+/// Runs a replicated pair in-process: loads `facts` through the primary,
+/// measures how far the follower trails the last ack, then promotes the
+/// follower and measures how long until it accepts its first write.
+fn run_replication(facts: usize, window: usize) -> ReplicationRun {
+    let p_dir = TempDir::new("rep-primary");
+    let f_dir = TempDir::new("rep-follower");
+    let follower = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        persist_root: Some(f_dir.0.clone()),
+        fsync: FsyncPolicy::Always,
+        group_commit: true,
+        follow: Some("primary".into()),
+        workers_per_tenant: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start bench follower");
+    let primary = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        persist_root: Some(p_dir.0.clone()),
+        fsync: FsyncPolicy::Always,
+        group_commit: true,
+        replicate_to: vec![follower.addr().to_string()],
+        workers_per_tenant: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start bench primary");
+
+    let mut writer = Client::connect(primary.addr());
+    writer.send_ok("{\"op\":\"open\",\"tenant\":\"r\"}");
+    let mut bursts: Vec<(String, usize)> = Vec::new();
+    let mut j = 0;
+    while j < facts {
+        let n = window.min(facts - j);
+        let mut burst = String::new();
+        for k in j..j + n {
+            let _ = writeln!(burst, "{{\"op\":\"load\",\"program\":\"p(r{k}).\"}}");
+        }
+        bursts.push((burst, n));
+        j += n;
+    }
+    let start = Instant::now();
+    for (burst, n) in &bursts {
+        writer.pipeline_ok(burst, *n);
+    }
+    let ack_elapsed = start.elapsed().as_secs_f64();
+
+    // Lag: poll the follower for the last fact. The shipper is async, so
+    // this is exactly the staleness a read replica exposes to clients.
+    let last_ack = Instant::now();
+    let ask = format!("{{\"op\":\"query\",\"q\":\"p(r{})\"}}", facts - 1);
+    let mut follower_reader = Client::connect(follower.addr());
+    follower_reader.send_ok("{\"op\":\"open\",\"tenant\":\"r\"}");
+    let mut converged = false;
+    while last_ack.elapsed().as_secs_f64() < 30.0 {
+        let reply = follower_reader.send_ok(&ask);
+        if reply.get("result").and_then(Json::as_str) == Some("true") {
+            converged = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    let lag_ms = last_ack.elapsed().as_secs_f64() * 1e3;
+
+    // Failover: stop the primary, promote the follower, and time the
+    // window until it acks its first write.
+    drop(writer);
+    primary.drain();
+    let failover_start = Instant::now();
+    follower_reader.send_ok("{\"op\":\"promote\"}");
+    let mut promoted = Client::connect(follower.addr());
+    promoted.send_ok("{\"op\":\"open\",\"tenant\":\"r\"}");
+    promoted.send_ok("{\"op\":\"load\",\"program\":\"p(after_failover).\"}");
+    let failover_ms = failover_start.elapsed().as_secs_f64() * 1e3;
+    drop(promoted);
+    drop(follower_reader);
+    follower.drain();
+
+    ReplicationRun {
+        facts,
+        primary_mutations_per_sec: facts as f64 / ack_elapsed,
+        lag_ms,
+        failover_ms,
+        converged,
+    }
+}
+
 struct QueryRun {
     queries: usize,
     background_mutators: usize,
@@ -393,11 +491,23 @@ fn main() {
     let qrun = run_queries(chain, queries, movers);
     eprintln!("  p50 {:.0}us  p99 {:.0}us", qrun.p50_us, qrun.p99_us);
 
+    let rep_facts = if quick { 1024 } else { 4096 };
+    eprintln!("replication lag and failover ({rep_facts} facts)...");
+    let rep = run_replication(rep_facts, window);
+    eprintln!(
+        "  {:.0} mutations/s while replicating, lag {:.1}ms, failover {:.1}ms",
+        rep.primary_mutations_per_sec, rep.lag_ms, rep.failover_ms
+    );
+
     // The gate only means something where fsync has a real cost: on a
     // device where it is nearly free (ramdisk, write-cache lies), both
     // paths run at memory speed and the ratio is noise.
     let gate_meaningful = fsync_per_sec < 50_000.0;
     let gate_pass = speedup_always >= 10.0;
+    // The replication gate is correctness-shaped, so it is meaningful on
+    // any filesystem: the follower must converge and a promote-and-write
+    // failover must land well inside operator reflexes.
+    let rep_pass = rep.converged && rep.failover_ms < 5_000.0;
 
     let mut report = String::new();
     let _ = writeln!(report, "{{");
@@ -443,8 +553,16 @@ fn main() {
     );
     let _ = writeln!(
         report,
+        "  \"replication\": {{\"facts\": {}, \"primary_mutations_per_sec\": {:.0}, \
+         \"lag_ms\": {:.2}, \"failover_ms\": {:.2}, \"converged\": {}}},",
+        rep.facts, rep.primary_mutations_per_sec, rep.lag_ms, rep.failover_ms, rep.converged
+    );
+    let _ = writeln!(
+        report,
         "  \"check\": {{\"gate\": \"group commit >= 10x per-mutation fsync at always (single-stream)\", \
-         \"meaningful\": {gate_meaningful}, \"pass\": {gate_pass}}}"
+         \"meaningful\": {gate_meaningful}, \"pass\": {gate_pass}, \
+         \"replication_gate\": \"follower converges; promote-and-write < 5s\", \
+         \"replication_pass\": {rep_pass}}}"
     );
     let _ = writeln!(report, "}}");
 
@@ -465,5 +583,16 @@ fn main() {
         } else {
             eprintln!("check: OK group-commit speedup {speedup_always:.1}x >= 10x");
         }
+        if !rep_pass {
+            eprintln!(
+                "check: FAIL replication (converged={}, failover {:.1}ms)",
+                rep.converged, rep.failover_ms
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "check: OK replication lag {:.1}ms, failover {:.1}ms",
+            rep.lag_ms, rep.failover_ms
+        );
     }
 }

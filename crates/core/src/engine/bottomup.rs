@@ -264,6 +264,18 @@ impl<'rb> BottomUpEngine<'rb> {
                 Ok(!self.exists_in_model(base, atom, &mut bindings))
             }
             Premise::Hyp { goal, adds, dels } => {
+                // Definition 3: the goal is proved in `(DB ∖ C̄) ∪ B̄`, so
+                // constants the query's `add:` atoms introduce belong to
+                // that world's domain. Memoized models were closed under
+                // the smaller domain (their negation and hypothetical
+                // groundings never ranged over the fresh constants), so
+                // they are stale the moment the domain grows.
+                let fresh = adds
+                    .iter()
+                    .flat_map(|a| a.args.iter().filter_map(|t| t.as_const()));
+                if self.ctx.extend_domain(fresh) {
+                    self.models.clear();
+                }
                 let free = collect_free(goal, adds, dels, &bindings);
                 self.exists_hyp(goal, adds, dels, &free, 0, &mut bindings, base)
             }

@@ -98,6 +98,34 @@ impl<'rb> Context<'rb> {
         self.defs.contains_key(&p)
     }
 
+    /// Joins `extra` constants into `dom(R, DB)`, returning whether the
+    /// domain actually grew.
+    ///
+    /// Definition 3 evaluates `A[add: B̄, del: C̄]` in `(DB ∖ C̄) ∪ B̄`,
+    /// whose domain includes every constant of `B̄` — even ones the base
+    /// world and the rulebase never mention. Query-level `add:` premises
+    /// can therefore introduce fresh constants that rule groundings must
+    /// range over (`?- tc(a, c)[add: edge(b, c)].` needs `c` in the
+    /// domain to instantiate the recursive rule). Engines call this from
+    /// their query entry points; when it returns `true`, any memoized
+    /// verdicts or models were computed under the smaller domain and
+    /// must be dropped.
+    pub fn extend_domain(&mut self, extra: impl IntoIterator<Item = Symbol>) -> bool {
+        let mut grew = false;
+        for c in extra {
+            if self.domain_set.insert(c) {
+                self.domain.push(c);
+                grew = true;
+            }
+        }
+        if grew {
+            // Keep the enumeration order deterministic (domain order is
+            // observable through `answers` and proof witnesses).
+            self.domain.sort_unstable();
+        }
+        grew
+    }
+
     /// Whether constant `c` belongs to `dom(R, DB)`. Goal atoms supplied
     /// by queries may mention foreign constants; Definition 3's ground
     /// substitutions must not bind rule variables to them.

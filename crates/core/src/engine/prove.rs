@@ -237,6 +237,18 @@ impl<'rb> ProveEngine<'rb> {
                     .map(|found| !found)
             }
             Premise::Hyp { goal, adds, dels } => {
+                // Definition 3: the goal is proved in `(DB ∖ C̄) ∪ B̄`,
+                // whose domain includes the `add:` atoms' constants even
+                // when fresh to this rulebase and database. Memoized
+                // verdicts and Δ models were computed under the smaller
+                // domain, so a growth invalidates them.
+                let fresh = adds
+                    .iter()
+                    .flat_map(|a| a.args.iter().filter_map(|t| t.as_const()));
+                if self.ctx.extend_domain(fresh) {
+                    self.memo.clear();
+                    self.delta_models.clear();
+                }
                 let mut free: Vec<Var> = Vec::new();
                 for v in goal
                     .vars()

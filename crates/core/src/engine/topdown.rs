@@ -108,6 +108,23 @@ impl<'rb> TopDownEngine<'rb> {
         self.budget = budget;
     }
 
+    /// Extends `dom(R, DB)` with constants a query-level `add:` premise
+    /// introduces (Definition 3: the goal is proved in `(DB ∖ C̄) ∪ B̄`,
+    /// so `B̄`'s constants are domain members there). Memoized verdicts
+    /// and recorded proof steps were computed under the smaller domain —
+    /// a negation judged true because no witness existed may gain one —
+    /// so they are dropped whenever the domain grows.
+    fn note_overlay_constants(&mut self, adds: &[Atom]) {
+        let fresh = adds
+            .iter()
+            .flat_map(|a| a.args.iter().filter_map(|t| t.as_const()));
+        if self.ctx.extend_domain(fresh) {
+            self.memo.clear();
+            self.proof_steps.clear();
+            self.last_success = None;
+        }
+    }
+
     /// Probes the memory caps against growth since the budget was set.
     fn check_memory(&self) -> Result<()> {
         let facts = self
@@ -157,6 +174,7 @@ impl<'rb> TopDownEngine<'rb> {
                     .map(|found| !found)
             }
             Premise::Hyp { goal, adds, dels } => {
+                self.note_overlay_constants(adds);
                 let mut free: Vec<Var> = Vec::new();
                 for v in goal
                     .vars()
@@ -203,6 +221,7 @@ impl<'rb> TopDownEngine<'rb> {
                 Ok(node)
             }
             Premise::Hyp { goal, adds, dels } => {
+                self.note_overlay_constants(adds);
                 let mut free: Vec<Var> = Vec::new();
                 for v in goal
                     .vars()

@@ -16,6 +16,9 @@
 //! | `persist::wal_fsync`         | record written (kernel page cache) but never acked    |
 //! | `persist::checkpoint_write`  | partial checkpoint temp file                          |
 //! | `persist::checkpoint_rename` | complete temp file, rename never happened             |
+//! | `replicate::ship`            | primary dies before sending a planned window          |
+//! | `replicate::apply`           | follower dies with a received window unwritten        |
+//! | `replicate::ack`             | follower applied + fsynced but the ack never left     |
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;

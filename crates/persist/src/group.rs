@@ -77,6 +77,10 @@ pub(crate) struct SharedWal {
     pub writer: WalWriter,
     /// How many symbols (by interning position) the log already covers.
     pub synced: usize,
+    /// The checkpoint epoch this WAL belongs to. Updated under the same
+    /// lock hold that swaps the writer on rotation, so replication can
+    /// snapshot a consistent `(epoch, committed)` position.
+    pub epoch: u64,
 }
 
 /// One mutation's record group waiting for durability.
@@ -338,7 +342,11 @@ mod tests {
     fn shared_wal(dir: &TempDir, name: &str) -> Arc<Mutex<SharedWal>> {
         let path = dir.path().join(name);
         let writer = WalWriter::create(&path, 0, FsyncPolicy::Always).unwrap();
-        Arc::new(Mutex::new(SharedWal { writer, synced: 0 }))
+        Arc::new(Mutex::new(SharedWal {
+            writer,
+            synced: 0,
+            epoch: 0,
+        }))
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod codec;
 pub mod crashpoint;
 pub mod group;
 pub mod recover;
+pub mod replicate;
 pub mod session;
 pub mod wal;
 
@@ -42,5 +43,6 @@ pub(crate) mod testutil;
 pub use codec::{decode_checkpoint, decode_record, encode_checkpoint, WalRecord};
 pub use group::{CommitTicket, GroupCommitStats, GroupCommitter};
 pub use recover::{recover, Recovered, RecoveryReport};
+pub use replicate::{Position, Replica, Ship, WalTap};
 pub use session::DurableSession;
 pub use wal::{read_wal, FsyncPolicy, WalWriter};

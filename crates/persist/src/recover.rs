@@ -160,8 +160,11 @@ pub fn recover(dir: &Path, policy: FsyncPolicy) -> Result<Recovered> {
     })
 }
 
-/// Applies one replayed record to the session.
-fn apply(session: &mut Session, record: WalRecord) -> Result<()> {
+/// Applies one replayed record to the session. Shared with the
+/// replication follower ([`crate::replicate::Replica`]), which applies
+/// shipped records through exactly this path so a replica's world is the
+/// world recovery would rebuild from its local log.
+pub(crate) fn apply(session: &mut Session, record: WalRecord) -> Result<()> {
     match record {
         WalRecord::Symbols(names) => {
             session.sync_symbols(&names);

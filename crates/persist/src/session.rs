@@ -180,6 +180,7 @@ impl DurableSession {
         let shared = Arc::new(Mutex::new(SharedWal {
             writer: recovered.writer,
             synced: session.symbols().len(),
+            epoch: recovered.epoch,
         }));
         let staged = if pipelined && group.is_some() {
             Some(Arc::new(Mutex::new(Vec::new())))
@@ -233,6 +234,16 @@ impl DurableSession {
     /// What recovery found when this session was opened.
     pub fn recovery_report(&self) -> Option<&RecoveryReport> {
         self.durable.as_ref().map(|d| &d.report)
+    }
+
+    /// A replication tap on this session's WAL (see
+    /// [`crate::replicate::WalTap`]): lets a shipper thread read
+    /// committed log windows and checkpoint images without holding the
+    /// session lock. `None` when ephemeral.
+    pub fn wal_tap(&self) -> Option<crate::replicate::WalTap> {
+        self.durable
+            .as_ref()
+            .map(|d| crate::replicate::WalTap::new(Arc::clone(&d.shared), d.dir.clone()))
     }
 
     /// Flushes every mutation staged since the last flush into ONE
@@ -312,6 +323,7 @@ impl DurableSession {
             let old = guard.writer.path().to_path_buf();
             guard.writer = fresh;
             guard.synced = self.session.symbols().len();
+            guard.epoch = epoch;
             old
         };
         let _ = std::fs::remove_file(old_path);

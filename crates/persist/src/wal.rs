@@ -30,7 +30,7 @@ pub const WAL_MAGIC: &[u8; 8] = b"HDLWAL01";
 pub const WAL_HEADER_LEN: u64 = 16;
 /// Largest accepted record payload (1 GiB) — a sanity bound so a corrupt
 /// length prefix cannot drive an absurd allocation or read.
-const MAX_RECORD_LEN: u32 = 1 << 30;
+pub(crate) const MAX_RECORD_LEN: u32 = 1 << 30;
 
 /// When `commit` calls `fsync` on the log file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +70,7 @@ pub struct WalWriter {
     path: PathBuf,
     policy: FsyncPolicy,
     commits_since_sync: u32,
+    committed: u64,
 }
 
 impl WalWriter {
@@ -81,6 +82,7 @@ impl WalWriter {
             path: path.to_path_buf(),
             policy,
             commits_since_sync: 0,
+            committed: WAL_HEADER_LEN,
         };
         writer.write(WAL_MAGIC)?;
         writer.write(&epoch.to_le_bytes())?;
@@ -108,12 +110,21 @@ impl WalWriter {
             path: path.to_path_buf(),
             policy,
             commits_since_sync: 0,
+            committed: valid_len,
         })
     }
 
     /// Path of the underlying file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// End of the durable record prefix: every byte below this offset is
+    /// a complete, flushed frame. Advanced only after a whole mutation
+    /// group is appended and flushed, so a torn or failed append never
+    /// counts — this is the watermark replication ships up to.
+    pub fn committed(&self) -> u64 {
+        self.committed
     }
 
     /// Appends all records of one session mutation, then syncs according
@@ -132,6 +143,7 @@ impl WalWriter {
     ///
     /// [`sync_commits`]: WalWriter::sync_commits
     pub fn append_group(&mut self, payloads: &[&[u8]]) -> Result<()> {
+        let mut appended = 0u64;
         for payload in payloads {
             hdl_base::failpoint!("persist::wal_append");
             debug_assert!(payload.len() as u64 <= MAX_RECORD_LEN as u64);
@@ -149,8 +161,14 @@ impl WalWriter {
             self.write(&(payload.len() as u32).to_le_bytes())?;
             self.write(&crc.to_le_bytes())?;
             self.write(payload)?;
+            appended += 8 + payload.len() as u64;
         }
-        self.flush()
+        self.flush()?;
+        // Only a fully flushed group moves the watermark; on any earlier
+        // error the partial frames stay below `committed` and are never
+        // shipped, mirroring how recovery truncates them.
+        self.committed += appended;
+        Ok(())
     }
 
     /// Applies the fsync policy after `commits` mutation groups were
@@ -178,6 +196,21 @@ impl WalWriter {
             FsyncPolicy::Never => {}
         }
         Ok(())
+    }
+
+    /// Appends pre-framed WAL bytes verbatim and fsyncs them. This is
+    /// the replication follower's append path: the primary ships frame
+    /// bytes exactly as they sit in its own log, and the follower lands
+    /// them at identical offsets so the two files are byte-for-byte
+    /// equal up to the follower's watermark. The sync is unconditional
+    /// (ignoring [`FsyncPolicy`]) because the follower's ack *is* a
+    /// durability claim — the primary treats acked bytes as safely
+    /// mirrored.
+    pub fn append_raw(&mut self, bytes: &[u8]) -> Result<()> {
+        self.write(bytes)?;
+        self.flush()?;
+        self.committed += bytes.len() as u64;
+        self.sync()
     }
 
     fn write(&mut self, bytes: &[u8]) -> Result<()> {

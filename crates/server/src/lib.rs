@@ -25,12 +25,14 @@
 
 pub mod json;
 pub mod protocol;
+pub mod replication;
 pub mod server;
 pub mod tenant;
 
 pub use hdl_persist::GroupCommitter;
 pub use json::Json;
 pub use protocol::{outcome_reply, Reply, Request, PROTOCOL_VERSION};
+pub use replication::{FollowerState, ReplicaTenant, Shipper, ShipperStats};
 pub use server::{install_termination_flag, Server, ServerConfig};
 pub use tenant::{
     BatchOp, BatchReply, Registry, RegistryConfig, Tenant, TenantError, TenantQuotas,

@@ -75,6 +75,40 @@ pub enum Request {
     Close,
     /// Ask the server to drain and exit (graceful shutdown).
     Shutdown,
+    /// Replication (primary → follower): where should shipping resume
+    /// for this tenant?
+    RepPosition {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Replication: a window of committed WAL bytes at an exact
+    /// position.
+    RepWindow {
+        /// Tenant name.
+        tenant: String,
+        /// Checkpoint epoch the offset refers to.
+        epoch: u64,
+        /// Byte offset of the window's first byte.
+        offset: u64,
+        /// Base64 of the raw frame bytes.
+        data: String,
+    },
+    /// Replication: a checkpoint image the follower must install before
+    /// windows can resume (the primary rotated past its position).
+    RepCheckpoint {
+        /// Tenant name.
+        tenant: String,
+        /// Epoch of the image.
+        epoch: u64,
+        /// Base64 of the serialized checkpoint.
+        data: String,
+    },
+    /// Replication: liveness probe; refreshes the follower's
+    /// last-primary-contact clock.
+    RepHeartbeat,
+    /// Operator op: promote this follower to primary. Replicas reopen
+    /// as normal writable tenants; mutations are accepted afterwards.
+    Promote,
 }
 
 impl Request {
@@ -93,6 +127,12 @@ impl Request {
                 .and_then(Json::as_str)
                 .map(str::to_owned)
                 .ok_or_else(|| format!("op `{op}` needs a string \"{field}\" field"))
+        };
+        let number = |field: &str| -> Result<u64, String> {
+            value
+                .get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("op `{op}` needs a numeric \"{field}\" field"))
         };
         let opts = || -> Result<QueryOpts, String> {
             let engine = match value.get("engine").and_then(Json::as_str) {
@@ -135,6 +175,22 @@ impl Request {
             "stats" => Request::Stats,
             "close" => Request::Close,
             "shutdown" => Request::Shutdown,
+            "rep_position" => Request::RepPosition {
+                tenant: text("tenant")?,
+            },
+            "rep_window" => Request::RepWindow {
+                tenant: text("tenant")?,
+                epoch: number("epoch")?,
+                offset: number("offset")?,
+                data: text("data")?,
+            },
+            "rep_checkpoint" => Request::RepCheckpoint {
+                tenant: text("tenant")?,
+                epoch: number("epoch")?,
+                data: text("data")?,
+            },
+            "rep_heartbeat" => Request::RepHeartbeat,
+            "promote" => Request::Promote,
             other => return Err(format!("unknown op `{other}`")),
         };
         Ok((request, id))
@@ -156,7 +212,8 @@ impl Reply {
 
     /// A failure reply with a machine-readable `kind` (`parse`,
     /// `protocol`, `no-tenant`, `bad-tenant-name`, `quota`,
-    /// `overloaded`, `query`, `shutdown`, `internal`).
+    /// `overloaded`, `query`, `shutdown`, `internal`, `read_only`,
+    /// `rep-position`).
     pub fn err(kind: &str, message: impl Into<String>) -> Reply {
         Reply {
             fields: vec![

@@ -1,0 +1,824 @@
+//! Primary/follower replication at the server layer: shipper threads on
+//! the primary, replica tenants and promotion on the follower.
+//!
+//! The persist layer ([`hdl_persist::replicate`]) defines *what* moves —
+//! committed WAL windows addressed by `(epoch, offset)`, checkpoint
+//! images across rotations — and this module moves it over the same
+//! newline-JSON protocol clients speak:
+//!
+//! - a **primary** started with `--replicate-to ADDR` runs one
+//!   [`Shipper`] thread per target. The shipper connects with capped
+//!   exponential backoff, negotiates each tenant's resume position with
+//!   `rep_position`, then streams `rep_window` / `rep_checkpoint` ops
+//!   (WAL bytes as base64) and heartbeats when idle;
+//! - a **follower** started with `--follow ADDR` holds a
+//!   [`FollowerState`]: one [`ReplicaTenant`] per replicated tenant,
+//!   each a [`Replica`] plus a read-only [`QueryService`] republished
+//!   after every applied window. Client mutations are refused with a
+//!   structured `read_only` error; `query`/`answers`/`stats` serve from
+//!   the replicated snapshots.
+//!
+//! Failover is operator-driven: the `promote` op flips the follower to
+//! primary. Promotion sets the promoted flag, then takes every replica's
+//! mutex once as a barrier — in-flight window applies finish, later ones
+//! see the flag and are refused — so the replica directories are closed
+//! before the normal [`crate::tenant::Registry`] reopens them as
+//! writable tenants (recovery replays exactly the acked prefix).
+
+use crate::json::Json;
+use crate::protocol::Reply;
+use crate::tenant::{validate_tenant_name, Registry, TenantError, TenantQuotas};
+use hdl_persist::{FsyncPolicy, Position, Replica, Ship};
+use hdl_service::{QueryService, ServiceConfig};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Most WAL bytes one `rep_window` op will carry (before base64).
+pub const MAX_WINDOW_BYTES: u64 = 1 << 20;
+
+/// First reconnect delay after a shipper loses its follower.
+const BACKOFF_FLOOR: Duration = Duration::from_millis(50);
+
+/// Reconnect delays double up to this cap, then stay there.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Idle shippers send a heartbeat (and re-poll the taps) this often.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(100);
+
+// ---------------------------------------------------------------------
+// Base64 (standard alphabet, padded) — WAL bytes inside JSON strings.
+// Hand-rolled because the build environment vendors no encoding crate.
+// ---------------------------------------------------------------------
+
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard padded base64.
+pub fn b64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let n = u32::from_be_bytes([0, b[0], b[1], b[2]]);
+        out.push(B64[(n >> 18) as usize & 63] as char);
+        out.push(B64[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            B64[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes standard padded base64; whitespace is not tolerated — the
+/// protocol produces none, so any is a malformed message.
+pub fn b64_decode(text: &str) -> Result<Vec<u8>, String> {
+    fn value(c: u8) -> Result<u32, String> {
+        match c {
+            b'A'..=b'Z' => Ok((c - b'A') as u32),
+            b'a'..=b'z' => Ok((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Ok((c - b'0' + 52) as u32),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            other => Err(format!("invalid base64 byte 0x{other:02x}")),
+        }
+    }
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err("base64 length is not a multiple of 4".to_owned());
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pads = quad.iter().rev().take_while(|&&c| c == b'=').count();
+        if pads > 2 || (pads > 0 && !last) {
+            return Err("misplaced base64 padding".to_owned());
+        }
+        let mut n = 0u32;
+        for &c in &quad[..4 - pads] {
+            n = (n << 6) | value(c)?;
+        }
+        n <<= 6 * pads as u32;
+        let b = n.to_be_bytes();
+        out.push(b[1]);
+        if pads < 2 {
+            out.push(b[2]);
+        }
+        if pads < 1 {
+            out.push(b[3]);
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Follower side
+// ---------------------------------------------------------------------
+
+/// One replicated tenant on a follower: the on-disk replica plus a query
+/// pool serving its latest applied snapshot.
+pub struct ReplicaTenant {
+    name: String,
+    replica: Mutex<Replica>,
+    service: QueryService,
+    windows_applied: AtomicU64,
+    bytes_applied: AtomicU64,
+}
+
+fn lock_replica(m: &Mutex<Replica>) -> MutexGuard<'_, Replica> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ReplicaTenant {
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The read-only query pool serving replicated snapshots.
+    pub fn service(&self) -> &QueryService {
+        &self.service
+    }
+
+    /// The replica's current `(epoch, offset)` position.
+    pub fn position(&self) -> Position {
+        lock_replica(&self.replica).position()
+    }
+
+    /// Counters and state for `stats`.
+    pub fn stats_json(&self) -> Json {
+        let (pos, records) = {
+            let replica = lock_replica(&self.replica);
+            (replica.position(), replica.records_applied())
+        };
+        Json::obj(vec![
+            ("name", Json::str(&self.name)),
+            ("epoch", Json::num(pos.epoch as f64)),
+            ("offset", Json::num(pos.offset as f64)),
+            ("records_applied", Json::num(records as f64)),
+            (
+                "windows_applied",
+                Json::num(self.windows_applied.load(Relaxed) as f64),
+            ),
+            (
+                "bytes_applied",
+                Json::num(self.bytes_applied.load(Relaxed) as f64),
+            ),
+        ])
+    }
+}
+
+/// Everything a follower server tracks beyond its (idle, pre-promotion)
+/// registry: the replicas, the primary's liveness, and the promotion
+/// latch.
+pub struct FollowerState {
+    /// Address of the primary this follower trails (for stats only; the
+    /// primary dials us, not the reverse).
+    primary: String,
+    root: PathBuf,
+    policy: FsyncPolicy,
+    quotas: TenantQuotas,
+    workers: usize,
+    replicas: Mutex<BTreeMap<String, Arc<ReplicaTenant>>>,
+    /// When the primary last spoke (any `rep_*` op).
+    last_contact: Mutex<Option<Instant>>,
+    /// Set by `promote`; never cleared. Checked under each replica's
+    /// mutex by the apply path, so after the promotion barrier no window
+    /// can land.
+    promoted: AtomicBool,
+}
+
+impl FollowerState {
+    /// A follower trailing `primary`, persisting under `root`.
+    pub fn new(
+        primary: String,
+        root: PathBuf,
+        policy: FsyncPolicy,
+        quotas: TenantQuotas,
+        workers: usize,
+    ) -> FollowerState {
+        FollowerState {
+            primary,
+            root,
+            policy,
+            quotas,
+            workers,
+            replicas: Mutex::new(BTreeMap::new()),
+            last_contact: Mutex::new(None),
+            promoted: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether this server still serves as a follower (false once
+    /// promoted).
+    pub fn is_follower(&self) -> bool {
+        !self.promoted.load(SeqCst)
+    }
+
+    /// The primary address this follower trails (for error messages and
+    /// stats).
+    pub fn primary(&self) -> &str {
+        &self.primary
+    }
+
+    /// Marks the primary as alive right now.
+    pub fn touch(&self) {
+        *self
+            .last_contact
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(Instant::now());
+    }
+
+    /// Milliseconds since the primary last spoke; `None` if it never has.
+    pub fn staleness_ms(&self) -> Option<u64> {
+        self.last_contact
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map(|t| t.elapsed().as_millis() as u64)
+    }
+
+    /// The replica for `name`, opening (and recovering) it on first use.
+    /// Refused after promotion — the registry owns the directories then.
+    pub fn open_replica(&self, name: &str) -> Result<Arc<ReplicaTenant>, TenantError> {
+        validate_tenant_name(name)?;
+        let mut replicas = self.replicas.lock().unwrap_or_else(PoisonError::into_inner);
+        if !self.is_follower() {
+            return Err(TenantError::promoted());
+        }
+        if let Some(r) = replicas.get(name) {
+            return Ok(Arc::clone(r));
+        }
+        let dir = self.root.join("tenants").join(name);
+        let replica = Replica::open(&dir, self.policy).map_err(|e| TenantError {
+            kind: "internal",
+            message: format!("cannot open replica `{name}`: {e}"),
+        })?;
+        let service = QueryService::with_config(
+            replica.session().snapshot(),
+            ServiceConfig {
+                workers: self.workers,
+                queue_cap: self.quotas.queue_cap,
+                max_facts: self.quotas.query_max_facts,
+                max_overlay_depth: self.quotas.max_overlay_depth,
+                ..ServiceConfig::default()
+            },
+        );
+        let tenant = Arc::new(ReplicaTenant {
+            name: name.to_owned(),
+            replica: Mutex::new(replica),
+            service,
+            windows_applied: AtomicU64::new(0),
+            bytes_applied: AtomicU64::new(0),
+        });
+        replicas.insert(name.to_owned(), Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// Lands one shipped window on `name`'s replica and republishes its
+    /// snapshot. Returns the replica's new position for the ack.
+    ///
+    /// A position mismatch is reported as a `rep-position` reply carrying
+    /// the actual position, so the primary reseeds instead of guessing.
+    /// Any other apply failure drops the replica binding — reopening runs
+    /// recovery, which reconciles a log that got ahead of memory.
+    pub fn apply_window(&self, name: &str, epoch: u64, offset: u64, bytes: &[u8]) -> Reply {
+        let tenant = match self.open_replica(name) {
+            Ok(t) => t,
+            Err(e) => return Reply::err(e.kind, e.message),
+        };
+        let mut replica = lock_replica(&tenant.replica);
+        if !self.is_follower() {
+            return Reply::err("protocol", "follower has been promoted");
+        }
+        let at = replica.position();
+        if epoch != at.epoch || offset != at.offset {
+            return position_mismatch(at);
+        }
+        match replica.apply_window(epoch, offset, bytes) {
+            Ok(_records) => {
+                let pos = replica.position();
+                tenant.service.publish(replica.session().snapshot());
+                drop(replica);
+                tenant.windows_applied.fetch_add(1, Relaxed);
+                tenant.bytes_applied.fetch_add(bytes.len() as u64, Relaxed);
+                ack_reply("rep_window", pos)
+            }
+            Err(e) => {
+                drop(replica);
+                self.evict(name);
+                Reply::err("internal", format!("window apply failed: {e}"))
+            }
+        }
+    }
+
+    /// Installs a shipped checkpoint image on `name`'s replica; returns
+    /// the new position (top of the image's epoch) for the ack.
+    pub fn install_checkpoint(&self, name: &str, epoch: u64, image: &[u8]) -> Reply {
+        let tenant = match self.open_replica(name) {
+            Ok(t) => t,
+            Err(e) => return Reply::err(e.kind, e.message),
+        };
+        let mut replica = lock_replica(&tenant.replica);
+        if !self.is_follower() {
+            return Reply::err("protocol", "follower has been promoted");
+        }
+        match replica.install_checkpoint(epoch, image) {
+            Ok(()) => {
+                let pos = replica.position();
+                tenant.service.publish(replica.session().snapshot());
+                drop(replica);
+                ack_reply("rep_checkpoint", pos)
+            }
+            Err(e) => {
+                drop(replica);
+                self.evict(name);
+                Reply::err("internal", format!("checkpoint install failed: {e}"))
+            }
+        }
+    }
+
+    /// Answers a primary's `rep_position` negotiation for `name`.
+    pub fn rep_position(&self, name: &str) -> Reply {
+        match self.open_replica(name) {
+            Ok(t) => ack_reply("rep_position", t.position()),
+            Err(e) => Reply::err(e.kind, e.message),
+        }
+    }
+
+    /// Drops a replica binding so the next `rep_*` op reopens (and
+    /// re-recovers) it from disk.
+    fn evict(&self, name: &str) {
+        self.replicas
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(name);
+    }
+
+    /// Promotes this follower: latch the flag, then take every replica's
+    /// mutex once (the barrier — in-flight applies finish, later ones see
+    /// the flag), then drop the replicas so the registry can reopen the
+    /// directories as writable tenants. Returns the promoted tenant
+    /// names. Idempotent: a second promote returns the (now empty) list.
+    pub fn promote(&self) -> Vec<String> {
+        self.promoted.store(true, SeqCst);
+        let drained: Vec<(String, Arc<ReplicaTenant>)> = {
+            let mut replicas = self.replicas.lock().unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *replicas).into_iter().collect()
+        };
+        let mut names = Vec::new();
+        for (name, tenant) in drained {
+            // The barrier: once this lock is held, no apply is mid-write
+            // against the directory, and every later apply attempt sees
+            // the promoted flag before touching disk.
+            drop(lock_replica(&tenant.replica));
+            names.push(name);
+        }
+        names
+    }
+
+    /// The follower's `stats` section.
+    pub fn stats_json(&self) -> Json {
+        let replicas = self.replicas.lock().unwrap_or_else(PoisonError::into_inner);
+        let tenants: Vec<Json> = replicas.values().map(|r| r.stats_json()).collect();
+        Json::obj(vec![
+            (
+                "role",
+                Json::str(if self.is_follower() {
+                    "follower"
+                } else {
+                    "promoted"
+                }),
+            ),
+            ("primary", Json::str(&self.primary)),
+            (
+                "last_contact_ms",
+                match self.staleness_ms() {
+                    Some(ms) => Json::num(ms as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("tenants", Json::Arr(tenants)),
+        ])
+    }
+}
+
+impl TenantError {
+    fn promoted() -> TenantError {
+        TenantError {
+            kind: "protocol",
+            message: "follower has been promoted; reconnect and open normally".to_owned(),
+        }
+    }
+}
+
+/// A `rep-position` error reply carrying the replica's actual position.
+fn position_mismatch(at: Position) -> Reply {
+    Reply::err(
+        "rep-position",
+        "window does not start at the replica position",
+    )
+    .with("epoch", Json::num(at.epoch as f64))
+    .with("offset", Json::num(at.offset as f64))
+}
+
+/// An ack carrying the replica's post-apply position.
+fn ack_reply(op: &str, pos: Position) -> Reply {
+    Reply::ok(op)
+        .with("epoch", Json::num(pos.epoch as f64))
+        .with("offset", Json::num(pos.offset as f64))
+}
+
+// ---------------------------------------------------------------------
+// Primary side
+// ---------------------------------------------------------------------
+
+/// Shared counters for one shipper target, read by `stats`.
+pub struct ShipperStats {
+    /// The follower address as configured.
+    pub addr: String,
+    /// Whether the shipper currently holds a live connection.
+    pub connected: AtomicBool,
+    /// Windows acked by the follower.
+    pub windows_shipped: AtomicU64,
+    /// WAL bytes acked by the follower (pre-base64).
+    pub bytes_shipped: AtomicU64,
+    /// Checkpoint images acked by the follower.
+    pub checkpoints_shipped: AtomicU64,
+    /// Milliseconds since the last ack (any op), for lag monitoring.
+    last_ack: Mutex<Option<Instant>>,
+}
+
+impl ShipperStats {
+    fn new(addr: String) -> ShipperStats {
+        ShipperStats {
+            addr,
+            connected: AtomicBool::new(false),
+            windows_shipped: AtomicU64::new(0),
+            bytes_shipped: AtomicU64::new(0),
+            checkpoints_shipped: AtomicU64::new(0),
+            last_ack: Mutex::new(None),
+        }
+    }
+
+    fn acked(&self) {
+        *self.last_ack.lock().unwrap_or_else(PoisonError::into_inner) = Some(Instant::now());
+    }
+
+    /// This target's `stats` object.
+    pub fn to_json(&self) -> Json {
+        let last_ack = self
+            .last_ack
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map(|t| t.elapsed().as_millis() as u64);
+        Json::obj(vec![
+            ("addr", Json::str(&self.addr)),
+            ("connected", Json::Bool(self.connected.load(Relaxed))),
+            (
+                "windows_shipped",
+                Json::num(self.windows_shipped.load(Relaxed) as f64),
+            ),
+            (
+                "bytes_shipped",
+                Json::num(self.bytes_shipped.load(Relaxed) as f64),
+            ),
+            (
+                "checkpoints_shipped",
+                Json::num(self.checkpoints_shipped.load(Relaxed) as f64),
+            ),
+            (
+                "last_ack_ms",
+                match last_ack {
+                    Some(ms) => Json::num(ms as f64),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// One shipper: the primary-side replication loop for one follower
+/// address. Runs on its own thread until the server drains.
+pub struct Shipper {
+    registry: Arc<Registry>,
+    stats: Arc<ShipperStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Shipper {
+    /// Spawns the shipper thread for `addr`; returns its stats handle and
+    /// join handle.
+    pub fn spawn(
+        registry: Arc<Registry>,
+        addr: String,
+        shutdown: Arc<AtomicBool>,
+    ) -> (Arc<ShipperStats>, std::thread::JoinHandle<()>) {
+        let stats = Arc::new(ShipperStats::new(addr.clone()));
+        let shipper = Shipper {
+            registry,
+            stats: Arc::clone(&stats),
+            shutdown,
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("hdl-ship-{addr}"))
+            .spawn(move || shipper.run())
+            .expect("spawn shipper thread");
+        (stats, handle)
+    }
+
+    fn done(&self) -> bool {
+        self.shutdown.load(SeqCst)
+    }
+
+    /// Connect → ship until the link drops → back off → reconnect. The
+    /// backoff doubles from [`BACKOFF_FLOOR`] to [`BACKOFF_CAP`] and
+    /// resets on every successful connection.
+    fn run(&self) {
+        let mut backoff = BACKOFF_FLOOR;
+        while !self.done() {
+            if let Ok(stream) = TcpStream::connect(&self.stats.addr) {
+                let _ = stream.set_nodelay(true);
+                self.stats.connected.store(true, Relaxed);
+                backoff = BACKOFF_FLOOR;
+                let _ = self.ship_session(stream);
+                self.stats.connected.store(false, Relaxed);
+            }
+            self.sleep(backoff);
+            backoff = (backoff * 2).min(BACKOFF_CAP);
+        }
+    }
+
+    /// Sleeps in small slices so a drain is observed promptly.
+    fn sleep(&self, total: Duration) {
+        let mut left = total;
+        while !self.done() && !left.is_zero() {
+            let step = left.min(Duration::from_millis(25));
+            std::thread::sleep(step);
+            left -= step;
+        }
+    }
+
+    /// One connection's lifetime: negotiate positions lazily per tenant,
+    /// stream windows/checkpoints, heartbeat when idle. Any I/O or
+    /// protocol error returns, dropping the connection; `run` reconnects
+    /// and renegotiates from scratch (positions are per-connection
+    /// state — the follower's disk is the durable truth).
+    fn ship_session(&self, stream: TcpStream) -> std::io::Result<()> {
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let mut positions: BTreeMap<String, Position> = BTreeMap::new();
+        let mut last_send = Instant::now();
+        loop {
+            if self.done() {
+                return Ok(());
+            }
+            let mut progressed = false;
+            for tenant in self.registry.tenants() {
+                if self.done() {
+                    return Ok(());
+                }
+                let Some(tap) = tenant.wal_tap() else {
+                    continue;
+                };
+                let name = tenant.name().to_owned();
+                let pos = match positions.get(&name) {
+                    Some(p) => *p,
+                    None => {
+                        let p = self.negotiate(&mut reader, &mut writer, &name)?;
+                        last_send = Instant::now();
+                        positions.insert(name.clone(), p);
+                        p
+                    }
+                };
+                let plan = match tap.plan_ship(pos, MAX_WINDOW_BYTES) {
+                    Ok(plan) => plan,
+                    Err(_) => {
+                        // A rotation raced the read; renegotiate next
+                        // round against the new epoch.
+                        positions.remove(&name);
+                        continue;
+                    }
+                };
+                match plan {
+                    Ship::Window { bytes, .. } if bytes.is_empty() => {}
+                    Ship::Window {
+                        epoch,
+                        offset,
+                        bytes,
+                    } => {
+                        hdl_base::failpoint_fire!("replicate::ship");
+                        hdl_persist::crashpoint::crash_point("replicate::ship");
+                        let line = Json::obj(vec![
+                            ("op", Json::str("rep_window")),
+                            ("tenant", Json::str(&name)),
+                            ("epoch", Json::num(epoch as f64)),
+                            ("offset", Json::num(offset as f64)),
+                            ("data", Json::str(b64_encode(&bytes))),
+                        ])
+                        .to_string();
+                        let acked =
+                            self.exchange(&mut reader, &mut writer, &line, &name, &mut positions)?;
+                        last_send = Instant::now();
+                        if acked {
+                            self.stats.windows_shipped.fetch_add(1, Relaxed);
+                            self.stats
+                                .bytes_shipped
+                                .fetch_add(bytes.len() as u64, Relaxed);
+                            progressed = true;
+                        }
+                    }
+                    Ship::Checkpoint { epoch, image } => {
+                        let line = Json::obj(vec![
+                            ("op", Json::str("rep_checkpoint")),
+                            ("tenant", Json::str(&name)),
+                            ("epoch", Json::num(epoch as f64)),
+                            ("data", Json::str(b64_encode(&image))),
+                        ])
+                        .to_string();
+                        let acked =
+                            self.exchange(&mut reader, &mut writer, &line, &name, &mut positions)?;
+                        last_send = Instant::now();
+                        if acked {
+                            self.stats.checkpoints_shipped.fetch_add(1, Relaxed);
+                            progressed = true;
+                        }
+                    }
+                    Ship::Diverged { .. } => {
+                        // The follower's log is not a prefix of ours;
+                        // nothing safe can be shipped. A primary-side
+                        // checkpoint converts this into an image
+                        // transfer — leave the position cached so the
+                        // plan flips to Checkpoint once that happens.
+                    }
+                }
+            }
+            if !progressed {
+                if last_send.elapsed() >= HEARTBEAT_EVERY {
+                    self.heartbeat(&mut reader, &mut writer)?;
+                    last_send = Instant::now();
+                }
+                self.sleep(Duration::from_millis(25));
+            }
+        }
+    }
+
+    /// Asks the follower where shipping should resume for `tenant`.
+    fn negotiate(
+        &self,
+        reader: &mut BufReader<TcpStream>,
+        writer: &mut TcpStream,
+        tenant: &str,
+    ) -> std::io::Result<Position> {
+        let line = Json::obj(vec![
+            ("op", Json::str("rep_position")),
+            ("tenant", Json::str(tenant)),
+        ])
+        .to_string();
+        let reply = round_trip(reader, writer, &line)?;
+        self.stats.acked();
+        reply_position(&reply)
+            .ok_or_else(|| protocol_err(format!("rep_position reply carried no position: {reply}")))
+    }
+
+    /// Sends one shipment line and lands the ack. Returns `true` when the
+    /// follower acked (position advanced), `false` when it answered with
+    /// a `rep-position` reseed (cached position updated; retry next
+    /// round). Anything else is a connection-fatal protocol error.
+    fn exchange(
+        &self,
+        reader: &mut BufReader<TcpStream>,
+        writer: &mut TcpStream,
+        line: &str,
+        tenant: &str,
+        positions: &mut BTreeMap<String, Position>,
+    ) -> std::io::Result<bool> {
+        let reply = round_trip(reader, writer, line)?;
+        let ok = reply.get("ok").and_then(Json::as_bool) == Some(true);
+        if ok {
+            self.stats.acked();
+            match reply_position(&reply) {
+                Some(p) => {
+                    positions.insert(tenant.to_owned(), p);
+                    Ok(true)
+                }
+                None => Err(protocol_err(format!("ack carried no position: {reply}"))),
+            }
+        } else if reply.get("kind").and_then(Json::as_str) == Some("rep-position") {
+            match reply_position(&reply) {
+                Some(p) => {
+                    positions.insert(tenant.to_owned(), p);
+                    Ok(false)
+                }
+                None => Err(protocol_err(format!("reseed carried no position: {reply}"))),
+            }
+        } else {
+            // `internal` (apply failure) and everything else: drop the
+            // connection; reconnect renegotiates against the recovered
+            // replica.
+            Err(protocol_err(format!("follower refused shipment: {reply}")))
+        }
+    }
+
+    /// One idle-link liveness probe.
+    fn heartbeat(
+        &self,
+        reader: &mut BufReader<TcpStream>,
+        writer: &mut TcpStream,
+    ) -> std::io::Result<()> {
+        let reply = round_trip(reader, writer, "{\"op\":\"rep_heartbeat\"}")?;
+        if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+            self.stats.acked();
+            Ok(())
+        } else {
+            Err(protocol_err(format!("heartbeat refused: {reply}")))
+        }
+    }
+}
+
+fn round_trip(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    line: &str,
+) -> std::io::Result<Json> {
+    writeln!(writer, "{line}")?;
+    writer.flush()?;
+    let mut reply = String::new();
+    if reader.read_line(&mut reply)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "follower closed the connection",
+        ));
+    }
+    Json::parse(reply.trim()).map_err(protocol_err)
+}
+
+fn reply_position(reply: &Json) -> Option<Position> {
+    Some(Position {
+        epoch: reply.get("epoch").and_then(Json::as_u64)?,
+        offset: reply.get("offset").and_then(Json::as_u64)?,
+    })
+}
+
+fn protocol_err(message: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_round_trips() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"f",
+            b"fo",
+            b"foo",
+            b"foob",
+            b"fooba",
+            b"foobar",
+            &[0, 1, 2, 253, 254, 255],
+        ];
+        for &case in cases {
+            let encoded = b64_encode(case);
+            assert_eq!(b64_decode(&encoded).unwrap(), case, "{encoded}");
+        }
+        // Spot-check against the RFC 4648 vectors.
+        assert_eq!(b64_encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(b64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(b64_encode(b"fooba"), "Zm9vYmE=");
+    }
+
+    #[test]
+    fn base64_rejects_malformed_input() {
+        assert!(b64_decode("abc").is_err(), "bad length");
+        assert!(b64_decode("ab=c").is_err(), "padding inside a quad");
+        assert!(b64_decode("a===").is_err(), "over-padded");
+        assert!(b64_decode("ab cd").is_err(), "whitespace");
+        assert!(b64_decode("abc\u{e9}").is_err(), "non-ascii");
+        assert_eq!(b64_decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn every_byte_pattern_round_trips() {
+        let mut bytes = Vec::new();
+        for i in 0..=255u8 {
+            bytes.push(i);
+            let encoded = b64_encode(&bytes);
+            assert_eq!(b64_decode(&encoded).unwrap(), bytes);
+        }
+    }
+}

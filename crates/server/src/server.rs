@@ -19,6 +19,7 @@
 
 use crate::json::Json;
 use crate::protocol::{outcome_reply, Reply, Request, PROTOCOL_VERSION};
+use crate::replication::{b64_decode, FollowerState, ReplicaTenant, Shipper, ShipperStats};
 use crate::tenant::{BatchOp, BatchReply, Registry, RegistryConfig, Tenant, TenantQuotas};
 use hdl_core::session::EngineKind;
 use hdl_persist::{FsyncPolicy, GroupCommitter};
@@ -56,6 +57,13 @@ pub struct ServerConfig {
     pub default_engine: EngineKind,
     /// Deadline applied when a request names none.
     pub default_deadline: Option<Duration>,
+    /// Follower addresses to ship WAL windows to (primary role); one
+    /// shipper thread per address.
+    pub replicate_to: Vec<String>,
+    /// Primary address this server trails (follower role): serve
+    /// read-only replicas, refuse mutations, accept `rep_*` ops.
+    /// Requires `persist_root`; mutually exclusive with `replicate_to`.
+    pub follow: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -70,16 +78,19 @@ impl Default for ServerConfig {
             quotas: TenantQuotas::default(),
             default_engine: EngineKind::default(),
             default_deadline: None,
+            replicate_to: Vec::new(),
+            follow: None,
         }
     }
 }
 
 struct Inner {
     config: ServerConfig,
-    registry: Registry,
+    registry: Arc<Registry>,
     committer: Option<Arc<GroupCommitter>>,
     addr: SocketAddr,
-    shutdown: AtomicBool,
+    /// Shared with the shipper threads, which poll it to exit on drain.
+    shutdown: Arc<AtomicBool>,
     live: AtomicU64,
     accepted: AtomicU64,
     refused: AtomicU64,
@@ -87,6 +98,12 @@ struct Inner {
     /// connection id.
     conns: Mutex<HashMap<u64, TcpStream>>,
     handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// Follower role state; `Some` exactly when `config.follow` is set
+    /// (promotion flips its flag, not this option).
+    follower: Option<Arc<FollowerState>>,
+    /// One stats handle per `replicate_to` target.
+    shipper_stats: Vec<Arc<ShipperStats>>,
+    shippers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// A running server; dropping it without [`drain`](Server::drain) leaves
@@ -101,29 +118,64 @@ impl Server {
     /// listener is live (the actual address — ephemeral ports resolved —
     /// is [`addr`](Server::addr)).
     pub fn start(config: ServerConfig) -> io::Result<Server> {
+        if config.follow.is_some() {
+            if config.persist_root.is_none() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "--follow requires a persist root (the replica directories live there)",
+                ));
+            }
+            if !config.replicate_to.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "--follow and --replicate-to are mutually exclusive (no chained replication)",
+                ));
+            }
+        }
         let listener = TcpListener::bind(&config.listen)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let committer =
             (config.group_commit && config.persist_root.is_some()).then(GroupCommitter::new);
-        let registry = Registry::new(RegistryConfig {
+        let registry = Arc::new(Registry::new(RegistryConfig {
             root: config.persist_root.clone(),
             policy: config.fsync,
             committer: committer.clone(),
             workers: config.workers_per_tenant,
             quotas: config.quotas.clone(),
+        }));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let follower = config.follow.clone().map(|primary| {
+            Arc::new(FollowerState::new(
+                primary,
+                config.persist_root.clone().expect("validated above"),
+                config.fsync,
+                config.quotas.clone(),
+                config.workers_per_tenant,
+            ))
         });
+        let mut shipper_stats = Vec::new();
+        let mut shippers = Vec::new();
+        for target in &config.replicate_to {
+            let (stats, handle) =
+                Shipper::spawn(Arc::clone(&registry), target.clone(), Arc::clone(&shutdown));
+            shipper_stats.push(stats);
+            shippers.push(handle);
+        }
         let inner = Arc::new(Inner {
             config,
             registry,
             committer,
             addr,
-            shutdown: AtomicBool::new(false),
+            shutdown,
             live: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             refused: AtomicU64::new(0),
             conns: Mutex::new(HashMap::new()),
             handlers: Mutex::new(Vec::new()),
+            follower,
+            shipper_stats,
+            shippers: Mutex::new(shippers),
         });
         let accept = {
             let inner = Arc::clone(&inner);
@@ -192,6 +244,16 @@ impl Server {
             .drain(..)
             .collect();
         for h in handlers {
+            let _ = h.join();
+        }
+        let shippers: Vec<_> = self
+            .inner
+            .shippers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for h in shippers {
             let _ = h.join();
         }
         for (name, result) in self.inner.registry.checkpoint_all() {
@@ -274,13 +336,14 @@ fn refuse(mut stream: TcpStream) {
 
 /// Builds the service request for a query/answers op: explicit options
 /// win, server defaults fill the gaps, and the tenant's per-query fact
-/// quota is a ceiling a request may lower but never raise.
+/// quota (`quota_max_facts`) is a ceiling a request may lower but never
+/// raise.
 fn build_request(
     kind_is_rows: bool,
     text: &str,
     opts: &crate::protocol::QueryOpts,
     config: &ServerConfig,
-    tenant: &Tenant,
+    quota_max_facts: Option<u64>,
 ) -> QueryRequest {
     let mut req = if kind_is_rows {
         QueryRequest::answers(text)
@@ -291,7 +354,7 @@ fn build_request(
     if let Some(d) = opts.deadline.or(config.default_deadline) {
         req = req.with_deadline(d);
     }
-    match (opts.max_facts, tenant.quotas().query_max_facts) {
+    match (opts.max_facts, quota_max_facts) {
         (Some(r), Some(q)) => req = req.with_max_facts(r.min(q)),
         (Some(r), None) => req = req.with_max_facts(r),
         // No per-request value: the tenant quota already sits in the
@@ -313,11 +376,22 @@ const PIPELINE_WINDOW: usize = 256;
 /// nonblocking read). That distinction is what turns a pipelining client
 /// into deep mutation windows: the handler blocks for the first request
 /// of a pass, then sweeps in every request already queued behind it.
+/// Hard ceiling on one request line. Replication checkpoint transfers
+/// are the biggest legitimate lines (base64 of a whole tenant image);
+/// everything else is orders of magnitude smaller. Beyond this, the
+/// line is not a request — it is a memory exhaustion attempt — and the
+/// connection gets a structured `protocol` error and the boot.
+pub(crate) const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
+
 struct LineReader {
     stream: TcpStream,
     buf: Vec<u8>,
     /// Consumed prefix of `buf`.
     start: usize,
+    /// Bytes already scanned for a newline (absolute index into `buf`).
+    /// Keeps a newline-free stream linear: without it, every 16 KiB
+    /// fill would rescan the whole pending line from the top.
+    scanned: usize,
 }
 
 impl LineReader {
@@ -326,6 +400,7 @@ impl LineReader {
             stream,
             buf: Vec::new(),
             start: 0,
+            scanned: 0,
         }
     }
 
@@ -353,13 +428,19 @@ impl LineReader {
     }
 
     fn take_buffered_line(&mut self) -> Option<String> {
-        let rest = &self.buf[self.start..];
-        let nl = rest.iter().position(|&b| b == b'\n')?;
-        let line = String::from_utf8_lossy(&rest[..nl]).into_owned();
-        self.start += nl + 1;
+        let from = self.scanned.max(self.start);
+        let Some(off) = self.buf[from..].iter().position(|&b| b == b'\n') else {
+            self.scanned = self.buf.len();
+            return None;
+        };
+        let nl = from + off;
+        let line = String::from_utf8_lossy(&self.buf[self.start..nl]).into_owned();
+        self.start = nl + 1;
+        self.scanned = self.start;
         if self.start == self.buf.len() {
             self.buf.clear();
             self.start = 0;
+            self.scanned = 0;
         }
         Some(line)
     }
@@ -373,6 +454,16 @@ impl LineReader {
         if self.start > 0 && self.start == self.buf.len() {
             self.buf.clear();
             self.start = 0;
+            self.scanned = 0;
+        }
+        // `fill` only runs when the pending bytes hold no complete line
+        // (both callers drain complete lines first), so the pending
+        // region is one partial line and this bound is exact.
+        if self.buf.len() - self.start > MAX_LINE_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            ));
         }
         let mut chunk = [0u8; 16 * 1024];
         if !blocking {
@@ -437,38 +528,115 @@ fn mutation_reply(
 fn handle_one(
     inner: &Arc<Inner>,
     tenant: &mut Option<Arc<Tenant>>,
+    replica: &mut Option<Arc<ReplicaTenant>>,
     request: &Request,
 ) -> (Reply, bool) {
+    // A promotion mid-connection leaves stale replica bindings: rebind
+    // through the registry, which owns the directories now.
+    if replica.is_some() && inner.follower.as_ref().is_some_and(|f| !f.is_follower()) {
+        let name = replica.take().expect("checked above").name().to_owned();
+        if let Ok(t) = inner.registry.open(&name) {
+            *tenant = Some(t);
+        }
+    }
+    // The follower role, while it lasts, refuses every mutation with a
+    // structured `read_only` error pointing at the primary.
+    let follower = inner.follower.as_ref().filter(|f| f.is_follower());
+    if let Some(f) = follower {
+        let is_mutation = mutation_op(request).is_some() || matches!(request, Request::Checkpoint);
+        if is_mutation {
+            return (
+                Reply::err(
+                    "read_only",
+                    format!(
+                        "this server is a read-only follower of {}; send mutations there",
+                        f.primary()
+                    ),
+                ),
+                false,
+            );
+        }
+    }
     let mut close = false;
     let reply = match request {
         Request::Hello => Reply::ok("hello")
             .with("server", Json::str("hdl"))
             .with("protocol", Json::num(PROTOCOL_VERSION as f64))
-            .with("group_commit", Json::Bool(inner.committer.is_some())),
-        Request::Open { tenant: name } => match inner.registry.open(name) {
-            Ok(t) => {
-                let reply = Reply::ok("open")
-                    .with("tenant", Json::str(t.name()))
-                    .with("durable", Json::Bool(t.is_durable()))
-                    .with("epoch", Json::num(t.epoch() as f64));
-                *tenant = Some(t);
-                reply
-            }
-            Err(e) => Reply::err(e.kind, e.message),
+            .with("group_commit", Json::Bool(inner.committer.is_some()))
+            .with(
+                "role",
+                Json::str(if follower.is_some() {
+                    "follower"
+                } else {
+                    "primary"
+                }),
+            ),
+        Request::Open { tenant: name } => match follower {
+            Some(f) => match f.open_replica(name) {
+                Ok(r) => {
+                    let pos = r.position();
+                    let reply = Reply::ok("open")
+                        .with("tenant", Json::str(r.name()))
+                        .with("read_only", Json::Bool(true))
+                        .with("epoch", Json::num(pos.epoch as f64));
+                    *replica = Some(r);
+                    *tenant = None;
+                    reply
+                }
+                Err(e) => Reply::err(e.kind, e.message),
+            },
+            None => match inner.registry.open(name) {
+                Ok(t) => {
+                    let reply = Reply::ok("open")
+                        .with("tenant", Json::str(t.name()))
+                        .with("durable", Json::Bool(t.is_durable()))
+                        .with("epoch", Json::num(t.epoch() as f64));
+                    *tenant = Some(t);
+                    *replica = None;
+                    reply
+                }
+                Err(e) => Reply::err(e.kind, e.message),
+            },
         },
-        Request::Query { q, opts } => match &tenant {
-            None => no_tenant(),
-            Some(t) => {
-                let req = build_request(false, q, opts, &inner.config, t);
+        Request::Query { q, opts } => match (&tenant, &replica) {
+            (Some(t), _) => {
+                let req = build_request(false, q, opts, &inner.config, t.quotas().query_max_facts);
                 outcome_reply("query", &t.query(req))
             }
+            (None, Some(r)) => {
+                let req = build_request(
+                    false,
+                    q,
+                    opts,
+                    &inner.config,
+                    inner.config.quotas.query_max_facts,
+                );
+                outcome_reply("query", &r.service().submit(req).wait())
+            }
+            (None, None) => no_tenant(),
         },
-        Request::Answers { pattern, opts } => match &tenant {
-            None => no_tenant(),
-            Some(t) => {
-                let req = build_request(true, pattern, opts, &inner.config, t);
+        Request::Answers { pattern, opts } => match (&tenant, &replica) {
+            (Some(t), _) => {
+                let req = build_request(
+                    true,
+                    pattern,
+                    opts,
+                    &inner.config,
+                    t.quotas().query_max_facts,
+                );
                 outcome_reply("answers", &t.query(req))
             }
+            (None, Some(r)) => {
+                let req = build_request(
+                    true,
+                    pattern,
+                    opts,
+                    &inner.config,
+                    inner.config.quotas.query_max_facts,
+                );
+                outcome_reply("answers", &r.service().submit(req).wait())
+            }
+            (None, None) => no_tenant(),
         },
         Request::Load { .. } | Request::Assume { .. } | Request::Pop | Request::Retract { .. } => {
             match &tenant {
@@ -486,7 +654,7 @@ fn handle_one(
             t.checkpoint()
                 .map(|epoch| Reply::ok("checkpoint").with("epoch", Json::num(epoch as f64)))
         }),
-        Request::Stats => stats_reply(inner, tenant.as_deref()),
+        Request::Stats => stats_reply(inner, tenant.as_deref(), replica.as_deref()),
         Request::Close => {
             close = true;
             Reply::ok("close")
@@ -496,6 +664,67 @@ fn handle_one(
             inner.shutdown.store(true, SeqCst);
             Reply::ok("shutdown").with("draining", Json::Bool(true))
         }
+        Request::RepPosition { tenant: name } => match follower {
+            None => not_follower(),
+            Some(f) => {
+                f.touch();
+                f.rep_position(name)
+            }
+        },
+        Request::RepWindow {
+            tenant: name,
+            epoch,
+            offset,
+            data,
+        } => match follower {
+            None => not_follower(),
+            Some(f) => {
+                f.touch();
+                match b64_decode(data) {
+                    Err(e) => Reply::err("parse", format!("bad base64 in rep_window: {e}")),
+                    Ok(bytes) => {
+                        let reply = f.apply_window(name, *epoch, *offset, &bytes);
+                        // Crash window: the bytes are applied and
+                        // fsynced, but the ack never leaves — the
+                        // primary re-negotiates and sees them acked
+                        // implicitly in the resumed position.
+                        hdl_base::failpoint_fire!("replicate::ack");
+                        hdl_persist::crashpoint::crash_point("replicate::ack");
+                        reply
+                    }
+                }
+            }
+        },
+        Request::RepCheckpoint {
+            tenant: name,
+            epoch,
+            data,
+        } => match follower {
+            None => not_follower(),
+            Some(f) => {
+                f.touch();
+                match b64_decode(data) {
+                    Err(e) => Reply::err("parse", format!("bad base64 in rep_checkpoint: {e}")),
+                    Ok(image) => f.install_checkpoint(name, *epoch, &image),
+                }
+            }
+        },
+        Request::RepHeartbeat => match follower {
+            None => not_follower(),
+            Some(f) => {
+                f.touch();
+                Reply::ok("rep_heartbeat")
+            }
+        },
+        Request::Promote => match &inner.follower {
+            None => Reply::err("protocol", "this server is not a follower"),
+            Some(f) => {
+                let names = f.promote();
+                Reply::ok("promote")
+                    .with("role", Json::str("primary"))
+                    .with("tenants", Json::Arr(names.iter().map(Json::str).collect()))
+            }
+        },
     };
     (reply, close)
 }
@@ -504,9 +733,24 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> io::Result<()> {
     let mut reader = LineReader::new(stream.try_clone()?);
     let mut out = stream;
     let mut tenant: Option<Arc<Tenant>> = None;
+    let mut replica: Option<Arc<ReplicaTenant>> = None;
     // Block for one request, then sweep in whatever the client has
     // already pipelined behind it (bounded by the window).
-    'conn: while let Ok(Some(first)) = reader.next_line() {
+    'conn: loop {
+        let first = match reader.next_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            // An oversized line is a protocol violation, not an IO fault:
+            // tell the client what happened before hanging up.
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let reply = Reply::err("protocol", e.to_string()).render(None);
+                let _ = out.write_all(reply.as_bytes());
+                let _ = out.write_all(b"\n");
+                let _ = out.flush();
+                break;
+            }
+            Err(_) => break,
+        };
         let mut lines = vec![first];
         while lines.len() < PIPELINE_WINDOW {
             match reader.buffered_line() {
@@ -556,7 +800,7 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> io::Result<()> {
                             replies.push('\n');
                         }
                     } else {
-                        let (reply, c) = handle_one(inner, &mut tenant, request);
+                        let (reply, c) = handle_one(inner, &mut tenant, &mut replica, request);
                         close = c;
                         replies.push_str(&reply.render(*id));
                         replies.push('\n');
@@ -581,6 +825,10 @@ fn no_tenant() -> Reply {
     )
 }
 
+fn not_follower() -> Reply {
+    Reply::err("protocol", "this server is not a follower")
+}
+
 fn with_tenant(
     tenant: &Option<Arc<Tenant>>,
     f: impl FnOnce(&Tenant) -> Result<Reply, crate::tenant::TenantError>,
@@ -599,7 +847,11 @@ fn raw(json: String) -> Json {
     Json::parse(&json).unwrap_or(Json::Null)
 }
 
-fn stats_reply(inner: &Arc<Inner>, tenant: Option<&Tenant>) -> Reply {
+fn stats_reply(
+    inner: &Arc<Inner>,
+    tenant: Option<&Tenant>,
+    replica: Option<&ReplicaTenant>,
+) -> Reply {
     let server = Json::obj(vec![
         ("addr", Json::str(inner.addr.to_string())),
         (
@@ -625,10 +877,26 @@ fn stats_reply(inner: &Arc<Inner>, tenant: Option<&Tenant>) -> Reply {
         ),
     ]);
     let mut reply = Reply::ok("stats").with("server", server);
+    if let Some(f) = &inner.follower {
+        reply = reply.with("replication", f.stats_json());
+    } else if !inner.shipper_stats.is_empty() {
+        let targets: Vec<Json> = inner.shipper_stats.iter().map(|s| s.to_json()).collect();
+        reply = reply.with(
+            "replication",
+            Json::obj(vec![
+                ("role", Json::str("primary")),
+                ("targets", Json::Arr(targets)),
+            ]),
+        );
+    }
     if let Some(t) = tenant {
         reply = reply
             .with("tenant", t.stats_json())
             .with("service", raw(t.service().stats().to_json()));
+    } else if let Some(r) = replica {
+        reply = reply
+            .with("tenant", r.stats_json())
+            .with("service", raw(r.service().stats().to_json()));
     }
     reply
 }
@@ -809,6 +1077,160 @@ mod tests {
         assert_eq!(tail.get("id").and_then(Json::as_u64), Some(101));
         assert!(ok(&tail));
         server.drain();
+    }
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let pid = std::process::id();
+            let n = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .subsec_nanos();
+            let dir = std::env::temp_dir().join(format!("hdl-server-{tag}-{pid}-{n}"));
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Polls `check` for up to ~5s; panics with `what` on timeout.
+    fn wait_for(what: &str, mut check: impl FnMut() -> bool) {
+        for _ in 0..500 {
+            if check() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    /// End-to-end primary → follower: mutations on the primary become
+    /// queryable on the follower, the follower refuses mutations with a
+    /// structured `read_only` error and reports staleness, and promote
+    /// turns it into a writable primary.
+    #[test]
+    fn follower_replicates_serves_read_only_and_promotes() {
+        let p_root = TempDir::new("rep-p");
+        let f_root = TempDir::new("rep-f");
+        let follower = Server::start(ServerConfig {
+            persist_root: Some(f_root.0.clone()),
+            follow: Some("primary.invalid:0".to_owned()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let primary = Server::start(ServerConfig {
+            persist_root: Some(p_root.0.clone()),
+            replicate_to: vec![follower.addr().to_string()],
+            ..ServerConfig::default()
+        })
+        .unwrap();
+
+        let mut p = Client::connect(primary.addr());
+        assert!(ok(&p.send("{\"op\":\"open\",\"tenant\":\"t\"}")));
+        assert!(ok(&p.send(
+            "{\"op\":\"load\",\"program\":\"edge(a, b). edge(b, c). \
+             tc(X, Y) :- edge(X, Y). tc(X, Z) :- edge(X, Y), tc(Y, Z).\"}"
+        )));
+
+        let mut f = Client::connect(follower.addr());
+        let hello = f.send("{\"op\":\"hello\"}");
+        assert_eq!(hello.get("role").and_then(Json::as_str), Some("follower"));
+        let open = f.send("{\"op\":\"open\",\"tenant\":\"t\"}");
+        assert_eq!(open.get("read_only").and_then(Json::as_bool), Some(true));
+        wait_for("replicated answer on the follower", || {
+            f.send("{\"op\":\"query\",\"q\":\"tc(a, c)\"}")
+                .get("result")
+                .and_then(Json::as_str)
+                == Some("true")
+        });
+
+        // Mutations on the follower are refused with `read_only`.
+        let denied = f.send("{\"op\":\"load\",\"program\":\"edge(c, d).\"}");
+        assert_eq!(denied.get("kind").and_then(Json::as_str), Some("read_only"));
+        let denied = f.send("{\"op\":\"checkpoint\"}");
+        assert_eq!(denied.get("kind").and_then(Json::as_str), Some("read_only"));
+
+        // Stats on both sides show the replication link.
+        let stats = f.send("{\"op\":\"stats\"}");
+        let rep = stats.get("replication").expect("follower replication");
+        assert_eq!(rep.get("role").and_then(Json::as_str), Some("follower"));
+        assert!(rep.get("last_contact_ms").and_then(Json::as_u64).is_some());
+        let stats = p.send("{\"op\":\"stats\"}");
+        let rep = stats.get("replication").expect("primary replication");
+        assert_eq!(rep.get("role").and_then(Json::as_str), Some("primary"));
+
+        // A checkpoint rotation on the primary ships an image and the
+        // follower keeps tracking new windows after it.
+        assert!(ok(&p.send("{\"op\":\"checkpoint\"}")));
+        assert!(ok(&p.send("{\"op\":\"load\",\"program\":\"edge(c, d).\"}")));
+        wait_for("post-rotation window on the follower", || {
+            f.send("{\"op\":\"query\",\"q\":\"tc(a, d)\"}")
+                .get("result")
+                .and_then(Json::as_str)
+                == Some("true")
+        });
+
+        // Promote: the follower becomes writable; the same connection's
+        // stale replica binding is rebound transparently.
+        let promoted = f.send("{\"op\":\"promote\"}");
+        assert!(ok(&promoted), "{promoted:?}");
+        assert_eq!(promoted.get("role").and_then(Json::as_str), Some("primary"));
+        assert!(ok(&f.send("{\"op\":\"open\",\"tenant\":\"t\"}")));
+        assert!(ok(&f.send("{\"op\":\"load\",\"program\":\"edge(d, e).\"}")));
+        let q = f.send("{\"op\":\"query\",\"q\":\"tc(a, e)\"}");
+        assert_eq!(q.get("result").and_then(Json::as_str), Some("true"));
+        // A second promote is a no-op, not an error.
+        assert!(ok(&f.send("{\"op\":\"promote\"}")));
+
+        primary.drain();
+        follower.drain();
+    }
+
+    /// Rep ops against a server that is not a follower are structured
+    /// protocol errors, never panics.
+    #[test]
+    fn rep_ops_refused_on_non_followers() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr());
+        for line in [
+            "{\"op\":\"rep_position\",\"tenant\":\"t\"}",
+            "{\"op\":\"rep_window\",\"tenant\":\"t\",\"epoch\":0,\"offset\":16,\"data\":\"\"}",
+            "{\"op\":\"rep_checkpoint\",\"tenant\":\"t\",\"epoch\":1,\"data\":\"\"}",
+            "{\"op\":\"rep_heartbeat\"}",
+            "{\"op\":\"promote\"}",
+        ] {
+            let reply = c.send(line);
+            assert_eq!(
+                reply.get("kind").and_then(Json::as_str),
+                Some("protocol"),
+                "{line}"
+            );
+        }
+        server.drain();
+    }
+
+    #[test]
+    fn follower_config_validation() {
+        assert!(Server::start(ServerConfig {
+            follow: Some("127.0.0.1:1".to_owned()),
+            ..ServerConfig::default()
+        })
+        .is_err());
+        let root = TempDir::new("rep-conflict");
+        assert!(Server::start(ServerConfig {
+            persist_root: Some(root.0.clone()),
+            follow: Some("127.0.0.1:1".to_owned()),
+            replicate_to: vec!["127.0.0.1:2".to_owned()],
+            ..ServerConfig::default()
+        })
+        .is_err());
     }
 
     #[test]

@@ -457,6 +457,12 @@ impl Tenant {
             .map_err(|e| TenantError::new("protocol", e.to_string()))
     }
 
+    /// A handle for reading this tenant's committed WAL bytes, used by
+    /// the replication shipper. `None` for in-memory tenants.
+    pub fn wal_tap(&self) -> Option<hdl_persist::WalTap> {
+        lock_session(&self.session).wal_tap()
+    }
+
     /// Refuses work on a tenant whose log failed (see `poisoned`).
     fn admit(&self) -> Result<(), TenantError> {
         if self.poisoned.load(Relaxed) {

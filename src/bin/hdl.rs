@@ -123,6 +123,14 @@ struct Opts {
     tenant_in_flight: Option<usize>,
     /// `connect`: tenant to open on startup.
     tenant: Option<String>,
+    /// Network server: follower addresses to ship WAL windows to
+    /// (primary role; repeatable).
+    replicate_to: Vec<String>,
+    /// Network server: primary address to trail as a read-only follower.
+    follow: Option<String>,
+    /// `connect`: transparently reconnect (capped exponential backoff)
+    /// and replay the in-flight request when the server drops the link.
+    reconnect: bool,
 }
 
 impl Opts {
@@ -165,6 +173,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         tenant_queue_cap: None,
         tenant_in_flight: None,
         tenant: None,
+        replicate_to: Vec::new(),
+        follow: None,
+        reconnect: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -271,6 +282,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--tenant" | "-t" => {
                 opts.tenant = Some(value("--tenant")?);
             }
+            "--replicate-to" => {
+                opts.replicate_to.push(value("--replicate-to")?);
+            }
+            "--follow" => {
+                opts.follow = Some(value("--follow")?);
+            }
+            "--reconnect" => {
+                opts.reconnect = true;
+            }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag}"));
             }
@@ -287,12 +307,13 @@ fn usage_error(mode: &str, msg: &str) -> i32 {
             "usage: hdl serve --listen ADDR [--persist-root DIR] [--fsync always|never|N] \
              [--no-group-commit] [--max-connections N] [--workers N] \
              [--tenant-max-facts N] [--tenant-max-depth N] [--tenant-queue-cap N] \
-             [--tenant-in-flight N] [--max-facts N] [--deadline-ms MS]\n\
+             [--tenant-in-flight N] [--max-facts N] [--deadline-ms MS] \
+             [--replicate-to ADDR ...] [--follow ADDR]\n\
              \x20      hdl serve --stdin [FILE ...] [--workers N] [--engine top-down|bottom-up] \
              [--deadline-ms MS] [--max-facts N] [--retries N] [--queue-cap N] \
              [--persist-dir DIR] [--fsync always|never|N]"
         ),
-        "connect" => eprintln!("usage: hdl connect HOST:PORT [--tenant NAME]"),
+        "connect" => eprintln!("usage: hdl connect HOST:PORT [--tenant NAME] [--reconnect]"),
         _ => eprintln!(
             "usage: hdl {mode} [FILE ...] [--workers N] [--engine top-down|bottom-up] \
              [--deadline-ms MS] [--max-facts N] [--retries N] [--queue-cap N] \
@@ -545,6 +566,8 @@ fn serve_listen(opts: &Opts) -> i32 {
         },
         default_engine: opts.engine,
         default_deadline: opts.deadline,
+        replicate_to: opts.replicate_to.clone(),
+        follow: opts.follow.clone(),
     };
     let server = match Server::start(config) {
         Ok(s) => s,
@@ -571,10 +594,133 @@ fn serve_listen(opts: &Opts) -> i32 {
     0
 }
 
-/// `hdl connect ADDR [--tenant NAME]` — a line client for the network
-/// server: REPL-style input is translated to protocol requests, raw
-/// JSON lines (starting with `{`) pass through verbatim, and every
-/// reply prints as its JSON line.
+/// The client's connection to the server, with optional transparent
+/// reconnection: when `--reconnect` is set and the link drops mid-step,
+/// the client redials with capped exponential backoff (50 ms doubling to
+/// 2 s, bounded attempts), re-opens the last-opened tenant, and replays
+/// the unacked request. At most one request is ever in flight, so the
+/// replay set is exactly that line; mutations in this protocol are
+/// idempotent re-applied (a `load` whose ack was lost lands the same
+/// facts), so an ack lost to the crash is safe to re-earn.
+struct ClientLink {
+    addr: String,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Reconnect-and-replay on link loss (`--reconnect`).
+    reconnect: bool,
+    /// Tenant to re-open after a reconnect (tracks `:open`/`open` ops).
+    tenant: Option<String>,
+}
+
+impl ClientLink {
+    const BACKOFF_FLOOR_MS: u64 = 50;
+    const BACKOFF_CAP_MS: u64 = 2000;
+    const MAX_DIALS: u32 = 10;
+
+    fn dial(addr: &str) -> io::Result<(BufReader<TcpStream>, TcpStream)> {
+        let stream = TcpStream::connect(addr)?;
+        Ok((BufReader::new(stream.try_clone()?), stream))
+    }
+
+    fn connect(addr: &str, reconnect: bool) -> io::Result<ClientLink> {
+        let (reader, writer) = Self::dial(addr)?;
+        Ok(ClientLink {
+            addr: addr.to_owned(),
+            reader,
+            writer,
+            reconnect,
+            tenant: None,
+        })
+    }
+
+    /// One send/receive attempt on the current socket; `None` when the
+    /// link is gone.
+    fn try_step(&mut self, line: &str) -> Option<String> {
+        if writeln!(self.writer, "{line}").is_err() || self.writer.flush().is_err() {
+            return None;
+        }
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(reply.trim_end().to_owned()),
+        }
+    }
+
+    /// Redials with capped exponential backoff and restores the session
+    /// (re-opens the bound tenant). `false` when every attempt failed.
+    fn redial(&mut self) -> bool {
+        let mut backoff = Self::BACKOFF_FLOOR_MS;
+        for attempt in 1..=Self::MAX_DIALS {
+            std::thread::sleep(Duration::from_millis(backoff));
+            backoff = (backoff * 2).min(Self::BACKOFF_CAP_MS);
+            match Self::dial(&self.addr) {
+                Err(_) => continue,
+                Ok((reader, writer)) => {
+                    self.reader = reader;
+                    self.writer = writer;
+                    if let Some(tenant) = self.tenant.clone() {
+                        let open = Json::obj(vec![
+                            ("op", Json::str("open")),
+                            ("tenant", Json::str(&tenant)),
+                        ]);
+                        // The re-open rides inside the redial: its reply
+                        // is session plumbing, not the user's answer.
+                        match self.try_step(&open.to_string()) {
+                            Some(reply) if reply_ok(&reply) => {}
+                            _ => continue,
+                        }
+                    }
+                    eprintln!(
+                        "hdl connect: reconnected to {} (attempt {attempt})",
+                        self.addr
+                    );
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Sends one request line and returns the reply line, reconnecting
+    /// and replaying the line if the link drops and `--reconnect` is on.
+    /// `None` = connection gone for good.
+    fn step(&mut self, line: &str) -> Option<String> {
+        loop {
+            if let Some(reply) = self.try_step(line) {
+                return Some(reply);
+            }
+            if !self.reconnect || !self.redial() {
+                return None;
+            }
+            // Loop: replay the unacked line on the fresh connection.
+        }
+    }
+
+    /// Remembers the tenant an `open` request binds, so a reconnect can
+    /// restore it.
+    fn note_open(&mut self, request: &str) {
+        if let Ok(v) = Json::parse(request) {
+            if v.get("op").and_then(Json::as_str) == Some("open") {
+                if let Some(name) = v.get("tenant").and_then(Json::as_str) {
+                    self.tenant = Some(name.to_owned());
+                }
+            }
+        }
+    }
+}
+
+/// Whether a reply line is `"ok":true`.
+fn reply_ok(reply: &str) -> bool {
+    Json::parse(reply)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(Json::as_bool))
+        == Some(true)
+}
+
+/// `hdl connect ADDR [--tenant NAME] [--reconnect]` — a line client for
+/// the network server: REPL-style input is translated to protocol
+/// requests, raw JSON lines (starting with `{`) pass through verbatim,
+/// and every reply prints as its JSON line.
 fn connect_main(args: &[String]) -> i32 {
     let opts = match parse_opts(args) {
         Ok(o) => o,
@@ -583,50 +729,29 @@ fn connect_main(args: &[String]) -> i32 {
     let Some(addr) = opts.files.first() else {
         return usage_error("connect", "expected a server address (host:port)");
     };
-    let stream = match TcpStream::connect(addr) {
-        Ok(s) => s,
+    let mut link = match ClientLink::connect(addr, opts.reconnect) {
+        Ok(l) => l,
         Err(e) => {
             eprintln!("hdl connect: cannot connect to {addr}: {e}");
             return 1;
         }
     };
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("hdl connect: {e}");
-            return 1;
-        }
-    });
-    let mut writer = stream;
     let mut status = 0;
-    // Sends one request line, prints the reply line, returns whether
-    // the reply was `ok` (`None` = connection gone).
-    let mut step = |line: String| -> Option<bool> {
-        if writeln!(writer, "{line}").is_err() || writer.flush().is_err() {
-            return None;
-        }
-        let mut reply = String::new();
-        match reader.read_line(&mut reply) {
-            Ok(0) | Err(_) => None,
-            Ok(_) => {
-                let reply = reply.trim_end();
-                println!("{reply}");
-                let _ = io::stdout().flush();
-                Some(
-                    Json::parse(reply)
-                        .ok()
-                        .and_then(|v| v.get("ok").and_then(Json::as_bool))
-                        == Some(true),
-                )
-            }
-        }
+    // Sends one request line, prints the reply, returns whether the
+    // reply was `ok` (`None` = connection gone).
+    let step = |link: &mut ClientLink, line: String| -> Option<bool> {
+        link.note_open(&line);
+        let reply = link.step(&line)?;
+        println!("{reply}");
+        let _ = io::stdout().flush();
+        Some(reply_ok(&reply))
     };
     if let Some(tenant) = &opts.tenant {
         let open = Json::obj(vec![
             ("op", Json::str("open")),
             ("tenant", Json::str(tenant)),
         ]);
-        match step(open.to_string()) {
+        match step(&mut link, open.to_string()) {
             None => {
                 eprintln!("hdl connect: server closed the connection");
                 return 1;
@@ -646,7 +771,7 @@ fn connect_main(args: &[String]) -> i32 {
             continue;
         }
         if line == ":quit" || line == ":q" || line == ":exit" {
-            let _ = step("{\"op\":\"close\"}".to_owned());
+            let _ = step(&mut link, "{\"op\":\"close\"}".to_owned());
             break;
         }
         let request = match client_request(line) {
@@ -657,7 +782,7 @@ fn connect_main(args: &[String]) -> i32 {
                 continue;
             }
         };
-        match step(request) {
+        match step(&mut link, request) {
             None => {
                 eprintln!("hdl connect: server closed the connection");
                 status = 1;
@@ -712,13 +837,15 @@ fn client_request(line: &str) -> Result<String, String> {
         ":pop" => return Ok(obj(vec![("op", Json::str("pop"))])),
         ":checkpoint" => return Ok(obj(vec![("op", Json::str("checkpoint"))])),
         ":stats" => return Ok(obj(vec![("op", Json::str("stats"))])),
+        ":promote" => return Ok(obj(vec![("op", Json::str("promote"))])),
         ":shutdown" => return Ok(obj(vec![("op", Json::str("shutdown"))])),
         _ => {}
     }
     if line.starts_with(':') {
         return Err(format!(
             "unknown command {line} (:open NAME, :answers PATTERN, :assume FACTS, \
-             :retract FACT, :pop, :checkpoint, :stats, :shutdown, :quit; `{{…}}` raw JSON)"
+             :retract FACT, :pop, :checkpoint, :stats, :promote, :shutdown, :quit; \
+             `{{…}}` raw JSON)"
         ));
     }
     if line.starts_with("?-") {

@@ -389,6 +389,172 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Fresh constants in query-level overlays: Definition 3 evaluates the
+// goal in `(DB ∖ C̄) ∪ B̄`, so constants introduced by a query's `add:`
+// atoms join the domain rule groundings range over — even when nothing
+// in the program or database mentions them. The generated corpus above
+// never produces such queries (its hypothetical premises only reuse
+// program constants), which is exactly how the ROADMAP domain bug
+// survived 482 cases; these strategies produce them deliberately.
+// ---------------------------------------------------------------------
+
+mod fresh_constant_overlays {
+    use super::*;
+    use hdl_core::parser::parse_query;
+
+    /// `c…` are program constants, `z…` are fresh to the whole world.
+    fn render_const(a: u8) -> String {
+        if a >= 200 {
+            format!("z{}", a - 200)
+        } else {
+            format!("c{}", a - 100)
+        }
+    }
+
+    /// Ground argument lists drawn from known and fresh constants.
+    fn ground_args(n: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(prop_oneof![100u8..(100 + NUM_CONSTS as u8), 200u8..202], n)
+    }
+
+    #[derive(Clone, Debug)]
+    struct HypQuery {
+        goal: (usize, Vec<u8>),
+        add: (usize, Vec<u8>),
+        del: Option<(usize, Vec<u8>)>,
+    }
+
+    fn hyp_query_strategy() -> impl Strategy<Value = HypQuery> {
+        (
+            0..NUM_PREDS,
+            0..NUM_PREDS,
+            prop_oneof![Just(None), (0..NUM_PREDS).prop_map(Some)],
+        )
+            .prop_flat_map(|(g, ad, dl)| {
+                let del = match dl {
+                    Some(p) => ground_args(arity(p))
+                        .prop_map(move |a| Some((p, a)))
+                        .boxed(),
+                    None => Just(None).boxed(),
+                };
+                (ground_args(arity(g)), ground_args(arity(ad)), del).prop_map(
+                    move |(ga, aa, del)| HypQuery {
+                        goal: (g, ga),
+                        add: (ad, aa),
+                        del,
+                    },
+                )
+            })
+    }
+
+    fn render_query(q: &HypQuery) -> String {
+        let atom = |p: usize, args: &[u8]| {
+            let rendered: Vec<String> = args.iter().map(|&a| render_const(a)).collect();
+            format!("q{p}({})", rendered.join(", "))
+        };
+        match &q.del {
+            Some((dp, da)) => format!(
+                "?- {}[add: {}, del: {}].",
+                atom(q.goal.0, &q.goal.1),
+                atom(q.add.0, &q.add.1),
+                atom(*dp, da)
+            ),
+            None => format!(
+                "?- {}[add: {}].",
+                atom(q.goal.0, &q.goal.1),
+                atom(q.add.0, &q.add.1)
+            ),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Top-down ≡ bottom-up ≡ PROVE on hypothetical queries whose
+        /// `add:`/`del:` atoms introduce constants the program has never
+        /// seen. Several queries run against the *same* engine instances,
+        /// so memoized state invalidation on domain growth is exercised
+        /// too.
+        #[test]
+        fn engines_agree_when_queries_introduce_fresh_constants(
+            rules in program_strategy(true),
+            facts in facts_strategy(),
+            queries in proptest::collection::vec(hyp_query_strategy(), 1..=6),
+        ) {
+            let (rb, db, mut syms) = build(&rules, &facts);
+            let bu = BottomUpEngine::new(&rb, &db);
+            let td = TopDownEngine::new(&rb, &db);
+            prop_assert_eq!(bu.is_err(), td.is_err(), "engines disagree on stratifiability");
+            let (Ok(bu), Ok(td)) = (bu, td) else { return Ok(()) };
+            let mut bu = bu.with_limits(small_limits());
+            let mut td = td.with_limits(small_limits());
+            let mut pe = ProveEngine::new(&rb, &db).map(|e| e.with_limits(small_limits())).ok();
+            for sketch in &queries {
+                let text = render_query(sketch);
+                let q = parse_query(&text, &mut syms).expect("query parses");
+                let (Ok(a), Ok(b)) = (bu.holds(&q), td.holds(&q)) else { return Ok(()) };
+                prop_assert_eq!(
+                    a, b,
+                    "bottom-up vs top-down on {}\n{}",
+                    text, render_program(&rules)
+                );
+                if let Some(pe) = pe.as_mut() {
+                    let Ok(c) = pe.holds(&q) else { return Ok(()) };
+                    prop_assert_eq!(
+                        a, c,
+                        "bottom-up vs prove on {}\n{}",
+                        text, render_program(&rules)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The ROADMAP repro, pinned: `?- tc(a, c)[add: edge(b, c)].` must
+    /// answer true on every engine — `c` is fresh to the program, and
+    /// before the domain fix the top-down and PROVE engines refused to
+    /// instantiate the recursive rule at it (answering false while
+    /// bottom-up said true).
+    #[test]
+    fn fresh_add_constant_repro_answers_true_on_all_engines() {
+        let src = "edge(a, b).\n\
+                   tc(X, Y) :- edge(X, Y).\n\
+                   tc(X, Z) :- edge(X, Y), tc(Y, Z).\n";
+        let mut syms = SymbolTable::new();
+        let program = parse_program(src, &mut syms).unwrap();
+        let (rb, facts) = hdl_core::parser::split_facts(program);
+        let db: Database = facts.into_iter().collect();
+        let q = parse_query("?- tc(a, c)[add: edge(b, c)].", &mut syms).unwrap();
+
+        let mut td = TopDownEngine::new(&rb, &db).unwrap();
+        assert!(td.holds(&q).unwrap(), "top-down");
+        let mut bu = BottomUpEngine::new(&rb, &db).unwrap();
+        assert!(bu.holds(&q).unwrap(), "bottom-up");
+        let mut pe = ProveEngine::new(&rb, &db).unwrap();
+        assert!(pe.holds(&q).unwrap(), "prove");
+
+        // The fresh constant also reaches negation-over-domain: with
+        // r(z) assumed in, `p(z) :- anch-free ~q(z)` style goals must
+        // agree too. (q is underivable, so p(z) holds exactly when z is
+        // in the evaluation domain of the overlay world.)
+        let src2 = "p(X) :- r(X), ~q(X).\nq(sentinel).\n";
+        let mut syms2 = SymbolTable::new();
+        let program2 = parse_program(src2, &mut syms2).unwrap();
+        let (rb2, facts2) = hdl_core::parser::split_facts(program2);
+        let db2: Database = facts2.into_iter().collect();
+        let q2 = parse_query("?- p(zzz)[add: r(zzz)].", &mut syms2).unwrap();
+        let mut td2 = TopDownEngine::new(&rb2, &db2).unwrap();
+        let mut bu2 = BottomUpEngine::new(&rb2, &db2).unwrap();
+        let mut pe2 = ProveEngine::new(&rb2, &db2).unwrap();
+        let (a, b, c) = (
+            td2.holds(&q2).unwrap(),
+            bu2.holds(&q2).unwrap(),
+            pe2.holds(&q2).unwrap(),
+        );
+        assert!(a && b && c, "td={a} bu={b} prove={c}");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Datalog baseline: naive ≡ semi-naive.
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,525 @@
+//! Two-process crash/failover matrix for primary/follower replication.
+//!
+//! Each case runs a real `hdl serve --listen … --replicate-to` primary
+//! and a real `hdl serve --listen … --follow` follower as separate
+//! processes, arms one replication crash site with `HDL_CRASH_AT`
+//! (`replicate::ship` aborts the primary before a window leaves;
+//! `replicate::apply` aborts the follower with a received window
+//! unwritten; `replicate::ack` aborts the follower after the fsync but
+//! before the ack), drives pipelined mutations through the primary, and
+//! then exercises one of the two recovery paths:
+//!
+//! - **restart**: bring the crashed process back on the same directory
+//!   (and, for followers, the same address) and assert the pair
+//!   converges — the follower answers the pinned query set
+//!   byte-identically to the primary;
+//! - **promote**: leave the primary dead, assert the follower serves a
+//!   *prefix of the submission order* read-only (acked ⊆ follower-state
+//!   ⊆ submitted, no holes, no invented facts), then `promote` it and
+//!   assert it accepts writes without losing that prefix.
+//!
+//! Everything is black-box over the wire: the only observables are acks,
+//! query answers, and process exits — exactly what an operator has.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const HDL: &str = env!("CARGO_BIN_EXE_hdl");
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "hdl-rep-{}-{}",
+            std::process::id(),
+            tag.replace(':', "_")
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A serve process plus its resolved listen address.
+struct Proc {
+    child: Child,
+    addr: String,
+}
+
+impl Proc {
+    /// Waits (bounded) for the process to exit; panics on timeout.
+    fn wait_exit(&mut self, why: &str) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status.success();
+            }
+            assert!(Instant::now() < deadline, "timed out waiting for {why}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Proc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `hdl serve --listen` with the given role flags; reads the
+/// resolved address off stdout.
+fn spawn_serve(root: &Path, listen: &str, role: &[&str], crash_at: Option<&str>) -> Proc {
+    let mut cmd = Command::new(HDL);
+    cmd.args(["serve", "--listen", listen, "--fsync", "always"])
+        .args(["--persist-root", root.to_str().unwrap()])
+        .args(role)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    match crash_at {
+        Some(spec) => cmd.env("HDL_CRASH_AT", spec),
+        None => cmd.env_remove("HDL_CRASH_AT"),
+    };
+    let mut child = cmd.spawn().expect("spawn hdl serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let line = BufReader::new(stdout)
+        .lines()
+        .next()
+        .expect("server prints its address")
+        .expect("read address line");
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("expected `listening on ADDR`, got: {line}"))
+        .to_owned();
+    Proc { child, addr }
+}
+
+fn spawn_primary(root: &Path, follower_addr: &str, crash_at: Option<&str>) -> Proc {
+    spawn_serve(
+        root,
+        "127.0.0.1:0",
+        &["--replicate-to", follower_addr],
+        crash_at,
+    )
+}
+
+fn spawn_follower(root: &Path, listen: &str, crash_at: Option<&str>) -> Proc {
+    // The --follow value is the primary's address for operator-facing
+    // messages; the data path is inbound (the primary dials us), so a
+    // placeholder keeps the spawn order simple.
+    spawn_serve(root, listen, &["--follow", "primary.invalid:0"], crash_at)
+}
+
+/// A line client that tolerates the server dying under it.
+struct NetClient {
+    reader: Option<BufReader<TcpStream>>,
+    alive: bool,
+    submitted: usize,
+    acked: usize,
+}
+
+impl NetClient {
+    fn open(addr: &str, tenant: &str) -> NetClient {
+        let mut c = NetClient {
+            reader: None,
+            alive: false,
+            submitted: 0,
+            acked: 0,
+        };
+        let Ok(stream) = TcpStream::connect(addr) else {
+            return c;
+        };
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .expect("read timeout");
+        c.reader = Some(BufReader::new(stream));
+        c.alive = true;
+        let open = format!("{{\"op\":\"open\",\"tenant\":\"{tenant}\"}}\n");
+        if !c.send_raw(&open) || !c.recv().is_some_and(|r| r.contains("\"ok\":true")) {
+            c.alive = false;
+        }
+        c
+    }
+
+    fn send_raw(&mut self, data: &str) -> bool {
+        match self.reader.as_mut() {
+            Some(reader) => reader.get_mut().write_all(data.as_bytes()).is_ok(),
+            None => false,
+        }
+    }
+
+    fn recv(&mut self) -> Option<String> {
+        let reader = self.reader.as_mut()?;
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(line),
+        }
+    }
+
+    /// Sends one request line and returns the reply line.
+    fn round_trip(&mut self, line: &str) -> Option<String> {
+        if !self.send_raw(&format!("{line}\n")) {
+            return None;
+        }
+        self.recv()
+    }
+
+    /// Pipelines a window of `load` ops for facts `f(x<from>..)`,
+    /// counting submissions and acks until the socket dies.
+    fn burst(&mut self, from: usize, len: usize) {
+        let mut window = String::new();
+        for i in from..from + len {
+            window.push_str(&format!("{{\"op\":\"load\",\"program\":\"f(x{i}).\"}}\n"));
+        }
+        self.submitted += len;
+        if !self.send_raw(&window) {
+            self.alive = false;
+            return;
+        }
+        for _ in 0..len {
+            match self.recv() {
+                Some(reply) if reply.contains("\"ok\":true") => self.acked += 1,
+                _ => {
+                    self.alive = false;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Polls `f(x<i>)` on `addr` until it answers true (bounded); returns
+/// whether it converged.
+fn wait_until_true(addr: &str, tenant: &str, i: usize, secs: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        let mut c = NetClient::open(addr, tenant);
+        if c.alive {
+            let q = format!("{{\"op\":\"query\",\"q\":\"f(x{i})\"}}");
+            if c.round_trip(&q)
+                .is_some_and(|r| r.contains("\"result\":\"true\""))
+            {
+                return true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+/// The presence vector of `f(x0)..f(x<n>)` on one server — the raw reply
+/// lines, for byte-identical comparison — plus the booleans.
+fn presence(addr: &str, tenant: &str, n: usize) -> (Vec<String>, Vec<bool>) {
+    let mut c = NetClient::open(addr, tenant);
+    assert!(c.alive, "cannot open {tenant} on {addr}");
+    let mut lines = Vec::with_capacity(n);
+    let mut present = Vec::with_capacity(n);
+    for i in 0..n {
+        let q = format!("{{\"op\":\"query\",\"q\":\"f(x{i})\"}}");
+        let reply = c
+            .round_trip(&q)
+            .unwrap_or_else(|| panic!("query f(x{i}) on {addr} got no reply"));
+        present.push(reply.contains("\"result\":\"true\""));
+        lines.push(reply.trim_end().to_owned());
+    }
+    (lines, present)
+}
+
+/// Asserts `present` is a hole-free prefix and returns its length.
+fn prefix_len(present: &[bool], context: &str) -> usize {
+    let len = present.iter().take_while(|&&p| p).count();
+    assert!(
+        present[len..].iter().all(|&p| !p),
+        "{context}: follower state has a hole — not a prefix of submission order: {present:?}"
+    );
+    len
+}
+
+const ROUNDS: usize = 6;
+const WINDOW: usize = 8;
+
+/// Drives bursts through the primary. With a `victim`, keeps bursting
+/// past the scripted rounds until that process exits (so an armed crash
+/// counting its nth hit always gets enough windows), bounded by a cap.
+fn drive(addr: &str, mut victim: Option<&mut Proc>) -> NetClient {
+    let mut c = NetClient::open(addr, "t");
+    assert!(c.alive, "cannot open tenant on the primary");
+    let mut round = 0;
+    loop {
+        let done = match victim.as_deref_mut() {
+            Some(v) => v.child.try_wait().expect("try_wait").is_some(),
+            None => round >= ROUNDS,
+        };
+        if done || !c.alive || round >= 200 {
+            break;
+        }
+        c.burst(round * WINDOW, WINDOW);
+        round += 1;
+        // Give the async shipper a moment between bursts so crash hits
+        // land across different windows, not all coalesced into one.
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    c
+}
+
+/// Kill the primary at `replicate::ship:<nth>` (it aborts before sending
+/// a window), then either restart it or promote the follower.
+fn run_ship_case(nth: u64, promote: bool) {
+    let tag = format!("ship-{nth}-{}", if promote { "promote" } else { "restart" });
+    let p_root = TempDir::new(&format!("{tag}-p"));
+    let f_root = TempDir::new(&format!("{tag}-f"));
+    let follower = spawn_follower(&f_root.0, "127.0.0.1:0", None);
+    let mut primary = spawn_primary(
+        &p_root.0,
+        &follower.addr,
+        Some(&format!("replicate::ship:{nth}")),
+    );
+
+    let p_addr = primary.addr.clone();
+    let client = drive(&p_addr, Some(&mut primary));
+    assert!(
+        !primary.wait_exit("armed primary crash"),
+        "{tag}: the armed ship crash never fired"
+    );
+    let submitted = client.submitted;
+    let acked = client.acked;
+    drop(client);
+    assert!(submitted > 0, "{tag}: nothing was submitted");
+
+    // The follower keeps serving reads through the outage; whatever it
+    // has is a hole-free prefix of the submission order, and mutations
+    // are refused with the structured read_only error.
+    let (_, present) = presence(&follower.addr, "t", submitted);
+    let before = prefix_len(&present, &tag);
+    let mut c = NetClient::open(&follower.addr, "t");
+    let denied = c
+        .round_trip("{\"op\":\"load\",\"program\":\"f(rogue).\"}")
+        .expect("read_only reply");
+    assert!(
+        denied.contains("\"kind\":\"read_only\""),
+        "{tag}: follower accepted a mutation during the outage: {denied}"
+    );
+    let stats = c.round_trip("{\"op\":\"stats\"}").expect("stats reply");
+    assert!(
+        stats.contains("\"role\":\"follower\""),
+        "{tag}: follower stats carry no role: {stats}"
+    );
+    drop(c);
+
+    if promote {
+        // Failover: promote the follower and write through it.
+        let mut c = NetClient::open(&follower.addr, "t");
+        let reply = c.round_trip("{\"op\":\"promote\"}").expect("promote reply");
+        assert!(
+            reply.contains("\"ok\":true"),
+            "{tag}: promote failed: {reply}"
+        );
+        drop(c);
+        let mut c = NetClient::open(&follower.addr, "t");
+        let reply = c
+            .round_trip("{\"op\":\"load\",\"program\":\"f(after_failover).\"}")
+            .expect("post-promote load");
+        assert!(
+            reply.contains("\"ok\":true"),
+            "{tag}: promoted follower refused a write: {reply}"
+        );
+        let q = c
+            .round_trip("{\"op\":\"query\",\"q\":\"f(after_failover)\"}")
+            .expect("post-promote query");
+        assert!(q.contains("\"result\":\"true\""), "{tag}: {q}");
+        // The pre-failover prefix survived promotion intact.
+        let (_, present) = presence(&follower.addr, "t", submitted);
+        let after = prefix_len(&present, &format!("{tag} post-promote"));
+        assert!(
+            after >= before,
+            "{tag}: promotion lost replicated facts ({before} -> {after})"
+        );
+    } else {
+        // Restart the primary on the same directory: acked mutations
+        // recovered, shipping resumes, and the pair converges to
+        // byte-identical answers.
+        let mut primary = spawn_primary(&p_root.0, &follower.addr, None);
+        let (p_lines, p_present) = presence(&primary.addr, "t", submitted);
+        let recovered = prefix_len(&p_present, &format!("{tag} primary restart"));
+        assert!(
+            recovered >= acked,
+            "{tag}: restart lost acked mutations ({acked} acked, {recovered} recovered)"
+        );
+        if recovered > 0 {
+            assert!(
+                wait_until_true(&follower.addr, "t", recovered - 1, 20),
+                "{tag}: follower never caught up after primary restart"
+            );
+        }
+        let (f_lines, _) = presence(&follower.addr, "t", submitted);
+        assert_eq!(
+            p_lines, f_lines,
+            "{tag}: primary and follower answers diverge after catch-up"
+        );
+        shutdown(&mut primary);
+    }
+}
+
+/// Kill the follower at a follower-side site (`replicate::apply:<nth>`
+/// or `replicate::ack:<nth>`), restart it on the same address and
+/// directory, and assert the pair converges byte-identically. When
+/// `promote_after`, additionally kill the primary afterwards and promote
+/// the recovered follower.
+fn run_follower_crash_case(site: &str, nth: u64, promote_after: bool) {
+    let tag = format!(
+        "{site}-{nth}{}",
+        if promote_after { "-promote" } else { "" }
+    );
+    let p_root = TempDir::new(&format!("{tag}-p"));
+    let f_root = TempDir::new(&format!("{tag}-f"));
+    let mut follower = spawn_follower(&f_root.0, "127.0.0.1:0", Some(&format!("{site}:{nth}")));
+    let f_addr = follower.addr.clone();
+    let mut primary = spawn_primary(&p_root.0, &f_addr, None);
+
+    let client = drive(&primary.addr, Some(&mut follower));
+    let submitted = client.submitted;
+    let acked = client.acked;
+    drop(client);
+    assert_eq!(acked, submitted, "{tag}: the primary must ack everything");
+    assert!(
+        !follower.wait_exit("armed follower crash"),
+        "{tag}: the armed follower crash never fired"
+    );
+
+    // Restart the follower on the same address; the primary's shipper
+    // reconnects with backoff and renegotiates the resume position from
+    // the follower's fsynced prefix.
+    let follower = spawn_follower(&f_root.0, &f_addr, None);
+    assert_eq!(follower.addr, f_addr, "{tag}: follower rebind moved ports");
+    assert!(
+        wait_until_true(&follower.addr, "t", submitted - 1, 30),
+        "{tag}: follower never converged after restart"
+    );
+    let (p_lines, _) = presence(&primary.addr, "t", submitted);
+    let (f_lines, f_present) = presence(&follower.addr, "t", submitted);
+    assert_eq!(
+        p_lines, f_lines,
+        "{tag}: answers diverge after follower recovery"
+    );
+    assert_eq!(
+        prefix_len(&f_present, &tag),
+        submitted,
+        "{tag}: full convergence expected once the primary is idle"
+    );
+
+    if promote_after {
+        primary.kill();
+        let mut c = NetClient::open(&follower.addr, "t");
+        let reply = c.round_trip("{\"op\":\"promote\"}").expect("promote reply");
+        assert!(
+            reply.contains("\"ok\":true"),
+            "{tag}: promote failed: {reply}"
+        );
+        drop(c);
+        let mut c = NetClient::open(&follower.addr, "t");
+        let reply = c
+            .round_trip("{\"op\":\"load\",\"program\":\"f(after_failover).\"}")
+            .expect("post-promote load");
+        assert!(reply.contains("\"ok\":true"), "{tag}: {reply}");
+        let (_, present) = presence(&follower.addr, "t", submitted);
+        assert_eq!(
+            prefix_len(&present, &format!("{tag} post-promote")),
+            submitted,
+            "{tag}: promotion lost converged facts"
+        );
+    } else {
+        shutdown(&mut primary);
+    }
+}
+
+/// Drains a server cleanly via the shutdown op.
+fn shutdown(proc_: &mut Proc) {
+    let mut c = NetClient::open(&proc_.addr, "t");
+    let _ = c.round_trip("{\"op\":\"shutdown\"}");
+    drop(c);
+    assert!(proc_.wait_exit("graceful drain"), "drain exited non-zero");
+}
+
+#[test]
+fn primary_crash_at_ship_follower_keeps_serving_then_promotes() {
+    run_ship_case(1, true);
+}
+
+#[test]
+fn primary_crash_at_ship_mid_stream_then_promotes() {
+    run_ship_case(3, true);
+}
+
+#[test]
+fn primary_crash_at_ship_then_restarts_and_converges() {
+    run_ship_case(2, false);
+}
+
+#[test]
+fn follower_crash_at_apply_restarts_and_converges() {
+    run_follower_crash_case("replicate::apply", 1, false);
+}
+
+#[test]
+fn follower_crash_at_apply_mid_stream_restarts_and_converges() {
+    run_follower_crash_case("replicate::apply", 3, false);
+}
+
+#[test]
+fn follower_crash_at_ack_restarts_and_converges() {
+    run_follower_crash_case("replicate::ack", 2, false);
+}
+
+#[test]
+fn follower_crash_at_ack_then_failover_promotes_cleanly() {
+    run_follower_crash_case("replicate::ack", 1, true);
+}
+
+/// The no-crash control: a healthy pair converges, the follower reports
+/// replication stats on both ends, and both drain cleanly.
+#[test]
+fn uncrashed_pair_converges_and_drains() {
+    let p_root = TempDir::new("control-p");
+    let f_root = TempDir::new("control-f");
+    let follower = spawn_follower(&f_root.0, "127.0.0.1:0", None);
+    let mut primary = spawn_primary(&p_root.0, &follower.addr, None);
+
+    let client = drive(&primary.addr, None);
+    let submitted = client.submitted;
+    assert_eq!(client.acked, submitted);
+    drop(client);
+
+    assert!(
+        wait_until_true(&follower.addr, "t", submitted - 1, 20),
+        "control: follower never converged"
+    );
+    let (p_lines, _) = presence(&primary.addr, "t", submitted);
+    let (f_lines, _) = presence(&follower.addr, "t", submitted);
+    assert_eq!(p_lines, f_lines, "control: answers diverge");
+
+    let mut c = NetClient::open(&primary.addr, "t");
+    let stats = c.round_trip("{\"op\":\"stats\"}").expect("primary stats");
+    assert!(
+        stats.contains("\"role\":\"primary\"") && stats.contains("\"connected\":true"),
+        "control: primary stats missing replication section: {stats}"
+    );
+    drop(c);
+    shutdown(&mut primary);
+}

@@ -225,6 +225,166 @@ fn multi_tenant_sessions_quotas_and_connect_cli() {
     );
 }
 
+/// Malformed input never kills the server: truncated JSON, binary
+/// garbage interleaved with real requests, and invalid UTF-8 all get
+/// structured `parse` errors (one per non-empty line, in order) while
+/// well-formed requests on the same connection keep working.
+#[test]
+fn garbage_lines_get_structured_errors_and_never_panic() {
+    let server = ServerProc::start(&[]);
+
+    // Interleave garbage with valid requests in one pipelined write and
+    // check the reply stream line-by-line.
+    let mut c = Client::connect(&server.addr);
+    let burst = concat!(
+        "{\"op\":\"hello\"}\n",
+        "{\"op\":\"hel\n", // truncated mid-string
+        "not json at all\n",
+        "{\"op\":\"query\",\"q\":\"p(a)\"}\n", // valid but no tenant
+        "{\"op\": 42}\n",                      // op of the wrong type
+        "[1,2,3]\n",                           // not an object
+        "{\"op\":\"hello\"}\n",
+    );
+    let stream = c.reader.get_mut();
+    stream.write_all(burst.as_bytes()).expect("send burst");
+    let expect = [
+        "\"ok\":true",
+        "\"kind\":\"parse\"",
+        "\"kind\":\"parse\"",
+        "\"kind\":\"no-tenant\"",
+        "\"kind\":\"parse\"",
+        "\"kind\":\"parse\"",
+        "\"ok\":true",
+    ];
+    for (i, want) in expect.iter().enumerate() {
+        let reply = c.recv().unwrap_or_else(|| panic!("reply {i} missing"));
+        assert!(
+            reply.contains(want),
+            "reply {i}: expected {want}, got {reply}"
+        );
+    }
+
+    // Raw binary garbage (every byte value, invalid UTF-8 included)
+    // followed by a newline: one structured parse error, no panic.
+    let mut raw = TcpStream::connect(&server.addr).expect("connect raw");
+    let mut junk: Vec<u8> = (1..=255u8).filter(|&b| b != b'\n').collect();
+    junk.push(b'\n');
+    raw.write_all(&junk).expect("send junk");
+    let mut reader = BufReader::new(raw);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read junk reply");
+    assert!(
+        reply.contains("\"kind\":\"parse\""),
+        "binary junk reply: {reply}"
+    );
+
+    // Truncated request with no newline, then a hard disconnect: the
+    // server must treat it as EOF and keep serving everyone else.
+    let mut torn = TcpStream::connect(&server.addr).expect("connect torn");
+    torn.write_all(b"{\"op\":\"open\",\"tenant")
+        .expect("send torn");
+    drop(torn);
+
+    let mut after = Client::connect(&server.addr);
+    assert_ok(&after.send("{\"op\":\"hello\"}"), "server survives abuse");
+    after.send("{\"op\":\"shutdown\"}");
+    let (ok, stderr) = server.wait();
+    assert!(ok, "clean exit after garbage; stderr: {stderr}");
+    assert!(
+        !stderr.contains("panicked"),
+        "server panicked on garbage input: {stderr}"
+    );
+}
+
+/// A pipeline deeper than the server's sweep window is still answered
+/// completely and in order — the window bounds a batch, not a client.
+#[test]
+fn pipeline_deeper_than_window_is_fully_answered() {
+    let root = TempDir::new("deep-pipe");
+    let server = ServerProc::start(&["--persist-root", root.0.to_str().unwrap()]);
+    let mut c = Client::connect(&server.addr);
+    assert_ok(&c.send("{\"op\":\"open\",\"tenant\":\"deep\"}"), "open");
+
+    // 3x the PIPELINE_WINDOW of 256, written in one syscall.
+    let depth = 768;
+    let mut burst = String::new();
+    for i in 0..depth {
+        burst.push_str(&format!(
+            "{{\"op\":\"load\",\"program\":\"d(x{i}).\",\"id\":{i}}}\n"
+        ));
+    }
+    let stream = c.reader.get_mut();
+    stream
+        .write_all(burst.as_bytes())
+        .expect("send deep pipeline");
+    for i in 0..depth {
+        let reply = c.recv().unwrap_or_else(|| panic!("ack {i} missing"));
+        assert!(
+            reply.contains("\"ok\":true") && reply.contains(&format!("\"id\":{i}")),
+            "ack {i} out of order or failed: {reply}"
+        );
+    }
+    assert!(c
+        .send(&format!("{{\"op\":\"query\",\"q\":\"d(x{})\"}}", depth - 1))
+        .contains("\"result\":\"true\""));
+
+    c.send("{\"op\":\"shutdown\"}");
+    let (ok, _) = server.wait();
+    assert!(ok);
+}
+
+/// A request line above the server's cap draws a structured `protocol`
+/// error and a hang-up instead of unbounded buffering; a slow-trickle
+/// client (one byte per write) is served normally.
+#[test]
+fn oversized_lines_are_refused_and_slow_trickle_is_served() {
+    let server = ServerProc::start(&[]);
+
+    // Stream far past the 64 MiB line cap without ever sending a
+    // newline. The server must cut in with a protocol error; depending
+    // on timing our writes may also fail once it hangs up — both are
+    // fine, a panic or an OOM is not.
+    let mut big = TcpStream::connect(&server.addr).expect("connect big");
+    big.set_nodelay(true).expect("nodelay");
+    let chunk = vec![b'a'; 1 << 20];
+    for _ in 0..70 {
+        if big.write_all(&chunk).is_err() {
+            break; // server already hung up on us mid-stream
+        }
+    }
+    let mut reader = BufReader::new(big);
+    let mut reply = String::new();
+    if reader.read_line(&mut reply).is_ok() && !reply.is_empty() {
+        assert!(
+            reply.contains("\"kind\":\"protocol\"") && reply.contains("exceeds"),
+            "oversize reply: {reply}"
+        );
+    }
+    let mut end = String::new();
+    let _ = reader.read_line(&mut end);
+    assert!(end.is_empty(), "connection must close after oversize line");
+
+    // Slow trickle: a valid request dribbled one byte at a time still
+    // gets its reply.
+    let mut slow = Client::connect(&server.addr);
+    let request = b"{\"op\":\"hello\"}\n";
+    for &byte in request {
+        slow.reader
+            .get_mut()
+            .write_all(&[byte])
+            .expect("trickle byte");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let reply = slow.recv().expect("trickle reply");
+    assert_ok(&reply, "slow trickle served");
+
+    let mut c = Client::connect(&server.addr);
+    c.send("{\"op\":\"shutdown\"}");
+    let (ok, stderr) = server.wait();
+    assert!(ok, "clean exit; stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "panic under abuse: {stderr}");
+}
+
 /// Admission control: connections past `--max-connections` are refused
 /// with a structured `overloaded` line and closed.
 #[test]
