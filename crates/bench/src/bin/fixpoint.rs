@@ -1,6 +1,6 @@
 //! `fixpoint` — the tracked fixpoint benchmark behind `BENCH_fixpoint.json`.
 //!
-//! Runs each workload under three engine configurations —
+//! Runs each workload under up to four engine configurations —
 //!
 //! - `naive`: the retained [`NaiveEngine`] reference (full re-fire of
 //!   every rule, every round),
@@ -8,12 +8,16 @@
 //!   threaded,
 //! - `semi_naive_w4`: the same closure with intra-round parallel rule
 //!   firing on 4 workers,
+//! - `magic`: the demand rewrite ([`MagicEngine`]) in front of a fresh
+//!   semi-naive run — only on the `*_point` workloads, where the query
+//!   has bound arguments for the rewrite to exploit,
 //!
-//! — checks that all three agree on the answer, and emits wall time,
-//! rounds, premise-match attempts, index probe/hit counts, and the
-//! per-round delta trajectory as JSON. The attempts counters are
-//! deterministic, so the naive/semi ratio is a stable regression gate;
-//! wall time is machine-dependent and only sanity-gated.
+//! — checks that all configurations agree on the answer, and emits wall
+//! time, rounds, premise-match attempts, index probe/hit counts, and
+//! the per-round delta trajectory as JSON. The attempts counters are
+//! deterministic, so the naive/semi and semi/magic ratios are stable
+//! regression gates; wall time is machine-dependent and only
+//! sanity-gated.
 //!
 //! ```console
 //! $ cargo run --release -p hdl-bench --bin fixpoint            # full sizes
@@ -22,14 +26,18 @@
 //! ```
 //!
 //! `--check` exits non-zero if semi-naive is slower than naive on a
-//! transitive-closure workload or the attempts ratio falls below 3×.
+//! transitive-closure workload, the naive/semi attempts ratio falls
+//! below 3×, fewer than two point-query workloads show a ≥ 10× semi/
+//! magic attempts ratio, or a workload whose deltas all fell below the
+//! spawn threshold still shows a parallel speedup under 0.95× (the
+//! spawn gate must make skipped parallelism free).
 
 use hdl_base::Database;
 use hdl_bench::workloads::{
     hamiltonian_reach_program, random_digraph, same_generation_program, tc_program, Digraph,
 };
 use hdl_core::ast::{Premise, Rulebase};
-use hdl_core::engine::{BottomUpEngine, NaiveEngine};
+use hdl_core::engine::{BottomUpEngine, MagicEngine, NaiveEngine};
 use hdl_core::parser::parse_query;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -41,6 +49,7 @@ const PAR_WORKERS: usize = 4;
 enum Config {
     Naive,
     Semi { workers: usize },
+    Magic,
 }
 
 impl Config {
@@ -48,9 +57,29 @@ impl Config {
         match self {
             Config::Naive => "naive".into(),
             Config::Semi { workers } => format!("semi_naive_w{workers}"),
+            Config::Magic => "magic".into(),
         }
     }
 }
+
+/// Every workload runs the naive reference and both semi-naive widths.
+const MODEL_CONFIGS: [Config; 3] = [
+    Config::Naive,
+    Config::Semi { workers: 1 },
+    Config::Semi {
+        workers: PAR_WORKERS,
+    },
+];
+
+/// Point-query workloads additionally run the demand rewrite.
+const POINT_CONFIGS: [Config; 4] = [
+    Config::Naive,
+    Config::Semi { workers: 1 },
+    Config::Semi {
+        workers: PAR_WORKERS,
+    },
+    Config::Magic,
+];
 
 /// What the workload asks of the engine.
 enum Task {
@@ -68,7 +97,25 @@ struct RunMetrics {
     index_probes: u64,
     index_hits: u64,
     parallel_rounds: u64,
+    magic_rules: u64,
+    demand_facts: u64,
     delta: Vec<u64>,
+}
+
+impl RunMetrics {
+    fn from_stats(wall_ms: f64, s: &hdl_core::engine::EngineStats) -> Self {
+        RunMetrics {
+            wall_ms,
+            attempts: s.goal_expansions,
+            rounds: s.rounds,
+            index_probes: s.index_probes,
+            index_hits: s.index_hits,
+            parallel_rounds: s.parallel_rounds,
+            magic_rules: s.magic_rules,
+            demand_facts: s.demand_facts,
+            delta: s.delta_facts_per_round.clone(),
+        }
+    }
 }
 
 /// The answer a run produced, for cross-configuration equivalence.
@@ -103,20 +150,16 @@ fn run_once(
                 Task::Holds(q) => Answer::Verdict(naive.holds(q).expect("naive holds")),
             };
             let wall = start.elapsed().as_secs_f64() * 1e3;
-            let s = naive.stats();
-            return (
-                wall,
-                RunMetrics {
-                    wall_ms: wall,
-                    attempts: s.goal_expansions,
-                    rounds: s.rounds,
-                    index_probes: s.index_probes,
-                    index_hits: s.index_hits,
-                    parallel_rounds: s.parallel_rounds,
-                    delta: s.delta_facts_per_round.clone(),
-                },
-                answer,
-            );
+            return (wall, RunMetrics::from_stats(wall, naive.stats()), answer);
+        }
+        Config::Magic => {
+            let mut magic = MagicEngine::new(rb, db).expect("workload stratifies");
+            let answer = match task {
+                Task::Model => unreachable!("magic runs only on point-query workloads"),
+                Task::Holds(q) => Answer::Verdict(magic.holds(q).expect("magic holds")),
+            };
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            return (wall, RunMetrics::from_stats(wall, magic.stats()), answer);
         }
         Config::Semi { workers } => {
             eng = BottomUpEngine::new(rb, db)
@@ -129,38 +172,7 @@ fn run_once(
         }
     };
     let wall = start.elapsed().as_secs_f64() * 1e3;
-    let s = eng.stats();
-    (
-        wall,
-        RunMetrics {
-            wall_ms: wall,
-            attempts: s.goal_expansions,
-            rounds: s.rounds,
-            index_probes: s.index_probes,
-            index_hits: s.index_hits,
-            parallel_rounds: s.parallel_rounds,
-            delta: s.delta_facts_per_round.clone(),
-        },
-        answer,
-    )
-}
-
-/// Runs `config` `repeats` times; counters are deterministic across
-/// repeats, wall time is the minimum observed.
-fn run_config(
-    rb: &Rulebase,
-    db: &Database,
-    task: &Task,
-    config: Config,
-    repeats: usize,
-) -> (RunMetrics, Answer) {
-    let (mut best_wall, mut metrics, answer) = run_once(rb, db, task, config);
-    for _ in 1..repeats {
-        let (wall, _, _) = run_once(rb, db, task, config);
-        best_wall = best_wall.min(wall);
-    }
-    metrics.wall_ms = best_wall;
-    (metrics, answer)
+    (wall, RunMetrics::from_stats(wall, eng.stats()), answer)
 }
 
 struct WorkloadResult {
@@ -200,6 +212,16 @@ impl WorkloadResult {
             self.metrics(&format!("semi_naive_w{PAR_WORKERS}")).wall_ms,
         )
     }
+
+    /// Semi-naive over magic attempts — how much work the demand
+    /// rewrite saved. `None` on workloads that did not run `magic`.
+    fn magic_attempts_ratio(&self) -> Option<f64> {
+        let magic = self.runs.iter().find(|(l, _)| l == "magic")?;
+        Some(ratio(
+            self.metrics("semi_naive_w1").attempts as f64,
+            magic.1.attempts as f64,
+        ))
+    }
 }
 
 fn ratio(a: f64, b: f64) -> f64 {
@@ -216,19 +238,13 @@ fn run_workload(
     rb: &Rulebase,
     db: &Database,
     task: &Task,
+    configs: &[Config],
     repeats: usize,
 ) -> WorkloadResult {
-    let configs = [
-        Config::Naive,
-        Config::Semi { workers: 1 },
-        Config::Semi {
-            workers: PAR_WORKERS,
-        },
-    ];
-    let mut runs = Vec::new();
+    let mut runs: Vec<(String, RunMetrics)> = Vec::new();
     let mut reference: Option<Answer> = None;
-    for config in configs {
-        let (metrics, answer) = run_config(rb, db, task, config, repeats);
+    for &config in configs {
+        let (_, metrics, answer) = run_once(rb, db, task, config);
         match &reference {
             None => reference = Some(answer),
             Some(expected) => assert!(
@@ -237,15 +253,23 @@ fn run_workload(
                 config.label()
             ),
         }
-        eprintln!(
-            "  {name:<16} {:<14} {:>9.2} ms  {:>12} attempts  {:>6} rounds  {:>12} probes",
-            config.label(),
-            metrics.wall_ms,
-            metrics.attempts,
-            metrics.rounds,
-            metrics.index_probes,
-        );
         runs.push((config.label(), metrics));
+    }
+    // Wall time is the minimum over `repeats` runs; counters are
+    // deterministic across repeats. Repeats are interleaved across
+    // configurations so a scheduler hiccup lands on all of them
+    // rather than skewing one configuration's burst.
+    for _ in 1..repeats {
+        for (i, &config) in configs.iter().enumerate() {
+            let (wall, _, _) = run_once(rb, db, task, config);
+            runs[i].1.wall_ms = runs[i].1.wall_ms.min(wall);
+        }
+    }
+    for (label, metrics) in &runs {
+        eprintln!(
+            "  {name:<16} {label:<14} {:>9.2} ms  {:>12} attempts  {:>6} rounds  {:>12} probes",
+            metrics.wall_ms, metrics.attempts, metrics.rounds, metrics.index_probes,
+        );
     }
     WorkloadResult {
         name,
@@ -259,7 +283,7 @@ fn run_workload(
 fn json(results: &[WorkloadResult], mode: &str, threads: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"bench_fixpoint/v1\",");
+    let _ = writeln!(out, "  \"schema\": \"bench_fixpoint/v2\",");
     let _ = writeln!(
         out,
         "  \"command\": \"cargo run --release -p hdl-bench --bin fixpoint\","
@@ -288,6 +312,9 @@ fn json(results: &[WorkloadResult], mode: &str, threads: usize) -> String {
             "      \"parallel_speedup_w1_over_w{PAR_WORKERS}\": {:.2},",
             w.parallel_speedup()
         );
+        if let Some(r) = w.magic_attempts_ratio() {
+            let _ = writeln!(out, "      \"attempts_ratio_semi_over_magic\": {r:.2},");
+        }
         out.push_str("      \"configs\": [\n");
         for (ci, (label, m)) in w.runs.iter().enumerate() {
             out.push_str("        {");
@@ -295,8 +322,15 @@ fn json(results: &[WorkloadResult], mode: &str, threads: usize) -> String {
                 out,
                 "\"config\": \"{label}\", \"wall_ms\": {:.3}, \"attempts\": {}, \
                  \"rounds\": {}, \"index_probes\": {}, \"index_hits\": {}, \
-                 \"parallel_rounds\": {}, ",
-                m.wall_ms, m.attempts, m.rounds, m.index_probes, m.index_hits, m.parallel_rounds
+                 \"parallel_rounds\": {}, \"magic_rules\": {}, \"demand_facts\": {}, ",
+                m.wall_ms,
+                m.attempts,
+                m.rounds,
+                m.index_probes,
+                m.index_hits,
+                m.parallel_rounds,
+                m.magic_rules,
+                m.demand_facts
             );
             // The delta trajectory of the last model computed; long
             // tails (chains) are truncated for readability.
@@ -335,7 +369,10 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_fixpoint.json".into());
-    let repeats = if quick { 2 } else { 3 };
+    // Quick mode gates wall-clock ratios in CI, so it takes more
+    // repeats: the min over five runs is stable against scheduler
+    // noise that a min over two is not.
+    let repeats = if quick { 5 } else { 3 };
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!(
         "fixpoint benchmark — mode {}, {} host threads",
@@ -348,13 +385,28 @@ fn main() {
     // Chain TC: many rounds with shrinking deltas — the workload where
     // naive re-derivation is most wasteful (the attempts-ratio gate).
     let n = if quick { 64 } else { 192 };
-    let (rb, db, _) = tc_program(&Digraph::chain(n));
+    let (rb, db, mut syms) = tc_program(&Digraph::chain(n));
     results.push(run_workload(
         "tc_chain",
         format!("chain of {n} nodes"),
         &rb,
         &db,
         &Task::Model,
+        &MODEL_CONFIGS,
+        repeats,
+    ));
+
+    // Point reachability on the same chain: both query arguments bound,
+    // so the demand rewrite only derives the O(n) suffix reachable from
+    // the source instead of the O(n²) full closure.
+    let q = parse_query(&format!("?- tc(v0, v{}).", n - 1), &mut syms).expect("query parses");
+    results.push(run_workload(
+        "tc_chain_point",
+        format!("chain of {n} nodes, query tc(v0, v{})", n - 1),
+        &rb,
+        &db,
+        &Task::Holds(q),
+        &POINT_CONFIGS,
         repeats,
     ));
 
@@ -362,7 +414,7 @@ fn main() {
     // intra-round parallel firing pays (the wall-clock gate).
     let (n, d) = if quick { (64, 0.10) } else { (200, 0.035) };
     let g = random_digraph(n, d, 7);
-    let (rb, db, _) = tc_program(&g);
+    let (rb, db, mut syms) = tc_program(&g);
     results.push(run_workload(
         "tc_dense",
         format!(
@@ -372,19 +424,52 @@ fn main() {
         &rb,
         &db,
         &Task::Model,
+        &MODEL_CONFIGS,
+        repeats,
+    ));
+
+    // Point reachability on the dense digraph: demand restricts the
+    // closure to the single-source slice instead of all pairs.
+    let q = parse_query(&format!("?- tc(v0, v{}).", n - 1), &mut syms).expect("query parses");
+    results.push(run_workload(
+        "tc_dense_point",
+        format!(
+            "random digraph n={n} density={d} seed=7, query tc(v0, v{})",
+            n - 1
+        ),
+        &rb,
+        &db,
+        &Task::Holds(q),
+        &POINT_CONFIGS,
         repeats,
     ));
 
     // Same-generation over a complete binary tree: non-linear recursion
     // with geometrically widening deltas.
     let depth = if quick { 6 } else { 9 };
-    let (rb, db, _) = same_generation_program(depth);
+    let (rb, db, mut syms) = same_generation_program(depth);
     results.push(run_workload(
         "same_generation",
         format!("complete binary tree, depth {depth}"),
         &rb,
         &db,
         &Task::Model,
+        &MODEL_CONFIGS,
+        repeats,
+    ));
+
+    // Point same-generation between the leftmost and rightmost leaves:
+    // demand walks only the two root paths and the levels they touch,
+    // while the full model materializes every same-level pair.
+    let (lo, hi) = (1usize << (depth - 1), (1usize << depth) - 1);
+    let q = parse_query(&format!("?- sg(n{lo}, n{hi})."), &mut syms).expect("query parses");
+    results.push(run_workload(
+        "sg_point",
+        format!("complete binary tree, depth {depth}, query sg(n{lo}, n{hi})"),
+        &rb,
+        &db,
+        &Task::Holds(q),
+        &POINT_CONFIGS,
         repeats,
     ));
 
@@ -410,6 +495,7 @@ fn main() {
         &rb,
         &db,
         &Task::Holds(q),
+        &MODEL_CONFIGS,
         repeats,
     ));
 
@@ -436,6 +522,7 @@ fn main() {
             &enc.rulebase,
             &enc.database,
             &Task::Holds(enc.sat_query()),
+            &MODEL_CONFIGS,
             repeats,
         ));
     }
@@ -453,6 +540,10 @@ fn main() {
     let tc_chain = find("tc_chain");
     let tc_dense = find("tc_dense");
     let ham = find("hamiltonian");
+    let point: Vec<&WorkloadResult> = results
+        .iter()
+        .filter(|w| w.magic_attempts_ratio().is_some())
+        .collect();
     eprintln!(
         "gates: tc_chain attempts ratio {:.2}x, hamiltonian attempts ratio {:.2}x, \
          tc wall naive/semi {:.2}x|{:.2}x, tc_dense parallel speedup {:.2}x",
@@ -462,6 +553,13 @@ fn main() {
         tc_dense.wall_ratio_naive_over_semi(),
         tc_dense.parallel_speedup(),
     );
+    for w in &point {
+        eprintln!(
+            "gates: {} semi/magic attempts ratio {:.2}x",
+            w.name,
+            w.magic_attempts_ratio().unwrap_or(0.0)
+        );
+    }
 
     if check {
         let mut failed = false;
@@ -486,6 +584,44 @@ fn main() {
                     "GATE FAILED: {} semi-naive slower than naive ({:.2}x)",
                     w.name,
                     w.wall_ratio_naive_over_semi()
+                );
+                failed = true;
+            }
+        }
+        // Demand gate: the magic rewrite must cut attempts ≥ 10× versus
+        // single-threaded semi-naive on at least two point-query
+        // workloads (deterministic counters, so this is stable).
+        let strong = point
+            .iter()
+            .filter(|w| w.magic_attempts_ratio().unwrap_or(0.0) >= 10.0)
+            .count();
+        if strong < 2 {
+            for w in &point {
+                eprintln!(
+                    "  {} semi/magic attempts ratio {:.2}",
+                    w.name,
+                    w.magic_attempts_ratio().unwrap_or(0.0)
+                );
+            }
+            eprintln!(
+                "GATE FAILED: only {strong} point workloads reached a 10x demand ratio (need 2)"
+            );
+            failed = true;
+        }
+        // Spawn-gate regression guard: when every round's delta falls
+        // below `PARALLEL_MIN_DELTA` the w4 run spawns nothing, so it
+        // must cost nothing — speedup ≥ 0.95× of single-threaded.
+        // Workloads that do spawn are excluded (a low-core host pays
+        // thread overhead it cannot recoup), as are runs under 5 ms
+        // where timer noise dominates the ratio.
+        for w in &results {
+            let w4 = w.metrics(&format!("semi_naive_w{PAR_WORKERS}"));
+            let gated = w4.parallel_rounds == 0 && w.metrics("semi_naive_w1").wall_ms >= 5.0;
+            if gated && w.parallel_speedup() < 0.95 {
+                eprintln!(
+                    "GATE FAILED: {} skipped all parallel rounds yet speedup {:.2} < 0.95",
+                    w.name,
+                    w.parallel_speedup()
                 );
                 failed = true;
             }

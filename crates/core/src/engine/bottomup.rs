@@ -50,7 +50,7 @@ use crate::engine::budget::Budget;
 use crate::engine::context::Context;
 use crate::engine::matching::{
     chunk_tasks, collect_free, empty_layer, fire_pure, part_for, run_pure_parallel, ModelLayers,
-    Part, PureTask, RuleClass, Seed, PARALLEL_MIN_ROWS,
+    Part, PureTask, RuleClass, Seed, PARALLEL_MIN_DELTA,
 };
 use crate::engine::stats::{EngineStats, Limits};
 use hdl_base::{
@@ -235,6 +235,22 @@ impl<'rb> BottomUpEngine<'rb> {
     /// The number of strata of the global stratification.
     pub fn num_strata(&self) -> usize {
         self.rules_by_stratum.len()
+    }
+
+    /// Counts derived facts whose predicate satisfies `pred_in`, summed
+    /// over every memoized model. The magic engine uses this to report
+    /// how many demand facts a rewritten query materialized.
+    pub fn derived_fact_count(&self, mut pred_in: impl FnMut(Symbol) -> bool) -> u64 {
+        self.models
+            .values()
+            .map(|e| {
+                e.derived
+                    .predicates()
+                    .filter(|&p| pred_in(p))
+                    .map(|p| e.derived.count(p) as u64)
+                    .sum::<u64>()
+            })
+            .sum()
     }
 
     /// A snapshot of the full perfect model of the base database.
@@ -535,7 +551,11 @@ impl<'rb> BottomUpEngine<'rb> {
             .iter()
             .map(|t| t.seed.as_ref().map_or(64, |(_, rows)| rows.len()))
             .sum();
-        let spawn = self.workers > 1 && tasks.len() > 1 && weight >= PARALLEL_MIN_ROWS;
+        let eligible = self.workers > 1 && tasks.len() > 1;
+        let spawn = eligible && weight >= PARALLEL_MIN_DELTA;
+        if eligible && !spawn {
+            self.stats.parallel_skipped += 1;
+        }
         let layers = ModelLayers::new(self.ctx.dbs.view(db), older, delta);
         if spawn {
             self.stats.parallel_rounds += 1;

@@ -195,10 +195,14 @@ pub struct PureTask {
     pub seed: Option<Seed>,
 }
 
-/// Minimum total seed rows in a round before worker threads are spawned;
-/// below this the per-round spawn cost outweighs the join work (e.g. the
-/// many tiny rounds of a long-chain transitive closure).
-pub const PARALLEL_MIN_ROWS: usize = 128;
+/// Minimum total seed rows (delta width) in a round before worker
+/// threads are spawned; below this the per-round scope/merge cost
+/// outweighs the join work and parallel firing *loses* — tc_chain's
+/// ~190-fact rounds ran 2× slower at 4 workers under the old 128-row
+/// threshold. Rounds skipped by this gate are counted in
+/// `parallel_skipped`, and the fixpoint bench gates
+/// `parallel_speedup ≥ 0.95` so parallelism can no longer regress.
+pub const PARALLEL_MIN_DELTA: usize = 1024;
 
 /// The model slice premise `idx` reads under rotation `rot_j`: the
 /// standard semi-naive assignment `Full^{<j} ⋈ Δ_j ⋈ Old^{>j}` over the

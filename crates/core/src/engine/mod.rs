@@ -1,6 +1,6 @@
 //! Evaluation engines for hypothetical Datalog.
 //!
-//! Three engines implement the same semantics and are cross-checked
+//! Four engines implement the same semantics and are cross-checked
 //! against each other in the test suite:
 //!
 //! - [`bottomup::BottomUpEngine`] — the reference engine: perfect models
@@ -9,6 +9,10 @@
 //! - [`topdown::TopDownEngine`] — goal-directed search with taint-aware
 //!   tabling; the practical engine for search-heavy programs (Hamiltonian
 //!   path, Turing-machine encodings).
+//! - [`demand::MagicEngine`] — a demand rewrite (magic sets extended to
+//!   hypothetical premises and stratified negation) in front of a fresh
+//!   semi-naive bottom-up run per query; the fast engine for point
+//!   queries with bound arguments.
 //! - [`prove::ProveEngine`] — the paper's own `PROVE_Σᵢ`/`PROVE_Δᵢ`
 //!   procedures (§5.2), instrumented for the Theorem 3 goal-sequence
 //!   bound. Requires a linearly stratified rulebase.
@@ -16,6 +20,7 @@
 pub mod bottomup;
 pub mod budget;
 pub mod context;
+pub mod demand;
 pub mod matching;
 pub mod proof;
 pub mod prove;
@@ -26,6 +31,7 @@ pub mod topdown;
 pub use bottomup::BottomUpEngine;
 pub use budget::{Budget, CancelToken, MemoryLimits};
 pub use context::Context;
+pub use demand::MagicEngine;
 pub use proof::{render as render_proof, ProofChild, ProofNode};
 pub use prove::ProveEngine;
 pub use reference::NaiveEngine;

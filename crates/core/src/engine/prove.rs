@@ -31,7 +31,7 @@ use crate::engine::budget::Budget;
 use crate::engine::context::Context;
 use crate::engine::matching::{
     chunk_tasks, fire_pure, part_for, run_pure_parallel, ModelLayers, Part, PureTask, RuleClass,
-    Seed, PARALLEL_MIN_ROWS,
+    Seed, PARALLEL_MIN_DELTA,
 };
 use crate::engine::stats::Limits;
 use hdl_base::{
@@ -66,6 +66,10 @@ pub struct ProveStats {
     pub index_hits: u64,
     /// Δ fixpoint rounds whose pure-rule firings ran on worker threads.
     pub parallel_rounds: u64,
+    /// Δ fixpoint rounds eligible for worker threads that ran inline
+    /// because the round's delta was narrower than
+    /// [`crate::engine::matching::PARALLEL_MIN_DELTA`].
+    pub parallel_skipped: u64,
     /// Storage counters of the overlay DAG backing the database lattice,
     /// snapshotted when the engine finished its last query.
     pub overlay: hdl_base::OverlayStats,
@@ -986,7 +990,11 @@ impl<'rb> ProveEngine<'rb> {
             .iter()
             .map(|t| t.seed.as_ref().map_or(64, |(_, rows)| rows.len()))
             .sum();
-        let spawn = self.workers > 1 && tasks.len() > 1 && weight >= PARALLEL_MIN_ROWS;
+        let eligible = self.workers > 1 && tasks.len() > 1;
+        let spawn = eligible && weight >= PARALLEL_MIN_DELTA;
+        if eligible && !spawn {
+            self.stats.parallel_skipped += 1;
+        }
         let layers = ModelLayers::new(self.ctx.dbs.view(db), older, delta);
         if spawn {
             self.stats.parallel_rounds += 1;

@@ -35,6 +35,24 @@ pub struct EngineStats {
     pub index_hits: u64,
     /// Fixpoint rounds whose pure-rule firings ran on worker threads.
     pub parallel_rounds: u64,
+    /// Fixpoint rounds that were eligible for worker threads but ran
+    /// inline because the round's delta was narrower than
+    /// [`crate::engine::matching::PARALLEL_MIN_DELTA`] — rule-level
+    /// splitting loses to scope/merge overhead on narrow deltas.
+    pub parallel_skipped: u64,
+    /// Magic/guard rules emitted by the demand rewrite for the last
+    /// query (magic engine only).
+    pub magic_rules: u64,
+    /// Facts of invented magic predicates derived while answering,
+    /// demand seeds included (magic engine only).
+    pub demand_facts: u64,
+    /// Negation strata of the rewritten program for the last query
+    /// (magic engine only).
+    pub adorned_strata: u64,
+    /// Predicates the demand rewrite left unrestricted (evaluated via
+    /// their original rules) because no sound bound adornment exists —
+    /// plus, on a whole-query fallback, every rulebase predicate.
+    pub unbound_fallbacks: u64,
     /// Storage counters of the overlay DAG backing the database lattice —
     /// a snapshot of [`hdl_base::DbStore::overlay_stats`] taken when the
     /// engine finished its last query. `overlay.delta_facts` versus
@@ -63,6 +81,29 @@ impl EngineStats {
         self.index_hits += c.hits;
     }
 
+    /// Folds a delegate engine run into these counters — used by the
+    /// magic engine, which answers each query through a fresh inner
+    /// semi-naive engine. Monotone counters sum, `max_depth` maxes, and
+    /// the per-round/overlay snapshots are replaced by the inner run's.
+    pub fn merge_run(&mut self, other: &EngineStats) {
+        self.goal_expansions += other.goal_expansions;
+        self.databases_created += other.databases_created;
+        self.memo_hits += other.memo_hits;
+        self.calls += other.calls;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.rounds += other.rounds;
+        self.delta_facts_per_round = other.delta_facts_per_round.clone();
+        self.index_probes += other.index_probes;
+        self.index_hits += other.index_hits;
+        self.parallel_rounds += other.parallel_rounds;
+        self.parallel_skipped += other.parallel_skipped;
+        self.magic_rules += other.magic_rules;
+        self.demand_facts += other.demand_facts;
+        self.adorned_strata = other.adorned_strata.max(self.adorned_strata);
+        self.unbound_fallbacks += other.unbound_fallbacks;
+        self.overlay = other.overlay;
+    }
+
     /// One-line JSON object of the counters (for `:stats --json` and
     /// the network protocol's `stats` op). Keys are stable.
     pub fn to_json(&self) -> String {
@@ -71,7 +112,9 @@ impl EngineStats {
         let _ = write!(
             out,
             "{{\"goal_expansions\":{},\"databases_created\":{},\"memo_hits\":{},\"calls\":{},\
-             \"max_depth\":{},\"rounds\":{},\"parallel_rounds\":{},\"index_probes\":{},\
+             \"max_depth\":{},\"rounds\":{},\"parallel_rounds\":{},\"parallel_skipped\":{},\
+             \"magic_rules\":{},\"demand_facts\":{},\"adorned_strata\":{},\
+             \"unbound_fallbacks\":{},\"index_probes\":{},\
              \"index_hits\":{},\"delta_facts_per_round\":[",
             self.goal_expansions,
             self.databases_created,
@@ -80,6 +123,11 @@ impl EngineStats {
             self.max_depth,
             self.rounds,
             self.parallel_rounds,
+            self.parallel_skipped,
+            self.magic_rules,
+            self.demand_facts,
+            self.adorned_strata,
+            self.unbound_fallbacks,
             self.index_probes,
             self.index_hits,
         );

@@ -23,7 +23,7 @@
 //! ```
 
 use crate::ast::{HypRule, Rulebase};
-use crate::engine::{BottomUpEngine, Budget, EngineStats, TopDownEngine};
+use crate::engine::{BottomUpEngine, Budget, EngineStats, MagicEngine, TopDownEngine};
 use crate::maintain::{MaintenanceStats, MaterializedModel};
 use crate::parser::{parse_program, parse_query, split_facts};
 use crate::snapshot::Snapshot;
@@ -76,19 +76,23 @@ pub enum EngineKind {
     TopDown,
     /// Perfect-model reference engine.
     BottomUp,
+    /// Demand-driven: magic-sets rewrite in front of a semi-naive
+    /// bottom-up run (best for point queries with bound arguments).
+    Magic,
 }
 
 impl std::str::FromStr for EngineKind {
     type Err = hdl_base::Error;
 
-    /// Accepts the CLI spellings `top-down` / `topdown` / `td` and
-    /// `bottom-up` / `bottomup` / `bu`.
+    /// Accepts the CLI spellings `top-down` / `topdown` / `td`,
+    /// `bottom-up` / `bottomup` / `bu`, and `magic` / `demand`.
     fn from_str(s: &str) -> Result<Self> {
         match s {
             "top-down" | "topdown" | "td" => Ok(EngineKind::TopDown),
             "bottom-up" | "bottomup" | "bu" => Ok(EngineKind::BottomUp),
+            "magic" | "demand" => Ok(EngineKind::Magic),
             other => Err(hdl_base::Error::Invalid(format!(
-                "unknown engine `{other}` (expected top-down or bottom-up)"
+                "unknown engine `{other}` (expected top-down, bottom-up, or magic)"
             ))),
         }
     }
@@ -513,6 +517,12 @@ impl Session {
                     eng.set_parallelism(workers);
                     Ok((eng.holds(&q)?, eng.stats().clone()))
                 }
+                EngineKind::Magic => {
+                    let mut eng = MagicEngine::new(rulebase, database)?;
+                    eng.set_budget(budget);
+                    eng.set_parallelism(workers);
+                    Ok((eng.holds(&q)?, eng.stats().clone()))
+                }
             }
         })?;
         self.last_stats = Some(stats);
@@ -567,6 +577,12 @@ impl Session {
             }
             EngineKind::BottomUp => {
                 let mut eng = BottomUpEngine::new(rulebase, database)?;
+                eng.set_budget(budget);
+                eng.set_parallelism(workers);
+                eng.answers(&atom)
+            }
+            EngineKind::Magic => {
+                let mut eng = MagicEngine::new(rulebase, database)?;
                 eng.set_budget(budget);
                 eng.set_parallelism(workers);
                 eng.answers(&atom)
@@ -810,7 +826,32 @@ mod tests {
             EngineKind::TopDown
         );
         assert_eq!(EngineKind::from_str("bu").unwrap(), EngineKind::BottomUp);
+        assert_eq!(EngineKind::from_str("magic").unwrap(), EngineKind::Magic);
+        assert_eq!(EngineKind::from_str("demand").unwrap(), EngineKind::Magic);
         assert!(EngineKind::from_str("sideways").is_err());
+    }
+
+    #[test]
+    fn magic_engine_is_selectable() {
+        let mut s = Session::new();
+        s.load(
+            "edge(a, b). edge(b, c).\n\
+             tc(X, Y) :- edge(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), edge(Y, Z).",
+        )
+        .unwrap();
+        s.set_engine(EngineKind::Magic);
+        assert!(s.ask("?- tc(a, c).").unwrap());
+        assert!(!s.ask("?- tc(c, a).").unwrap());
+        assert_eq!(
+            s.answers("tc(a, X)").unwrap(),
+            vec![
+                vec!["a".to_owned(), "b".to_owned()],
+                vec!["a".into(), "c".into()]
+            ]
+        );
+        let stats = s.last_stats().expect("stats recorded");
+        assert!(stats.magic_rules > 0, "magic path was not taken");
     }
 
     #[test]

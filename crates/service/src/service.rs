@@ -5,7 +5,9 @@ use crate::cache::{AnswerCache, CacheKey};
 use crate::outcome::Outcome;
 use crate::stats::{ServiceStats, StatsCell};
 use hdl_base::SymbolTable;
-use hdl_core::engine::{BottomUpEngine, Budget, CancelToken, MemoryLimits, TopDownEngine};
+use hdl_core::engine::{
+    BottomUpEngine, Budget, CancelToken, MagicEngine, MemoryLimits, TopDownEngine,
+};
 use hdl_core::parser::parse_query;
 use hdl_core::session::EngineKind;
 use hdl_core::snapshot::Snapshot;
@@ -451,6 +453,7 @@ impl Drop for QueryService {
 struct Engines<'rb> {
     top_down: Option<TopDownEngine<'rb>>,
     bottom_up: Option<BottomUpEngine<'rb>>,
+    magic: Option<MagicEngine<'rb>>,
 }
 
 /// Spawns one worker thread. The thread supervises its own loop: a
@@ -737,6 +740,10 @@ fn process<'rb>(
             let eng = engines.bottom_up.as_ref().expect("engine ensured");
             eng.context().dbs.neg_fingerprint(base_db)
         }
+        EngineKind::Magic => {
+            let eng = engines.magic.as_ref().expect("engine ensured");
+            eng.context().dbs.neg_fingerprint(base_db)
+        }
     };
     let key = CacheKey {
         epoch: snap.epoch(),
@@ -771,6 +778,11 @@ fn process<'rb>(
             eng.set_budget(budget);
             Outcome::from_verdict(eng.holds(&query))
         }
+        (RequestKind::Ask(_), EngineKind::Magic) => {
+            let eng = engines.magic.as_mut().expect("engine ensured");
+            eng.set_budget(budget);
+            Outcome::from_verdict(eng.holds(&query))
+        }
         (RequestKind::Answers(_), _) => {
             let Premise::Atom(atom) = &query else {
                 unreachable!("checked above")
@@ -783,6 +795,11 @@ fn process<'rb>(
                 }
                 EngineKind::BottomUp => {
                     let eng = engines.bottom_up.as_mut().expect("engine ensured");
+                    eng.set_budget(budget);
+                    eng.answers_partial(atom)
+                }
+                EngineKind::Magic => {
+                    let eng = engines.magic.as_mut().expect("engine ensured");
                     eng.set_budget(budget);
                     eng.answers_partial(atom)
                 }
@@ -839,6 +856,17 @@ fn ensure_engine<'rb>(
             }
             Ok(engines
                 .bottom_up
+                .as_ref()
+                .expect("just built")
+                .context()
+                .base_db)
+        }
+        EngineKind::Magic => {
+            if engines.magic.is_none() {
+                engines.magic = Some(MagicEngine::new(snap.rulebase(), snap.database())?);
+            }
+            Ok(engines
+                .magic
                 .as_ref()
                 .expect("just built")
                 .context()
@@ -926,6 +954,59 @@ mod tests {
         assert_eq!(bu.wait(), Outcome::True);
         // Different engines never share cache entries.
         assert_eq!(service.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn magic_engine_is_selectable_per_request() {
+        let service = QueryService::new(university(), 2);
+        let yes =
+            service.submit(QueryRequest::ask("eligible(tony)").with_engine(EngineKind::Magic));
+        let no = service.submit(QueryRequest::ask("grad(tony)").with_engine(EngineKind::Magic));
+        let rows =
+            service.submit(QueryRequest::answers("eligible(S)").with_engine(EngineKind::Magic));
+        assert_eq!(yes.wait(), Outcome::True);
+        assert_eq!(no.wait(), Outcome::False);
+        assert_eq!(rows.wait(), Outcome::Answers(vec![vec!["tony".into()]]));
+        service.shutdown();
+    }
+
+    /// Differently-adorned queries of one predicate — different bound
+    /// argument positions — must never collide in the answer cache: the
+    /// canonical goal text embeds the constants, so the keys differ.
+    #[test]
+    fn magic_adornments_never_collide_in_the_cache() {
+        let service = QueryService::new(
+            Snapshot::from_program(
+                "edge(a, b). edge(b, c).
+                 tc(X, Y) :- edge(X, Y).
+                 tc(X, Z) :- tc(X, Y), edge(Y, Z).",
+            )
+            .unwrap(),
+            1,
+        );
+        // Same predicate, four distinct adornments: bb, bf, fb, ff.
+        let outcomes = service.run_batch(
+            ["tc(a, c)", "tc(a, X)", "tc(X, c)", "tc(X, Y)"]
+                .into_iter()
+                .map(|q| QueryRequest::ask(q).with_engine(EngineKind::Magic))
+                .collect(),
+        );
+        assert!(outcomes.iter().all(|o| *o == Outcome::True));
+        let stats = service.stats();
+        assert_eq!(
+            stats.cache_hits, 0,
+            "adorned variants must occupy distinct cache entries: {stats:?}"
+        );
+        assert_eq!(stats.cache_misses, 4);
+        // ...while a repeated identical point query is served from cache.
+        let again = service.submit(QueryRequest::ask("tc(a, c)").with_engine(EngineKind::Magic));
+        assert_eq!(again.wait(), Outcome::True);
+        assert_eq!(
+            service.stats().cache_hits,
+            1,
+            "identical point query must hit"
+        );
+        service.shutdown();
     }
 
     #[test]

@@ -309,13 +309,13 @@ fn usage_error(mode: &str, msg: &str) -> i32 {
              [--tenant-max-facts N] [--tenant-max-depth N] [--tenant-queue-cap N] \
              [--tenant-in-flight N] [--max-facts N] [--deadline-ms MS] \
              [--replicate-to ADDR ...] [--follow ADDR]\n\
-             \x20      hdl serve --stdin [FILE ...] [--workers N] [--engine top-down|bottom-up] \
+             \x20      hdl serve --stdin [FILE ...] [--workers N] [--engine top-down|bottom-up|magic] \
              [--deadline-ms MS] [--max-facts N] [--retries N] [--queue-cap N] \
              [--persist-dir DIR] [--fsync always|never|N]"
         ),
         "connect" => eprintln!("usage: hdl connect HOST:PORT [--tenant NAME] [--reconnect]"),
         _ => eprintln!(
-            "usage: hdl {mode} [FILE ...] [--workers N] [--engine top-down|bottom-up] \
+            "usage: hdl {mode} [FILE ...] [--workers N] [--engine top-down|bottom-up|magic] \
              [--deadline-ms MS] [--max-facts N] [--retries N] [--queue-cap N] \
              [--persist-dir DIR] [--fsync always|never|N]"
         ),
@@ -1306,9 +1306,21 @@ fn render_stats(s: &hdl_core::engine::EngineStats) -> String {
     );
     let _ = writeln!(
         out,
-        "  rounds                 {:>12}   parallel_rounds {}",
-        s.rounds, s.parallel_rounds
+        "  rounds                 {:>12}   parallel_rounds {} (skipped {})",
+        s.rounds, s.parallel_rounds, s.parallel_skipped
     );
+    if s.magic_rules > 0 || s.demand_facts > 0 {
+        let _ = writeln!(
+            out,
+            "  magic_rules            {:>12}   demand_facts {}",
+            s.magic_rules, s.demand_facts
+        );
+        let _ = writeln!(
+            out,
+            "  adorned_strata         {:>12}   unbound_fallbacks {}",
+            s.adorned_strata, s.unbound_fallbacks
+        );
+    }
     let _ = writeln!(
         out,
         "  index_probes           {:>12}   index_hits {}",

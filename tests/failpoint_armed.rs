@@ -11,7 +11,7 @@
 use hdl_base::failpoint::{self, FaultSpec};
 use hdl_base::Database;
 use hdl_base::SymbolTable;
-use hdl_core::engine::{BottomUpEngine, NaiveEngine, ProveEngine};
+use hdl_core::engine::{BottomUpEngine, MagicEngine, NaiveEngine, ProveEngine};
 use hdl_core::parser::{parse_program, parse_query, split_facts};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -99,6 +99,31 @@ fn injected_errors_surface_structurally_not_as_wrong_models() {
         .model()
         .unwrap();
     assert_eq!(expected, got);
+}
+
+#[test]
+fn magic_rewrite_errors_degrade_to_semi_naive_not_wrong_answers() {
+    let _lab = FaultLab::begin();
+    let mut syms = SymbolTable::new();
+    let (rb, db) = workload(&mut syms);
+    let q = parse_query("?- tc(n0, n15).", &mut syms).unwrap();
+    let expected = NaiveEngine::new(&rb, &db).unwrap().holds(&q).unwrap();
+    // An injected rewrite failure must route the query through the
+    // plain semi-naive fallback — same verdict, no panic.
+    failpoint::configure("magic::rewrite", FaultSpec::erroring(1).fires(1), 19);
+    let mut armed = MagicEngine::new(&rb, &db).unwrap();
+    assert_eq!(expected, armed.holds(&q).unwrap());
+    let (hits, _) = failpoint::counters("magic::rewrite");
+    assert!(hits > 0, "the armed site must actually be exercised");
+    assert!(
+        armed.stats().unbound_fallbacks > 0,
+        "the failed rewrite must be counted as a fallback"
+    );
+    assert_eq!(armed.stats().magic_rules, 0);
+    // The spent failpoint stops firing; a fresh engine rewrites again.
+    let mut fresh = MagicEngine::new(&rb, &db).unwrap();
+    assert_eq!(expected, fresh.holds(&q).unwrap());
+    assert!(fresh.stats().magic_rules > 0);
 }
 
 #[test]
