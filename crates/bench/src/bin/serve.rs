@@ -15,6 +15,11 @@
 //! - **Query latency** (p50/p99) on a loaded tenant while background
 //!   connections keep mutating a second tenant — the interactive
 //!   experience of a reader sharing the server with writers.
+//! - **Sync-vs-async ack latency** on a replicated pair: the same
+//!   single-mutation workload on an async tenant (ack after the local
+//!   fsync) and a sync tenant (`open` with `"sync":1` — ack waits for
+//!   the follower to cover the commit), bounding the price of a quorum
+//!   ack and proving async tenants keep their latency.
 //!
 //! ```console
 //! $ cargo run --release -p hdl-bench --bin serve            # full sizes
@@ -346,6 +351,99 @@ fn run_replication(facts: usize, window: usize) -> ReplicationRun {
     }
 }
 
+/// One side of the sync-vs-async ack-latency comparison.
+struct AckSide {
+    p50_us: f64,
+    p99_us: f64,
+    /// Sync acks that timed out of the quorum wait and degraded. On a
+    /// healthy in-process pair this must stay zero.
+    degraded: usize,
+}
+
+struct AckLatencyRun {
+    samples: usize,
+    async_side: AckSide,
+    sync_side: AckSide,
+}
+
+/// Times `samples` single mutations on `tenant` end to end (send →
+/// ack), with the tenant's sync quorum set over the wire via the `open`
+/// override. Degraded acks are counted, not failed.
+fn measure_acks(addr: SocketAddr, tenant: &str, sync: u64, samples: usize) -> AckSide {
+    let mut client = Client::connect(addr);
+    client.send_ok(&format!(
+        "{{\"op\":\"open\",\"tenant\":\"{tenant}\",\"sync\":{sync}}}"
+    ));
+    let warmup = 10usize;
+    let mut lats: Vec<f64> = Vec::with_capacity(samples);
+    let mut degraded = 0usize;
+    for i in 0..samples + warmup {
+        let line = format!("{{\"op\":\"load\",\"program\":\"a({tenant}_{i}).\"}}");
+        let start = Instant::now();
+        let reply = client.send(&line);
+        let lat_us = start.elapsed().as_secs_f64() * 1e6;
+        if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+            assert_eq!(
+                reply.get("kind").and_then(Json::as_str),
+                Some("degraded_ack"),
+                "mutation failed outright: {reply}"
+            );
+            degraded += 1;
+        }
+        if i >= warmup {
+            lats.push(lat_us);
+        }
+    }
+    lats.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| lats[((lats.len() as f64 - 1.0) * p).round() as usize];
+    AckSide {
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        degraded,
+    }
+}
+
+/// Measures per-mutation ack latency on one replicated pair for an
+/// async tenant (ack after the local fsync; shipping is fire-and-
+/// forget) and a sync tenant (ack additionally waits for the follower
+/// to cover the commit position). Same servers, same fsync policy —
+/// the only difference is the per-tenant quorum, so the gap is exactly
+/// the price of a quorum ack.
+fn run_ack_latency(samples: usize) -> AckLatencyRun {
+    let p_dir = TempDir::new("ack-primary");
+    let f_dir = TempDir::new("ack-follower");
+    let follower = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        persist_root: Some(f_dir.0.clone()),
+        fsync: FsyncPolicy::Always,
+        group_commit: true,
+        follow: Some("primary".into()),
+        workers_per_tenant: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start ack follower");
+    let primary = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        persist_root: Some(p_dir.0.clone()),
+        fsync: FsyncPolicy::Always,
+        group_commit: true,
+        replicate_to: vec![follower.addr().to_string()],
+        workers_per_tenant: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start ack primary");
+
+    let async_side = measure_acks(primary.addr(), "fire", 0, samples);
+    let sync_side = measure_acks(primary.addr(), "quorum", 1, samples);
+    primary.drain();
+    follower.drain();
+    AckLatencyRun {
+        samples,
+        async_side,
+        sync_side,
+    }
+}
+
 struct QueryRun {
     queries: usize,
     background_mutators: usize,
@@ -499,6 +597,15 @@ fn main() {
         rep.primary_mutations_per_sec, rep.lag_ms, rep.failover_ms
     );
 
+    let ack_samples = if quick { 150 } else { 600 };
+    eprintln!("sync-vs-async ack latency ({ack_samples} samples per side)...");
+    let ack = run_ack_latency(ack_samples);
+    let ack_ratio = ack.sync_side.p50_us / ack.async_side.p50_us;
+    eprintln!(
+        "  async p50 {:.0}us  sync p50 {:.0}us  ({ack_ratio:.1}x, {} degraded)",
+        ack.async_side.p50_us, ack.sync_side.p50_us, ack.sync_side.degraded
+    );
+
     // The gate only means something where fsync has a real cost: on a
     // device where it is nearly free (ramdisk, write-cache lies), both
     // paths run at memory speed and the ratio is noise.
@@ -508,6 +615,12 @@ fn main() {
     // any filesystem: the follower must converge and a promote-and-write
     // failover must land well inside operator reflexes.
     let rep_pass = rep.converged && rep.failover_ms < 5_000.0;
+    // The ack-latency gate bounds the price of a quorum ack at 5x the
+    // async p50 with zero degraded acks on a healthy pair. Like the
+    // speedup gate it only means something where fsync has a real cost:
+    // when fsync is free the async ack is a bare loopback round trip
+    // and the ratio measures thread-wakeup noise, not the design.
+    let ack_pass = ack_ratio < 5.0 && ack.sync_side.degraded == 0;
 
     let mut report = String::new();
     let _ = writeln!(report, "{{");
@@ -559,10 +672,26 @@ fn main() {
     );
     let _ = writeln!(
         report,
+        "  \"ack_latency\": {{\"samples\": {}, \
+         \"async\": {{\"p50_us\": {:.1}, \"p99_us\": {:.1}, \"degraded\": {}}}, \
+         \"sync\": {{\"p50_us\": {:.1}, \"p99_us\": {:.1}, \"degraded\": {}}}, \
+         \"sync_over_async_p50\": {ack_ratio:.2}}},",
+        ack.samples,
+        ack.async_side.p50_us,
+        ack.async_side.p99_us,
+        ack.async_side.degraded,
+        ack.sync_side.p50_us,
+        ack.sync_side.p99_us,
+        ack.sync_side.degraded,
+    );
+    let _ = writeln!(
+        report,
         "  \"check\": {{\"gate\": \"group commit >= 10x per-mutation fsync at always (single-stream)\", \
          \"meaningful\": {gate_meaningful}, \"pass\": {gate_pass}, \
          \"replication_gate\": \"follower converges; promote-and-write < 5s\", \
-         \"replication_pass\": {rep_pass}}}"
+         \"replication_pass\": {rep_pass}, \
+         \"ack_gate\": \"sync-ack p50 < 5x async p50, zero degraded acks\", \
+         \"ack_pass\": {ack_pass}}}"
     );
     let _ = writeln!(report, "}}");
 
@@ -594,5 +723,20 @@ fn main() {
             "check: OK replication lag {:.1}ms, failover {:.1}ms",
             rep.lag_ms, rep.failover_ms
         );
+        if !gate_meaningful {
+            eprintln!(
+                "check: SKIPPED ack-latency gate (fsync effectively free — \
+                 the async baseline is a bare loopback round trip)"
+            );
+        } else if !ack_pass {
+            eprintln!(
+                "check: FAIL sync-ack latency {ack_ratio:.1}x async p50 (limit 5x) \
+                 with {} degraded acks",
+                ack.sync_side.degraded
+            );
+            std::process::exit(1);
+        } else {
+            eprintln!("check: OK sync-ack latency {ack_ratio:.1}x async p50");
+        }
     }
 }

@@ -43,6 +43,6 @@ pub(crate) mod testutil;
 pub use codec::{decode_checkpoint, decode_record, encode_checkpoint, WalRecord};
 pub use group::{CommitTicket, GroupCommitStats, GroupCommitter};
 pub use recover::{recover, Recovered, RecoveryReport};
-pub use replicate::{Position, Replica, Ship, WalTap};
+pub use replicate::{AckTracker, Position, Replica, Ship, WalTap};
 pub use session::DurableSession;
 pub use wal::{read_wal, FsyncPolicy, WalWriter};

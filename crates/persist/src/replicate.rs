@@ -44,10 +44,12 @@ use crate::recover::{recover, RecoveryReport};
 use crate::wal::{FsyncPolicy, WalWriter, MAX_RECORD_LEN, WAL_HEADER_LEN};
 use hdl_base::{crc32, Error, Result};
 use hdl_core::Session;
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// A replication position: checkpoint epoch plus byte offset into that
 /// epoch's WAL file. Fresh worlds start at `(0, WAL_HEADER_LEN)`.
@@ -66,6 +68,14 @@ impl Position {
             epoch: 0,
             offset: WAL_HEADER_LEN,
         }
+    }
+
+    /// Whether a follower acked at `self` has durably replicated
+    /// everything up to `at`. A later epoch always covers: the follower
+    /// only reaches it through a checkpoint image that contains the
+    /// whole earlier history.
+    pub fn covers(&self, at: Position) -> bool {
+        self.epoch > at.epoch || (self.epoch == at.epoch && self.offset >= at.offset)
     }
 }
 
@@ -210,6 +220,126 @@ pub fn parse_frames(bytes: &[u8]) -> Result<Vec<&[u8]>> {
         pos += 8 + len as usize;
     }
     Ok(frames)
+}
+
+/// Shared scoreboard of follower replication progress, per tenant ×
+/// target, for synchronous (quorum-acknowledged) commits.
+///
+/// The shipper calls [`AckTracker::record`] with each follower ack it
+/// receives; a committing session calls [`AckTracker::wait_quorum`]
+/// with the position its batch reached locally and blocks — bounded by
+/// a deadline — until enough targets' acked positions [`Position::covers`]
+/// that point. The wait returns the count actually covering, so the
+/// caller can degrade to a structured under-replication report instead
+/// of hanging the commit window.
+pub struct AckTracker {
+    targets: usize,
+    state: Mutex<BTreeMap<String, Vec<Option<Position>>>>,
+    cond: Condvar,
+}
+
+impl AckTracker {
+    /// A tracker for `targets` replication targets (indexed `0..targets`).
+    pub fn new(targets: usize) -> Self {
+        AckTracker {
+            targets,
+            state: Mutex::new(BTreeMap::new()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// How many replication targets this tracker scores.
+    pub fn targets(&self) -> usize {
+        self.targets
+    }
+
+    /// Records that target `target` acked `tenant` up to `pos`
+    /// (monotonic: an older ack never regresses the scoreboard).
+    pub fn record(&self, tenant: &str, target: usize, pos: Position) {
+        if target >= self.targets {
+            return;
+        }
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let slots = state
+            .entry(tenant.to_string())
+            .or_insert_with(|| vec![None; self.targets]);
+        match slots[target] {
+            Some(have) if have.covers(pos) => {}
+            _ => {
+                slots[target] = Some(pos);
+                self.cond.notify_all();
+            }
+        }
+    }
+
+    /// Forgets a target's progress for every tenant — called when its
+    /// connection drops, so a quorum never counts a dead follower.
+    pub fn forget_target(&self, target: usize) {
+        if target >= self.targets {
+            return;
+        }
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        for slots in state.values_mut() {
+            slots[target] = None;
+        }
+    }
+
+    /// How many targets currently cover `at` for `tenant`.
+    pub fn covering(&self, tenant: &str, at: Position) -> usize {
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state
+            .get(tenant)
+            .map(|slots| {
+                slots
+                    .iter()
+                    .filter(|p| p.is_some_and(|p| p.covers(at)))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Blocks until at least `need` targets cover `at` for `tenant`, or
+    /// `deadline` elapses. Returns the number of targets covering at
+    /// return time (`>= need` on success, the shortfall count on
+    /// timeout).
+    pub fn wait_quorum(
+        &self,
+        tenant: &str,
+        at: Position,
+        need: usize,
+        deadline: Duration,
+    ) -> usize {
+        let need = need.min(self.targets);
+        let started = Instant::now();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            let covering = state
+                .get(tenant)
+                .map(|slots| {
+                    slots
+                        .iter()
+                        .filter(|p| p.is_some_and(|p| p.covers(at)))
+                        .count()
+                })
+                .unwrap_or(0);
+            if covering >= need {
+                return covering;
+            }
+            let elapsed = started.elapsed();
+            if elapsed >= deadline {
+                return covering;
+            }
+            let (next, timeout) = self
+                .cond
+                .wait_timeout(state, deadline - elapsed)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
+            if timeout.timed_out() {
+                // Loop once more to pick up a racing final record().
+                continue;
+            }
+        }
+    }
 }
 
 /// A follower's mirror of one tenant: the primary's on-disk layout,
@@ -550,5 +680,100 @@ mod tests {
         // Position mismatches are refused before any validation.
         assert!(replica.apply_window(at.epoch + 1, at.offset, &[]).is_err());
         assert!(replica.apply_window(at.epoch, at.offset + 8, &[]).is_err());
+    }
+
+    #[test]
+    fn positions_cover_across_epochs() {
+        let at = Position {
+            epoch: 2,
+            offset: 100,
+        };
+        assert!(at.covers(at));
+        assert!(Position {
+            epoch: 2,
+            offset: 101
+        }
+        .covers(at));
+        assert!(Position {
+            epoch: 3,
+            offset: WAL_HEADER_LEN
+        }
+        .covers(at));
+        assert!(!Position {
+            epoch: 2,
+            offset: 99
+        }
+        .covers(at));
+        assert!(!Position {
+            epoch: 1,
+            offset: 999
+        }
+        .covers(at));
+    }
+
+    #[test]
+    fn ack_tracker_quorum_wait_and_degrade() {
+        let tracker = Arc::new(AckTracker::new(2));
+        let at = Position {
+            epoch: 0,
+            offset: 64,
+        };
+
+        // Nothing recorded: a bounded wait degrades with the count seen.
+        assert_eq!(
+            tracker.wait_quorum("t", at, 1, Duration::from_millis(20)),
+            0
+        );
+
+        // One target acks past the mark; quorum of 1 resolves, 2 degrades.
+        tracker.record(
+            "t",
+            0,
+            Position {
+                epoch: 0,
+                offset: 80,
+            },
+        );
+        assert_eq!(tracker.covering("t", at), 1);
+        assert_eq!(
+            tracker.wait_quorum("t", at, 1, Duration::from_millis(20)),
+            1
+        );
+        assert_eq!(
+            tracker.wait_quorum("t", at, 2, Duration::from_millis(20)),
+            1
+        );
+
+        // A racing ack from another thread wakes a blocked waiter.
+        let waiter = {
+            let tracker = Arc::clone(&tracker);
+            std::thread::spawn(move || tracker.wait_quorum("t", at, 2, Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        tracker.record(
+            "t",
+            1,
+            Position {
+                epoch: 1,
+                offset: 16,
+            },
+        );
+        assert_eq!(waiter.join().unwrap(), 2);
+
+        // Stale acks never regress; a dropped target is forgotten.
+        tracker.record(
+            "t",
+            0,
+            Position {
+                epoch: 0,
+                offset: 16,
+            },
+        );
+        assert_eq!(tracker.covering("t", at), 2);
+        tracker.forget_target(0);
+        assert_eq!(tracker.covering("t", at), 1);
+        // Out-of-range target indexes are ignored, not panics.
+        tracker.record("t", 9, at);
+        tracker.forget_target(9);
     }
 }

@@ -32,8 +32,11 @@ pub mod tenant;
 pub use hdl_persist::GroupCommitter;
 pub use json::Json;
 pub use protocol::{outcome_reply, Reply, Request, PROTOCOL_VERSION};
-pub use replication::{FollowerState, ReplicaTenant, Shipper, ShipperStats};
+pub use replication::{
+    FenceState, FollowerState, ReplicaTenant, ReplicationHandle, Shipper, ShipperStats,
+    SYNC_WAIT_DEADLINE,
+};
 pub use server::{install_termination_flag, Server, ServerConfig};
 pub use tenant::{
-    BatchOp, BatchReply, Registry, RegistryConfig, Tenant, TenantError, TenantQuotas,
+    BatchOp, BatchOutcome, BatchReply, Registry, RegistryConfig, Tenant, TenantError, TenantQuotas,
 };

@@ -35,6 +35,10 @@ pub enum Request {
     Open {
         /// Tenant name (`[A-Za-z0-9_-]{1,64}`).
         tenant: String,
+        /// Per-tenant replication quorum override: a mutation is acked
+        /// only after this many followers hold it (0 = async, the
+        /// default). Refused if it exceeds the configured target count.
+        sync: Option<u64>,
     },
     /// A yes/no query (`?-` dressing optional).
     Query {
@@ -80,6 +84,8 @@ pub enum Request {
     RepPosition {
         /// Tenant name.
         tenant: String,
+        /// The sender's fencing epoch (absent from pre-fencing peers).
+        fence: Option<u64>,
     },
     /// Replication: a window of committed WAL bytes at an exact
     /// position.
@@ -92,6 +98,8 @@ pub enum Request {
         offset: u64,
         /// Base64 of the raw frame bytes.
         data: String,
+        /// The sender's fencing epoch (absent from pre-fencing peers).
+        fence: Option<u64>,
     },
     /// Replication: a checkpoint image the follower must install before
     /// windows can resume (the primary rotated past its position).
@@ -102,10 +110,22 @@ pub enum Request {
         epoch: u64,
         /// Base64 of the serialized checkpoint.
         data: String,
+        /// The sender's fencing epoch (absent from pre-fencing peers).
+        fence: Option<u64>,
     },
     /// Replication: liveness probe; refreshes the follower's
     /// last-primary-contact clock.
-    RepHeartbeat,
+    RepHeartbeat {
+        /// The sender's fencing epoch (absent from pre-fencing peers).
+        fence: Option<u64>,
+    },
+    /// Tells this server a fencing epoch exists (e.g. an operator or a
+    /// peer announcing a promotion). A writable server that learns of a
+    /// newer epoch latches itself read-only.
+    RepFence {
+        /// The fencing epoch being announced.
+        epoch: u64,
+    },
     /// Operator op: promote this follower to primary. Replicas reopen
     /// as normal writable tenants; mutations are accepted afterwards.
     Promote,
@@ -148,10 +168,12 @@ impl Request {
                 max_facts: value.get("max_facts").and_then(Json::as_u64),
             })
         };
+        let opt_num = |field: &str| value.get(field).and_then(Json::as_u64);
         let request = match op {
             "hello" => Request::Hello,
             "open" => Request::Open {
                 tenant: text("tenant")?,
+                sync: opt_num("sync"),
             },
             "query" => Request::Query {
                 q: text("q")?,
@@ -177,19 +199,27 @@ impl Request {
             "shutdown" => Request::Shutdown,
             "rep_position" => Request::RepPosition {
                 tenant: text("tenant")?,
+                fence: opt_num("fence"),
             },
             "rep_window" => Request::RepWindow {
                 tenant: text("tenant")?,
                 epoch: number("epoch")?,
                 offset: number("offset")?,
                 data: text("data")?,
+                fence: opt_num("fence"),
             },
             "rep_checkpoint" => Request::RepCheckpoint {
                 tenant: text("tenant")?,
                 epoch: number("epoch")?,
                 data: text("data")?,
+                fence: opt_num("fence"),
             },
-            "rep_heartbeat" => Request::RepHeartbeat,
+            "rep_heartbeat" => Request::RepHeartbeat {
+                fence: opt_num("fence"),
+            },
+            "rep_fence" => Request::RepFence {
+                epoch: number("epoch")?,
+            },
             "promote" => Request::Promote,
             other => return Err(format!("unknown op `{other}`")),
         };
@@ -213,7 +243,7 @@ impl Reply {
     /// A failure reply with a machine-readable `kind` (`parse`,
     /// `protocol`, `no-tenant`, `bad-tenant-name`, `quota`,
     /// `overloaded`, `query`, `shutdown`, `internal`, `read_only`,
-    /// `rep-position`).
+    /// `rep-position`, `fenced`, `degraded_ack`).
     pub fn err(kind: &str, message: impl Into<String>) -> Reply {
         Reply {
             fields: vec![
@@ -283,6 +313,29 @@ mod tests {
                 "{\"op\":\"open\",\"tenant\":\"t1\"}",
                 Request::Open {
                     tenant: "t1".into(),
+                    sync: None,
+                },
+            ),
+            (
+                "{\"op\":\"open\",\"tenant\":\"t1\",\"sync\":2}",
+                Request::Open {
+                    tenant: "t1".into(),
+                    sync: Some(2),
+                },
+            ),
+            (
+                "{\"op\":\"rep_heartbeat\",\"fence\":7}",
+                Request::RepHeartbeat { fence: Some(7) },
+            ),
+            (
+                "{\"op\":\"rep_fence\",\"epoch\":3}",
+                Request::RepFence { epoch: 3 },
+            ),
+            (
+                "{\"op\":\"rep_position\",\"tenant\":\"t1\",\"fence\":1}",
+                Request::RepPosition {
+                    tenant: "t1".into(),
+                    fence: Some(1),
                 },
             ),
             ("{\"op\":\"pop\"}", Request::Pop),
@@ -323,6 +376,7 @@ mod tests {
         assert!(Request::parse("{\"op\":\"query\"}").is_err());
         assert!(Request::parse("{\"q\":\"p\"}").is_err());
         assert!(Request::parse("{\"op\":\"warp\"}").is_err());
+        assert!(Request::parse("{\"op\":\"rep_fence\"}").is_err());
         assert!(Request::parse("not json").is_err());
     }
 

@@ -19,7 +19,9 @@
 
 use crate::json::Json;
 use crate::protocol::{outcome_reply, Reply, Request, PROTOCOL_VERSION};
-use crate::replication::{b64_decode, FollowerState, ReplicaTenant, Shipper, ShipperStats};
+use crate::replication::{
+    b64_decode, FenceState, FollowerState, ReplicaTenant, ReplicationHandle, Shipper, ShipperStats,
+};
 use crate::tenant::{BatchOp, BatchReply, Registry, RegistryConfig, Tenant, TenantQuotas};
 use hdl_core::session::EngineKind;
 use hdl_persist::{FsyncPolicy, GroupCommitter};
@@ -58,8 +60,12 @@ pub struct ServerConfig {
     /// Deadline applied when a request names none.
     pub default_deadline: Option<Duration>,
     /// Follower addresses to ship WAL windows to (primary role); one
-    /// shipper thread per address.
+    /// shipper thread fans out to all of them.
     pub replicate_to: Vec<String>,
+    /// Default replication quorum a mutation ack waits for (0 = async).
+    /// Must not exceed `replicate_to.len()`; tenants may override it
+    /// via the protocol `open` op's `"sync"` field.
+    pub sync_replicas: usize,
     /// Primary address this server trails (follower role): serve
     /// read-only replicas, refuse mutations, accept `rep_*` ops.
     /// Requires `persist_root`; mutually exclusive with `replicate_to`.
@@ -79,6 +85,7 @@ impl Default for ServerConfig {
             default_engine: EngineKind::default(),
             default_deadline: None,
             replicate_to: Vec::new(),
+            sync_replicas: 0,
             follow: None,
         }
     }
@@ -101,6 +108,12 @@ struct Inner {
     /// Follower role state; `Some` exactly when `config.follow` is set
     /// (promotion flips its flag, not this option).
     follower: Option<Arc<FollowerState>>,
+    /// The fencing epoch and read-only latch (epoch 0, unfenced, for
+    /// ephemeral servers — still latchable in memory).
+    fence: Arc<FenceState>,
+    /// Quorum scoreboard + shipper kick; `Some` exactly when
+    /// `replicate_to` is non-empty.
+    replication: Option<Arc<ReplicationHandle>>,
     /// One stats handle per `replicate_to` target.
     shipper_stats: Vec<Arc<ShipperStats>>,
     shippers: Mutex<Vec<JoinHandle<()>>>,
@@ -132,17 +145,32 @@ impl Server {
                 ));
             }
         }
+        if config.sync_replicas > config.replicate_to.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "--sync-replicas {} exceeds the {} configured replication targets",
+                    config.sync_replicas,
+                    config.replicate_to.len()
+                ),
+            ));
+        }
         let listener = TcpListener::bind(&config.listen)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let committer =
             (config.group_commit && config.persist_root.is_some()).then(GroupCommitter::new);
+        let fence = Arc::new(FenceState::load(config.persist_root.as_deref()));
+        let replication = (!config.replicate_to.is_empty())
+            .then(|| ReplicationHandle::new(config.replicate_to.len()));
         let registry = Arc::new(Registry::new(RegistryConfig {
             root: config.persist_root.clone(),
             policy: config.fsync,
             committer: committer.clone(),
             workers: config.workers_per_tenant,
             quotas: config.quotas.clone(),
+            replication: replication.clone(),
+            sync_replicas: config.sync_replicas,
         }));
         let shutdown = Arc::new(AtomicBool::new(false));
         let follower = config.follow.clone().map(|primary| {
@@ -154,14 +182,19 @@ impl Server {
                 config.workers_per_tenant,
             ))
         });
-        let mut shipper_stats = Vec::new();
-        let mut shippers = Vec::new();
-        for target in &config.replicate_to {
-            let (stats, handle) =
-                Shipper::spawn(Arc::clone(&registry), target.clone(), Arc::clone(&shutdown));
-            shipper_stats.push(stats);
-            shippers.push(handle);
-        }
+        let (shipper_stats, shippers) = match &replication {
+            None => (Vec::new(), Vec::new()),
+            Some(handle) => {
+                let (stats, join) = Shipper::spawn(
+                    Arc::clone(&registry),
+                    &config.replicate_to,
+                    Arc::clone(handle),
+                    Arc::clone(&fence),
+                    Arc::clone(&shutdown),
+                );
+                (stats, vec![join])
+            }
+        };
         let inner = Arc::new(Inner {
             config,
             registry,
@@ -174,6 +207,8 @@ impl Server {
             conns: Mutex::new(HashMap::new()),
             handlers: Mutex::new(Vec::new()),
             follower,
+            fence,
+            replication,
             shipper_stats,
             shippers: Mutex::new(shippers),
         });
@@ -504,10 +539,24 @@ fn mutation_op(request: &Request) -> Option<BatchOp<'_>> {
 }
 
 /// Renders one batch result in the same shape the single-op path uses.
+/// A window whose replication quorum wait timed out turns every applied
+/// op's ack into a structured `degraded_ack`: the mutation is durable
+/// locally and will reach the followers eventually, but the client's
+/// quorum contract was not met within the deadline.
 fn mutation_reply(
     tenant: &Tenant,
     result: Result<BatchReply, crate::tenant::TenantError>,
+    degraded: Option<(usize, usize)>,
 ) -> Reply {
+    if let (Ok(_), Some((replicated, required))) = (&result, degraded) {
+        return Reply::err(
+            "degraded_ack",
+            "mutation applied and locally durable, but the replication \
+             quorum wait hit its deadline",
+        )
+        .with("replicated", Json::num(replicated as f64))
+        .with("required", Json::num(required as f64));
+    }
     match result {
         Ok(BatchReply::Loaded) => Reply::ok("load").with("epoch", Json::num(tenant.epoch() as f64)),
         Ok(BatchReply::Assumed { frames }) => {
@@ -542,8 +591,8 @@ fn handle_one(
     // The follower role, while it lasts, refuses every mutation with a
     // structured `read_only` error pointing at the primary.
     let follower = inner.follower.as_ref().filter(|f| f.is_follower());
+    let is_mutation = mutation_op(request).is_some() || matches!(request, Request::Checkpoint);
     if let Some(f) = follower {
-        let is_mutation = mutation_op(request).is_some() || matches!(request, Request::Checkpoint);
         if is_mutation {
             return (
                 Reply::err(
@@ -556,6 +605,12 @@ fn handle_one(
                 false,
             );
         }
+    }
+    // A fenced server has been superseded by a newer primary: every
+    // mutation is refused until an operator promotes it (which clears
+    // the latch by bumping the epoch past everything observed).
+    if is_mutation && inner.fence.is_fenced() {
+        return (fenced_reply(&inner.fence), false);
     }
     let mut close = false;
     let reply = match request {
@@ -570,8 +625,10 @@ fn handle_one(
                 } else {
                     "primary"
                 }),
-            ),
-        Request::Open { tenant: name } => match follower {
+            )
+            .with("fence_epoch", Json::num(inner.fence.epoch() as f64))
+            .with("fenced", Json::Bool(inner.fence.is_fenced())),
+        Request::Open { tenant: name, sync } => match follower {
             Some(f) => match f.open_replica(name) {
                 Ok(r) => {
                     let pos = r.position();
@@ -585,18 +642,34 @@ fn handle_one(
                 }
                 Err(e) => Reply::err(e.kind, e.message),
             },
-            None => match inner.registry.open(name) {
-                Ok(t) => {
-                    let reply = Reply::ok("open")
-                        .with("tenant", Json::str(t.name()))
-                        .with("durable", Json::Bool(t.is_durable()))
-                        .with("epoch", Json::num(t.epoch() as f64));
-                    *tenant = Some(t);
-                    *replica = None;
-                    reply
+            None => {
+                let targets = inner.replication.as_ref().map_or(0, |r| r.targets());
+                match sync {
+                    Some(n) if *n as usize > targets => Reply::err(
+                        "protocol",
+                        format!(
+                            "sync quorum {n} exceeds the {targets} configured \
+                             replication targets"
+                        ),
+                    ),
+                    _ => match inner.registry.open(name) {
+                        Ok(t) => {
+                            if let Some(n) = sync {
+                                t.set_sync_replicas(*n as usize);
+                            }
+                            let reply = Reply::ok("open")
+                                .with("tenant", Json::str(t.name()))
+                                .with("durable", Json::Bool(t.is_durable()))
+                                .with("epoch", Json::num(t.epoch() as f64))
+                                .with("sync", Json::num(t.sync_replicas() as f64));
+                            *tenant = Some(t);
+                            *replica = None;
+                            reply
+                        }
+                        Err(e) => Reply::err(e.kind, e.message),
+                    },
                 }
-                Err(e) => Reply::err(e.kind, e.message),
-            },
+            }
         },
         Request::Query { q, opts } => match (&tenant, &replica) {
             (Some(t), _) => {
@@ -645,8 +718,9 @@ fn handle_one(
                 None => no_tenant(),
                 Some(t) => {
                     let op = mutation_op(request).expect("mutation arm");
-                    let result = t.apply_batch(&[op]).pop().expect("one reply per op");
-                    mutation_reply(t, result)
+                    let mut outcome = t.apply_batch(&[op]);
+                    let result = outcome.replies.pop().expect("one reply per op");
+                    mutation_reply(t, result, outcome.degraded)
                 }
             }
         }
@@ -664,11 +738,15 @@ fn handle_one(
             inner.shutdown.store(true, SeqCst);
             Reply::ok("shutdown").with("draining", Json::Bool(true))
         }
-        Request::RepPosition { tenant: name } => match follower {
-            None => not_follower(),
-            Some(f) => {
+        Request::RepPosition {
+            tenant: name,
+            fence,
+        } => match rep_fence_gate(inner, follower, fence) {
+            Err(refusal) => refusal,
+            Ok(None) => not_follower(),
+            Ok(Some(f)) => {
                 f.touch();
-                f.rep_position(name)
+                stamp_fence(inner, f.rep_position(name))
             }
         },
         Request::RepWindow {
@@ -676,9 +754,11 @@ fn handle_one(
             epoch,
             offset,
             data,
-        } => match follower {
-            None => not_follower(),
-            Some(f) => {
+            fence,
+        } => match rep_fence_gate(inner, follower, fence) {
+            Err(refusal) => refusal,
+            Ok(None) => not_follower(),
+            Ok(Some(f)) => {
                 f.touch();
                 match b64_decode(data) {
                     Err(e) => Reply::err("parse", format!("bad base64 in rep_window: {e}")),
@@ -690,7 +770,7 @@ fn handle_one(
                         // implicitly in the resumed position.
                         hdl_base::failpoint_fire!("replicate::ack");
                         hdl_persist::crashpoint::crash_point("replicate::ack");
-                        reply
+                        stamp_fence(inner, reply)
                     }
                 }
             }
@@ -699,34 +779,124 @@ fn handle_one(
             tenant: name,
             epoch,
             data,
-        } => match follower {
-            None => not_follower(),
-            Some(f) => {
+            fence,
+        } => match rep_fence_gate(inner, follower, fence) {
+            Err(refusal) => refusal,
+            Ok(None) => not_follower(),
+            Ok(Some(f)) => {
                 f.touch();
                 match b64_decode(data) {
                     Err(e) => Reply::err("parse", format!("bad base64 in rep_checkpoint: {e}")),
-                    Ok(image) => f.install_checkpoint(name, *epoch, &image),
+                    Ok(image) => stamp_fence(inner, f.install_checkpoint(name, *epoch, &image)),
                 }
             }
         },
-        Request::RepHeartbeat => match follower {
-            None => not_follower(),
-            Some(f) => {
+        Request::RepHeartbeat { fence } => match rep_fence_gate(inner, follower, fence) {
+            Err(refusal) => refusal,
+            Ok(None) => not_follower(),
+            Ok(Some(f)) => {
                 f.touch();
-                Reply::ok("rep_heartbeat")
+                stamp_fence(inner, Reply::ok("rep_heartbeat"))
             }
         },
+        Request::RepFence { epoch } => {
+            // An explicit fencing announcement. A writable primary that
+            // learns of a newer epoch latches itself read-only; a
+            // follower merely adopts it (its eventual promotion must
+            // bump above it).
+            if follower.is_some() {
+                inner.fence.adopt(*epoch);
+            } else if inner.fence.fence_to(*epoch) {
+                warn_fenced(*epoch);
+            }
+            Reply::ok("rep_fence")
+                .with("epoch", Json::num(inner.fence.epoch() as f64))
+                .with("fenced", Json::Bool(inner.fence.is_fenced()))
+        }
         Request::Promote => match &inner.follower {
             None => Reply::err("protocol", "this server is not a follower"),
             Some(f) => {
+                let was_follower = f.is_follower();
                 let names = f.promote();
+                // Bump the fencing epoch past everything this follower
+                // observed from its primary, exactly once per actual
+                // promotion (a second promote is a no-op).
+                let fence_epoch = if was_follower {
+                    inner.fence.bump_for_promote()
+                } else {
+                    inner.fence.epoch()
+                };
                 Reply::ok("promote")
                     .with("role", Json::str("primary"))
+                    .with("fence_epoch", Json::num(fence_epoch as f64))
                     .with("tenants", Json::Arr(names.iter().map(Json::str).collect()))
             }
         },
     };
     (reply, close)
+}
+
+/// The fencing gate every `rep_*` op passes through. A stamped request
+/// from a sender whose fence epoch is *older* than ours is refused with
+/// a `fenced` reply naming our epoch — that is how a promoted follower
+/// (or anyone who outlived the promotion) fences a restarted old
+/// primary's shipper. Unstamped requests (pre-fencing peers, manual
+/// probes) skip the check. On a live follower the stamp is adopted so
+/// its eventual promotion bumps above the primary's epoch.
+#[allow(clippy::type_complexity)]
+fn rep_fence_gate<'a>(
+    inner: &Arc<Inner>,
+    follower: Option<&'a Arc<FollowerState>>,
+    stamp: &Option<u64>,
+) -> Result<Option<&'a Arc<FollowerState>>, Reply> {
+    if let Some(stamp) = stamp {
+        if *stamp < inner.fence.epoch() {
+            return Err(fenced_reply(&inner.fence));
+        }
+        if follower.is_some() {
+            inner.fence.adopt(*stamp);
+        }
+    }
+    Ok(follower)
+}
+
+/// Stamps our fencing epoch onto a replication reply so the peer
+/// observes promotions it missed.
+fn stamp_fence(inner: &Arc<Inner>, reply: Reply) -> Reply {
+    reply.with("fence", Json::num(inner.fence.epoch() as f64))
+}
+
+/// The structured `fenced` refusal, naming the epoch that superseded
+/// this server.
+fn fenced_reply(fence: &FenceState) -> Reply {
+    Reply::err(
+        "fenced",
+        format!(
+            "a newer primary exists (fence epoch {}); this server is \
+             read-only until promoted",
+            fence.epoch()
+        ),
+    )
+    .with("epoch", Json::num(fence.epoch() as f64))
+}
+
+/// One structured warning when this process latches itself fenced via
+/// an explicit `rep_fence` op.
+fn warn_fenced(epoch: u64) {
+    eprintln!(
+        "{}",
+        Json::obj(vec![
+            ("warn", Json::str("fenced")),
+            ("observed_epoch", Json::num(epoch as f64)),
+            (
+                "detail",
+                Json::str(
+                    "a newer primary exists; this server is now read-only \
+                     and refuses mutations with kind `fenced`"
+                ),
+            ),
+        ])
+    );
 }
 
 fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> io::Result<()> {
@@ -776,8 +946,10 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> io::Result<()> {
                 Ok((request, id)) => {
                     // A run of consecutive mutations on a bound tenant
                     // becomes ONE batch: one lock hold, one snapshot,
-                    // one durability wait for the whole run.
-                    let batching = if mutation_op(request).is_some() {
+                    // one durability wait for the whole run. A fenced
+                    // server skips batching so each mutation falls
+                    // through to `handle_one`'s structured refusal.
+                    let batching = if mutation_op(request).is_some() && !inner.fence.is_fenced() {
                         tenant.clone()
                     } else {
                         None
@@ -795,8 +967,10 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> io::Result<()> {
                                 None => break,
                             }
                         }
-                        for (result, rid) in t.apply_batch(&ops).into_iter().zip(ids) {
-                            replies.push_str(&mutation_reply(&t, result).render(rid));
+                        let outcome = t.apply_batch(&ops);
+                        let degraded = outcome.degraded;
+                        for (result, rid) in outcome.replies.into_iter().zip(ids) {
+                            replies.push_str(&mutation_reply(&t, result, degraded).render(rid));
                             replies.push('\n');
                         }
                     } else {
@@ -868,6 +1042,8 @@ fn stats_reply(
         ),
         ("tenants", Json::num(inner.registry.len() as f64)),
         ("draining", Json::Bool(inner.shutdown.load(SeqCst))),
+        ("fence_epoch", Json::num(inner.fence.epoch() as f64)),
+        ("fenced", Json::Bool(inner.fence.is_fenced())),
         (
             "group_commit",
             match &inner.committer {
@@ -885,6 +1061,10 @@ fn stats_reply(
             "replication",
             Json::obj(vec![
                 ("role", Json::str("primary")),
+                (
+                    "sync_replicas",
+                    Json::num(inner.config.sync_replicas as f64),
+                ),
                 ("targets", Json::Arr(targets)),
             ]),
         );

@@ -28,6 +28,7 @@
 //! in-flight cap are shed as `overloaded` without being enqueued.
 
 use crate::json::Json;
+use crate::replication::ReplicationHandle;
 use hdl_base::GroundAtom;
 use hdl_core::{parse_program, split_facts, Session};
 use hdl_persist::{DurableSession, FsyncPolicy, GroupCommitter};
@@ -131,6 +132,20 @@ pub enum BatchReply {
     },
 }
 
+/// The result of one [`Tenant::apply_batch`] window: per-op replies
+/// plus the window-level degraded-ack marker.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One result per op, mirroring the input order.
+    pub replies: Vec<Result<BatchReply, TenantError>>,
+    /// Set when the window applied and is locally durable but the
+    /// `sync` replication quorum wait timed out: `(replicated,
+    /// required)` follower counts. The mutations are *not* rolled back
+    /// — they are durable here and will reach the followers eventually
+    /// — but the client must be told its quorum was not met.
+    pub degraded: Option<(usize, usize)>,
+}
+
 /// How the registry builds tenants.
 #[derive(Clone)]
 pub struct RegistryConfig {
@@ -146,6 +161,13 @@ pub struct RegistryConfig {
     pub workers: usize,
     /// Quotas applied to every tenant.
     pub quotas: TenantQuotas,
+    /// Shared link to the replication shipper (primaries with
+    /// `--replicate-to`): tenants kick it on every commit and `sync`
+    /// tenants block their ack on its quorum scoreboard.
+    pub replication: Option<Arc<ReplicationHandle>>,
+    /// Server-wide default replication quorum a mutation ack waits for
+    /// (0 = async). Tenants may override it via the protocol `open` op.
+    pub sync_replicas: usize,
 }
 
 impl Default for RegistryConfig {
@@ -156,6 +178,8 @@ impl Default for RegistryConfig {
             committer: None,
             workers: 1,
             quotas: TenantQuotas::default(),
+            replication: None,
+            sync_replicas: 0,
         }
     }
 }
@@ -179,6 +203,12 @@ pub struct Tenant {
     /// session is then ahead of a failed log and further mutations are
     /// refused until the process is restarted (recovery re-reads disk).
     poisoned: AtomicBool,
+    /// Link to the replication shipper (primaries only).
+    replication: Option<Arc<ReplicationHandle>>,
+    /// Follower acks a mutation waits for before the client is acked
+    /// (0 = async). Set from the registry default, overridable per
+    /// tenant via the protocol `open` op.
+    sync_replicas: AtomicUsize,
 }
 
 fn lock_session(m: &Mutex<DurableSession>) -> MutexGuard<'_, DurableSession> {
@@ -247,7 +277,21 @@ impl Tenant {
             publish_seq: AtomicU64::new(0),
             published: Mutex::new(0),
             poisoned: AtomicBool::new(false),
+            replication: config.replication.clone(),
+            sync_replicas: AtomicUsize::new(config.sync_replicas),
         })
+    }
+
+    /// The replication quorum this tenant's mutation acks wait for
+    /// (0 = asynchronous).
+    pub fn sync_replicas(&self) -> usize {
+        self.sync_replicas.load(Relaxed)
+    }
+
+    /// Sets the per-tenant replication quorum. Callers validate `n`
+    /// against the configured target count before calling.
+    pub fn set_sync_replicas(&self, n: usize) {
+        self.sync_replicas.store(n, Relaxed);
     }
 
     /// The tenant's name.
@@ -324,7 +368,10 @@ impl Tenant {
     }
 
     fn single(&self, op: BatchOp<'_>) -> Result<BatchReply, TenantError> {
-        self.apply_batch(&[op]).pop().expect("one reply per op")
+        self.apply_batch(&[op])
+            .replies
+            .pop()
+            .expect("one reply per op")
     }
 
     /// Applies a pipeline window of mutations under ONE session lock
@@ -338,12 +385,18 @@ impl Tenant {
     /// server: the per-mutation costs that dominate a pipelined
     /// connection (the O(db) snapshot clone and the publish) are paid
     /// once per window, the same way the committer amortizes the fsync.
-    pub fn apply_batch(&self, ops: &[BatchOp<'_>]) -> Vec<Result<BatchReply, TenantError>> {
+    pub fn apply_batch(&self, ops: &[BatchOp<'_>]) -> BatchOutcome {
         if ops.is_empty() {
-            return Vec::new();
+            return BatchOutcome {
+                replies: Vec::new(),
+                degraded: None,
+            };
         }
         if let Err(e) = self.admit() {
-            return ops.iter().map(|_| Err(e.clone())).collect();
+            return BatchOutcome {
+                replies: ops.iter().map(|_| Err(e.clone())).collect(),
+                degraded: None,
+            };
         }
         let mut session = lock_session(&self.session);
         let mut replies: Vec<Result<BatchReply, TenantError>> = Vec::with_capacity(ops.len());
@@ -355,18 +408,22 @@ impl Tenant {
             }
             replies.push(reply);
         }
+        let mut degraded = None;
         if applied > 0 {
-            if let Err(e) = self.committed(session, applied) {
+            match self.committed(session, applied) {
+                Ok(d) => degraded = d,
                 // Durability failed: no op in this window may be acked
                 // as applied, whatever the in-memory session says.
-                for r in replies.iter_mut() {
-                    if r.is_ok() {
-                        *r = Err(e.clone());
+                Err(e) => {
+                    for r in replies.iter_mut() {
+                        if r.is_ok() {
+                            *r = Err(e.clone());
+                        }
                     }
                 }
             }
         }
-        replies
+        BatchOutcome { replies, degraded }
     }
 
     /// One op against the locked session: quota admission, parse, apply.
@@ -482,15 +539,30 @@ impl Tenant {
     /// sequence (a slow waiter must not regress the pool to a pre-ack
     /// snapshot; skipping is safe because the newer published snapshot
     /// already contains these mutations).
+    ///
+    /// On a replicating primary the shipper is kicked the moment the
+    /// lock drops (the committed WAL bytes are already visible through
+    /// the tap), and a `sync` tenant then blocks on the follower-ack
+    /// quorum — bounded by the replication-wait deadline, degrading to
+    /// `Ok(Some((replicated, required)))` rather than hanging the
+    /// window.
     fn committed(
         &self,
         mut session: MutexGuard<'_, DurableSession>,
         applied: u64,
-    ) -> Result<(), TenantError> {
+    ) -> Result<Option<(usize, usize)>, TenantError> {
         let tickets = session.take_pending_commits();
         let snapshot = session.snapshot();
         let seq = self.publish_seq.fetch_add(1, Relaxed) + 1;
+        let need = self.sync_replicas.load(Relaxed);
+        let sync_at = match (&self.replication, need) {
+            (Some(_), n) if n > 0 => session.wal_tap().map(|tap| tap.position()),
+            _ => None,
+        };
         drop(session);
+        if let Some(rep) = &self.replication {
+            rep.kick();
+        }
         for ticket in tickets {
             if let Err(e) = ticket.wait() {
                 self.poisoned.store(true, Relaxed);
@@ -511,7 +583,15 @@ impl Tenant {
             }
         }
         self.mutations.fetch_add(applied, Relaxed);
-        Ok(())
+        let degraded = match (&self.replication, sync_at) {
+            (Some(rep), Some(at)) => {
+                let need = need.min(rep.targets());
+                let got = rep.wait_quorum(&self.name, at, need);
+                (got < need).then_some((got, need))
+            }
+            _ => None,
+        };
+        Ok(degraded)
     }
 
     /// Tenant-level counters and state as a JSON object.
@@ -531,6 +611,10 @@ impl Tenant {
             (
                 "quota_trips",
                 Json::num(self.quota_trips.load(Relaxed) as f64),
+            ),
+            (
+                "sync_replicas",
+                Json::num(self.sync_replicas.load(Relaxed) as f64),
             ),
         ])
     }
@@ -812,13 +896,15 @@ mod tests {
     fn batch_window_isolates_per_op_failures() {
         let registry = ephemeral_registry(TenantQuotas::default());
         let t = registry.open("t").unwrap();
-        let replies = t.apply_batch(&[
+        let outcome = t.apply_batch(&[
             BatchOp::Load("p(a)."),
             BatchOp::Load("p(::syntax error"),
             BatchOp::Pop, // no frame stacked: protocol error
             BatchOp::Assume("h(x)"),
             BatchOp::Load("p(b)."),
         ]);
+        assert_eq!(outcome.degraded, None, "no sync policy, no degrade");
+        let replies = outcome.replies;
         assert_eq!(replies[0], Ok(BatchReply::Loaded));
         assert_eq!(replies[1].as_ref().unwrap_err().kind, "query");
         assert_eq!(replies[2].as_ref().unwrap_err().kind, "protocol");

@@ -126,6 +126,9 @@ struct Opts {
     /// Network server: follower addresses to ship WAL windows to
     /// (primary role; repeatable).
     replicate_to: Vec<String>,
+    /// Network server: default replication quorum a mutation ack waits
+    /// for (0 = async; must not exceed the `--replicate-to` count).
+    sync_replicas: usize,
     /// Network server: primary address to trail as a read-only follower.
     follow: Option<String>,
     /// `connect`: transparently reconnect (capped exponential backoff)
@@ -174,6 +177,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         tenant_in_flight: None,
         tenant: None,
         replicate_to: Vec::new(),
+        sync_replicas: 0,
         follow: None,
         reconnect: false,
     };
@@ -285,6 +289,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--replicate-to" => {
                 opts.replicate_to.push(value("--replicate-to")?);
             }
+            "--sync-replicas" => {
+                opts.sync_replicas = value("--sync-replicas")?
+                    .parse()
+                    .map_err(|e| format!("--sync-replicas: {e}"))?;
+            }
             "--follow" => {
                 opts.follow = Some(value("--follow")?);
             }
@@ -308,7 +317,7 @@ fn usage_error(mode: &str, msg: &str) -> i32 {
              [--no-group-commit] [--max-connections N] [--workers N] \
              [--tenant-max-facts N] [--tenant-max-depth N] [--tenant-queue-cap N] \
              [--tenant-in-flight N] [--max-facts N] [--deadline-ms MS] \
-             [--replicate-to ADDR ...] [--follow ADDR]\n\
+             [--replicate-to ADDR ...] [--sync-replicas N] [--follow ADDR]\n\
              \x20      hdl serve --stdin [FILE ...] [--workers N] [--engine top-down|bottom-up|magic] \
              [--deadline-ms MS] [--max-facts N] [--retries N] [--queue-cap N] \
              [--persist-dir DIR] [--fsync always|never|N]"
@@ -567,6 +576,7 @@ fn serve_listen(opts: &Opts) -> i32 {
         default_engine: opts.engine,
         default_deadline: opts.deadline,
         replicate_to: opts.replicate_to.clone(),
+        sync_replicas: opts.sync_replicas,
         follow: opts.follow.clone(),
     };
     let server = match Server::start(config) {

@@ -1,13 +1,14 @@
-//! Two-process crash/failover matrix for primary/follower replication.
+//! Crash/failover matrix for primary/follower replication.
 //!
 //! Each case runs a real `hdl serve --listen … --replicate-to` primary
-//! and a real `hdl serve --listen … --follow` follower as separate
-//! processes, arms one replication crash site with `HDL_CRASH_AT`
+//! and one or two real `hdl serve --listen … --follow` followers as
+//! separate processes, arms one crash site with `HDL_CRASH_AT`
 //! (`replicate::ship` aborts the primary before a window leaves;
 //! `replicate::apply` aborts the follower with a received window
 //! unwritten; `replicate::ack` aborts the follower after the fsync but
-//! before the ack), drives pipelined mutations through the primary, and
-//! then exercises one of the two recovery paths:
+//! before the ack; `persist::wal_append`/`persist::wal_fsync` abort the
+//! primary inside its local commit), drives pipelined mutations through
+//! the primary, and then exercises one of the recovery paths:
 //!
 //! - **restart**: bring the crashed process back on the same directory
 //!   (and, for followers, the same address) and assert the pair
@@ -17,6 +18,13 @@
 //!   *prefix of the submission order* read-only (acked ⊆ follower-state
 //!   ⊆ submitted, no holes, no invented facts), then `promote` it and
 //!   assert it accepts writes without losing that prefix.
+//!
+//! The three-process quorum matrix (`--sync-replicas 2`) tightens the
+//! async contract: a sync-acked mutation must already be present on
+//! EVERY quorum follower the instant the primary dies — no catch-up
+//! grace. The fencing cases prove a restarted old primary latches
+//! read-only once it contacts the promoted follower's higher epoch,
+//! and stays fenced across its own restarts (persisted FENCE latch).
 //!
 //! Everything is black-box over the wire: the only observables are acks,
 //! query answers, and process exits — exactly what an operator has.
@@ -124,6 +132,25 @@ fn spawn_follower(root: &Path, listen: &str, crash_at: Option<&str>) -> Proc {
     // messages; the data path is inbound (the primary dials us), so a
     // placeholder keeps the spawn order simple.
     spawn_serve(root, listen, &["--follow", "primary.invalid:0"], crash_at)
+}
+
+/// Spawns a primary shipping to every `targets` address with a
+/// server-wide sync quorum of `sync` acks per mutation.
+fn spawn_quorum_primary(
+    root: &Path,
+    targets: &[&str],
+    sync: usize,
+    crash_at: Option<&str>,
+) -> Proc {
+    let sync_s = sync.to_string();
+    let mut role: Vec<&str> = Vec::new();
+    for target in targets {
+        role.push("--replicate-to");
+        role.push(target);
+    }
+    role.push("--sync-replicas");
+    role.push(&sync_s);
+    spawn_serve(root, "127.0.0.1:0", &role, crash_at)
 }
 
 /// A line client that tolerates the server dying under it.
@@ -490,6 +517,389 @@ fn follower_crash_at_ack_restarts_and_converges() {
 #[test]
 fn follower_crash_at_ack_then_failover_promotes_cleanly() {
     run_follower_crash_case("replicate::ack", 1, true);
+}
+
+// ---------------------------------------------------------------------
+// Three-process quorum matrix: primary → two sync followers
+// (`--sync-replicas 2`), killed at a primary-side crash site. The async
+// cases above allow the follower to lag the acks; a sync ack was only
+// sent after BOTH followers acknowledged the covering position, so the
+// moment the primary dies every client-acked mutation must already be
+// present on every follower — no catch-up grace, no waiting.
+// ---------------------------------------------------------------------
+
+/// One cell of the quorum matrix, folded into the CI artifact.
+struct QuorumCell {
+    site: &'static str,
+    nth: u64,
+    submitted: usize,
+    acked: usize,
+    prefixes: [usize; 2],
+}
+
+/// Primary-side crash sites: the shipper about to send a window
+/// (`replicate::ship` counts per target, so odd hits leave the two
+/// followers asymmetric), and the local WAL append/fsync inside the
+/// very commit the client is waiting on.
+const QUORUM_MATRIX: &[(&str, u64)] = &[
+    ("replicate::ship", 1),
+    ("replicate::ship", 3),
+    ("persist::wal_append", 5),
+    ("persist::wal_fsync", 3),
+];
+
+fn run_quorum_case(site: &'static str, nth: u64) -> QuorumCell {
+    let tag = format!("quorum-{site}-{nth}");
+    let p_root = TempDir::new(&format!("{tag}-p"));
+    let f1_root = TempDir::new(&format!("{tag}-f1"));
+    let f2_root = TempDir::new(&format!("{tag}-f2"));
+    let f1 = spawn_follower(&f1_root.0, "127.0.0.1:0", None);
+    let f2 = spawn_follower(&f2_root.0, "127.0.0.1:0", None);
+    let mut primary = spawn_quorum_primary(
+        &p_root.0,
+        &[&f1.addr, &f2.addr],
+        2,
+        Some(&format!("{site}:{nth}")),
+    );
+
+    let p_addr = primary.addr.clone();
+    let client = drive(&p_addr, Some(&mut primary));
+    assert!(
+        !primary.wait_exit("armed quorum crash"),
+        "{tag}: the armed crash never fired"
+    );
+    let (submitted, acked) = (client.submitted, client.acked);
+    drop(client);
+    assert!(submitted > 0, "{tag}: nothing was submitted");
+
+    let mut prefixes = [0usize; 2];
+    for (slot, (name, f)) in [("f1", &f1), ("f2", &f2)].into_iter().enumerate() {
+        let (_, present) = presence(&f.addr, "t", submitted);
+        let got = prefix_len(&present, &format!("{tag} {name}"));
+        assert!(
+            got >= acked,
+            "{tag}: {name} is missing sync-acked mutations ({acked} acked, {got} present)"
+        );
+        prefixes[slot] = got;
+    }
+    QuorumCell {
+        site,
+        nth,
+        submitted,
+        acked,
+        prefixes,
+    }
+}
+
+/// The full quorum matrix, run sequentially so the cells fold into one
+/// CI artifact (`target/replication-matrix.json`), mirroring the
+/// crash-recovery report.
+#[test]
+fn quorum_matrix_sync_acked_on_every_follower() {
+    let mut cells = Vec::new();
+    for &(site, nth) in QUORUM_MATRIX {
+        cells.push(run_quorum_case(site, nth));
+    }
+    // Coverage sanity: a matrix where every cell crashed before a
+    // single sync ack would prove nothing about the ack contract.
+    assert!(
+        cells.iter().any(|c| c.acked > 0),
+        "quorum matrix: no cell got a sync ack before its crash"
+    );
+    let mut json = String::from("[\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"site\": \"{}\", \"nth\": {}, \"submitted\": {}, \"acked\": {}, \
+             \"follower_prefixes\": [{}, {}]}}{}\n",
+            c.site,
+            c.nth,
+            c.submitted,
+            c.acked,
+            c.prefixes[0],
+            c.prefixes[1],
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("target/replication-matrix.json");
+    std::fs::write(&path, json).unwrap();
+}
+
+/// A sync tenant whose quorum can never be met (the lone target never
+/// answers) gets the bounded-degradation contract: after the
+/// replication-wait deadline the mutation is answered with
+/// `kind:"degraded_ack"` carrying the replicated/required counts —
+/// applied and locally durable, but under-replicated — instead of
+/// hanging the client or rolling anything back.
+#[test]
+fn sync_ack_degrades_when_quorum_is_unreachable() {
+    let root = TempDir::new("degraded");
+    // Port 1 on loopback: connection refused instantly, redialed with
+    // backoff — the quorum stays permanently out of reach.
+    let primary = spawn_quorum_primary(&root.0, &["127.0.0.1:1"], 1, None);
+    let mut c = NetClient::open(&primary.addr, "t");
+    assert!(c.alive, "cannot open tenant on the sync primary");
+    let start = Instant::now();
+    let reply = c
+        .round_trip("{\"op\":\"load\",\"program\":\"f(x0).\"}")
+        .expect("degraded reply");
+    assert!(
+        reply.contains("\"kind\":\"degraded_ack\"")
+            && reply.contains("\"replicated\":0")
+            && reply.contains("\"required\":1"),
+        "expected a structured degraded ack: {reply}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(15),
+        "degraded ack was not bounded: {:?}",
+        start.elapsed()
+    );
+    // Degraded, not rolled back: the mutation applied locally.
+    let q = c
+        .round_trip("{\"op\":\"query\",\"q\":\"f(x0)\"}")
+        .expect("query after degraded ack");
+    assert!(
+        q.contains("\"result\":\"true\""),
+        "degraded mutation vanished: {q}"
+    );
+}
+
+/// After a failover, the restarted old primary must fence itself with
+/// no operator help: its shipper contacts the promoted follower,
+/// observes the higher fencing epoch, latches read-only (mutations
+/// refused with `kind:"fenced"`, reads still served), and the latch
+/// survives its own restarts through the persisted FENCE file.
+#[test]
+fn fenced_old_primary_refuses_writes_after_promote() {
+    let p_root = TempDir::new("fence-p");
+    let f1_root = TempDir::new("fence-f1");
+    let f2_root = TempDir::new("fence-f2");
+    let f1 = spawn_follower(&f1_root.0, "127.0.0.1:0", None);
+    let f2 = spawn_follower(&f2_root.0, "127.0.0.1:0", None);
+    let mut primary = spawn_quorum_primary(&p_root.0, &[&f1.addr, &f2.addr], 2, None);
+
+    // Per-tenant sync override over the wire: re-open with a lower
+    // quorum (echoed back), then with one exceeding the target set
+    // (refused), then restore the full quorum.
+    let mut c = NetClient::open(&primary.addr, "t");
+    let reply = c
+        .round_trip("{\"op\":\"open\",\"tenant\":\"t\",\"sync\":1}")
+        .expect("open with sync override");
+    assert!(
+        reply.contains("\"ok\":true") && reply.contains("\"sync\":1"),
+        "sync override not accepted/echoed: {reply}"
+    );
+    let reply = c
+        .round_trip("{\"op\":\"open\",\"tenant\":\"t\",\"sync\":3}")
+        .expect("open with oversized quorum");
+    assert!(
+        !reply.contains("\"ok\":true"),
+        "a quorum larger than the target set must be refused: {reply}"
+    );
+    let reply = c
+        .round_trip("{\"op\":\"open\",\"tenant\":\"t\",\"sync\":2}")
+        .expect("restore sync quorum");
+    assert!(
+        reply.contains("\"sync\":2"),
+        "sync restore not echoed: {reply}"
+    );
+    drop(c);
+
+    let client = drive(&primary.addr, None);
+    let (submitted, acked) = (client.submitted, client.acked);
+    drop(client);
+    assert!(acked > 0, "fence: nothing was sync-acked while healthy");
+    primary.kill();
+
+    // Promote one follower; its fencing epoch moves past the dead
+    // primary's and the reply reports it.
+    let mut c = NetClient::open(&f1.addr, "t");
+    let reply = c.round_trip("{\"op\":\"promote\"}").expect("promote reply");
+    assert!(
+        reply.contains("\"ok\":true") && reply.contains("\"fence_epoch\""),
+        "promote must bump and report the fencing epoch: {reply}"
+    );
+    drop(c);
+
+    // Restart the old primary on its old directory, still shipping to
+    // both targets. It boots writable (the documented race window) but
+    // must latch as soon as its shipper exchanges one frame with the
+    // promoted node — poll mutations until they come back refused.
+    let mut restarted = spawn_quorum_primary(&p_root.0, &[&f1.addr, &f2.addr], 2, None);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut fenced = false;
+    let mut i = 0;
+    while Instant::now() < deadline && !fenced {
+        let mut c = NetClient::open(&restarted.addr, "t");
+        let probe = format!("{{\"op\":\"load\",\"program\":\"rogue(r{i}).\"}}");
+        if let Some(reply) = c.round_trip(&probe) {
+            fenced = reply.contains("\"kind\":\"fenced\"");
+        }
+        i += 1;
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(fenced, "restarted old primary never latched fenced");
+
+    // Fenced is not dead: reads still serve, stats show the latch, and
+    // every further mutation op is refused.
+    let mut c = NetClient::open(&restarted.addr, "t");
+    let q = c
+        .round_trip("{\"op\":\"query\",\"q\":\"f(x0)\"}")
+        .expect("fenced read");
+    assert!(
+        q.contains("\"result\":\"true\""),
+        "fenced primary lost reads: {q}"
+    );
+    let denied = c
+        .round_trip("{\"op\":\"assume\",\"facts\":\"g(a)\"}")
+        .expect("fenced assume");
+    assert!(
+        denied.contains("\"kind\":\"fenced\""),
+        "assume escaped the fence: {denied}"
+    );
+    let stats = c.round_trip("{\"op\":\"stats\"}").expect("fenced stats");
+    assert!(
+        stats.contains("\"fenced\":true"),
+        "stats hide the fence latch: {stats}"
+    );
+    drop(c);
+
+    // The latch is persisted: a second restart boots fenced and refuses
+    // the very first mutation with no peer contact needed.
+    restarted.kill();
+    let rebooted = spawn_quorum_primary(&p_root.0, &[&f1.addr, &f2.addr], 2, None);
+    let mut c = NetClient::open(&rebooted.addr, "t");
+    let denied = c
+        .round_trip("{\"op\":\"load\",\"program\":\"rogue(boot).\"}")
+        .expect("boot-fenced load");
+    assert!(
+        denied.contains("\"kind\":\"fenced\""),
+        "fence latch did not survive a restart: {denied}"
+    );
+    drop(c);
+
+    // Meanwhile the promoted follower owns writes and kept the prefix.
+    let mut c = NetClient::open(&f1.addr, "t");
+    let reply = c
+        .round_trip("{\"op\":\"load\",\"program\":\"f(after_failover).\"}")
+        .expect("promoted write");
+    assert!(
+        reply.contains("\"ok\":true"),
+        "promoted follower refused a write: {reply}"
+    );
+    drop(c);
+    let (_, present) = presence(&f1.addr, "t", submitted);
+    assert!(
+        prefix_len(&present, "fence promoted") >= acked,
+        "failover lost sync-acked facts"
+    );
+}
+
+/// `hdl connect --reconnect` across a failover: the link client holds a
+/// session on the follower, promotes it over that same connection,
+/// loses the promoted server to a `kill -9`, and must transparently
+/// redial the restarted server, re-open its tenant, and replay the one
+/// unacked line. The replay contract is at-least-once: a `load` whose
+/// ack was lost lands the same facts when replayed (set semantics), so
+/// no double-apply is observable — asserted on the final state.
+#[test]
+fn reconnect_client_replays_across_promote() {
+    let p_root = TempDir::new("reconnect-p");
+    let f_root = TempDir::new("reconnect-f");
+    let mut follower = spawn_follower(&f_root.0, "127.0.0.1:0", None);
+    let f_addr = follower.addr.clone();
+    let mut primary = spawn_primary(&p_root.0, &f_addr, None);
+
+    // Seed facts through the primary; wait for the follower to hold
+    // them before the link client binds.
+    let mut seed = NetClient::open(&primary.addr, "t");
+    assert!(seed.alive, "cannot open tenant on the primary");
+    seed.burst(0, 4);
+    assert_eq!(seed.acked, 4, "seed burst not fully acked");
+    drop(seed);
+    assert!(
+        wait_until_true(&f_addr, "t", 3, 20),
+        "follower never converged on the seed"
+    );
+
+    let mut link = Command::new(HDL)
+        .args(["connect", &f_addr, "--tenant", "t", "--reconnect"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn hdl connect");
+    let mut input = link.stdin.take().expect("piped stdin");
+    let mut output = BufReader::new(link.stdout.take().expect("piped stdout")).lines();
+    // The --tenant flag sends an open before any input; its reply is
+    // the first stdout line.
+    let open_reply = output
+        .next()
+        .expect("open reply line")
+        .expect("read open reply");
+    assert!(
+        open_reply.contains("\"ok\":true"),
+        "hdl connect open failed: {open_reply}"
+    );
+    let mut reply_of = |line: &str| -> String {
+        writeln!(input, "{line}").expect("write to hdl connect");
+        input.flush().expect("flush hdl connect stdin");
+        output.next().expect("reply line").expect("read reply")
+    };
+
+    // Reads work against the follower binding.
+    let reply = reply_of("?- f(x3).");
+    assert!(
+        reply.contains("\"result\":\"true\""),
+        "follower read failed: {reply}"
+    );
+
+    // Failover: kill the primary, promote over this same connection,
+    // and write through it.
+    primary.kill();
+    let reply = reply_of(":promote");
+    assert!(reply.contains("\"ok\":true"), "promote failed: {reply}");
+    let reply = reply_of("f(x4).");
+    assert!(
+        reply.contains("\"ok\":true"),
+        "promoted server refused a write over the held connection: {reply}"
+    );
+
+    // Kill the promoted server and bring it straight back on the same
+    // address and directory (a plain primary now). The next request
+    // finds a dead socket, redials, re-opens the tenant, and replays
+    // the unacked line against the restarted server.
+    follower.kill();
+    let mut restarted = spawn_serve(&f_root.0, &f_addr, &[], None);
+    assert_eq!(restarted.addr, f_addr, "restart moved ports");
+    let reply = reply_of("f(x5).");
+    assert!(
+        reply.contains("\"ok\":true"),
+        "replayed line after reconnect was not acked: {reply}"
+    );
+
+    // At-least-once is observably exactly-once for loads: the replayed
+    // fact is present, the pre-failover state survived, and nothing
+    // extra was invented.
+    for (q, want) in [
+        ("?- f(x5).", true),
+        ("?- f(x4).", true),
+        ("?- f(x3).", true),
+        ("?- f(rogue).", false),
+    ] {
+        let reply = reply_of(q);
+        let expect = if want {
+            "\"result\":\"true\""
+        } else {
+            "\"result\":\"false\""
+        };
+        assert!(reply.contains(expect), "{q}: unexpected reply {reply}");
+    }
+    let _ = reply_of(":quit");
+    drop(input);
+    let status = link.wait().expect("hdl connect exit");
+    assert!(status.success(), "hdl connect exited non-zero: {status}");
+    shutdown(&mut restarted);
 }
 
 /// The no-crash control: a healthy pair converges, the follower reports
